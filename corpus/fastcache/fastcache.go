@@ -1,0 +1,133 @@
+// Package fastcache is a scaled-down model of VictoriaMetrics/fastcache: a
+// sharded in-memory byte cache. It reproduces the patterns §6.1 discusses:
+// Get with inter-procedural nested but non-conflicting locks (bucket lock
+// inside cache-level bookkeeping), a Set that may panic (and is therefore
+// not transformed), and atomic counters inside critical sections.
+package fastcache
+
+import "sync"
+
+type bucketStats struct {
+	mu       sync.Mutex
+	getCalls int
+	setCalls int
+	misses   int
+}
+
+func (s *bucketStats) addGet() {
+	s.mu.Lock()
+	s.getCalls++
+	s.mu.Unlock()
+}
+
+type bucket struct {
+	mu    sync.RWMutex
+	items map[uint64]uint64
+	gen   int
+}
+
+func (b *bucket) get(h uint64) (uint64, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	v, ok := b.items[h]
+	return v, ok
+}
+
+func (b *bucket) has(h uint64) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.items[h]
+	return ok
+}
+
+func (b *bucket) set(h uint64, v uint64) {
+	if v > maxValue() {
+		panic("fastcache: value too large")
+	}
+	b.mu.Lock()
+	b.items[h] = v
+	b.gen++
+	b.mu.Unlock()
+}
+
+func (b *bucket) del(h uint64) {
+	b.mu.Lock()
+	delete(b.items, h)
+	b.mu.Unlock()
+}
+
+func (b *bucket) reset() {
+	b.mu.Lock()
+	b.items = map[uint64]uint64{}
+	b.gen = 0
+	b.mu.Unlock()
+}
+
+func (b *bucket) count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.items)
+}
+
+type Cache struct {
+	shards  []bucket
+	stats   bucketStats
+	nshards int
+}
+
+func (c *Cache) Get(key uint64) (uint64, bool) {
+	c.stats.addGet()
+	idx := key % uint64(c.nshards)
+	v, ok := c.shards[idx].get(key)
+	return v, ok
+}
+
+func (c *Cache) Has(key uint64) bool {
+	idx := key % uint64(c.nshards)
+	return c.shards[idx].has(key)
+}
+
+func (c *Cache) Set(key uint64, v uint64) {
+	idx := key % uint64(c.nshards)
+	c.shards[idx].set(key, v)
+}
+
+func (c *Cache) Del(key uint64) {
+	idx := key % uint64(c.nshards)
+	c.shards[idx].del(key)
+}
+
+func (c *Cache) Reset() {
+	for i := 0; i < c.nshards; i++ {
+		c.shards[i].reset()
+	}
+}
+
+func (c *Cache) EntryCount() int {
+	n := 0
+	for i := 0; i < c.nshards; i++ {
+		n = n + c.shards[i].count()
+	}
+	return n
+}
+
+type statsView struct {
+	mu     sync.Mutex
+	copied bool
+}
+
+func (s *statsView) UpdateStats(c *Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.copied = true
+}
+
+func (s *statsView) SaveStats(c *Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Println("stats")
+}
+
+func maxValue() uint64 {
+	return 1 << 30
+}

@@ -1,0 +1,183 @@
+// Package gocache is a scaled-down model of patrickmn/go-cache: an
+// in-memory key/value store with expiration. It reproduces the original's
+// locking signature: RWMutex-protected map, and the repeating
+// early-unlock-then-return pattern that makes many unlock points fail the
+// post-dominance test (the paper's Table 1 shows go-cache with by far the
+// most dominance violations).
+package gocache
+
+import "sync"
+
+type Item struct {
+	Object     int
+	Expiration int
+}
+
+type Cache struct {
+	mu              sync.RWMutex
+	items           map[string]Item
+	defaultExpiry   int
+	cleanupInterval int
+}
+
+func (c *Cache) Set(k string, v int, d int) {
+	c.mu.Lock()
+	c.items[k] = Item{Object: v, Expiration: d}
+	c.mu.Unlock()
+}
+
+func (c *Cache) SetDefault(k string, v int) {
+	c.mu.Lock()
+	c.items[k] = Item{Object: v, Expiration: c.defaultExpiry}
+	c.mu.Unlock()
+}
+
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.RLock()
+	item, found := c.items[k]
+	if !found {
+		c.mu.RUnlock()
+		return 0, false
+	}
+	if item.Expiration > 0 {
+		if expired(item.Expiration) {
+			c.mu.RUnlock()
+			return 0, false
+		}
+	}
+	c.mu.RUnlock()
+	return item.Object, true
+}
+
+func (c *Cache) GetWithExpiration(k string) (int, int, bool) {
+	c.mu.RLock()
+	item, found := c.items[k]
+	if !found {
+		c.mu.RUnlock()
+		return 0, 0, false
+	}
+	if expired(item.Expiration) {
+		c.mu.RUnlock()
+		return 0, 0, false
+	}
+	c.mu.RUnlock()
+	return item.Object, item.Expiration, true
+}
+
+func (c *Cache) Add(k string, v int, d int) bool {
+	c.mu.Lock()
+	_, found := c.items[k]
+	if found {
+		c.mu.Unlock()
+		return false
+	}
+	c.items[k] = Item{Object: v, Expiration: d}
+	c.mu.Unlock()
+	return true
+}
+
+func (c *Cache) Replace(k string, v int, d int) bool {
+	c.mu.Lock()
+	_, found := c.items[k]
+	if !found {
+		c.mu.Unlock()
+		return false
+	}
+	c.items[k] = Item{Object: v, Expiration: d}
+	c.mu.Unlock()
+	return true
+}
+
+func (c *Cache) Increment(k string, n int) bool {
+	c.mu.Lock()
+	item, found := c.items[k]
+	if !found {
+		c.mu.Unlock()
+		return false
+	}
+	item.Object = item.Object + n
+	c.items[k] = item
+	c.mu.Unlock()
+	return true
+}
+
+func (c *Cache) Delete(k string) {
+	c.mu.Lock()
+	delete(c.items, k)
+	c.mu.Unlock()
+}
+
+func (c *Cache) ItemCount() int {
+	c.mu.RLock()
+	n := len(c.items)
+	c.mu.RUnlock()
+	return n
+}
+
+func (c *Cache) Items() map[string]Item {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := make(map[string]Item, len(c.items))
+	for k, v := range c.items {
+		if !expired(v.Expiration) {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.items = map[string]Item{}
+	c.mu.Unlock()
+}
+
+func (c *Cache) DeleteExpired() {
+	c.mu.Lock()
+	for k, v := range c.items {
+		if expired(v.Expiration) {
+			delete(c.items, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) save() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, v := range c.items {
+		fmt.Println(k, v.Object)
+	}
+}
+
+func expired(e int) bool {
+	if e == 0 {
+		return false
+	}
+	return e < now()
+}
+
+func now() int {
+	return 0
+}
+
+// Benchmark-style direct map access guarded by an RWMutex, mirroring the
+// go-cache benchmarks that GOCC transforms in the benchmark files
+// themselves.
+type RWMap struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+func (r *RWMap) Read(k string) string {
+	r.mu.RLock()
+	v := r.m[k]
+	r.mu.RUnlock()
+	return v
+}
+
+func (r *RWMap) Write(k string, v string) {
+	r.mu.Lock()
+	r.m[k] = v
+	r.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+// Package set is a scaled-down model of Workiva/go-datastructures' set: a
+// thread-safe set whose benchmarks (Len, Exists, Flatten, Clear) drive the
+// paper's Figure 8.
+package set
+
+import "sync"
+
+type Set struct {
+	mu      sync.Mutex
+	items   map[uint64]bool
+	flat    []uint64
+	dirty   bool
+	version int
+}
+
+func (s *Set) Add(item uint64) {
+	s.mu.Lock()
+	s.items[item] = true
+	s.dirty = true
+	s.version++
+	s.mu.Unlock()
+}
+
+func (s *Set) Remove(item uint64) {
+	s.mu.Lock()
+	delete(s.items, item)
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+func (s *Set) Exists(item uint64) bool {
+	s.mu.Lock()
+	_, ok := s.items[item]
+	s.mu.Unlock()
+	return ok
+}
+
+func (s *Set) Len() int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return n
+}
+
+func (s *Set) Flatten() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return s.flat
+	}
+	s.flat = s.flat[0:0]
+	for item, _ := range s.items {
+		s.flat = append(s.flat, item)
+	}
+	s.dirty = false
+	return s.flat
+}
+
+func (s *Set) Clear() {
+	s.mu.Lock()
+	s.items = map[uint64]bool{}
+	s.flat = s.flat[0:0]
+	s.dirty = false
+	s.mu.Unlock()
+}
+
+func (s *Set) All(items []uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, item := range items {
+		_, ok := s.items[item]
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type RWSet struct {
+	mu    sync.RWMutex
+	items map[uint64]bool
+}
+
+func (s *RWSet) Exists(item uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.items[item]
+	return ok
+}
+
+func (s *RWSet) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+func (s *RWSet) Add(item uint64) {
+	s.mu.Lock()
+	s.items[item] = true
+	s.mu.Unlock()
+}

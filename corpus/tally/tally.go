@@ -1,0 +1,216 @@
+// Package tally is a scaled-down model of uber-go/tally: a buffered stats
+// collection library with counters, gauges, histograms and scopes. Lock
+// usage mirrors the original: registry maps behind RWMutexes, hot
+// read-mostly lookup paths, defer-heavy unlock style, and IO confined to
+// the reporting path.
+package tally
+
+import "sync"
+
+type Counter struct {
+	mu   sync.Mutex
+	prev int
+	curr int
+}
+
+func (c *Counter) Inc(delta int) {
+	c.mu.Lock()
+	c.curr = c.curr + delta
+	c.mu.Unlock()
+}
+
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.curr - c.prev
+	return v
+}
+
+func (c *Counter) snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prev = c.curr
+	return c.curr
+}
+
+type Gauge struct {
+	mu      sync.Mutex
+	value   int
+	updated bool
+}
+
+func (g *Gauge) Update(v int) {
+	g.mu.Lock()
+	g.value = v
+	g.updated = true
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Value() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.value
+}
+
+type HistogramBucket struct {
+	mu      sync.Mutex
+	samples int
+	sum     int
+}
+
+func (b *HistogramBucket) Record(v int) {
+	b.mu.Lock()
+	b.samples++
+	b.sum = b.sum + v
+	b.mu.Unlock()
+}
+
+type Histogram struct {
+	mu      sync.RWMutex
+	buckets map[int]int
+	count   int
+}
+
+func (h *Histogram) RecordValue(v int) {
+	h.mu.Lock()
+	h.buckets[v] = h.buckets[v] + 1
+	h.count++
+	h.mu.Unlock()
+}
+
+func (h *Histogram) Exists(v int) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	_, ok := h.buckets[v]
+	return ok
+}
+
+func (h *Histogram) Count() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}
+
+type Scope struct {
+	cm         sync.RWMutex
+	gm         sync.RWMutex
+	hm         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	prefix     string
+}
+
+func (s *Scope) Counter(name string) *Counter {
+	s.cm.RLock()
+	c, ok := s.counters[name]
+	s.cm.RUnlock()
+	if ok {
+		return c
+	}
+	s.cm.Lock()
+	defer s.cm.Unlock()
+	c, ok = s.counters[name]
+	if !ok {
+		c = newCounter()
+		s.counters[name] = c
+	}
+	return c
+}
+
+func (s *Scope) Gauge(name string) *Gauge {
+	s.gm.RLock()
+	g, ok := s.gauges[name]
+	s.gm.RUnlock()
+	if ok {
+		return g
+	}
+	s.gm.Lock()
+	defer s.gm.Unlock()
+	g, ok = s.gauges[name]
+	if !ok {
+		g = newGauge()
+		s.gauges[name] = g
+	}
+	return g
+}
+
+func (s *Scope) Histogram(name string) *Histogram {
+	s.hm.RLock()
+	h, ok := s.histograms[name]
+	s.hm.RUnlock()
+	if ok {
+		return h
+	}
+	s.hm.Lock()
+	defer s.hm.Unlock()
+	h, ok = s.histograms[name]
+	if !ok {
+		h = newHistogram()
+		s.histograms[name] = h
+	}
+	return h
+}
+
+func (s *Scope) HistogramExists(name string) bool {
+	s.hm.RLock()
+	defer s.hm.RUnlock()
+	_, ok := s.histograms[name]
+	return ok
+}
+
+func (s *Scope) CounterCount() int {
+	s.cm.RLock()
+	defer s.cm.RUnlock()
+	return len(s.counters)
+}
+
+func (s *Scope) report() {
+	s.cm.RLock()
+	defer s.cm.RUnlock()
+	for name, c := range s.counters {
+		fmt.Println(name, c.Value())
+	}
+}
+
+func (s *Scope) reportLoop(ch chan int) {
+	s.cm.RLock()
+	n := len(s.counters)
+	s.cm.RUnlock()
+	ch <- n
+}
+
+func newCounter() *Counter {
+	return &Counter{}
+}
+
+func newGauge() *Gauge {
+	return &Gauge{}
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	return h
+}
+
+func sanitize(name string) string {
+	return name
+}
+
+type CachedCount struct {
+	mu    sync.Mutex
+	cache map[string]int
+	hits  int
+}
+
+func (cc *CachedCount) Get(key string) int {
+	cc.mu.Lock()
+	v, ok := cc.cache[key]
+	if ok {
+		cc.hits++
+		cc.mu.Unlock()
+		return v
+	}
+	cc.mu.Unlock()
+	return 0
+}

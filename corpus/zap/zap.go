@@ -1,0 +1,136 @@
+// Package zap is a scaled-down model of uber-go/zap: fast structured
+// logging. Being a logging library, most critical sections perform IO, so
+// GOCC rewrites comparatively few locks (§6.1: "Being a logging library,
+// it has several IO operations, and hence GOCC rewrote fewer locks").
+package zap
+
+import "sync"
+
+type buffer struct {
+	data []int
+	n    int
+}
+
+type WriteSyncer struct {
+	mu  sync.Mutex
+	buf buffer
+}
+
+func (w *WriteSyncer) Write(v int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Println(v)
+}
+
+func (w *WriteSyncer) Sync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	os.Sync()
+}
+
+type Core struct {
+	mu      sync.Mutex
+	level   int
+	fields  map[string]int
+	enabled bool
+}
+
+func (c *Core) Enabled(lvl int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return lvl >= c.level
+}
+
+func (c *Core) SetLevel(lvl int) {
+	c.mu.Lock()
+	c.level = lvl
+	c.mu.Unlock()
+}
+
+func (c *Core) With(key string, value int) {
+	c.mu.Lock()
+	c.fields[key] = value
+	c.mu.Unlock()
+}
+
+func (c *Core) FieldCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fields)
+}
+
+func (c *Core) Check(lvl int) bool {
+	c.mu.Lock()
+	ok := c.enabled
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	pass := lvl >= c.level
+	c.mu.Unlock()
+	return pass
+}
+
+type SugaredLogger struct {
+	mu   sync.Mutex
+	core *Core
+	name string
+}
+
+func (s *SugaredLogger) Infow(msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Println(msg)
+}
+
+func (s *SugaredLogger) Named(n string) {
+	s.mu.Lock()
+	s.name = n
+	s.mu.Unlock()
+}
+
+type Registry struct {
+	mu      sync.RWMutex
+	loggers map[string]*SugaredLogger
+}
+
+func (r *Registry) Lookup(name string) *SugaredLogger {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.loggers[name]
+}
+
+func (r *Registry) Register(name string, l *SugaredLogger) {
+	r.mu.Lock()
+	r.loggers[name] = l
+	r.mu.Unlock()
+}
+
+func (r *Registry) Each() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, l := range r.loggers {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+type LevelFlag struct {
+	mu  sync.RWMutex
+	lvl int
+}
+
+func (f *LevelFlag) Level() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.lvl
+}
+
+func (f *LevelFlag) SetLevel(v int) {
+	f.mu.Lock()
+	f.lvl = v
+	f.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+//! Criterion ablations for the design choices DESIGN.md calls out:
+//! retry budget (`MAX_ATTEMPTS`), perceptron decay threshold, and HTM
+//! write-capacity limits.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gocc_htm::HtmConfig;
+use gocc_optilock::{
+    call_site, ElidableMutex, GoccConfig, GoccRuntime, LockRef, PerceptronConfig, RetryPolicy,
+};
+use gocc_txds::TxCounter;
+use gocc_workloads::{Engine, Mode};
+
+/// One contended read-modify-write through optiLib under `threads`.
+fn contended_ops(rt: &GoccRuntime, threads: usize, iters: u64) {
+    let engine = Engine::new(rt, Mode::Gocc);
+    let m = ElidableMutex::new();
+    let shared = TxCounter::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (engine, m, shared) = (&engine, &m, &shared);
+            s.spawn(move || {
+                for _ in 0..iters {
+                    engine.section(call_site!(), LockRef::Mutex(m), |tx| shared.add(tx, 1));
+                }
+            });
+        }
+    });
+}
+
+fn retry_budget(c: &mut Criterion) {
+    gocc_gosync::set_procs(8);
+    let mut group = c.benchmark_group("retry_budget");
+    group
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    for attempts in [0u32, 1, 3, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(attempts),
+            &attempts,
+            |b, &attempts| {
+                let config = GoccConfig {
+                    policy: RetryPolicy {
+                        max_attempts: attempts,
+                        ..RetryPolicy::default()
+                    },
+                    ..GoccConfig::standard()
+                };
+                b.iter(|| {
+                    let rt = GoccRuntime::new(config.clone());
+                    contended_ops(&rt, 4, 200);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn perceptron_decay(c: &mut Criterion) {
+    gocc_gosync::set_procs(8);
+    let mut group = c.benchmark_group("perceptron_decay");
+    group
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    for decay in [10u32, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(decay), &decay, |b, &decay| {
+            let config = GoccConfig {
+                perceptron: PerceptronConfig {
+                    decay_threshold: decay,
+                    ..Default::default()
+                },
+                ..GoccConfig::standard()
+            };
+            // Unfriendly section: the perceptron parks it on the slow path;
+            // smaller decay thresholds retry HTM more often (wasted work).
+            b.iter(|| {
+                let rt = GoccRuntime::new(config.clone());
+                let engine = Engine::new(&rt, Mode::Gocc);
+                let m = ElidableMutex::new();
+                for _ in 0..500 {
+                    engine.section(call_site!(), LockRef::Mutex(&m), |tx| tx.unfriendly());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn write_capacity(c: &mut Criterion) {
+    gocc_gosync::set_procs(8);
+    let mut group = c.benchmark_group("write_capacity");
+    group
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    // A section writing 64 distinct lines: fits a 512-line L1D model,
+    // overflows a 16-line toy model (forcing the slow path every time).
+    for cap in [16usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let config = GoccConfig {
+                htm: HtmConfig {
+                    max_write_lines: cap,
+                    ..HtmConfig::coffee_lake()
+                },
+                ..GoccConfig::standard()
+            };
+            b.iter(|| {
+                let rt = GoccRuntime::new(config.clone());
+                let engine = Engine::new(&rt, Mode::Gocc);
+                let m = ElidableMutex::new();
+                let cells: Vec<gocc_htm::Padded<TxCounter>> = (0..64)
+                    .map(|_| gocc_htm::Padded(TxCounter::new(0)))
+                    .collect();
+                for _ in 0..50 {
+                    engine.section(call_site!(), LockRef::Mutex(&m), |tx| {
+                        for c in &cells {
+                            c.0.add(tx, 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, retry_budget, perceptron_decay, write_capacity);
+criterion_main!(benches);

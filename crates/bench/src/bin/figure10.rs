@@ -1,0 +1,99 @@
+//! Figure 10: perceptron effectiveness on the Tally benchmarks.
+//!
+//! Compares GOCC with the perceptron against GOCC-NP ("No Perceptron":
+//! every section always attempts HTM). On HTM-friendly benchmarks the two
+//! should tie; on the abort-heavy allocation benchmarks
+//! (`CounterAllocation`, `SanitizedCounterAllocation`) NP pays the full
+//! abort-and-retry tax on every call while the perceptron "quickly learns
+//! to move away from HTM and keeps using the slowpath", eliminating the
+//! loss.
+
+use std::time::Duration;
+
+use gocc_bench::{run_parallel, CORE_COUNTS};
+use gocc_optilock::{GoccConfig, GoccRuntime};
+use gocc_workloads::tally::Scope;
+use gocc_workloads::{Engine, Mode};
+
+const PRELOADED: usize = 512;
+const WINDOW: Duration = Duration::from_millis(200);
+
+struct Bench {
+    name: &'static str,
+    op: fn(&Engine<'_>, &Scope, usize, u64),
+}
+
+fn histogram_existing(engine: &Engine<'_>, scope: &Scope, worker: usize, i: u64) {
+    let name = Scope::name_hash((worker * 131 + i as usize) % PRELOADED);
+    let _ = scope.histogram_exists(engine, name);
+}
+
+fn scope_reporting1(engine: &Engine<'_>, scope: &Scope, _worker: usize, _i: u64) {
+    let _ = scope.scope_reporting(engine, 1);
+}
+
+fn counter_allocation(engine: &Engine<'_>, scope: &Scope, worker: usize, i: u64) {
+    let name = Scope::name_hash(1_000_000 + worker * 10_000_000 + i as usize);
+    let _ = scope.counter_allocation(engine, name);
+}
+
+fn sanitized_allocation(engine: &Engine<'_>, scope: &Scope, worker: usize, i: u64) {
+    let name = format!("svc.host-{worker}.metric/{i}");
+    let _ = scope.sanitized_counter_allocation(engine, &name);
+}
+
+fn main() {
+    gocc_gosync::set_procs(8);
+    println!("== Figure 10: Tally with vs without the perceptron ==");
+    println!(
+        "{:<26} | cores: NP-ns / P-ns  perceptron-gain (positive = perceptron rescues)",
+        "benchmark"
+    );
+    println!("{}", "-".repeat(118));
+
+    let benches = [
+        Bench {
+            name: "HistogramExisting",
+            op: histogram_existing,
+        },
+        Bench {
+            name: "ScopeReporting1",
+            op: scope_reporting1,
+        },
+        Bench {
+            name: "CounterAllocation",
+            op: counter_allocation,
+        },
+        Bench {
+            name: "SanitizedCounterAlloc",
+            op: sanitized_allocation,
+        },
+    ];
+
+    for b in &benches {
+        print!("{:<26}", b.name);
+        for &cores in &CORE_COUNTS {
+            let prev = gocc_htm::contention::set_sim_cores(cores);
+            let mut ns = [0.0f64; 2];
+            for (idx, config) in [GoccConfig::no_perceptron(), GoccConfig::standard()]
+                .into_iter()
+                .enumerate()
+            {
+                let rt = GoccRuntime::new(config);
+                let scope = Scope::new(rt.htm(), PRELOADED);
+                let engine = Engine::new(&rt, Mode::Gocc);
+                run_parallel(cores, WINDOW / 4, |w, i| (b.op)(&engine, &scope, w, i));
+                ns[idx] = run_parallel(cores, WINDOW, |w, i| (b.op)(&engine, &scope, w, i));
+            }
+            gocc_htm::contention::set_sim_cores(prev);
+            let gain = (ns[0] / ns[1] - 1.0) * 100.0;
+            print!(
+                " | {:>2}c {:>8.1}/{:<8.1} {:>+7.1}%",
+                cores, ns[0], ns[1], gain
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("NP = always attempt HTM; P = perceptron-gated (the shipped configuration).");
+}

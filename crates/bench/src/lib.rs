@@ -1,0 +1,247 @@
+//! Benchmark harness for reproducing the paper's tables and figures.
+//!
+//! Binaries (one per artifact) live in `src/bin/`; this library provides
+//! the Go-`testing`-style driver they share: [`run_parallel`] mirrors
+//! `b.RunParallel` — N workers hammer an operation for a fixed duration
+//! and the result is nanoseconds per operation — and [`sweep_driver`]
+//! runs a benchmark across worker counts and modes, printing paper-style
+//! rows.
+//!
+//! A note on this reproduction's hardware: the container has **one** CPU,
+//! so "cores" are oversubscribed workers. Contention *shapes* (lock-word
+//! RMW serialization, abort/retry behavior, perceptron dynamics) survive;
+//! absolute scaling numbers do not. EXPERIMENTS.md discusses per-figure
+//! fidelity.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gocc_workloads::Mode;
+
+/// Default measurement window per benchmark point.
+pub const DEFAULT_WINDOW: Duration = Duration::from_millis(200);
+
+/// The paper's core sweep.
+pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `op` from `workers` threads for `window`, returning ns/op.
+///
+/// Mirrors Go's `b.RunParallel`: workers spin on the operation until the
+/// window closes; throughput is aggregated across workers.
+pub fn run_parallel(workers: usize, window: Duration, op: impl Fn(usize, u64) + Sync) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (stop, total_ops, op) = (&stop, &total_ops, &op);
+            s.spawn(move || {
+                let mut local: u64 = 0;
+                let mut i: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    op(w, i);
+                    i += 1;
+                    local += 1;
+                    // Check the clock occasionally from worker 0 to bound
+                    // the window without per-op syscalls.
+                    if w == 0 && local.is_multiple_of(64) && start.elapsed() >= window {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                total_ops.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let ops = total_ops.load(Ordering::Relaxed).max(1);
+    elapsed.as_nanos() as f64 / ops as f64
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Simulated core (worker) count.
+    pub cores: usize,
+    /// Baseline ns/op.
+    pub lock_ns: f64,
+    /// GOCC ns/op.
+    pub gocc_ns: f64,
+}
+
+impl Point {
+    /// Percentage improvement of GOCC over the lock baseline (positive =
+    /// GOCC wins), the paper's reporting convention.
+    #[must_use]
+    pub fn speedup_pct(&self) -> f64 {
+        (self.lock_ns / self.gocc_ns - 1.0) * 100.0
+    }
+}
+
+/// A benchmark's sweep results across core counts.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether the benchmark belongs to the concurrency-sensitive group.
+    pub sensitive: bool,
+    /// Points in [`CORE_COUNTS`] order.
+    pub points: Vec<Point>,
+}
+
+impl SweepResult {
+    /// Prints one paper-style row: ns/op for both variants and the
+    /// speedup percentage per core count.
+    pub fn print(&self) {
+        print!("{:<28}", self.name);
+        for p in &self.points {
+            print!(
+                " | {:>2}c {:>9.1}/{:<9.1} {:>+7.1}%",
+                p.cores,
+                p.lock_ns,
+                p.gocc_ns,
+                p.speedup_pct()
+            );
+        }
+        println!();
+    }
+}
+
+/// Geometric mean of the speedup ratios (lock/gocc) at one core index,
+/// expressed as a percentage like the paper's "sensitive"/"all" bars.
+#[must_use]
+pub fn geomean_pct(results: &[&SweepResult], core_idx: usize) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for r in results {
+        let p = r.points[core_idx];
+        log_sum += (p.lock_ns / p.gocc_ns).ln();
+    }
+    ((log_sum / results.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Runs one benchmark across modes and core counts.
+///
+/// `point` measures one configuration: it receives the mode, worker count
+/// and window, builds a fresh runtime + world (so perceptron state and
+/// stripe versions never leak between points, like separate benchmark
+/// process runs in the paper), warms up, and returns ns/op — typically by
+/// calling [`run_parallel`] twice. The driver owns the sweep structure.
+pub fn sweep_driver(
+    name: &str,
+    sensitive: bool,
+    window: Duration,
+    point: &dyn Fn(Mode, usize, Duration) -> f64,
+) -> SweepResult {
+    // The paper pins GOMAXPROCS to the machine's 8 cores while varying
+    // the benchmark's parallelism.
+    gocc_gosync::set_procs(8);
+    let mut points = Vec::new();
+    for &cores in &CORE_COUNTS {
+        // Engage the coherence-cost model at this sweep's core count (the
+        // container has one CPU; see crate docs and DESIGN.md §7).
+        let prev = gocc_htm::contention::set_sim_cores(cores);
+        let lock_ns = point(Mode::Lock, cores, window);
+        let gocc_ns = point(Mode::Gocc, cores, window);
+        gocc_htm::contention::set_sim_cores(prev);
+        points.push(Point {
+            cores,
+            lock_ns,
+            gocc_ns,
+        });
+    }
+    SweepResult {
+        name: name.to_string(),
+        sensitive,
+        points,
+    }
+}
+
+/// Warm-up-then-measure helper for `point` closures.
+pub fn warm_measure(cores: usize, window: Duration, op: impl Fn(usize, u64) + Sync) -> f64 {
+    run_parallel(cores, window / 4, &op);
+    run_parallel(cores, window, &op)
+}
+
+/// Formats the standard figure header.
+pub fn print_header(title: &str) {
+    println!("== {title} ==");
+    println!(
+        "{:<28} | cores: lock-ns/gocc-ns  speedup (positive = GOCC wins)",
+        "benchmark"
+    );
+    println!("{}", "-".repeat(120));
+}
+
+/// Prints the sensitive / non-sensitive / all geomean summary lines the
+/// paper's figures carry.
+pub fn print_geomeans(results: &[SweepResult]) {
+    let sensitive: Vec<&SweepResult> = results.iter().filter(|r| r.sensitive).collect();
+    let non: Vec<&SweepResult> = results.iter().filter(|r| !r.sensitive).collect();
+    let all: Vec<&SweepResult> = results.iter().collect();
+    for (label, group) in [
+        (format!("sensitive ({})", sensitive.len()), sensitive),
+        (format!("non sensitive ({})", non.len()), non),
+        (format!("all ({})", all.len()), all),
+    ] {
+        if group.is_empty() {
+            continue;
+        }
+        print!("{label:<28}");
+        for (idx, &cores) in CORE_COUNTS.iter().enumerate() {
+            print!(
+                " | {:>2}c geomean {:>+7.1}%          ",
+                cores,
+                geomean_pct(&group, idx)
+            );
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_measures_something() {
+        let counter = AtomicU64::new(0);
+        let ns = run_parallel(2, Duration::from_millis(20), |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(ns > 0.0);
+        assert!(counter.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        let p = Point {
+            cores: 1,
+            lock_ns: 200.0,
+            gocc_ns: 100.0,
+        };
+        assert!((p.speedup_pct() - 100.0).abs() < 1e-9, "2x faster = +100%");
+        let q = Point {
+            cores: 1,
+            lock_ns: 90.0,
+            gocc_ns: 100.0,
+        };
+        assert!(q.speedup_pct() < 0.0, "slower = negative");
+    }
+
+    #[test]
+    fn geomean_of_identical_points() {
+        let r = SweepResult {
+            name: "x".into(),
+            sensitive: true,
+            points: vec![Point {
+                cores: 1,
+                lock_ns: 100.0,
+                gocc_ns: 50.0,
+            }],
+        };
+        let g = geomean_pct(&[&r, &r], 0);
+        assert!((g - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,796 @@
+//! Lowering `golite` function bodies to CFGs.
+
+use std::collections::HashMap;
+
+use golite::ast::{Block, Expr, FuncDecl, NodeId, Stmt, Type, UnaryOp};
+use golite::token::Span;
+use golite::types::TypeInfo;
+
+use crate::cfg::{
+    BasicBlock, BlockId, CalleeRef, Cfg, Inst, InstKind, LockOp, LuOp, UnfriendlyKind,
+};
+use crate::path::AccessPath;
+
+/// Packages whose calls are HTM-unfriendly IO (§5.2's condition 4).
+const IO_PACKAGES: &[&str] = &[
+    "fmt", "os", "log", "io", "net", "http", "syscall", "bufio", "ioutil", "time",
+];
+
+/// Packages whose calls are runtime/unsafe intrinsics.
+const INTRINSIC_PACKAGES: &[&str] = &["runtime", "unsafe", "reflect"];
+
+/// Inputs the builder needs from the frontend.
+pub struct BuildCtx<'a> {
+    /// Package type information.
+    pub info: &'a TypeInfo,
+    /// Flat local type environment of the function being lowered.
+    pub env: &'a HashMap<String, Type>,
+}
+
+/// One analyzable unit: a named function or one of its closures.
+#[derive(Debug)]
+pub struct FuncUnit {
+    /// Unit name (`Counter.Inc`, `lockAll`, `lockAll$1` for closures).
+    pub name: String,
+    /// The closure's AST node, when the unit is a function literal.
+    pub lit_node: Option<NodeId>,
+    /// The lowered control-flow graph.
+    pub cfg: Cfg,
+}
+
+/// Lowers a function declaration and all closures inside it, returning the
+/// function's unit first.
+#[must_use]
+pub fn build_cfg(fd: &FuncDecl, ctx: &BuildCtx<'_>) -> Vec<FuncUnit> {
+    let name = match &fd.recv {
+        Some(r) => format!("{}.{}", r.type_name, fd.name),
+        None => fd.name.clone(),
+    };
+    let mut units = Vec::new();
+    lower_unit(&name, None, &fd.body, ctx, &mut units);
+    units
+}
+
+fn lower_unit(
+    name: &str,
+    lit_node: Option<NodeId>,
+    body: &Block,
+    ctx: &BuildCtx<'_>,
+    units: &mut Vec<FuncUnit>,
+) {
+    let mut b = Builder::new(ctx);
+    b.block_stmts(body);
+    let cfg = b.finish();
+    let closures = std::mem::take(&mut b.closures);
+    units.push(FuncUnit {
+        name: name.to_string(),
+        lit_node,
+        cfg,
+    });
+    for (i, (node, closure_body)) in closures.into_iter().enumerate() {
+        let child = format!("{name}${}", i + 1);
+        lower_unit(&child, Some(node), &closure_body, ctx, units);
+    }
+}
+
+struct Builder<'a> {
+    ctx: &'a BuildCtx<'a>,
+    blocks: Vec<BasicBlock>,
+    current: BlockId,
+    exit: BlockId,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+    /// Deferred unlock templates, in defer-encounter order.
+    deferred_unlocks: Vec<LuOp>,
+    /// Deferred non-unlock instructions replayed at exits.
+    deferred_other: Vec<Inst>,
+    /// Whether the current block already ended in a jump.
+    terminated: bool,
+    closures: Vec<(NodeId, Block)>,
+    multiple_defer_unlocks: bool,
+    has_other_defers: bool,
+}
+
+impl<'a> Builder<'a> {
+    fn new(ctx: &'a BuildCtx<'a>) -> Self {
+        let entry = BasicBlock::default();
+        let exit = BasicBlock::default();
+        Builder {
+            ctx,
+            blocks: vec![entry, exit],
+            current: BlockId(0),
+            exit: BlockId(1),
+            loops: Vec::new(),
+            deferred_unlocks: Vec::new(),
+            deferred_other: Vec::new(),
+            terminated: false,
+            closures: Vec::new(),
+            multiple_defer_unlocks: false,
+            has_other_defers: false,
+        }
+    }
+
+    fn finish(&mut self) -> Cfg {
+        if !self.terminated {
+            self.emit_exit_path();
+        }
+        // Deferred unlocks run when the function returns; placing their
+        // synthetic instructions in the single virtual exit block (in LIFO
+        // order) makes each one post-dominate every lock point, which is
+        // what lets Definition 5.4's condition (2) hold for `defer
+        // m.Unlock()` no matter how many return statements exist (§5.2.5).
+        for op in self.deferred_unlocks.iter().rev() {
+            let mut synth = op.clone();
+            synth.synthetic = true;
+            let span = synth.span;
+            self.blocks[self.exit.0 as usize].insts.push(Inst {
+                kind: InstKind::Lu(synth),
+                span,
+            });
+        }
+        Cfg {
+            blocks: std::mem::take(&mut self.blocks),
+            entry: BlockId(0),
+            exit: self.exit,
+            multiple_defer_unlocks: self.multiple_defer_unlocks,
+            has_other_defers: self.has_other_defers,
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    fn link(&mut self, from: BlockId, to: BlockId) {
+        self.blocks[from.0 as usize].succs.push(to);
+        self.blocks[to.0 as usize].preds.push(from);
+    }
+
+    fn emit(&mut self, kind: InstKind, span: Span) {
+        if self.terminated {
+            // Unreachable code after return/break: park it in a fresh
+            // detached block so spans remain addressable.
+            let b = self.new_block();
+            self.current = b;
+            self.terminated = false;
+        }
+        self.blocks[self.current.0 as usize]
+            .insts
+            .push(Inst { kind, span });
+    }
+
+    /// Moves to a fresh block, linking fall-through from the current one.
+    fn start_block(&mut self) -> BlockId {
+        let next = self.new_block();
+        if !self.terminated {
+            self.link(self.current, next);
+        }
+        self.current = next;
+        self.terminated = false;
+        next
+    }
+
+    /// Emits the per-return part of the exit path (deferred non-unlock
+    /// calls) and jumps to the virtual exit; deferred unlocks are placed in
+    /// the exit block itself by `finish` so a single synthetic instruction
+    /// post-dominates every lock point.
+    fn emit_exit_path(&mut self) {
+        let other = self.deferred_other.clone();
+        for inst in other {
+            self.emit(inst.kind, inst.span);
+        }
+        self.link(self.current, self.exit);
+        self.terminated = true;
+    }
+
+    fn block_stmts(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Var(vd) => {
+                for v in &vd.values {
+                    self.expr(v);
+                }
+                self.emit(InstKind::Other, vd.span);
+            }
+            Stmt::Assign { lhs, rhs, span, .. } => {
+                for e in lhs.iter().chain(rhs) {
+                    self.expr(e);
+                }
+                self.emit(InstKind::Other, *span);
+            }
+            Stmt::Expr(e) => {
+                if !self.try_lu_point(e, false) {
+                    self.expr(e);
+                    self.emit(InstKind::Other, e.span());
+                }
+            }
+            Stmt::IncDec { target, span, .. } => {
+                self.expr(target);
+                self.emit(InstKind::Other, *span);
+            }
+            Stmt::Defer { call, span, .. } => {
+                if let Some(op) = self.classify_lu(call, true) {
+                    if !self.deferred_unlocks.is_empty() {
+                        self.multiple_defer_unlocks = true;
+                    }
+                    self.deferred_unlocks.push(op);
+                    // The original occurrence is ignored in the CFG
+                    // (§5.2.5 point (b)).
+                } else {
+                    self.has_other_defers = true;
+                    // Model the deferred call as executing at every exit.
+                    let insts = self.insts_of_call(call);
+                    self.deferred_other.extend(insts);
+                    let _ = span;
+                }
+            }
+            Stmt::Go { call, span } => {
+                // Collect closures (goroutine bodies become their own
+                // units) without lowering the call into this section.
+                let mut scratch = Vec::new();
+                self.walk_expr(call, &mut scratch);
+                self.emit(InstKind::Unfriendly(UnfriendlyKind::GoStmt), *span);
+            }
+            Stmt::Send { chan, value, span } => {
+                self.expr(chan);
+                self.expr(value);
+                self.emit(InstKind::Unfriendly(UnfriendlyKind::Channel), *span);
+            }
+            Stmt::Return { values, span } => {
+                for v in values {
+                    self.expr(v);
+                }
+                self.emit(InstKind::Other, *span);
+                self.emit_exit_path();
+            }
+            Stmt::Break(span) => {
+                self.emit(InstKind::Other, *span);
+                if let Some(&(_, brk)) = self.loops.last() {
+                    self.link(self.current, brk);
+                }
+                self.terminated = true;
+            }
+            Stmt::Continue(span) => {
+                self.emit(InstKind::Other, *span);
+                if let Some(&(cont, _)) = self.loops.last() {
+                    self.link(self.current, cont);
+                }
+                self.terminated = true;
+            }
+            Stmt::Block(b) => self.block_stmts(b),
+            Stmt::If {
+                init,
+                cond,
+                then,
+                els,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                self.expr(cond);
+                let branch = self.current;
+                let branch_terminated = self.terminated;
+                // Then arm.
+                let then_block = self.new_block();
+                if !branch_terminated {
+                    self.link(branch, then_block);
+                }
+                self.current = then_block;
+                self.terminated = false;
+                self.block_stmts(then);
+                let then_end = if self.terminated {
+                    None
+                } else {
+                    Some(self.current)
+                };
+                // Else arm.
+                let else_end = match els {
+                    Some(e) => {
+                        let else_block = self.new_block();
+                        if !branch_terminated {
+                            self.link(branch, else_block);
+                        }
+                        self.current = else_block;
+                        self.terminated = false;
+                        self.stmt(e);
+                        if self.terminated {
+                            None
+                        } else {
+                            Some(self.current)
+                        }
+                    }
+                    None => Some(branch),
+                };
+                let join = self.new_block();
+                let mut any = false;
+                if let Some(t) = then_end {
+                    self.link(t, join);
+                    any = true;
+                }
+                if let Some(e) = else_end {
+                    if !(els.is_none() && branch_terminated) {
+                        self.link(e, join);
+                        any = true;
+                    }
+                }
+                self.current = join;
+                self.terminated = !any;
+            }
+            Stmt::For {
+                init,
+                cond,
+                post,
+                range_over,
+                body,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(over) = range_over {
+                    self.expr(over);
+                }
+                let header = self.start_block();
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.emit(InstKind::Other, body.span);
+                let header_end = self.current;
+                // Loop exit.
+                let exit = self.new_block();
+                let conditional = cond.is_some() || range_over.is_some();
+                if conditional {
+                    self.link(header_end, exit);
+                }
+                // Body.
+                let body_block = self.new_block();
+                self.link(header_end, body_block);
+                self.current = body_block;
+                self.terminated = false;
+                // `continue` goes to the post block if there is one.
+                let post_block = post.as_ref().map(|_| self.new_block());
+                self.loops.push((post_block.unwrap_or(header), exit));
+                self.block_stmts(body);
+                self.loops.pop();
+                match (post, post_block) {
+                    (Some(p), Some(pb)) => {
+                        if !self.terminated {
+                            self.link(self.current, pb);
+                        }
+                        self.current = pb;
+                        self.terminated = false;
+                        self.stmt(p);
+                        if !self.terminated {
+                            self.link(self.current, header);
+                        }
+                    }
+                    _ => {
+                        if !self.terminated {
+                            self.link(self.current, header);
+                        }
+                    }
+                }
+                self.current = exit;
+                // An infinite loop with no break leaves the exit block
+                // unreachable; dominance handles that uniformly.
+                self.terminated = false;
+            }
+            Stmt::Switch {
+                cond,
+                cases,
+                has_default,
+                span,
+            } => {
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.emit(InstKind::Other, *span);
+                let head = self.current;
+                let head_terminated = self.terminated;
+                let join = self.new_block();
+                let mut reaches_join = false;
+                for (guards, body) in cases {
+                    let case_block = self.new_block();
+                    if !head_terminated {
+                        self.link(head, case_block);
+                    }
+                    self.current = case_block;
+                    self.terminated = false;
+                    for g in guards {
+                        self.expr(g);
+                    }
+                    self.block_stmts(body);
+                    if !self.terminated {
+                        self.link(self.current, join);
+                        reaches_join = true;
+                    }
+                }
+                if !has_default && !head_terminated {
+                    self.link(head, join);
+                    reaches_join = true;
+                }
+                self.current = join;
+                self.terminated = !reaches_join && !cases.is_empty();
+            }
+            Stmt::Select { cases, span } => {
+                self.emit(InstKind::Unfriendly(UnfriendlyKind::Select), *span);
+                let head = self.current;
+                let join = self.new_block();
+                let mut reaches_join = false;
+                for body in cases {
+                    let case_block = self.new_block();
+                    self.link(head, case_block);
+                    self.current = case_block;
+                    self.terminated = false;
+                    self.block_stmts(body);
+                    if !self.terminated {
+                        self.link(self.current, join);
+                        reaches_join = true;
+                    }
+                }
+                if cases.is_empty() {
+                    self.link(head, join);
+                    reaches_join = true;
+                }
+                self.current = join;
+                self.terminated = !reaches_join;
+            }
+        }
+    }
+
+    /// If the expression is a lock/unlock call, lower it as an LU point
+    /// with the §5.2.1 block-splitting discipline.
+    fn try_lu_point(&mut self, e: &Expr, _deferred: bool) -> bool {
+        let Some(op) = self.classify_lu(e, false) else {
+            return false;
+        };
+        if op.op.is_acquire() {
+            // A lock-point begins a new basic block.
+            self.start_block();
+            self.emit(InstKind::Lu(op), e.span());
+        } else {
+            // An unlock-point ends its basic block.
+            self.emit(InstKind::Lu(op), e.span());
+            self.start_block();
+        }
+        true
+    }
+
+    /// Classifies `recv.Lock()`-shaped calls against the type info.
+    fn classify_lu(&mut self, e: &Expr, deferred: bool) -> Option<LuOp> {
+        let (recv, method) = e.as_method_call()?;
+        let op = match method {
+            "Lock" => LockOp::Lock,
+            "Unlock" => LockOp::Unlock,
+            "RLock" => LockOp::RLock,
+            "RUnlock" => LockOp::RUnlock,
+            _ => return None,
+        };
+        let access = self.ctx.info.classify_mutex(recv, self.ctx.env)?;
+        if matches!(op, LockOp::RLock | LockOp::RUnlock) && !access.rw {
+            return None;
+        }
+        Some(LuOp {
+            node: e.id().expect("calls carry ids"),
+            recv: AccessPath::of_expr(recv),
+            op,
+            rw: access.rw,
+            deferred,
+            synthetic: false,
+            span: e.span(),
+        })
+    }
+
+    /// Lowers an arbitrary expression: nested calls become `Call` or
+    /// `Unfriendly` instructions; closures are collected as separate units.
+    fn expr(&mut self, e: &Expr) {
+        let insts = self.insts_of_call(e);
+        for inst in insts {
+            self.emit(inst.kind, inst.span);
+        }
+    }
+
+    /// Collects the instruction stream an expression contributes (calls,
+    /// channel receives) without emitting, so deferred calls can be
+    /// replayed at exits.
+    fn insts_of_call(&mut self, e: &Expr) -> Vec<Inst> {
+        let mut out = Vec::new();
+        self.walk_expr(e, &mut out);
+        out
+    }
+
+    fn walk_expr(&mut self, e: &Expr, out: &mut Vec<Inst>) {
+        match e {
+            Expr::Call {
+                callee, args, span, ..
+            } => {
+                for a in args {
+                    self.walk_expr(a, out);
+                }
+                // The callee expression itself (e.g. receiver chains).
+                if let Expr::Selector { base, .. } = callee.as_ref() {
+                    self.walk_expr(base, out);
+                }
+                let kind = self.classify_call(callee, *span);
+                out.push(Inst { kind, span: *span });
+            }
+            Expr::Unary {
+                op: UnaryOp::Recv,
+                operand,
+                span,
+                ..
+            } => {
+                self.walk_expr(operand, out);
+                out.push(Inst {
+                    kind: InstKind::Unfriendly(UnfriendlyKind::Channel),
+                    span: *span,
+                });
+            }
+            Expr::Unary { operand, .. } => self.walk_expr(operand, out),
+            Expr::Binary { left, right, .. } => {
+                self.walk_expr(left, out);
+                self.walk_expr(right, out);
+            }
+            Expr::Selector { base, .. } => self.walk_expr(base, out),
+            Expr::Index { base, index, .. } => {
+                self.walk_expr(base, out);
+                self.walk_expr(index, out);
+            }
+            Expr::Composite { elems, .. } => {
+                for (_, v) in elems {
+                    self.walk_expr(v, out);
+                }
+            }
+            Expr::FuncLit { id, body, .. } => {
+                self.closures.push((*id, (**body).clone()));
+            }
+            _ => {}
+        }
+    }
+
+    fn classify_call(&mut self, callee: &Expr, _span: Span) -> InstKind {
+        match callee {
+            Expr::Ident { name, .. } => match name.as_str() {
+                "panic" => InstKind::Unfriendly(UnfriendlyKind::Panic),
+                "print" | "println" => InstKind::Unfriendly(UnfriendlyKind::Io),
+                "len" | "cap" | "append" | "make" | "new" | "copy" | "delete" | "min" | "max"
+                | "byteslice" => InstKind::Call(CalleeRef::Builtin(name.clone())),
+                _ => {
+                    if self
+                        .ctx
+                        .env
+                        .get(name)
+                        .map(|t| *t == Type::Func)
+                        .unwrap_or(false)
+                    {
+                        InstKind::Call(CalleeRef::Indirect)
+                    } else {
+                        InstKind::Call(CalleeRef::Func(name.clone()))
+                    }
+                }
+            },
+            Expr::Selector { base, field, .. } => {
+                // Package-qualified call?
+                if let Expr::Ident { name: pkg, .. } = base.as_ref() {
+                    if !self.ctx.env.contains_key(pkg) {
+                        if IO_PACKAGES.contains(&pkg.as_str()) {
+                            return InstKind::Unfriendly(UnfriendlyKind::Io);
+                        }
+                        if INTRINSIC_PACKAGES.contains(&pkg.as_str()) {
+                            return InstKind::Unfriendly(UnfriendlyKind::Intrinsic);
+                        }
+                        // `sync/atomic` and unknown externals: neutral.
+                        return InstKind::Call(CalleeRef::External {
+                            pkg: pkg.clone(),
+                            name: field.clone(),
+                        });
+                    }
+                }
+                let recv_struct = self.ctx.info.receiver_struct(base, self.ctx.env);
+                InstKind::Call(CalleeRef::Method {
+                    recv_struct,
+                    name: field.clone(),
+                })
+            }
+            Expr::FuncLit { id, body, .. } => {
+                self.closures.push((*id, (**body).clone()));
+                InstKind::Call(CalleeRef::FuncLit(*id))
+            }
+            _ => InstKind::Call(CalleeRef::Indirect),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite::parser::parse_file;
+
+    fn units_of(src: &str) -> Vec<FuncUnit> {
+        let f = parse_file(src).expect("parse");
+        let files = [&f];
+        let info = TypeInfo::new(&files);
+        let fd = f.funcs().next().expect("one function");
+        let env = info.local_env(fd);
+        let ctx = BuildCtx {
+            info: &info,
+            env: &env,
+        };
+        build_cfg(fd, &ctx)
+    }
+
+    const HEADER: &str = "package p\n\nimport \"sync\"\n\ntype C struct {\n\tmu sync.Mutex\n\trw sync.RWMutex\n\tn int\n}\n\n";
+
+    #[test]
+    fn straight_line_lock_unlock_splits_blocks() {
+        let src =
+            format!("{HEADER}func (c *C) Inc() {{\n\tc.mu.Lock()\n\tc.n++\n\tc.mu.Unlock()\n}}\n");
+        let units = units_of(&src);
+        assert_eq!(units.len(), 1);
+        let cfg = &units[0].cfg;
+        let lus = cfg.lu_points();
+        assert_eq!(lus.len(), 2);
+        // Lock begins its block; Unlock ends its block.
+        let (lb, li, lop) = &lus[0];
+        assert_eq!(*li, 0, "lock-point must be first in its block");
+        assert_eq!(lop.op, LockOp::Lock);
+        let (ub, ui, uop) = &lus[1];
+        assert_eq!(uop.op, LockOp::Unlock);
+        assert_eq!(
+            *ui,
+            cfg.block(*ub).insts.len() - 1,
+            "unlock-point must be last in its block"
+        );
+        // One straight-line pair legally shares a block: the lock begins
+        // it and the unlock ends it.
+        assert_eq!(lb, ub);
+    }
+
+    #[test]
+    fn defer_unlock_synthesized_at_exits() {
+        let src = format!(
+            "{HEADER}func (c *C) Two(x int) {{\n\tc.mu.Lock()\n\tdefer c.mu.Unlock()\n\tif x > 0 {{\n\t\treturn\n\t}}\n\tc.n++\n}}\n"
+        );
+        let units = units_of(&src);
+        let cfg = &units[0].cfg;
+        let lus = cfg.lu_points();
+        let synthetic: Vec<_> = lus.iter().filter(|(_, _, op)| op.synthetic).collect();
+        // One synthetic unlock in the virtual exit block covers both exit
+        // paths (early return + fall-off) and post-dominates the lock.
+        assert_eq!(synthetic.len(), 1);
+        assert!(synthetic.iter().all(|(_, _, op)| op.deferred));
+        assert_eq!(
+            synthetic[0].0, cfg.exit,
+            "synthetic unlock lives in the exit block"
+        );
+        assert!(!cfg.multiple_defer_unlocks);
+    }
+
+    #[test]
+    fn multiple_defer_unlocks_flagged() {
+        let src = format!(
+            "{HEADER}func (c *C) Bad() {{\n\tc.mu.Lock()\n\tdefer c.mu.Unlock()\n\tc.rw.Lock()\n\tdefer c.rw.Unlock()\n\tc.n++\n}}\n"
+        );
+        let units = units_of(&src);
+        assert!(units[0].cfg.multiple_defer_unlocks);
+    }
+
+    #[test]
+    fn io_call_marks_unfriendly() {
+        let src = format!(
+            "{HEADER}func (c *C) Log() {{\n\tc.mu.Lock()\n\tfmt.Println(c.n)\n\tc.mu.Unlock()\n}}\n"
+        );
+        let units = units_of(&src);
+        let cfg = &units[0].cfg;
+        let unfriendly = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.kind, InstKind::Unfriendly(UnfriendlyKind::Io)))
+            .count();
+        assert_eq!(unfriendly, 1);
+    }
+
+    #[test]
+    fn rwlock_ops_classified() {
+        let src = format!(
+            "{HEADER}func (c *C) Read() int {{\n\tc.rw.RLock()\n\tv := c.n\n\tc.rw.RUnlock()\n\treturn v\n}}\n"
+        );
+        let units = units_of(&src);
+        let lus = units[0].cfg.lu_points();
+        assert_eq!(lus[0].2.op, LockOp::RLock);
+        assert!(lus[0].2.rw);
+        assert_eq!(lus[1].2.op, LockOp::RUnlock);
+    }
+
+    #[test]
+    fn goroutine_closure_becomes_unit() {
+        let src = format!(
+            "{HEADER}func (c *C) Par() {{\n\tgo func() {{\n\t\tc.mu.Lock()\n\t\tc.n++\n\t\tc.mu.Unlock()\n\t}}()\n}}\n"
+        );
+        let units = units_of(&src);
+        assert_eq!(units.len(), 2, "closure is its own unit");
+        assert!(units[1].lit_node.is_some());
+        assert_eq!(units[1].cfg.lu_points().len(), 2);
+        // The launching function carries the go-statement marker.
+        let launcher_unfriendly = units[0]
+            .cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.kind, InstKind::Unfriendly(UnfriendlyKind::GoStmt)));
+        assert!(launcher_unfriendly);
+    }
+
+    #[test]
+    fn branches_and_loops_shape() {
+        let src = format!(
+            "{HEADER}func (c *C) Sum(xs []int) int {{\n\ts := 0\n\tfor i := 0; i < len(xs); i++ {{\n\t\tif xs[i] > 0 {{\n\t\t\ts += xs[i]\n\t\t}} else {{\n\t\t\ts--\n\t\t}}\n\t}}\n\treturn s\n}}\n"
+        );
+        let units = units_of(&src);
+        let cfg = &units[0].cfg;
+        // Exit reachable, entry has successors, and a back edge exists.
+        assert!(!cfg.block(cfg.entry).succs.is_empty());
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|s| (s.0 as usize) < i));
+        assert!(has_back_edge, "loop must produce a back edge");
+    }
+
+    #[test]
+    fn channel_and_select_unfriendly() {
+        let src = format!(
+            "{HEADER}func (c *C) Chan(ch chan int) {{\n\tch <- 1\n\tv := <-ch\n\tc.n = v\n\tselect {{\n\tdefault:\n\t\tc.n++\n\t}}\n}}\n"
+        );
+        let units = units_of(&src);
+        let kinds: Vec<_> = units[0]
+            .cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i.kind {
+                InstKind::Unfriendly(k) => Some(k),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&UnfriendlyKind::Channel));
+        assert!(kinds.contains(&UnfriendlyKind::Select));
+    }
+
+    #[test]
+    fn method_calls_resolved_for_callgraph() {
+        let src = format!(
+            "{HEADER}func (c *C) Outer() {{\n\tc.mu.Lock()\n\tc.helper()\n\tc.mu.Unlock()\n}}\n\nfunc (c *C) helper() {{\n\tc.n++\n}}\n"
+        );
+        let units = units_of(&src);
+        let has_method_call = units[0].cfg.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                &i.kind,
+                InstKind::Call(CalleeRef::Method { recv_struct: Some(s), name })
+                    if s == "C" && name == "helper"
+            )
+        });
+        assert!(has_method_call);
+    }
+
+    #[test]
+    fn break_and_continue_edges() {
+        let src = format!(
+            "{HEADER}func (c *C) Loop() {{\n\tfor {{\n\t\tif c.n > 10 {{\n\t\t\tbreak\n\t\t}}\n\t\tif c.n < 0 {{\n\t\t\tcontinue\n\t\t}}\n\t\tc.n++\n\t}}\n}}\n"
+        );
+        let units = units_of(&src);
+        let cfg = &units[0].cfg;
+        // The exit must be reachable from the entry (via break).
+        let dom = crate::dom::DomTree::dominators(cfg);
+        assert!(dom.reachable(cfg.exit));
+    }
+}

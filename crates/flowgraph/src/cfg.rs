@@ -1,0 +1,288 @@
+//! CFG data structures.
+
+use golite::ast::NodeId;
+use golite::token::Span;
+
+use crate::path::AccessPath;
+
+/// Index of a basic block within its [`Cfg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Lock operation kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockOp {
+    /// `Lock()` on a Mutex or RWMutex.
+    Lock,
+    /// `Unlock()`.
+    Unlock,
+    /// `RLock()` on an RWMutex.
+    RLock,
+    /// `RUnlock()`.
+    RUnlock,
+}
+
+impl LockOp {
+    /// Whether this operation acquires.
+    #[must_use]
+    pub fn is_acquire(self) -> bool {
+        matches!(self, LockOp::Lock | LockOp::RLock)
+    }
+
+    /// The matching release/acquire operation.
+    #[must_use]
+    pub fn counterpart(self) -> LockOp {
+        match self {
+            LockOp::Lock => LockOp::Unlock,
+            LockOp::Unlock => LockOp::Lock,
+            LockOp::RLock => LockOp::RUnlock,
+            LockOp::RUnlock => LockOp::RLock,
+        }
+    }
+}
+
+/// A lock or unlock point (the paper's L / U points).
+#[derive(Clone, Debug)]
+pub struct LuOp {
+    /// The AST call node (key for the transformer).
+    pub node: NodeId,
+    /// Canonical receiver path (input to points-to analysis).
+    pub recv: AccessPath,
+    /// Operation kind.
+    pub op: LockOp,
+    /// Whether the RWMutex variant is in play.
+    pub rw: bool,
+    /// Whether this op came from a `defer` statement (the transformer
+    /// keeps `defer` in place, §5.2.5).
+    pub deferred: bool,
+    /// Whether this instruction was synthesized at a function exit to
+    /// normalize a deferred unlock (not present in source).
+    pub synthetic: bool,
+    /// Source span of the call.
+    pub span: Span,
+}
+
+/// Why an instruction disqualifies HTM (§5.2's condition 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnfriendlyKind {
+    /// IO-performing call (`fmt`, `os`, `log`, `net`, `syscall`, …).
+    Io,
+    /// Channel send or receive.
+    Channel,
+    /// `select` statement.
+    Select,
+    /// Goroutine launch inside the section.
+    GoStmt,
+    /// `panic` (fastcache's `Set` case in §6.1).
+    Panic,
+    /// Atomic/unsafe/runtime intrinsics that do not mix with speculation.
+    Intrinsic,
+}
+
+/// Callee of a call instruction, as resolved by rapid type analysis inputs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CalleeRef {
+    /// Package-local free function.
+    Func(String),
+    /// Method call with the statically resolved receiver struct (`None`
+    /// when the receiver type is unknown — treated conservatively).
+    Method {
+        /// Receiver struct name, if resolved.
+        recv_struct: Option<String>,
+        /// Method name.
+        name: String,
+    },
+    /// A function literal (closure) invoked or launched.
+    FuncLit(NodeId),
+    /// Go builtin (`len`, `append`, `make`, …) — HTM-neutral.
+    Builtin(String),
+    /// Cross-package call (`pkg.Fn`); classified by package lists.
+    External {
+        /// Package qualifier.
+        pkg: String,
+        /// Function name.
+        name: String,
+    },
+    /// A call through a variable of function type; unresolved.
+    Indirect,
+}
+
+/// One CFG instruction.
+#[derive(Clone, Debug)]
+pub struct Inst {
+    /// What the instruction does.
+    pub kind: InstKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Instruction kinds relevant to the analysis.
+#[derive(Clone, Debug)]
+pub enum InstKind {
+    /// A lock or unlock point.
+    Lu(LuOp),
+    /// A function call (for inter-procedural closure, §5.2.4).
+    Call(CalleeRef),
+    /// An HTM-unfriendly operation.
+    Unfriendly(UnfriendlyKind),
+    /// Anything else (assignments, arithmetic, …).
+    Other,
+}
+
+/// A basic block.
+#[derive(Clone, Debug, Default)]
+pub struct BasicBlock {
+    /// Instructions in order.
+    pub insts: Vec<Inst>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// A function's control-flow graph.
+///
+/// Block 0 is the entry; a dedicated virtual exit block collects every
+/// return path, which is what makes "a function always forms a region"
+/// (§5.2.1) literally true in the implementation.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; [`Cfg::entry`] and [`Cfg::exit`] index into this.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// Virtual exit block id.
+    pub exit: BlockId,
+    /// Set when the function contains more than one `defer mu.Unlock()`
+    /// (such functions are discarded, §5.2.5).
+    pub multiple_defer_unlocks: bool,
+    /// Set when the function contains any `defer` of a non-unlock call
+    /// (its execution extends to the exit; tracked for HTM-fitness).
+    pub has_other_defers: bool,
+}
+
+impl Cfg {
+    /// The block behind an id.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph is trivial (it never is; entry+exit always exist).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All lock/unlock points as `(block, instruction index)` pairs, in
+    /// block order.
+    #[must_use]
+    pub fn lu_points(&self) -> Vec<(BlockId, usize, &LuOp)> {
+        let mut out = Vec::new();
+        for (b, block) in self.blocks.iter().enumerate() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let InstKind::Lu(op) = &inst.kind {
+                    out.push((BlockId(b as u32), i, op));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a path exists from `from` to `to` where no instruction on
+    /// the way (exclusive of `from`'s instructions before `start_idx`)
+    /// satisfies `blocked`. Used for the DELock / UEUnlock definitions.
+    #[must_use]
+    pub fn path_exists_avoiding(
+        &self,
+        from: BlockId,
+        start_idx: usize,
+        to: BlockId,
+        blocked: &dyn Fn(&Inst) -> bool,
+    ) -> bool {
+        // Check the remainder of the starting block first.
+        let start_block = self.block(from);
+        for inst in &start_block.insts[start_idx..] {
+            if blocked(inst) {
+                return false;
+            }
+        }
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.blocks.len()];
+        let mut stack: Vec<BlockId> = start_block.succs.clone();
+        while let Some(b) = stack.pop() {
+            if visited[b.0 as usize] {
+                continue;
+            }
+            visited[b.0 as usize] = true;
+            let mut clean = true;
+            for inst in &self.block(b).insts {
+                if blocked(inst) {
+                    clean = false;
+                    break;
+                }
+            }
+            // The destination's own instructions lie on the path: control
+            // reaching the (virtual) exit still executes synthetic deferred
+            // unlocks placed there (§5.2.5).
+            if b == to {
+                if clean {
+                    return true;
+                }
+                continue;
+            }
+            if clean {
+                stack.extend(self.block(b).succs.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Whether a path exists from the *top* of `from` to instruction
+    /// `end_idx` of block `to`, with no instruction on the way satisfying
+    /// `blocked` (instructions of `to` past `end_idx` are not considered).
+    /// Used for the UEUnlock definition, walking forward from the entry.
+    #[must_use]
+    pub fn path_exists_avoiding_until(
+        &self,
+        from: BlockId,
+        to: BlockId,
+        end_idx: usize,
+        blocked: &dyn Fn(&Inst) -> bool,
+    ) -> bool {
+        // Instructions of `to` before `end_idx` lie on every arriving path.
+        if self.block(to).insts[..end_idx].iter().any(blocked) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.blocks.len()];
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if visited[b.0 as usize] {
+                continue;
+            }
+            visited[b.0 as usize] = true;
+            // A path passing through `b` traverses all of its instructions.
+            if self.block(b).insts.iter().any(blocked) {
+                continue;
+            }
+            for s in &self.block(b).succs {
+                if *s == to {
+                    return true;
+                }
+                stack.push(*s);
+            }
+        }
+        false
+    }
+}

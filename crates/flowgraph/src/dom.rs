@@ -1,0 +1,279 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+use crate::cfg::{BlockId, Cfg};
+
+/// A dominator tree over a CFG (or a post-dominator tree, when built over
+/// the reversed graph).
+#[derive(Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block; `None` for the root and for
+    /// unreachable blocks. The root's entry is `Some(root)` internally and
+    /// exposed as `None` by [`DomTree::idom`].
+    idom: Vec<Option<BlockId>>,
+    root: BlockId,
+    /// Reverse-postorder index of each block (`usize::MAX` = unreachable).
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Builds the dominator tree rooted at the CFG entry.
+    #[must_use]
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        DomTree::build(cfg, cfg.entry, false)
+    }
+
+    /// Builds the post-dominator tree rooted at the CFG exit.
+    #[must_use]
+    pub fn post_dominators(cfg: &Cfg) -> DomTree {
+        DomTree::build(cfg, cfg.exit, true)
+    }
+
+    fn build(cfg: &Cfg, root: BlockId, reversed: bool) -> DomTree {
+        let n = cfg.len();
+        let succs = |b: BlockId| -> &[BlockId] {
+            if reversed {
+                &cfg.block(b).preds
+            } else {
+                &cfg.block(b).succs
+            }
+        };
+        let preds = |b: BlockId| -> &[BlockId] {
+            if reversed {
+                &cfg.block(b).succs
+            } else {
+                &cfg.block(b).preds
+            }
+        };
+
+        // Reverse postorder from the root.
+        let mut rpo: Vec<BlockId> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(root, 0)];
+        state[root.0 as usize] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = succs(b);
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.0 as usize] == 0 {
+                    state[s.0 as usize] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.0 as usize] = 2;
+                rpo.push(b);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[root.0 as usize] = Some(root);
+        let intersect =
+            |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                        a = idom[a.0 as usize].expect("processed block has idom");
+                    }
+                    while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                        b = idom[b.0 as usize].expect("processed block has idom");
+                    }
+                }
+                a
+            };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds(b) {
+                    if rpo_index[p.0 as usize] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            root,
+            rpo_index,
+        }
+    }
+
+    /// The immediate dominator, or `None` for the root / unreachable.
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.root {
+            return None;
+        }
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[a.0 as usize] == usize::MAX || self.rpo_index[b.0 as usize] == usize::MAX
+        {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.root {
+                return false;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether the block is reachable from the root.
+    #[must_use]
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+
+    /// Walks the idom chain from `b` (exclusive) to the root (inclusive).
+    pub fn ancestors(&self, b: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        let mut cur = Some(b);
+        std::iter::from_fn(move || {
+            let c = cur?;
+            if c == self.root {
+                cur = None;
+                return None;
+            }
+            let parent = self.idom[c.0 as usize]?;
+            cur = Some(parent);
+            Some(parent)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{BasicBlock, Cfg};
+
+    /// Builds a CFG skeleton from an edge list (block 0 = entry, last =
+    /// exit).
+    fn diamond() -> Cfg {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3)];
+        build(4, &edges)
+    }
+
+    fn build(n: u32, edges: &[(u32, u32)]) -> Cfg {
+        let mut blocks: Vec<BasicBlock> = (0..n).map(|_| BasicBlock::default()).collect();
+        for &(a, b) in edges {
+            blocks[a as usize].succs.push(BlockId(b));
+            blocks[b as usize].preds.push(BlockId(a));
+        }
+        Cfg {
+            blocks,
+            entry: BlockId(0),
+            exit: BlockId(n - 1),
+            multiple_defer_unlocks: false,
+            has_other_defers: false,
+        }
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let cfg = diamond();
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(
+            dom.idom(BlockId(3)),
+            Some(BlockId(0)),
+            "join is dominated by the fork"
+        );
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(
+            dom.dominates(BlockId(3), BlockId(3)),
+            "dominance is reflexive"
+        );
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let cfg = diamond();
+        let pdom = DomTree::post_dominators(&cfg);
+        assert_eq!(pdom.idom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(1)), Some(BlockId(3)));
+        assert!(
+            pdom.dominates(BlockId(3), BlockId(0)),
+            "exit post-dominates entry"
+        );
+        assert!(!pdom.dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 (header) -> 2 (body) -> 1, 1 -> 3 (exit)
+        let cfg = build(4, &[(0, 1), (1, 2), (2, 1), (1, 3)]);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        let pdom = DomTree::post_dominators(&cfg);
+        assert!(
+            pdom.dominates(BlockId(1), BlockId(2)),
+            "body must exit through header"
+        );
+        assert!(pdom.dominates(BlockId(3), BlockId(0)));
+    }
+
+    #[test]
+    fn textbook_graph() {
+        // The classic CHK example graph.
+        // 0->1, 1->2, 1->3, 2->4, 3->4, 4->1, 4->5
+        let cfg = build(6, &[(0, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 1), (4, 5)]);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(5)), Some(BlockId(4)));
+        assert!(dom.dominates(BlockId(1), BlockId(5)));
+    }
+
+    #[test]
+    fn unreachable_block() {
+        // Block 2 is disconnected.
+        let cfg = build(4, &[(0, 1), (1, 3)]);
+        let dom = DomTree::dominators(&cfg);
+        assert!(!dom.reachable(BlockId(2)));
+        assert!(!dom.dominates(BlockId(0), BlockId(2)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+    }
+
+    #[test]
+    fn ancestors_walk() {
+        let cfg = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        let dom = DomTree::dominators(&cfg);
+        let chain: Vec<_> = dom.ancestors(BlockId(3)).collect();
+        assert_eq!(chain, vec![BlockId(2), BlockId(1), BlockId(0)]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Control-flow graphs and dominance analyses for GOCC (§5.2.1, §5.2.5).
+//!
+//! This crate lowers `golite` function bodies to basic-block CFGs with the
+//! exact shape the paper's analyzer requires:
+//!
+//! * basic blocks are **split at lock/unlock points** so every lock-point
+//!   begins a block and every unlock-point ends one (§5.2.1), letting the
+//!   pairing analysis work at block granularity;
+//! * `defer m.Unlock()` is normalized by synthesizing unlock instructions
+//!   at every function exit and ignoring the original occurrence (§5.2.5);
+//!   functions with multiple deferred unlocks are flagged for discarding;
+//! * calls, HTM-unfriendly operations (IO, channels, `select`, `go`,
+//!   `panic`) and lock operations are surfaced as typed instructions for
+//!   the inter-procedural summaries of §5.2.4;
+//! * dominator and post-dominator trees (iterative Cooper–Harvey–Kennedy)
+//!   drive the Feasible-HTM-Pair conditions and the Appendix-B splicing.
+
+mod builder;
+mod cfg;
+mod dom;
+mod path;
+
+pub use builder::{build_cfg, BuildCtx, FuncUnit};
+pub use cfg::{BasicBlock, BlockId, CalleeRef, Cfg, Inst, InstKind, LockOp, LuOp, UnfriendlyKind};
+pub use dom::DomTree;
+pub use path::{AccessPath, PathSeg};

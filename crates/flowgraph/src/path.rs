@@ -1,0 +1,154 @@
+//! Canonical access paths for lock receivers.
+
+use golite::ast::{Expr, NodeId, UnaryOp};
+
+/// One step of an access path.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathSeg {
+    /// Field selection (`.mu`).
+    Field(String),
+    /// Array/slice/map indexing — all elements collapse to one abstract
+    /// location (sound for may-alias).
+    Index,
+}
+
+/// A canonicalized receiver expression (`c.mu`, `shards[i].lock`, …).
+///
+/// Pointer syntax (`&x`, `*p`) is stripped: at the analysis level a mutex
+/// value and a pointer to it denote the same abstract object, matching the
+/// paper's footnote that "at the SSA level it is always a pointer".
+/// Receivers that are not variable-rooted (e.g. `getLock().Lock()`) become
+/// [`AccessPath::Opaque`], which the points-to analysis treats as a
+/// distinct unknown — such LU-points never pair.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessPath {
+    /// A variable-rooted path: base identifier plus segments.
+    Rooted {
+        /// The root variable name.
+        base: String,
+        /// Selection steps from the root.
+        segs: Vec<PathSeg>,
+    },
+    /// A receiver the analysis cannot name (keyed by its AST node).
+    Opaque(NodeId),
+}
+
+impl AccessPath {
+    /// Builds the access path of a receiver expression.
+    #[must_use]
+    pub fn of_expr(expr: &Expr) -> AccessPath {
+        fn walk(e: &Expr, segs: &mut Vec<PathSeg>) -> Option<String> {
+            match e {
+                Expr::Ident { name, .. } => Some(name.clone()),
+                Expr::Selector { base, field, .. } => {
+                    let root = walk(base, segs)?;
+                    segs.push(PathSeg::Field(field.clone()));
+                    Some(root)
+                }
+                Expr::Index { base, .. } => {
+                    let root = walk(base, segs)?;
+                    segs.push(PathSeg::Index);
+                    Some(root)
+                }
+                Expr::Unary {
+                    op: UnaryOp::Addr | UnaryOp::Deref,
+                    operand,
+                    ..
+                } => walk(operand, segs),
+                _ => None,
+            }
+        }
+        let mut segs = Vec::new();
+        match walk(expr, &mut segs) {
+            Some(base) => AccessPath::Rooted { base, segs },
+            None => AccessPath::Opaque(expr.id().unwrap_or(NodeId(u32::MAX))),
+        }
+    }
+
+    /// The root variable name, if the path has one.
+    #[must_use]
+    pub fn base(&self) -> Option<&str> {
+        match self {
+            AccessPath::Rooted { base, .. } => Some(base),
+            AccessPath::Opaque(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPath::Rooted { base, segs } => {
+                write!(f, "{base}")?;
+                for s in segs {
+                    match s {
+                        PathSeg::Field(name) => write!(f, ".{name}")?,
+                        PathSeg::Index => write!(f, "[*]")?,
+                    }
+                }
+                Ok(())
+            }
+            AccessPath::Opaque(id) => write!(f, "<opaque:{}>", id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite::ast::Stmt;
+    use golite::parser::parse_file;
+
+    fn first_recv(src: &str) -> AccessPath {
+        let f = parse_file(src).unwrap();
+        let fd = f.funcs().next().unwrap();
+        for s in &fd.body.stmts {
+            if let Stmt::Expr(call) = s {
+                if let Some((recv, _)) = call.as_method_call() {
+                    return AccessPath::of_expr(recv);
+                }
+            }
+        }
+        panic!("no method call found");
+    }
+
+    #[test]
+    fn simple_ident() {
+        let p = first_recv("package p\nfunc f() {\n\tm.Lock()\n}\n");
+        assert_eq!(
+            p,
+            AccessPath::Rooted {
+                base: "m".into(),
+                segs: vec![]
+            }
+        );
+        assert_eq!(p.to_string(), "m");
+    }
+
+    #[test]
+    fn field_chain() {
+        let p = first_recv("package p\nfunc f(c *C) {\n\tc.inner.mu.Lock()\n}\n");
+        assert_eq!(p.to_string(), "c.inner.mu");
+    }
+
+    #[test]
+    fn index_collapses() {
+        let p = first_recv("package p\nfunc f(s []S) {\n\ts[3].mu.Lock()\n}\n");
+        assert_eq!(p.to_string(), "s[*].mu");
+        let q = first_recv("package p\nfunc f(s []S) {\n\ts[9].mu.Lock()\n}\n");
+        assert_eq!(p, q, "different indices must alias");
+    }
+
+    #[test]
+    fn pointer_syntax_is_stripped() {
+        let a = first_recv("package p\nfunc f(m *sync2) {\n\t(*m).Lock()\n}\n");
+        let b = first_recv("package p\nfunc f(m *sync2) {\n\tm.Lock()\n}\n");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn call_receiver_is_opaque() {
+        let p = first_recv("package p\nfunc f() {\n\tgetLock().Lock()\n}\n");
+        assert!(matches!(p, AccessPath::Opaque(_)));
+    }
+}

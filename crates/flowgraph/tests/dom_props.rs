@@ -1,0 +1,139 @@
+//! Property tests for the dominator machinery on random CFGs.
+
+use gocc_flowgraph::{BasicBlock, BlockId, Cfg, DomTree};
+use proptest::prelude::*;
+
+/// Builds a CFG from a random edge list over `n` blocks, with block 0 as
+/// entry and block n-1 as exit; every block additionally gets a fall-
+/// through edge toward the exit region so the graph is mostly connected.
+fn build_cfg(n: usize, edges: &[(usize, usize)]) -> Cfg {
+    let mut blocks: Vec<BasicBlock> = (0..n).map(|_| BasicBlock::default()).collect();
+    let add = |a: usize, b: usize, blocks: &mut Vec<BasicBlock>| {
+        if a != b && a < n && b < n && !blocks[a].succs.contains(&BlockId(b as u32)) {
+            blocks[a].succs.push(BlockId(b as u32));
+            blocks[b].preds.push(BlockId(a as u32));
+        }
+    };
+    // A spine guarantees reachability entry → exit.
+    for i in 0..n - 1 {
+        add(i, i + 1, &mut blocks);
+    }
+    for &(a, b) in edges {
+        add(a % n, b % n, &mut blocks);
+    }
+    Cfg {
+        blocks,
+        entry: BlockId(0),
+        exit: BlockId((n - 1) as u32),
+        multiple_defer_unlocks: false,
+        has_other_defers: false,
+    }
+}
+
+fn cfg_strategy() -> impl Strategy<Value = Cfg> {
+    (
+        3usize..24,
+        proptest::collection::vec((any::<usize>(), any::<usize>()), 0..40),
+    )
+        .prop_map(|(n, edges)| build_cfg(n, &edges))
+}
+
+/// Reference dominance by exhaustive path enumeration: `a` dominates `b`
+/// iff removing `a` makes `b` unreachable from the entry.
+fn dominates_reference(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut visited = vec![false; cfg.len()];
+    let mut stack = vec![cfg.entry];
+    if cfg.entry == a {
+        return true;
+    }
+    while let Some(x) = stack.pop() {
+        if x == a || visited[x.0 as usize] {
+            continue; // paths through `a` don't count
+        }
+        visited[x.0 as usize] = true;
+        if x == b {
+            return false; // reached b while avoiding a
+        }
+        stack.extend(cfg.block(x).succs.iter().copied());
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominators_match_path_based_reference(cfg in cfg_strategy()) {
+        let dom = DomTree::dominators(&cfg);
+        for a in 0..cfg.len() {
+            for b in 0..cfg.len() {
+                let (ba, bb) = (BlockId(a as u32), BlockId(b as u32));
+                // Only reachable blocks have defined dominance.
+                if !dom.reachable(bb) || !dom.reachable(ba) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(ba, bb),
+                    dominates_reference(&cfg, ba, bb),
+                    "dominates({},{}) mismatch", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable(cfg in cfg_strategy()) {
+        let dom = DomTree::dominators(&cfg);
+        for b in 0..cfg.len() {
+            let bb = BlockId(b as u32);
+            if dom.reachable(bb) {
+                prop_assert!(dom.dominates(cfg.entry, bb));
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_a_strict_dominator(cfg in cfg_strategy()) {
+        let dom = DomTree::dominators(&cfg);
+        for b in 0..cfg.len() {
+            let bb = BlockId(b as u32);
+            if let Some(parent) = dom.idom(bb) {
+                prop_assert!(dom.dominates(parent, bb));
+                prop_assert_ne!(parent, bb);
+            }
+        }
+    }
+
+    #[test]
+    fn post_dominators_are_dominators_of_reverse_graph(cfg in cfg_strategy()) {
+        let pdom = DomTree::post_dominators(&cfg);
+        // The exit post-dominates every block that reaches it (here: all,
+        // thanks to the spine).
+        for b in 0..cfg.len() {
+            let bb = BlockId(b as u32);
+            if pdom.reachable(bb) {
+                prop_assert!(pdom.dominates(cfg.exit, bb));
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric(cfg in cfg_strategy()) {
+        let dom = DomTree::dominators(&cfg);
+        for a in 0..cfg.len() {
+            for b in 0..cfg.len() {
+                if a == b { continue; }
+                let (ba, bb) = (BlockId(a as u32), BlockId(b as u32));
+                if dom.reachable(ba) && dom.reachable(bb) {
+                    prop_assert!(
+                        !(dom.dominates(ba, bb) && dom.dominates(bb, ba)),
+                        "mutual dominance between {} and {}", a, b
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The GOCC analyzer: finding Feasible-HTM-Pairs (§5.2).
+
+use std::collections::{BTreeSet, HashMap};
+
+use gocc_flowgraph::{BlockId, CalleeRef, Cfg, DomTree, FuncUnit, Inst, InstKind, LuOp};
+use gocc_pointsto::ObjId;
+use gocc_profile::{Profile, DEFAULT_HOT_THRESHOLD};
+use golite::ast::NodeId;
+
+use crate::package::Package;
+use crate::report::{FunnelReport, PackageReport};
+use crate::summary::Summaries;
+
+/// Analyzer knobs.
+#[derive(Debug, Default)]
+pub struct AnalysisOptions {
+    /// Execution profile for §5.2.6 filtering (optional; absent = all hot).
+    pub profile: Option<Profile>,
+    /// Hotness threshold; defaults to 1%.
+    pub hot_threshold: Option<f64>,
+}
+
+/// Why a candidate pair was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PairRejection {
+    /// HTM-unfriendly instruction inside the section (condition 4).
+    UnfitIntra,
+    /// HTM-unfriendly callee in the transitive closure (condition 4,
+    /// inter-procedural) — includes unresolvable calls.
+    UnfitInterproc,
+    /// Another LU-point in the section may alias the pair (condition 3).
+    NestedAliasIntra,
+    /// A callee's LU-points may alias the pair (condition 3,
+    /// inter-procedural).
+    NestedAliasInterproc,
+}
+
+/// One accepted transformation.
+#[derive(Clone, Debug)]
+pub struct TransformPlan {
+    /// Unit the pair lives in.
+    pub unit: String,
+    /// File index within the package.
+    pub file_idx: usize,
+    /// AST node of the lock call.
+    pub lock_node: NodeId,
+    /// AST node of the unlock call (the deferred call when `deferred`).
+    pub unlock_node: NodeId,
+    /// Whether the unlock is a `defer m.Unlock()`.
+    pub deferred: bool,
+    /// Whether the pair elides a read acquisition (`RLock`/`RUnlock`).
+    pub read_elision: bool,
+    /// Whether the mutex is an RWMutex.
+    pub rw: bool,
+    /// Whether the §5.2.6 profile filter keeps this pair.
+    pub hot: bool,
+}
+
+struct LuPt {
+    block: BlockId,
+    idx: usize,
+    op: LuOp,
+    m: BTreeSet<ObjId>,
+}
+
+/// Runs the full analysis over a package, producing the Table-1 funnel and
+/// the transformation plans.
+pub fn analyze_package(pkg: &mut Package, opts: &AnalysisOptions) -> PackageReport {
+    let threshold = opts.hot_threshold.unwrap_or(DEFAULT_HOT_THRESHOLD);
+    let empty_profile = Profile::default();
+    let profile = opts.profile.as_ref().unwrap_or(&empty_profile);
+
+    // Resolve the points-to set of every LU point up front: `resolve`
+    // interns on demand and needs `&mut PointsTo`, while the per-unit
+    // analysis borrows the package immutably.
+    let mut jobs = Vec::new();
+    for fu in pkg.units.iter().flatten() {
+        for (_, _, op) in fu.cfg.lu_points() {
+            jobs.push((fu.name.clone(), op.node, op.recv.clone()));
+        }
+    }
+    let mut resolved: HashMap<String, HashMap<NodeId, BTreeSet<ObjId>>> = HashMap::new();
+    for (name, node, recv) in jobs {
+        let m = pkg.points_to.resolve(&name, &recv);
+        resolved.entry(name).or_default().insert(node, m);
+    }
+
+    let units: Vec<&FuncUnit> = pkg.units.iter().flatten().collect();
+    let summaries = Summaries::compute(&units, &mut pkg.points_to);
+
+    let mut report = PackageReport::default();
+    let mut plans = Vec::new();
+    for (file_idx, file_units) in pkg.units.iter().enumerate() {
+        for unit in file_units {
+            let funnel = analyze_unit(
+                unit, file_idx, pkg, &summaries, &resolved, profile, threshold, &mut plans,
+            );
+            report.merge(&funnel);
+        }
+    }
+    report.plans = plans;
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_unit(
+    unit: &FuncUnit,
+    file_idx: usize,
+    pkg: &Package,
+    summaries: &Summaries,
+    resolved: &HashMap<String, HashMap<NodeId, BTreeSet<ObjId>>>,
+    profile: &Profile,
+    threshold: f64,
+    plans: &mut Vec<TransformPlan>,
+) -> FunnelReport {
+    let cfg = &unit.cfg;
+    let mut funnel = FunnelReport::default();
+
+    // Collect LU points with their pre-resolved points-to sets.
+    let mut lus: Vec<LuPt> = Vec::new();
+    let mut m_of_node: HashMap<NodeId, BTreeSet<ObjId>> = HashMap::new();
+    let unit_resolved = resolved.get(&unit.name);
+    for (block, idx, op) in cfg.lu_points() {
+        let m = unit_resolved
+            .and_then(|r| r.get(&op.node))
+            .cloned()
+            .unwrap_or_default();
+        m_of_node.entry(op.node).or_insert_with(|| m.clone());
+        lus.push(LuPt {
+            block,
+            idx,
+            op: op.clone(),
+            m,
+        });
+    }
+
+    funnel.lock_points = lus.iter().filter(|l| l.op.op.is_acquire()).count();
+    funnel.unlock_points = lus.iter().filter(|l| !l.op.op.is_acquire()).count();
+    funnel.deferred_unlocks = lus
+        .iter()
+        .filter(|l| !l.op.op.is_acquire() && l.op.deferred)
+        .count();
+
+    if cfg.multiple_defer_unlocks {
+        // §5.2.5: functions with multiple deferred unlocks are discarded.
+        funnel.discarded_multi_defer += 1;
+        return funnel;
+    }
+    if lus.is_empty() {
+        return funnel;
+    }
+
+    let matching_m = |inst: &Inst, against: &BTreeSet<ObjId>, acquire: bool| -> bool {
+        if let InstKind::Lu(u) = &inst.kind {
+            if u.op.is_acquire() == acquire {
+                if let Some(m) = m_of_node.get(&u.node) {
+                    return m.iter().any(|o| against.contains(o));
+                }
+            }
+        }
+        false
+    };
+
+    // DELock / UEUnlock pruning (Definitions 5.2 / 5.3) over the function
+    // region.
+    let mut survivors: Vec<usize> = Vec::new();
+    for (i, lu) in lus.iter().enumerate() {
+        if lu.op.op.is_acquire() {
+            let downward_exposed =
+                cfg.path_exists_avoiding(lu.block, lu.idx + 1, cfg.exit, &|inst| {
+                    matching_m(inst, &lu.m, false)
+                });
+            if downward_exposed {
+                funnel.dominance_violations += 1;
+            } else {
+                survivors.push(i);
+            }
+        } else {
+            let upward_exposed =
+                cfg.path_exists_avoiding_until(cfg.entry, lu.block, lu.idx, &|inst| {
+                    matching_m(inst, &lu.m, true)
+                });
+            if upward_exposed {
+                funnel.dominance_violations += 1;
+            } else {
+                survivors.push(i);
+            }
+        }
+    }
+
+    // Appendix-B pairing over the dominator / post-dominator trees.
+    let dom = DomTree::dominators(cfg);
+    let pdom = DomTree::post_dominators(cfg);
+    let mut matched_release: Vec<bool> = vec![false; lus.len()];
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut acquires: Vec<usize> = survivors
+        .iter()
+        .copied()
+        .filter(|&i| lus[i].op.op.is_acquire())
+        .collect();
+    // Inner-first: visit acquires deepest in the dominator tree first.
+    acquires.sort_by_key(|&i| std::cmp::Reverse(dom_depth(&dom, lus[i].block)));
+    for &li in &acquires {
+        let l = &lus[li];
+        let Some(ui) = nearest_pdom_release(cfg, &lus, &survivors, &matched_release, &pdom, li)
+        else {
+            funnel.dominance_violations += 1;
+            continue;
+        };
+        // Reverse test: the nearest dominating acquire of U must be L.
+        let back = nearest_dom_acquire(cfg, &lus, &survivors, &pairs, &dom, ui);
+        if back != Some(li) {
+            funnel.dominance_violations += 1;
+            continue;
+        }
+        // Condition (2) in full: L Dom U ∧ U PDom L.
+        let u = &lus[ui];
+        let l_dom_u = if l.block == u.block {
+            l.idx < u.idx
+        } else {
+            dom.dominates(l.block, u.block)
+        };
+        let u_pdom_l = if l.block == u.block {
+            l.idx < u.idx
+        } else {
+            pdom.dominates(u.block, l.block)
+        };
+        if !(l_dom_u && u_pdom_l) {
+            funnel.dominance_violations += 1;
+            continue;
+        }
+        matched_release[ui] = true;
+        pairs.push((li, ui));
+    }
+    // Surviving-but-unmatched releases also violate the dominance pairing.
+    funnel.dominance_violations += survivors
+        .iter()
+        .filter(|&&i| !lus[i].op.op.is_acquire() && !matched_release[i])
+        .count();
+
+    funnel.candidate_pairs = pairs.len();
+
+    // Conditions (3) and (4), intra- and inter-procedural, per pair.
+    for (li, ui) in pairs {
+        let l = &lus[li];
+        let u = &lus[ui];
+        let mut against: BTreeSet<ObjId> = l.m.iter().copied().collect();
+        against.extend(u.m.iter().copied());
+
+        let mut rejection: Option<PairRejection> = None;
+        let mut callees: Vec<CalleeRef> = Vec::new();
+        for_each_region_inst(cfg, l, u, &dom, &pdom, |bi, ii, inst| {
+            if rejection.is_some() {
+                return;
+            }
+            match &inst.kind {
+                InstKind::Lu(x) => {
+                    let is_l = bi == l.block && ii == l.idx;
+                    let is_u = bi == u.block && ii == u.idx;
+                    if !is_l && !is_u {
+                        if let Some(m) = m_of_node.get(&x.node) {
+                            if m.iter().any(|o| against.contains(o)) {
+                                rejection = Some(PairRejection::NestedAliasIntra);
+                            }
+                        }
+                    }
+                }
+                InstKind::Unfriendly(_) => rejection = Some(PairRejection::UnfitIntra),
+                InstKind::Call(c) => callees.push(c.clone()),
+                InstKind::Other => {}
+            }
+        });
+
+        if rejection.is_none() && !callees.is_empty() {
+            let mut roots: Vec<String> = Vec::new();
+            for c in &callees {
+                match c {
+                    CalleeRef::Builtin(_) => {}
+                    CalleeRef::External { pkg, .. } => {
+                        if !crate::summary::is_pure_package(pkg) {
+                            rejection = Some(PairRejection::UnfitInterproc);
+                        }
+                    }
+                    CalleeRef::Indirect => rejection = Some(PairRejection::UnfitInterproc),
+                    CalleeRef::Func(name) => roots.push(name.clone()),
+                    CalleeRef::Method {
+                        recv_struct: Some(s),
+                        name,
+                    } => {
+                        roots.push(format!("{s}.{name}"));
+                    }
+                    CalleeRef::Method {
+                        recv_struct: None, ..
+                    } => {
+                        rejection = Some(PairRejection::UnfitInterproc);
+                    }
+                    CalleeRef::FuncLit(node) => {
+                        if let Some(n) = pkg
+                            .all_units()
+                            .find(|x| x.lit_node == Some(*node))
+                            .map(|x| x.name.clone())
+                        {
+                            roots.push(n);
+                        } else {
+                            rejection = Some(PairRejection::UnfitInterproc);
+                        }
+                    }
+                }
+            }
+            if rejection.is_none() && !roots.is_empty() {
+                let closure = pkg.call_graph.closure(roots);
+                let excluded = BTreeSet::new();
+                let (fit, alias) = summaries.evaluate_closure(&closure, &excluded, &against);
+                if !fit {
+                    rejection = Some(PairRejection::UnfitInterproc);
+                } else if alias {
+                    rejection = Some(PairRejection::NestedAliasInterproc);
+                }
+            }
+        }
+
+        match rejection {
+            Some(PairRejection::UnfitIntra) => funnel.unfit_intra += 1,
+            Some(PairRejection::UnfitInterproc) => funnel.unfit_interproc += 1,
+            Some(PairRejection::NestedAliasIntra) => funnel.nested_alias_intra += 1,
+            Some(PairRejection::NestedAliasInterproc) => funnel.nested_alias_interproc += 1,
+            None => {
+                let hot = profile.is_hot(&unit.name, threshold);
+                let deferred = u.op.deferred;
+                funnel.transformed += 1;
+                if deferred {
+                    funnel.transformed_deferred += 1;
+                }
+                if hot {
+                    funnel.transformed_hot += 1;
+                    if deferred {
+                        funnel.transformed_hot_deferred += 1;
+                    }
+                }
+                plans.push(TransformPlan {
+                    unit: unit.name.clone(),
+                    file_idx,
+                    lock_node: l.op.node,
+                    unlock_node: u.op.node,
+                    deferred,
+                    read_elision: matches!(l.op.op, gocc_flowgraph::LockOp::RLock),
+                    rw: l.op.rw,
+                    hot,
+                });
+            }
+        }
+    }
+    funnel
+}
+
+fn dom_depth(dom: &DomTree, b: BlockId) -> usize {
+    dom.ancestors(b).count()
+}
+
+/// Nearest (pdom-tree) release matching acquire `li` (Appendix B forward
+/// step).
+fn nearest_pdom_release(
+    cfg: &Cfg,
+    lus: &[LuPt],
+    survivors: &[usize],
+    matched: &[bool],
+    pdom: &DomTree,
+    li: usize,
+) -> Option<usize> {
+    let l = &lus[li];
+    let candidate = |block: BlockId, after_idx: Option<usize>| -> Option<usize> {
+        survivors
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let c = &lus[i];
+                !c.op.op.is_acquire()
+                    && !matched[i]
+                    && c.op.op == l.op.op.counterpart()
+                    && c.block == block
+                    && after_idx.is_none_or(|a| c.idx > a)
+                    && c.m.iter().any(|o| l.m.contains(o))
+            })
+            .min_by_key(|&i| lus[i].idx)
+    };
+    // Same block, after the acquire.
+    if let Some(u) = candidate(l.block, Some(l.idx)) {
+        return Some(u);
+    }
+    // Walk up the post-dominator tree.
+    let mut cur = l.block;
+    loop {
+        cur = pdom.idom(cur)?;
+        if let Some(u) = candidate(cur, None) {
+            return Some(u);
+        }
+        if cur == cfg.exit {
+            return None;
+        }
+    }
+}
+
+/// Nearest (dom-tree) acquire matching release `ui` (Appendix B reverse
+/// step).
+fn nearest_dom_acquire(
+    cfg: &Cfg,
+    lus: &[LuPt],
+    survivors: &[usize],
+    pairs: &[(usize, usize)],
+    dom: &DomTree,
+    ui: usize,
+) -> Option<usize> {
+    let u = &lus[ui];
+    let already_matched = |i: usize| pairs.iter().any(|&(l, _)| l == i);
+    let candidate = |block: BlockId, before_idx: Option<usize>| -> Option<usize> {
+        survivors
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let c = &lus[i];
+                c.op.op.is_acquire()
+                    && !already_matched(i)
+                    && c.op.op == u.op.op.counterpart()
+                    && c.block == block
+                    && before_idx.is_none_or(|b| c.idx < b)
+                    && c.m.iter().any(|o| u.m.contains(o))
+            })
+            .max_by_key(|&i| lus[i].idx)
+    };
+    if let Some(l) = candidate(u.block, Some(u.idx)) {
+        return Some(l);
+    }
+    let mut cur = u.block;
+    loop {
+        cur = dom.idom(cur)?;
+        if let Some(l) = candidate(cur, None) {
+            return Some(l);
+        }
+        if cur == cfg.entry {
+            return None;
+        }
+    }
+}
+
+/// Visits every instruction in the critical section of pair `(l, u)`:
+/// blocks dominated by L's block and post-dominated by U's block, with the
+/// boundary blocks sliced at the L/U instructions.
+fn for_each_region_inst(
+    cfg: &Cfg,
+    l: &LuPt,
+    u: &LuPt,
+    dom: &DomTree,
+    pdom: &DomTree,
+    mut f: impl FnMut(BlockId, usize, &Inst),
+) {
+    if l.block == u.block {
+        for (i, inst) in cfg.block(l.block).insts.iter().enumerate() {
+            if i >= l.idx && i <= u.idx {
+                f(l.block, i, inst);
+            }
+        }
+        return;
+    }
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let b = BlockId(bi as u32);
+        if !dom.dominates(l.block, b) || !pdom.dominates(u.block, b) {
+            continue;
+        }
+        let (lo, hi) = if b == l.block {
+            (l.idx, block.insts.len())
+        } else if b == u.block {
+            (0, u.idx + 1)
+        } else {
+            (0, block.insts.len())
+        };
+        for (i, inst) in block.insts.iter().enumerate() {
+            if i >= lo && i < hi {
+                f(b, i, inst);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! GOCC: source-to-source optimistic concurrency control for Go programs.
+//!
+//! This crate is the paper's primary contribution — the end-to-end pipeline
+//! of Figure 1:
+//!
+//! 1. [`Package`] loads the Go-subset sources of one package, builds type
+//!    information, per-function CFGs (with LU-point block splitting and
+//!    `defer` normalization), Andersen points-to sets and the call graph;
+//! 2. [`analyzer`] finds candidate lock/unlock pairs with the
+//!    Feasible-HTM-Pair conditions of Definition 5.4 — points-to
+//!    intersection, dominance/post-dominance (via the Appendix-B
+//!    nearest-match splicing), the nesting rule (condition 3) and
+//!    HTM-fitness (condition 4), both extended inter-procedurally through
+//!    per-function [`summary`] information — and applies the §5.2.6
+//!    profile filter;
+//! 3. [`transform`] rewrites the accepted pairs at the AST level into
+//!    `optiLock.FastLock(&m)` / `optiLock.FastUnlock(&m)` calls, handling
+//!    pointer-vs-value receivers, anonymous mutex fields, `defer`, and
+//!    OptiLock declaration placement in the innermost enclosing function
+//!    (§5.3);
+//! 4. [`patch`] renders the result as a reviewable unified diff — GOCC's
+//!    end product is a source patch, not a binary.
+//!
+//! The `gocc` binary drives the pipeline from the command line.
+
+pub mod analyzer;
+pub mod package;
+pub mod patch;
+pub mod report;
+pub mod summary;
+pub mod transform;
+
+pub use analyzer::{analyze_package, AnalysisOptions, PairRejection, TransformPlan};
+pub use package::Package;
+pub use patch::unified_diff;
+pub use report::{FunnelReport, PackageReport};
+pub use summary::{FuncSummary, Summaries};
+pub use transform::transform_file;

@@ -1,0 +1,194 @@
+//! Unified-diff rendering of transformations.
+//!
+//! GOCC's end product is a source patch handed to the developer for review
+//! (Figure 1). The diff is computed between the *printed* original and the
+//! printed transformed AST, so formatting noise cancels out and the hunks
+//! contain exactly the transformation.
+
+/// Produces a unified diff (3 lines of context) between two texts.
+#[must_use]
+pub fn unified_diff(old_name: &str, new_name: &str, old: &str, new: &str) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let ops = diff_ops(&a, &b);
+    if ops.iter().all(|op| matches!(op, DiffOp::Equal(_, _))) {
+        return String::new();
+    }
+    let mut out = format!("--- {old_name}\n+++ {new_name}\n");
+    for hunk in hunks(&ops, 3) {
+        let (a_start, a_len, b_start, b_len) = hunk_header(&hunk, &ops);
+        out.push_str(&format!(
+            "@@ -{},{} +{},{} @@\n",
+            a_start + 1,
+            a_len,
+            b_start + 1,
+            b_len
+        ));
+        for &i in &hunk {
+            match ops[i] {
+                DiffOp::Equal(ai, _) => {
+                    out.push(' ');
+                    out.push_str(a[ai]);
+                }
+                DiffOp::Delete(ai) => {
+                    out.push('-');
+                    out.push_str(a[ai]);
+                }
+                DiffOp::Insert(bi) => {
+                    out.push('+');
+                    out.push_str(b[bi]);
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DiffOp {
+    Equal(usize, usize),
+    Delete(usize),
+    Insert(usize),
+}
+
+/// Longest-common-subsequence diff (quadratic DP; inputs are single source
+/// files).
+fn diff_ops(a: &[&str], b: &[&str]) -> Vec<DiffOp> {
+    let (n, m) = (a.len(), b.len());
+    // lcs[i][j] = LCS length of a[i..] and b[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push(DiffOp::Equal(i, j));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push(DiffOp::Delete(i));
+            i += 1;
+        } else {
+            ops.push(DiffOp::Insert(j));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(DiffOp::Delete(i));
+        i += 1;
+    }
+    while j < m {
+        ops.push(DiffOp::Insert(j));
+        j += 1;
+    }
+    ops
+}
+
+/// Groups op indices into hunks with `ctx` lines of context.
+fn hunks(ops: &[DiffOp], ctx: usize) -> Vec<Vec<usize>> {
+    let changed: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| !matches!(op, DiffOp::Equal(_, _)))
+        .map(|(i, _)| i)
+        .collect();
+    if changed.is_empty() {
+        return Vec::new();
+    }
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    for &c in &changed {
+        let lo = c.saturating_sub(ctx);
+        let hi = (c + ctx + 1).min(ops.len());
+        match groups.last_mut() {
+            Some((_, prev_hi)) if lo <= *prev_hi => *prev_hi = (*prev_hi).max(hi),
+            _ => groups.push((lo, hi)),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(lo, hi)| (lo..hi).collect())
+        .collect()
+}
+
+fn hunk_header(hunk: &[usize], ops: &[DiffOp]) -> (usize, usize, usize, usize) {
+    let mut a_start = usize::MAX;
+    let mut b_start = usize::MAX;
+    let (mut a_len, mut b_len) = (0, 0);
+    for &i in hunk {
+        match ops[i] {
+            DiffOp::Equal(ai, bi) => {
+                a_start = a_start.min(ai);
+                b_start = b_start.min(bi);
+                a_len += 1;
+                b_len += 1;
+            }
+            DiffOp::Delete(ai) => {
+                a_start = a_start.min(ai);
+                a_len += 1;
+            }
+            DiffOp::Insert(bi) => {
+                b_start = b_start.min(bi);
+                b_len += 1;
+            }
+        }
+    }
+    (
+        if a_start == usize::MAX { 0 } else { a_start },
+        a_len,
+        if b_start == usize::MAX { 0 } else { b_start },
+        b_len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_empty_diff() {
+        assert_eq!(unified_diff("a", "b", "x\ny\n", "x\ny\n"), "");
+    }
+
+    #[test]
+    fn single_line_change() {
+        let old = "a\nb\nc\nd\ne\nf\ng\n";
+        let new = "a\nb\nc\nD\ne\nf\ng\n";
+        let d = unified_diff("old.go", "new.go", old, new);
+        assert!(d.contains("--- old.go"));
+        assert!(d.contains("-d"));
+        assert!(d.contains("+D"));
+        // Context of 3 around the change.
+        assert!(d.contains(" c"));
+        assert!(d.contains(" e"));
+    }
+
+    #[test]
+    fn insertion_only() {
+        let d = unified_diff("a", "b", "x\nz\n", "x\ny\nz\n");
+        assert!(d.contains("+y"));
+        assert!(!d.contains("-x"));
+    }
+
+    #[test]
+    fn distant_changes_make_two_hunks() {
+        let old: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let new = old
+            .replace("line2\n", "LINE2\n")
+            .replace("line35\n", "LINE35\n");
+        let d = unified_diff("a", "b", &old, &new);
+        assert_eq!(
+            d.matches("@@").count(),
+            4,
+            "two hunks, two @@ markers each:\n{d}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-function summaries for inter-procedural analysis (§5.2.4).
+//!
+//! For every unit the analyzer precomputes, *without* its transitive
+//! closure: (a) HTM fitness — whether the body contains HTM-unfriendly
+//! instructions — and (b) `P`, the union of the points-to sets of all
+//! LU-points in the body. A candidate pair is then checked against the
+//! closure `F*` of the functions its critical section calls: any unfit
+//! callee kills the pair (condition 4 extended), and any callee whose `P`
+//! intersects `M(L) ∪ M(U)` kills it (condition 3 extended — nested
+//! aliased locks may hide in callees).
+
+use std::collections::{BTreeSet, HashMap};
+
+use gocc_flowgraph::{FuncUnit, InstKind, UnfriendlyKind};
+use gocc_pointsto::{ObjId, PointsTo};
+
+/// Cross-package callees assumed pure enough for HTM (no IO, no
+/// syscalls). Everything not listed and not resolvable in-package is
+/// treated conservatively as unfit.
+const PURE_PACKAGES: &[&str] = &[
+    "atomic", "math", "sort", "strings", "strconv", "errors", "bytes", "unicode", "utf8",
+];
+
+/// Whether calls into `pkg` are assumed HTM-neutral.
+#[must_use]
+pub fn is_pure_package(pkg: &str) -> bool {
+    PURE_PACKAGES.contains(&pkg)
+}
+
+/// Summary of one unit.
+#[derive(Clone, Debug, Default)]
+pub struct FuncSummary {
+    /// HTM-unfriendly instruction kinds present in the body itself.
+    pub unfriendly: Vec<UnfriendlyKind>,
+    /// Whether the unit calls into packages outside the pure list.
+    pub impure_external: bool,
+    /// Union of points-to sets of all LU points in the body (`P`).
+    pub lu_points_to: BTreeSet<ObjId>,
+}
+
+impl FuncSummary {
+    /// Whether the body itself is fit for HTM execution.
+    #[must_use]
+    pub fn is_fit(&self) -> bool {
+        self.unfriendly.is_empty() && !self.impure_external
+    }
+}
+
+/// All summaries of a package, keyed by unit name.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    map: HashMap<String, FuncSummary>,
+}
+
+impl Summaries {
+    /// Computes summaries for every unit.
+    #[must_use]
+    pub fn compute(units: &[&FuncUnit], points_to: &mut PointsTo) -> Summaries {
+        let mut map = HashMap::new();
+        for unit in units {
+            let mut s = FuncSummary::default();
+            for block in &unit.cfg.blocks {
+                for inst in &block.insts {
+                    match &inst.kind {
+                        InstKind::Unfriendly(kind) => s.unfriendly.push(*kind),
+                        InstKind::Lu(op) => {
+                            let m = points_to.resolve(&unit.name, &op.recv);
+                            s.lu_points_to.extend(m);
+                        }
+                        InstKind::Call(gocc_flowgraph::CalleeRef::External { pkg, .. })
+                            if !PURE_PACKAGES.contains(&pkg.as_str()) =>
+                        {
+                            s.impure_external = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            map.insert(unit.name.clone(), s);
+        }
+        Summaries { map }
+    }
+
+    /// The summary of a unit, if known.
+    #[must_use]
+    pub fn get(&self, unit: &str) -> Option<&FuncSummary> {
+        self.map.get(unit)
+    }
+
+    /// Evaluates a call-graph closure: returns `(fit, alias_hit)` where
+    /// `fit` is false if any reached unit is HTM-unfit (or unknown), and
+    /// `alias_hit` is true if any reached unit's `P` intersects `against`.
+    #[must_use]
+    pub fn evaluate_closure(
+        &self,
+        closure: &gocc_pointsto::Closure,
+        roots_excluded: &BTreeSet<String>,
+        against: &BTreeSet<ObjId>,
+    ) -> (bool, bool) {
+        let mut fit = !closure.hits_unknown;
+        for (pkg, _) in &closure.externals {
+            if !PURE_PACKAGES.contains(&pkg.as_str()) {
+                fit = false;
+            }
+        }
+        let mut alias_hit = false;
+        for unit in &closure.reached {
+            if roots_excluded.contains(unit) {
+                continue;
+            }
+            match self.map.get(unit) {
+                Some(s) => {
+                    if !s.is_fit() {
+                        fit = false;
+                    }
+                    if s.lu_points_to.iter().any(|o| against.contains(o)) {
+                        alias_hit = true;
+                    }
+                }
+                None => fit = false,
+            }
+        }
+        (fit, alias_hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::Package;
+
+    #[test]
+    fn io_body_is_unfit() {
+        let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func clean(c *C) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func dirty(c *C) {
+	fmt.Println(c.n)
+}
+"#;
+        let mut pkg = Package::from_source(src).unwrap();
+        let units: Vec<_> = pkg.units.iter().flatten().collect();
+        let sums = Summaries::compute(&units, &mut pkg.points_to);
+        assert!(sums.get("clean").unwrap().is_fit());
+        assert!(!sums.get("dirty").unwrap().is_fit());
+        assert!(!sums.get("clean").unwrap().lu_points_to.is_empty());
+        assert!(sums.get("dirty").unwrap().lu_points_to.is_empty());
+    }
+
+    #[test]
+    fn impure_external_marks_unfit() {
+        let src = r#"
+package p
+
+func usesAtomic(p *int) {
+	atomic.AddInt64(p, 1)
+}
+
+func usesCrypto() {
+	crypto.Rand()
+}
+"#;
+        let mut pkg = Package::from_source(src).unwrap();
+        let units: Vec<_> = pkg.units.iter().flatten().collect();
+        let sums = Summaries::compute(&units, &mut pkg.points_to);
+        assert!(
+            sums.get("usesAtomic").unwrap().is_fit(),
+            "sync/atomic is HTM-neutral"
+        );
+        assert!(!sums.get("usesCrypto").unwrap().is_fit());
+    }
+}

@@ -1,0 +1,733 @@
+//! The GOCC transformer: AST rewriting of accepted pairs (§5.3).
+//!
+//! For every accepted [`TransformPlan`], the lock call becomes
+//! `optiLockN.FastLock(arg)` and the unlock call `optiLockN.FastUnlock(arg)`
+//! (`FastRLock`/`FastRUnlock` for read elision), where:
+//!
+//! * `arg` is the original receiver as-is when it is already a mutex
+//!   pointer, `&recv` when it is a mutex value (Listing 10);
+//! * anonymous mutex fields are reached by suffixing the access path with
+//!   the embedded type name, e.g. `a` → `&a.Mutex` (Listing 12);
+//! * `defer m.Unlock()` keeps its `defer`, becoming
+//!   `defer optiLockN.FastUnlock(&m)` (Listing 8);
+//! * each pair gets one fresh `OptiLock` variable declared at the top of
+//!   the innermost function or closure body enclosing both calls, so
+//!   anonymous goroutines own their state (Listing 14).
+
+use std::collections::HashMap;
+
+use golite::ast::{Block, Decl, Expr, File, FuncDecl, NodeId, Stmt, Type};
+use golite::types::TypeInfo;
+
+use crate::analyzer::TransformPlan;
+
+/// Rewrites one file according to the plans that target it.
+///
+/// Plans for other files are ignored, so callers can pass the package-wide
+/// plan list for each file.
+#[must_use]
+pub fn transform_file(
+    file: &File,
+    info: &TypeInfo,
+    file_idx: usize,
+    plans: &[TransformPlan],
+) -> File {
+    let mut out = file.clone();
+    let mine: Vec<&TransformPlan> = plans.iter().filter(|p| p.file_idx == file_idx).collect();
+    if mine.is_empty() {
+        return out;
+    }
+    let mut any = false;
+    let mut counter = 0usize;
+    for decl in &mut out.decls {
+        let Decl::Func(fd) = decl else { continue };
+        let env = info.local_env(fd);
+        // Plans whose unit is this function or one of its closures.
+        let key = func_key(fd);
+        let fplans: Vec<&TransformPlan> = mine
+            .iter()
+            .copied()
+            .filter(|p| p.unit == key || p.unit.starts_with(&format!("{key}$")))
+            .collect();
+        if fplans.is_empty() {
+            continue;
+        }
+        any = true;
+        for plan in fplans {
+            counter += 1;
+            let ol_name = format!("optiLock{counter}");
+            let mut rewriter = Rewriter {
+                info,
+                env: &env,
+                plan,
+                ol_name: ol_name.clone(),
+            };
+            rewriter.rewrite_block(&mut fd.body);
+            // Declare the OptiLock in the innermost scope containing both
+            // calls.
+            insert_decl(&mut fd.body, &ol_name, plan);
+        }
+    }
+    if any && !out.imports.iter().any(|i| i == "optilib") {
+        out.imports.push("optilib".to_string());
+    }
+    out
+}
+
+fn func_key(fd: &FuncDecl) -> String {
+    match &fd.recv {
+        Some(r) => format!("{}.{}", r.type_name, fd.name),
+        None => fd.name.clone(),
+    }
+}
+
+struct Rewriter<'a> {
+    info: &'a TypeInfo,
+    env: &'a HashMap<String, Type>,
+    plan: &'a TransformPlan,
+    ol_name: String,
+}
+
+impl Rewriter<'_> {
+    fn rewrite_block(&mut self, b: &mut Block) {
+        for s in &mut b.stmts {
+            self.rewrite_stmt(s);
+        }
+    }
+
+    fn rewrite_stmt(&mut self, s: &mut Stmt) {
+        match s {
+            Stmt::Expr(e) | Stmt::Defer { call: e, .. } | Stmt::Go { call: e, .. } => {
+                self.rewrite_expr(e);
+            }
+            Stmt::Var(vd) => {
+                for v in &mut vd.values {
+                    self.rewrite_expr(v);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for e in lhs.iter_mut().chain(rhs.iter_mut()) {
+                    self.rewrite_expr(e);
+                }
+            }
+            Stmt::IncDec { target, .. } => self.rewrite_expr(target),
+            Stmt::If {
+                init,
+                cond,
+                then,
+                els,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.rewrite_stmt(i);
+                }
+                self.rewrite_expr(cond);
+                self.rewrite_block(then);
+                if let Some(e) = els {
+                    self.rewrite_stmt(e);
+                }
+            }
+            Stmt::Block(b) => self.rewrite_block(b),
+            Stmt::For {
+                init,
+                cond,
+                post,
+                range_over,
+                body,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.rewrite_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.rewrite_expr(c);
+                }
+                if let Some(p) = post {
+                    self.rewrite_stmt(p);
+                }
+                if let Some(r) = range_over {
+                    self.rewrite_expr(r);
+                }
+                self.rewrite_block(body);
+            }
+            Stmt::Switch { cond, cases, .. } => {
+                if let Some(c) = cond {
+                    self.rewrite_expr(c);
+                }
+                for (guards, body) in cases {
+                    for g in guards {
+                        self.rewrite_expr(g);
+                    }
+                    self.rewrite_block(body);
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for b in cases {
+                    self.rewrite_block(b);
+                }
+            }
+            Stmt::Return { values, .. } => {
+                for v in values {
+                    self.rewrite_expr(v);
+                }
+            }
+            Stmt::Send { chan, value, .. } => {
+                self.rewrite_expr(chan);
+                self.rewrite_expr(value);
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => {}
+        }
+    }
+
+    fn rewrite_expr(&mut self, e: &mut Expr) {
+        // Rewrite this node if it is one of the plan's calls.
+        if let Expr::Call {
+            callee,
+            args,
+            id,
+            span,
+        } = e
+        {
+            let is_lock = *id == self.plan.lock_node;
+            let is_unlock = *id == self.plan.unlock_node;
+            if is_lock || is_unlock {
+                if let Expr::Selector { base, .. } = callee.as_mut() {
+                    let recv = std::mem::replace(
+                        base.as_mut(),
+                        Expr::Ident {
+                            name: String::new(),
+                            id: NodeId(0),
+                            span: *span,
+                        },
+                    );
+                    let arg = self.mutex_arg(recv);
+                    let method = match (is_lock, self.plan.read_elision) {
+                        (true, false) => "FastLock",
+                        (true, true) => "FastRLock",
+                        (false, false) => "FastUnlock",
+                        (false, true) => "FastRUnlock",
+                    };
+                    **callee = Expr::Selector {
+                        base: Box::new(Expr::Ident {
+                            name: self.ol_name.clone(),
+                            id: NodeId(0),
+                            span: *span,
+                        }),
+                        field: method.to_string(),
+                        id: NodeId(0),
+                        span: *span,
+                    };
+                    *args = vec![arg];
+                    return;
+                }
+            }
+        }
+        // Otherwise recurse.
+        match e {
+            Expr::Call { callee, args, .. } => {
+                self.rewrite_expr(callee);
+                for a in args {
+                    self.rewrite_expr(a);
+                }
+            }
+            Expr::Selector { base, .. } => self.rewrite_expr(base),
+            Expr::Index { base, index, .. } => {
+                self.rewrite_expr(base);
+                self.rewrite_expr(index);
+            }
+            Expr::Unary { operand, .. } => self.rewrite_expr(operand),
+            Expr::Binary { left, right, .. } => {
+                self.rewrite_expr(left);
+                self.rewrite_expr(right);
+            }
+            Expr::Composite { elems, .. } => {
+                for (_, v) in elems {
+                    self.rewrite_expr(v);
+                }
+            }
+            Expr::FuncLit { body, .. } => self.rewrite_block(body),
+            _ => {}
+        }
+    }
+
+    /// Builds the `*sync.Mutex` argument from the original receiver
+    /// (Listings 10 and 12).
+    fn mutex_arg(&self, recv: Expr) -> Expr {
+        let span = recv.span();
+        let access = self.info.classify_mutex(&recv, self.env);
+        let Some(access) = access else {
+            // Should not happen for analyzer-approved plans; pass through.
+            return recv;
+        };
+        let path = if access.anonymous {
+            // Suffix the access path with the embedded field's name.
+            let field = if access.rw { "RWMutex" } else { "Mutex" };
+            Expr::Selector {
+                base: Box::new(recv),
+                field: field.to_string(),
+                id: NodeId(0),
+                span,
+            }
+        } else {
+            recv
+        };
+        if access.pointer {
+            path
+        } else {
+            Expr::Unary {
+                op: golite::ast::UnaryOp::Addr,
+                operand: Box::new(path),
+                id: NodeId(0),
+                span,
+            }
+        }
+    }
+}
+
+/// Inserts `olName := optilib.OptiLock{}` at the top of the innermost
+/// function or closure body containing both of the plan's calls.
+fn insert_decl(body: &mut Block, ol_name: &str, plan: &TransformPlan) {
+    let decl = Stmt::Assign {
+        lhs: vec![Expr::Ident {
+            name: ol_name.to_string(),
+            id: NodeId(0),
+            span: Default::default(),
+        }],
+        rhs: vec![Expr::Composite {
+            ty: Type::Named {
+                pkg: Some("optilib".into()),
+                name: "OptiLock".into(),
+            },
+            elems: Vec::new(),
+            id: NodeId(0),
+            span: Default::default(),
+        }],
+        define: true,
+        id: NodeId(0),
+        span: Default::default(),
+    };
+    match choose_scope_lit(body, plan) {
+        None => body.stmts.insert(0, decl),
+        Some(lit) => {
+            let inserted = insert_into_lit(body, lit, decl);
+            debug_assert!(inserted, "chosen closure must exist");
+        }
+    }
+}
+
+/// Picks the innermost closure (by literal node id) whose body contains
+/// both plan nodes; `None` means the function body itself.
+fn choose_scope_lit(body: &Block, plan: &TransformPlan) -> Option<NodeId> {
+    let mut lits: Vec<(NodeId, bool)> = Vec::new();
+    collect_lits(body, &mut lits, plan);
+    // Pre-order collection: the last closure containing both nodes is the
+    // innermost along the enclosing chain.
+    lits.into_iter()
+        .filter(|(_, both)| *both)
+        .map(|(id, _)| id)
+        .next_back()
+}
+
+fn collect_lits(b: &Block, out: &mut Vec<(NodeId, bool)>, plan: &TransformPlan) {
+    for s in &b.stmts {
+        collect_lits_stmt(s, out, plan);
+    }
+}
+
+fn collect_lits_stmt(s: &Stmt, out: &mut Vec<(NodeId, bool)>, plan: &TransformPlan) {
+    let handle_expr = |e: &Expr, out: &mut Vec<(NodeId, bool)>| {
+        collect_lits_expr(e, out, plan);
+    };
+    match s {
+        Stmt::Expr(e) | Stmt::Defer { call: e, .. } | Stmt::Go { call: e, .. } => {
+            handle_expr(e, out);
+        }
+        Stmt::Var(vd) => {
+            for v in &vd.values {
+                handle_expr(v, out);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs.iter()) {
+                handle_expr(e, out);
+            }
+        }
+        Stmt::If {
+            init,
+            cond,
+            then,
+            els,
+            ..
+        } => {
+            if let Some(i) = init {
+                collect_lits_stmt(i, out, plan);
+            }
+            handle_expr(cond, out);
+            collect_lits(then, out, plan);
+            if let Some(e) = els {
+                collect_lits_stmt(e, out, plan);
+            }
+        }
+        Stmt::Block(b) => collect_lits(b, out, plan),
+        Stmt::For {
+            init,
+            cond,
+            post,
+            range_over,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                collect_lits_stmt(i, out, plan);
+            }
+            if let Some(c) = cond {
+                handle_expr(c, out);
+            }
+            if let Some(p) = post {
+                collect_lits_stmt(p, out, plan);
+            }
+            if let Some(r) = range_over {
+                handle_expr(r, out);
+            }
+            collect_lits(body, out, plan);
+        }
+        Stmt::Switch { cond, cases, .. } => {
+            if let Some(c) = cond {
+                handle_expr(c, out);
+            }
+            for (guards, b) in cases {
+                for g in guards {
+                    handle_expr(g, out);
+                }
+                collect_lits(b, out, plan);
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for b in cases {
+                collect_lits(b, out, plan);
+            }
+        }
+        Stmt::Return { values, .. } => {
+            for v in values {
+                handle_expr(v, out);
+            }
+        }
+        Stmt::Send { chan, value, .. } => {
+            handle_expr(chan, out);
+            handle_expr(value, out);
+        }
+        Stmt::IncDec { target, .. } => handle_expr(target, out),
+        Stmt::Break(_) | Stmt::Continue(_) => {}
+    }
+}
+
+fn collect_lits_expr(e: &Expr, out: &mut Vec<(NodeId, bool)>, plan: &TransformPlan) {
+    match e {
+        Expr::FuncLit { id, body, .. } => {
+            let both = contains_node(body, plan.lock_node) && contains_node(body, plan.unlock_node);
+            out.push((*id, both));
+            collect_lits(body, out, plan);
+        }
+        Expr::Call { callee, args, .. } => {
+            collect_lits_expr(callee, out, plan);
+            for a in args {
+                collect_lits_expr(a, out, plan);
+            }
+        }
+        Expr::Selector { base, .. } => collect_lits_expr(base, out, plan),
+        Expr::Index { base, index, .. } => {
+            collect_lits_expr(base, out, plan);
+            collect_lits_expr(index, out, plan);
+        }
+        Expr::Unary { operand, .. } => collect_lits_expr(operand, out, plan),
+        Expr::Binary { left, right, .. } => {
+            collect_lits_expr(left, out, plan);
+            collect_lits_expr(right, out, plan);
+        }
+        Expr::Composite { elems, .. } => {
+            for (_, v) in elems {
+                collect_lits_expr(v, out, plan);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Inserts `decl` at the top of the body of the closure with literal node
+/// `lit`; returns whether the closure was found.
+fn insert_into_lit(b: &mut Block, lit: NodeId, decl: Stmt) -> bool {
+    let mut decl_slot = Some(decl);
+    insert_into_lit_block(b, lit, &mut decl_slot);
+    decl_slot.is_none()
+}
+
+fn insert_into_lit_block(b: &mut Block, lit: NodeId, decl: &mut Option<Stmt>) {
+    for s in &mut b.stmts {
+        insert_into_lit_stmt(s, lit, decl);
+        if decl.is_none() {
+            return;
+        }
+    }
+}
+
+fn insert_into_lit_stmt(s: &mut Stmt, lit: NodeId, decl: &mut Option<Stmt>) {
+    match s {
+        Stmt::Expr(e) | Stmt::Defer { call: e, .. } | Stmt::Go { call: e, .. } => {
+            insert_into_lit_expr(e, lit, decl);
+        }
+        Stmt::Var(vd) => {
+            for v in &mut vd.values {
+                insert_into_lit_expr(v, lit, decl);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter_mut().chain(rhs.iter_mut()) {
+                insert_into_lit_expr(e, lit, decl);
+            }
+        }
+        Stmt::If {
+            init,
+            cond,
+            then,
+            els,
+            ..
+        } => {
+            if let Some(i) = init {
+                insert_into_lit_stmt(i, lit, decl);
+            }
+            insert_into_lit_expr(cond, lit, decl);
+            insert_into_lit_block(then, lit, decl);
+            if let Some(e) = els {
+                insert_into_lit_stmt(e, lit, decl);
+            }
+        }
+        Stmt::Block(b) => insert_into_lit_block(b, lit, decl),
+        Stmt::For {
+            init,
+            cond,
+            post,
+            range_over,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                insert_into_lit_stmt(i, lit, decl);
+            }
+            if let Some(c) = cond {
+                insert_into_lit_expr(c, lit, decl);
+            }
+            if let Some(p) = post {
+                insert_into_lit_stmt(p, lit, decl);
+            }
+            if let Some(r) = range_over {
+                insert_into_lit_expr(r, lit, decl);
+            }
+            insert_into_lit_block(body, lit, decl);
+        }
+        Stmt::Switch { cond, cases, .. } => {
+            if let Some(c) = cond {
+                insert_into_lit_expr(c, lit, decl);
+            }
+            for (guards, b) in cases {
+                for g in guards {
+                    insert_into_lit_expr(g, lit, decl);
+                }
+                insert_into_lit_block(b, lit, decl);
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for b in cases {
+                insert_into_lit_block(b, lit, decl);
+            }
+        }
+        Stmt::Return { values, .. } => {
+            for v in values {
+                insert_into_lit_expr(v, lit, decl);
+            }
+        }
+        Stmt::Send { chan, value, .. } => {
+            insert_into_lit_expr(chan, lit, decl);
+            insert_into_lit_expr(value, lit, decl);
+        }
+        Stmt::IncDec { target, .. } => insert_into_lit_expr(target, lit, decl),
+        Stmt::Break(_) | Stmt::Continue(_) => {}
+    }
+}
+
+fn insert_into_lit_expr(e: &mut Expr, lit: NodeId, decl: &mut Option<Stmt>) {
+    match e {
+        Expr::FuncLit { id, body, .. } => {
+            if *id == lit {
+                if let Some(d) = decl.take() {
+                    body.stmts.insert(0, d);
+                }
+                return;
+            }
+            insert_into_lit_block(body, lit, decl);
+        }
+        Expr::Call { callee, args, .. } => {
+            insert_into_lit_expr(callee, lit, decl);
+            for a in args {
+                insert_into_lit_expr(a, lit, decl);
+            }
+        }
+        Expr::Selector { base, .. } => insert_into_lit_expr(base, lit, decl),
+        Expr::Index { base, index, .. } => {
+            insert_into_lit_expr(base, lit, decl);
+            insert_into_lit_expr(index, lit, decl);
+        }
+        Expr::Unary { operand, .. } => insert_into_lit_expr(operand, lit, decl),
+        Expr::Binary { left, right, .. } => {
+            insert_into_lit_expr(left, lit, decl);
+            insert_into_lit_expr(right, lit, decl);
+        }
+        Expr::Composite { elems, .. } => {
+            for (_, v) in elems {
+                insert_into_lit_expr(v, lit, decl);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Whether a block (including nested closures) contains a node with `id`.
+fn contains_node(b: &Block, id: NodeId) -> bool {
+    let mut found = false;
+    for s in &b.stmts {
+        stmt_nodes(s, &mut |n| {
+            if n == id {
+                found = true;
+            }
+        });
+    }
+    found
+}
+
+fn stmt_nodes(s: &Stmt, f: &mut impl FnMut(NodeId)) {
+    match s {
+        Stmt::Expr(e) | Stmt::Defer { call: e, .. } | Stmt::Go { call: e, .. } => expr_nodes(e, f),
+        Stmt::Var(vd) => {
+            for v in &vd.values {
+                expr_nodes(v, f);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs.iter()) {
+                expr_nodes(e, f);
+            }
+        }
+        Stmt::If {
+            init,
+            cond,
+            then,
+            els,
+            ..
+        } => {
+            if let Some(i) = init {
+                stmt_nodes(i, f);
+            }
+            expr_nodes(cond, f);
+            for st in &then.stmts {
+                stmt_nodes(st, f);
+            }
+            if let Some(e) = els {
+                stmt_nodes(e, f);
+            }
+        }
+        Stmt::Block(b) => {
+            for st in &b.stmts {
+                stmt_nodes(st, f);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            post,
+            range_over,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                stmt_nodes(i, f);
+            }
+            if let Some(c) = cond {
+                expr_nodes(c, f);
+            }
+            if let Some(p) = post {
+                stmt_nodes(p, f);
+            }
+            if let Some(r) = range_over {
+                expr_nodes(r, f);
+            }
+            for st in &body.stmts {
+                stmt_nodes(st, f);
+            }
+        }
+        Stmt::Switch { cond, cases, .. } => {
+            if let Some(c) = cond {
+                expr_nodes(c, f);
+            }
+            for (guards, b) in cases {
+                for g in guards {
+                    expr_nodes(g, f);
+                }
+                for st in &b.stmts {
+                    stmt_nodes(st, f);
+                }
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for b in cases {
+                for st in &b.stmts {
+                    stmt_nodes(st, f);
+                }
+            }
+        }
+        Stmt::Return { values, .. } => {
+            for v in values {
+                expr_nodes(v, f);
+            }
+        }
+        Stmt::Send { chan, value, .. } => {
+            expr_nodes(chan, f);
+            expr_nodes(value, f);
+        }
+        Stmt::IncDec { target, .. } => expr_nodes(target, f),
+        Stmt::Break(_) | Stmt::Continue(_) => {}
+    }
+}
+
+fn expr_nodes(e: &Expr, f: &mut impl FnMut(NodeId)) {
+    if let Some(id) = e.id() {
+        f(id);
+    }
+    match e {
+        Expr::Call { callee, args, .. } => {
+            expr_nodes(callee, f);
+            for a in args {
+                expr_nodes(a, f);
+            }
+        }
+        Expr::Selector { base, .. } => expr_nodes(base, f),
+        Expr::Index { base, index, .. } => {
+            expr_nodes(base, f);
+            expr_nodes(index, f);
+        }
+        Expr::Unary { operand, .. } => expr_nodes(operand, f),
+        Expr::Binary { left, right, .. } => {
+            expr_nodes(left, f);
+            expr_nodes(right, f);
+        }
+        Expr::Composite { elems, .. } => {
+            for (_, v) in elems {
+                expr_nodes(v, f);
+            }
+        }
+        Expr::FuncLit { body, .. } => {
+            for st in &body.stmts {
+                stmt_nodes(st, f);
+            }
+        }
+        _ => {}
+    }
+}

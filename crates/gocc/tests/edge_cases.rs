@@ -1,0 +1,423 @@
+//! Analyzer edge cases beyond the main listings: Appendix-A shapes,
+//! points-to-driven decisions, opaque receivers, and transformer corners.
+
+use gocc::{analyze_package, transform_file, AnalysisOptions, Package};
+use golite::parser::parse_file;
+use golite::printer::print_file;
+
+fn report(src: &str) -> gocc::PackageReport {
+    let mut pkg = Package::from_source(src).expect("parse");
+    analyze_package(&mut pkg, &AnalysisOptions::default())
+}
+
+#[test]
+fn listing16_cross_branch_lock_unlock_rejected() {
+    // Appendix A, Listing 16: lock in one branch structure, unlock in a
+    // later one — the lock's execution does not guarantee the unlock's.
+    let src = r#"
+package p
+
+import "sync"
+
+var m sync.Mutex
+var n int
+
+func f(cond1 bool, cond2 bool) {
+	if cond1 {
+		m.Lock()
+	}
+	n++
+	if cond2 {
+		m.Unlock()
+	}
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.transformed, 0, "funnel: {:?}", rep.funnel);
+    assert!(rep.funnel.dominance_violations >= 1);
+}
+
+#[test]
+fn different_global_mutexes_never_pair() {
+    // Condition (1): L and U on provably different mutexes must not pair.
+    let src = r#"
+package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var n int
+
+func f() {
+	a.Lock()
+	n++
+	b.Unlock()
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.candidate_pairs, 0);
+    assert_eq!(rep.funnel.transformed, 0);
+}
+
+#[test]
+fn pointer_parameter_aliasing_contract() {
+    // A lock and unlock through the *same* pointer parameter pair (the
+    // parameter's synthesized points-to object intersects itself); lock
+    // and unlock through *different* parameters do not — the analysis
+    // cannot relate them, so it conservatively skips the pair, exactly
+    // like Andersen over distinct unbound formals.
+    let same = r#"
+package p
+
+import "sync"
+
+func f(p *sync.Mutex, n *int) {
+	p.Lock()
+	*n = *n + 1
+	p.Unlock()
+}
+"#;
+    let rep = report(same);
+    assert_eq!(
+        rep.funnel.transformed, 1,
+        "same-parameter pair: {:?}",
+        rep.funnel
+    );
+
+    let different = r#"
+package p
+
+import "sync"
+
+func f(p *sync.Mutex, q *sync.Mutex, n *int) {
+	p.Lock()
+	*n = *n + 1
+	q.Unlock()
+}
+"#;
+    let rep = report(different);
+    assert_eq!(
+        rep.funnel.transformed, 0,
+        "distinct parameters: {:?}",
+        rep.funnel
+    );
+}
+
+#[test]
+fn opaque_receiver_never_pairs() {
+    // A lock obtained from a call cannot be named by the analysis; its
+    // points-to set is a unique opaque object that intersects nothing.
+    let src = r#"
+package p
+
+import "sync"
+
+var m sync.Mutex
+
+func getLock() *sync.Mutex {
+	return &m
+}
+
+func f(n *int) {
+	getLock().Lock()
+	*n = *n + 1
+	getLock().Unlock()
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.transformed, 0, "funnel: {:?}", rep.funnel);
+}
+
+#[test]
+fn rlock_paired_with_wrong_unlock_kind_rejected() {
+    // RLock must pair with RUnlock, not Unlock.
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	rw sync.RWMutex
+	n  int
+}
+
+func (c *C) Bad() int {
+	c.rw.RLock()
+	v := c.n
+	c.rw.Unlock()
+	return v
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.candidate_pairs, 0, "funnel: {:?}", rep.funnel);
+    assert_eq!(rep.funnel.transformed, 0);
+}
+
+#[test]
+fn loop_carried_lock_does_not_pair_with_preloop_lock() {
+    // A lock before the loop and unlocks inside it: nothing post-dominates.
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Weird(k int) {
+	c.mu.Lock()
+	for i := 0; i < k; i++ {
+		c.n++
+		if i == 2 {
+			c.mu.Unlock()
+		}
+	}
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.transformed, 0, "funnel: {:?}", rep.funnel);
+}
+
+#[test]
+fn panic_in_section_is_unfit() {
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Checked(v int) {
+	c.mu.Lock()
+	if v < 0 {
+		panic("negative")
+	}
+	c.n = v
+	c.mu.Unlock()
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.unfit_intra, 1, "funnel: {:?}", rep.funnel);
+    assert_eq!(rep.funnel.transformed, 0);
+}
+
+#[test]
+fn goroutine_launch_in_section_is_unfit() {
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Spawny() {
+	c.mu.Lock()
+	go helper()
+	c.mu.Unlock()
+}
+
+func helper() {
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.unfit_intra, 1, "funnel: {:?}", rep.funnel);
+}
+
+#[test]
+fn deep_call_chain_io_detected() {
+    // Condition (4) through a three-deep call chain.
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Top() {
+	c.mu.Lock()
+	c.mid()
+	c.mu.Unlock()
+}
+
+func (c *C) mid() {
+	c.deep()
+}
+
+func (c *C) deep() {
+	fmt.Println(c.n)
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.unfit_interproc, 1, "funnel: {:?}", rep.funnel);
+}
+
+#[test]
+fn clean_call_chain_is_accepted() {
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Top() {
+	c.mu.Lock()
+	c.mid()
+	c.mu.Unlock()
+}
+
+func (c *C) mid() {
+	c.deep()
+}
+
+func (c *C) deep() {
+	c.n++
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.transformed, 1, "funnel: {:?}", rep.funnel);
+}
+
+#[test]
+fn recursive_functions_do_not_hang_the_closure() {
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Top() {
+	c.mu.Lock()
+	c.rec(3)
+	c.mu.Unlock()
+}
+
+func (c *C) rec(k int) {
+	if k > 0 {
+		c.rec(k - 1)
+	}
+}
+"#;
+    let rep = report(src);
+    assert_eq!(rep.funnel.transformed, 1, "funnel: {:?}", rep.funnel);
+}
+
+#[test]
+fn two_pairs_in_one_function_get_distinct_optilocks() {
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+	m int
+}
+
+func (c *C) Both() {
+	c.a.Lock()
+	c.n++
+	c.a.Unlock()
+	c.b.Lock()
+	c.m++
+	c.b.Unlock()
+}
+"#;
+    let mut pkg = Package::from_source(src).unwrap();
+    let rep = analyze_package(&mut pkg, &AnalysisOptions::default());
+    assert_eq!(rep.funnel.transformed, 2);
+    let out = transform_file(&pkg.files[0], &pkg.info, 0, &rep.plans);
+    let printed = print_file(&out);
+    assert!(printed.contains("optiLock1"), "{printed}");
+    assert!(printed.contains("optiLock2"), "{printed}");
+    assert!(printed.contains("FastLock(&c.a)"));
+    assert!(printed.contains("FastLock(&c.b)"));
+    parse_file(&printed).expect("output reparses");
+}
+
+#[test]
+fn value_receiver_method_mutex() {
+    // Value receiver: the mutex is a field of a copied struct. GOCC still
+    // transforms syntactically; Go's own semantics of locking a copied
+    // mutex are the program's concern, not the transformer's.
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu *sync.Mutex
+	n  int
+}
+
+func (c C) ViaPointerField() {
+	c.mu.Lock()
+	use(c.n)
+	c.mu.Unlock()
+}
+
+func use(n int) {
+}
+"#;
+    let mut pkg = Package::from_source(src).unwrap();
+    let rep = analyze_package(&mut pkg, &AnalysisOptions::default());
+    assert_eq!(rep.funnel.transformed, 1, "funnel: {:?}", rep.funnel);
+    let out = transform_file(&pkg.files[0], &pkg.info, 0, &rep.plans);
+    let printed = print_file(&out);
+    // Pointer field passes as-is — no extra `&`.
+    assert!(printed.contains("FastLock(c.mu)"), "{printed}");
+}
+
+#[test]
+fn switch_sections_analyzed_per_case() {
+    let src = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Classify(x int) {
+	switch x {
+	case 1:
+		c.mu.Lock()
+		c.n = 1
+		c.mu.Unlock()
+	case 2:
+		c.mu.Lock()
+		c.n = 2
+		c.mu.Unlock()
+	}
+}
+"#;
+    let rep = report(src);
+    assert_eq!(
+        rep.funnel.transformed, 2,
+        "both case bodies transform: {:?}",
+        rep.funnel
+    );
+}

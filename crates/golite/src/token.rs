@@ -1,0 +1,292 @@
+//! Token kinds and source positions.
+
+use std::fmt;
+
+/// A half-open byte range in the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    #[must_use]
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Token kinds for the Go subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Rune(char),
+
+    // Keywords.
+    Break,
+    Case,
+    Chan,
+    Const,
+    Continue,
+    Default,
+    Defer,
+    Else,
+    For,
+    Func,
+    Go,
+    If,
+    Import,
+    Interface,
+    Map,
+    Package,
+    Range,
+    Return,
+    Select,
+    Struct,
+    Switch,
+    Type,
+    Var,
+
+    // Operators and punctuation.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndNot, // &^
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    AndNotEq,
+    LAnd,
+    LOr,
+    Arrow, // <-
+    Inc,
+    Dec,
+    EqEq,
+    Lt,
+    Gt,
+    Assign,
+    Not,
+    NotEq,
+    Le,
+    Ge,
+    Define, // :=
+    Ellipsis,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Period,
+    Semi,
+    Colon,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Looks up a keyword, or returns an identifier token.
+    #[must_use]
+    pub fn from_word(word: &str) -> Tok {
+        match word {
+            "break" => Tok::Break,
+            "case" => Tok::Case,
+            "chan" => Tok::Chan,
+            "const" => Tok::Const,
+            "continue" => Tok::Continue,
+            "default" => Tok::Default,
+            "defer" => Tok::Defer,
+            "else" => Tok::Else,
+            "for" => Tok::For,
+            "func" => Tok::Func,
+            "go" => Tok::Go,
+            "if" => Tok::If,
+            "import" => Tok::Import,
+            "interface" => Tok::Interface,
+            "map" => Tok::Map,
+            "package" => Tok::Package,
+            "range" => Tok::Range,
+            "return" => Tok::Return,
+            "select" => Tok::Select,
+            "struct" => Tok::Struct,
+            "switch" => Tok::Switch,
+            "type" => Tok::Type,
+            "var" => Tok::Var,
+            _ => Tok::Ident(word.to_string()),
+        }
+    }
+
+    /// Whether Go's automatic semicolon insertion fires after this token
+    /// at a newline (Go spec, "Semicolons").
+    #[must_use]
+    pub fn triggers_asi(&self) -> bool {
+        matches!(
+            self,
+            Tok::Ident(_)
+                | Tok::Int(_)
+                | Tok::Float(_)
+                | Tok::Str(_)
+                | Tok::Rune(_)
+                | Tok::Break
+                | Tok::Continue
+                | Tok::Return
+                | Tok::Inc
+                | Tok::Dec
+                | Tok::RParen
+                | Tok::RBracket
+                | Tok::RBrace
+        )
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Ident(name) => return write!(f, "{name}"),
+            Tok::Int(v) => return write!(f, "{v}"),
+            Tok::Float(v) => return write!(f, "{v}"),
+            Tok::Str(v) => return write!(f, "{v:?}"),
+            Tok::Rune(v) => return write!(f, "'{v}'"),
+            Tok::Break => "break",
+            Tok::Case => "case",
+            Tok::Chan => "chan",
+            Tok::Const => "const",
+            Tok::Continue => "continue",
+            Tok::Default => "default",
+            Tok::Defer => "defer",
+            Tok::Else => "else",
+            Tok::For => "for",
+            Tok::Func => "func",
+            Tok::Go => "go",
+            Tok::If => "if",
+            Tok::Import => "import",
+            Tok::Interface => "interface",
+            Tok::Map => "map",
+            Tok::Package => "package",
+            Tok::Range => "range",
+            Tok::Return => "return",
+            Tok::Select => "select",
+            Tok::Struct => "struct",
+            Tok::Switch => "switch",
+            Tok::Type => "type",
+            Tok::Var => "var",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::AndNot => "&^",
+            Tok::PlusEq => "+=",
+            Tok::MinusEq => "-=",
+            Tok::StarEq => "*=",
+            Tok::SlashEq => "/=",
+            Tok::PercentEq => "%=",
+            Tok::AmpEq => "&=",
+            Tok::PipeEq => "|=",
+            Tok::CaretEq => "^=",
+            Tok::ShlEq => "<<=",
+            Tok::ShrEq => ">>=",
+            Tok::AndNotEq => "&^=",
+            Tok::LAnd => "&&",
+            Tok::LOr => "||",
+            Tok::Arrow => "<-",
+            Tok::Inc => "++",
+            Tok::Dec => "--",
+            Tok::EqEq => "==",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Assign => "=",
+            Tok::Not => "!",
+            Tok::NotEq => "!=",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::Define => ":=",
+            Tok::Ellipsis => "...",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Comma => ",",
+            Tok::Period => ".",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Eof => "<eof>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Tok::from_word("defer"), Tok::Defer);
+        assert_eq!(Tok::from_word("mutex"), Tok::Ident("mutex".into()));
+    }
+
+    #[test]
+    fn asi_rules() {
+        assert!(Tok::Ident("x".into()).triggers_asi());
+        assert!(Tok::RParen.triggers_asi());
+        assert!(Tok::Return.triggers_asi());
+        assert!(!Tok::Comma.triggers_asi());
+        assert!(!Tok::LBrace.triggers_asi());
+    }
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+    }
+}

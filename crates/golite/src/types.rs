@@ -1,0 +1,663 @@
+//! A pragmatic type resolver for the Go subset.
+//!
+//! GOCC queries `go/types` for exactly three things (§5.3): whether a
+//! lock receiver is a `Mutex` value or pointer, whether the operation goes
+//! through an anonymous (embedded) mutex field, and what concrete struct a
+//! method call dispatches on (for the call graph). This module answers
+//! those questions with declared types plus single-pass local inference —
+//! no unification, no interfaces, which the corpus does not need.
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Decl, Expr, Field, File, FuncDecl, Stmt, Type, UnaryOp, VarDecl};
+
+/// How a lock operation reaches its mutex (§5.3's transformation cases).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutexAccess {
+    /// Whether the mutex is a `sync.RWMutex`.
+    pub rw: bool,
+    /// Whether the receiver expression denotes a pointer to the mutex
+    /// (pass as-is) or the mutex value (needs `&`).
+    pub pointer: bool,
+    /// Whether the mutex is reached through an embedded (anonymous) field,
+    /// i.e. the access path must be suffixed with the field name.
+    pub anonymous: bool,
+}
+
+/// Package-level type information.
+#[derive(Debug, Default)]
+pub struct TypeInfo {
+    /// Struct name → fields.
+    structs: HashMap<String, Vec<Field>>,
+    /// Function name → result types (methods keyed as `Type.Name`).
+    func_results: HashMap<String, Vec<Type>>,
+    /// Package-level variable types.
+    globals: HashMap<String, Type>,
+}
+
+impl TypeInfo {
+    /// Collects type information from the files of one package.
+    #[must_use]
+    pub fn new(files: &[&File]) -> Self {
+        let mut info = TypeInfo::default();
+        for file in files {
+            for decl in &file.decls {
+                match decl {
+                    Decl::TypeStruct(sd) => {
+                        info.structs.insert(sd.name.clone(), sd.fields.clone());
+                    }
+                    Decl::Func(fd) => {
+                        let key = match &fd.recv {
+                            Some(r) => format!("{}.{}", r.type_name, fd.name),
+                            None => fd.name.clone(),
+                        };
+                        info.func_results.insert(key, fd.results.clone());
+                    }
+                    Decl::Var(vd) | Decl::Const(vd) => {
+                        if let Some(ty) = &vd.ty {
+                            for name in &vd.names {
+                                info.globals.insert(name.clone(), ty.clone());
+                            }
+                        } else if vd.values.len() == vd.names.len() {
+                            // Best-effort inference for `var x = expr`.
+                            for (name, value) in vd.names.iter().zip(&vd.values) {
+                                if let Some(ty) = literal_type(value) {
+                                    info.globals.insert(name.clone(), ty);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        info
+    }
+
+    /// The declared fields of a struct, if known.
+    #[must_use]
+    pub fn struct_fields(&self, name: &str) -> Option<&[Field]> {
+        self.structs.get(name).map(Vec::as_slice)
+    }
+
+    /// Builds the local type environment of a function (receiver, params,
+    /// `var` declarations, `:=` inference, closure params), flattened
+    /// across blocks — shadowing collapses to the innermost declaration,
+    /// which is sufficient for the mutex-classification queries.
+    #[must_use]
+    pub fn local_env(&self, f: &FuncDecl) -> HashMap<String, Type> {
+        let mut env: HashMap<String, Type> = self.globals.clone();
+        if let Some(recv) = &f.recv {
+            let base = Type::Named {
+                pkg: None,
+                name: recv.type_name.clone(),
+            };
+            let ty = if recv.pointer {
+                Type::Pointer(Box::new(base))
+            } else {
+                base
+            };
+            env.insert(recv.name.clone(), ty);
+        }
+        for p in &f.params {
+            if let Some(n) = &p.name {
+                env.insert(n.clone(), p.ty.clone());
+            }
+        }
+        self.collect_block(&f.body, &mut env);
+        env
+    }
+
+    fn collect_block(&self, block: &Block, env: &mut HashMap<String, Type>) {
+        for stmt in &block.stmts {
+            self.collect_stmt(stmt, env);
+        }
+    }
+
+    fn collect_stmt(&self, stmt: &Stmt, env: &mut HashMap<String, Type>) {
+        match stmt {
+            Stmt::Var(vd) => self.collect_var(vd, env),
+            Stmt::Assign {
+                lhs, rhs, define, ..
+            } => {
+                if *define {
+                    if lhs.len() == rhs.len() {
+                        for (l, r) in lhs.iter().zip(rhs) {
+                            if let Expr::Ident { name, .. } = l {
+                                if let Some(ty) = self.infer(r, env) {
+                                    env.insert(name.clone(), ty);
+                                }
+                            }
+                        }
+                    } else if let (1, [r]) = (lhs.len().min(2), rhs.as_slice()) {
+                        // `v, ok := m[k]` style: infer the first binding.
+                        if let Expr::Ident { name, .. } = &lhs[0] {
+                            if let Some(ty) = self.infer(r, env) {
+                                env.insert(name.clone(), ty);
+                            }
+                        }
+                    }
+                }
+                for r in rhs {
+                    self.collect_expr(r, env);
+                }
+            }
+            Stmt::Expr(e) | Stmt::Defer { call: e, .. } | Stmt::Go { call: e, .. } => {
+                self.collect_expr(e, env);
+            }
+            Stmt::If {
+                init, then, els, ..
+            } => {
+                if let Some(i) = init {
+                    self.collect_stmt(i, env);
+                }
+                self.collect_block(then, env);
+                if let Some(e) = els {
+                    self.collect_stmt(e, env);
+                }
+            }
+            Stmt::Block(b) => self.collect_block(b, env),
+            Stmt::For {
+                init,
+                post,
+                body,
+                range_over,
+                range_vars,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.collect_stmt(i, env);
+                }
+                if let Some(p) = post {
+                    self.collect_stmt(p, env);
+                }
+                if let (Some(over), [_, v_name]) = (range_over, range_vars.as_slice()) {
+                    // `for k, v := range m`: bind v to the element type.
+                    if let Some(Type::Map(_, v_ty)) = self.infer(over, env) {
+                        env.insert(v_name.clone(), (*v_ty).clone());
+                    } else if let Some(Type::Slice(elem)) = self.infer(over, env) {
+                        env.insert(v_name.clone(), (*elem).clone());
+                    }
+                }
+                self.collect_block(body, env);
+            }
+            Stmt::Switch { cases, .. } => {
+                for (_, b) in cases {
+                    self.collect_block(b, env);
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for b in cases {
+                    self.collect_block(b, env);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_var(&self, vd: &VarDecl, env: &mut HashMap<String, Type>) {
+        if let Some(ty) = &vd.ty {
+            for n in &vd.names {
+                env.insert(n.clone(), ty.clone());
+            }
+        } else if vd.names.len() == vd.values.len() {
+            for (n, v) in vd.names.iter().zip(&vd.values) {
+                if let Some(ty) = self.infer(v, env) {
+                    env.insert(n.clone(), ty);
+                }
+            }
+        }
+    }
+
+    /// Recurses into closures so their parameters land in the flat env.
+    fn collect_expr(&self, e: &Expr, env: &mut HashMap<String, Type>) {
+        match e {
+            Expr::FuncLit { params, body, .. } => {
+                for p in params {
+                    if let Some(n) = &p.name {
+                        env.insert(n.clone(), p.ty.clone());
+                    }
+                }
+                self.collect_block(body, env);
+            }
+            Expr::Call { callee, args, .. } => {
+                self.collect_expr(callee, env);
+                for a in args {
+                    self.collect_expr(a, env);
+                }
+            }
+            Expr::Unary { operand, .. } => self.collect_expr(operand, env),
+            Expr::Binary { left, right, .. } => {
+                self.collect_expr(left, env);
+                self.collect_expr(right, env);
+            }
+            Expr::Selector { base, .. } => self.collect_expr(base, env),
+            Expr::Composite { elems, .. } => {
+                for (_, v) in elems {
+                    self.collect_expr(v, env);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Infers the type of an expression under `env`.
+    #[must_use]
+    pub fn infer(&self, e: &Expr, env: &HashMap<String, Type>) -> Option<Type> {
+        match e {
+            Expr::Ident { name, .. } => env.get(name).cloned(),
+            Expr::Int { .. } => Some(Type::Named {
+                pkg: None,
+                name: "int".into(),
+            }),
+            Expr::Float { .. } => Some(Type::Named {
+                pkg: None,
+                name: "float64".into(),
+            }),
+            Expr::Str { .. } => Some(Type::Named {
+                pkg: None,
+                name: "string".into(),
+            }),
+            Expr::Bool { .. } => Some(Type::Named {
+                pkg: None,
+                name: "bool".into(),
+            }),
+            Expr::Unary {
+                op: UnaryOp::Addr,
+                operand,
+                ..
+            } => self.infer(operand, env).map(|t| Type::Pointer(Box::new(t))),
+            Expr::Unary {
+                op: UnaryOp::Deref,
+                operand,
+                ..
+            } => match self.infer(operand, env)? {
+                Type::Pointer(inner) => Some(*inner),
+                _ => None,
+            },
+            Expr::Unary { operand, .. } => self.infer(operand, env),
+            Expr::Selector { base, field, .. } => {
+                // Package-qualified reference, e.g. `sync.Mutex` used as a
+                // value expression: treat known-package selectors on
+                // unknown idents as named types only when the base is not
+                // a variable.
+                if let Expr::Ident { name, .. } = base.as_ref() {
+                    if !env.contains_key(name) {
+                        return Some(Type::Named {
+                            pkg: Some(name.clone()),
+                            name: field.clone(),
+                        });
+                    }
+                }
+                let base_ty = self.infer(base, env)?;
+                self.field_type(&base_ty, field)
+            }
+            Expr::Call { callee, .. } => {
+                // make(T, ...) and new(T).
+                if let Expr::Ident { name, .. } = callee.as_ref() {
+                    match name.as_str() {
+                        "len" | "cap" => {
+                            return Some(Type::Named {
+                                pkg: None,
+                                name: "int".into(),
+                            })
+                        }
+                        "make" | "new" => {
+                            // The first argument names the constructed type.
+                            if let Expr::Call { args, .. } = e {
+                                if let Some(first) = args.first() {
+                                    let t = self.infer(first, env);
+                                    if name == "new" {
+                                        return t.map(|t| Type::Pointer(Box::new(t)));
+                                    }
+                                    return t;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    if let Some(results) = self.func_results.get(name) {
+                        return results.first().cloned();
+                    }
+                }
+                if let Expr::Selector { base, field, .. } = callee.as_ref() {
+                    // Method call: resolve through the receiver struct.
+                    if let Some(struct_name) = self.receiver_struct(base, env) {
+                        let key = format!("{struct_name}.{field}");
+                        if let Some(results) = self.func_results.get(&key) {
+                            return results.first().cloned();
+                        }
+                    }
+                }
+                None
+            }
+            Expr::Index { base, .. } => match self.infer(base, env)? {
+                Type::Slice(elem) | Type::Array(elem) => Some(*elem),
+                Type::Map(_, v) => Some(*v),
+                _ => None,
+            },
+            Expr::Binary { op, left, .. } => {
+                if matches!(
+                    op.as_str(),
+                    "==" | "!=" | "<" | "<=" | ">" | ">=" | "&&" | "||"
+                ) {
+                    Some(Type::Named {
+                        pkg: None,
+                        name: "bool".into(),
+                    })
+                } else {
+                    self.infer(left, env)
+                }
+            }
+            Expr::Composite { ty, .. } => Some(ty.clone()),
+            Expr::TypeLit { ty, .. } => Some(ty.clone()),
+            Expr::FuncLit { .. } => Some(Type::Func),
+        }
+    }
+
+    /// Looks up a field's type, digging through pointers and embedded
+    /// fields (Go's field promotion).
+    #[must_use]
+    pub fn field_type(&self, base: &Type, field: &str) -> Option<Type> {
+        let struct_name = match base {
+            Type::Named { pkg: None, name } => name.clone(),
+            Type::Pointer(inner) => return self.field_type(inner, field),
+            _ => return None,
+        };
+        let fields = self.structs.get(&struct_name)?;
+        for f in fields {
+            if f.access_name() == field {
+                return Some(f.ty.clone());
+            }
+        }
+        // Field promotion through embedded structs.
+        for f in fields {
+            if f.is_embedded() {
+                if let Some(t) = self.field_type(&f.ty, field) {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// The concrete struct a method-call receiver resolves to, if any.
+    #[must_use]
+    pub fn receiver_struct(&self, base: &Expr, env: &HashMap<String, Type>) -> Option<String> {
+        match self.infer(base, env)? {
+            Type::Named { pkg: None, name } if self.structs.contains_key(&name) => Some(name),
+            Type::Pointer(inner) => match *inner {
+                Type::Named { pkg: None, name } if self.structs.contains_key(&name) => Some(name),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Classifies the receiver of a `Lock`/`Unlock`/`RLock`/`RUnlock`
+    /// call for the transformer (§5.3): value vs pointer, anonymous field
+    /// or not, `Mutex` vs `RWMutex`.
+    ///
+    /// Returns `None` when the receiver is not a mutex in any supported
+    /// form — the call is then an ordinary method call.
+    #[must_use]
+    pub fn classify_mutex(&self, recv: &Expr, env: &HashMap<String, Type>) -> Option<MutexAccess> {
+        let ty = self.infer(recv, env)?;
+        match &ty {
+            t if t.is_mutex() => {
+                let pointer = matches!(t, Type::Pointer(_));
+                Some(MutexAccess {
+                    rw: t.is_rwmutex(),
+                    pointer,
+                    anonymous: false,
+                })
+            }
+            Type::Named { pkg: None, name } => {
+                let embedded = self.embedded_mutex(name)?;
+                Some(MutexAccess {
+                    rw: embedded.is_rwmutex(),
+                    pointer: matches!(embedded, Type::Pointer(_)),
+                    anonymous: true,
+                })
+            }
+            Type::Pointer(inner) => {
+                if let Type::Named { pkg: None, name } = inner.as_ref() {
+                    let embedded = self.embedded_mutex(name)?;
+                    Some(MutexAccess {
+                        rw: embedded.is_rwmutex(),
+                        pointer: matches!(embedded, Type::Pointer(_)),
+                        anonymous: true,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The type of a struct's embedded mutex field, if it has one.
+    fn embedded_mutex(&self, struct_name: &str) -> Option<&Type> {
+        let fields = self.structs.get(struct_name)?;
+        fields
+            .iter()
+            .find(|f| f.is_embedded() && f.ty.is_mutex())
+            .map(|f| &f.ty)
+    }
+}
+
+fn literal_type(e: &Expr) -> Option<Type> {
+    match e {
+        Expr::Composite { ty, .. } => Some(ty.clone()),
+        Expr::Int { .. } => Some(Type::Named {
+            pkg: None,
+            name: "int".into(),
+        }),
+        Expr::Str { .. } => Some(Type::Named {
+            pkg: None,
+            name: "string".into(),
+        }),
+        Expr::Bool { .. } => Some(Type::Named {
+            pkg: None,
+            name: "bool".into(),
+        }),
+        Expr::Unary {
+            op: UnaryOp::Addr,
+            operand,
+            ..
+        } => literal_type(operand).map(|t| Type::Pointer(Box::new(t))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn setup(src: &str) -> (File, TypeInfo) {
+        let f = parse_file(src).expect("parse");
+        let files = [&f];
+        let info = TypeInfo::new(&files);
+        (f.clone(), info)
+    }
+
+    const SRC: &str = r#"
+package p
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	pm *sync.Mutex
+	n  int
+}
+
+type Anon struct {
+	sync.Mutex
+	val int
+}
+
+type AnonPtr struct {
+	*sync.RWMutex
+	val int
+}
+
+var gmu sync.Mutex
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func lockAll(a *Anon, ap *AnonPtr, local sync.Mutex) {
+	a.Lock()
+	ap.RLock()
+	local.Lock()
+	gmu.Lock()
+	p := &gmu
+	p.Lock()
+}
+"#;
+
+    #[test]
+    fn classify_struct_field_mutex_value() {
+        let (f, info) = setup(SRC);
+        let inc = f.funcs().find(|x| x.name == "Inc").unwrap();
+        let env = info.local_env(inc);
+        if let Stmt::Expr(call) = &inc.body.stmts[0] {
+            let (recv, _) = call.as_method_call().unwrap();
+            let access = info.classify_mutex(recv, &env).unwrap();
+            assert_eq!(
+                access,
+                MutexAccess {
+                    rw: false,
+                    pointer: false,
+                    anonymous: false
+                }
+            );
+        } else {
+            panic!("expected call");
+        }
+    }
+
+    #[test]
+    fn classify_anonymous_and_pointer_cases() {
+        let (f, info) = setup(SRC);
+        let la = f.funcs().find(|x| x.name == "lockAll").unwrap();
+        let env = info.local_env(la);
+        let receivers: Vec<_> = la
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Expr(call) => call.as_method_call().map(|(r, _)| r),
+                _ => None,
+            })
+            .collect();
+        // a.Lock(): embedded value mutex.
+        let a = info.classify_mutex(receivers[0], &env).unwrap();
+        assert_eq!(
+            a,
+            MutexAccess {
+                rw: false,
+                pointer: false,
+                anonymous: true
+            }
+        );
+        // ap.RLock(): embedded *RWMutex.
+        let ap = info.classify_mutex(receivers[1], &env).unwrap();
+        assert_eq!(
+            ap,
+            MutexAccess {
+                rw: true,
+                pointer: true,
+                anonymous: true
+            }
+        );
+        // local.Lock(): plain value parameter.
+        let local = info.classify_mutex(receivers[2], &env).unwrap();
+        assert_eq!(
+            local,
+            MutexAccess {
+                rw: false,
+                pointer: false,
+                anonymous: false
+            }
+        );
+        // gmu.Lock(): package-level value.
+        let g = info.classify_mutex(receivers[3], &env).unwrap();
+        assert_eq!(
+            g,
+            MutexAccess {
+                rw: false,
+                pointer: false,
+                anonymous: false
+            }
+        );
+        // p.Lock(): p := &gmu is a *Mutex.
+        let p = info.classify_mutex(receivers[4], &env).unwrap();
+        assert_eq!(
+            p,
+            MutexAccess {
+                rw: false,
+                pointer: true,
+                anonymous: false
+            }
+        );
+    }
+
+    #[test]
+    fn field_promotion_through_embedding() {
+        let (_, info) = setup(SRC);
+        let anon = Type::Named {
+            pkg: None,
+            name: "Anon".into(),
+        };
+        assert_eq!(
+            info.field_type(&anon, "val"),
+            Some(Type::Named {
+                pkg: None,
+                name: "int".into()
+            })
+        );
+        assert!(info.field_type(&anon, "Mutex").unwrap().is_mutex());
+    }
+
+    #[test]
+    fn receiver_struct_resolution() {
+        let (f, info) = setup(SRC);
+        let inc = f.funcs().find(|x| x.name == "Inc").unwrap();
+        let env = info.local_env(inc);
+        if let Stmt::Expr(call) = &inc.body.stmts[0] {
+            if let Expr::Call { callee, .. } = call {
+                if let Expr::Selector { base, .. } = callee.as_ref() {
+                    // base = c.mu; its own base is `c` → Counter.
+                    if let Expr::Selector { base: c, .. } = base.as_ref() {
+                        assert_eq!(info.receiver_struct(c, &env).as_deref(), Some("Counter"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_mutex_receiver_classifies_none() {
+        let (f, info) = setup(SRC);
+        let inc = f.funcs().find(|x| x.name == "Inc").unwrap();
+        let env = info.local_env(inc);
+        // `c.n` is an int field, not a mutex.
+        let n_expr = Expr::Selector {
+            base: Box::new(Expr::Ident {
+                name: "c".into(),
+                id: crate::ast::NodeId(9999),
+                span: Default::default(),
+            }),
+            field: "n".into(),
+            id: crate::ast::NodeId(10_000),
+            span: Default::default(),
+        };
+        assert!(info.classify_mutex(&n_expr, &env).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Frontend round-trips over the bundled corpus: every corpus file must
+//! parse, print, re-parse, and reach a printer fixpoint; the reprinted
+//! form must preserve the structures the analyzer depends on.
+
+use golite::parser::parse_file;
+use golite::printer::print_file;
+use golite::types::TypeInfo;
+
+const PACKAGES: [&str; 5] = ["tally", "zap", "gocache", "fastcache", "set"];
+
+fn corpus_src(name: &str) -> String {
+    for root in ["corpus", "../../corpus"] {
+        let p = format!("{root}/{name}/{name}.go");
+        if let Ok(src) = std::fs::read_to_string(&p) {
+            return src;
+        }
+    }
+    panic!("corpus file for {name} not found");
+}
+
+#[test]
+fn corpus_parses_and_reaches_print_fixpoint() {
+    for name in PACKAGES {
+        let src = corpus_src(name);
+        let f1 = parse_file(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let p1 = print_file(&f1);
+        let f2 = parse_file(&p1).unwrap_or_else(|e| panic!("{name} reparse: {e}\n{p1}"));
+        let p2 = print_file(&f2);
+        assert_eq!(p1, p2, "{name}: printer must be a fixpoint");
+    }
+}
+
+#[test]
+fn corpus_preserves_declaration_counts() {
+    for name in PACKAGES {
+        let src = corpus_src(name);
+        let f1 = parse_file(&src).unwrap();
+        let f2 = parse_file(&print_file(&f1)).unwrap();
+        assert_eq!(f1.funcs().count(), f2.funcs().count(), "{name}: functions");
+        assert_eq!(f1.decls.len(), f2.decls.len(), "{name}: declarations");
+        assert_eq!(f1.imports, f2.imports, "{name}: imports");
+    }
+}
+
+#[test]
+fn corpus_type_info_survives_reprint() {
+    for name in PACKAGES {
+        let src = corpus_src(name);
+        let f1 = parse_file(&src).unwrap();
+        let f2 = parse_file(&print_file(&f1)).unwrap();
+        let refs1 = [&f1];
+        let refs2 = [&f2];
+        let t1 = TypeInfo::new(&refs1);
+        let t2 = TypeInfo::new(&refs2);
+        // Mutex classification must agree for every method receiver chain.
+        for (fd1, fd2) in f1.funcs().zip(f2.funcs()) {
+            let (e1, e2) = (t1.local_env(fd1), t2.local_env(fd2));
+            assert_eq!(e1.len(), e2.len(), "{name}/{}: env size", fd1.name);
+        }
+    }
+}
+
+#[test]
+fn mini_listings_roundtrip() {
+    // The paper's listings (as rendered in this repo's tests) round-trip.
+    let snippets = [
+        "package p\n\nfunc f() {\n\tm.Lock()\n\tcount++\n\tm.Unlock()\n}\n",
+        "package p\n\nfunc f() {\n\tdefer m.Unlock()\n\tm.Lock()\n\tcount++\n}\n",
+        "package p\n\nfunc f() {\n\ta.Lock()\n\tb.Lock()\n\tb.Unlock()\n\ta.Unlock()\n}\n",
+        "package p\n\nfunc f() {\n\toptiLock1 := optilib.OptiLock{}\n\toptiLock1.FastLock(&m)\n\tcount++\n\toptiLock1.FastUnlock(&m)\n}\n",
+    ];
+    for s in snippets {
+        let f = parse_file(s).unwrap();
+        let printed = print_file(&f);
+        let f2 = parse_file(&printed).unwrap();
+        assert_eq!(printed, print_file(&f2));
+    }
+}

@@ -1,0 +1,30 @@
+//! Go-faithful synchronization primitives.
+//!
+//! The GOCC paper evaluates lock elision against Go's `sync.Mutex` and
+//! `sync.RWMutex`, and several of its observed effects depend on the exact
+//! semantics of those locks rather than on "a mutex" in the abstract:
+//!
+//! * the RWMutex read-path speedups (Figures 6–8) come from eliding the two
+//!   contended atomic RMWs on `reader_count` that every `RLock`/`RUnlock`
+//!   performs;
+//! * the fastcache `CacheSetGet` anomaly (§6.1) comes from the mutex's
+//!   *starvation mode*: once a waiter has been blocked for more than 1 ms,
+//!   ownership is handed off FIFO and new arrivals stop barging.
+//!
+//! This crate therefore ports the algorithms of Go's `sync/mutex.go` and
+//! `sync/rwmutex.go` (state word with locked/woken/starving bits and a
+//! waiter count; reader count with the `MAX_READERS` offset trick),
+//! including the runtime semaphore's LIFO/FIFO queueing and handoff.
+//!
+//! [`procs`] models `runtime.GOMAXPROCS`, which both the mutex spin
+//! heuristic and the `optiLib` single-thread bypass consult.
+
+mod mutex;
+mod procs;
+mod rwmutex;
+mod sema;
+
+pub use mutex::{GoMutex, GoMutexGuard};
+pub use procs::{procs, set_procs};
+pub use rwmutex::{GoRwMutex, GoRwReadGuard, GoRwWriteGuard};
+pub use sema::Semaphore;

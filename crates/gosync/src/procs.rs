@@ -1,0 +1,41 @@
+//! A model of `runtime.GOMAXPROCS`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static PROCS: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns the configured processor count (the `GOMAXPROCS(0)` query).
+///
+/// Defaults to [`std::thread::available_parallelism`] until overridden by
+/// [`set_procs`]. The benchmark harness sets this to the simulated core
+/// count of each sweep point; `optiLib` consults it for the single-thread
+/// HTM bypass (§5.4.2) and the mutex uses it for its spin heuristic.
+#[must_use]
+pub fn procs() -> usize {
+    let p = PROCS.load(Ordering::Relaxed);
+    if p != 0 {
+        return p;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Overrides the processor count, returning the previous override (0 means
+/// "was defaulted").
+pub fn set_procs(n: usize) -> usize {
+    PROCS.swap(n, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_and_restore() {
+        let prev = set_procs(4);
+        assert_eq!(procs(), 4);
+        set_procs(prev);
+        assert!(procs() >= 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! The shared state of one simulated HTM domain.
+
+use std::sync::OnceLock;
+
+use crate::clock::VersionClock;
+use crate::config::HtmConfig;
+use crate::stats::HtmStats;
+use crate::stripe::StripeTable;
+
+/// One simulated HTM domain: a stripe table, a version clock, statistics and
+/// configuration.
+///
+/// Like a physical machine has one cache-coherence fabric, a process
+/// normally uses the single [`HtmRuntime::global`] instance; tests create
+/// private runtimes (e.g. with [`HtmConfig::tiny`]) to exercise capacity
+/// and collision behavior deterministically.
+///
+/// Conflict detection only works between transactions that share a runtime;
+/// all `TxVar`s of one data structure must be accessed through the same
+/// runtime, which holds by construction when using [`HtmRuntime::global`].
+#[derive(Debug)]
+pub struct HtmRuntime {
+    table: StripeTable,
+    clock: VersionClock,
+    stats: HtmStats,
+    config: HtmConfig,
+}
+
+impl HtmRuntime {
+    /// Creates a new, private HTM domain.
+    #[must_use]
+    pub fn new(config: HtmConfig) -> Self {
+        HtmRuntime {
+            table: StripeTable::new(config.stripe_bits),
+            clock: VersionClock::new(),
+            stats: HtmStats::new(),
+            config,
+        }
+    }
+
+    /// The process-wide HTM domain with [`HtmConfig::coffee_lake`] defaults.
+    #[must_use]
+    pub fn global() -> &'static HtmRuntime {
+        static GLOBAL: OnceLock<HtmRuntime> = OnceLock::new();
+        GLOBAL.get_or_init(|| HtmRuntime::new(HtmConfig::coffee_lake()))
+    }
+
+    /// The stripe table of this domain.
+    #[must_use]
+    pub fn table(&self) -> &StripeTable {
+        &self.table
+    }
+
+    /// The version clock of this domain.
+    #[must_use]
+    pub(crate) fn clock(&self) -> &VersionClock {
+        &self.clock
+    }
+
+    /// Statistics counters of this domain.
+    #[must_use]
+    pub fn stats(&self) -> &HtmStats {
+        &self.stats
+    }
+
+    /// Configuration of this domain.
+    #[must_use]
+    pub fn config(&self) -> &HtmConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_singleton() {
+        let a = HtmRuntime::global() as *const _;
+        let b = HtmRuntime::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn private_runtime_respects_config() {
+        let rt = HtmRuntime::new(HtmConfig::tiny());
+        assert_eq!(rt.table().len(), 64);
+        assert_eq!(rt.config().max_write_lines, 8);
+    }
+}

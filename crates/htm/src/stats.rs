@@ -1,0 +1,160 @@
+//! Runtime-wide transaction statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::abort::AbortCause;
+
+/// Lock-free counters describing transactional behavior.
+///
+/// All counters are updated with relaxed ordering; they are diagnostics, not
+/// synchronization. The paper's evaluation reasons about abort causes (e.g.
+/// Flatten at 8 cores aborts on conflicts until the perceptron backs off),
+/// and these counters are how the reproduction observes the same dynamics.
+#[derive(Debug, Default)]
+pub struct HtmStats {
+    starts: AtomicU64,
+    commits: AtomicU64,
+    read_only_commits: AtomicU64,
+    aborts_explicit: AtomicU64,
+    aborts_retry: AtomicU64,
+    aborts_conflict: AtomicU64,
+    aborts_capacity: AtomicU64,
+    aborts_debug: AtomicU64,
+    aborts_nested: AtomicU64,
+    aborts_unfriendly: AtomicU64,
+    direct_sections: AtomicU64,
+}
+
+/// A point-in-time copy of [`HtmStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Transactions started (fast path attempts).
+    pub starts: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Committed transactions that wrote nothing.
+    pub read_only_commits: u64,
+    /// Aborts by cause.
+    pub aborts_explicit: u64,
+    /// Transient aborts.
+    pub aborts_retry: u64,
+    /// Data-conflict aborts.
+    pub aborts_conflict: u64,
+    /// Capacity-overflow aborts.
+    pub aborts_capacity: u64,
+    /// Debug aborts.
+    pub aborts_debug: u64,
+    /// Nesting-depth aborts.
+    pub aborts_nested: u64,
+    /// Unfriendly-instruction aborts.
+    pub aborts_unfriendly: u64,
+    /// Critical sections executed in direct (slow-path) mode.
+    pub direct_sections: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts across all causes.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_explicit
+            + self.aborts_retry
+            + self.aborts_conflict
+            + self.aborts_capacity
+            + self.aborts_debug
+            + self.aborts_nested
+            + self.aborts_unfriendly
+    }
+
+    /// Fraction of started transactions that committed, in [0, 1].
+    #[must_use]
+    pub fn commit_ratio(&self) -> f64 {
+        if self.starts == 0 {
+            return 1.0;
+        }
+        self.commits as f64 / self.starts as f64
+    }
+}
+
+impl HtmStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        HtmStats::default()
+    }
+
+    pub(crate) fn record_start(&self) {
+        self.starts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_commit(&self, read_only: bool) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if read_only {
+            self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_direct(&self) {
+        self.direct_sections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_abort(&self, cause: AbortCause) {
+        let counter = match cause {
+            AbortCause::Explicit(_) => &self.aborts_explicit,
+            AbortCause::Retry => &self.aborts_retry,
+            AbortCause::Conflict => &self.aborts_conflict,
+            AbortCause::Capacity => &self.aborts_capacity,
+            AbortCause::Debug => &self.aborts_debug,
+            AbortCause::Nested => &self.aborts_nested,
+            AbortCause::Unfriendly => &self.aborts_unfriendly,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            starts: self.starts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            aborts_retry: self.aborts_retry.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_debug: self.aborts_debug.load(Ordering::Relaxed),
+            aborts_nested: self.aborts_nested.load(Ordering::Relaxed),
+            aborts_unfriendly: self.aborts_unfriendly.load(Ordering::Relaxed),
+            direct_sections: self.direct_sections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_records() {
+        let s = HtmStats::new();
+        s.record_start();
+        s.record_start();
+        s.record_commit(true);
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Capacity);
+        s.record_direct();
+        let snap = s.snapshot();
+        assert_eq!(snap.starts, 2);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.read_only_commits, 1);
+        assert_eq!(snap.aborts_conflict, 1);
+        assert_eq!(snap.aborts_capacity, 1);
+        assert_eq!(snap.total_aborts(), 2);
+        assert_eq!(snap.direct_sections, 1);
+        assert!((snap.commit_ratio() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_stats_commit_ratio_is_one() {
+        assert!((StatsSnapshot::default().commit_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+}

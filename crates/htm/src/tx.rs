@@ -1,0 +1,799 @@
+//! Transaction contexts: the TL2-style speculation engine and the direct
+//! (slow-path) execution mode.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::abort::{Abort, AbortCause, TxResult, LOCK_HELD_CODE};
+use crate::gate::LockWord;
+use crate::runtime::HtmRuntime;
+use crate::stripe::{StripeId, StripeSnapshot, CACHE_LINE};
+use crate::txvar::TxVar;
+
+/// How a transaction context executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxMode {
+    /// Speculative HTM execution: reads validated, writes buffered.
+    Fast,
+    /// Direct execution under the real mutex (the fall-back path).
+    Direct,
+}
+
+/// What kind of lock acquisition a subscription elides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Elision {
+    /// Eliding a shared/read acquisition (`RLock`).
+    Read,
+    /// Eliding an exclusive acquisition (`Lock`).
+    Write,
+}
+
+/// Bounded attempts when spinning on a stripe briefly held by a committer.
+const STRIPE_SPIN_ATTEMPTS: usize = 64;
+
+struct ReadEntry {
+    stripe: StripeId,
+    seen: StripeSnapshot,
+}
+
+/// Type-erased staged write. `value_ptr`/`set_from` exist so that
+/// read-your-own-write can recover the typed value: the write-set key is the
+/// cell's address, and one address always refers to one `TxVar<T>`, so the
+/// staged payload behind a given key is always the same `T`.
+trait WriteSlot {
+    fn write_back(&self);
+    fn value_ptr(&self) -> *const ();
+    /// # Safety
+    ///
+    /// `src` must point to a valid value of the slot's concrete `T`.
+    unsafe fn set_from(&mut self, src: *const ());
+}
+
+struct Staged<'a, T: Copy> {
+    var: &'a TxVar<T>,
+    val: T,
+}
+
+impl<T: Copy> WriteSlot for Staged<'_, T> {
+    fn write_back(&self) {
+        // SAFETY: commit holds the stripe lock covering `var` when invoking
+        // write-backs (see `Tx::commit`).
+        unsafe { self.var.store_locked(self.val) }
+    }
+
+    fn value_ptr(&self) -> *const () {
+        (&self.val as *const T).cast()
+    }
+
+    unsafe fn set_from(&mut self, src: *const ()) {
+        // SAFETY: caller guarantees `src` points to a `T`.
+        self.val = unsafe { *src.cast::<T>() };
+    }
+}
+
+struct WriteEntry<'a> {
+    stripe: StripeId,
+    slot: Box<dyn WriteSlot + 'a>,
+}
+
+/// A transaction context.
+///
+/// Fast-path contexts ([`Tx::fast`]) speculate: reads are validated against
+/// the global clock, writes are buffered and only published by
+/// [`Tx::commit`]. Direct contexts ([`Tx::direct`]) access memory in place
+/// and are used while the guarding mutex is held, so the same critical
+/// section body runs on either path.
+///
+/// Once any operation returns an [`Abort`], the context is *doomed*: every
+/// later operation (including commit) returns the same abort. This is the
+/// safe-Rust rendering of the hardware rollback-to-`xbegin`.
+pub struct Tx<'a> {
+    rt: &'a HtmRuntime,
+    mode: TxMode,
+    /// Read version: clock snapshot the speculation is consistent with.
+    rv: u64,
+    reads: Vec<ReadEntry>,
+    writes: HashMap<usize, WriteEntry<'a>>,
+    write_lines: HashSet<usize>,
+    subs: Vec<(&'a LockWord, u64)>,
+    depth: usize,
+    doomed: Option<AbortCause>,
+    rng: u64,
+    spurious_threshold: u64,
+}
+
+impl<'a> Tx<'a> {
+    /// Begins a fast-path (speculative) transaction.
+    #[must_use]
+    pub fn fast(rt: &'a HtmRuntime) -> Self {
+        rt.stats().record_start();
+        let rv = rt.clock().now();
+        let rate = rt.config().spurious_abort_rate;
+        let spurious_threshold = if rate > 0.0 {
+            (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        Tx {
+            rt,
+            mode: TxMode::Fast,
+            rv,
+            reads: Vec::new(),
+            writes: HashMap::new(),
+            write_lines: HashSet::new(),
+            subs: Vec::new(),
+            depth: 1,
+            doomed: None,
+            rng: rv.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9E37_79B9,
+            spurious_threshold,
+        }
+    }
+
+    /// Begins a direct (slow-path) context. The caller must hold the real
+    /// mutex guarding every `TxVar` the section accesses.
+    #[must_use]
+    pub fn direct(rt: &'a HtmRuntime) -> Self {
+        rt.stats().record_direct();
+        Tx {
+            rt,
+            mode: TxMode::Direct,
+            rv: 0,
+            reads: Vec::new(),
+            writes: HashMap::new(),
+            write_lines: HashSet::new(),
+            subs: Vec::new(),
+            depth: 1,
+            doomed: None,
+            rng: 0,
+            spurious_threshold: 0,
+        }
+    }
+
+    /// The execution mode of this context.
+    #[must_use]
+    pub fn mode(&self) -> TxMode {
+        self.mode
+    }
+
+    /// Whether this context speculates (HTM fast path).
+    #[must_use]
+    pub fn is_fastpath(&self) -> bool {
+        self.mode == TxMode::Fast
+    }
+
+    /// The runtime this transaction executes in.
+    #[must_use]
+    pub fn runtime(&self) -> &'a HtmRuntime {
+        self.rt
+    }
+
+    /// Number of read-set entries recorded so far.
+    #[must_use]
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of distinct cache lines staged for writing.
+    #[must_use]
+    pub fn write_set_lines(&self) -> usize {
+        self.write_lines.len()
+    }
+
+    fn doom(&mut self, cause: AbortCause) -> Abort {
+        if self.doomed.is_none() {
+            self.doomed = Some(cause);
+            self.rt.stats().record_abort(cause);
+        }
+        Abort::new(self.doomed.unwrap_or(cause))
+    }
+
+    fn check_doomed(&self) -> TxResult<()> {
+        match self.doomed {
+            Some(cause) => Err(Abort::new(cause)),
+            None => Ok(()),
+        }
+    }
+
+    fn maybe_spurious(&mut self) -> TxResult<()> {
+        if self.spurious_threshold == 0 {
+            return Ok(());
+        }
+        // xorshift64*: cheap, deterministic per transaction.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        if self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) < self.spurious_threshold {
+            return Err(self.doom(AbortCause::Retry));
+        }
+        Ok(())
+    }
+
+    /// Revalidates the read set against the current clock and, on success,
+    /// extends the read version (TL2 timestamp extension).
+    fn extend(&mut self) -> TxResult<()> {
+        let now = self.rt.clock().now();
+        for r in &self.reads {
+            if !self.rt.table().validate(r.stripe, r.seen) {
+                return Err(Abort::new(AbortCause::Conflict));
+            }
+        }
+        self.rv = now;
+        Ok(())
+    }
+
+    /// Reads a transactional cell.
+    ///
+    /// On the fast path the read is recorded for commit-time validation; on
+    /// the direct path it is a plain load (the mutex is held).
+    pub fn read<T: Copy>(&mut self, var: &'a TxVar<T>) -> TxResult<T> {
+        self.check_doomed()?;
+        self.maybe_spurious()?;
+        if self.mode == TxMode::Direct {
+            // SAFETY: direct mode runs with the guarding mutex held; no
+            // same-mutex fast path can commit concurrently (commit gate),
+            // so no writer races with this load under the access protocol.
+            return Ok(unsafe { var.load_racy() });
+        }
+        let addr = var.addr();
+        if let Some(entry) = self.writes.get(&addr) {
+            // Read-your-own-write: the key is the cell address, so the
+            // staged payload is a `T` by construction.
+            // SAFETY: see `WriteSlot` docs — one address, one `TxVar<T>`.
+            let val = unsafe { *entry.slot.value_ptr().cast::<T>() };
+            return Ok(val);
+        }
+        let stripe = self.rt.table().stripe_of_addr(addr);
+        for attempt in 0..STRIPE_SPIN_ATTEMPTS {
+            let s1 = self.rt.table().load(stripe);
+            if s1.is_locked() {
+                // A committer holds the stripe; brief, so spin (and let it
+                // run when the machine is oversubscribed).
+                if attempt % 16 == 15 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            if s1.version() > self.rv {
+                // Newer than our snapshot: try a timestamp extension.
+                if let Err(abort) = self.extend() {
+                    return Err(self.doom(abort.cause));
+                }
+                continue;
+            }
+            // SAFETY: torn copies are discarded when `s2 != s1` below.
+            let val = unsafe { var.load_racy() };
+            let s2 = self.rt.table().load(stripe);
+            if s2 != s1 {
+                continue;
+            }
+            if self.reads.len() >= self.rt.config().max_read_entries {
+                return Err(self.doom(AbortCause::Capacity));
+            }
+            self.reads.push(ReadEntry { stripe, seen: s1 });
+            return Ok(val);
+        }
+        Err(self.doom(AbortCause::Conflict))
+    }
+
+    /// Writes a transactional cell.
+    ///
+    /// Fast path: the write is buffered; direct path: written in place
+    /// under the cell's stripe lock so overlapping speculative readers
+    /// observe the version change.
+    pub fn write<T: Copy>(&mut self, var: &'a TxVar<T>, val: T) -> TxResult<()> {
+        self.check_doomed()?;
+        self.maybe_spurious()?;
+        let addr = var.addr();
+        if self.mode == TxMode::Direct {
+            let stripe = self.rt.table().stripe_of_addr(addr);
+            let table = self.rt.table();
+            // Spin: stripe locks are only held across short write-backs.
+            let mut spins = 0u32;
+            let held = loop {
+                if let Some(snap) = table.try_lock_current(stripe) {
+                    break snap;
+                }
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    // A committer holding the stripe may need the CPU.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            };
+            crate::contention::charge_shared_rmw();
+            // SAFETY: we hold the stripe lock.
+            unsafe { var.store_locked(val) };
+            // Advance the global clock and stamp the stripe with the new
+            // value: stripe versions must never exceed the clock, or
+            // speculative readers could never extend past this write and
+            // would spin to a spurious abort.
+            let wv = self.rt.clock().tick();
+            table.unlock_with_version(stripe, wv.max(held.version() + 1));
+            return Ok(());
+        }
+        if let Some(entry) = self.writes.get_mut(&addr) {
+            // SAFETY: same address ⇒ same `TxVar<T>` ⇒ same `T`.
+            unsafe { entry.slot.set_from((&val as *const T).cast()) };
+            return Ok(());
+        }
+        let line = addr / CACHE_LINE;
+        if !self.write_lines.contains(&line)
+            && self.write_lines.len() >= self.rt.config().max_write_lines
+        {
+            return Err(self.doom(AbortCause::Capacity));
+        }
+        self.write_lines.insert(line);
+        let stripe = self.rt.table().stripe_of_addr(addr);
+        self.writes.insert(
+            addr,
+            WriteEntry {
+                stripe,
+                slot: Box::new(Staged { var, val }),
+            },
+        );
+        Ok(())
+    }
+
+    /// Subscribes the transaction to an elidable lock's word (§5.4): aborts
+    /// immediately if the lock is unavailable to this elision kind,
+    /// otherwise adds the word to the validation set so any slow-path
+    /// activity on the lock aborts this transaction.
+    ///
+    /// A [`Elision::Write`] subscription aborts if a slow-path writer holds
+    /// the lock *or* slow-path readers are inside it; an [`Elision::Read`]
+    /// subscription only aborts on a writer (slow readers are compatible
+    /// with speculative readers).
+    pub fn subscribe_lock(&mut self, lock: &'a LockWord, kind: Elision) -> TxResult<()> {
+        self.check_doomed()?;
+        if self.mode == TxMode::Direct {
+            return Ok(());
+        }
+        let seen = lock.observe();
+        let blocked = match kind {
+            Elision::Read => LockWord::snapshot_blocks_read(seen),
+            Elision::Write => LockWord::snapshot_blocks_write(seen),
+        };
+        if blocked {
+            return Err(self.doom(AbortCause::Explicit(LOCK_HELD_CODE)));
+        }
+        self.subs.push((lock, seen));
+        Ok(())
+    }
+
+    /// Marks execution of an HTM-unfriendly operation (IO, syscall).
+    ///
+    /// Fast-path transactions abort with [`AbortCause::Unfriendly`]; direct
+    /// mode proceeds (locks tolerate such operations).
+    pub fn unfriendly(&mut self) -> TxResult<()> {
+        self.check_doomed()?;
+        if self.mode == TxMode::Fast {
+            return Err(self.doom(AbortCause::Unfriendly));
+        }
+        Ok(())
+    }
+
+    /// Requests an explicit abort with an 8-bit code (`xabort imm8`).
+    pub fn explicit_abort(&mut self, code: u8) -> Abort {
+        if self.mode == TxMode::Direct {
+            // Direct mode cannot roll back; the caller decides. We still
+            // surface the request as an abort value without dooming.
+            return Abort::new(AbortCause::Explicit(code));
+        }
+        self.doom(AbortCause::Explicit(code))
+    }
+
+    /// Enters a nested transactional scope (flat nesting, like TSX).
+    pub fn enter_nested(&mut self) -> TxResult<()> {
+        self.check_doomed()?;
+        self.depth += 1;
+        if self.mode == TxMode::Fast && self.depth > self.rt.config().max_nesting_depth {
+            return Err(self.doom(AbortCause::Nested));
+        }
+        Ok(())
+    }
+
+    /// Leaves a nested transactional scope.
+    pub fn exit_nested(&mut self) {
+        debug_assert!(self.depth > 1, "exit_nested at outermost depth");
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Current nesting depth (1 = outermost).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Attempts to commit.
+    ///
+    /// Direct-mode contexts always commit (their effects are already
+    /// published). Fast-path contexts validate their read set and lock
+    /// subscriptions, publish buffered writes under stripe locks, and
+    /// advance the global clock.
+    pub fn commit(self) -> TxResult<()> {
+        if let Some(cause) = self.doomed {
+            return Err(Abort::new(cause));
+        }
+        if self.mode == TxMode::Direct {
+            return Ok(());
+        }
+        if self.writes.is_empty() {
+            return self.commit_read_only();
+        }
+        self.commit_writing()
+    }
+
+    fn commit_read_only(mut self) -> TxResult<()> {
+        for &(lock, seen) in &self.subs {
+            if !lock.validate(seen) {
+                return Err(self.doom(AbortCause::Explicit(LOCK_HELD_CODE)));
+            }
+        }
+        for r in &self.reads {
+            if !self.rt.table().validate(r.stripe, r.seen) {
+                let abort = self.doom(AbortCause::Conflict);
+                return Err(abort);
+            }
+        }
+        self.rt.stats().record_commit(true);
+        Ok(())
+    }
+
+    fn commit_writing(mut self) -> TxResult<()> {
+        let table = self.rt.table();
+        // Lock write stripes in sorted order (deadlock freedom), bounded.
+        let mut stripes: Vec<StripeId> = self.writes.values().map(|w| w.stripe).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let mut held: Vec<(StripeId, StripeSnapshot)> = Vec::with_capacity(stripes.len());
+        for &s in &stripes {
+            let mut locked = None;
+            for attempt in 0..STRIPE_SPIN_ATTEMPTS {
+                if let Some(snap) = table.try_lock_current(s) {
+                    locked = Some(snap);
+                    break;
+                }
+                if attempt % 16 == 15 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            match locked {
+                Some(snap) => held.push((s, snap)),
+                None => {
+                    self.release_held(&held, None);
+                    return Err(self.doom(AbortCause::Conflict));
+                }
+            }
+        }
+        // Enter the commit gates *before* the final lock-word validation so
+        // a slow-path acquirer marking the word held either fails us here
+        // or waits for our write-back to drain.
+        for &(lock, _) in &self.subs {
+            lock.committer_enter();
+        }
+        let mut fail: Option<AbortCause> = None;
+        for &(lock, seen) in &self.subs {
+            if !lock.validate(seen) {
+                fail = Some(AbortCause::Explicit(LOCK_HELD_CODE));
+                break;
+            }
+        }
+        if fail.is_none() {
+            // Validate the read set: untouched stripes must match their
+            // snapshots; stripes we hold must not have changed before we
+            // locked them.
+            for r in &self.reads {
+                let ours = held.binary_search_by_key(&r.stripe, |&(s, _)| s);
+                let ok = match ours {
+                    Ok(i) => held[i].1 == r.seen,
+                    Err(_) => table.validate(r.stripe, r.seen),
+                };
+                if !ok {
+                    fail = Some(AbortCause::Conflict);
+                    break;
+                }
+            }
+        }
+        if let Some(cause) = fail {
+            self.exit_gates();
+            self.release_held(&held, None);
+            return Err(self.doom(cause));
+        }
+        let wv = self.rt.clock().tick();
+        // Model the coherence cost of taking ownership of each written
+        // line (symmetric with the slow path's per-write charges).
+        for _ in &held {
+            crate::contention::charge_shared_rmw();
+        }
+        for entry in self.writes.values() {
+            entry.slot.write_back();
+        }
+        self.release_held(&held, Some(wv));
+        self.exit_gates();
+        self.rt.stats().record_commit(false);
+        Ok(())
+    }
+
+    fn exit_gates(&self) {
+        for &(lock, _) in &self.subs {
+            lock.committer_exit();
+        }
+    }
+
+    fn release_held(&self, held: &[(StripeId, StripeSnapshot)], new_version: Option<u64>) {
+        let table = self.rt.table();
+        for &(s, snap) in held {
+            match new_version {
+                Some(v) => table.unlock_with_version(s, v),
+                None => table.unlock_restore(s, snap),
+            }
+        }
+    }
+
+    /// Discards the transaction: buffered writes are dropped.
+    ///
+    /// Equivalent to letting the context fall out of scope; provided for
+    /// call sites that want to make the roll-back explicit.
+    pub fn rollback(self) {
+        drop(self);
+    }
+}
+
+impl std::fmt::Debug for Tx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tx")
+            .field("mode", &self.mode)
+            .field("rv", &self.rv)
+            .field("reads", &self.reads.len())
+            .field("write_lines", &self.write_lines.len())
+            .field("depth", &self.depth)
+            .field("doomed", &self.doomed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HtmConfig;
+
+    fn rt() -> HtmRuntime {
+        HtmRuntime::new(HtmConfig::coffee_lake())
+    }
+
+    #[test]
+    fn fast_path_read_write_commit() {
+        let rt = rt();
+        let v = TxVar::new(1u64);
+        let mut tx = Tx::fast(&rt);
+        assert_eq!(tx.read(&v).unwrap(), 1);
+        tx.write(&v, 2).unwrap();
+        assert_eq!(tx.read(&v).unwrap(), 2, "read-your-own-write");
+        tx.commit().unwrap();
+        let mut check = Tx::fast(&rt);
+        assert_eq!(check.read(&v).unwrap(), 2);
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn rollback_discards_buffered_writes() {
+        let rt = rt();
+        let v = TxVar::new(10u64);
+        let mut tx = Tx::fast(&rt);
+        tx.write(&v, 99).unwrap();
+        tx.rollback();
+        let mut check = Tx::fast(&rt);
+        assert_eq!(check.read(&v).unwrap(), 10);
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn doomed_tx_stays_doomed() {
+        let rt = rt();
+        let v = TxVar::new(0u32);
+        let mut tx = Tx::fast(&rt);
+        let abort = tx.explicit_abort(0x42);
+        assert_eq!(abort.cause, AbortCause::Explicit(0x42));
+        assert_eq!(tx.read(&v).unwrap_err().cause, AbortCause::Explicit(0x42));
+        assert_eq!(tx.commit().unwrap_err().cause, AbortCause::Explicit(0x42));
+    }
+
+    #[test]
+    fn write_capacity_aborts() {
+        let rt = HtmRuntime::new(HtmConfig::tiny());
+        // Heap-allocate cells so they land on distinct lines.
+        let cells: Vec<Box<TxVar<u64>>> = (0..64).map(|_| Box::new(TxVar::new(0))).collect();
+        let mut tx = Tx::fast(&rt);
+        let mut aborted = None;
+        for c in &cells {
+            if let Err(a) = tx.write(c, 1) {
+                aborted = Some(a);
+                break;
+            }
+        }
+        assert_eq!(aborted.expect("must abort").cause, AbortCause::Capacity);
+    }
+
+    #[test]
+    fn read_capacity_aborts() {
+        let rt = HtmRuntime::new(HtmConfig::tiny());
+        let cells: Vec<Box<TxVar<u64>>> = (0..64).map(|_| Box::new(TxVar::new(0))).collect();
+        let mut tx = Tx::fast(&rt);
+        let mut aborted = None;
+        for c in &cells {
+            if let Err(a) = tx.read(c) {
+                aborted = Some(a);
+                break;
+            }
+        }
+        assert_eq!(aborted.expect("must abort").cause, AbortCause::Capacity);
+    }
+
+    #[test]
+    fn nesting_depth_aborts() {
+        let rt = HtmRuntime::new(HtmConfig::tiny());
+        let mut tx = Tx::fast(&rt);
+        tx.enter_nested().unwrap(); // depth 2
+        tx.enter_nested().unwrap(); // depth 3
+        let err = tx.enter_nested().unwrap_err(); // depth 4 > 3
+        assert_eq!(err.cause, AbortCause::Nested);
+    }
+
+    #[test]
+    fn conflict_detected_between_transactions() {
+        let rt = rt();
+        let v = TxVar::new(0u64);
+        let mut a = Tx::fast(&rt);
+        let mut b = Tx::fast(&rt);
+        assert_eq!(a.read(&v).unwrap(), 0);
+        b.write(&v, 5).unwrap();
+        b.commit().unwrap();
+        let err = a.commit().unwrap_err();
+        assert_eq!(err.cause, AbortCause::Conflict);
+    }
+
+    #[test]
+    fn disjoint_transactions_both_commit() {
+        let rt = rt();
+        let x = Box::new(TxVar::new(0u64));
+        let y = Box::new(TxVar::new(0u64));
+        let mut a = Tx::fast(&rt);
+        let mut b = Tx::fast(&rt);
+        a.write(&*x, 1).unwrap();
+        b.write(&*y, 2).unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        let mut check = Tx::direct(&rt);
+        assert_eq!(check.read(&x).unwrap(), 1);
+        assert_eq!(check.read(&y).unwrap(), 2);
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn lock_subscription_aborts_when_held() {
+        let rt = rt();
+        let lw = LockWord::new();
+        lw.mark_held_and_drain();
+        let mut tx = Tx::fast(&rt);
+        let err = tx.subscribe_lock(&lw, Elision::Write).unwrap_err();
+        assert_eq!(err.cause, AbortCause::Explicit(LOCK_HELD_CODE));
+    }
+
+    #[test]
+    fn lock_acquired_mid_tx_aborts_at_commit() {
+        let rt = rt();
+        let lw = LockWord::new();
+        let v = TxVar::new(0u64);
+        let mut tx = Tx::fast(&rt);
+        tx.subscribe_lock(&lw, Elision::Write).unwrap();
+        tx.write(&v, 1).unwrap();
+        lw.mark_held_and_drain();
+        let err = tx.commit().unwrap_err();
+        assert_eq!(err.cause, AbortCause::Explicit(LOCK_HELD_CODE));
+        lw.clear_held();
+    }
+
+    #[test]
+    fn direct_write_aborts_overlapping_reader() {
+        let rt = rt();
+        let v = TxVar::new(0u64);
+        let mut reader = Tx::fast(&rt);
+        assert_eq!(reader.read(&v).unwrap(), 0);
+        let mut slow = Tx::direct(&rt);
+        slow.write(&v, 7).unwrap();
+        slow.commit().unwrap();
+        assert_eq!(reader.commit().unwrap_err().cause, AbortCause::Conflict);
+    }
+
+    #[test]
+    fn unfriendly_only_aborts_fast_path() {
+        let rt = rt();
+        let mut fast = Tx::fast(&rt);
+        assert_eq!(fast.unfriendly().unwrap_err().cause, AbortCause::Unfriendly);
+        let mut slow = Tx::direct(&rt);
+        slow.unfriendly().unwrap();
+        slow.commit().unwrap();
+    }
+
+    #[test]
+    fn spurious_aborts_fire_at_rate_one() {
+        let mut cfg = HtmConfig::coffee_lake();
+        cfg.spurious_abort_rate = 1.0;
+        let rt = HtmRuntime::new(cfg);
+        let v = TxVar::new(0u64);
+        let mut tx = Tx::fast(&rt);
+        assert_eq!(tx.read(&v).unwrap_err().cause, AbortCause::Retry);
+    }
+
+    #[test]
+    fn stats_track_commits_and_aborts() {
+        let rt = rt();
+        let v = TxVar::new(0u64);
+        let mut ok = Tx::fast(&rt);
+        ok.write(&v, 1).unwrap();
+        ok.commit().unwrap();
+        let mut ro = Tx::fast(&rt);
+        let _ = ro.read(&v).unwrap();
+        ro.commit().unwrap();
+        let mut bad = Tx::fast(&rt);
+        let _ = bad.explicit_abort(1);
+        bad.rollback();
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.starts, 3);
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.read_only_commits, 1);
+        assert_eq!(snap.aborts_explicit, 1);
+    }
+
+    #[test]
+    fn timestamp_extension_allows_read_after_unrelated_commit() {
+        let rt = rt();
+        let x = Box::new(TxVar::new(0u64));
+        let y = Box::new(TxVar::new(0u64));
+        let mut a = Tx::fast(&rt); // rv snapshot taken now
+                                   // An unrelated commit advances the clock and bumps y's stripe.
+        let mut b = Tx::fast(&rt);
+        b.write(&*y, 9).unwrap();
+        b.commit().unwrap();
+        // `a` now reads y: version is newer than rv, extension succeeds
+        // because a's (empty) read set is trivially valid.
+        assert_eq!(a.read(&y).unwrap(), 9);
+        assert_eq!(a.read(&x).unwrap(), 0);
+        a.commit().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod direct_interop_tests {
+    use super::*;
+    use crate::config::HtmConfig;
+    use crate::runtime::HtmRuntime;
+    use crate::txvar::TxVar;
+
+    /// Regression: direct-mode writes must keep stripe versions within the
+    /// global clock, or every later speculative read of the touched lines
+    /// spins through failed extensions and aborts.
+    #[test]
+    fn fast_reads_succeed_after_direct_writes() {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let cells: Vec<TxVar<u64>> = (0..64).map(TxVar::new).collect();
+        let mut slow = Tx::direct(&rt);
+        for (i, c) in cells.iter().enumerate() {
+            slow.write(c, i as u64 + 100).unwrap();
+        }
+        slow.commit().unwrap();
+        // A fresh fast transaction must read every cell and commit.
+        let mut fast = Tx::fast(&rt);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(fast.read(c).unwrap(), i as u64 + 100);
+        }
+        fast.commit()
+            .expect("read-only tx after direct writes must commit");
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.aborts_conflict, 0, "no spurious conflicts: {snap:?}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Transactional memory cells.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+
+/// A word of transactional memory.
+///
+/// A `TxVar<T>` is the unit of data the simulated HTM versions. Hardware
+/// transactional memory works on raw memory; a software simulation cannot
+/// intercept arbitrary loads and stores, so shared state that should be
+/// covered by elided critical sections is declared as `TxVar`s and accessed
+/// through a [`Tx`](crate::Tx) context. The context is either in fast-path
+/// (speculative, validated) or direct (slow-path, mutex-held) mode, so the
+/// same data-structure code serves both executions.
+///
+/// `T: Copy` because speculative readers use the seqlock pattern: read the
+/// stripe version, copy the value with a volatile read, and re-check the
+/// version. A torn copy is discarded before it is ever inspected, which is
+/// only sound for plain-old-data; structured values should be boxed into
+/// arenas and referenced by `Copy` handles (see `gocc-txds`).
+///
+/// # Access protocol (the safety contract)
+///
+/// Data guarded by a mutex must only be accessed:
+///
+/// 1. inside fast-path transactions that subscribed to that mutex's
+///    [`LockWord`](crate::LockWord), or
+/// 2. in direct mode while that mutex is actually held, or
+/// 3. via `&mut self` methods (exclusive access).
+///
+/// This mirrors the paper's precondition that input programs are properly
+/// synchronized; GOCC never creates new data races, and neither does this
+/// simulation as long as the protocol is followed.
+#[derive(Default)]
+pub struct TxVar<T> {
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: `TxVar` is shared across threads, but every access path is
+// mediated by `Tx`: speculative reads are validated seqlock copies, commit
+// write-backs and direct-mode writes hold the stripe lock, and the access
+// protocol above excludes same-location races between slow-path owners and
+// committed fast paths. `T: Send` is required because values move across
+// threads; `T: Copy` bounds on the accessors keep torn reads free of
+// ownership (no drop, no pointers invalidated by tearing).
+unsafe impl<T: Copy + Send> Sync for TxVar<T> {}
+// SAFETY: sending the cell itself only moves the owned `T`.
+unsafe impl<T: Send> Send for TxVar<T> {}
+
+impl<T> TxVar<T> {
+    /// Creates a cell holding `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        TxVar {
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// The address used for stripe mapping and write-set keying.
+    #[must_use]
+    pub fn addr(&self) -> usize {
+        self.value.get() as usize
+    }
+
+    /// Exclusive access to the value; no transaction machinery involved.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: Copy> TxVar<T> {
+    /// Racy volatile load used by the engine under the seqlock protocol.
+    ///
+    /// # Safety
+    ///
+    /// The caller must either hold exclusive access, or be prepared to
+    /// discard the result if the surrounding stripe validation fails (a
+    /// concurrent committer may be storing to the cell; the copy may be
+    /// torn). `T: Copy` guarantees discarding a torn copy is harmless.
+    pub(crate) unsafe fn load_racy(&self) -> T {
+        // SAFETY: per this function's contract, torn values are discarded
+        // after stripe re-validation; volatile prevents the compiler from
+        // caching or splitting the access in surprising ways. This is the
+        // seqlock idiom also used by crossbeam's `AtomicCell` for oversized
+        // types.
+        unsafe { std::ptr::read_volatile(self.value.get()) }
+    }
+
+    /// Store used by commit write-back and direct mode, both of which hold
+    /// the cell's stripe lock.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the stripe lock covering this cell's address
+    /// (or exclusive access), so no other thread is storing concurrently.
+    pub(crate) unsafe fn store_locked(&self, value: T) {
+        // SAFETY: stripe lock excludes concurrent writers; concurrent
+        // speculative readers discard torn copies per `load_racy`.
+        unsafe { std::ptr::write_volatile(self.value.get(), value) }
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for TxVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Debug output is inherently racy but only used for diagnostics.
+        // SAFETY: value is discarded after formatting; `T: Copy`.
+        let v = unsafe { self.load_racy() };
+        f.debug_tuple("TxVar").field(&v).finish()
+    }
+}
+
+/// A cache-line-padded wrapper to opt data *out* of false sharing.
+///
+/// `TxVar`s placed contiguously share stripes (and abort each other) exactly
+/// like fields sharing a cache line do on hardware; wrap elements in
+/// `Padded` where the modeled data structure would be padded too.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct Padded<T>(pub T);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut v = TxVar::new(41);
+        *v.get_mut() += 1;
+        assert_eq!(v.into_inner(), 42);
+    }
+
+    #[test]
+    fn addr_is_stable() {
+        let v = TxVar::new(0u64);
+        assert_eq!(v.addr(), v.addr());
+    }
+
+    #[test]
+    fn padded_is_line_aligned() {
+        assert_eq!(std::mem::align_of::<Padded<TxVar<u8>>>(), 64);
+        let arr = [Padded(TxVar::new(0u8)), Padded(TxVar::new(0u8))];
+        assert!(arr[1].0.addr() - arr[0].0.addr() >= 64);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property: interleaved transactional histories are serializable — a
+//! sequence of transactions (some aborted) applied against `TxVar`s must
+//! leave exactly the state a sequential model produces from the committed
+//! subset.
+
+use gocc_htm::{HtmConfig, HtmRuntime, Tx, TxVar};
+use proptest::prelude::*;
+
+const CELLS: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Read(u8),
+    Add(u8, u8),
+    Copy(u8, u8),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<u8>().prop_map(Step::Read),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, d)| Step::Add(a, d)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Copy(a, b)),
+    ]
+}
+
+#[derive(Clone, Debug)]
+struct TxSpec {
+    steps: Vec<Step>,
+    abort: bool,
+}
+
+fn tx_spec() -> impl Strategy<Value = TxSpec> {
+    (proptest::collection::vec(step(), 1..12), any::<bool>())
+        .prop_map(|(steps, abort)| TxSpec { steps, abort })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn committed_transactions_apply_exactly_once(specs in proptest::collection::vec(tx_spec(), 1..24)) {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let cells: Vec<TxVar<u64>> = (0..CELLS).map(|i| TxVar::new(i as u64)).collect();
+        let mut model: Vec<u64> = (0..CELLS as u64).collect();
+
+        for spec in &specs {
+            let mut tx = Tx::fast(&rt);
+            let mut shadow = model.clone();
+            let mut ok = true;
+            for s in &spec.steps {
+                match s {
+                    Step::Read(a) => {
+                        let i = *a as usize % CELLS;
+                        let got = tx.read(&cells[i]);
+                        match got {
+                            Ok(v) => prop_assert_eq!(v, shadow[i], "read sees model state"),
+                            Err(_) => { ok = false; break; }
+                        }
+                    }
+                    Step::Add(a, d) => {
+                        let i = *a as usize % CELLS;
+                        let cur = match tx.read(&cells[i]) {
+                            Ok(v) => v,
+                            Err(_) => { ok = false; break; }
+                        };
+                        if tx.write(&cells[i], cur.wrapping_add(u64::from(*d))).is_err() {
+                            ok = false; break;
+                        }
+                        shadow[i] = shadow[i].wrapping_add(u64::from(*d));
+                    }
+                    Step::Copy(a, b) => {
+                        let (i, j) = (*a as usize % CELLS, *b as usize % CELLS);
+                        let v = match tx.read(&cells[i]) {
+                            Ok(v) => v,
+                            Err(_) => { ok = false; break; }
+                        };
+                        let shadow_v = shadow[i];
+                        if tx.write(&cells[j], v).is_err() { ok = false; break; }
+                        shadow[j] = shadow_v;
+                    }
+                }
+            }
+            if spec.abort || !ok {
+                tx.rollback();
+                // Model unchanged: aborted transactions leave no trace.
+            } else {
+                prop_assert!(tx.commit().is_ok(), "single-threaded commit succeeds");
+                model = shadow;
+            }
+            // Cross-check live state against the model after every tx.
+            let mut check = Tx::direct(&rt);
+            for (i, cell) in cells.iter().enumerate() {
+                prop_assert_eq!(check.read(cell).unwrap(), model[i], "cell {}", i);
+            }
+            check.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn capacity_limits_are_exact(writes in 1usize..40) {
+        let rt = HtmRuntime::new(HtmConfig::tiny()); // 8 write lines
+        let cells: Vec<Box<TxVar<u64>>> = (0..writes).map(|_| Box::new(TxVar::new(0))).collect();
+        let mut tx = Tx::fast(&rt);
+        let mut failed_at = None;
+        for (i, c) in cells.iter().enumerate() {
+            if tx.write(c, 1).is_err() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        // Heap boxes may share cache lines, so the abort index is at least
+        // the modeled line capacity (8), never before it.
+        match failed_at {
+            Some(i) => prop_assert!(i >= 8, "aborted before the modeled capacity: {}", i),
+            None => prop_assert!(writes <= 16, "never aborted with {} writes", writes),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The HTM retry policy (Listing 19's `MAX_ATTEMPTS` loop).
+
+use gocc_htm::AbortCause;
+
+/// Decides whether and how often to retry aborted transactions before
+/// falling back to the lock.
+///
+/// Per §2 (challenge five), naive fall-back on every abort is detrimental,
+/// but so is unbounded retrying under genuine conflicts; the policy retries
+/// transient causes a bounded number of times and gives up immediately on
+/// deterministic ones (capacity, unfriendly instructions, mismatched
+/// mutexes).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// HTM attempts per critical-section execution (Listing 19's
+    /// `MAX_ATTEMPTS`).
+    pub max_attempts: u32,
+    /// Spin iterations while waiting for a held lock to release before
+    /// starting a transaction ("spin with pause till lock held" in
+    /// Listing 19).
+    pub lock_wait_spins: u32,
+}
+
+impl RetryPolicy {
+    /// Whether an abort with `cause` merits another fast-path attempt,
+    /// given `attempts_left` attempts remain.
+    #[must_use]
+    pub fn should_retry(&self, cause: AbortCause, attempts_left: u32) -> bool {
+        attempts_left > 0 && cause.is_transient()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            lock_wait_spins: 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_htm::{LOCK_HELD_CODE, MUTEX_MISMATCH_CODE};
+
+    #[test]
+    fn transient_causes_retry_while_budget_remains() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(AbortCause::Conflict, 2));
+        assert!(p.should_retry(AbortCause::Retry, 1));
+        assert!(p.should_retry(AbortCause::Explicit(LOCK_HELD_CODE), 1));
+        assert!(!p.should_retry(AbortCause::Conflict, 0));
+    }
+
+    #[test]
+    fn deterministic_causes_never_retry() {
+        let p = RetryPolicy::default();
+        assert!(!p.should_retry(AbortCause::Capacity, 3));
+        assert!(!p.should_retry(AbortCause::Unfriendly, 3));
+        assert!(!p.should_retry(AbortCause::Explicit(MUTEX_MISMATCH_CODE), 3));
+    }
+}

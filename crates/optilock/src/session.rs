@@ -1,0 +1,830 @@
+//! `FastLock()`/`FastUnlock()` — the paper's Listing 19, in safe Rust.
+//!
+//! # Model
+//!
+//! On hardware, a transaction is an ambient property of the executing
+//! thread: `FastLock` runs `xbegin`, `FastUnlock` runs `xend`, and an abort
+//! anywhere rolls control back to the outermost `xbegin`, re-executing the
+//! user code in between. Safe Rust cannot jump backwards into a caller, so
+//! the ambient transaction is reified as an [`HtmScope`] and the
+//! re-execution loop lives either in the caller (transformed code style) or
+//! in the [`critical_mutex`]/[`critical_read`]/[`critical_write`] helpers.
+//!
+//! [`OptiLock`] mirrors the paper's two-field struct (`slowPath` +
+//! `lkMutex`): one instance serves one lock/unlock pair, memorizes the
+//! mutex used at the lock point, and recovers from analyzer mis-pairings
+//! (e.g. hand-over-hand traversals, §5.2.3) by aborting on a mutex
+//! mismatch at the unlock point and enforcing the slow path on the retry.
+//!
+//! Nested pairs compose through the shared scope the way nested `xbegin`s
+//! compose in TSX: flat subsumption, one commit at the outermost unlock.
+//! Two deliberate simplifications relative to running real RTM, both noted
+//! in DESIGN.md: a nested `FastLock` inside an active fast-path scope
+//! always speculates (no per-nesting perceptron query), and a nested
+//! `FastLock` inside a slow-path scope acquires pessimistically.
+
+use gocc_gosync::procs;
+use gocc_htm::{Abort, Elision, LockWord, Tx, TxResult, MUTEX_MISMATCH_CODE};
+
+use crate::elidable::{ElidableMutex, ElidableRwMutex};
+use crate::runtime::GoccRuntime;
+use crate::stats::OptiStats;
+
+/// A reference to an elidable lock plus the acquisition kind.
+#[derive(Clone, Copy, Debug)]
+pub enum LockRef<'a> {
+    /// `m.Lock()` on a `sync.Mutex`.
+    Mutex(&'a ElidableMutex),
+    /// `m.RLock()` on a `sync.RWMutex`.
+    Read(&'a ElidableRwMutex),
+    /// `m.Lock()` on a `sync.RWMutex`.
+    Write(&'a ElidableRwMutex),
+}
+
+/// Identity of a lock acquisition for `lkMutex` matching: the lock's
+/// address plus the acquisition kind.
+pub(crate) type LockKey = (usize, u8);
+
+impl<'a> LockRef<'a> {
+    fn word(&self) -> &'a LockWord {
+        match self {
+            LockRef::Mutex(m) => m.word(),
+            LockRef::Read(rw) | LockRef::Write(rw) => rw.word(),
+        }
+    }
+
+    fn kind(&self) -> Elision {
+        match self {
+            LockRef::Mutex(_) | LockRef::Write(_) => Elision::Write,
+            LockRef::Read(_) => Elision::Read,
+        }
+    }
+
+    pub(crate) fn key(&self) -> LockKey {
+        match self {
+            LockRef::Mutex(m) => (m.id(), 0),
+            LockRef::Read(rw) => (rw.id(), 1),
+            LockRef::Write(rw) => (rw.id(), 2),
+        }
+    }
+
+    fn lock_id(&self) -> usize {
+        self.key().0
+    }
+
+    fn slow_acquire(&self) {
+        match self {
+            LockRef::Mutex(m) => m.lock_raw(),
+            LockRef::Read(rw) => rw.rlock_raw(),
+            LockRef::Write(rw) => rw.lock_raw(),
+        }
+    }
+
+    fn slow_release(&self) {
+        match self {
+            LockRef::Mutex(m) => m.unlock_raw(),
+            LockRef::Read(rw) => rw.runlock_raw(),
+            LockRef::Write(rw) => rw.unlock_raw(),
+        }
+    }
+
+    fn available(&self) -> bool {
+        let snapshot = self.word().observe();
+        match self.kind() {
+            Elision::Read => !LockWord::snapshot_blocks_read(snapshot),
+            Elision::Write => !LockWord::snapshot_blocks_write(snapshot),
+        }
+    }
+}
+
+enum ScopeState<'a> {
+    Idle,
+    Fast { tx: Tx<'a>, depth: u32 },
+    Slow { tx: Tx<'a>, depth: u32 },
+}
+
+/// The ambient transactional state of one critical-section execution.
+///
+/// Plays the role the thread's hardware transaction plays on real RTM:
+/// `OptiLock`s of nested pairs share it, and an abort discards it wholesale.
+pub struct HtmScope<'a> {
+    rt: &'a GoccRuntime,
+    state: ScopeState<'a>,
+}
+
+impl<'a> HtmScope<'a> {
+    /// Creates an idle scope bound to a runtime.
+    #[must_use]
+    pub fn new(rt: &'a GoccRuntime) -> Self {
+        HtmScope {
+            rt,
+            state: ScopeState::Idle,
+        }
+    }
+
+    /// The runtime this scope executes against.
+    #[must_use]
+    pub fn runtime(&self) -> &'a GoccRuntime {
+        self.rt
+    }
+
+    /// Whether a critical section is currently executing.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !matches!(self.state, ScopeState::Idle)
+    }
+
+    /// Whether the active section speculates.
+    #[must_use]
+    pub fn is_fastpath(&self) -> bool {
+        matches!(self.state, ScopeState::Fast { .. })
+    }
+
+    /// The transaction context for data access inside the section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no critical section is active (no `FastLock` succeeded).
+    pub fn tx(&mut self) -> &mut Tx<'a> {
+        match &mut self.state {
+            ScopeState::Fast { tx, .. } | ScopeState::Slow { tx, .. } => tx,
+            ScopeState::Idle => panic!("optilock: data access outside a critical section"),
+        }
+    }
+
+    /// Discards an aborted section so the caller can re-execute it.
+    ///
+    /// This is the equivalent of the hardware rollback landing back at the
+    /// outermost `xbegin`: buffered writes are dropped and the scope
+    /// becomes idle. Pessimistically held locks are *not* released — the
+    /// slow path cannot abort, so an active slow scope is a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the active section runs on the slow path.
+    pub fn abort_restart(&mut self) {
+        match std::mem::replace(&mut self.state, ScopeState::Idle) {
+            ScopeState::Idle => {}
+            ScopeState::Fast { tx, .. } => tx.rollback(),
+            ScopeState::Slow { .. } => {
+                panic!("optilock: abort_restart on a slow-path section")
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Decision {
+    Htm,
+    SlowPerceptron,
+    SlowBypass,
+    SlowExhausted,
+}
+
+/// The paper's `OptiLock`: per lock/unlock pair state.
+///
+/// Mirrors the two published fields — `slowPath` (did this pair fall back?)
+/// and `lkMutex` (the mutex memorized at the lock point for mismatch
+/// detection) — plus the retry budget that hardware keeps in registers
+/// across rollbacks, and the perceptron features of this call site.
+pub struct OptiLock {
+    site: usize,
+    slow_path: bool,
+    lk: Option<LockKey>,
+    attempts_left: u32,
+    attempted_htm: bool,
+    decision: Option<Decision>,
+}
+
+impl OptiLock {
+    /// Creates the state object for one lock/unlock pair.
+    ///
+    /// `site` is the calling-context feature; use [`crate::call_site!`].
+    #[must_use]
+    pub fn new(site: usize) -> Self {
+        OptiLock {
+            site,
+            slow_path: false,
+            lk: None,
+            attempts_left: u32::MAX,
+            attempted_htm: false,
+            decision: None,
+        }
+    }
+
+    /// Whether the last `FastLock` fell back to the real lock.
+    #[must_use]
+    pub fn on_slow_path(&self) -> bool {
+        self.slow_path
+    }
+
+    /// The lock point: Listing 19's `FastLock`.
+    ///
+    /// Decides HTM vs. lock (perceptron, single-thread bypass, retry
+    /// budget), spin-waits for the lock to look free, then either starts /
+    /// joins a speculation or acquires the lock pessimistically.
+    ///
+    /// At the outermost level this never fails. Inside an active fast-path
+    /// scope it may return an abort (e.g. nesting depth, inner lock held);
+    /// the scope is then rolled back and the caller must re-execute the
+    /// section from its outermost `fast_lock`.
+    pub fn fast_lock<'a>(&mut self, scope: &mut HtmScope<'a>, lock: LockRef<'a>) -> TxResult<()> {
+        let nested_outcome = match &mut scope.state {
+            ScopeState::Fast { tx, depth } => {
+                // Nested pair inside a speculation: flat nesting.
+                let result = tx
+                    .enter_nested()
+                    .and_then(|()| tx.subscribe_lock(lock.word(), lock.kind()));
+                if result.is_ok() {
+                    *depth += 1;
+                }
+                Some(result)
+            }
+            ScopeState::Slow { depth, .. } => {
+                // Nested pair inside a slow section: acquire pessimistically.
+                lock.slow_acquire();
+                *depth += 1;
+                self.slow_path = true;
+                self.lk = Some(lock.key());
+                Some(Ok(()))
+            }
+            ScopeState::Idle => None,
+        };
+        match nested_outcome {
+            Some(Ok(())) => {
+                if scope.is_fastpath() {
+                    self.slow_path = false;
+                    self.lk = Some(lock.key());
+                }
+                Ok(())
+            }
+            Some(Err(abort)) => {
+                self.note_abort(&abort);
+                scope.abort_restart();
+                Err(abort)
+            }
+            None => {
+                self.begin_section(scope, lock);
+                Ok(())
+            }
+        }
+    }
+
+    fn begin_section<'a>(&mut self, scope: &mut HtmScope<'a>, lock: LockRef<'a>) {
+        let rt = scope.rt;
+        if self.decision.is_none() {
+            // First execution of this section by this OptiLock: take the
+            // retry budget and ask the predictor.
+            self.attempts_left = rt.policy().max_attempts;
+            self.attempted_htm = false;
+        }
+        let decision = self.decide(rt, lock);
+        self.decision = Some(decision);
+        if decision == Decision::Htm {
+            // Spin with pause until the lock looks free (Listing 19).
+            let mut spins = rt.policy().lock_wait_spins;
+            while !lock.available() && spins > 0 {
+                if spins.is_multiple_of(32) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                spins -= 1;
+            }
+            OptiStats::add(&rt.stats().htm_attempts);
+            self.attempted_htm = true;
+            let mut tx = Tx::fast(rt.htm());
+            match tx.subscribe_lock(lock.word(), lock.kind()) {
+                Ok(()) => {
+                    scope.state = ScopeState::Fast { tx, depth: 1 };
+                    self.slow_path = false;
+                    self.lk = Some(lock.key());
+                    return;
+                }
+                Err(abort) => {
+                    tx.rollback();
+                    self.note_abort(&abort);
+                    // Immediately re-decide; exhausted budgets fall through
+                    // to the slow path below via `decide`.
+                    if self.decide(rt, lock) == Decision::Htm {
+                        return self.begin_section(scope, lock);
+                    }
+                }
+            }
+        }
+        // Slow path: the original lock.
+        lock.slow_acquire();
+        scope.state = ScopeState::Slow {
+            tx: Tx::direct(rt.htm()),
+            depth: 1,
+        };
+        self.slow_path = true;
+        self.lk = Some(lock.key());
+    }
+
+    fn decide(&self, rt: &GoccRuntime, lock: LockRef<'_>) -> Decision {
+        if self.attempts_left == 0 {
+            return Decision::SlowExhausted;
+        }
+        if procs() == 1 {
+            // §5.4.2: never speculate in a single-OS-thread process.
+            OptiStats::add(&rt.stats().single_thread_bypass);
+            return Decision::SlowBypass;
+        }
+        if !rt.perceptron_enabled() {
+            return Decision::Htm;
+        }
+        let features = rt.perceptron().features(lock.lock_id(), self.site);
+        if rt.perceptron().predict(features) {
+            OptiStats::add(&rt.stats().perceptron_htm);
+            Decision::Htm
+        } else {
+            OptiStats::add(&rt.stats().perceptron_slow);
+            Decision::SlowPerceptron
+        }
+    }
+
+    fn note_abort(&mut self, abort: &Abort) {
+        self.attempts_left = self.attempts_left.saturating_sub(1);
+        if !abort.cause.is_transient() {
+            // Deterministic causes exhaust the budget immediately.
+            self.attempts_left = 0;
+        }
+    }
+
+    /// The unlock point: Listing 19's `FastUnlock`.
+    ///
+    /// On the slow path this releases the lock *passed in* (exactly like
+    /// the published pseudo-code). On the fast path it verifies the mutex
+    /// against the one memorized by `fast_lock`; a mismatch — the signature
+    /// of an analyzer mis-pairing such as hand-over-hand locking — aborts
+    /// the speculation and enforces the slow path for the re-execution.
+    ///
+    /// Returns `Err` when the section must be re-executed by the caller
+    /// (mismatch abort or commit-time conflict).
+    pub fn fast_unlock<'a>(&mut self, scope: &mut HtmScope<'a>, lock: LockRef<'a>) -> TxResult<()> {
+        let rt = scope.rt;
+        match std::mem::replace(&mut scope.state, ScopeState::Idle) {
+            ScopeState::Idle => panic!("optilock: FastUnlock without FastLock"),
+            ScopeState::Slow { tx, depth } => {
+                lock.slow_release();
+                if depth > 1 {
+                    scope.state = ScopeState::Slow {
+                        tx,
+                        depth: depth - 1,
+                    };
+                } else {
+                    drop(tx);
+                    self.complete_section(rt, lock, false);
+                }
+                Ok(())
+            }
+            ScopeState::Fast { mut tx, depth } => {
+                if self.lk != Some(lock.key()) {
+                    // Mutex mismatch: roll everything back, enforce slow.
+                    OptiStats::add(&rt.stats().mismatch_recoveries);
+                    let abort = tx.explicit_abort(MUTEX_MISMATCH_CODE);
+                    tx.rollback();
+                    self.note_abort(&abort);
+                    return Err(abort);
+                }
+                if depth > 1 {
+                    tx.exit_nested();
+                    // Inner pair finished speculatively; train optimistically
+                    // like the hardware version, whose nested XEND also runs
+                    // the weight update.
+                    self.train_fast_completion(rt, lock);
+                    scope.state = ScopeState::Fast {
+                        tx,
+                        depth: depth - 1,
+                    };
+                    return Ok(());
+                }
+                match tx.commit() {
+                    Ok(()) => {
+                        OptiStats::add(&rt.stats().fast_commits);
+                        self.train_fast_completion(rt, lock);
+                        self.finish();
+                        Ok(())
+                    }
+                    Err(abort) => {
+                        self.note_abort(&abort);
+                        Err(abort)
+                    }
+                }
+            }
+        }
+    }
+
+    fn train_fast_completion(&self, rt: &GoccRuntime, lock: LockRef<'_>) {
+        if rt.perceptron_enabled() {
+            let features = rt.perceptron().features(lock.lock_id(), self.site);
+            rt.perceptron().reward(features);
+        }
+    }
+
+    fn complete_section(&mut self, rt: &GoccRuntime, lock: LockRef<'_>, _on_fast: bool) {
+        OptiStats::add(&rt.stats().slow_sections);
+        if self.attempted_htm && rt.perceptron_enabled() {
+            // HTM was tried but the section finished on the lock: penalize.
+            let features = rt.perceptron().features(lock.lock_id(), self.site);
+            rt.perceptron().penalize(features);
+        }
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.slow_path = false;
+        self.lk = None;
+        self.decision = None;
+        self.attempted_htm = false;
+        self.attempts_left = u32::MAX;
+    }
+}
+
+/// Runs `body` as a critical section eliding `lock`, re-executing on
+/// aborts exactly as hardware re-executes after rolling back to `xbegin`.
+///
+/// The body receives the ambient [`Tx`]; it must route every access to the
+/// protected data through it and propagate aborts with `?`.
+pub fn critical<'a, R>(
+    rt: &'a GoccRuntime,
+    site: usize,
+    lock: LockRef<'a>,
+    mut body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+) -> R {
+    let mut ol = OptiLock::new(site);
+    loop {
+        let mut scope = HtmScope::new(rt);
+        if ol.fast_lock(&mut scope, lock).is_err() {
+            continue;
+        }
+        match body(scope.tx()) {
+            Ok(value) => match ol.fast_unlock(&mut scope, lock) {
+                Ok(()) => return value,
+                Err(_) => continue,
+            },
+            Err(abort) => {
+                debug_assert!(
+                    scope.is_fastpath(),
+                    "critical-section bodies must not fail in direct mode (cause: {})",
+                    abort.cause
+                );
+                ol.note_abort(&abort);
+                scope.abort_restart();
+            }
+        }
+    }
+}
+
+/// [`critical`] specialized to a `sync.Mutex`.
+pub fn critical_mutex<'a, R>(
+    rt: &'a GoccRuntime,
+    site: usize,
+    m: &'a ElidableMutex,
+    body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+) -> R {
+    critical(rt, site, LockRef::Mutex(m), body)
+}
+
+/// [`critical`] specialized to a `sync.RWMutex` read acquisition.
+pub fn critical_read<'a, R>(
+    rt: &'a GoccRuntime,
+    site: usize,
+    rw: &'a ElidableRwMutex,
+    body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+) -> R {
+    critical(rt, site, LockRef::Read(rw), body)
+}
+
+/// [`critical`] specialized to a `sync.RWMutex` write acquisition.
+pub fn critical_write<'a, R>(
+    rt: &'a GoccRuntime,
+    site: usize,
+    rw: &'a ElidableRwMutex,
+    body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+) -> R {
+    critical(rt, site, LockRef::Write(rw), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::GoccConfig;
+    use gocc_htm::TxVar;
+
+    fn rt() -> GoccRuntime {
+        // Force multi-proc so the single-thread bypass does not mask HTM.
+        gocc_gosync::set_procs(8);
+        GoccRuntime::new_default()
+    }
+
+    #[test]
+    fn critical_mutex_increments_on_fast_path() {
+        let rt = rt();
+        let m = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        for _ in 0..10 {
+            critical_mutex(&rt, crate::call_site!(), &m, |tx| {
+                let cur = tx.read(&v)?;
+                tx.write(&v, cur + 1)
+            });
+        }
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.fast_commits, 10, "uncontended sections must elide");
+        assert_eq!(snap.slow_sections, 0);
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(check.read(&v).unwrap(), 10);
+    }
+
+    #[test]
+    fn held_lock_forces_slow_path_eventually() {
+        let rt = rt();
+        let m = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        // Hold the lock pessimistically from this thread?  Cannot — the
+        // slow path would deadlock. Instead verify interop: a pessimistic
+        // owner in another thread forces either waiting or fallback, and
+        // the count stays exact.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        critical_mutex(&rt, crate::call_site!(), &m, |tx| {
+                            let cur = tx.read(&v)?;
+                            tx.write(&v, cur + 1)
+                        });
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..50 {
+                    m.lock_raw();
+                    std::hint::spin_loop();
+                    m.unlock_raw();
+                }
+            });
+        });
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(check.read(&v).unwrap(), 400);
+    }
+
+    #[test]
+    fn unfriendly_section_falls_back_and_perceptron_learns() {
+        let rt = rt();
+        let m = ElidableMutex::new();
+        let site = crate::call_site!();
+        let mut outputs = 0u64;
+        for _ in 0..50 {
+            critical_mutex(&rt, site, &m, |tx| {
+                tx.unfriendly()?; // models an IO operation in the section
+                outputs += 1;
+                Ok(())
+            });
+        }
+        assert_eq!(
+            outputs, 50,
+            "every section must complete exactly once on the slow path"
+        );
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.slow_sections, 50);
+        // The perceptron must stop predicting HTM after a few penalties:
+        // far fewer than 50 HTM attempts happened.
+        assert!(
+            snap.htm_attempts < 20,
+            "perceptron failed to learn: {} attempts",
+            snap.htm_attempts
+        );
+        assert!(snap.perceptron_slow > 0);
+    }
+
+    #[test]
+    fn np_mode_always_attempts_htm() {
+        let rt = GoccRuntime::new(GoccConfig::no_perceptron());
+        gocc_gosync::set_procs(8);
+        let m = ElidableMutex::new();
+        let site = crate::call_site!();
+        for _ in 0..20 {
+            critical_mutex(&rt, site, &m, |tx| tx.unfriendly());
+        }
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.slow_sections, 20);
+        assert_eq!(snap.htm_attempts, 20, "NP mode must attempt HTM every time");
+    }
+
+    #[test]
+    fn single_thread_bypass() {
+        let prev = gocc_gosync::set_procs(1);
+        let rt = GoccRuntime::new_default();
+        let m = ElidableMutex::new();
+        critical_mutex(&rt, crate::call_site!(), &m, |_tx| Ok(()));
+        let snap = rt.stats().snapshot();
+        gocc_gosync::set_procs(if prev == 0 { 8 } else { prev });
+        assert_eq!(snap.htm_attempts, 0);
+        assert_eq!(snap.single_thread_bypass, 1);
+        assert_eq!(snap.slow_sections, 1);
+    }
+
+    #[test]
+    fn perfectly_nested_pairs_commit_once() {
+        let rt = rt();
+        let a = ElidableMutex::new();
+        let b = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        let mut scope = HtmScope::new(&rt);
+        let mut ol1 = OptiLock::new(crate::call_site!());
+        let mut ol2 = OptiLock::new(crate::call_site!());
+        // Listing 17: a.Lock(); b.Lock(); b.Unlock(); a.Unlock().
+        ol1.fast_lock(&mut scope, LockRef::Mutex(&a)).unwrap();
+        ol2.fast_lock(&mut scope, LockRef::Mutex(&b)).unwrap();
+        let cur = scope.tx().read(&v).unwrap();
+        scope.tx().write(&v, cur + 1).unwrap();
+        ol2.fast_unlock(&mut scope, LockRef::Mutex(&b)).unwrap();
+        ol1.fast_unlock(&mut scope, LockRef::Mutex(&a)).unwrap();
+        assert!(!scope.is_active());
+        let snap = rt.htm().stats().snapshot();
+        assert_eq!(snap.commits, 1, "flat nesting commits exactly once");
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(check.read(&v).unwrap(), 1);
+    }
+
+    #[test]
+    fn imperfectly_nested_pairs_commit_when_both_transformed() {
+        // Listing 18 with both pairs transformed: each OptiLock's lkMutex
+        // matches its own pair, so no mismatch fires.
+        let rt = rt();
+        let a = ElidableMutex::new();
+        let b = ElidableMutex::new();
+        let mut scope = HtmScope::new(&rt);
+        let mut ol1 = OptiLock::new(crate::call_site!());
+        let mut ol2 = OptiLock::new(crate::call_site!());
+        ol1.fast_lock(&mut scope, LockRef::Mutex(&a)).unwrap();
+        ol2.fast_lock(&mut scope, LockRef::Mutex(&b)).unwrap();
+        ol1.fast_unlock(&mut scope, LockRef::Mutex(&a)).unwrap();
+        ol2.fast_unlock(&mut scope, LockRef::Mutex(&b)).unwrap();
+        assert!(!scope.is_active());
+        assert_eq!(rt.stats().snapshot().mismatch_recoveries, 0);
+    }
+
+    #[test]
+    fn hand_over_hand_mismatch_recovers_to_slow_path() {
+        // Listing 6: the analyzer paired b.Lock() with a.Unlock(). The
+        // runtime must detect the mismatch, abort, and redo on the slow
+        // path, preserving correctness.
+        let rt = rt();
+        let a = ElidableMutex::new();
+        let b = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        let mut ol = OptiLock::new(crate::call_site!());
+        // Outer a.Lock() was left untransformed.
+        a.lock_raw();
+        loop {
+            let mut scope = HtmScope::new(&rt);
+            // Transformed inner pair: FastLock(b) ... FastUnlock(a).
+            if ol.fast_lock(&mut scope, LockRef::Mutex(&b)).is_err() {
+                continue;
+            }
+            let write_ok = (|| {
+                let cur = scope.tx().read(&v)?;
+                scope.tx().write(&v, cur + 1)
+            })();
+            if write_ok.is_err() {
+                scope.abort_restart();
+                continue;
+            }
+            match ol.fast_unlock(&mut scope, LockRef::Mutex(&a)) {
+                Ok(()) => break,
+                Err(abort) => {
+                    assert_eq!(
+                        abort.cause,
+                        gocc_htm::AbortCause::Explicit(MUTEX_MISMATCH_CODE)
+                    );
+                    if scope.is_active() {
+                        scope.abort_restart();
+                    }
+                    continue;
+                }
+            }
+        }
+        // The slow-path retry released `a` (as the paper's slowpath
+        // FastUnlock(l) releases the passed-in lock) and acquired `b`,
+        // which the outer untransformed b.Unlock() now releases.
+        b.unlock_raw();
+        assert!(!a.is_locked());
+        assert!(!b.is_locked());
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.mismatch_recoveries, 1);
+        assert_eq!(snap.slow_sections, 1);
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(
+            check.read(&v).unwrap(),
+            1,
+            "the aborted speculation must not have published its write"
+        );
+    }
+
+    #[test]
+    fn rw_read_elision_tolerates_slow_readers() {
+        let rt = rt();
+        let rw = ElidableRwMutex::new();
+        let v = TxVar::new(7u64);
+        // A pessimistic reader is inside the lock.
+        rw.rlock_raw();
+        let got = critical_read(&rt, crate::call_site!(), &rw, |tx| tx.read(&v));
+        rw.runlock_raw();
+        assert_eq!(got, 7);
+        assert_eq!(
+            rt.stats().snapshot().fast_commits,
+            1,
+            "read elision must not abort on slow readers"
+        );
+    }
+
+    #[test]
+    fn rw_write_elision_aborts_on_slow_readers() {
+        let rt = rt();
+        let rw = ElidableRwMutex::new();
+        let v = TxVar::new(0u64);
+        rw.rlock_raw();
+        // Release the read lock from another thread after a delay so the
+        // slow path can make progress.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                rw.runlock_raw();
+            });
+            critical_write(&rt, crate::call_site!(), &rw, |tx| tx.write(&v, 1));
+        });
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(check.read(&v).unwrap(), 1);
+        let snap = rt.stats().snapshot();
+        assert_eq!(
+            snap.fast_commits, 0,
+            "write elision must not speculate past an active slow reader"
+        );
+        assert_eq!(snap.slow_sections, 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_sections_scale_without_aborts() {
+        let rt = rt();
+        let m = ElidableMutex::new();
+        // Each thread updates its own padded cell: conflict-free under HTM.
+        let cells: Vec<gocc_htm::Padded<TxVar<u64>>> =
+            (0..4).map(|_| gocc_htm::Padded(TxVar::new(0))).collect();
+        std::thread::scope(|s| {
+            for cell in &cells {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        critical_mutex(&rt, crate::call_site!(), &m, |tx| {
+                            let cur = tx.read(&cell.0)?;
+                            tx.write(&cell.0, cur + 1)
+                        });
+                    }
+                });
+            }
+        });
+        for cell in &cells {
+            let mut check = Tx::direct(rt.htm());
+            assert_eq!(check.read(&cell.0).unwrap(), 200);
+        }
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.fast_commits + snap.slow_sections, 800);
+        assert!(
+            snap.fast_commits > 700,
+            "disjoint sections should mostly elide, got {} fast",
+            snap.fast_commits
+        );
+    }
+
+    #[test]
+    fn conflicting_sections_remain_correct() {
+        let rt = rt();
+        let m = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        critical_mutex(&rt, crate::call_site!(), &m, |tx| {
+                            let cur = tx.read(&v)?;
+                            tx.write(&v, cur + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(check.read(&v).unwrap(), 1000, "lost updates under elision");
+    }
+
+    #[test]
+    #[should_panic(expected = "FastUnlock without FastLock")]
+    fn unlock_without_lock_panics() {
+        let rt = rt();
+        let m = ElidableMutex::new();
+        let mut scope = HtmScope::new(&rt);
+        let mut ol = OptiLock::new(crate::call_site!());
+        let _ = ol.fast_unlock(&mut scope, LockRef::Mutex(&m));
+    }
+}

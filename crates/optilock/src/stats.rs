@@ -1,0 +1,84 @@
+//! `optiLib`-level statistics (decisions, paths taken, recoveries).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing `optiLib` decisions and outcomes.
+#[derive(Debug, Default)]
+pub struct OptiStats {
+    pub(crate) htm_attempts: AtomicU64,
+    pub(crate) fast_commits: AtomicU64,
+    pub(crate) slow_sections: AtomicU64,
+    pub(crate) perceptron_htm: AtomicU64,
+    pub(crate) perceptron_slow: AtomicU64,
+    pub(crate) single_thread_bypass: AtomicU64,
+    pub(crate) mismatch_recoveries: AtomicU64,
+}
+
+/// A point-in-time copy of [`OptiStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptiStatsSnapshot {
+    /// Transactions started by `FastLock`.
+    pub htm_attempts: u64,
+    /// Critical sections completed on the fast path.
+    pub fast_commits: u64,
+    /// Critical sections completed on the slow path (any reason).
+    pub slow_sections: u64,
+    /// Perceptron decisions in favor of HTM.
+    pub perceptron_htm: u64,
+    /// Perceptron decisions in favor of the lock.
+    pub perceptron_slow: u64,
+    /// Slow-path decisions due to the single-OS-thread bypass (§5.4.2).
+    pub single_thread_bypass: u64,
+    /// Mis-paired mutex recoveries (Appendix C hand-over-hand handling).
+    pub mismatch_recoveries: u64,
+}
+
+impl OptiStats {
+    pub(crate) fn add(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> OptiStatsSnapshot {
+        OptiStatsSnapshot {
+            htm_attempts: self.htm_attempts.load(Ordering::Relaxed),
+            fast_commits: self.fast_commits.load(Ordering::Relaxed),
+            slow_sections: self.slow_sections.load(Ordering::Relaxed),
+            perceptron_htm: self.perceptron_htm.load(Ordering::Relaxed),
+            perceptron_slow: self.perceptron_slow.load(Ordering::Relaxed),
+            single_thread_bypass: self.single_thread_bypass.load(Ordering::Relaxed),
+            mismatch_recoveries: self.mismatch_recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl OptiStatsSnapshot {
+    /// Fraction of critical sections that completed on the fast path.
+    #[must_use]
+    pub fn fast_ratio(&self) -> f64 {
+        let total = self.fast_commits + self.slow_sections;
+        if total == 0 {
+            return 0.0;
+        }
+        self.fast_commits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = OptiStats::default();
+        OptiStats::add(&s.fast_commits);
+        OptiStats::add(&s.slow_sections);
+        OptiStats::add(&s.mismatch_recoveries);
+        let snap = s.snapshot();
+        assert_eq!(snap.fast_commits, 1);
+        assert_eq!(snap.slow_sections, 1);
+        assert_eq!(snap.mismatch_recoveries, 1);
+        assert!((snap.fast_ratio() - 0.5).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the perceptron: weight saturation, decision
+//! monotonicity, and decay liveness under arbitrary training histories.
+
+use gocc_optilock::{Perceptron, PerceptronConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Train {
+    Reward,
+    Penalize,
+    Predict,
+}
+
+fn train() -> impl Strategy<Value = Train> {
+    prop_oneof![
+        Just(Train::Reward),
+        Just(Train::Penalize),
+        Just(Train::Predict)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn weight_sum_stays_bounded(ops in proptest::collection::vec(train(), 0..500),
+                                mutex in any::<usize>(), site in any::<usize>()) {
+        let p = Perceptron::default();
+        let f = p.features(mutex, site);
+        for op in &ops {
+            match op {
+                Train::Reward => p.reward(f),
+                Train::Penalize => p.penalize(f),
+                Train::Predict => { let _ = p.predict(f); }
+            }
+            let sum = p.weight_sum(f);
+            prop_assert!((-32..=30).contains(&sum), "sum out of range: {}", sum);
+        }
+    }
+
+    #[test]
+    fn enough_rewards_always_turn_prediction_on(penalties in 0usize..40) {
+        let p = Perceptron::default();
+        let f = p.features(0xAAAA, 0xBBBB);
+        for _ in 0..penalties {
+            p.penalize(f);
+        }
+        // Saturation bounds guarantee at most 32+? rewards flip it back.
+        for _ in 0..64 {
+            p.reward(f);
+        }
+        prop_assert!(p.predict(f));
+    }
+
+    #[test]
+    fn decay_always_revives_a_buried_site(decay in 2u32..64) {
+        let p = Perceptron::new(PerceptronConfig { decay_threshold: decay, threshold: 0 });
+        let f = p.features(0x1234, 0x5678);
+        for _ in 0..64 {
+            p.penalize(f);
+        }
+        // No matter how buried, within `decay` slow decisions the weights
+        // reset and the next prediction tries HTM again.
+        let mut revived = false;
+        for _ in 0..=decay {
+            if p.predict(f) {
+                revived = true;
+                break;
+            }
+        }
+        if !revived {
+            // The reset fired on the last allowed decision; the next
+            // prediction must be positive.
+            prop_assert!(p.predict(f), "decay failed to revive the site");
+        }
+    }
+
+    #[test]
+    fn distinct_feature_pairs_are_usually_independent(
+        m1 in any::<usize>(), m2 in any::<usize>(), site in any::<usize>()
+    ) {
+        prop_assume!(m1 != m2);
+        let p = Perceptron::default();
+        let f1 = p.features(m1, site);
+        let f2 = p.features(m2, site);
+        prop_assume!(f1 != f2); // hash collisions are legal, just rare
+        for _ in 0..64 {
+            p.penalize(f1);
+        }
+        // Burying f1's mutex cell must not pull f2's *mutex* weight down.
+        // (They share the site cell by construction, which contributes at
+        // most -16 of the -32 range, so f2 can still be non-negative after
+        // rewards.)
+        for _ in 0..64 {
+            p.reward(f2);
+        }
+        prop_assert!(p.predict(f2), "independent mutex must recover");
+    }
+}

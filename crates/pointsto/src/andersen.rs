@@ -1,0 +1,803 @@
+//! Inclusion-based points-to analysis for mutex receivers.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use gocc_flowgraph::{AccessPath, PathSeg};
+use golite::ast::{Block, Decl, Expr, Field, File, FuncDecl, Stmt, Type, UnaryOp};
+use golite::types::TypeInfo;
+
+/// An interned abstract mutex object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(u32);
+
+/// The points-to model (see the crate docs for the object taxonomy).
+#[derive(Debug, Default)]
+pub struct PointsTo {
+    /// Interned object names.
+    objects: Vec<String>,
+    obj_ids: HashMap<String, ObjId>,
+    /// Constraint-node points-to sets (pointer variables / pointer fields
+    /// / returns / formals), keyed by node name.
+    node_pts: HashMap<String, BTreeSet<ObjId>>,
+    /// Copy edges `from ⊆ to` between nodes.
+    edges: HashMap<String, HashSet<String>>,
+    /// Per top-level function: flat type environment.
+    envs: HashMap<String, HashMap<String, Type>>,
+    /// Per top-level function: names declared locally (vs package scope).
+    locals: HashMap<String, HashSet<String>>,
+    /// Package-level variable names.
+    globals: HashSet<String>,
+    /// Struct name → fields (for owner-of-field lookups).
+    struct_fields: HashMap<String, Vec<Field>>,
+}
+
+impl PointsTo {
+    /// Runs the analysis over the files of one package.
+    #[must_use]
+    pub fn analyze(files: &[&File], info: &TypeInfo) -> Self {
+        let mut pt = PointsTo::default();
+        pt.install_structs(files);
+        for file in files {
+            for decl in &file.decls {
+                if let Decl::Var(vd) | Decl::Const(vd) = decl {
+                    for n in &vd.names {
+                        pt.globals.insert(n.clone());
+                    }
+                }
+            }
+        }
+        // Pass 1: environments and locally declared names, for every
+        // function, before any constraint references them.
+        for file in files {
+            for fd in file.funcs() {
+                let fname = func_key(fd);
+                let env = info.local_env(fd);
+                let mut declared: HashSet<String> = HashSet::new();
+                if let Some(r) = &fd.recv {
+                    declared.insert(r.name.clone());
+                }
+                for p in &fd.params {
+                    if let Some(n) = &p.name {
+                        declared.insert(n.clone());
+                    }
+                }
+                collect_declared(&fd.body, &mut declared);
+                pt.envs.insert(fname.clone(), env);
+                pt.locals.insert(fname, declared);
+            }
+        }
+        // Pass 2: inclusion constraints.
+        for file in files {
+            for fd in file.funcs() {
+                let fname = func_key(fd);
+                let mut gen = ConstraintGen {
+                    pt: &mut pt,
+                    info,
+                    fname: &fname,
+                };
+                gen.block(&fd.body);
+                // Bind call-site argument nodes to parameter variables.
+                for (i, p) in fd.params.iter().enumerate() {
+                    if let Some(n) = &p.name {
+                        let arg_node = format!("param{i}:{fname}");
+                        let param_var = format!("pv:{fname}.{n}");
+                        pt.add_edge(&arg_node, &param_var);
+                    }
+                }
+            }
+        }
+        // Seed every pointer node with its formal (unknown-caller) object
+        // so two uses of the same pointer variable always intersect.
+        let nodes: Vec<String> = pt
+            .edges
+            .keys()
+            .chain(pt.edges.values().flatten())
+            .chain(pt.node_pts.keys())
+            .cloned()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        for node in nodes {
+            if node.starts_with("pv:") || node.starts_with("pf:") {
+                let formal = pt.intern(&format!("formal:{node}"));
+                pt.node_pts.entry(node).or_default().insert(formal);
+            }
+        }
+        pt.solve();
+        pt
+    }
+
+    fn intern(&mut self, name: &str) -> ObjId {
+        if let Some(&id) = self.obj_ids.get(name) {
+            return id;
+        }
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(name.to_string());
+        self.obj_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Human-readable name of an object (diagnostics, Table 1 reporting).
+    #[must_use]
+    pub fn obj_name(&self, id: ObjId) -> &str {
+        &self.objects[id.0 as usize]
+    }
+
+    fn add_edge(&mut self, from: &str, to: &str) {
+        self.edges
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
+        self.node_pts.entry(from.to_string()).or_default();
+        self.node_pts.entry(to.to_string()).or_default();
+    }
+
+    fn seed(&mut self, node: &str, obj: ObjId) {
+        self.node_pts
+            .entry(node.to_string())
+            .or_default()
+            .insert(obj);
+    }
+
+    fn solve(&mut self) {
+        // Worklist propagation of inclusion constraints.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let froms: Vec<String> = self.edges.keys().cloned().collect();
+            for from in froms {
+                let src = self.node_pts.get(&from).cloned().unwrap_or_default();
+                let tos: Vec<String> = self
+                    .edges
+                    .get(&from)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                for to in tos {
+                    let dst = self.node_pts.entry(to).or_default();
+                    let before = dst.len();
+                    dst.extend(src.iter().copied());
+                    if dst.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves the points-to set `M(·)` of a lock receiver in `unit`
+    /// (a function name, possibly with a `$k` closure suffix).
+    #[must_use]
+    pub fn resolve(&mut self, unit: &str, path: &AccessPath) -> BTreeSet<ObjId> {
+        let func = unit.split('$').next().unwrap_or(unit).to_string();
+        match path {
+            AccessPath::Opaque(node) => {
+                let id = self.intern(&format!("opaque:{}", node.0));
+                BTreeSet::from([id])
+            }
+            AccessPath::Rooted { base, segs } => {
+                let env = match self.envs.get(&func) {
+                    Some(e) => e.clone(),
+                    None => HashMap::new(),
+                };
+                let Some(base_ty) = env.get(base).cloned() else {
+                    let id = self.intern(&format!("unresolved:{func}:{path}"));
+                    return BTreeSet::from([id]);
+                };
+                if segs.is_empty() {
+                    return self.resolve_root(&func, base, &base_ty);
+                }
+                self.resolve_path(&func, path, &base_ty, segs)
+            }
+        }
+    }
+
+    fn resolve_root(&mut self, func: &str, base: &str, ty: &Type) -> BTreeSet<ObjId> {
+        match ty {
+            t if is_mutex_value(t) => {
+                let is_local = self
+                    .locals
+                    .get(func)
+                    .map(|l| l.contains(base))
+                    .unwrap_or(false);
+                let name = if is_local {
+                    format!("local:{func}.{base}")
+                } else {
+                    format!("global:{base}")
+                };
+                let id = self.intern(&name);
+                BTreeSet::from([id])
+            }
+            Type::Pointer(inner) if inner.is_mutex() => {
+                let node = format!("pv:{func}.{base}");
+                self.node_or_formal(&node)
+            }
+            // A struct (or struct pointer) with an embedded mutex used as
+            // the receiver of a promoted Lock/Unlock.
+            Type::Named { pkg: None, name } => self.embedded_object(name),
+            Type::Pointer(inner) => {
+                if let Type::Named { pkg: None, name } = inner.as_ref() {
+                    self.embedded_object(&name.clone())
+                } else {
+                    let id = self.intern(&format!("unresolved:{func}:{base}"));
+                    BTreeSet::from([id])
+                }
+            }
+            _ => {
+                let id = self.intern(&format!("unresolved:{func}:{base}"));
+                BTreeSet::from([id])
+            }
+        }
+    }
+
+    fn embedded_object(&mut self, struct_name: &str) -> BTreeSet<ObjId> {
+        let id = self.intern(&format!("field:{struct_name}.$embedded"));
+        BTreeSet::from([id])
+    }
+
+    fn node_or_formal(&mut self, node: &str) -> BTreeSet<ObjId> {
+        if let Some(s) = self.node_pts.get(node) {
+            if !s.is_empty() {
+                return s.clone();
+            }
+        }
+        let formal = self.intern(&format!("formal:{node}"));
+        BTreeSet::from([formal])
+    }
+
+    fn resolve_path(
+        &mut self,
+        func: &str,
+        full: &AccessPath,
+        base_ty: &Type,
+        segs: &[PathSeg],
+    ) -> BTreeSet<ObjId> {
+        // Walk the static type chain to the owning struct of the final
+        // field.
+        let mut cur = strip_ptr(base_ty).clone();
+        for (i, seg) in segs.iter().enumerate() {
+            let last = i == segs.len() - 1;
+            match seg {
+                PathSeg::Index => {
+                    cur = match cur {
+                        Type::Slice(e) | Type::Array(e) => strip_ptr(&e).clone(),
+                        Type::Map(_, v) => strip_ptr(&v).clone(),
+                        other => other,
+                    };
+                }
+                PathSeg::Field(fname) => {
+                    let Type::Named {
+                        pkg: None,
+                        name: sname,
+                    } = &cur
+                    else {
+                        let id = self.intern(&format!("unresolved:{func}:{full}"));
+                        return BTreeSet::from([id]);
+                    };
+                    let sname = sname.clone();
+                    if last {
+                        return self.resolve_final_field(func, full, &sname, fname);
+                    }
+                    // Intermediate step: follow the field's type.
+                    let Some(next) = self.field_type_of(&sname, fname) else {
+                        let id = self.intern(&format!("unresolved:{func}:{full}"));
+                        return BTreeSet::from([id]);
+                    };
+                    cur = strip_ptr(&next).clone();
+                }
+            }
+        }
+        // Path ended on an Index (e.g. `locks[i].Lock()` where elements
+        // are mutexes): one abstract object per container element type.
+        match &cur {
+            t if is_mutex_value(t) => {
+                let id = self.intern(&format!("elems:{func}:{full}"));
+                BTreeSet::from([id])
+            }
+            _ => {
+                let id = self.intern(&format!("unresolved:{func}:{full}"));
+                BTreeSet::from([id])
+            }
+        }
+    }
+
+    fn resolve_final_field(
+        &mut self,
+        func: &str,
+        full: &AccessPath,
+        struct_name: &str,
+        field: &str,
+    ) -> BTreeSet<ObjId> {
+        // Find the owning struct (the field may be promoted through
+        // embedding).
+        let Some((owner, fty)) = self.owner_of_field(struct_name, field) else {
+            let id = self.intern(&format!("unresolved:{func}:{full}"));
+            return BTreeSet::from([id]);
+        };
+        match &fty {
+            t if is_mutex_value(t) => {
+                let id = self.intern(&format!("field:{owner}.{field}"));
+                BTreeSet::from([id])
+            }
+            Type::Pointer(inner) if inner.is_mutex() => {
+                let node = format!("pf:{owner}.{field}");
+                self.node_or_formal(&node)
+            }
+            // Receiver is a struct-typed field with an embedded mutex
+            // (promoted Lock on a nested struct).
+            Type::Named { pkg: None, name } => self.embedded_object(&name.clone()),
+            _ => {
+                let id = self.intern(&format!("unresolved:{func}:{full}"));
+                BTreeSet::from([id])
+            }
+        }
+    }
+
+    fn owner_of_field(&self, struct_name: &str, field: &str) -> Option<(String, Type)> {
+        let fields = self.struct_fields.get(struct_name)?;
+        for f in fields {
+            if f.access_name() == field {
+                return Some((struct_name.to_string(), f.ty.clone()));
+            }
+        }
+        for f in fields {
+            if f.is_embedded() {
+                if let Type::Named { pkg: None, name } = strip_ptr(&f.ty) {
+                    if let Some(found) = self.owner_of_field(name, field) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn field_type_of(&self, struct_name: &str, field: &str) -> Option<Type> {
+        self.owner_of_field(struct_name, field).map(|(_, t)| t)
+    }
+
+    /// Whether two points-to sets may alias (non-empty intersection —
+    /// condition (1) of Definition 5.4).
+    #[must_use]
+    pub fn intersects(a: &BTreeSet<ObjId>, b: &BTreeSet<ObjId>) -> bool {
+        a.iter().any(|x| b.contains(x))
+    }
+}
+
+// The struct table lives outside the impl state machine above; stored on
+// the struct for `owner_of_field`.
+impl PointsTo {
+    /// Installs struct layouts (called from `analyze`).
+    fn install_structs(&mut self, files: &[&File]) {
+        for file in files {
+            for decl in &file.decls {
+                if let Decl::TypeStruct(sd) = decl {
+                    self.struct_fields
+                        .insert(sd.name.clone(), sd.fields.clone());
+                }
+            }
+        }
+    }
+}
+
+fn is_mutex_value(t: &Type) -> bool {
+    matches!(t, Type::Named { pkg: Some(p), name } if p == "sync" && (name == "Mutex" || name == "RWMutex"))
+}
+
+fn strip_ptr(t: &Type) -> &Type {
+    match t {
+        Type::Pointer(inner) => strip_ptr(inner),
+        other => other,
+    }
+}
+
+fn func_key(fd: &FuncDecl) -> String {
+    match &fd.recv {
+        Some(r) => format!("{}.{}", r.type_name, fd.name),
+        None => fd.name.clone(),
+    }
+}
+
+fn collect_declared(block: &Block, out: &mut HashSet<String>) {
+    for s in &block.stmts {
+        match s {
+            Stmt::Var(vd) => out.extend(vd.names.iter().cloned()),
+            Stmt::Assign {
+                lhs, define: true, ..
+            } => {
+                for l in lhs {
+                    if let Expr::Ident { name, .. } = l {
+                        out.insert(name.clone());
+                    }
+                }
+            }
+            Stmt::If {
+                init, then, els, ..
+            } => {
+                if let Some(i) = init {
+                    collect_declared_stmt(i, out);
+                }
+                collect_declared(then, out);
+                if let Some(e) = els {
+                    collect_declared_stmt(e, out);
+                }
+            }
+            Stmt::Block(b) => collect_declared(b, out),
+            Stmt::For {
+                init,
+                post,
+                body,
+                range_vars,
+                ..
+            } => {
+                if let Some(i) = init {
+                    collect_declared_stmt(i, out);
+                }
+                if let Some(p) = post {
+                    collect_declared_stmt(p, out);
+                }
+                out.extend(range_vars.iter().cloned());
+                collect_declared(body, out);
+            }
+            Stmt::Switch { cases, .. } => {
+                for (_, b) in cases {
+                    collect_declared(b, out);
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for b in cases {
+                    collect_declared(b, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_declared_stmt(s: &Stmt, out: &mut HashSet<String>) {
+    let block = Block {
+        stmts: vec![s.clone()],
+        span: s.span(),
+    };
+    collect_declared(&block, out);
+}
+
+/// Generates inclusion constraints from one function body.
+struct ConstraintGen<'a> {
+    pt: &'a mut PointsTo,
+    info: &'a TypeInfo,
+    fname: &'a str,
+}
+
+impl ConstraintGen<'_> {
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Var(vd) => {
+                for (i, name) in vd.names.iter().enumerate() {
+                    if let Some(value) = vd.values.get(i) {
+                        self.assign_ident(name, value);
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for (l, r) in lhs.iter().zip(rhs.iter()) {
+                    match l {
+                        Expr::Ident { name, .. } => self.assign_ident(name, r),
+                        Expr::Selector { base, field, .. } => self.assign_field(base, field, r),
+                        _ => {}
+                    }
+                    self.walk_calls(r);
+                }
+            }
+            Stmt::Expr(e) | Stmt::Defer { call: e, .. } | Stmt::Go { call: e, .. } => {
+                self.walk_calls(e);
+            }
+            Stmt::If {
+                init, then, els, ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                self.block(then);
+                if let Some(e) = els {
+                    self.stmt(e);
+                }
+            }
+            Stmt::Block(b) => self.block(b),
+            Stmt::For {
+                init, post, body, ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(p) = post {
+                    self.stmt(p);
+                }
+                self.block(body);
+            }
+            Stmt::Switch { cases, .. } => {
+                for (_, b) in cases {
+                    self.block(b);
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for b in cases {
+                    self.block(b);
+                }
+            }
+            Stmt::Return { values, .. } => {
+                for (i, v) in values.iter().enumerate() {
+                    let node = format!("ret{}:{}", i, self.fname);
+                    self.flow_into(&node, v);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `name = rhs` where name may be a mutex pointer.
+    fn assign_ident(&mut self, name: &str, rhs: &Expr) {
+        let node = format!("pv:{}.{}", self.fname, name);
+        self.flow_into(&node, rhs);
+    }
+
+    /// `base.field = rhs` where the field may be a mutex pointer.
+    fn assign_field(&mut self, base: &Expr, field: &str, rhs: &Expr) {
+        let env = self.pt.envs.get(self.fname).cloned().unwrap_or_default();
+        if let Some(struct_name) = self.info.receiver_struct(base, &env) {
+            let node = format!("pf:{struct_name}.{field}");
+            self.flow_into(&node, rhs);
+        }
+    }
+
+    /// Adds constraints making the value of `rhs` flow into `node`.
+    fn flow_into(&mut self, node: &str, rhs: &Expr) {
+        match rhs {
+            Expr::Unary {
+                op: UnaryOp::Addr,
+                operand,
+                ..
+            } => {
+                // `node ⊇ { obj(operand) }`.
+                let path = AccessPath::of_expr(operand);
+                let objs = self.pt.resolve(self.fname, &path);
+                for o in objs {
+                    self.pt.seed(node, o);
+                }
+            }
+            Expr::Ident { name, .. } => {
+                let src = format!("pv:{}.{}", self.fname, name);
+                self.pt.add_edge(&src, node);
+            }
+            Expr::Selector { base, field, .. } => {
+                let env = self.pt.envs.get(self.fname).cloned().unwrap_or_default();
+                if let Some(struct_name) = self.info.receiver_struct(base, &env) {
+                    let src = format!("pf:{struct_name}.{field}");
+                    self.pt.add_edge(&src, node);
+                }
+            }
+            Expr::Call { callee, .. } => {
+                if let Expr::Ident { name, .. } = callee.as_ref() {
+                    let src = format!("ret0:{name}");
+                    self.pt.add_edge(&src, node);
+                }
+                self.walk_calls(rhs);
+            }
+            Expr::Composite {
+                ty:
+                    Type::Named {
+                        pkg: None,
+                        name: sname,
+                    },
+                elems,
+                ..
+            } => {
+                // Field initializers may store mutex pointers.
+                for (key, value) in elems {
+                    if let Some(k) = key {
+                        let field_node = format!("pf:{sname}.{k}");
+                        self.flow_into(&field_node, value);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Binds call arguments to callee parameters (context-insensitive).
+    fn walk_calls(&mut self, e: &Expr) {
+        match e {
+            Expr::Call { callee, args, .. } => {
+                for a in args {
+                    self.walk_calls(a);
+                }
+                if let Expr::Ident { name, .. } = callee.as_ref() {
+                    for (i, arg) in args.iter().enumerate() {
+                        let node = format!("param{i}:{name}");
+                        self.flow_into(&node, arg);
+                    }
+                }
+            }
+            Expr::Unary { operand, .. } => self.walk_calls(operand),
+            Expr::Binary { left, right, .. } => {
+                self.walk_calls(left);
+                self.walk_calls(right);
+            }
+            Expr::Selector { base, .. } => self.walk_calls(base),
+            Expr::Index { base, index, .. } => {
+                self.walk_calls(base);
+                self.walk_calls(index);
+            }
+            Expr::Composite { elems, .. } => {
+                for (_, v) in elems {
+                    self.walk_calls(v);
+                }
+            }
+            Expr::FuncLit { body, .. } => self.block(body),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite::parser::parse_file;
+
+    const SRC: &str = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	pm *sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+}
+
+type Anon struct {
+	sync.Mutex
+	val int
+}
+
+var gmu sync.Mutex
+var gptr *sync.Mutex
+
+func take(p *sync.Mutex) {
+	p.Lock()
+	p.Unlock()
+}
+
+func flows() {
+	var local sync.Mutex
+	q := &local
+	take(q)
+	r := &gmu
+	take(r)
+	gptr = &gmu
+}
+
+func (c *C) method(d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func anon(a *Anon) {
+	a.Lock()
+	a.Unlock()
+}
+"#;
+
+    fn setup() -> PointsTo {
+        let f = parse_file(SRC).expect("parse");
+        let files = [&f];
+        let info = TypeInfo::new(&files);
+        PointsTo::analyze(&files, &info)
+    }
+
+    fn rooted(base: &str, fields: &[&str]) -> AccessPath {
+        AccessPath::Rooted {
+            base: base.into(),
+            segs: fields
+                .iter()
+                .map(|f| PathSeg::Field((*f).to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn distinct_struct_fields_do_not_alias() {
+        let mut pt = setup();
+        let c_mu = pt.resolve("C.method", &rooted("c", &["mu"]));
+        let d_mu = pt.resolve("C.method", &rooted("d", &["mu"]));
+        assert!(
+            !PointsTo::intersects(&c_mu, &d_mu),
+            "C.mu and D.mu must not alias"
+        );
+        // Same field of the same struct type aliases across variables
+        // (type-based may-alias).
+        let c_mu2 = pt.resolve("C.method", &rooted("c", &["mu"]));
+        assert!(PointsTo::intersects(&c_mu, &c_mu2));
+    }
+
+    #[test]
+    fn global_and_local_mutexes_are_distinct() {
+        let mut pt = setup();
+        let g = pt.resolve("flows", &rooted("gmu", &[]));
+        let l = pt.resolve("flows", &rooted("local", &[]));
+        assert!(!PointsTo::intersects(&g, &l));
+        assert_eq!(g.len(), 1);
+        assert!(pt
+            .obj_name(*g.iter().next().unwrap())
+            .starts_with("global:"));
+    }
+
+    #[test]
+    fn pointer_flows_through_call() {
+        let mut pt = setup();
+        // Inside `take`, parameter p may point to both &local (flows) and
+        // &gmu (flows) — the call-site bindings union.
+        let p = pt.resolve("take", &rooted("p", &[]));
+        let names: Vec<&str> = p.iter().map(|o| pt_obj(&pt, *o)).collect();
+        assert!(
+            names.iter().any(|n| n.contains("local:flows.local")),
+            "p must may-point to the local mutex: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.contains("global:gmu")),
+            "p must may-point to the global mutex: {names:?}"
+        );
+    }
+
+    fn pt_obj(pt: &PointsTo, id: ObjId) -> &str {
+        pt.obj_name(id)
+    }
+
+    #[test]
+    fn same_pointer_var_always_intersects_itself() {
+        let mut pt = setup();
+        let a = pt.resolve("take", &rooted("p", &[]));
+        let b = pt.resolve("take", &rooted("p", &[]));
+        assert!(PointsTo::intersects(&a, &b));
+    }
+
+    #[test]
+    fn pointer_field_flows() {
+        let mut pt = setup();
+        // gptr = &gmu makes the global pointer var include global:gmu.
+        let g = pt.resolve("flows", &rooted("gptr", &[]));
+        let names: Vec<&str> = g.iter().map(|o| pt.obj_name(*o)).collect::<Vec<_>>();
+        assert!(names.iter().any(|n| n.contains("global:gmu")), "{names:?}");
+    }
+
+    #[test]
+    fn embedded_mutex_receiver() {
+        let mut pt = setup();
+        let a = pt.resolve("anon", &rooted("a", &[]));
+        assert_eq!(a.len(), 1);
+        assert!(pt
+            .obj_name(*a.iter().next().unwrap())
+            .contains("field:Anon.$embedded"));
+    }
+
+    #[test]
+    fn opaque_paths_never_alias() {
+        let mut pt = setup();
+        let o1 = pt.resolve("flows", &AccessPath::Opaque(golite::ast::NodeId(1)));
+        let o2 = pt.resolve("flows", &AccessPath::Opaque(golite::ast::NodeId(2)));
+        assert!(!PointsTo::intersects(&o1, &o2));
+        let o1again = pt.resolve("flows", &AccessPath::Opaque(golite::ast::NodeId(1)));
+        assert!(PointsTo::intersects(&o1, &o1again));
+    }
+}

@@ -1,0 +1,250 @@
+//! Static call graph (the subset's rapid type analysis, §5.2.4).
+
+use std::collections::{BTreeSet, HashMap};
+
+use gocc_flowgraph::{CalleeRef, Cfg, FuncUnit, InstKind};
+
+/// The result of a transitive-closure walk from a critical section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Closure {
+    /// Units reachable through calls (names as in [`FuncUnit::name`]).
+    pub reached: BTreeSet<String>,
+    /// Whether an unresolvable call (function value, unknown function)
+    /// was encountered — treated conservatively as HTM-unfit.
+    pub hits_unknown: bool,
+    /// External `pkg.Fn` calls encountered (classified by the analyzer's
+    /// package lists; already-unfriendly ones never reach the graph).
+    pub externals: BTreeSet<(String, String)>,
+}
+
+/// A package-wide call graph over analyzer units.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Unit name → callee unit names.
+    edges: HashMap<String, BTreeSet<String>>,
+    /// Unit name → calls that could not be resolved to a unit.
+    unknown: HashMap<String, bool>,
+    /// Unit name → external calls.
+    externals: HashMap<String, BTreeSet<(String, String)>>,
+    /// Known unit names.
+    units: BTreeSet<String>,
+}
+
+impl CallGraph {
+    /// Builds the graph from all units of a package.
+    #[must_use]
+    pub fn build(units: &[&FuncUnit]) -> Self {
+        let mut cg = CallGraph::default();
+        // Closure literal node → unit name.
+        let mut lit_units: HashMap<u32, String> = HashMap::new();
+        for u in units {
+            cg.units.insert(u.name.clone());
+            if let Some(node) = u.lit_node {
+                lit_units.insert(node.0, u.name.clone());
+            }
+        }
+        for u in units {
+            let entry = cg.edges.entry(u.name.clone()).or_default();
+            let ext = cg.externals.entry(u.name.clone()).or_default();
+            let mut unknown = false;
+            for callee in callees_of(&u.cfg) {
+                match callee {
+                    CalleeRef::Func(name) => {
+                        if cg.units.contains(&name) || units.iter().any(|x| x.name == name) {
+                            entry.insert(name);
+                        } else {
+                            // Unknown free function in another package or
+                            // undeclared: conservative.
+                            unknown = true;
+                        }
+                    }
+                    CalleeRef::Method {
+                        recv_struct: Some(s),
+                        name,
+                    } => {
+                        let key = format!("{s}.{name}");
+                        if units.iter().any(|x| x.name == key) {
+                            entry.insert(key);
+                        } else {
+                            unknown = true;
+                        }
+                    }
+                    CalleeRef::Method {
+                        recv_struct: None, ..
+                    } => unknown = true,
+                    CalleeRef::FuncLit(node) => {
+                        if let Some(name) = lit_units.get(&node.0) {
+                            entry.insert(name.clone());
+                        } else {
+                            unknown = true;
+                        }
+                    }
+                    CalleeRef::Builtin(_) => {}
+                    CalleeRef::External { pkg, name } => {
+                        ext.insert((pkg, name));
+                    }
+                    CalleeRef::Indirect => unknown = true,
+                }
+            }
+            cg.unknown.insert(u.name.clone(), unknown);
+        }
+        cg
+    }
+
+    /// Direct callees of a unit.
+    #[must_use]
+    pub fn callees(&self, unit: &str) -> Option<&BTreeSet<String>> {
+        self.edges.get(unit)
+    }
+
+    /// Transitive closure `F*` of the calls made by `roots` (§5.2.4).
+    #[must_use]
+    pub fn closure(&self, roots: impl IntoIterator<Item = String>) -> Closure {
+        let mut out = Closure::default();
+        let mut stack: Vec<String> = roots.into_iter().collect();
+        while let Some(unit) = stack.pop() {
+            if !out.reached.insert(unit.clone()) {
+                continue;
+            }
+            if self
+                .unknown
+                .get(&unit)
+                .copied()
+                .unwrap_or(!self.units.contains(&unit))
+            {
+                out.hits_unknown = true;
+            }
+            if let Some(ext) = self.externals.get(&unit) {
+                out.externals.extend(ext.iter().cloned());
+            }
+            if let Some(callees) = self.edges.get(&unit) {
+                stack.extend(callees.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+fn callees_of(cfg: &Cfg) -> Vec<CalleeRef> {
+    cfg.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter_map(|i| match &i.kind {
+            InstKind::Call(c) => Some(c.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_flowgraph::{build_cfg, BuildCtx};
+    use golite::parser::parse_file;
+    use golite::types::TypeInfo;
+
+    fn units(src: &str) -> Vec<FuncUnit> {
+        let f = parse_file(src).expect("parse");
+        let files = [&f];
+        let info = TypeInfo::new(&files);
+        let mut all = Vec::new();
+        for fd in f.funcs() {
+            let env = info.local_env(fd);
+            let ctx = BuildCtx {
+                info: &info,
+                env: &env,
+            };
+            all.extend(build_cfg(fd, &ctx));
+        }
+        all
+    }
+
+    const SRC: &str = r#"
+package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) top() {
+	c.mu.Lock()
+	c.middle()
+	c.mu.Unlock()
+}
+
+func (c *C) middle() {
+	c.leaf()
+	helper()
+}
+
+func (c *C) leaf() {
+	c.n++
+}
+
+func helper() {
+}
+
+func indirectUser(f func()) {
+	f()
+}
+"#;
+
+    #[test]
+    fn direct_and_method_edges() {
+        let us = units(SRC);
+        let refs: Vec<&FuncUnit> = us.iter().collect();
+        let cg = CallGraph::build(&refs);
+        let c = cg.closure(["C.top".to_string()]);
+        assert!(c.reached.contains("C.middle"));
+        assert!(c.reached.contains("C.leaf"));
+        assert!(c.reached.contains("helper"));
+        assert!(!c.hits_unknown);
+    }
+
+    #[test]
+    fn leaf_closure_is_small() {
+        let us = units(SRC);
+        let refs: Vec<&FuncUnit> = us.iter().collect();
+        let cg = CallGraph::build(&refs);
+        let c = cg.closure(["C.leaf".to_string()]);
+        assert_eq!(c.reached.len(), 1);
+    }
+
+    #[test]
+    fn indirect_calls_are_unknown() {
+        let us = units(SRC);
+        let refs: Vec<&FuncUnit> = us.iter().collect();
+        let cg = CallGraph::build(&refs);
+        let c = cg.closure(["indirectUser".to_string()]);
+        assert!(c.hits_unknown, "function-value calls must be conservative");
+    }
+
+    #[test]
+    fn closures_resolve_by_literal() {
+        let src = r#"
+package p
+
+func outer() {
+	f := helperMaker()
+	_ = f
+	run(func() {
+		inner()
+	})
+}
+
+func inner() {}
+func run(f func()) { f() }
+func helperMaker() int { return 0 }
+"#;
+        let us = units(src);
+        let refs: Vec<&FuncUnit> = us.iter().collect();
+        let cg = CallGraph::build(&refs);
+        // The literal passed to run becomes unit outer$1 and its body
+        // calls inner.
+        let c = cg.closure(["outer$1".to_string()]);
+        assert!(c.reached.contains("inner"));
+    }
+}

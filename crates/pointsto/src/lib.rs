@@ -1,0 +1,30 @@
+//! May-alias points-to analysis and call graph for GOCC.
+//!
+//! §5.2.2 of the paper employs "Anderson's flow-insensitive may-alias
+//! analysis" to compute the points-to set `M(L)` of every lock-point's
+//! receiver, and §5.2.4 builds a static call graph "using rapid type
+//! analysis" for the inter-procedural closure of critical sections.
+//!
+//! [`PointsTo`] implements an inclusion-based (Andersen-style) solver over
+//! the Go subset with a type-directed abstract-object model:
+//!
+//! * every mutex-typed struct field is one abstract object per
+//!   `(struct, field)` — all instances of a struct may alias, a sound
+//!   over-approximation exactly in the spirit of may-alias;
+//! * every package-level or local mutex variable is its own object;
+//! * pointer variables (`*sync.Mutex` locals, params, pointer fields)
+//!   carry inclusion constraints from assignments, address-of seeds,
+//!   call-site parameter bindings and returns, solved to fixpoint;
+//! * receivers the analysis cannot name resolve to fresh opaque objects
+//!   that never alias anything (their LU-points never pair).
+//!
+//! [`CallGraph`] resolves calls statically (the subset has no interface
+//! dispatch): free functions by name, methods by receiver struct, closures
+//! by literal identity; calls through function values are conservatively
+//! marked *unknown*, which downstream analysis treats as HTM-unfit.
+
+mod andersen;
+mod callgraph;
+
+pub use andersen::{ObjId, PointsTo};
+pub use callgraph::{CallGraph, Closure};

@@ -1,0 +1,387 @@
+//! A fixed-capacity transactional hash map.
+
+use gocc_htm::{Tx, TxResult, TxVar};
+
+use crate::hash::mix64;
+
+/// Slot states. A `Copy` triple per slot keeps each entry one transactional
+/// word group, so a lookup touches O(1) cache lines — the property that
+/// makes short critical sections HTM-friendly.
+const EMPTY: u8 = 0;
+const FULL: u8 = 1;
+const TOMBSTONE: u8 = 2;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    state: u8,
+    /// Generation stamp: slots from older generations read as empty, which
+    /// is how [`TxMap::clear`] empties the table in O(1) — the same
+    /// pointer-swap discipline Go code uses (`s.items = map[...]{}`).
+    gen: u32,
+    key: u64,
+    value: u64,
+}
+
+/// A fixed-capacity open-addressing hash map from `u64` to `u64`.
+///
+/// All operations run inside a transaction context and therefore compose
+/// into atomic critical sections. The capacity is fixed at construction
+/// (a power of two); inserting into a full map returns `Ok(None)`-style
+/// failure via [`TxMap::insert`]'s `inserted` flag rather than growing,
+/// because a transactional rehash would overflow any realistic HTM write
+/// set — real HTM-friendly designs size tables up front for the same
+/// reason.
+///
+/// Structured values belong in an [`Arena`](crate::Arena); store the
+/// handle here.
+#[derive(Debug)]
+pub struct TxMap {
+    slots: Box<[TxVar<Slot>]>,
+    len: TxVar<u64>,
+    /// Current generation (wraps at 2^32; a table would need four billion
+    /// clears between touches of one slot to confuse it).
+    gen: TxVar<u64>,
+    mask: u64,
+}
+
+impl TxMap {
+    /// Creates a map with capacity for `capacity` entries (rounded up to a
+    /// power of two, minimum 8). Probing degrades near full occupancy, so
+    /// size at roughly 2× the expected element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds `2^32` slots.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n = capacity.next_power_of_two().max(8);
+        assert!(n <= (1 << 32), "TxMap capacity too large");
+        TxMap {
+            slots: (0..n).map(|_| TxVar::new(Slot::default())).collect(),
+            len: TxVar::new(0),
+            gen: TxVar::new(0),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of slots (the fixed capacity).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of entries.
+    pub fn len<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<u64> {
+        tx.read(&self.len)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Looks up `key`.
+    pub fn get<'a>(&'a self, tx: &mut Tx<'a>, key: u64) -> TxResult<Option<u64>> {
+        let gen = tx.read(&self.gen)? as u32;
+        let mut idx = mix64(key) & self.mask;
+        let mut probed = 0u64;
+        loop {
+            let slot = tx.read(&self.slots[idx as usize])?;
+            if slot.state == EMPTY || slot.gen != gen {
+                return Ok(None);
+            }
+            if slot.state == FULL && slot.key == key {
+                return Ok(Some(slot.value));
+            }
+            idx = (idx + 1) & self.mask;
+            probed += 1;
+            if probed > self.mask {
+                // The table contains no empty slot and the key is absent.
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains<'a>(&'a self, tx: &mut Tx<'a>, key: u64) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Inserts or updates `key`, returning the previous value. Returns
+    /// `Err`-free `Ok(None)` for fresh inserts; if the table is full the
+    /// insert is a no-op and `inserted` reports `false` via the returned
+    /// [`InsertOutcome`].
+    pub fn insert<'a>(&'a self, tx: &mut Tx<'a>, key: u64, value: u64) -> TxResult<InsertOutcome> {
+        let gen = tx.read(&self.gen)? as u32;
+        let mut idx = mix64(key) & self.mask;
+        let mut first_tombstone: Option<u64> = None;
+        let mut probed = 0u64;
+        loop {
+            let var = &self.slots[idx as usize];
+            let slot = tx.read(var)?;
+            let stale = slot.state != EMPTY && slot.gen != gen;
+            if slot.state == FULL && !stale && slot.key == key {
+                tx.write(
+                    var,
+                    Slot {
+                        state: FULL,
+                        gen,
+                        key,
+                        value,
+                    },
+                )?;
+                return Ok(InsertOutcome {
+                    inserted: true,
+                    previous: Some(slot.value),
+                });
+            }
+            if slot.state == EMPTY || stale {
+                let target = first_tombstone.unwrap_or(idx);
+                tx.write(
+                    &self.slots[target as usize],
+                    Slot {
+                        state: FULL,
+                        gen,
+                        key,
+                        value,
+                    },
+                )?;
+                let len = tx.read(&self.len)?;
+                tx.write(&self.len, len + 1)?;
+                return Ok(InsertOutcome {
+                    inserted: true,
+                    previous: None,
+                });
+            }
+            if slot.state == TOMBSTONE && first_tombstone.is_none() {
+                first_tombstone = Some(idx);
+            }
+            idx = (idx + 1) & self.mask;
+            probed += 1;
+            if probed > self.mask {
+                // Table full of live FULL/TOMBSTONE slots and key absent.
+                if let Some(t) = first_tombstone {
+                    tx.write(
+                        &self.slots[t as usize],
+                        Slot {
+                            state: FULL,
+                            gen,
+                            key,
+                            value,
+                        },
+                    )?;
+                    let len = tx.read(&self.len)?;
+                    tx.write(&self.len, len + 1)?;
+                    return Ok(InsertOutcome {
+                        inserted: true,
+                        previous: None,
+                    });
+                }
+                return Ok(InsertOutcome {
+                    inserted: false,
+                    previous: None,
+                });
+            }
+        }
+    }
+
+    /// Removes `key`, returning the previous value if present.
+    pub fn remove<'a>(&'a self, tx: &mut Tx<'a>, key: u64) -> TxResult<Option<u64>> {
+        let gen = tx.read(&self.gen)? as u32;
+        let mut idx = mix64(key) & self.mask;
+        let mut probed = 0u64;
+        loop {
+            let var = &self.slots[idx as usize];
+            let slot = tx.read(var)?;
+            if slot.state == EMPTY || slot.gen != gen {
+                return Ok(None);
+            }
+            if slot.state == FULL && slot.key == key {
+                tx.write(
+                    var,
+                    Slot {
+                        state: TOMBSTONE,
+                        gen,
+                        key: 0,
+                        value: 0,
+                    },
+                )?;
+                let len = tx.read(&self.len)?;
+                tx.write(&self.len, len - 1)?;
+                return Ok(Some(slot.value));
+            }
+            idx = (idx + 1) & self.mask;
+            probed += 1;
+            if probed > self.mask {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Removes every entry in O(1) by advancing the generation — the
+    /// transactional equivalent of Go's `m = map[K]V{}` pointer swap,
+    /// which is how go-cache's `Flush` and the set's `Clear` behave. The
+    /// critical section stays tiny (two words), so concurrent `Clear`s
+    /// conflict *genuinely but cheaply*, matching the paper's Figure 8
+    /// description of the benchmark.
+    pub fn clear<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<()> {
+        let gen = tx.read(&self.gen)?;
+        tx.write(&self.gen, gen + 1)?;
+        tx.write(&self.len, 0)?;
+        Ok(())
+    }
+
+    /// Calls `f` for every `(key, value)` pair.
+    pub fn for_each<'a>(&'a self, tx: &mut Tx<'a>, mut f: impl FnMut(u64, u64)) -> TxResult<()> {
+        let gen = tx.read(&self.gen)? as u32;
+        for var in self.slots.iter() {
+            let slot = tx.read(var)?;
+            if slot.state == FULL && slot.gen == gen {
+                f(slot.key, slot.value);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a [`TxMap::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the entry was stored (`false` only when the table is full).
+    pub inserted: bool,
+    /// The value previously stored under the key, if any.
+    pub previous: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_htm::{HtmConfig, HtmRuntime};
+
+    fn rt() -> HtmRuntime {
+        HtmRuntime::new(HtmConfig::coffee_lake())
+    }
+
+    fn commit<'e, R>(rt: &'e HtmRuntime, f: impl FnOnce(&mut Tx<'e>) -> TxResult<R>) -> R {
+        let mut tx = Tx::fast(rt);
+        let r = f(&mut tx).expect("single-threaded tx must not abort");
+        tx.commit().expect("single-threaded commit must succeed");
+        r
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let rt = rt();
+        let map = TxMap::with_capacity(64);
+        commit(&rt, |tx| {
+            assert_eq!(map.get(tx, 7)?, None);
+            assert!(map.insert(tx, 7, 70)?.inserted);
+            assert_eq!(map.get(tx, 7)?, Some(70));
+            assert_eq!(map.len(tx)?, 1);
+            Ok(())
+        });
+        commit(&rt, |tx| {
+            assert_eq!(map.remove(tx, 7)?, Some(70));
+            assert_eq!(map.get(tx, 7)?, None);
+            assert_eq!(map.len(tx)?, 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn update_returns_previous() {
+        let rt = rt();
+        let map = TxMap::with_capacity(16);
+        commit(&rt, |tx| {
+            map.insert(tx, 1, 10)?;
+            let out = map.insert(tx, 1, 11)?;
+            assert_eq!(out.previous, Some(10));
+            assert_eq!(map.len(tx)?, 1, "update must not grow the map");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn tombstones_are_reused() {
+        let rt = rt();
+        let map = TxMap::with_capacity(8);
+        commit(&rt, |tx| {
+            for k in 0..6 {
+                map.insert(tx, k, k)?;
+            }
+            map.remove(tx, 3)?;
+            let out = map.insert(tx, 100, 100)?;
+            assert!(out.inserted);
+            assert_eq!(map.get(tx, 100)?, Some(100));
+            // All other keys still reachable across the tombstone.
+            for k in [0, 1, 2, 4, 5] {
+                assert_eq!(map.get(tx, k)?, Some(k));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn full_map_rejects_new_keys() {
+        let rt = rt();
+        let map = TxMap::with_capacity(8);
+        commit(&rt, |tx| {
+            for k in 0..8 {
+                assert!(map.insert(tx, k, k)?.inserted);
+            }
+            let out = map.insert(tx, 99, 99)?;
+            assert!(!out.inserted, "full table must reject");
+            // Existing keys still updatable.
+            assert!(map.insert(tx, 3, 33)?.inserted);
+            assert_eq!(map.get(tx, 3)?, Some(33));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn clear_empties_map() {
+        let rt = rt();
+        let map = TxMap::with_capacity(32);
+        commit(&rt, |tx| {
+            for k in 0..20 {
+                map.insert(tx, k, k * 2)?;
+            }
+            map.clear(tx)?;
+            assert_eq!(map.len(tx)?, 0);
+            assert_eq!(map.get(tx, 5)?, None);
+            map.insert(tx, 5, 50)?;
+            assert_eq!(map.get(tx, 5)?, Some(50));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let rt = rt();
+        let map = TxMap::with_capacity(64);
+        commit(&rt, |tx| {
+            for k in 0..10 {
+                map.insert(tx, k, k + 100)?;
+            }
+            let mut seen = Vec::new();
+            map.for_each(tx, |k, v| seen.push((k, v)))?;
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).map(|k| (k, k + 100)).collect::<Vec<_>>());
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn aborted_insert_rolls_back() {
+        let rt = rt();
+        let map = TxMap::with_capacity(16);
+        let mut tx = Tx::fast(&rt);
+        map.insert(&mut tx, 9, 90).unwrap();
+        tx.rollback();
+        commit(&rt, |tx| {
+            assert_eq!(map.get(tx, 9)?, None);
+            assert_eq!(map.len(tx)?, 0);
+            Ok(())
+        });
+    }
+}

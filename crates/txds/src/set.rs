@@ -1,0 +1,103 @@
+//! A transactional set over [`TxMap`].
+
+use gocc_htm::{Tx, TxResult};
+
+use crate::map::TxMap;
+
+/// A fixed-capacity transactional set of `u64` items.
+///
+/// Models the `go-datastructures/set` subject of the paper's Figure 8:
+/// `Len`, `Exists`, `Flatten` (with a caller-maintained cache) and `Clear`
+/// map directly onto these operations.
+#[derive(Debug)]
+pub struct TxSet {
+    map: TxMap,
+}
+
+impl TxSet {
+    /// Creates a set holding up to roughly `capacity` items.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TxSet {
+            map: TxMap::with_capacity(capacity),
+        }
+    }
+
+    /// Adds `item`, returning whether it was newly inserted.
+    pub fn add<'a>(&'a self, tx: &mut Tx<'a>, item: u64) -> TxResult<bool> {
+        let out = self.map.insert(tx, item, 1)?;
+        Ok(out.inserted && out.previous.is_none())
+    }
+
+    /// Whether `item` is in the set.
+    pub fn exists<'a>(&'a self, tx: &mut Tx<'a>, item: u64) -> TxResult<bool> {
+        self.map.contains(tx, item)
+    }
+
+    /// Removes `item`, returning whether it was present.
+    pub fn remove<'a>(&'a self, tx: &mut Tx<'a>, item: u64) -> TxResult<bool> {
+        Ok(self.map.remove(tx, item)?.is_some())
+    }
+
+    /// Number of items.
+    pub fn len<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<u64> {
+        self.map.len(tx)
+    }
+
+    /// Copies every item into `out` (the set `Flatten` operation).
+    pub fn flatten_into<'a>(&'a self, tx: &mut Tx<'a>, out: &mut Vec<u64>) -> TxResult<()> {
+        self.map.for_each(tx, |k, _| out.push(k))
+    }
+
+    /// Removes all items.
+    pub fn clear<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<()> {
+        self.map.clear(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_htm::{HtmConfig, HtmRuntime};
+
+    fn commit<'e, R>(rt: &'e HtmRuntime, f: impl FnOnce(&mut Tx<'e>) -> TxResult<R>) -> R {
+        let mut tx = Tx::fast(rt);
+        let r = f(&mut tx).expect("single-threaded tx must not abort");
+        tx.commit().expect("single-threaded commit must succeed");
+        r
+    }
+
+    #[test]
+    fn add_exists_remove() {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let set = TxSet::with_capacity(32);
+        commit(&rt, |tx| {
+            assert!(set.add(tx, 5)?);
+            assert!(!set.add(tx, 5)?, "second add is not a new insert");
+            assert!(set.exists(tx, 5)?);
+            assert_eq!(set.len(tx)?, 1);
+            assert!(set.remove(tx, 5)?);
+            assert!(!set.exists(tx, 5)?);
+            assert!(!set.remove(tx, 5)?);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn flatten_and_clear() {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let set = TxSet::with_capacity(128);
+        commit(&rt, |tx| {
+            for i in 0..50 {
+                set.add(tx, i)?;
+            }
+            let mut items = Vec::new();
+            set.flatten_into(tx, &mut items)?;
+            items.sort_unstable();
+            assert_eq!(items, (0..50).collect::<Vec<_>>());
+            set.clear(tx)?;
+            assert_eq!(set.len(tx)?, 0);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! A fixed-capacity transactional vector.
+
+use gocc_htm::{Tx, TxResult, TxVar};
+
+/// A fixed-capacity vector of `u64` with a transactional length.
+///
+/// Used for caches and buffers inside critical sections (e.g. the set
+/// `Flatten` benchmark's cached flattening, or a metrics registry's
+/// pending-update queue).
+#[derive(Debug)]
+pub struct TxVec {
+    slots: Box<[TxVar<u64>]>,
+    len: TxVar<u64>,
+}
+
+impl TxVec {
+    /// Creates an empty vector that can hold `capacity` elements.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TxVec {
+            slots: (0..capacity).map(|_| TxVar::new(0)).collect(),
+            len: TxVar::new(0),
+        }
+    }
+
+    /// The fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current length.
+    pub fn len<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<u64> {
+        tx.read(&self.len)
+    }
+
+    /// Appends `value`; returns `false` (and does nothing) when full.
+    pub fn push<'a>(&'a self, tx: &mut Tx<'a>, value: u64) -> TxResult<bool> {
+        let len = tx.read(&self.len)?;
+        if len as usize >= self.slots.len() {
+            return Ok(false);
+        }
+        tx.write(&self.slots[len as usize], value)?;
+        tx.write(&self.len, len + 1)?;
+        Ok(true)
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<Option<u64>> {
+        let len = tx.read(&self.len)?;
+        if len == 0 {
+            return Ok(None);
+        }
+        let value = tx.read(&self.slots[(len - 1) as usize])?;
+        tx.write(&self.len, len - 1)?;
+        Ok(Some(value))
+    }
+
+    /// Reads index `i`, or `None` when out of bounds.
+    pub fn get<'a>(&'a self, tx: &mut Tx<'a>, i: usize) -> TxResult<Option<u64>> {
+        let len = tx.read(&self.len)?;
+        if i as u64 >= len {
+            return Ok(None);
+        }
+        Ok(Some(tx.read(&self.slots[i])?))
+    }
+
+    /// Writes index `i`; returns `false` when out of bounds.
+    pub fn set<'a>(&'a self, tx: &mut Tx<'a>, i: usize, value: u64) -> TxResult<bool> {
+        let len = tx.read(&self.len)?;
+        if i as u64 >= len {
+            return Ok(false);
+        }
+        tx.write(&self.slots[i], value)?;
+        Ok(true)
+    }
+
+    /// Truncates to length zero.
+    pub fn clear<'a>(&'a self, tx: &mut Tx<'a>) -> TxResult<()> {
+        tx.write(&self.len, 0)
+    }
+
+    /// Copies the contents into `out`.
+    pub fn read_into<'a>(&'a self, tx: &mut Tx<'a>, out: &mut Vec<u64>) -> TxResult<()> {
+        let len = tx.read(&self.len)?;
+        for i in 0..len as usize {
+            out.push(tx.read(&self.slots[i])?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_htm::{HtmConfig, HtmRuntime};
+
+    fn commit<'e, R>(rt: &'e HtmRuntime, f: impl FnOnce(&mut Tx<'e>) -> TxResult<R>) -> R {
+        let mut tx = Tx::fast(rt);
+        let r = f(&mut tx).expect("single-threaded tx must not abort");
+        tx.commit().expect("single-threaded commit must succeed");
+        r
+    }
+
+    #[test]
+    fn push_pop_get_set() {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let v = TxVec::with_capacity(4);
+        commit(&rt, |tx| {
+            assert!(v.push(tx, 10)?);
+            assert!(v.push(tx, 20)?);
+            assert_eq!(v.len(tx)?, 2);
+            assert_eq!(v.get(tx, 0)?, Some(10));
+            assert_eq!(v.get(tx, 5)?, None);
+            assert!(v.set(tx, 1, 21)?);
+            assert_eq!(v.pop(tx)?, Some(21));
+            assert_eq!(v.pop(tx)?, Some(10));
+            assert_eq!(v.pop(tx)?, None);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let v = TxVec::with_capacity(2);
+        commit(&rt, |tx| {
+            assert!(v.push(tx, 1)?);
+            assert!(v.push(tx, 2)?);
+            assert!(!v.push(tx, 3)?, "full vector must reject");
+            assert_eq!(v.len(tx)?, 2);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn clear_and_read_into() {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let v = TxVec::with_capacity(8);
+        commit(&rt, |tx| {
+            for i in 0..5 {
+                v.push(tx, i * i)?;
+            }
+            let mut out = Vec::new();
+            v.read_into(tx, &mut out)?;
+            assert_eq!(out, vec![0, 1, 4, 9, 16]);
+            v.clear(tx)?;
+            assert_eq!(v.len(tx)?, 0);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based model tests: transactional containers against `std`
+//! oracles under random operation sequences, with every operation running
+//! in its own committed transaction (so roll-back/commit machinery is on
+//! the hot path of the test, not bypassed).
+
+use std::collections::HashMap;
+
+use gocc_htm::{HtmConfig, HtmRuntime, Tx, TxResult};
+use gocc_txds::{TxMap, TxVec};
+use proptest::prelude::*;
+
+fn commit<'e, R>(rt: &'e HtmRuntime, f: impl FnOnce(&mut Tx<'e>) -> TxResult<R>) -> R {
+    let mut tx = Tx::fast(rt);
+    let r = f(&mut tx).expect("single-threaded tx must not abort");
+    tx.commit().expect("single-threaded commit must succeed");
+    r
+}
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Len,
+    Clear,
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    // Keys from a small domain so operations actually collide.
+    let key = 0u64..32;
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        2 => key.clone().prop_map(MapOp::Remove),
+        4 => key.prop_map(MapOp::Get),
+        1 => Just(MapOp::Len),
+        1 => Just(MapOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn txmap_matches_hashmap_model(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let map = TxMap::with_capacity(128);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let out = commit(&rt, |tx| map.insert(tx, k, v));
+                    prop_assert!(out.inserted);
+                    prop_assert_eq!(out.previous, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let got = commit(&rt, |tx| map.remove(tx, k));
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = commit(&rt, |tx| map.get(tx, k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                MapOp::Len => {
+                    let got = commit(&rt, |tx| map.len(tx));
+                    prop_assert_eq!(got as usize, model.len());
+                }
+                MapOp::Clear => {
+                    commit(&rt, |tx| map.clear(tx));
+                    model.clear();
+                }
+            }
+        }
+        // Final full-content check.
+        let mut contents = Vec::new();
+        commit(&rt, |tx| map.for_each(tx, |k, v| contents.push((k, v))));
+        contents.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(contents, expected);
+    }
+
+    #[test]
+    fn txvec_matches_vec_model(ops in proptest::collection::vec(any::<Option<u64>>(), 1..200)) {
+        // Some(v) = push, None = pop.
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let v = TxVec::with_capacity(64);
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    let pushed = commit(&rt, |tx| v.push(tx, x));
+                    if model.len() < 64 {
+                        prop_assert!(pushed);
+                        model.push(x);
+                    } else {
+                        prop_assert!(!pushed);
+                    }
+                }
+                None => {
+                    let got = commit(&rt, |tx| v.pop(tx));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+            let len = commit(&rt, |tx| v.len(tx));
+            prop_assert_eq!(len as usize, model.len());
+        }
+        let mut out = Vec::new();
+        commit(&rt, |tx| v.read_into(tx, &mut out));
+        prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn rolled_back_ops_leave_no_trace(
+        committed in proptest::collection::vec((0u64..16, any::<u64>()), 1..50),
+        aborted in proptest::collection::vec((0u64..16, any::<u64>()), 1..50),
+    ) {
+        let rt = HtmRuntime::new(HtmConfig::coffee_lake());
+        let map = TxMap::with_capacity(64);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in committed {
+            commit(&rt, |tx| map.insert(tx, k, v));
+            model.insert(k, v);
+        }
+        // Perform a batch of inserts/removes and roll the whole thing back.
+        let mut tx = Tx::fast(&rt);
+        for (k, v) in &aborted {
+            map.insert(&mut tx, *k, *v).unwrap();
+            map.remove(&mut tx, k.wrapping_add(1) % 16).unwrap();
+        }
+        tx.rollback();
+        // The map must exactly match the pre-abort model.
+        let mut contents = Vec::new();
+        commit(&rt, |tx| map.for_each(tx, |k, v| contents.push((k, v))));
+        contents.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(contents, expected);
+    }
+}

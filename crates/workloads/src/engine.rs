@@ -1,0 +1,202 @@
+//! Critical-section execution: original locks vs. GOCC.
+
+use gocc_htm::{Tx, TxResult};
+use gocc_optilock::{critical, GoccRuntime, LockRef};
+
+/// Which program variant runs: the baseline or the transformed one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The original pessimistic program (`sync.Mutex`/`sync.RWMutex`).
+    Lock,
+    /// The GOCC-transformed program (`optiLib` lock elision).
+    Gocc,
+}
+
+/// Executes critical sections under a chosen [`Mode`].
+///
+/// The workload code is written once against the transactional API; the
+/// engine decides whether a section runs under the real lock (with direct
+/// memory access, exactly the cost profile of the untransformed program)
+/// or through `optiLib`'s `FastLock` machinery.
+pub struct Engine<'a> {
+    rt: &'a GoccRuntime,
+    mode: Mode,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over a runtime.
+    #[must_use]
+    pub fn new(rt: &'a GoccRuntime, mode: Mode) -> Self {
+        Engine { rt, mode }
+    }
+
+    /// The runtime in use.
+    #[must_use]
+    pub fn runtime(&self) -> &'a GoccRuntime {
+        self.rt
+    }
+
+    /// The execution mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Runs a critical section that the analyzer accepted for elision.
+    ///
+    /// In [`Mode::Lock`] the original lock is taken (bypassing the lock
+    /// word — the baseline program has no speculating peers); in
+    /// [`Mode::Gocc`] the section goes through `optiLib`.
+    pub fn section<R>(
+        &self,
+        site: usize,
+        lock: LockRef<'a>,
+        body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+    ) -> R {
+        match self.mode {
+            Mode::Gocc => critical(self.rt, site, lock, body),
+            Mode::Lock => self.pessimistic(lock, body),
+        }
+    }
+
+    /// Runs a critical section that GOCC did *not* transform (e.g.
+    /// fastcache's panic-guarded `Set`): both modes use the original lock.
+    ///
+    /// In GOCC mode the acquisition must go through the elidable wrapper
+    /// (bumping the lock word) so concurrent elided sections on the same
+    /// lock abort correctly — this is the lock/HTM interoperability of §4.
+    pub fn untransformed_section<R>(
+        &self,
+        lock: LockRef<'a>,
+        mut body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+    ) -> R {
+        match self.mode {
+            Mode::Lock => self.pessimistic(lock, body),
+            Mode::Gocc => {
+                acquire_elidable(lock);
+                let mut tx = Tx::direct(self.rt.htm());
+                let out = body(&mut tx).expect("direct sections cannot abort");
+                tx.commit().expect("direct commits succeed");
+                release_elidable(lock);
+                out
+            }
+        }
+    }
+
+    fn pessimistic<R>(
+        &self,
+        lock: LockRef<'a>,
+        mut body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
+    ) -> R {
+        acquire_raw(lock);
+        let mut tx = Tx::direct(self.rt.htm());
+        let out = body(&mut tx).expect("direct sections cannot abort");
+        tx.commit().expect("direct commits succeed");
+        release_raw(lock);
+        out
+    }
+}
+
+fn acquire_raw(lock: LockRef<'_>) {
+    match lock {
+        LockRef::Mutex(m) => m.go_mutex().lock_raw(),
+        LockRef::Read(rw) => rw.go_rwmutex().rlock_raw(),
+        LockRef::Write(rw) => rw.go_rwmutex().lock_raw(),
+    }
+}
+
+fn release_raw(lock: LockRef<'_>) {
+    match lock {
+        LockRef::Mutex(m) => m.go_mutex().unlock_raw(),
+        LockRef::Read(rw) => rw.go_rwmutex().runlock_raw(),
+        LockRef::Write(rw) => rw.go_rwmutex().unlock_raw(),
+    }
+}
+
+fn acquire_elidable(lock: LockRef<'_>) {
+    match lock {
+        LockRef::Mutex(m) => m.lock_raw(),
+        LockRef::Read(rw) => rw.rlock_raw(),
+        LockRef::Write(rw) => rw.lock_raw(),
+    }
+}
+
+fn release_elidable(lock: LockRef<'_>) {
+    match lock {
+        LockRef::Mutex(m) => m.unlock_raw(),
+        LockRef::Read(rw) => rw.runlock_raw(),
+        LockRef::Write(rw) => rw.unlock_raw(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_htm::TxVar;
+    use gocc_optilock::ElidableMutex;
+
+    #[test]
+    fn both_modes_produce_same_result() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let engine = Engine::new(&rt, mode);
+            let m = ElidableMutex::new();
+            let v = TxVar::new(0u64);
+            for _ in 0..100 {
+                engine.section(gocc_optilock::call_site!(), LockRef::Mutex(&m), |tx| {
+                    let cur = tx.read(&v)?;
+                    tx.write(&v, cur + 1)
+                });
+            }
+            let mut check = Tx::direct(rt.htm());
+            assert_eq!(check.read(&v).unwrap(), 100, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn lock_mode_never_speculates() {
+        let rt = GoccRuntime::new_default();
+        let engine = Engine::new(&rt, Mode::Lock);
+        let m = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        engine.section(gocc_optilock::call_site!(), LockRef::Mutex(&m), |tx| {
+            tx.write(&v, 1)
+        });
+        assert_eq!(rt.stats().snapshot().htm_attempts, 0);
+        assert_eq!(rt.htm().stats().snapshot().starts, 0);
+    }
+
+    #[test]
+    fn untransformed_sections_interoperate_with_elided_ones() {
+        gocc_gosync::set_procs(8);
+        let rt = GoccRuntime::new_default();
+        let engine = Engine::new(&rt, Mode::Gocc);
+        let m = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        engine.section(gocc_optilock::call_site!(), LockRef::Mutex(&m), |tx| {
+                            let cur = tx.read(&v)?;
+                            tx.write(&v, cur + 1)
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        engine.untransformed_section(LockRef::Mutex(&m), |tx| {
+                            let cur = tx.read(&v)?;
+                            tx.write(&v, cur + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let mut check = Tx::direct(rt.htm());
+        assert_eq!(check.read(&v).unwrap(), 800, "no lost updates across paths");
+    }
+}

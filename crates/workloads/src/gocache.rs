@@ -1,0 +1,223 @@
+//! A go-cache-like in-memory key/value store (Figure 7).
+//!
+//! Two layers, exactly like the original benchmarks: direct map access
+//! guarded by an `RWMutex` (the group that speeds up by >100% under GOCC
+//! because elision removes the contended reader-count RMWs), and the cache
+//! layer that adds expiration bookkeeping on top (mildly improved, never
+//! degraded).
+
+use gocc_htm::Tx;
+use gocc_optilock::{call_site, ElidableRwMutex, LockRef};
+use gocc_txds::{fnv1a, TxMap};
+
+use crate::engine::Engine;
+
+/// The direct RWMutex-protected map of the `RWMutexMap*` benchmarks.
+pub struct RwMap {
+    lock: ElidableRwMutex,
+    items: TxMap,
+}
+
+impl RwMap {
+    /// Creates a map preloaded with `preload` keys.
+    #[must_use]
+    pub fn new(rt: &gocc_htm::HtmRuntime, preload: usize) -> Self {
+        let map = RwMap {
+            lock: ElidableRwMutex::new(),
+            items: TxMap::with_capacity(preload * 4),
+        };
+        let mut tx = Tx::direct(rt);
+        for i in 0..preload {
+            map.items
+                .insert(&mut tx, Self::key(i), i as u64)
+                .expect("preload");
+        }
+        tx.commit().expect("direct commit");
+        map
+    }
+
+    /// Benchmark key hash (`"foo"`-style small string keys).
+    #[must_use]
+    pub fn key(i: usize) -> u64 {
+        fnv1a(format!("key-{i}").as_bytes())
+    }
+
+    /// `RWMutexMapGet`: read one key under `RLock`.
+    pub fn get(&self, engine: &Engine<'_>, key: u64) -> Option<u64> {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            self.items.get(tx, key)
+        })
+    }
+
+    /// `RWMutexMapSet`: store one key under `Lock`.
+    pub fn set(&self, engine: &Engine<'_>, key: u64, value: u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            self.items.insert(tx, key, value)?;
+            Ok(())
+        });
+    }
+
+    /// `RWMutexMapLen`: size query under `RLock`.
+    pub fn len(&self, engine: &Engine<'_>) -> u64 {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            self.items.len(tx)
+        })
+    }
+}
+
+/// The cache layer of go-cache: values carry an expiration stamp.
+pub struct Cache {
+    lock: ElidableRwMutex,
+    /// key → value; a parallel map holds expirations.
+    items: TxMap,
+    expirations: TxMap,
+    /// Logical clock standing in for `time.Now()` (advanced by the
+    /// harness; reading wall-clock time inside a transaction would be an
+    /// HTM-unfriendly operation on real hardware too).
+    now: gocc_txds::TxCounter,
+}
+
+impl Cache {
+    /// Creates a cache preloaded with `preload` non-expiring keys.
+    #[must_use]
+    pub fn new(rt: &gocc_htm::HtmRuntime, preload: usize) -> Self {
+        let c = Cache {
+            lock: ElidableRwMutex::new(),
+            items: TxMap::with_capacity(preload * 4),
+            expirations: TxMap::with_capacity(preload * 4),
+            now: gocc_txds::TxCounter::new(1),
+        };
+        let mut tx = Tx::direct(rt);
+        for i in 0..preload {
+            c.items
+                .insert(&mut tx, RwMap::key(i), i as u64)
+                .expect("preload");
+            c.expirations
+                .insert(&mut tx, RwMap::key(i), 0)
+                .expect("preload");
+        }
+        tx.commit().expect("direct commit");
+        c
+    }
+
+    /// `CacheGet(NotExpiring)`: lookup + expiration check under `RLock`.
+    pub fn get(&self, engine: &Engine<'_>, key: u64) -> Option<u64> {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            let Some(v) = self.items.get(tx, key)? else {
+                return Ok(None);
+            };
+            let exp = self.expirations.get(tx, key)?.unwrap_or(0);
+            if exp != 0 {
+                let now = self.now.get(tx)?;
+                if exp < now {
+                    return Ok(None);
+                }
+            }
+            Ok(Some(v))
+        })
+    }
+
+    /// `CacheSet`: store with expiration under `Lock`.
+    pub fn set(&self, engine: &Engine<'_>, key: u64, value: u64, ttl: u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            let exp = if ttl == 0 { 0 } else { self.now.get(tx)? + ttl };
+            self.items.insert(tx, key, value)?;
+            self.expirations.insert(tx, key, exp)?;
+            Ok(())
+        });
+    }
+
+    /// `CacheDelete`.
+    pub fn delete(&self, engine: &Engine<'_>, key: u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            self.items.remove(tx, key)?;
+            self.expirations.remove(tx, key)?;
+            Ok(())
+        });
+    }
+
+    /// Advances the logical clock (harness only, not a benchmark op).
+    pub fn tick(&self, engine: &Engine<'_>) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            self.now.add(tx, 1)?;
+            Ok(())
+        });
+    }
+
+    /// `CacheItemCount`.
+    pub fn item_count(&self, engine: &Engine<'_>) -> u64 {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            self.items.len(tx)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Mode;
+    use gocc_optilock::GoccRuntime;
+
+    #[test]
+    fn rwmap_get_set_roundtrip_in_both_modes() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let m = RwMap::new(rt.htm(), 16);
+            let engine = Engine::new(&rt, mode);
+            assert_eq!(m.get(&engine, RwMap::key(3)), Some(3));
+            m.set(&engine, RwMap::key(100), 42);
+            assert_eq!(m.get(&engine, RwMap::key(100)), Some(42));
+            assert_eq!(m.len(&engine), 17);
+        }
+    }
+
+    #[test]
+    fn cache_expiration_semantics() {
+        gocc_gosync::set_procs(8);
+        let rt = GoccRuntime::new_default();
+        let c = Cache::new(rt.htm(), 4);
+        let engine = Engine::new(&rt, Mode::Gocc);
+        let k = RwMap::key(999);
+        c.set(&engine, k, 7, 2);
+        assert_eq!(c.get(&engine, k), Some(7));
+        c.tick(&engine);
+        c.tick(&engine);
+        c.tick(&engine);
+        assert_eq!(c.get(&engine, k), None, "expired entries read as absent");
+        // Non-expiring entries survive ticks.
+        assert_eq!(c.get(&engine, RwMap::key(1)), Some(1));
+    }
+
+    #[test]
+    fn concurrent_readers_scale_on_fast_path() {
+        gocc_gosync::set_procs(8);
+        let rt = GoccRuntime::new_default();
+        let m = RwMap::new(rt.htm(), 64);
+        let engine = Engine::new(&rt, Mode::Gocc);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (engine, m) = (&engine, &m);
+                s.spawn(move || {
+                    for i in 0..250 {
+                        let _ = m.get(engine, RwMap::key((t * 13 + i) % 64));
+                    }
+                });
+            }
+        });
+        let snap = rt.stats().snapshot();
+        assert!(snap.fast_commits > 800, "reads should elide: {snap:?}");
+    }
+
+    #[test]
+    fn delete_then_get_misses() {
+        gocc_gosync::set_procs(8);
+        let rt = GoccRuntime::new_default();
+        let c = Cache::new(rt.htm(), 8);
+        let engine = Engine::new(&rt, Mode::Lock);
+        assert_eq!(c.item_count(&engine), 8);
+        c.delete(&engine, RwMap::key(2));
+        assert_eq!(c.get(&engine, RwMap::key(2)), None);
+        assert_eq!(c.item_count(&engine), 7);
+    }
+}

@@ -1,0 +1,30 @@
+//! Re-implementations of the paper's evaluation subjects (§6, Table 1).
+//!
+//! Each module models one of the five real Go packages GOCC was evaluated
+//! on, preserving the *workload structure* the figures depend on:
+//!
+//! * [`tally`] — buffered metrics: read-mostly registry lookups
+//!   (`HistogramExisting`), multi-lock scope reporting, and HTM-unfriendly
+//!   allocation benchmarks (Figures 6 and 10);
+//! * [`gocache`] — an in-memory key/value store: RWMutex-protected direct
+//!   map access (the >100% group of Figure 7) plus the cache layer;
+//! * [`set`] — the go-datastructures set: `Len`, `Exists`, `Flatten` with
+//!   a cache, `Clear` with true conflicts (Figure 8);
+//! * [`fastcache`] — a sharded byte cache with shared stats counters and a
+//!   panic-guarded `Set` that GOCC leaves untransformed (Figure 9);
+//! * [`zaplite`] — a structured logger whose hot paths are level checks
+//!   and whose write paths are IO-bound (§6.1's Zap discussion).
+//!
+//! Every operation runs through an [`Engine`], which executes critical
+//! sections either with the original pessimistic locks (`Mode::Lock`, the
+//! paper's baseline) or through `optiLib` (`Mode::Gocc`, the transformed
+//! program).
+
+mod engine;
+pub mod fastcache;
+pub mod gocache;
+pub mod set;
+pub mod tally;
+pub mod zaplite;
+
+pub use engine::{Engine, Mode};

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every paper artifact into bench_output.txt.
+set -u
+out=/root/repo/bench_output.txt
+: > "$out"
+for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost; do
+  echo "===== $bin =====" >> "$out"
+  timeout 900 ./target/release/$bin 2>&1 | grep -v 'WARNING conda' >> "$out"
+  echo >> "$out"
+done
+echo BENCHES_DONE >> "$out"

@@ -1,0 +1,16 @@
+//! Integration surface for the `gocc-rs` workspace.
+//!
+//! This crate re-exports the workspace members so that the root-level
+//! `tests/` and `examples/` can exercise the full pipeline. See the
+//! individual crates for the actual implementation.
+
+pub use gocc;
+pub use gocc_flowgraph as flowgraph;
+pub use gocc_gosync as gosync;
+pub use gocc_htm as htm;
+pub use gocc_optilock as optilock;
+pub use gocc_pointsto as pointsto;
+pub use gocc_profile as profile;
+pub use gocc_txds as txds;
+pub use gocc_workloads as workloads;
+pub use golite;

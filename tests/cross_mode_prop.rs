@@ -1,0 +1,110 @@
+//! Property test: for random operation sequences, the GOCC-transformed
+//! program and the pessimistic program are observationally equivalent —
+//! the paper's §4.1 guarantee as an executable property.
+
+use gocc_repro::optilock::GoccRuntime;
+use gocc_repro::workloads::gocache::{Cache, RwMap};
+use gocc_repro::workloads::set::Set;
+use gocc_repro::workloads::{Engine, Mode};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Set(u8, u16, u8),
+    Get(u8),
+    Delete(u8),
+    Tick,
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u16>(), 0u8..4).prop_map(|(k, v, ttl)| CacheOp::Set(k, v, ttl)),
+        4 => any::<u8>().prop_map(CacheOp::Get),
+        1 => any::<u8>().prop_map(CacheOp::Delete),
+        1 => Just(CacheOp::Tick),
+    ]
+}
+
+fn run_cache(mode: Mode, ops: &[CacheOp]) -> Vec<Option<u64>> {
+    gocc_repro::gosync::set_procs(8);
+    let rt = GoccRuntime::new_default();
+    let cache = Cache::new(rt.htm(), 4);
+    let engine = Engine::new(&rt, mode);
+    let mut observations = Vec::new();
+    for op in ops {
+        match op {
+            CacheOp::Set(k, v, ttl) => {
+                cache.set(
+                    &engine,
+                    RwMap::key(*k as usize),
+                    u64::from(*v),
+                    u64::from(*ttl),
+                );
+            }
+            CacheOp::Get(k) => observations.push(cache.get(&engine, RwMap::key(*k as usize))),
+            CacheOp::Delete(k) => cache.delete(&engine, RwMap::key(*k as usize)),
+            CacheOp::Tick => cache.tick(&engine),
+        }
+    }
+    observations.push(Some(cache.item_count(&engine)));
+    observations
+}
+
+#[derive(Clone, Debug)]
+enum SetOp {
+    Add(u16),
+    Remove(u16),
+    Exists(u16),
+    Len,
+    Flatten,
+    Clear,
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        5 => any::<u16>().prop_map(|v| SetOp::Add(v % 512)),
+        2 => any::<u16>().prop_map(|v| SetOp::Remove(v % 512)),
+        3 => any::<u16>().prop_map(|v| SetOp::Exists(v % 512)),
+        1 => Just(SetOp::Len),
+        1 => Just(SetOp::Flatten),
+        1 => Just(SetOp::Clear),
+    ]
+}
+
+fn run_set(mode: Mode, ops: &[SetOp]) -> Vec<u64> {
+    gocc_repro::gosync::set_procs(8);
+    let rt = GoccRuntime::new_default();
+    let set = Set::new(rt.htm(), 0);
+    let engine = Engine::new(&rt, mode);
+    let mut observations = Vec::new();
+    for op in ops {
+        match op {
+            SetOp::Add(v) => observations.push(u64::from(set.add(&engine, u64::from(*v)))),
+            SetOp::Remove(v) => observations.push(u64::from(set.remove(&engine, u64::from(*v)))),
+            SetOp::Exists(v) => observations.push(u64::from(set.exists(&engine, u64::from(*v)))),
+            SetOp::Len => observations.push(set.len(&engine)),
+            SetOp::Flatten => {
+                let mut flat = set.flatten(&engine);
+                flat.sort_unstable();
+                observations.push(flat.len() as u64);
+                observations.extend(flat);
+            }
+            SetOp::Clear => set.clear(&engine),
+        }
+    }
+    observations
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_modes_agree(ops in proptest::collection::vec(cache_op(), 1..60)) {
+        prop_assert_eq!(run_cache(Mode::Lock, &ops), run_cache(Mode::Gocc, &ops));
+    }
+
+    #[test]
+    fn set_modes_agree(ops in proptest::collection::vec(set_op(), 1..60)) {
+        prop_assert_eq!(run_set(Mode::Lock, &ops), run_set(Mode::Gocc, &ops));
+    }
+}

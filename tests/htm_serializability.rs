@@ -1,0 +1,148 @@
+//! Serializability stress: concurrent transactional transfers must
+//! preserve the bank invariant (total balance constant), and read-only
+//! audits must always observe a consistent snapshot — no zombies, no torn
+//! reads, no lost updates.
+
+use gocc_repro::htm::{Tx, TxVar};
+use gocc_repro::optilock::{call_site, critical_mutex, ElidableMutex, GoccRuntime};
+
+const ACCOUNTS: usize = 32;
+const INITIAL: u64 = 1_000;
+
+#[test]
+fn transfers_preserve_total_balance() {
+    gocc_repro::gosync::set_procs(8);
+    let rt = GoccRuntime::new_default();
+    let bank = ElidableMutex::new();
+    let accounts: Vec<TxVar<u64>> = (0..ACCOUNTS).map(|_| TxVar::new(INITIAL)).collect();
+    let audits_ok = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Transfer threads.
+        for t in 0..3usize {
+            let (rt, bank, accounts) = (&rt, &bank, &accounts);
+            s.spawn(move || {
+                let site = call_site!();
+                let mut x = (t as u64 + 1) * 0x9E37_79B9;
+                for _ in 0..2_000 {
+                    // Cheap xorshift for account selection.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = (x as usize) % ACCOUNTS;
+                    let to = ((x >> 16) as usize) % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    critical_mutex(rt, site, bank, |tx| {
+                        let a = tx.read(&accounts[from])?;
+                        if a == 0 {
+                            return Ok(());
+                        }
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - 1)?;
+                        tx.write(&accounts[to], b + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Audit thread: read-only snapshots must always sum exactly.
+        let (rt, bank, accounts, audits_ok) = (&rt, &bank, &accounts, &audits_ok);
+        s.spawn(move || {
+            let site = call_site!();
+            for _ in 0..500 {
+                let total = critical_mutex(rt, site, bank, |tx| {
+                    let mut sum = 0u64;
+                    for a in accounts.iter() {
+                        sum += tx.read(a)?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(
+                    total,
+                    (ACCOUNTS as u64) * INITIAL,
+                    "audit observed an inconsistent snapshot"
+                );
+                audits_ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+    });
+
+    // Final exact check.
+    let mut tx = Tx::direct(rt.htm());
+    let total: u64 = accounts.iter().map(|a| tx.read(a).unwrap()).sum();
+    tx.commit().unwrap();
+    assert_eq!(
+        total,
+        (ACCOUNTS as u64) * INITIAL,
+        "money was created or destroyed"
+    );
+    assert_eq!(audits_ok.load(std::sync::atomic::Ordering::Relaxed), 500);
+
+    let stats = rt.stats().snapshot();
+    // Transfer loops skip `from == to` draws before entering a section, so
+    // the exact count varies; every executed section completed exactly once
+    // on one of the two paths, and at minimum the 500 audits ran.
+    assert!(stats.fast_commits + stats.slow_sections >= 500);
+    assert!(stats.fast_commits + stats.slow_sections <= 3 * 2_000 + 500);
+}
+
+#[test]
+fn mixed_slow_and_fast_paths_preserve_invariant() {
+    gocc_repro::gosync::set_procs(8);
+    let rt = GoccRuntime::new_default();
+    let bank = ElidableMutex::new();
+    let accounts: Vec<TxVar<u64>> = (0..8).map(|_| TxVar::new(INITIAL)).collect();
+
+    std::thread::scope(|s| {
+        // Elided movers.
+        for _ in 0..2 {
+            let (rt, bank, accounts) = (&rt, &bank, &accounts);
+            s.spawn(move || {
+                let site = call_site!();
+                for i in 0..1_500usize {
+                    critical_mutex(rt, site, bank, |tx| {
+                        let from = i % 8;
+                        let to = (i + 3) % 8;
+                        let a = tx.read(&accounts[from])?;
+                        if a == 0 {
+                            return Ok(());
+                        }
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - 1)?;
+                        tx.write(&accounts[to], b + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // A pessimistic interloper using the untransformed lock API.
+        let (rt, bank, accounts) = (&rt, &bank, &accounts);
+        s.spawn(move || {
+            for i in 0..1_500usize {
+                bank.lock_raw();
+                let mut tx = Tx::direct(rt.htm());
+                let from = (i + 1) % 8;
+                let to = (i + 5) % 8;
+                let a = tx.read(&accounts[from]).unwrap();
+                if a > 0 {
+                    let b = tx.read(&accounts[to]).unwrap();
+                    tx.write(&accounts[from], a - 1).unwrap();
+                    tx.write(&accounts[to], b + 1).unwrap();
+                }
+                tx.commit().unwrap();
+                bank.unlock_raw();
+            }
+        });
+    });
+
+    let mut tx = Tx::direct(rt.htm());
+    let total: u64 = accounts.iter().map(|a| tx.read(a).unwrap()).sum();
+    tx.commit().unwrap();
+    assert_eq!(
+        total,
+        8 * INITIAL,
+        "slow/fast interop lost or duplicated money"
+    );
+}

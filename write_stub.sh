@@ -1,0 +1,5 @@
+#!/bin/sh
+# restore stubs for any crate missing lib.rs so the workspace always parses
+for c in gosync optilock txds golite flowgraph pointsto profile gocc workloads bench; do
+  [ -f "crates/$c/src/lib.rs" ] || echo '//! Placeholder module; implemented later in this build.' > "crates/$c/src/lib.rs"
+done
