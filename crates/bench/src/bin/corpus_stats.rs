@@ -7,6 +7,8 @@
 //! deferredness.
 
 use gocc::Package;
+use gocc_bench::write_artifact;
+use gocc_telemetry::JsonWriter;
 
 const PACKAGES: [&str; 5] = ["tally", "zap", "gocache", "fastcache", "set"];
 
@@ -19,6 +21,9 @@ fn main() {
     );
     let mut total = 0usize;
     let mut total_deferred = 0usize;
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("figure", "corpus_stats");
+    w.key("packages").begin_array();
     for name in PACKAGES {
         let path = format!("{root}/{name}/{name}.go");
         let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
@@ -37,21 +42,29 @@ fn main() {
         }
         total += unlocks;
         total_deferred += deferred;
-        println!(
-            "{:<12} {:>8} {:>10} {:>9.1}%",
-            name,
-            unlocks,
-            deferred,
-            deferred as f64 / unlocks.max(1) as f64 * 100.0
-        );
+        let pct = deferred as f64 / unlocks.max(1) as f64 * 100.0;
+        println!("{:<12} {:>8} {:>10} {:>9.1}%", name, unlocks, deferred, pct);
+        w.begin_object()
+            .field_str("name", name)
+            .field_u64("unlocks", unlocks as u64)
+            .field_u64("deferred", deferred as u64)
+            .field_f64("deferred_pct", pct)
+            .end_object();
     }
+    let total_pct = total_deferred as f64 / total.max(1) as f64 * 100.0;
     println!(
         "{:<12} {:>8} {:>10} {:>9.1}%   (paper's industrial scan: ~76%)",
-        "total",
-        total,
-        total_deferred,
-        total_deferred as f64 / total.max(1) as f64 * 100.0
+        "total", total, total_deferred, total_pct
     );
+    w.end_array();
+    w.key("total")
+        .begin_object()
+        .field_u64("unlocks", total as u64)
+        .field_u64("deferred", total_deferred as u64)
+        .field_f64("deferred_pct", total_pct)
+        .end_object();
+    w.end_object();
+    write_artifact("corpus_stats", &w.finish());
 }
 
 fn corpus_root() -> String {

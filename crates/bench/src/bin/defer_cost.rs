@@ -14,8 +14,9 @@
 
 use std::time::Duration;
 
-use gocc_bench::{run_parallel, CORE_COUNTS};
+use gocc_bench::{run_parallel, write_artifact, CORE_COUNTS};
 use gocc_optilock::{call_site, ElidableMutex, GoccConfig, GoccRuntime, LockRef};
+use gocc_telemetry::JsonWriter;
 use gocc_txds::TxCounter;
 use gocc_workloads::{Engine, Mode};
 
@@ -59,8 +60,13 @@ fn main() {
         "mode", ""
     );
     println!("{}", "-".repeat(110));
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("figure", "defer_cost");
+    w.key("modes").begin_array();
     for mode in [Mode::Lock, Mode::Gocc] {
         print!("{:<21}", format!("{mode:?}"));
+        w.begin_object().field_str("mode", &format!("{mode:?}"));
+        w.key("points").begin_array();
         for &cores in &CORE_COUNTS {
             let prev = gocc_htm::contention::set_sim_cores(cores);
             let tight = measure(mode, false, cores);
@@ -71,10 +77,19 @@ fn main() {
                 " | {:>2}c {:>8.1}/{:<8.1} {:>+7.1}%",
                 cores, tight, deferred, penalty
             );
+            w.begin_object()
+                .field_u64("cores", cores as u64)
+                .field_f64("tight_ns_per_op", tight)
+                .field_f64("deferred_ns_per_op", deferred)
+                .field_f64("defer_penalty_pct", penalty)
+                .end_object();
         }
+        w.end_array().end_object();
         println!();
     }
+    w.end_array().end_object();
     println!();
     println!("76% of the 8000 Unlock() calls in the paper's 21-MLoC industrial scan were");
     println!("deferred — see `corpus_stats` for this repository's corpus analog.");
+    write_artifact("defer_cost", &w.finish());
 }

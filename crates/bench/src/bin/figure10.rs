@@ -10,8 +10,9 @@
 
 use std::time::Duration;
 
-use gocc_bench::{run_parallel, CORE_COUNTS};
-use gocc_optilock::{GoccConfig, GoccRuntime};
+use gocc_bench::{run_parallel, stats_fields, write_artifact, CORE_COUNTS};
+use gocc_optilock::{GoccConfig, GoccRuntime, PerceptronSnapshot};
+use gocc_telemetry::JsonWriter;
 use gocc_workloads::tally::Scope;
 use gocc_workloads::{Engine, Mode};
 
@@ -70,11 +71,24 @@ fn main() {
         },
     ];
 
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("figure", "figure10");
+    w.key("core_counts").begin_array();
+    for &c in &CORE_COUNTS {
+        w.u64(c as u64);
+    }
+    w.end_array();
+    w.key("benchmarks").begin_array();
+
     for b in &benches {
         print!("{:<26}", b.name);
+        w.begin_object().field_str("name", b.name);
+        w.key("points").begin_array();
         for &cores in &CORE_COUNTS {
             let prev = gocc_htm::contention::set_sim_cores(cores);
             let mut ns = [0.0f64; 2];
+            // Stats + perceptron introspection from the gated (P) run.
+            let mut gated: Option<(gocc_htm::StatsSnapshot, _, PerceptronSnapshot)> = None;
             for (idx, config) in [GoccConfig::no_perceptron(), GoccConfig::standard()]
                 .into_iter()
                 .enumerate()
@@ -84,6 +98,13 @@ fn main() {
                 let engine = Engine::new(&rt, Mode::Gocc);
                 run_parallel(cores, WINDOW / 4, |w, i| (b.op)(&engine, &scope, w, i));
                 ns[idx] = run_parallel(cores, WINDOW, |w, i| (b.op)(&engine, &scope, w, i));
+                if idx == 1 {
+                    gated = Some((
+                        rt.htm().stats().snapshot(),
+                        rt.stats().snapshot(),
+                        rt.perceptron().snapshot(),
+                    ));
+                }
             }
             gocc_htm::contention::set_sim_cores(prev);
             let gain = (ns[0] / ns[1] - 1.0) * 100.0;
@@ -91,9 +112,38 @@ fn main() {
                 " | {:>2}c {:>8.1}/{:<8.1} {:>+7.1}%",
                 cores, ns[0], ns[1], gain
             );
+            let (htm, opti, perc) = gated.expect("gated run measured");
+            w.begin_object()
+                .field_u64("cores", cores as u64)
+                .field_f64("np_ns_per_op", ns[0])
+                .field_f64("gocc_ns_per_op", ns[1])
+                .field_f64("perceptron_gain_pct", gain);
+            stats_fields(&mut w, &htm, &opti);
+            w.key("perceptron")
+                .begin_object()
+                .field_u64("decisions_fast", perc.decisions_fast)
+                .field_u64("decisions_slow", perc.decisions_slow)
+                .field_u64("resets", perc.resets)
+                .field_u64(
+                    "trained_mutex_cells",
+                    PerceptronSnapshot::trained_cells(&perc.mutex_weights) as u64,
+                )
+                .field_u64(
+                    "trained_site_cells",
+                    PerceptronSnapshot::trained_cells(&perc.site_weights) as u64,
+                )
+                .key("mutex_table_bias")
+                .i64(PerceptronSnapshot::table_bias(&perc.mutex_weights))
+                .key("site_table_bias")
+                .i64(PerceptronSnapshot::table_bias(&perc.site_weights))
+                .end_object()
+                .end_object();
         }
+        w.end_array().end_object();
         println!();
     }
+    w.end_array().end_object();
     println!();
     println!("NP = always attempt HTM; P = perceptron-gated (the shipped configuration).");
+    write_artifact("figure10", &w.finish());
 }

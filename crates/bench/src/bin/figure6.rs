@@ -9,7 +9,8 @@
 //! must stay within noise.
 
 use gocc_bench::{
-    print_geomeans, print_header, sweep_driver, warm_measure, SweepResult, DEFAULT_WINDOW,
+    print_geomeans, print_header, sweep_driver, warm_measure, write_bench_json, Measured,
+    SweepResult, DEFAULT_WINDOW,
 };
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_workloads::tally::Scope;
@@ -28,7 +29,8 @@ fn tally_sweep(
         let rt = GoccRuntime::new(GoccConfig::standard());
         let scope = Scope::new(rt.htm(), PRELOADED);
         let engine = Engine::new(&rt, mode);
-        warm_measure(cores, window, |w, i| op(&engine, &scope, w, i))
+        let ns = warm_measure(cores, window, |w, i| op(&engine, &scope, w, i));
+        Measured::with_runtime(ns, &rt)
     })
 }
 
@@ -86,4 +88,5 @@ fn main() {
     }
     println!();
     print_geomeans(&results);
+    write_bench_json("figure6", &results);
 }

@@ -6,7 +6,8 @@
 //! > critically, never degraded.
 
 use gocc_bench::{
-    print_geomeans, print_header, sweep_driver, warm_measure, SweepResult, DEFAULT_WINDOW,
+    print_geomeans, print_header, sweep_driver, warm_measure, write_bench_json, Measured,
+    SweepResult, DEFAULT_WINDOW,
 };
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_workloads::gocache::{Cache, RwMap};
@@ -19,7 +20,8 @@ fn map_sweep(name: &str, op: impl Fn(&Engine<'_>, &RwMap, usize, u64) + Sync) ->
         let rt = GoccRuntime::new(GoccConfig::standard());
         let map = RwMap::new(rt.htm(), KEYS);
         let engine = Engine::new(&rt, mode);
-        warm_measure(cores, window, |w, i| op(&engine, &map, w, i))
+        let ns = warm_measure(cores, window, |w, i| op(&engine, &map, w, i));
+        Measured::with_runtime(ns, &rt)
     })
 }
 
@@ -28,7 +30,8 @@ fn cache_sweep(name: &str, op: impl Fn(&Engine<'_>, &Cache, usize, u64) + Sync) 
         let rt = GoccRuntime::new(GoccConfig::standard());
         let cache = Cache::new(rt.htm(), KEYS);
         let engine = Engine::new(&rt, mode);
-        warm_measure(cores, window, |w, i| op(&engine, &cache, w, i))
+        let ns = warm_measure(cores, window, |w, i| op(&engine, &cache, w, i));
+        Measured::with_runtime(ns, &rt)
     })
 }
 
@@ -82,4 +85,5 @@ fn main() {
     }
     println!();
     print_geomeans(&results);
+    write_bench_json("figure7", &results);
 }

@@ -7,7 +7,8 @@
 //! true conflicts and must show no speedup *and* no collapse.
 
 use gocc_bench::{
-    print_geomeans, print_header, sweep_driver, warm_measure, SweepResult, DEFAULT_WINDOW,
+    print_geomeans, print_header, sweep_driver, warm_measure, write_bench_json, Measured,
+    SweepResult, DEFAULT_WINDOW,
 };
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_workloads::set::{Set, FLATTEN_ITEMS};
@@ -22,7 +23,8 @@ fn set_sweep(
         let rt = GoccRuntime::new(GoccConfig::standard());
         let set = Set::new(rt.htm(), preload);
         let engine = Engine::new(&rt, mode);
-        warm_measure(cores, window, |w, i| op(&engine, &set, w, i))
+        let ns = warm_measure(cores, window, |w, i| op(&engine, &set, w, i));
+        Measured::with_runtime(ns, &rt)
     })
 }
 
@@ -64,4 +66,5 @@ fn main() {
     }
     println!();
     print_geomeans(&results);
+    write_bench_json("figure8", &results);
 }

@@ -8,7 +8,8 @@
 //! the result.
 
 use gocc_bench::{
-    print_geomeans, print_header, sweep_driver, warm_measure, SweepResult, DEFAULT_WINDOW,
+    print_geomeans, print_header, sweep_driver, warm_measure, write_bench_json, Measured,
+    SweepResult, DEFAULT_WINDOW,
 };
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_workloads::fastcache::FastCache;
@@ -27,7 +28,8 @@ fn cache_sweep(
         let cache = FastCache::new(KEYS * 4);
         cache.preload(rt.htm(), KEYS, b"fastcache-value-0123456789abcdef");
         let engine = Engine::new(&rt, mode);
-        warm_measure(cores, window, |w, i| op(&engine, &cache, w, i))
+        let ns = warm_measure(cores, window, |w, i| op(&engine, &cache, w, i));
+        Measured::with_runtime(ns, &rt)
     })
 }
 
@@ -69,4 +71,5 @@ fn main() {
     }
     println!();
     print_geomeans(&results);
+    write_bench_json("figure9", &results);
 }

@@ -9,8 +9,9 @@
 
 use std::time::{Duration, Instant};
 
-use gocc_bench::run_parallel;
+use gocc_bench::{run_parallel, write_artifact};
 use gocc_optilock::{call_site, GoccConfig, GoccRuntime, Perceptron};
+use gocc_telemetry::JsonWriter;
 use gocc_txds::TxCounter;
 use gocc_workloads::{Engine, Mode};
 
@@ -47,6 +48,14 @@ fn main() {
         .fold(f64::MAX, f64::min);
     let total_pct = (with / without - 1.0) * 100.0;
 
+    // Telemetry is the same kind of always-on bookkeeping the perceptron
+    // is, so this binary also measures its cost on the identical section:
+    // with_telemetry vs the shipped (telemetry-off) configuration.
+    let with_telemetry = (0..3)
+        .map(|_| section_ns(GoccConfig::with_telemetry()))
+        .fold(f64::MAX, f64::min);
+    let telemetry_pct = (with_telemetry / with - 1.0) * 100.0;
+
     // Apportion: time raw predict and update operations.
     let p = Perceptron::default();
     let f = p.features(0x1000, 0x2000);
@@ -72,6 +81,25 @@ fn main() {
         predict_ns / without * 100.0,
         update_ns / without * 100.0,
     );
+    println!("section ns/op   with telemetry : {with_telemetry:>12.1}");
+    println!(
+        "telemetry-on overhead          : {telemetry_pct:>11.2}%  (off = zero by construction)"
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("figure", "perceptron_overhead")
+        .field_f64("with_perceptron_ns_per_op", with)
+        .field_f64("without_perceptron_ns_per_op", without)
+        .field_f64("total_overhead_pct", total_pct)
+        .field_f64("predict_ns_per_call", predict_ns)
+        .field_f64("update_ns_per_call", update_ns)
+        .field_f64("predict_pct_of_section", predict_ns / without * 100.0)
+        .field_f64("update_pct_of_section", update_ns / without * 100.0)
+        .field_f64("with_telemetry_ns_per_op", with_telemetry)
+        .field_f64("telemetry_overhead_pct", telemetry_pct)
+        .end_object();
+    write_artifact("perceptron_overhead", &w.finish());
     println!();
     println!("note: the simulated section is ~100x costlier than its hardware");
     println!("equivalent, so the relative overhead here bounds the paper's from");

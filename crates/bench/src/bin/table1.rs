@@ -6,14 +6,39 @@
 //! same columns as the paper's Table 1.
 
 use gocc::{analyze_package, AnalysisOptions, FunnelReport, Package};
+use gocc_bench::write_artifact;
 use gocc_profile::Profile;
+use gocc_telemetry::JsonWriter;
 
 const PACKAGES: [&str; 5] = ["tally", "zap", "gocache", "fastcache", "set"];
+
+fn funnel_fields(w: &mut JsonWriter, f: &FunnelReport) {
+    w.field_u64("lock_points", f.lock_points as u64)
+        .field_u64("unlock_points", f.unlock_points as u64)
+        .field_u64("deferred_unlocks", f.deferred_unlocks as u64)
+        .field_u64("discarded_multi_defer", f.discarded_multi_defer as u64)
+        .field_u64("dominance_violations", f.dominance_violations as u64)
+        .field_u64("candidate_pairs", f.candidate_pairs as u64)
+        .field_u64("unfit_intra", f.unfit_intra as u64)
+        .field_u64("unfit_interproc", f.unfit_interproc as u64)
+        .field_u64("nested_alias_intra", f.nested_alias_intra as u64)
+        .field_u64("nested_alias_interproc", f.nested_alias_interproc as u64)
+        .field_u64("transformed", f.transformed as u64)
+        .field_u64("transformed_deferred", f.transformed_deferred as u64)
+        .field_u64("transformed_hot", f.transformed_hot as u64)
+        .field_u64(
+            "transformed_hot_deferred",
+            f.transformed_hot_deferred as u64,
+        );
+}
 
 fn main() {
     let root = corpus_root();
     println!("Table 1 (reproduction): analyzer funnel over the corpus mini-packages");
     println!("{}", FunnelReport::table_header());
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("figure", "table1");
+    w.key("packages").begin_array();
     for name in PACKAGES {
         let src_path = format!("{root}/{name}/{name}.go");
         let prof_path = format!("{root}/{name}/profile.txt");
@@ -31,7 +56,14 @@ fn main() {
         let report = analyze_package(&mut pkg, &opts);
         let loc = src.lines().count();
         println!("{} loc={loc}", report.funnel.table_row(name));
+        w.begin_object()
+            .field_str("name", name)
+            .field_u64("loc", loc as u64);
+        funnel_fields(&mut w, &report.funnel);
+        w.end_object();
     }
+    w.end_array().end_object();
+    write_artifact("table1", &w.finish());
     println!();
     println!("columns: locks, unlocks(defer), dominance violations, candidate pairs,");
     println!("         unfit intra/interproc, nested-alias intra/interproc,");

@@ -6,7 +6,8 @@
 //! by the hot level-check/field-lookup paths.
 
 use gocc_bench::{
-    print_geomeans, print_header, sweep_driver, warm_measure, SweepResult, DEFAULT_WINDOW,
+    print_geomeans, print_header, sweep_driver, warm_measure, write_bench_json, Measured,
+    SweepResult, DEFAULT_WINDOW,
 };
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_workloads::zaplite::{Logger, INFO};
@@ -23,7 +24,8 @@ fn zap_sweep(
         let rt = GoccRuntime::new(GoccConfig::standard());
         let log = Logger::new(rt.htm(), FIELDS);
         let engine = Engine::new(&rt, mode);
-        warm_measure(cores, window, |w, i| op(&engine, &log, w, i))
+        let ns = warm_measure(cores, window, |w, i| op(&engine, &log, w, i));
+        Measured::with_runtime(ns, &rt)
     })
 }
 
@@ -59,6 +61,7 @@ fn main() {
     }
     println!();
     print_geomeans(&results);
+    write_bench_json("zap_results", &results);
     println!();
     println!("expected shape (paper): mild overall geomean gain, no benchmark losing");
     println!("more than a few percent, best case on the read-only gating paths.");

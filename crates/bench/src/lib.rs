@@ -7,6 +7,12 @@
 //! runs a benchmark across worker counts and modes, printing paper-style
 //! rows.
 //!
+//! Every measured GOCC point also captures the runtime's statistics
+//! ([`Measured`]), and each binary writes a machine-readable
+//! `BENCH_<figure>.json` artifact next to the text output — ns/op,
+//! speedup percentages, commit ratios and abort-cause breakdowns — via
+//! [`write_bench_json`].
+//!
 //! A note on this reproduction's hardware: the container has **one** CPU,
 //! so "cores" are oversubscribed workers. Contention *shapes* (lock-word
 //! RMW serialization, abort/retry behavior, perceptron dynamics) survive;
@@ -16,6 +22,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use gocc_htm::StatsSnapshot;
+use gocc_optilock::{GoccRuntime, OptiStatsSnapshot};
+use gocc_telemetry::{JsonWriter, ABORT_CAUSE_NAMES};
 use gocc_workloads::Mode;
 
 /// Default measurement window per benchmark point.
@@ -27,7 +36,11 @@ pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Runs `op` from `workers` threads for `window`, returning ns/op.
 ///
 /// Mirrors Go's `b.RunParallel`: workers spin on the operation until the
-/// window closes; throughput is aggregated across workers.
+/// window closes; throughput is aggregated across workers. Every worker
+/// checks the clock (every 64 ops, to avoid per-op syscalls) — a single
+/// designated timekeeper could block indefinitely on a contended lock
+/// while the others spin past the window, or worse, leave the window
+/// unbounded if it parks.
 pub fn run_parallel(workers: usize, window: Duration, op: impl Fn(usize, u64) + Sync) -> f64 {
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
@@ -42,9 +55,7 @@ pub fn run_parallel(workers: usize, window: Duration, op: impl Fn(usize, u64) + 
                     op(w, i);
                     i += 1;
                     local += 1;
-                    // Check the clock occasionally from worker 0 to bound
-                    // the window without per-op syscalls.
-                    if w == 0 && local.is_multiple_of(64) && start.elapsed() >= window {
+                    if local.is_multiple_of(64) && start.elapsed() >= window {
                         stop.store(true, Ordering::Relaxed);
                     }
                 }
@@ -57,6 +68,40 @@ pub fn run_parallel(workers: usize, window: Duration, op: impl Fn(usize, u64) + 
     elapsed.as_nanos() as f64 / ops as f64
 }
 
+/// One measurement plus the runtime statistics accumulated while taking
+/// it. Lock-mode points carry zeroed stats (the baseline never touches
+/// the HTM machinery).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Measured {
+    /// Nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// HTM-domain counters (starts, commits, aborts by cause).
+    pub htm: StatsSnapshot,
+    /// `optiLib` counters (paths taken, perceptron decisions).
+    pub opti: OptiStatsSnapshot,
+}
+
+impl Measured {
+    /// A measurement with no runtime statistics (baseline mode).
+    #[must_use]
+    pub fn bare(ns_per_op: f64) -> Self {
+        Measured {
+            ns_per_op,
+            ..Measured::default()
+        }
+    }
+
+    /// Captures `rt`'s statistics alongside the measurement.
+    #[must_use]
+    pub fn with_runtime(ns_per_op: f64, rt: &GoccRuntime) -> Self {
+        Measured {
+            ns_per_op,
+            htm: rt.htm().stats().snapshot(),
+            opti: rt.stats().snapshot(),
+        }
+    }
+}
+
 /// One measured point.
 #[derive(Clone, Copy, Debug)]
 pub struct Point {
@@ -66,6 +111,10 @@ pub struct Point {
     pub lock_ns: f64,
     /// GOCC ns/op.
     pub gocc_ns: f64,
+    /// HTM statistics from the GOCC run at this point.
+    pub htm: StatsSnapshot,
+    /// `optiLib` statistics from the GOCC run at this point.
+    pub opti: OptiStatsSnapshot,
 }
 
 impl Point {
@@ -126,13 +175,14 @@ pub fn geomean_pct(results: &[&SweepResult], core_idx: usize) -> f64 {
 /// `point` measures one configuration: it receives the mode, worker count
 /// and window, builds a fresh runtime + world (so perceptron state and
 /// stripe versions never leak between points, like separate benchmark
-/// process runs in the paper), warms up, and returns ns/op — typically by
-/// calling [`run_parallel`] twice. The driver owns the sweep structure.
+/// process runs in the paper), warms up, and returns a [`Measured`] —
+/// typically `Measured::with_runtime(warm_measure(...), &rt)`. The driver
+/// owns the sweep structure.
 pub fn sweep_driver(
     name: &str,
     sensitive: bool,
     window: Duration,
-    point: &dyn Fn(Mode, usize, Duration) -> f64,
+    point: &dyn Fn(Mode, usize, Duration) -> Measured,
 ) -> SweepResult {
     // The paper pins GOMAXPROCS to the machine's 8 cores while varying
     // the benchmark's parallelism.
@@ -142,13 +192,15 @@ pub fn sweep_driver(
         // Engage the coherence-cost model at this sweep's core count (the
         // container has one CPU; see crate docs and DESIGN.md §7).
         let prev = gocc_htm::contention::set_sim_cores(cores);
-        let lock_ns = point(Mode::Lock, cores, window);
-        let gocc_ns = point(Mode::Gocc, cores, window);
+        let lock = point(Mode::Lock, cores, window);
+        let gocc = point(Mode::Gocc, cores, window);
         gocc_htm::contention::set_sim_cores(prev);
         points.push(Point {
             cores,
-            lock_ns,
-            gocc_ns,
+            lock_ns: lock.ns_per_op,
+            gocc_ns: gocc.ns_per_op,
+            htm: gocc.htm,
+            opti: gocc.opti,
         });
     }
     SweepResult {
@@ -200,9 +252,125 @@ pub fn print_geomeans(results: &[SweepResult]) {
     }
 }
 
+/// Abort counts from an HTM snapshot in [`ABORT_CAUSE_NAMES`] order.
+#[must_use]
+pub fn abort_counts(htm: &StatsSnapshot) -> [u64; 7] {
+    [
+        htm.aborts_explicit,
+        htm.aborts_retry,
+        htm.aborts_conflict,
+        htm.aborts_capacity,
+        htm.aborts_debug,
+        htm.aborts_nested,
+        htm.aborts_unfriendly,
+    ]
+}
+
+/// Writes the shared GOCC statistics fields — commit ratio, fast-path
+/// ratio, HTM counters, abort-cause breakdown and `optiLib` counters —
+/// into the writer's current object. Used by every figure's JSON
+/// emission so the artifacts share a schema.
+pub fn stats_fields(w: &mut JsonWriter, htm: &StatsSnapshot, opti: &OptiStatsSnapshot) {
+    w.field_f64("commit_ratio", htm.commit_ratio())
+        .field_f64("fast_ratio", opti.fast_ratio())
+        .key("htm")
+        .begin_object()
+        .field_u64("starts", htm.starts)
+        .field_u64("commits", htm.commits)
+        .field_u64("read_only_commits", htm.read_only_commits)
+        .field_u64("direct_sections", htm.direct_sections)
+        .end_object()
+        .key("aborts")
+        .begin_object();
+    for (name, count) in ABORT_CAUSE_NAMES.iter().zip(abort_counts(htm)) {
+        w.field_u64(name, count);
+    }
+    w.end_object()
+        .key("opti")
+        .begin_object()
+        .field_u64("htm_attempts", opti.htm_attempts)
+        .field_u64("fast_commits", opti.fast_commits)
+        .field_u64("slow_sections", opti.slow_sections)
+        .field_u64("perceptron_htm", opti.perceptron_htm)
+        .field_u64("perceptron_slow", opti.perceptron_slow)
+        .field_u64("single_thread_bypass", opti.single_thread_bypass)
+        .field_u64("mismatch_recoveries", opti.mismatch_recoveries)
+        .end_object();
+}
+
+/// Renders a figure's sweep results as the `BENCH_<figure>.json` document.
+#[must_use]
+pub fn bench_json(figure: &str, results: &[SweepResult]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("figure", figure);
+    w.key("core_counts").begin_array();
+    for &c in &CORE_COUNTS {
+        w.u64(c as u64);
+    }
+    w.end_array();
+    w.key("benchmarks").begin_array();
+    for r in results {
+        w.begin_object()
+            .field_str("name", &r.name)
+            .field_bool("sensitive", r.sensitive)
+            .key("points")
+            .begin_array();
+        for p in &r.points {
+            w.begin_object()
+                .field_u64("cores", p.cores as u64)
+                .field_f64("lock_ns_per_op", p.lock_ns)
+                .field_f64("gocc_ns_per_op", p.gocc_ns)
+                .field_f64("speedup_pct", p.speedup_pct());
+            stats_fields(&mut w, &p.htm, &p.opti);
+            w.end_object();
+        }
+        w.end_array().end_object();
+    }
+    w.end_array();
+    let groups: [(&str, Vec<&SweepResult>); 3] = [
+        (
+            "sensitive",
+            results.iter().filter(|r| r.sensitive).collect(),
+        ),
+        (
+            "non_sensitive",
+            results.iter().filter(|r| !r.sensitive).collect(),
+        ),
+        ("all", results.iter().collect()),
+    ];
+    // Geomeans per sweep position (defensively bounded by the shortest
+    // sweep, though all figure bins emit full CORE_COUNTS sweeps).
+    let npoints = results.iter().map(|r| r.points.len()).min().unwrap_or(0);
+    w.key("geomean_pct").begin_object();
+    for (label, group) in &groups {
+        w.key(label).begin_array();
+        for idx in 0..npoints {
+            w.f64(geomean_pct(group, idx));
+        }
+        w.end_array();
+    }
+    w.end_object().end_object();
+    w.finish()
+}
+
+/// Writes `BENCH_<figure>.json` into the current directory and reports
+/// the path on stdout. Benchmarks must not silently lose their artifact,
+/// so IO errors panic.
+pub fn write_bench_json(figure: &str, results: &[SweepResult]) {
+    write_artifact(figure, &bench_json(figure, results));
+}
+
+/// Writes an already-rendered JSON document as `BENCH_<figure>.json`.
+pub fn write_artifact(figure: &str, json: &str) {
+    let path = format!("BENCH_{figure}.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gocc_telemetry::JsonValue;
 
     #[test]
     fn run_parallel_measures_something() {
@@ -215,17 +383,39 @@ mod tests {
     }
 
     #[test]
+    fn run_parallel_terminates_when_worker_zero_is_blocked() {
+        // Regression: only worker 0 used to check the clock. If worker 0
+        // stalls (here: sleeping far past the window), the run must still
+        // end promptly because any worker can flip the stop flag.
+        let start = Instant::now();
+        let ns = run_parallel(2, Duration::from_millis(20), |w, _| {
+            if w == 0 && start.elapsed() < Duration::from_millis(400) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert!(ns > 0.0);
+        assert!(
+            start.elapsed() < Duration::from_millis(300),
+            "run_parallel failed to stop without worker 0's help"
+        );
+    }
+
+    #[test]
     fn speedup_sign_convention() {
         let p = Point {
             cores: 1,
             lock_ns: 200.0,
             gocc_ns: 100.0,
+            htm: StatsSnapshot::default(),
+            opti: OptiStatsSnapshot::default(),
         };
         assert!((p.speedup_pct() - 100.0).abs() < 1e-9, "2x faster = +100%");
         let q = Point {
             cores: 1,
             lock_ns: 90.0,
             gocc_ns: 100.0,
+            htm: StatsSnapshot::default(),
+            opti: OptiStatsSnapshot::default(),
         };
         assert!(q.speedup_pct() < 0.0, "slower = negative");
     }
@@ -239,9 +429,63 @@ mod tests {
                 cores: 1,
                 lock_ns: 100.0,
                 gocc_ns: 50.0,
+                htm: StatsSnapshot::default(),
+                opti: OptiStatsSnapshot::default(),
             }],
         };
         let g = geomean_pct(&[&r, &r], 0);
         assert!((g - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_parses_and_carries_the_schema() {
+        let r = SweepResult {
+            name: "Bench".into(),
+            sensitive: true,
+            points: vec![Point {
+                cores: 2,
+                lock_ns: 100.0,
+                gocc_ns: 80.0,
+                htm: StatsSnapshot {
+                    starts: 10,
+                    commits: 8,
+                    aborts_conflict: 2,
+                    ..StatsSnapshot::default()
+                },
+                opti: OptiStatsSnapshot {
+                    htm_attempts: 10,
+                    fast_commits: 8,
+                    slow_sections: 2,
+                    ..OptiStatsSnapshot::default()
+                },
+            }],
+        };
+        let doc = JsonValue::parse(&bench_json("test", &[r])).expect("valid JSON");
+        assert_eq!(doc.get("figure").unwrap().as_str().unwrap(), "test");
+        let bench = &doc.get("benchmarks").unwrap().as_array().unwrap()[0];
+        let point = &bench.get("points").unwrap().as_array().unwrap()[0];
+        assert_eq!(point.get("cores").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(point.get("speedup_pct").unwrap().as_f64().unwrap(), 25.0);
+        assert_eq!(point.get("commit_ratio").unwrap().as_f64().unwrap(), 0.8);
+        assert_eq!(
+            point
+                .get("aborts")
+                .unwrap()
+                .get("conflict")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            2.0
+        );
+        let geo = doc.get("geomean_pct").unwrap();
+        assert_eq!(geo.get("sensitive").unwrap().as_array().unwrap().len(), 1);
+        assert!(
+            (geo.get("sensitive").unwrap().as_array().unwrap()[0]
+                .as_f64()
+                .unwrap()
+                - 25.0)
+                .abs()
+                < 1e-9
+        );
     }
 }

@@ -1,7 +1,8 @@
-//! Property tests for the dominator machinery on random CFGs.
+//! Property tests for the dominator machinery on random CFGs, generated
+//! from a seeded [`SplitMix64`] stream (deterministic, no external crates).
 
 use gocc_flowgraph::{BasicBlock, BlockId, Cfg, DomTree};
-use proptest::prelude::*;
+use gocc_telemetry::SplitMix64;
 
 /// Builds a CFG from a random edge list over `n` blocks, with block 0 as
 /// entry and block n-1 as exit; every block additionally gets a fall-
@@ -30,12 +31,19 @@ fn build_cfg(n: usize, edges: &[(usize, usize)]) -> Cfg {
     }
 }
 
-fn cfg_strategy() -> impl Strategy<Value = Cfg> {
-    (
-        3usize..24,
-        proptest::collection::vec((any::<usize>(), any::<usize>()), 0..40),
-    )
-        .prop_map(|(n, edges)| build_cfg(n, &edges))
+fn random_cfg(rng: &mut SplitMix64) -> Cfg {
+    let n = rng.range(3, 24) as usize;
+    let edges: Vec<(usize, usize)> = (0..rng.below(40))
+        .map(|_| (rng.next_u64() as usize, rng.next_u64() as usize))
+        .collect();
+    build_cfg(n, &edges)
+}
+
+fn cases() -> impl Iterator<Item = (u64, Cfg)> {
+    (0..64u64).map(|case| {
+        let mut rng = SplitMix64::new(0xCF6 + case);
+        (case, random_cfg(&mut rng))
+    })
 }
 
 /// Reference dominance by exhaustive path enumeration: `a` dominates `b`
@@ -62,11 +70,9 @@ fn dominates_reference(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dominators_match_path_based_reference(cfg in cfg_strategy()) {
+#[test]
+fn dominators_match_path_based_reference() {
+    for (case, cfg) in cases() {
         let dom = DomTree::dominators(&cfg);
         for a in 0..cfg.len() {
             for b in 0..cfg.len() {
@@ -75,62 +81,72 @@ proptest! {
                 if !dom.reachable(bb) || !dom.reachable(ba) {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     dom.dominates(ba, bb),
                     dominates_reference(&cfg, ba, bb),
-                    "dominates({},{}) mismatch", a, b
+                    "case {case}: dominates({a},{b}) mismatch"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn entry_dominates_everything_reachable(cfg in cfg_strategy()) {
+#[test]
+fn entry_dominates_everything_reachable() {
+    for (_, cfg) in cases() {
         let dom = DomTree::dominators(&cfg);
         for b in 0..cfg.len() {
             let bb = BlockId(b as u32);
             if dom.reachable(bb) {
-                prop_assert!(dom.dominates(cfg.entry, bb));
+                assert!(dom.dominates(cfg.entry, bb));
             }
         }
     }
+}
 
-    #[test]
-    fn idom_is_a_strict_dominator(cfg in cfg_strategy()) {
+#[test]
+fn idom_is_a_strict_dominator() {
+    for (_, cfg) in cases() {
         let dom = DomTree::dominators(&cfg);
         for b in 0..cfg.len() {
             let bb = BlockId(b as u32);
             if let Some(parent) = dom.idom(bb) {
-                prop_assert!(dom.dominates(parent, bb));
-                prop_assert_ne!(parent, bb);
+                assert!(dom.dominates(parent, bb));
+                assert_ne!(parent, bb);
             }
         }
     }
+}
 
-    #[test]
-    fn post_dominators_are_dominators_of_reverse_graph(cfg in cfg_strategy()) {
+#[test]
+fn post_dominators_are_dominators_of_reverse_graph() {
+    for (_, cfg) in cases() {
         let pdom = DomTree::post_dominators(&cfg);
         // The exit post-dominates every block that reaches it (here: all,
         // thanks to the spine).
         for b in 0..cfg.len() {
             let bb = BlockId(b as u32);
             if pdom.reachable(bb) {
-                prop_assert!(pdom.dominates(cfg.exit, bb));
+                assert!(pdom.dominates(cfg.exit, bb));
             }
         }
     }
+}
 
-    #[test]
-    fn dominance_is_antisymmetric(cfg in cfg_strategy()) {
+#[test]
+fn dominance_is_antisymmetric() {
+    for (case, cfg) in cases() {
         let dom = DomTree::dominators(&cfg);
         for a in 0..cfg.len() {
             for b in 0..cfg.len() {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let (ba, bb) = (BlockId(a as u32), BlockId(b as u32));
                 if dom.reachable(ba) && dom.reachable(bb) {
-                    prop_assert!(
+                    assert!(
                         !(dom.dominates(ba, bb) && dom.dominates(bb, ba)),
-                        "mutual dominance between {} and {}", a, b
+                        "case {case}: mutual dominance between {a} and {b}"
                     );
                 }
             }

@@ -60,6 +60,24 @@ impl AbortCause {
         )
     }
 
+    /// A dense index for per-cause counters, matching the order of
+    /// `gocc_telemetry::ABORT_CAUSE_NAMES` (explicit, retry, conflict,
+    /// capacity, debug, nested, unfriendly). The explicit payload is not
+    /// part of the index; attribution tables fold all explicit codes into
+    /// one bucket.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::Explicit(_) => 0,
+            AbortCause::Retry => 1,
+            AbortCause::Conflict => 2,
+            AbortCause::Capacity => 3,
+            AbortCause::Debug => 4,
+            AbortCause::Nested => 5,
+            AbortCause::Unfriendly => 6,
+        }
+    }
+
     /// The synthetic TSX `EAX` status word for this cause.
     ///
     /// Useful for tests asserting bit-level compatibility with the RTM ABI.
@@ -148,6 +166,22 @@ mod tests {
         assert_eq!(AbortCause::Conflict.eax(), 0b110);
         // Capacity sets bit 3 only (not worth retrying).
         assert_eq!(AbortCause::Capacity.eax(), 0b1000);
+    }
+
+    #[test]
+    fn index_order_matches_telemetry_names() {
+        use gocc_telemetry::ABORT_CAUSE_NAMES;
+        for (cause, name) in [
+            (AbortCause::Explicit(0xFF), "explicit"),
+            (AbortCause::Retry, "retry"),
+            (AbortCause::Conflict, "conflict"),
+            (AbortCause::Capacity, "capacity"),
+            (AbortCause::Debug, "debug"),
+            (AbortCause::Nested, "nested"),
+            (AbortCause::Unfriendly, "unfriendly"),
+        ] {
+            assert_eq!(ABORT_CAUSE_NAMES[cause.index()], name);
+        }
     }
 
     #[test]

@@ -66,6 +66,9 @@ impl StatsSnapshot {
     }
 
     /// Fraction of started transactions that committed, in [0, 1].
+    ///
+    /// Empty snapshots return 1.0 (vacuous success) — the same
+    /// convention as `OptiStatsSnapshot::fast_ratio` in `gocc-optilock`.
     #[must_use]
     pub fn commit_ratio(&self) -> f64 {
         if self.starts == 0 {

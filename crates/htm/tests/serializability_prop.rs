@@ -2,9 +2,13 @@
 //! sequence of transactions (some aborted) applied against `TxVar`s must
 //! leave exactly the state a sequential model produces from the committed
 //! subset.
+//!
+//! Random cases come from a seeded [`SplitMix64`] stream so the suite is
+//! fully deterministic and needs no external crates; a failing case is
+//! reproduced by its printed seed.
 
 use gocc_htm::{HtmConfig, HtmRuntime, Tx, TxVar};
-use proptest::prelude::*;
+use gocc_telemetry::SplitMix64;
 
 const CELLS: usize = 8;
 
@@ -15,12 +19,12 @@ enum Step {
     Copy(u8, u8),
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        any::<u8>().prop_map(Step::Read),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, d)| Step::Add(a, d)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Copy(a, b)),
-    ]
+fn random_step(rng: &mut SplitMix64) -> Step {
+    match rng.below(3) {
+        0 => Step::Read(rng.next_u64() as u8),
+        1 => Step::Add(rng.next_u64() as u8, rng.next_u64() as u8),
+        _ => Step::Copy(rng.next_u64() as u8, rng.next_u64() as u8),
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -29,16 +33,22 @@ struct TxSpec {
     abort: bool,
 }
 
-fn tx_spec() -> impl Strategy<Value = TxSpec> {
-    (proptest::collection::vec(step(), 1..12), any::<bool>())
-        .prop_map(|(steps, abort)| TxSpec { steps, abort })
+fn random_tx_spec(rng: &mut SplitMix64) -> TxSpec {
+    let steps = (0..rng.range(1, 12)).map(|_| random_step(rng)).collect();
+    TxSpec {
+        steps,
+        abort: rng.flip(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn committed_transactions_apply_exactly_once() {
+    for case in 0..96u64 {
+        let mut rng = SplitMix64::new(0x5E71A110 + case);
+        let specs: Vec<TxSpec> = (0..rng.range(1, 24))
+            .map(|_| random_tx_spec(&mut rng))
+            .collect();
 
-    #[test]
-    fn committed_transactions_apply_exactly_once(specs in proptest::collection::vec(tx_spec(), 1..24)) {
         let rt = HtmRuntime::new(HtmConfig::coffee_lake());
         let cells: Vec<TxVar<u64>> = (0..CELLS).map(|i| TxVar::new(i as u64)).collect();
         let mut model: Vec<u64> = (0..CELLS as u64).collect();
@@ -51,20 +61,29 @@ proptest! {
                 match s {
                     Step::Read(a) => {
                         let i = *a as usize % CELLS;
-                        let got = tx.read(&cells[i]);
-                        match got {
-                            Ok(v) => prop_assert_eq!(v, shadow[i], "read sees model state"),
-                            Err(_) => { ok = false; break; }
+                        match tx.read(&cells[i]) {
+                            Ok(v) => assert_eq!(v, shadow[i], "case {case}: read sees model"),
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
                         }
                     }
                     Step::Add(a, d) => {
                         let i = *a as usize % CELLS;
                         let cur = match tx.read(&cells[i]) {
                             Ok(v) => v,
-                            Err(_) => { ok = false; break; }
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
                         };
-                        if tx.write(&cells[i], cur.wrapping_add(u64::from(*d))).is_err() {
-                            ok = false; break;
+                        if tx
+                            .write(&cells[i], cur.wrapping_add(u64::from(*d)))
+                            .is_err()
+                        {
+                            ok = false;
+                            break;
                         }
                         shadow[i] = shadow[i].wrapping_add(u64::from(*d));
                     }
@@ -72,10 +91,16 @@ proptest! {
                         let (i, j) = (*a as usize % CELLS, *b as usize % CELLS);
                         let v = match tx.read(&cells[i]) {
                             Ok(v) => v,
-                            Err(_) => { ok = false; break; }
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
                         };
                         let shadow_v = shadow[i];
-                        if tx.write(&cells[j], v).is_err() { ok = false; break; }
+                        if tx.write(&cells[j], v).is_err() {
+                            ok = false;
+                            break;
+                        }
                         shadow[j] = shadow_v;
                     }
                 }
@@ -84,20 +109,23 @@ proptest! {
                 tx.rollback();
                 // Model unchanged: aborted transactions leave no trace.
             } else {
-                prop_assert!(tx.commit().is_ok(), "single-threaded commit succeeds");
+                assert!(tx.commit().is_ok(), "case {case}: single-threaded commit");
                 model = shadow;
             }
             // Cross-check live state against the model after every tx.
             let mut check = Tx::direct(&rt);
             for (i, cell) in cells.iter().enumerate() {
-                prop_assert_eq!(check.read(cell).unwrap(), model[i], "cell {}", i);
+                assert_eq!(check.read(cell).unwrap(), model[i], "case {case} cell {i}");
             }
             check.commit().unwrap();
         }
     }
+}
 
-    #[test]
-    fn capacity_limits_are_exact(writes in 1usize..40) {
+#[test]
+fn capacity_limits_are_exact() {
+    // Exhaustive over the old proptest range 1..40.
+    for writes in 1usize..40 {
         let rt = HtmRuntime::new(HtmConfig::tiny()); // 8 write lines
         let cells: Vec<Box<TxVar<u64>>> = (0..writes).map(|_| Box::new(TxVar::new(0))).collect();
         let mut tx = Tx::fast(&rt);
@@ -111,8 +139,8 @@ proptest! {
         // Heap boxes may share cache lines, so the abort index is at least
         // the modeled line capacity (8), never before it.
         match failed_at {
-            Some(i) => prop_assert!(i >= 8, "aborted before the modeled capacity: {}", i),
-            None => prop_assert!(writes <= 16, "never aborted with {} writes", writes),
+            Some(i) => assert!(i >= 8, "aborted before the modeled capacity: {i}"),
+            None => assert!(writes <= 16, "never aborted with {writes} writes"),
         }
     }
 }

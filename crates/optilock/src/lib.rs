@@ -45,7 +45,7 @@ mod session;
 mod stats;
 
 pub use elidable::{ElidableMutex, ElidableRwMutex};
-pub use perceptron::{Perceptron, PerceptronConfig};
+pub use perceptron::{Perceptron, PerceptronConfig, PerceptronSnapshot};
 pub use policy::RetryPolicy;
 pub use runtime::{GoccConfig, GoccRuntime};
 pub use session::{

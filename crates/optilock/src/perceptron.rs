@@ -55,7 +55,42 @@ pub struct Perceptron {
     mutex_streak: Box<[AtomicU32]>,
     site_streak: Box<[AtomicU32]>,
     resets: AtomicU64,
+    decisions_fast: AtomicU64,
+    decisions_slow: AtomicU64,
     config: PerceptronConfig,
+}
+
+/// A point-in-time copy of a [`Perceptron`]'s learning state (Figure 10's
+/// back-off narrative, as data): both weight tables, decision counts and
+/// decay/reset events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PerceptronSnapshot {
+    /// The mutex⊕site weight table.
+    pub mutex_weights: Vec<i8>,
+    /// The call-site weight table.
+    pub site_weights: Vec<i8>,
+    /// Predictions that chose HTM.
+    pub decisions_fast: u64,
+    /// Predictions that chose the lock.
+    pub decisions_slow: u64,
+    /// Decay-driven weight resets.
+    pub resets: u64,
+}
+
+impl PerceptronSnapshot {
+    /// Number of non-zero cells in a table (how much of the 4K space a
+    /// workload actually trained).
+    #[must_use]
+    pub fn trained_cells(table: &[i8]) -> usize {
+        table.iter().filter(|&&w| w != 0).count()
+    }
+
+    /// Sum of all weights in a table — negative when the workload has
+    /// broadly learned to avoid HTM.
+    #[must_use]
+    pub fn table_bias(table: &[i8]) -> i64 {
+        table.iter().map(|&w| i64::from(w)).sum()
+    }
 }
 
 fn index_of(feature: usize) -> usize {
@@ -87,6 +122,8 @@ impl Perceptron {
             mutex_streak: zeroed_u32(TABLE_ENTRIES),
             site_streak: zeroed_u32(TABLE_ENTRIES),
             resets: AtomicU64::new(0),
+            decisions_fast: AtomicU64::new(0),
+            decisions_slow: AtomicU64::new(0),
             config,
         }
     }
@@ -112,10 +149,12 @@ impl Perceptron {
         let sum = i32::from(self.mutex_weights[features.mutex_idx].load(Ordering::Relaxed))
             + i32::from(self.site_weights[features.site_idx].load(Ordering::Relaxed));
         if sum >= self.config.threshold {
+            self.decisions_fast.fetch_add(1, Ordering::Relaxed);
             self.mutex_streak[features.mutex_idx].store(0, Ordering::Relaxed);
             self.site_streak[features.site_idx].store(0, Ordering::Relaxed);
             return true;
         }
+        self.decisions_slow.fetch_add(1, Ordering::Relaxed);
         self.advance_streak(features);
         false
     }
@@ -159,6 +198,45 @@ impl Perceptron {
     pub fn weight_sum(&self, features: Features) -> i32 {
         i32::from(self.mutex_weights[features.mutex_idx].load(Ordering::Relaxed))
             + i32::from(self.site_weights[features.site_idx].load(Ordering::Relaxed))
+    }
+
+    /// The individual `(mutex_cell, site_cell)` weights behind a feature
+    /// pair (diagnostics; [`Perceptron::weight_sum`] is their sum).
+    #[must_use]
+    pub fn weights(&self, features: Features) -> (i8, i8) {
+        (
+            self.mutex_weights[features.mutex_idx].load(Ordering::Relaxed),
+            self.site_weights[features.site_idx].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Decisions taken so far as `(fast, slow)` counts.
+    #[must_use]
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (
+            self.decisions_fast.load(Ordering::Relaxed),
+            self.decisions_slow.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Copies the complete learning state for offline inspection.
+    #[must_use]
+    pub fn snapshot(&self) -> PerceptronSnapshot {
+        PerceptronSnapshot {
+            mutex_weights: self
+                .mutex_weights
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            site_weights: self
+                .site_weights
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            decisions_fast: self.decisions_fast.load(Ordering::Relaxed),
+            decisions_slow: self.decisions_slow.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -239,6 +317,24 @@ mod tests {
         assert!(!p.predict(f));
         assert!(p.reset_count() >= 1);
         assert!(p.predict(f), "after decay the cell must try HTM again");
+    }
+
+    #[test]
+    fn snapshot_reflects_training_and_decisions() {
+        let p = p();
+        let f = p.features(0x10, 0x20);
+        assert!(p.predict(f));
+        p.penalize(f);
+        assert!(!p.predict(f));
+        let snap = p.snapshot();
+        assert_eq!(snap.decisions_fast, 1);
+        assert_eq!(snap.decisions_slow, 1);
+        assert_eq!(snap.resets, 0);
+        assert_eq!(PerceptronSnapshot::trained_cells(&snap.mutex_weights), 1);
+        assert_eq!(PerceptronSnapshot::trained_cells(&snap.site_weights), 1);
+        assert_eq!(PerceptronSnapshot::table_bias(&snap.mutex_weights), -1);
+        assert_eq!(p.decision_counts(), (1, 1));
+        assert_eq!(p.weights(f), (-1, -1));
     }
 
     #[test]

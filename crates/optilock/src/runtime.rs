@@ -3,6 +3,7 @@
 use std::sync::OnceLock;
 
 use gocc_htm::{HtmConfig, HtmRuntime};
+use gocc_telemetry::Telemetry;
 
 use crate::perceptron::{Perceptron, PerceptronConfig};
 use crate::policy::RetryPolicy;
@@ -20,6 +21,11 @@ pub struct GoccConfig {
     /// When `false`, HTM is always attempted regardless of history — the
     /// "No Perceptron" configuration of Figure 10.
     pub perceptron_enabled: bool,
+    /// When `true`, the runtime carries a [`Telemetry`] bundle and the
+    /// session layer records per-site attribution, latencies and elision
+    /// events. Off by default: the disabled hot path pays one branch on a
+    /// `None` check and nothing else.
+    pub telemetry_enabled: bool,
 }
 
 impl Default for GoccConfig {
@@ -37,6 +43,7 @@ impl GoccConfig {
             policy: RetryPolicy::default(),
             perceptron: PerceptronConfig::default(),
             perceptron_enabled: true,
+            telemetry_enabled: false,
         }
     }
 
@@ -45,6 +52,15 @@ impl GoccConfig {
     pub fn no_perceptron() -> Self {
         GoccConfig {
             perceptron_enabled: false,
+            ..GoccConfig::standard()
+        }
+    }
+
+    /// [`GoccConfig::standard`] with telemetry recording on.
+    #[must_use]
+    pub fn with_telemetry() -> Self {
+        GoccConfig {
+            telemetry_enabled: true,
             ..GoccConfig::standard()
         }
     }
@@ -62,6 +78,7 @@ pub struct GoccRuntime {
     policy: RetryPolicy,
     perceptron_enabled: bool,
     stats: OptiStats,
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl GoccRuntime {
@@ -74,6 +91,7 @@ impl GoccRuntime {
             policy: config.policy,
             perceptron_enabled: config.perceptron_enabled,
             stats: OptiStats::default(),
+            telemetry: config.telemetry_enabled.then(|| Box::new(Telemetry::new())),
         }
     }
 
@@ -119,6 +137,12 @@ impl GoccRuntime {
     pub fn stats(&self) -> &OptiStats {
         &self.stats
     }
+
+    /// The telemetry bundle, when [`GoccConfig::telemetry_enabled`] is set.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +159,12 @@ mod tests {
         let rt = GoccRuntime::new(GoccConfig::no_perceptron());
         assert!(!rt.perceptron_enabled());
         assert!(GoccRuntime::new_default().perceptron_enabled());
+    }
+
+    #[test]
+    fn telemetry_is_opt_in() {
+        assert!(GoccRuntime::new_default().telemetry().is_none());
+        let rt = GoccRuntime::new(GoccConfig::with_telemetry());
+        assert!(rt.telemetry().is_some());
     }
 }

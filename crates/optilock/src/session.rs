@@ -23,8 +23,11 @@
 //! always speculates (no per-nesting perceptron query), and a nested
 //! `FastLock` inside a slow-path scope acquires pessimistically.
 
+use std::time::Instant;
+
 use gocc_gosync::procs;
 use gocc_htm::{Abort, Elision, LockWord, Tx, TxResult, MUTEX_MISMATCH_CODE};
+use gocc_telemetry::{Event, EventOutcome};
 
 use crate::elidable::{ElidableMutex, ElidableRwMutex};
 use crate::runtime::GoccRuntime;
@@ -194,6 +197,11 @@ pub struct OptiLock {
     attempts_left: u32,
     attempted_htm: bool,
     decision: Option<Decision>,
+    /// Latest predictor verdict, traced into the telemetry event ring.
+    predicted_fast: bool,
+    /// When the section's first execution began; set only with telemetry
+    /// on, so the disabled hot path never reads the clock.
+    section_start: Option<Instant>,
 }
 
 impl OptiLock {
@@ -209,6 +217,8 @@ impl OptiLock {
             attempts_left: u32::MAX,
             attempted_htm: false,
             decision: None,
+            predicted_fast: false,
+            section_start: None,
         }
     }
 
@@ -259,7 +269,7 @@ impl OptiLock {
                 Ok(())
             }
             Some(Err(abort)) => {
-                self.note_abort(&abort);
+                self.note_abort(scope.rt, lock, &abort);
                 scope.abort_restart();
                 Err(abort)
             }
@@ -278,8 +288,14 @@ impl OptiLock {
             self.attempts_left = rt.policy().max_attempts;
             self.attempted_htm = false;
         }
+        if self.section_start.is_none() && rt.telemetry().is_some() {
+            // First execution only: retries and fallbacks are part of the
+            // section's total latency, attributed to the completing path.
+            self.section_start = Some(Instant::now());
+        }
         let decision = self.decide(rt, lock);
         self.decision = Some(decision);
+        self.predicted_fast = decision == Decision::Htm;
         if decision == Decision::Htm {
             // Spin with pause until the lock looks free (Listing 19).
             let mut spins = rt.policy().lock_wait_spins;
@@ -292,6 +308,9 @@ impl OptiLock {
                 spins -= 1;
             }
             OptiStats::add(&rt.stats().htm_attempts);
+            if let Some(t) = rt.telemetry() {
+                t.sites.record_start(self.site, lock.lock_id());
+            }
             self.attempted_htm = true;
             let mut tx = Tx::fast(rt.htm());
             match tx.subscribe_lock(lock.word(), lock.kind()) {
@@ -303,7 +322,7 @@ impl OptiLock {
                 }
                 Err(abort) => {
                     tx.rollback();
-                    self.note_abort(&abort);
+                    self.note_abort(rt, lock, &abort);
                     // Immediately re-decide; exhausted budgets fall through
                     // to the slow path below via `decide`.
                     if self.decide(rt, lock) == Decision::Htm {
@@ -344,11 +363,21 @@ impl OptiLock {
         }
     }
 
-    fn note_abort(&mut self, abort: &Abort) {
+    fn note_abort(&mut self, rt: &GoccRuntime, lock: LockRef<'_>, abort: &Abort) {
         self.attempts_left = self.attempts_left.saturating_sub(1);
         if !abort.cause.is_transient() {
             // Deterministic causes exhaust the budget immediately.
             self.attempts_left = 0;
+        }
+        if let Some(t) = rt.telemetry() {
+            let cause = abort.cause.index();
+            t.sites.record_abort(self.site, lock.lock_id(), cause);
+            t.events.push(Event {
+                site: self.site,
+                lock: lock.lock_id(),
+                predicted_fast: self.predicted_fast,
+                outcome: EventOutcome::Abort(cause as u8),
+            });
         }
     }
 
@@ -385,7 +414,7 @@ impl OptiLock {
                     OptiStats::add(&rt.stats().mismatch_recoveries);
                     let abort = tx.explicit_abort(MUTEX_MISMATCH_CODE);
                     tx.rollback();
-                    self.note_abort(&abort);
+                    self.note_abort(rt, lock, &abort);
                     return Err(abort);
                 }
                 if depth > 1 {
@@ -403,12 +432,27 @@ impl OptiLock {
                 match tx.commit() {
                     Ok(()) => {
                         OptiStats::add(&rt.stats().fast_commits);
+                        if let Some(t) = rt.telemetry() {
+                            t.sites.record_commit(self.site, lock.lock_id());
+                            match self.section_start.take() {
+                                Some(start) => {
+                                    t.fast_latency.record(start.elapsed().as_nanos() as u64);
+                                }
+                                None => t.note_dropped(),
+                            }
+                            t.events.push(Event {
+                                site: self.site,
+                                lock: lock.lock_id(),
+                                predicted_fast: self.predicted_fast,
+                                outcome: EventOutcome::FastCommit,
+                            });
+                        }
                         self.train_fast_completion(rt, lock);
                         self.finish();
                         Ok(())
                     }
                     Err(abort) => {
-                        self.note_abort(&abort);
+                        self.note_abort(rt, lock, &abort);
                         Err(abort)
                     }
                 }
@@ -425,6 +469,19 @@ impl OptiLock {
 
     fn complete_section(&mut self, rt: &GoccRuntime, lock: LockRef<'_>, _on_fast: bool) {
         OptiStats::add(&rt.stats().slow_sections);
+        if let Some(t) = rt.telemetry() {
+            t.sites.record_slow(self.site, lock.lock_id());
+            match self.section_start.take() {
+                Some(start) => t.slow_latency.record(start.elapsed().as_nanos() as u64),
+                None => t.note_dropped(),
+            }
+            t.events.push(Event {
+                site: self.site,
+                lock: lock.lock_id(),
+                predicted_fast: self.predicted_fast,
+                outcome: EventOutcome::SlowSection,
+            });
+        }
         if self.attempted_htm && rt.perceptron_enabled() {
             // HTM was tried but the section finished on the lock: penalize.
             let features = rt.perceptron().features(lock.lock_id(), self.site);
@@ -439,6 +496,7 @@ impl OptiLock {
         self.decision = None;
         self.attempted_htm = false;
         self.attempts_left = u32::MAX;
+        self.section_start = None;
     }
 }
 
@@ -470,7 +528,7 @@ pub fn critical<'a, R>(
                     "critical-section bodies must not fail in direct mode (cause: {})",
                     abort.cause
                 );
-                ol.note_abort(&abort);
+                ol.note_abort(rt, lock, &abort);
                 scope.abort_restart();
             }
         }

@@ -55,11 +55,17 @@ impl OptiStats {
 
 impl OptiStatsSnapshot {
     /// Fraction of critical sections that completed on the fast path.
+    ///
+    /// Empty snapshots return 1.0 (vacuous success), matching
+    /// `StatsSnapshot::commit_ratio` in `gocc-htm`: both ratios answer
+    /// "did anything go wrong?", and with zero sections nothing did.
+    /// Consumers that need to distinguish "perfect" from "idle" should
+    /// check `fast_commits + slow_sections` directly.
     #[must_use]
     pub fn fast_ratio(&self) -> f64 {
         let total = self.fast_commits + self.slow_sections;
         if total == 0 {
-            return 0.0;
+            return 1.0;
         }
         self.fast_commits as f64 / total as f64
     }
@@ -80,5 +86,13 @@ mod tests {
         assert_eq!(snap.slow_sections, 1);
         assert_eq!(snap.mismatch_recoveries, 1);
         assert!((snap.fast_ratio() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_fast_ratio_is_one() {
+        // Same convention as StatsSnapshot::commit_ratio: no sections
+        // means nothing failed, so the ratio is vacuously perfect.
+        let snap = OptiStats::default().snapshot();
+        assert_eq!(snap.fast_ratio(), 1.0);
     }
 }

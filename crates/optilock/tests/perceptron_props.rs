@@ -1,45 +1,40 @@
 //! Property tests on the perceptron: weight saturation, decision
 //! monotonicity, and decay liveness under arbitrary training histories.
+//!
+//! Histories come from a seeded [`SplitMix64`] stream so the suite is
+//! deterministic without external crates.
 
 use gocc_optilock::{Perceptron, PerceptronConfig};
-use proptest::prelude::*;
+use gocc_telemetry::SplitMix64;
 
-#[derive(Clone, Debug)]
-enum Train {
-    Reward,
-    Penalize,
-    Predict,
-}
-
-fn train() -> impl Strategy<Value = Train> {
-    prop_oneof![
-        Just(Train::Reward),
-        Just(Train::Penalize),
-        Just(Train::Predict)
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn weight_sum_stays_bounded(ops in proptest::collection::vec(train(), 0..500),
-                                mutex in any::<usize>(), site in any::<usize>()) {
+#[test]
+fn weight_sum_stays_bounded() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0xB0DED + case);
         let p = Perceptron::default();
-        let f = p.features(mutex, site);
-        for op in &ops {
-            match op {
-                Train::Reward => p.reward(f),
-                Train::Penalize => p.penalize(f),
-                Train::Predict => { let _ = p.predict(f); }
+        let f = p.features(rng.next_u64() as usize, rng.next_u64() as usize);
+        let ops = rng.below(500);
+        for _ in 0..ops {
+            match rng.below(3) {
+                0 => p.reward(f),
+                1 => p.penalize(f),
+                _ => {
+                    let _ = p.predict(f);
+                }
             }
             let sum = p.weight_sum(f);
-            prop_assert!((-32..=30).contains(&sum), "sum out of range: {}", sum);
+            assert!(
+                (-32..=30).contains(&sum),
+                "case {case}: sum out of range: {sum}"
+            );
         }
     }
+}
 
-    #[test]
-    fn enough_rewards_always_turn_prediction_on(penalties in 0usize..40) {
+#[test]
+fn enough_rewards_always_turn_prediction_on() {
+    // Exhaustive over the old proptest range 0..40.
+    for penalties in 0usize..40 {
         let p = Perceptron::default();
         let f = p.features(0xAAAA, 0xBBBB);
         for _ in 0..penalties {
@@ -49,12 +44,18 @@ proptest! {
         for _ in 0..64 {
             p.reward(f);
         }
-        prop_assert!(p.predict(f));
+        assert!(p.predict(f), "{penalties} penalties never recovered");
     }
+}
 
-    #[test]
-    fn decay_always_revives_a_buried_site(decay in 2u32..64) {
-        let p = Perceptron::new(PerceptronConfig { decay_threshold: decay, threshold: 0 });
+#[test]
+fn decay_always_revives_a_buried_site() {
+    // Exhaustive over the old proptest range 2..64.
+    for decay in 2u32..64 {
+        let p = Perceptron::new(PerceptronConfig {
+            decay_threshold: decay,
+            threshold: 0,
+        });
         let f = p.features(0x1234, 0x5678);
         for _ in 0..64 {
             p.penalize(f);
@@ -71,19 +72,29 @@ proptest! {
         if !revived {
             // The reset fired on the last allowed decision; the next
             // prediction must be positive.
-            prop_assert!(p.predict(f), "decay failed to revive the site");
+            assert!(p.predict(f), "decay {decay} failed to revive the site");
         }
     }
+}
 
-    #[test]
-    fn distinct_feature_pairs_are_usually_independent(
-        m1 in any::<usize>(), m2 in any::<usize>(), site in any::<usize>()
-    ) {
-        prop_assume!(m1 != m2);
+#[test]
+fn distinct_feature_pairs_are_usually_independent() {
+    let mut tested = 0u32;
+    let mut rng = SplitMix64::new(0xFEA7);
+    while tested < 64 {
+        let m1 = rng.next_u64() as usize;
+        let m2 = rng.next_u64() as usize;
+        let site = rng.next_u64() as usize;
+        if m1 == m2 {
+            continue;
+        }
         let p = Perceptron::default();
         let f1 = p.features(m1, site);
         let f2 = p.features(m2, site);
-        prop_assume!(f1 != f2); // hash collisions are legal, just rare
+        if f1 == f2 {
+            continue; // hash collisions are legal, just rare
+        }
+        tested += 1;
         for _ in 0..64 {
             p.penalize(f1);
         }
@@ -94,6 +105,6 @@ proptest! {
         for _ in 0..64 {
             p.reward(f2);
         }
-        prop_assert!(p.predict(f2), "independent mutex must recover");
+        assert!(p.predict(f2), "independent mutex must recover");
     }
 }

@@ -1,0 +1,262 @@
+//! A bounded, sharded-per-thread trace of elision decisions.
+//!
+//! Every `FastLock` decision appends one [`Event`] — which site, which
+//! lock, what the predictor said, and how the section ended. Threads hash
+//! to one of a fixed set of shards (no allocation, no locks); each shard
+//! is a ring that overwrites its oldest entries, so a run traces its tail
+//! regardless of length and [`EventRing::drain`] recovers the most recent
+//! window after the run.
+//!
+//! Slots are three relaxed atomics written in claim order; a reader racing
+//! a writer can observe a torn event, which is acceptable for a trace (the
+//! registry, not the ring, is the source of exact counts). Drains happen
+//! after worker threads join in every shipped use.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shards (threads hash onto these).
+const SHARDS: usize = 16;
+/// Slots per shard ring.
+const SLOTS: usize = 1024;
+
+/// How a traced critical section concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// Committed speculatively.
+    FastCommit,
+    /// Completed under the real lock.
+    SlowSection,
+    /// Aborted; payload is the abort-cause index
+    /// (see [`crate::ABORT_CAUSE_NAMES`]).
+    Abort(u8),
+}
+
+impl EventOutcome {
+    fn encode(self) -> u64 {
+        match self {
+            EventOutcome::FastCommit => 0,
+            EventOutcome::SlowSection => 1,
+            EventOutcome::Abort(cause) => 2 | (u64::from(cause) << 8),
+        }
+    }
+
+    fn decode(word: u64) -> EventOutcome {
+        match word & 0xFF {
+            0 => EventOutcome::FastCommit,
+            1 => EventOutcome::SlowSection,
+            _ => EventOutcome::Abort(((word >> 8) & 0xFF) as u8),
+        }
+    }
+}
+
+/// One traced elision decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Call-site identity.
+    pub site: usize,
+    /// Lock identity.
+    pub lock: usize,
+    /// Whether the predictor chose the fast path.
+    pub predicted_fast: bool,
+    /// How the section ended.
+    pub outcome: EventOutcome,
+}
+
+#[derive(Debug)]
+struct Slot {
+    site: AtomicUsize,
+    lock: AtomicUsize,
+    /// Bit 0..16: outcome encoding; bit 16: predicted_fast; bit 17: valid.
+    meta: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    cursor: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+/// The sharded ring buffer.
+#[derive(Debug)]
+pub struct EventRing {
+    shards: Box<[Shard]>,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new()
+    }
+}
+
+fn thread_shard() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+const PREDICT_BIT: u64 = 1 << 16;
+const VALID_BIT: u64 = 1 << 17;
+
+impl EventRing {
+    /// Creates an empty ring (16 shards × 1024 slots).
+    #[must_use]
+    pub fn new() -> Self {
+        EventRing {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    cursor: AtomicU64::new(0),
+                    slots: (0..SLOTS)
+                        .map(|_| Slot {
+                            site: AtomicUsize::new(0),
+                            lock: AtomicUsize::new(0),
+                            meta: AtomicU64::new(0),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends an event to the calling thread's shard, overwriting the
+    /// oldest entry once the ring is full.
+    pub fn push(&self, event: Event) {
+        let shard = &self.shards[thread_shard()];
+        let idx = shard.cursor.fetch_add(1, Ordering::Relaxed) as usize % SLOTS;
+        let slot = &shard.slots[idx];
+        slot.site.store(event.site, Ordering::Relaxed);
+        slot.lock.store(event.lock, Ordering::Relaxed);
+        let mut meta = event.outcome.encode() | VALID_BIT;
+        if event.predicted_fast {
+            meta |= PREDICT_BIT;
+        }
+        slot.meta.store(meta, Ordering::Relaxed);
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cursor.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Copies out every retained event, oldest-first per shard.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let cursor = shard.cursor.load(Ordering::Relaxed) as usize;
+            let (start, len) = if cursor > SLOTS {
+                (cursor % SLOTS, SLOTS)
+            } else {
+                (0, cursor.min(SLOTS))
+            };
+            for k in 0..len {
+                let slot = &shard.slots[(start + k) % SLOTS];
+                let meta = slot.meta.load(Ordering::Relaxed);
+                if meta & VALID_BIT == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    site: slot.site.load(Ordering::Relaxed),
+                    lock: slot.lock.load(Ordering::Relaxed),
+                    predicted_fast: meta & PREDICT_BIT != 0,
+                    outcome: EventOutcome::decode(meta),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_roundtrip() {
+        let ring = EventRing::new();
+        ring.push(Event {
+            site: 0x10,
+            lock: 0x20,
+            predicted_fast: true,
+            outcome: EventOutcome::FastCommit,
+        });
+        ring.push(Event {
+            site: 0x11,
+            lock: 0x21,
+            predicted_fast: false,
+            outcome: EventOutcome::Abort(3),
+        });
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events.contains(&Event {
+            site: 0x10,
+            lock: 0x20,
+            predicted_fast: true,
+            outcome: EventOutcome::FastCommit,
+        }));
+        assert!(events.contains(&Event {
+            site: 0x11,
+            lock: 0x21,
+            predicted_fast: false,
+            outcome: EventOutcome::Abort(3),
+        }));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let ring = EventRing::new();
+        for i in 0..(SLOTS * 3) {
+            ring.push(Event {
+                site: i + 1,
+                lock: 1,
+                predicted_fast: true,
+                outcome: EventOutcome::SlowSection,
+            });
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), SLOTS, "one shard, capped at its capacity");
+        // Retained events are the most recent window.
+        assert!(events.iter().all(|e| e.site > SLOTS));
+        assert_eq!(ring.pushed(), (SLOTS * 3) as u64);
+    }
+
+    #[test]
+    fn outcome_encoding_roundtrip() {
+        for outcome in [
+            EventOutcome::FastCommit,
+            EventOutcome::SlowSection,
+            EventOutcome::Abort(0),
+            EventOutcome::Abort(6),
+        ] {
+            assert_eq!(EventOutcome::decode(outcome.encode()), outcome);
+        }
+    }
+
+    #[test]
+    fn threads_use_stable_shards() {
+        let ring = EventRing::new();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(Event {
+                            site: t * 1000 + i + 1,
+                            lock: 7,
+                            predicted_fast: true,
+                            outcome: EventOutcome::FastCommit,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.pushed(), 800);
+        assert!(!ring.drain().is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Observability primitives for the GOCC runtime.
+//!
+//! The paper's entire evaluation (§6, Figures 6–10) is an observability
+//! argument: speedups and regressions are explained through abort causes,
+//! perceptron back-off dynamics, and fast-path ratios. The flat global
+//! counters in `gocc-htm`/`gocc-optilock` cannot attribute any of that to
+//! a call site or a lock; this crate adds the missing layer:
+//!
+//! * [`SiteRegistry`] — a fixed-size hashed `(call_site, mutex_id)` table
+//!   (the same 4K hashed-index design as the perceptron's weight tables)
+//!   recording starts, commits, slow-path falls and aborts by cause,
+//!   lock-free and allocation-free on the hot path;
+//! * [`LatencyHistogram`] — log2-bucketed atomic histograms for fast-path
+//!   vs. slow-path critical-section duration;
+//! * [`EventRing`] — a bounded, sharded-per-thread trace of elision
+//!   decisions (site, lock, prediction, outcome), drainable after a run;
+//! * [`JsonWriter`]/[`JsonValue`] — a hand-rolled JSON emitter (stable key
+//!   order) and a small parser for round-trip tests, so the registry stays
+//!   dependency-free;
+//! * [`rng::SplitMix64`] — the in-tree deterministic PRNG used by
+//!   workloads, benchmarks and the ported property suites (the build is
+//!   fully offline; no `rand`).
+//!
+//! The crate deliberately depends on nothing, not even the HTM crate:
+//! abort causes are carried as indices (see [`ABORT_CAUSE_NAMES`]) so the
+//! runtime layers above decide the mapping.
+
+mod events;
+mod histogram;
+mod json;
+mod registry;
+mod report;
+pub mod rng;
+
+pub use events::{Event, EventOutcome, EventRing};
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use json::{JsonValue, JsonWriter};
+pub use registry::{SiteRecord, SiteRegistry, ABORT_CAUSES, ABORT_CAUSE_NAMES};
+pub use report::TelemetryReport;
+pub use rng::SplitMix64;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The bundle of telemetry state one runtime instance carries.
+///
+/// Constructed only when telemetry is enabled; a disabled runtime holds no
+/// `Telemetry` at all, so the hot path pays a single pointer test.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Per-`(call_site, mutex)` attribution counters.
+    pub sites: SiteRegistry,
+    /// Critical-section latency, fast path (speculative commit).
+    pub fast_latency: LatencyHistogram,
+    /// Critical-section latency, slow path (under the real lock).
+    pub slow_latency: LatencyHistogram,
+    /// Bounded trace of elision decisions.
+    pub events: EventRing,
+    /// Sections whose latency was dropped because the clock went backwards
+    /// or the section never completed (diagnostic; normally zero).
+    dropped_samples: AtomicU64,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry bundle.
+    #[must_use]
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Notes a sample that could not be attributed.
+    pub fn note_dropped(&self) {
+        self.dropped_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of dropped samples.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_samples.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots everything into a serializable report.
+    #[must_use]
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport {
+            sites: self.sites.snapshot(),
+            aliased_sites: self.sites.aliased(),
+            fast_latency: self.fast_latency.snapshot(),
+            slow_latency: self.slow_latency.snapshot(),
+            events: self.events.drain(),
+            dropped_samples: self.dropped(),
+        }
+    }
+}

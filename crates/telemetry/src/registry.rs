@@ -1,0 +1,240 @@
+//! Per-`(call_site, mutex)` attribution counters.
+//!
+//! The design copies the perceptron's hashed-table shape (§5.4.1): a fixed
+//! 4K-entry array indexed by a SplitMix64-finalized hash of the
+//! `(site, lock)` pair. Cells are claimed with one CAS on first touch and
+//! every later update is a relaxed `fetch_add` — lock-free and
+//! allocation-free on the hot path, which is what lets the registry sit
+//! inside `FastLock`/`FastUnlock` without perturbing what it measures.
+//!
+//! Hash aliasing is handled the way the perceptron handles it: the
+//! colliding pair shares the cell (attribution smears rather than stalls)
+//! and a global `aliased` counter reports how often that happened so
+//! reports can carry a confidence note.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of distinguishable abort causes (mirrors `gocc_htm::AbortCause`:
+/// explicit, retry, conflict, capacity, debug, nested, unfriendly).
+pub const ABORT_CAUSES: usize = 7;
+
+/// Stable names for the abort-cause indices, in index order.
+pub const ABORT_CAUSE_NAMES: [&str; ABORT_CAUSES] = [
+    "explicit",
+    "retry",
+    "conflict",
+    "capacity",
+    "debug",
+    "nested",
+    "unfriendly",
+];
+
+/// Entries in the registry (same 4K shape as the perceptron tables).
+const TABLE_ENTRIES: usize = 4096;
+const INDEX_MASK: usize = TABLE_ENTRIES - 1;
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct SiteCell {
+    /// Claimed call-site identity; 0 = empty (sites are `static` addresses
+    /// and locks are heap/stack addresses, so 0 never occurs naturally).
+    site: AtomicUsize,
+    lock: AtomicUsize,
+    starts: AtomicU64,
+    commits: AtomicU64,
+    slow_sections: AtomicU64,
+    aborts: [AtomicU64; ABORT_CAUSES],
+}
+
+/// One row of a registry snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteRecord {
+    /// Call-site identity (the `call_site!` static's address).
+    pub site: usize,
+    /// Lock identity (`ElidableMutex::id`-style address).
+    pub lock: usize,
+    /// HTM attempts started from this pair.
+    pub starts: u64,
+    /// Fast-path commits.
+    pub commits: u64,
+    /// Sections that completed under the real lock.
+    pub slow_sections: u64,
+    /// Aborts by cause index (see [`ABORT_CAUSE_NAMES`]).
+    pub aborts: [u64; ABORT_CAUSES],
+}
+
+impl SiteRecord {
+    /// Total aborts across all causes.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+}
+
+/// The fixed-size hashed `(site, lock)` table.
+#[derive(Debug)]
+pub struct SiteRegistry {
+    cells: Box<[SiteCell]>,
+    aliased: AtomicU64,
+}
+
+impl Default for SiteRegistry {
+    fn default() -> Self {
+        SiteRegistry::new()
+    }
+}
+
+impl SiteRegistry {
+    /// Creates an empty registry (4096 cells, ~1.3 MiB, allocated once).
+    #[must_use]
+    pub fn new() -> Self {
+        SiteRegistry {
+            cells: (0..TABLE_ENTRIES).map(|_| SiteCell::default()).collect(),
+            aliased: AtomicU64::new(0),
+        }
+    }
+
+    fn cell(&self, site: usize, lock: usize) -> &SiteCell {
+        let idx = mix((site as u64).rotate_left(17) ^ lock as u64) as usize & INDEX_MASK;
+        let cell = &self.cells[idx];
+        match cell
+            .site
+            .compare_exchange(0, site, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                cell.lock.store(lock, Ordering::Relaxed);
+            }
+            Err(owner) => {
+                if owner != site || cell.lock.load(Ordering::Relaxed) != lock {
+                    self.aliased.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        cell
+    }
+
+    /// Records one HTM attempt for the pair.
+    pub fn record_start(&self, site: usize, lock: usize) {
+        self.cell(site, lock).starts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fast-path commit for the pair.
+    pub fn record_commit(&self, site: usize, lock: usize) {
+        self.cell(site, lock)
+            .commits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one slow-path section completion for the pair.
+    pub fn record_slow(&self, site: usize, lock: usize) {
+        self.cell(site, lock)
+            .slow_sections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one abort for the pair. Out-of-range cause indices are
+    /// clamped into the last (unfriendly) bucket rather than panicking —
+    /// the registry is diagnostics, never control flow.
+    pub fn record_abort(&self, site: usize, lock: usize, cause_idx: usize) {
+        let idx = cause_idx.min(ABORT_CAUSES - 1);
+        self.cell(site, lock).aborts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of updates that landed in a cell claimed by a different
+    /// pair (hash aliasing).
+    #[must_use]
+    pub fn aliased(&self) -> u64 {
+        self.aliased.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every occupied cell, ordered by (site, lock) so output is
+    /// stable across runs of the same program.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SiteRecord> {
+        let mut out: Vec<SiteRecord> = self
+            .cells
+            .iter()
+            .filter(|c| c.site.load(Ordering::Relaxed) != 0)
+            .map(|c| SiteRecord {
+                site: c.site.load(Ordering::Relaxed),
+                lock: c.lock.load(Ordering::Relaxed),
+                starts: c.starts.load(Ordering::Relaxed),
+                commits: c.commits.load(Ordering::Relaxed),
+                slow_sections: c.slow_sections.load(Ordering::Relaxed),
+                aborts: std::array::from_fn(|i| c.aborts[i].load(Ordering::Relaxed)),
+            })
+            .collect();
+        out.sort_unstable_by_key(|r| (r.site, r.lock));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_attribute_to_their_pair() {
+        let reg = SiteRegistry::new();
+        reg.record_start(0x1000, 0x2000);
+        reg.record_start(0x1000, 0x2000);
+        reg.record_commit(0x1000, 0x2000);
+        reg.record_abort(0x1000, 0x2000, 2);
+        reg.record_slow(0x3000, 0x2000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        let a = snap.iter().find(|r| r.site == 0x1000).unwrap();
+        assert_eq!(a.starts, 2);
+        assert_eq!(a.commits, 1);
+        assert_eq!(a.aborts[2], 1);
+        assert_eq!(a.total_aborts(), 1);
+        let b = snap.iter().find(|r| r.site == 0x3000).unwrap();
+        assert_eq!(b.slow_sections, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let reg = SiteRegistry::new();
+        for site in [0x9000usize, 0x1000, 0x5000] {
+            reg.record_start(site, 0x42);
+        }
+        let snap = reg.snapshot();
+        let sites: Vec<usize> = snap.iter().map(|r| r.site).collect();
+        let mut sorted = sites.clone();
+        sorted.sort_unstable();
+        assert_eq!(sites, sorted);
+    }
+
+    #[test]
+    fn out_of_range_cause_clamps() {
+        let reg = SiteRegistry::new();
+        reg.record_abort(0x10, 0x20, 999);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].aborts[ABORT_CAUSES - 1], 1);
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let reg = SiteRegistry::new();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let reg = &reg;
+                s.spawn(move || {
+                    let site = 0x1000 + (t % 2) * 0x1000;
+                    for _ in 0..10_000 {
+                        reg.record_start(site, 0xAB);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let total: u64 = snap.iter().map(|r| r.starts).sum();
+        assert_eq!(total, 40_000, "no lost counts under contention");
+    }
+}

@@ -1,13 +1,15 @@
 //! Property-based model tests: transactional containers against `std`
 //! oracles under random operation sequences, with every operation running
 //! in its own committed transaction (so roll-back/commit machinery is on
-//! the hot path of the test, not bypassed).
+//! the hot path of the test, not bypassed). Operation streams come from a
+//! seeded [`SplitMix64`] so the suite is deterministic with no external
+//! crates.
 
 use std::collections::HashMap;
 
 use gocc_htm::{HtmConfig, HtmRuntime, Tx, TxResult};
+use gocc_telemetry::SplitMix64;
 use gocc_txds::{TxMap, TxVec};
-use proptest::prelude::*;
 
 fn commit<'e, R>(rt: &'e HtmRuntime, f: impl FnOnce(&mut Tx<'e>) -> TxResult<R>) -> R {
     let mut tx = Tx::fast(rt);
@@ -25,23 +27,26 @@ enum MapOp {
     Clear,
 }
 
-fn map_op() -> impl Strategy<Value = MapOp> {
-    // Keys from a small domain so operations actually collide.
-    let key = 0u64..32;
-    prop_oneof![
-        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
-        2 => key.clone().prop_map(MapOp::Remove),
-        4 => key.prop_map(MapOp::Get),
-        1 => Just(MapOp::Len),
-        1 => Just(MapOp::Clear),
-    ]
+fn random_map_op(rng: &mut SplitMix64) -> MapOp {
+    // Keys from a small domain so operations actually collide; weights
+    // mirror the old proptest strategy (4:2:4:1:1).
+    match rng.below(12) {
+        0..=3 => MapOp::Insert(rng.below(32), rng.next_u64()),
+        4..=5 => MapOp::Remove(rng.below(32)),
+        6..=9 => MapOp::Get(rng.below(32)),
+        10 => MapOp::Len,
+        _ => MapOp::Clear,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn txmap_matches_hashmap_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x7A9_4A9 + case);
+        let ops: Vec<MapOp> = (0..rng.range(1, 200))
+            .map(|_| random_map_op(&mut rng))
+            .collect();
 
-    #[test]
-    fn txmap_matches_hashmap_model(ops in proptest::collection::vec(map_op(), 1..200)) {
         let rt = HtmRuntime::new(HtmConfig::coffee_lake());
         let map = TxMap::with_capacity(128);
         let mut model: HashMap<u64, u64> = HashMap::new();
@@ -49,20 +54,20 @@ proptest! {
             match op {
                 MapOp::Insert(k, v) => {
                     let out = commit(&rt, |tx| map.insert(tx, k, v));
-                    prop_assert!(out.inserted);
-                    prop_assert_eq!(out.previous, model.insert(k, v));
+                    assert!(out.inserted);
+                    assert_eq!(out.previous, model.insert(k, v));
                 }
                 MapOp::Remove(k) => {
                     let got = commit(&rt, |tx| map.remove(tx, k));
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k));
                 }
                 MapOp::Get(k) => {
                     let got = commit(&rt, |tx| map.get(tx, k));
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied());
                 }
                 MapOp::Len => {
                     let got = commit(&rt, |tx| map.len(tx));
-                    prop_assert_eq!(got as usize, model.len());
+                    assert_eq!(got as usize, model.len());
                 }
                 MapOp::Clear => {
                     commit(&rt, |tx| map.clear(tx));
@@ -76,12 +81,19 @@ proptest! {
         contents.sort_unstable();
         let mut expected: Vec<(u64, u64)> = model.into_iter().collect();
         expected.sort_unstable();
-        prop_assert_eq!(contents, expected);
+        assert_eq!(contents, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn txvec_matches_vec_model(ops in proptest::collection::vec(any::<Option<u64>>(), 1..200)) {
+#[test]
+fn txvec_matches_vec_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x7E_C7E4 + case);
         // Some(v) = push, None = pop.
+        let ops: Vec<Option<u64>> = (0..rng.range(1, 200))
+            .map(|_| rng.flip().then(|| rng.next_u64()))
+            .collect();
+
         let rt = HtmRuntime::new(HtmConfig::coffee_lake());
         let v = TxVec::with_capacity(64);
         let mut model: Vec<u64> = Vec::new();
@@ -90,30 +102,37 @@ proptest! {
                 Some(x) => {
                     let pushed = commit(&rt, |tx| v.push(tx, x));
                     if model.len() < 64 {
-                        prop_assert!(pushed);
+                        assert!(pushed);
                         model.push(x);
                     } else {
-                        prop_assert!(!pushed);
+                        assert!(!pushed);
                     }
                 }
                 None => {
                     let got = commit(&rt, |tx| v.pop(tx));
-                    prop_assert_eq!(got, model.pop());
+                    assert_eq!(got, model.pop());
                 }
             }
             let len = commit(&rt, |tx| v.len(tx));
-            prop_assert_eq!(len as usize, model.len());
+            assert_eq!(len as usize, model.len());
         }
         let mut out = Vec::new();
         commit(&rt, |tx| v.read_into(tx, &mut out));
-        prop_assert_eq!(out, model);
+        assert_eq!(out, model, "case {case}");
     }
+}
 
-    #[test]
-    fn rolled_back_ops_leave_no_trace(
-        committed in proptest::collection::vec((0u64..16, any::<u64>()), 1..50),
-        aborted in proptest::collection::vec((0u64..16, any::<u64>()), 1..50),
-    ) {
+#[test]
+fn rolled_back_ops_leave_no_trace() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x20_11BAC + case);
+        let committed: Vec<(u64, u64)> = (0..rng.range(1, 50))
+            .map(|_| (rng.below(16), rng.next_u64()))
+            .collect();
+        let aborted: Vec<(u64, u64)> = (0..rng.range(1, 50))
+            .map(|_| (rng.below(16), rng.next_u64()))
+            .collect();
+
         let rt = HtmRuntime::new(HtmConfig::coffee_lake());
         let map = TxMap::with_capacity(64);
         let mut model: HashMap<u64, u64> = HashMap::new();
@@ -134,6 +153,6 @@ proptest! {
         contents.sort_unstable();
         let mut expected: Vec<(u64, u64)> = model.into_iter().collect();
         expected.sort_unstable();
-        prop_assert_eq!(contents, expected);
+        assert_eq!(contents, expected, "case {case}");
     }
 }

@@ -2,6 +2,7 @@
 
 use gocc_htm::{Tx, TxResult};
 use gocc_optilock::{critical, GoccRuntime, LockRef};
+use gocc_telemetry::{Telemetry, TelemetryReport};
 
 /// Which program variant runs: the baseline or the transformed one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +41,19 @@ impl<'a> Engine<'a> {
     #[must_use]
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The runtime's telemetry bundle, when enabled via
+    /// [`gocc_optilock::GoccConfig::with_telemetry`].
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&'a Telemetry> {
+        self.rt.telemetry()
+    }
+
+    /// Snapshots the runtime's telemetry into a report, when enabled.
+    #[must_use]
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        self.rt.telemetry().map(Telemetry::report)
     }
 
     /// Runs a critical section that the analyzer accepted for elision.

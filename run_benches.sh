@@ -1,11 +1,19 @@
 #!/bin/sh
-# Regenerates every paper artifact into bench_output.txt.
+# Regenerates every paper artifact: console tables into bench_output.txt,
+# machine-readable BENCH_<name>.json files into bench_artifacts/.
 set -u
-out=/root/repo/bench_output.txt
+cd "$(dirname "$0")"
+out=bench_output.txt
+artifacts=bench_artifacts
 : > "$out"
-for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost; do
+mkdir -p "$artifacts"
+for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation; do
   echo "===== $bin =====" >> "$out"
   timeout 900 ./target/release/$bin 2>&1 | grep -v 'WARNING conda' >> "$out"
   echo >> "$out"
 done
+for f in BENCH_*.json; do
+  [ -f "$f" ] && mv "$f" "$artifacts/$f"
+done
+echo "artifacts: $(ls "$artifacts" | wc -l) JSON files in $artifacts/" >> "$out"
 echo BENCHES_DONE >> "$out"

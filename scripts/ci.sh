@@ -1,0 +1,41 @@
+#!/bin/sh
+# Tier-1 gate: offline build, full test suite, formatting, and a guard
+# that keeps the workspace dependency-free (the container has no route
+# to crates.io, so any non-path dependency breaks the build for
+# everyone — fail fast here instead).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dependency guard =="
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+  # Inside [dependencies]/[dev-dependencies]/[build-dependencies],
+  # every entry must be a workspace/path reference, never a registry
+  # version.
+  if awk -v m="$manifest" '
+    /^\[/ { dep = ($0 ~ /dependencies\]$/) }
+    dep && /^[A-Za-z0-9_-]+[ \t]*=/ {
+      if ($0 !~ /workspace[ \t]*=[ \t]*true/ && $0 !~ /path[ \t]*=/) {
+        printf "%s: registry dependency: %s\n", m, $0
+        found = 1
+      }
+    }
+    END { exit found }
+  ' "$manifest"; then :; else bad=1; fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "FAIL: external (registry) dependencies are not allowed; use path deps" >&2
+  exit 1
+fi
+echo "ok: all dependencies are path/workspace-local"
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "CI_OK"

@@ -11,6 +11,7 @@ pub use gocc_htm as htm;
 pub use gocc_optilock as optilock;
 pub use gocc_pointsto as pointsto;
 pub use gocc_profile as profile;
+pub use gocc_telemetry as telemetry;
 pub use gocc_txds as txds;
 pub use gocc_workloads as workloads;
 pub use golite;

@@ -1,12 +1,14 @@
 //! Property test: for random operation sequences, the GOCC-transformed
 //! program and the pessimistic program are observationally equivalent —
-//! the paper's §4.1 guarantee as an executable property.
+//! the paper's §4.1 guarantee as an executable property. Sequences are
+//! drawn from a seeded [`SplitMix64`] stream, so every run covers the same
+//! deterministic corpus with no external crates.
 
 use gocc_repro::optilock::GoccRuntime;
+use gocc_repro::telemetry::SplitMix64;
 use gocc_repro::workloads::gocache::{Cache, RwMap};
 use gocc_repro::workloads::set::Set;
 use gocc_repro::workloads::{Engine, Mode};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum CacheOp {
@@ -16,13 +18,18 @@ enum CacheOp {
     Tick,
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        4 => (any::<u8>(), any::<u16>(), 0u8..4).prop_map(|(k, v, ttl)| CacheOp::Set(k, v, ttl)),
-        4 => any::<u8>().prop_map(CacheOp::Get),
-        1 => any::<u8>().prop_map(CacheOp::Delete),
-        1 => Just(CacheOp::Tick),
-    ]
+fn random_cache_op(rng: &mut SplitMix64) -> CacheOp {
+    // Weights mirror the old proptest strategy (4:4:1:1).
+    match rng.below(10) {
+        0..=3 => CacheOp::Set(
+            rng.next_u64() as u8,
+            rng.next_u64() as u16,
+            rng.below(4) as u8,
+        ),
+        4..=7 => CacheOp::Get(rng.next_u64() as u8),
+        8 => CacheOp::Delete(rng.next_u64() as u8),
+        _ => CacheOp::Tick,
+    }
 }
 
 fn run_cache(mode: Mode, ops: &[CacheOp]) -> Vec<Option<u64>> {
@@ -60,15 +67,16 @@ enum SetOp {
     Clear,
 }
 
-fn set_op() -> impl Strategy<Value = SetOp> {
-    prop_oneof![
-        5 => any::<u16>().prop_map(|v| SetOp::Add(v % 512)),
-        2 => any::<u16>().prop_map(|v| SetOp::Remove(v % 512)),
-        3 => any::<u16>().prop_map(|v| SetOp::Exists(v % 512)),
-        1 => Just(SetOp::Len),
-        1 => Just(SetOp::Flatten),
-        1 => Just(SetOp::Clear),
-    ]
+fn random_set_op(rng: &mut SplitMix64) -> SetOp {
+    // Weights mirror the old proptest strategy (5:2:3:1:1:1).
+    match rng.below(13) {
+        0..=4 => SetOp::Add(rng.below(512) as u16),
+        5..=6 => SetOp::Remove(rng.below(512) as u16),
+        7..=9 => SetOp::Exists(rng.below(512) as u16),
+        10 => SetOp::Len,
+        11 => SetOp::Flatten,
+        _ => SetOp::Clear,
+    }
 }
 
 fn run_set(mode: Mode, ops: &[SetOp]) -> Vec<u64> {
@@ -95,16 +103,32 @@ fn run_set(mode: Mode, ops: &[SetOp]) -> Vec<u64> {
     observations
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn cache_modes_agree(ops in proptest::collection::vec(cache_op(), 1..60)) {
-        prop_assert_eq!(run_cache(Mode::Lock, &ops), run_cache(Mode::Gocc, &ops));
+#[test]
+fn cache_modes_agree() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0xCAC4E + case);
+        let ops: Vec<CacheOp> = (0..rng.range(1, 60))
+            .map(|_| random_cache_op(&mut rng))
+            .collect();
+        assert_eq!(
+            run_cache(Mode::Lock, &ops),
+            run_cache(Mode::Gocc, &ops),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn set_modes_agree(ops in proptest::collection::vec(set_op(), 1..60)) {
-        prop_assert_eq!(run_set(Mode::Lock, &ops), run_set(Mode::Gocc, &ops));
+#[test]
+fn set_modes_agree() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x5E7 + case);
+        let ops: Vec<SetOp> = (0..rng.range(1, 60))
+            .map(|_| random_set_op(&mut rng))
+            .collect();
+        assert_eq!(
+            run_set(Mode::Lock, &ops),
+            run_set(Mode::Gocc, &ops),
+            "case {case}"
+        );
     }
 }

@@ -3,13 +3,12 @@
 
 use gocc_repro::htm::Tx;
 use gocc_repro::optilock::GoccRuntime;
+use gocc_repro::telemetry::SplitMix64;
 use gocc_repro::workloads::fastcache::FastCache;
 use gocc_repro::workloads::gocache::{Cache, RwMap};
 use gocc_repro::workloads::set::Set;
 use gocc_repro::workloads::tally::Scope;
 use gocc_repro::workloads::{Engine, Mode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn procs8() {
     gocc_repro::gosync::set_procs(8);
@@ -30,13 +29,13 @@ fn gocache_final_state_matches_across_modes() {
             for t in 0..4usize {
                 let (engine, map) = (&engine, &map);
                 s.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(42 + t as u64);
+                    let mut rng = SplitMix64::new(42 + t as u64);
                     let lo = t * (KEYS / 4);
                     let hi = lo + KEYS / 4;
                     for _ in 0..500 {
-                        let k = rng.gen_range(lo..hi);
-                        if rng.gen_bool(0.3) {
-                            map.set(engine, RwMap::key(k), rng.gen_range(0..1000));
+                        let k = rng.range(lo as u64, hi as u64) as usize;
+                        if rng.chance(0.3) {
+                            map.set(engine, RwMap::key(k), rng.below(1000));
                         } else {
                             let _ = map.get(engine, RwMap::key(k));
                         }
