@@ -1,0 +1,299 @@
+//! `loadgen` — closed-loop load generator for `goccd`.
+//!
+//! Two ways to run it:
+//!
+//! * **Self-hosted sweep** (default): for each worker count in a
+//!   power-of-two sweep up to `--workers`, spawn a fresh in-process
+//!   `goccd` on an ephemeral loopback port per mode, drive it, capture
+//!   client and server metrics, and write `BENCH_server.json`.
+//!
+//!   ```console
+//!   $ loadgen --mode both --workers 4
+//!   ```
+//!
+//! * **External target** (`--addr 127.0.0.1:PORT`): drive one already
+//!   running server at a single worker count — the smoke-test shape used
+//!   by `scripts/ci.sh`. `--mode` must match the server's mode (verified
+//!   against its STATS document); `--shutdown` sends SHUTDOWN afterwards.
+//!
+//! Exit status is nonzero on any setup failure, a mode mismatch, or a
+//! window that completed zero operations.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gocc_loadgen::{
+    bench_server_json, fetch_stats, run_point, send_shutdown, sweep_counts, LoadConfig, ModeResult,
+    SweepRow,
+};
+use gocc_server::{mode_name, parse_mode, spawn, Mode, ServerConfig};
+
+struct Args {
+    /// None = both modes.
+    mode: Option<Mode>,
+    workers: usize,
+    addr: Option<String>,
+    shutdown: bool,
+    out: Option<String>,
+    server_workers: usize,
+    shards: usize,
+    capacity: usize,
+    load: LoadConfig,
+}
+
+fn usage() -> String {
+    "usage: loadgen [--mode lock|gocc|both] [--workers N] [--addr 127.0.0.1:PORT] \
+     [--shutdown] [--out PATH|none] [--server-workers N] [--shards N] [--capacity N] \
+     [--warmup-ms N] [--window-ms N] [--keyspace N] [--read-frac F] [--zipf S] \
+     [--scan-every N] [--seed N]"
+        .to_string()
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        mode: None,
+        workers: 4,
+        addr: None,
+        shutdown: false,
+        out: None,
+        server_workers: 2,
+        shards: 4,
+        capacity: 1 << 14,
+        load: LoadConfig::default(),
+    };
+    let mut out_given = false;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--mode" => {
+                let v = value("--mode")?;
+                args.mode = if v == "both" {
+                    None
+                } else {
+                    Some(parse_mode(&v)?)
+                };
+            }
+            "--workers" => {
+                args.workers = num("--workers", &value("--workers")?)?;
+                if args.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--shutdown" => args.shutdown = true,
+            "--out" => {
+                let v = value("--out")?;
+                args.out = (v != "none").then_some(v);
+                out_given = true;
+            }
+            "--server-workers" => {
+                args.server_workers = num("--server-workers", &value("--server-workers")?)?;
+            }
+            "--shards" => args.shards = num("--shards", &value("--shards")?)?,
+            "--capacity" => args.capacity = num("--capacity", &value("--capacity")?)?,
+            "--warmup-ms" => {
+                args.load.warmup =
+                    Duration::from_millis(num("--warmup-ms", &value("--warmup-ms")?)?);
+            }
+            "--window-ms" => {
+                args.load.window =
+                    Duration::from_millis(num("--window-ms", &value("--window-ms")?)?);
+            }
+            "--keyspace" => {
+                args.load.keyspace = num("--keyspace", &value("--keyspace")?)?;
+                if args.load.keyspace == 0 {
+                    return Err("--keyspace must be >= 1".into());
+                }
+            }
+            "--read-frac" => args.load.read_frac = num("--read-frac", &value("--read-frac")?)?,
+            "--zipf" => args.load.zipf_s = num("--zipf", &value("--zipf")?)?,
+            "--scan-every" => args.load.scan_every = num("--scan-every", &value("--scan-every")?)?,
+            "--seed" => args.load.seed = num("--seed", &value("--seed")?)?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.addr.is_some() && args.mode.is_none() {
+        return Err("--addr drives one server with one mode; pick --mode lock or gocc".into());
+    }
+    if !out_given {
+        // Sweeps produce the artifact by default; smoke runs against an
+        // external server don't unless asked.
+        args.out = args.addr.is_none().then(|| "BENCH_server.json".to_string());
+    }
+    Ok(args)
+}
+
+/// Extracts the port from a loopback `HOST:PORT` address.
+fn loopback_port(addr: &str) -> Result<u16, String> {
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--addr {addr:?} is not HOST:PORT"))?;
+    if host != "127.0.0.1" && host != "localhost" {
+        return Err(format!("--addr host {host:?} is not loopback"));
+    }
+    port.parse().map_err(|e| format!("--addr port: {e}"))
+}
+
+/// Drives one `(mode, workers)` point against a live server at `port` and
+/// returns it paired with the server's post-window stats.
+fn measure(
+    port: u16,
+    expect_mode: Mode,
+    workers: usize,
+    load: &LoadConfig,
+) -> Result<ModeResult, String> {
+    let point = run_point(port, workers, load).map_err(|e| format!("load loop: {e}"))?;
+    if point.ops == 0 {
+        return Err(format!(
+            "measurement window completed zero operations \
+             ({} client errors)",
+            point.client_errors
+        ));
+    }
+    let stats = fetch_stats(port)?;
+    match stats.mode() {
+        Some(m) if m == mode_name(expect_mode) => {}
+        other => {
+            return Err(format!(
+                "server reports mode {other:?}, expected {:?}",
+                mode_name(expect_mode)
+            ))
+        }
+    }
+    Ok(ModeResult {
+        point,
+        stats_raw: stats.raw,
+    })
+}
+
+fn print_row(mode: Mode, m: &ModeResult) {
+    let p = &m.point;
+    println!(
+        "{:>7}  {:<4}  {:>9}  {:>11.0}  {:>9}  {:>9}  {:>5}",
+        p.workers,
+        mode_name(mode),
+        p.ops,
+        p.ops_per_sec(),
+        p.latency.quantile(0.5),
+        p.latency.quantile(0.99),
+        p.client_errors + p.server_errors,
+    );
+    if p.client_errors > 0 {
+        eprintln!(
+            "warning: {} client-side errors at {} workers ({})",
+            p.client_errors,
+            p.workers,
+            mode_name(mode)
+        );
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let modes: Vec<Mode> = match args.mode {
+        Some(m) => vec![m],
+        None => vec![Mode::Lock, Mode::Gocc],
+    };
+    println!(
+        "{:>7}  {:<4}  {:>9}  {:>11}  {:>9}  {:>9}  {:>5}",
+        "workers", "mode", "ops", "ops/s", "p50(ns)", "p99(ns)", "errs"
+    );
+
+    let mut rows = Vec::new();
+    if let Some(addr) = &args.addr {
+        // External server: one point, no sweep, caller owns the lifecycle.
+        let port = loopback_port(addr)?;
+        let mode = args.mode.expect("checked in parse_args");
+        let m = measure(port, mode, args.workers, &args.load)?;
+        print_row(mode, &m);
+        let mut row = SweepRow {
+            workers: args.workers,
+            ..SweepRow::default()
+        };
+        match mode {
+            Mode::Lock => row.lock = Some(m),
+            Mode::Gocc => row.gocc = Some(m),
+        }
+        rows.push(row);
+        if args.shutdown {
+            send_shutdown(port)?;
+        }
+    } else {
+        for wc in sweep_counts(args.workers) {
+            let mut row = SweepRow {
+                workers: wc,
+                ..SweepRow::default()
+            };
+            for &mode in &modes {
+                // A fresh server per point: no cross-point warmup bleed,
+                // and each mode's telemetry covers exactly one window.
+                let handle = spawn(ServerConfig {
+                    mode,
+                    port: 0,
+                    workers: args.server_workers,
+                    shards: args.shards,
+                    capacity_per_shard: args.capacity,
+                    write_timeout: Duration::from_secs(5),
+                })
+                .map_err(|e| format!("spawn goccd: {e}"))?;
+                let result = measure(handle.port(), mode, wc, &args.load);
+                let shutdown = send_shutdown(handle.port());
+                let summary = handle.join();
+                let m = result?;
+                shutdown?;
+                if summary.slow_client_drops > 0 {
+                    eprintln!(
+                        "warning: server dropped {} slow clients",
+                        summary.slow_client_drops
+                    );
+                }
+                print_row(mode, &m);
+                match mode {
+                    Mode::Lock => row.lock = Some(m),
+                    Mode::Gocc => row.gocc = Some(m),
+                }
+            }
+            if let Some(s) = row.speedup_pct() {
+                println!("{:>7}  gocc vs lock: {s:+.1}%", row.workers);
+            }
+            rows.push(row);
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let json = bench_server_json(&args.load, &rows);
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    gocc_gosync::set_procs(8);
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Closed-loop load generation for `goccd`.
+//!
+//! The generator opens `workers` connections, each driven by one thread in
+//! a closed loop (send one request, wait for its response, repeat), with a
+//! configurable read/write mix over a Zipf-skewed key population. After a
+//! warmup phase, operations completed inside the measurement window are
+//! counted and their request→response latency recorded in the shared
+//! log2 histogram from `gocc-telemetry` — the same bucketing the runtime
+//! uses for critical-section latency, so client-side and server-side
+//! distributions are directly comparable.
+//!
+//! Everything is seeded: worker *w* of a point draws from
+//! `SplitMix64::new(seed ^ w)`, so two runs against equal servers issue
+//! identical request streams per connection (arrival interleaving is the
+//! only nondeterminism, as in any closed-loop harness).
+
+pub mod zipf;
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use gocc_telemetry::{HistogramSnapshot, JsonValue, JsonWriter, LatencyHistogram, SplitMix64};
+use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+
+use zipf::Zipf;
+
+/// Workload shape knobs (shared by every point of a sweep).
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Fraction of operations that are GETs (the rest split into
+    /// SET/DEL/INCR at 6:1:1).
+    pub read_frac: f64,
+    /// Number of distinct keys (`key-0` … `key-{n-1}`).
+    pub keyspace: usize,
+    /// Zipf skew exponent (0 = uniform, 0.99 = YCSB-style hot keys).
+    pub zipf_s: f64,
+    /// Issue one SCAN every this many operations per connection (0 =
+    /// never). SCANs are the large-read-set outlier in the mix.
+    pub scan_every: u64,
+    /// Entry limit per SCAN.
+    pub scan_limit: u32,
+    /// Ramp-up time before the measurement window opens.
+    pub warmup: Duration,
+    /// Measurement window length.
+    pub window: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            read_frac: 0.9,
+            keyspace: 4096,
+            zipf_s: 0.99,
+            scan_every: 2048,
+            scan_limit: 64,
+            warmup: Duration::from_millis(200),
+            window: Duration::from_millis(800),
+            seed: 42,
+        }
+    }
+}
+
+/// One measured `(mode, workers)` point, client side.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Concurrent closed-loop connections.
+    pub workers: usize,
+    /// Operations completed inside the measurement window.
+    pub ops: u64,
+    /// Actual measured window length.
+    pub elapsed: Duration,
+    /// Request→response latency of measured operations.
+    pub latency: HistogramSnapshot,
+    /// IO/decode/protocol failures on the client side (each ends its
+    /// connection's loop).
+    pub client_errors: u64,
+    /// `Response::Error` frames received.
+    pub server_errors: u64,
+}
+
+impl PointResult {
+    /// Throughput over the measurement window.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean wall-clock cost per operation per connection, the closed-loop
+    /// analog of the bench harness's ns/op.
+    #[must_use]
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return f64::INFINITY;
+        }
+        self.elapsed.as_nanos() as f64 * self.workers as f64 / self.ops as f64
+    }
+}
+
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Runs one closed-loop point against a live server.
+pub fn run_point(port: u16, workers: usize, cfg: &LoadConfig) -> io::Result<PointResult> {
+    assert!(workers >= 1);
+    let zipf = Zipf::new(cfg.keyspace, cfg.zipf_s);
+    let phase = AtomicU8::new(PHASE_WARMUP);
+    let ops = AtomicU64::new(0);
+    let client_errors = AtomicU64::new(0);
+    let server_errors = AtomicU64::new(0);
+    let hist = LatencyHistogram::new();
+
+    let elapsed = std::thread::scope(|s| {
+        for w in 0..workers {
+            let (zipf, phase, ops, client_errors, server_errors, hist) =
+                (&zipf, &phase, &ops, &client_errors, &server_errors, &hist);
+            let seed = cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                drive_connection(
+                    port,
+                    &cfg,
+                    zipf,
+                    seed,
+                    phase,
+                    ops,
+                    client_errors,
+                    server_errors,
+                    hist,
+                );
+            });
+        }
+        std::thread::sleep(cfg.warmup);
+        phase.store(PHASE_MEASURE, Ordering::SeqCst);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.window);
+        phase.store(PHASE_DONE, Ordering::SeqCst);
+        t0.elapsed()
+        // Scope end joins the workers.
+    });
+
+    Ok(PointResult {
+        workers,
+        ops: ops.load(Ordering::SeqCst),
+        elapsed,
+        latency: hist.snapshot(),
+        client_errors: client_errors.load(Ordering::SeqCst),
+        server_errors: server_errors.load(Ordering::SeqCst),
+    })
+}
+
+/// Whether a response is the right shape for the request that elicited it.
+fn response_matches(req: &Request<'_>, resp: &Response<'_>) -> bool {
+    matches!(
+        (req, resp),
+        (Request::Get { .. }, Response::Value { .. })
+            | (Request::Set { .. }, Response::Done)
+            | (Request::Del { .. }, Response::Deleted { .. })
+            | (Request::Incr { .. }, Response::Counter { .. })
+            | (Request::Scan { .. }, Response::Entries { .. })
+            | (Request::Stats, Response::Stats { .. })
+            | (Request::Shutdown, Response::Bye)
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    port: u16,
+    cfg: &LoadConfig,
+    zipf: &Zipf,
+    seed: u64,
+    phase: &AtomicU8,
+    ops: &AtomicU64,
+    client_errors: &AtomicU64,
+    server_errors: &AtomicU64,
+    hist: &LatencyHistogram,
+) {
+    let Ok(stream) = TcpStream::connect(("127.0.0.1", port)) else {
+        client_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut stream = stream;
+    let mut rng = SplitMix64::new(seed);
+    let mut keybuf = String::new();
+    let mut wirebuf = Vec::new();
+    let mut respbuf = Vec::new();
+    let mut local_ops = 0u64;
+    let mut op_index = 0u64;
+
+    loop {
+        let ph = phase.load(Ordering::Acquire);
+        if ph == PHASE_DONE {
+            break;
+        }
+        op_index += 1;
+        use std::fmt::Write as _;
+        keybuf.clear();
+        let _ = write!(keybuf, "key-{}", zipf.sample(&mut rng));
+        let req = if cfg.scan_every > 0 && op_index.is_multiple_of(cfg.scan_every) {
+            Request::Scan {
+                limit: cfg.scan_limit,
+            }
+        } else if rng.chance(cfg.read_frac) {
+            Request::Get {
+                key: keybuf.as_bytes(),
+            }
+        } else {
+            match rng.below(8) {
+                0 => Request::Del {
+                    key: keybuf.as_bytes(),
+                },
+                1 => Request::Incr {
+                    key: keybuf.as_bytes(),
+                    delta: 1,
+                },
+                _ => Request::Set {
+                    key: keybuf.as_bytes(),
+                    value: rng.next_u64(),
+                    ttl: 0,
+                },
+            }
+        };
+
+        wirebuf.clear();
+        encode_request(&req, &mut wirebuf);
+        let t0 = Instant::now();
+        if write_frame(&mut stream, &wirebuf).is_err() {
+            client_errors.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        match read_frame(&mut stream, &mut respbuf) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                client_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        match decode_response(&respbuf) {
+            Ok(Response::Error { .. }) => {
+                server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(ref resp) if response_matches(&req, resp) => {}
+            Ok(_) | Err(_) => {
+                client_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        if ph == PHASE_MEASURE {
+            hist.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            local_ops += 1;
+        }
+    }
+    ops.fetch_add(local_ops, Ordering::SeqCst);
+}
+
+/// A fetched-and-validated STATS document.
+#[derive(Clone, Debug)]
+pub struct StatsDoc {
+    /// The raw JSON exactly as served.
+    pub raw: String,
+    /// The parse (by `gocc-telemetry`'s own parser — the acceptance check).
+    pub parsed: JsonValue,
+}
+
+impl StatsDoc {
+    /// The server's reported `"mode"`.
+    #[must_use]
+    pub fn mode(&self) -> Option<&str> {
+        self.parsed.get("mode").and_then(JsonValue::as_str)
+    }
+}
+
+fn control_call(port: u16, req: &Request<'_>) -> Result<Vec<u8>, String> {
+    let mut stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut wirebuf = Vec::new();
+    encode_request(req, &mut wirebuf);
+    write_frame(&mut stream, &wirebuf).map_err(|e| format!("send: {e}"))?;
+    let mut respbuf = Vec::new();
+    match read_frame(&mut stream, &mut respbuf) {
+        Ok(true) => Ok(respbuf),
+        Ok(false) => Err("server closed before responding".into()),
+        Err(e) => Err(format!("recv: {e}")),
+    }
+}
+
+/// Fetches STATS and parses it with the telemetry JSON parser; any parse
+/// failure is an error (this is the wire-level acceptance check scripts
+/// rely on).
+pub fn fetch_stats(port: u16) -> Result<StatsDoc, String> {
+    let respbuf = control_call(port, &Request::Stats)?;
+    let Response::Stats { json } =
+        decode_response(&respbuf).map_err(|e| format!("bad stats response: {e}"))?
+    else {
+        return Err("STATS returned a non-stats response".into());
+    };
+    let parsed = JsonValue::parse(json).map_err(|e| format!("STATS JSON does not parse: {e}"))?;
+    Ok(StatsDoc {
+        raw: json.to_string(),
+        parsed,
+    })
+}
+
+/// Sends SHUTDOWN and confirms the Bye.
+pub fn send_shutdown(port: u16) -> Result<(), String> {
+    let respbuf = control_call(port, &Request::Shutdown)?;
+    match decode_response(&respbuf) {
+        Ok(Response::Bye) => Ok(()),
+        Ok(other) => Err(format!("SHUTDOWN answered {other:?}")),
+        Err(e) => Err(format!("bad shutdown response: {e}")),
+    }
+}
+
+/// One mode's measurement at a worker count, plus the server's stats.
+#[derive(Clone, Debug)]
+pub struct ModeResult {
+    /// Client-side measurement.
+    pub point: PointResult,
+    /// Raw server STATS JSON captured right after the window.
+    pub stats_raw: String,
+}
+
+/// One row of the sweep: both modes at a worker count (either may be
+/// absent in single-mode runs).
+#[derive(Clone, Debug, Default)]
+pub struct SweepRow {
+    /// Closed-loop connection count.
+    pub workers: usize,
+    /// Lock-mode result.
+    pub lock: Option<ModeResult>,
+    /// Gocc-mode result.
+    pub gocc: Option<ModeResult>,
+}
+
+impl SweepRow {
+    /// GOCC throughput gain over the lock baseline, in percent (the
+    /// paper's reporting convention); `None` unless both modes ran.
+    #[must_use]
+    pub fn speedup_pct(&self) -> Option<f64> {
+        let (l, g) = (self.lock.as_ref()?, self.gocc.as_ref()?);
+        Some((g.point.ops_per_sec() / l.point.ops_per_sec().max(1e-9) - 1.0) * 100.0)
+    }
+}
+
+/// Worker counts for a `1..=max` sweep: powers of two, plus `max` itself.
+#[must_use]
+pub fn sweep_counts(max: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut c = 1;
+    while c < max {
+        counts.push(c);
+        c *= 2;
+    }
+    counts.push(max.max(1));
+    counts
+}
+
+fn mode_fields(w: &mut JsonWriter, m: &ModeResult) {
+    let p = &m.point;
+    let h = &p.latency;
+    w.begin_object()
+        .field_u64("ops", p.ops)
+        .field_f64("ops_per_sec", p.ops_per_sec())
+        .field_f64("ns_per_op", p.ns_per_op())
+        .field_u64("client_errors", p.client_errors)
+        .field_u64("server_errors", p.server_errors)
+        .key("latency")
+        .begin_object()
+        .field_f64("mean_ns", h.mean())
+        .field_u64("p50_ns", h.quantile(0.5))
+        .field_u64("p90_ns", h.quantile(0.9))
+        .field_u64("p99_ns", h.quantile(0.99))
+        .field_u64("max_ns", h.max)
+        .field_u64("samples", h.count)
+        .end_object()
+        .field_raw("server_stats", &m.stats_raw)
+        .end_object();
+}
+
+/// Renders the `BENCH_server.json` document (same artifact family as the
+/// figure benches: a `"figure"` tag, config echo, measured points).
+#[must_use]
+pub fn bench_server_json(cfg: &LoadConfig, rows: &[SweepRow]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("figure", "server")
+        .key("config")
+        .begin_object()
+        .field_f64("read_frac", cfg.read_frac)
+        .field_f64("zipf_s", cfg.zipf_s)
+        .field_u64("keyspace", cfg.keyspace as u64)
+        .field_u64("scan_every", cfg.scan_every)
+        .field_u64("scan_limit", u64::from(cfg.scan_limit))
+        .field_u64("warmup_ms", cfg.warmup.as_millis() as u64)
+        .field_u64("window_ms", cfg.window.as_millis() as u64)
+        .field_u64("seed", cfg.seed)
+        .end_object();
+    w.key("worker_counts").begin_array();
+    for r in rows {
+        w.u64(r.workers as u64);
+    }
+    w.end_array();
+    w.key("points").begin_array();
+    for r in rows {
+        w.begin_object().field_u64("workers", r.workers as u64);
+        if let Some(l) = &r.lock {
+            w.key("lock");
+            mode_fields(&mut w, l);
+        }
+        if let Some(g) = &r.gocc {
+            w.key("gocc");
+            mode_fields(&mut w, g);
+        }
+        if let Some(s) = r.speedup_pct() {
+            w.field_f64("speedup_pct", s);
+        }
+        w.end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_mode_result(ops: u64, elapsed_ms: u64) -> ModeResult {
+        let hist = LatencyHistogram::new();
+        for i in 0..100 {
+            hist.record(1000 + i * 37);
+        }
+        ModeResult {
+            point: PointResult {
+                workers: 2,
+                ops,
+                elapsed: Duration::from_millis(elapsed_ms),
+                latency: hist.snapshot(),
+                client_errors: 0,
+                server_errors: 1,
+            },
+            stats_raw: r#"{"server":"goccd","mode":"gocc","telemetry":null}"#.to_string(),
+        }
+    }
+
+    #[test]
+    fn sweep_counts_cover_powers_of_two_and_max() {
+        assert_eq!(sweep_counts(1), vec![1]);
+        assert_eq!(sweep_counts(4), vec![1, 2, 4]);
+        assert_eq!(sweep_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(sweep_counts(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        let row = SweepRow {
+            workers: 2,
+            lock: Some(fake_mode_result(1000, 1000)),
+            gocc: Some(fake_mode_result(1500, 1000)),
+        };
+        assert!((row.speedup_pct().unwrap() - 50.0).abs() < 1e-6);
+        let partial = SweepRow {
+            workers: 2,
+            lock: None,
+            gocc: Some(fake_mode_result(1500, 1000)),
+        };
+        assert!(partial.speedup_pct().is_none());
+    }
+
+    #[test]
+    fn artifact_parses_and_nests_server_stats() {
+        let cfg = LoadConfig::default();
+        let rows = vec![SweepRow {
+            workers: 2,
+            lock: Some(fake_mode_result(1000, 1000)),
+            gocc: Some(fake_mode_result(2000, 1000)),
+        }];
+        let json = bench_server_json(&cfg, &rows);
+        let v = JsonValue::parse(&json).expect("artifact parses");
+        assert_eq!(v.get("figure").unwrap().as_str(), Some("server"));
+        let p = &v.get("points").unwrap().as_array().unwrap()[0];
+        assert!((p.get("speedup_pct").unwrap().as_f64().unwrap() - 100.0).abs() < 1e-6);
+        let gocc = p.get("gocc").unwrap();
+        assert_eq!(gocc.get("ops").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(
+            gocc.get("server_stats")
+                .unwrap()
+                .get("server")
+                .unwrap()
+                .as_str(),
+            Some("goccd")
+        );
+        assert!(
+            gocc.get("latency")
+                .unwrap()
+                .get("p99_ns")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn response_matching_is_strict() {
+        assert!(response_matches(
+            &Request::Get { key: b"k" },
+            &Response::Value {
+                found: true,
+                value: 1
+            }
+        ));
+        assert!(!response_matches(
+            &Request::Get { key: b"k" },
+            &Response::Done
+        ));
+        assert!(!response_matches(
+            &Request::Set {
+                key: b"k",
+                value: 1,
+                ttl: 0
+            },
+            &Response::Bye
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! `goccd` — the GOCC cache service daemon.
+//!
+//! ```console
+//! $ goccd --mode gocc --port 0 --workers 2 --shards 4
+//! goccd listening on 127.0.0.1:44721 (mode=gocc workers=2 shards=4)
+//! LISTENING 44721
+//! ```
+//!
+//! The `LISTENING <port>` line is the machine-readable contract scripts
+//! use with `--port 0`. The process exits 0 after a graceful shutdown
+//! (wire SHUTDOWN verb), printing the final summary and, with
+//! `--stats-out`, the final STATS JSON document.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gocc_server::{mode_name, parse_mode, spawn, ServerConfig};
+
+fn usage() -> String {
+    "usage: goccd [--mode lock|gocc] [--port N] [--workers N] [--shards N] \
+     [--capacity N] [--write-timeout-ms N] [--stats-out PATH]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String> {
+    let mut config = ServerConfig::default();
+    let mut stats_out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--mode" => config.mode = parse_mode(&value("--mode")?)?,
+            "--port" => {
+                config.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if config.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if config.shards == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+            }
+            "--capacity" => {
+                config.capacity_per_shard = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout = Duration::from_millis(
+                    value("--write-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--write-timeout-ms: {e}"))?,
+                );
+            }
+            "--stats-out" => stats_out = Some(value("--stats-out")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok((config, stats_out))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, stats_out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    gocc_gosync::set_procs(8);
+    let mode = config.mode;
+    let (workers, shards) = (config.workers, config.shards);
+    let handle = match spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("goccd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "goccd listening on 127.0.0.1:{} (mode={} workers={workers} shards={shards})",
+        handle.port(),
+        mode_name(mode),
+    );
+    println!("LISTENING {}", handle.port());
+    // Scripts parse the LISTENING line from a redirected pipe; don't let
+    // it sit in a stdio buffer.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = handle.join();
+    println!(
+        "goccd shut down: {} conns, {} requests, {} malformed frames, {} slow-client drops",
+        summary.conns_accepted,
+        summary.requests,
+        summary.malformed_frames,
+        summary.slow_client_drops,
+    );
+    if let Some(path) = stats_out {
+        if let Err(e) = std::fs::write(&path, &summary.stats_json) {
+            eprintln!("goccd: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

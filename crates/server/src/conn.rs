@@ -1,0 +1,204 @@
+//! Per-connection state machine: non-blocking read → frame → execute →
+//! non-blocking write, with error isolation and slow-client eviction.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use gocc_wire::{decode_request, encode_response, FrameBuf, Request, Response};
+use gocc_workloads::Engine;
+
+use crate::ServerState;
+
+/// Cap on frames executed per pump so one pipelining client cannot starve
+/// a worker's other connections.
+const MAX_FRAMES_PER_PUMP: usize = 256;
+
+/// What one pump pass decided.
+pub(crate) enum PumpOutcome {
+    /// Keep the connection; `made_progress` gates the worker's idle sleep.
+    Alive { made_progress: bool },
+    /// Remove the connection.
+    Close,
+}
+
+enum FlushState {
+    Clean { progressed: bool },
+    Fatal,
+}
+
+/// One client connection, owned by exactly one worker thread.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuf,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    last_write_progress: Instant,
+    /// Stop reading; flush what is queued, then close.
+    closing: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            inbuf: FrameBuf::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            last_write_progress: Instant::now(),
+            closing: false,
+        }
+    }
+
+    pub(crate) fn has_pending_output(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    /// Shutdown-drain helper: push pending bytes, ignore errors.
+    pub(crate) fn flush_only(&mut self) {
+        let _ = self.flush_inner();
+    }
+
+    /// One cooperative scheduling quantum for this connection.
+    pub(crate) fn pump(&mut self, engine: &Engine<'_>, state: &ServerState) -> PumpOutcome {
+        let mut progressed = false;
+
+        // 1. Drain queued response bytes first — a slow client must not
+        //    hold buffered responses hostage while we keep reading.
+        match self.flush_inner() {
+            FlushState::Clean { progressed: p } => progressed |= p,
+            FlushState::Fatal => return PumpOutcome::Close,
+        }
+        if self.has_pending_output()
+            && self.last_write_progress.elapsed() > state.config.write_timeout
+        {
+            state.counters.note_slow_drop();
+            return PumpOutcome::Close;
+        }
+
+        // 2. Ingest bytes.
+        let mut peer_eof = false;
+        if !self.closing {
+            let mut chunk = [0u8; 4096];
+            for _ in 0..16 {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend(&chunk[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return PumpOutcome::Close,
+                }
+            }
+        }
+
+        // 3. Execute complete frames.
+        if !self.closing {
+            progressed |= self.process_frames(engine, state);
+        }
+
+        // 4. Push out whatever step 3 produced.
+        match self.flush_inner() {
+            FlushState::Clean { progressed: p } => progressed |= p,
+            FlushState::Fatal => return PumpOutcome::Close,
+        }
+
+        if (self.closing || peer_eof) && !self.has_pending_output() {
+            return PumpOutcome::Close;
+        }
+        if peer_eof {
+            // Half-closed with responses still queued: flush, then close.
+            self.closing = true;
+        }
+        PumpOutcome::Alive {
+            made_progress: progressed,
+        }
+    }
+
+    /// Decodes and executes buffered frames. A framing or decode error
+    /// sends one final `Error` response and marks the connection closing —
+    /// the error never propagates past this connection.
+    fn process_frames(&mut self, engine: &Engine<'_>, state: &ServerState) -> bool {
+        let mut progressed = false;
+        for _ in 0..MAX_FRAMES_PER_PUMP {
+            if self.closing {
+                break;
+            }
+            let Conn {
+                inbuf,
+                outbuf,
+                closing,
+                ..
+            } = self;
+            match inbuf.next_frame() {
+                Ok(None) => break,
+                Ok(Some(body)) => {
+                    progressed = true;
+                    match decode_request(body) {
+                        Ok(req) => {
+                            state.counters.note_request(&req);
+                            match req {
+                                Request::Stats => {
+                                    let json = state.stats_json();
+                                    encode_response(&Response::Stats { json: &json }, outbuf);
+                                }
+                                Request::Shutdown => {
+                                    state.request_shutdown();
+                                    encode_response(&Response::Bye, outbuf);
+                                    *closing = true;
+                                }
+                                ref data_verb => {
+                                    let resp = state.store.execute(engine, data_verb);
+                                    encode_response(&resp, outbuf);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            state.counters.note_malformed();
+                            let message = format!("malformed frame: {e}");
+                            encode_response(&Response::Error { message: &message }, outbuf);
+                            *closing = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Corrupt length prefix: there is no resynchronizing.
+                    state.counters.note_malformed();
+                    let message = format!("unrecoverable framing error: {e}");
+                    encode_response(&Response::Error { message: &message }, outbuf);
+                    *closing = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn flush_inner(&mut self) -> FlushState {
+        let mut progressed = false;
+        loop {
+            if !self.has_pending_output() {
+                self.outbuf.clear();
+                self.outpos = 0;
+                return FlushState::Clean { progressed };
+            }
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return FlushState::Fatal,
+                Ok(n) => {
+                    self.outpos += n;
+                    self.last_write_progress = Instant::now();
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return FlushState::Clean { progressed }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return FlushState::Fatal,
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! `goccd`: a loopback TCP cache service whose storage runs through the
+//! GOCC engine.
+//!
+//! This crate turns the repository's in-process evaluation stack into a
+//! request-serving system: the [`gocc_wire`] protocol on the outside, the
+//! existing `workloads::gocache` critical sections (executed via
+//! [`Engine`] in either [`Mode::Lock`] or [`Mode::Gocc`]) on the inside.
+//! Every byte served exercises the same elision runtime, perceptron and
+//! telemetry the microbenchmarks measure — but under real socket traffic,
+//! which is what `crates/loadgen` drives.
+//!
+//! # Threading and ownership model
+//!
+//! * One **acceptor** thread owns the listener (non-blocking, polled so it
+//!   can observe shutdown) and deals accepted connections round-robin onto
+//!   per-worker channels — the sharded connection dispatcher.
+//! * `workers` **worker** threads each own a disjoint set of connections
+//!   outright (no connection is ever touched by two threads), pumping them
+//!   with non-blocking reads/writes in a poll loop. Worker state is plain
+//!   `&mut`; the only cross-thread state is the [`ServerState`] behind an
+//!   `Arc` — the store (whose interior synchronization *is* the system
+//!   under test), atomic counters, and the shutdown flag.
+//! * A **malformed frame kills its connection, never the server**: framing
+//!   or decode errors send a final `Error` response and close that one
+//!   connection. IO errors likewise. A worker never panics on input.
+//! * **Slow clients** that stop draining their socket are disconnected
+//!   once a pending write makes no progress for
+//!   [`ServerConfig::write_timeout`].
+//! * **Graceful shutdown** (SHUTDOWN verb or
+//!   [`ServerHandle::request_shutdown`]): the acceptor stops, workers
+//!   flush pending responses (bounded drain), close their connections and
+//!   exit; [`ServerHandle::join`] then yields a [`ServerSummary`].
+
+mod conn;
+mod stats;
+mod store;
+
+use std::io;
+use std::net::{Ipv4Addr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gocc_optilock::{GoccConfig, GoccRuntime};
+use gocc_workloads::Engine;
+pub use gocc_workloads::Mode;
+
+pub use stats::ServerCounters;
+pub use store::ShardedStore;
+
+use conn::{Conn, PumpOutcome};
+
+/// Deployment knobs for one [`spawn`]ed server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Whether critical sections run pessimistically or through `optiLib`.
+    pub mode: Mode,
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back
+    /// from [`ServerHandle::port`]).
+    pub port: u16,
+    /// Worker threads (each owns its share of the connections).
+    pub workers: usize,
+    /// Store shards (each an independent lock + map pair).
+    pub shards: usize,
+    /// Entry capacity per shard; the transactional map does not grow, so
+    /// size at ≥ 2× the expected keys per shard.
+    pub capacity_per_shard: usize,
+    /// Disconnect a client whose pending response bytes make no progress
+    /// for this long.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mode: Mode::Gocc,
+            port: 0,
+            workers: 2,
+            shards: 4,
+            capacity_per_shard: 1 << 14,
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Shared server state: the runtime + store under test, plus counters.
+pub struct ServerState {
+    rt: GoccRuntime,
+    store: ShardedStore,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    counters: ServerCounters,
+}
+
+impl ServerState {
+    fn new(config: ServerConfig) -> Self {
+        ServerState {
+            rt: GoccRuntime::new(GoccConfig::with_telemetry()),
+            store: ShardedStore::new(config.shards, config.capacity_per_shard),
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+        }
+    }
+
+    /// The execution mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.config.mode
+    }
+
+    /// The server's counters.
+    #[must_use]
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Renders the STATS document: server identity, counters, live entry
+    /// count, and the runtime's full [`gocc_telemetry::TelemetryReport`]
+    /// JSON spliced in under `"telemetry"`.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        let engine = Engine::new(&self.rt, self.config.mode);
+        let entries = self.store.total_entries(&engine);
+        let telemetry = self
+            .rt
+            .telemetry()
+            .map(|t| t.report().to_json())
+            .unwrap_or_else(|| "null".to_string());
+        self.counters.to_json(
+            mode_name(self.config.mode),
+            self.config.workers as u64,
+            self.config.shards as u64,
+            entries,
+            &telemetry,
+        )
+    }
+}
+
+/// `"lock"` / `"gocc"` — the CLI and STATS spelling of a [`Mode`].
+#[must_use]
+pub fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Lock => "lock",
+        Mode::Gocc => "gocc",
+    }
+}
+
+/// Parses a [`mode_name`] back into a [`Mode`].
+pub fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "lock" => Ok(Mode::Lock),
+        "gocc" => Ok(Mode::Gocc),
+        other => Err(format!("unknown mode {other:?} (expected lock|gocc)")),
+    }
+}
+
+/// A running server: join handles plus shared state.
+pub struct ServerHandle {
+    port: u16,
+    state: Arc<ServerState>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Final accounting returned by [`ServerHandle::join`].
+#[derive(Clone, Debug)]
+pub struct ServerSummary {
+    /// Connections accepted over the server's lifetime.
+    pub conns_accepted: u64,
+    /// Connections closed (EOF, errors, shutdown).
+    pub conns_closed: u64,
+    /// Requests served, all verbs.
+    pub requests: u64,
+    /// Frames that failed to parse (each cost its connection).
+    pub malformed_frames: u64,
+    /// Connections dropped for unresponsive reads on the client side.
+    pub slow_client_drops: u64,
+    /// The final STATS JSON document.
+    pub stats_json: String,
+}
+
+impl ServerHandle {
+    /// The bound port (useful with `port: 0`).
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The shared state (counters, stats document).
+    #[must_use]
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Flags shutdown without a wire round-trip.
+    pub fn request_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Waits for the acceptor and all workers to exit. Callers that did
+    /// not send a SHUTDOWN frame should [`ServerHandle::request_shutdown`]
+    /// first, or this blocks until a client does.
+    #[must_use = "the summary carries the final stats"]
+    pub fn join(self) -> ServerSummary {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let c = &self.state.counters;
+        ServerSummary {
+            conns_accepted: c.accepted(),
+            conns_closed: c.closed(),
+            requests: c.total_requests(),
+            malformed_frames: c.malformed(),
+            slow_client_drops: c.slow_drops(),
+            stats_json: self.state.stats_json(),
+        }
+    }
+}
+
+/// Binds 127.0.0.1:`port` and starts the acceptor + worker threads.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.shards >= 1, "need at least one shard");
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+    listener.set_nonblocking(true)?;
+    let port = listener.local_addr()?.port();
+    let state = Arc::new(ServerState::new(config));
+
+    let mut senders: Vec<Sender<std::net::TcpStream>> = Vec::new();
+    let mut workers = Vec::new();
+    for w in 0..state.config.workers {
+        let (tx, rx) = std::sync::mpsc::channel();
+        senders.push(tx);
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("goccd-worker-{w}"))
+                .spawn(move || worker_loop(&rx, &state))
+                .expect("spawn worker"),
+        );
+    }
+
+    let acceptor_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("goccd-acceptor".into())
+        .spawn(move || acceptor_loop(&listener, senders, &acceptor_state))
+        .expect("spawn acceptor");
+
+    Ok(ServerHandle {
+        port,
+        state,
+        acceptor,
+        workers,
+    })
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    senders: Vec<Sender<std::net::TcpStream>>,
+    state: &ServerState,
+) {
+    let mut next = 0usize;
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                state.counters.note_accept();
+                // Shard the connection onto a worker; a dead worker (only
+                // possible on panic) just drops the stream.
+                let _ = senders[next % senders.len()].send(stream);
+                next += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Dropping the senders tells each worker no more connections are
+    // coming.
+}
+
+fn worker_loop(rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
+    let engine = Engine::new(&state.rt, state.config.mode);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut dispatcher_gone = false;
+    loop {
+        // Adopt newly dispatched connections.
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => conns.push(Conn::new(stream)),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    dispatcher_gone = true;
+                    break;
+                }
+            }
+        }
+
+        let mut progressed = false;
+        conns.retain_mut(|c| match c.pump(&engine, state) {
+            PumpOutcome::Alive { made_progress } => {
+                progressed |= made_progress;
+                true
+            }
+            PumpOutcome::Close => {
+                state.counters.note_close();
+                false
+            }
+        });
+
+        if state.shutting_down() {
+            drain_and_close(&mut conns, state);
+            return;
+        }
+        if dispatcher_gone && conns.is_empty() {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Bounded final flush: give every connection up to 500 ms to drain its
+/// pending response bytes, then close regardless.
+fn drain_and_close(conns: &mut Vec<Conn>, state: &ServerState) {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < deadline && conns.iter().any(Conn::has_pending_output) {
+        for c in conns.iter_mut() {
+            c.flush_only();
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for _ in conns.drain(..) {
+        state.counters.note_close();
+    }
+}

@@ -1,0 +1,149 @@
+//! Lock-free server counters and the STATS JSON document.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gocc_telemetry::JsonWriter;
+use gocc_wire::Request;
+
+/// Wire verbs, in STATS reporting order.
+const VERB_NAMES: [&str; 7] = ["get", "set", "del", "incr", "scan", "stats", "shutdown"];
+
+fn verb_index(req: &Request<'_>) -> usize {
+    match req {
+        Request::Get { .. } => 0,
+        Request::Set { .. } => 1,
+        Request::Del { .. } => 2,
+        Request::Incr { .. } => 3,
+        Request::Scan { .. } => 4,
+        Request::Stats => 5,
+        Request::Shutdown => 6,
+    }
+}
+
+/// Relaxed atomic counters for everything the data plane touches.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    by_verb: [AtomicU64; 7],
+    malformed: AtomicU64,
+    slow_drops: AtomicU64,
+}
+
+impl ServerCounters {
+    pub(crate) fn note_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_close(&self) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_request(&self, req: &Request<'_>) {
+        self.by_verb[verb_index(req)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_slow_drop(&self) {
+        self.slow_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections accepted.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed.
+    #[must_use]
+    pub fn closed(&self) -> u64 {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served across all verbs.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.by_verb.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Frames that failed to decode.
+    #[must_use]
+    pub fn malformed(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped on write timeout.
+    #[must_use]
+    pub fn slow_drops(&self) -> u64 {
+        self.slow_drops.load(Ordering::Relaxed)
+    }
+
+    /// Renders the STATS document. `telemetry_json` is spliced in raw
+    /// (either a rendered [`gocc_telemetry::TelemetryReport`] or `null`).
+    #[must_use]
+    pub(crate) fn to_json(
+        &self,
+        mode: &str,
+        workers: u64,
+        shards: u64,
+        entries: u64,
+        telemetry_json: &str,
+    ) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("server", "goccd")
+            .field_str("mode", mode)
+            .field_u64("workers", workers)
+            .field_u64("shards", shards)
+            .field_u64("conns_accepted", self.accepted())
+            .field_u64("conns_closed", self.closed())
+            .key("requests")
+            .begin_object()
+            .field_u64("total", self.total_requests());
+        for (name, counter) in VERB_NAMES.iter().zip(&self.by_verb) {
+            w.field_u64(name, counter.load(Ordering::Relaxed));
+        }
+        w.end_object()
+            .field_u64("malformed_frames", self.malformed())
+            .field_u64("slow_client_drops", self.slow_drops())
+            .field_u64("entries", entries)
+            .field_raw("telemetry", telemetry_json)
+            .end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_telemetry::JsonValue;
+
+    #[test]
+    fn stats_document_parses_and_reconciles() {
+        let c = ServerCounters::default();
+        c.note_accept();
+        c.note_accept();
+        c.note_close();
+        c.note_request(&Request::Get { key: b"k" });
+        c.note_request(&Request::Set {
+            key: b"k",
+            value: 1,
+            ttl: 0,
+        });
+        c.note_request(&Request::Get { key: b"k" });
+        c.note_malformed();
+        let json = c.to_json("gocc", 2, 4, 17, "null");
+        let v = JsonValue::parse(&json).expect("stats JSON parses");
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("gocc"));
+        assert_eq!(v.get("conns_accepted").unwrap().as_f64(), Some(2.0));
+        let reqs = v.get("requests").unwrap();
+        assert_eq!(reqs.get("total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(reqs.get("get").unwrap().as_f64(), Some(2.0));
+        assert_eq!(reqs.get("set").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("telemetry"), Some(&JsonValue::Null));
+        assert_eq!(v.get("entries").unwrap().as_f64(), Some(17.0));
+    }
+}

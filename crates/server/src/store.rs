@@ -1,0 +1,197 @@
+//! The server's storage: `gocache` shards addressed by hashed key.
+//!
+//! Each shard is one [`Cache`] — an independent `ElidableRwMutex` guarding
+//! a transactional map pair, exactly the structure Figure 7 benchmarks.
+//! Keys arrive as byte strings on the wire and are identified by their
+//! 64-bit FNV-1a hash from then on (the store is word-oriented; a hash
+//! collision aliases two keys, which at 2⁻⁶⁴ per pair is the standard
+//! cache-service trade and is documented in the protocol).
+
+use gocc_txds::{fnv1a, mix64};
+use gocc_wire::{Request, Response};
+use gocc_workloads::gocache::Cache;
+use gocc_workloads::Engine;
+
+/// A fixed set of independently locked cache shards.
+pub struct ShardedStore {
+    shards: Vec<Cache>,
+}
+
+impl ShardedStore {
+    /// Creates `shards` empty shards of `capacity_per_shard` entries each.
+    #[must_use]
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        ShardedStore {
+            shards: (0..shards.max(1))
+                .map(|_| Cache::with_capacity(capacity_per_shard))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning hashed key `h`. `fnv1a` output is re-mixed so the
+    /// shard index and the in-shard probe sequence use independent bits.
+    #[must_use]
+    pub fn shard_for(&self, h: u64) -> &Cache {
+        let idx = (mix64(h) >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Total live entries across shards (one read section per shard).
+    #[must_use]
+    pub fn total_entries(&self, engine: &Engine<'_>) -> u64 {
+        self.shards.iter().map(|s| s.item_count(engine)).sum()
+    }
+
+    /// Dumps up to `limit` `(hashed_key, value)` pairs, walking shards in
+    /// order.
+    #[must_use]
+    pub fn scan(&self, engine: &Engine<'_>, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let remaining = limit - out.len();
+            if remaining == 0 {
+                break;
+            }
+            out.extend(shard.scan(engine, remaining));
+        }
+        out
+    }
+
+    /// Executes one already-decoded data-plane request. STATS and
+    /// SHUTDOWN are control-plane and handled by the connection layer.
+    #[must_use]
+    pub fn execute(&self, engine: &Engine<'_>, req: &Request<'_>) -> Response<'static> {
+        match *req {
+            Request::Get { key } => {
+                let h = fnv1a(key);
+                match self.shard_for(h).get(engine, h) {
+                    Some(value) => Response::Value { found: true, value },
+                    None => Response::Value {
+                        found: false,
+                        value: 0,
+                    },
+                }
+            }
+            Request::Set { key, value, ttl } => {
+                let h = fnv1a(key);
+                self.shard_for(h).set(engine, h, value, ttl);
+                Response::Done
+            }
+            Request::Del { key } => {
+                let h = fnv1a(key);
+                Response::Deleted {
+                    existed: self.shard_for(h).delete(engine, h),
+                }
+            }
+            Request::Incr { key, delta } => {
+                let h = fnv1a(key);
+                Response::Counter {
+                    value: self.shard_for(h).incr(engine, h, delta),
+                }
+            }
+            Request::Scan { limit } => Response::Entries {
+                pairs: self.scan(engine, limit as usize),
+            },
+            Request::Stats | Request::Shutdown => Response::Error {
+                message: "control-plane verb reached the store",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_optilock::{GoccConfig, GoccRuntime};
+    use gocc_workloads::Mode;
+
+    #[test]
+    fn verbs_roundtrip_through_the_store() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new(GoccConfig::standard());
+            let engine = Engine::new(&rt, mode);
+            let store = ShardedStore::new(4, 256);
+            assert_eq!(
+                store.execute(&engine, &Request::Get { key: b"a" }),
+                Response::Value {
+                    found: false,
+                    value: 0
+                }
+            );
+            assert_eq!(
+                store.execute(
+                    &engine,
+                    &Request::Set {
+                        key: b"a",
+                        value: 11,
+                        ttl: 0
+                    }
+                ),
+                Response::Done
+            );
+            assert_eq!(
+                store.execute(&engine, &Request::Get { key: b"a" }),
+                Response::Value {
+                    found: true,
+                    value: 11
+                }
+            );
+            assert_eq!(
+                store.execute(
+                    &engine,
+                    &Request::Incr {
+                        key: b"ctr",
+                        delta: 5
+                    }
+                ),
+                Response::Counter { value: 5 }
+            );
+            assert_eq!(store.total_entries(&engine), 2);
+            let scan = store.execute(&engine, &Request::Scan { limit: 10 });
+            let Response::Entries { pairs } = scan else {
+                panic!("scan must return entries");
+            };
+            assert_eq!(pairs.len(), 2);
+            assert_eq!(
+                store.execute(&engine, &Request::Del { key: b"a" }),
+                Response::Deleted { existed: true }
+            );
+            assert_eq!(
+                store.execute(&engine, &Request::Del { key: b"a" }),
+                Response::Deleted { existed: false }
+            );
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        gocc_gosync::set_procs(8);
+        let rt = GoccRuntime::new(GoccConfig::standard());
+        let engine = Engine::new(&rt, Mode::Lock);
+        let store = ShardedStore::new(4, 1024);
+        for i in 0..256u64 {
+            let key = format!("key-{i}");
+            let _ = store.execute(
+                &engine,
+                &Request::Set {
+                    key: key.as_bytes(),
+                    value: i,
+                    ttl: 0,
+                },
+            );
+        }
+        assert_eq!(store.total_entries(&engine), 256);
+        let per_shard: Vec<u64> = store.shards.iter().map(|s| s.item_count(&engine)).collect();
+        assert!(
+            per_shard.iter().all(|&n| n > 16),
+            "fnv1a+mix64 sharding badly skewed: {per_shard:?}"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end loopback tests: a real `goccd` instance, real sockets,
+//! both execution modes.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gocc_server::{spawn, Mode, ServerConfig};
+use gocc_telemetry::JsonValue;
+use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+
+/// Blocking request/response helper over one client connection.
+struct Client {
+    stream: TcpStream,
+    wirebuf: Vec<u8>,
+    respbuf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            stream,
+            wirebuf: Vec::new(),
+            respbuf: Vec::new(),
+        }
+    }
+
+    fn call(&mut self, req: &Request<'_>) -> Response<'_> {
+        self.wirebuf.clear();
+        encode_request(req, &mut self.wirebuf);
+        write_frame(&mut self.stream, &self.wirebuf).expect("send");
+        assert!(
+            read_frame(&mut self.stream, &mut self.respbuf).expect("recv"),
+            "server closed mid-conversation"
+        );
+        decode_response(&self.respbuf).expect("well-formed response")
+    }
+}
+
+fn config(mode: Mode) -> ServerConfig {
+    ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 1024,
+        write_timeout: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn verbs_roundtrip_in_both_modes() {
+    gocc_gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        let handle = spawn(config(mode)).expect("spawn");
+        let mut c = Client::connect(handle.port());
+        assert_eq!(
+            c.call(&Request::Get { key: b"absent" }),
+            Response::Value {
+                found: false,
+                value: 0
+            }
+        );
+        assert_eq!(
+            c.call(&Request::Set {
+                key: b"alpha",
+                value: 7,
+                ttl: 0
+            }),
+            Response::Done
+        );
+        assert_eq!(
+            c.call(&Request::Get { key: b"alpha" }),
+            Response::Value {
+                found: true,
+                value: 7
+            }
+        );
+        assert_eq!(
+            c.call(&Request::Incr {
+                key: b"ctr",
+                delta: 41
+            }),
+            Response::Counter { value: 41 }
+        );
+        assert_eq!(
+            c.call(&Request::Incr {
+                key: b"ctr",
+                delta: 1
+            }),
+            Response::Counter { value: 42 }
+        );
+        let Response::Entries { pairs } = c.call(&Request::Scan { limit: 100 }) else {
+            panic!("scan must return entries");
+        };
+        assert_eq!(pairs.len(), 2, "alpha + ctr");
+        assert_eq!(
+            c.call(&Request::Del { key: b"alpha" }),
+            Response::Deleted { existed: true }
+        );
+        assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+        let summary = handle.join();
+        assert_eq!(summary.malformed_frames, 0);
+        assert!(summary.requests >= 8, "{summary:?}");
+    }
+}
+
+#[test]
+fn stats_json_parses_with_telemetry_parser() {
+    gocc_gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        let handle = spawn(config(mode)).expect("spawn");
+        let mut c = Client::connect(handle.port());
+        for i in 0..50u64 {
+            let key = format!("key-{i}");
+            c.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i,
+                ttl: 0,
+            });
+            c.call(&Request::Get {
+                key: key.as_bytes(),
+            });
+        }
+        let stats = c.call(&Request::Stats);
+        let Response::Stats { json } = stats else {
+            panic!("stats must return the JSON document");
+        };
+        let v = JsonValue::parse(json).expect("STATS JSON parses");
+        assert_eq!(
+            v.get("mode").unwrap().as_str().unwrap(),
+            gocc_server::mode_name(mode)
+        );
+        assert_eq!(v.get("entries").unwrap().as_f64(), Some(50.0));
+        let reqs = v.get("requests").unwrap();
+        assert_eq!(reqs.get("set").unwrap().as_f64(), Some(50.0));
+        assert_eq!(reqs.get("get").unwrap().as_f64(), Some(50.0));
+        // The embedded telemetry report is itself a full TelemetryReport
+        // document (never null — the server always enables telemetry).
+        let tele = v.get("telemetry").unwrap();
+        assert!(tele.get("sites").unwrap().as_array().is_some());
+        if mode == Mode::Gocc {
+            let sites = tele.get("sites").unwrap().as_array().unwrap();
+            assert!(!sites.is_empty(), "gocc mode must attribute sections");
+        }
+        c.call(&Request::Shutdown);
+        let _ = handle.join();
+    }
+}
+
+#[test]
+fn malformed_frame_kills_the_connection_not_the_server() {
+    gocc_gosync::set_procs(8);
+    let handle = spawn(config(Mode::Gocc)).expect("spawn");
+    let port = handle.port();
+
+    // Victim connection: send garbage with a plausible header.
+    let mut bad = Client::connect(port);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&5u32.to_le_bytes());
+    frame.extend_from_slice(&[0x7E, 1, 2, 3, 4]); // unknown opcode
+    bad.stream.write_all(&frame).unwrap();
+    bad.stream.flush().unwrap();
+    // The server answers with an Error frame, then closes.
+    assert!(read_frame(&mut bad.stream, &mut bad.respbuf).unwrap());
+    let Response::Error { message } = decode_response(&bad.respbuf).unwrap() else {
+        panic!("expected an error response");
+    };
+    assert!(message.contains("malformed"), "{message}");
+    assert!(
+        !read_frame(&mut bad.stream, &mut bad.respbuf).unwrap(),
+        "connection must be closed after a malformed frame"
+    );
+
+    // A corrupt length prefix is likewise fatal for its connection only.
+    let mut corrupt = Client::connect(port);
+    corrupt.stream.write_all(&[0, 0, 0, 0]).unwrap();
+    corrupt.stream.flush().unwrap();
+    assert!(read_frame(&mut corrupt.stream, &mut corrupt.respbuf).unwrap());
+    assert!(matches!(
+        decode_response(&corrupt.respbuf).unwrap(),
+        Response::Error { .. }
+    ));
+
+    // The server is still fully alive for a fresh connection.
+    let mut good = Client::connect(port);
+    assert_eq!(
+        good.call(&Request::Set {
+            key: b"alive",
+            value: 1,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    assert_eq!(
+        good.call(&Request::Get { key: b"alive" }),
+        Response::Value {
+            found: true,
+            value: 1
+        }
+    );
+    assert_eq!(good.call(&Request::Shutdown), Response::Bye);
+    let summary = handle.join();
+    assert_eq!(summary.malformed_frames, 2);
+}
+
+#[test]
+fn concurrent_clients_share_the_store() {
+    gocc_gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        let handle = spawn(config(mode)).expect("spawn");
+        let port = handle.port();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    let mut c = Client::connect(port);
+                    let mut last = 0u64;
+                    for _ in 0..100 {
+                        let Response::Counter { value } = c.call(&Request::Incr {
+                            key: b"shared",
+                            delta: 1,
+                        }) else {
+                            panic!("incr must return a counter");
+                        };
+                        // The counter only grows, so the values one
+                        // connection observes are strictly increasing.
+                        assert!(value > last, "{value} <= {last}");
+                        last = value;
+                    }
+                });
+            }
+        });
+        let mut c = Client::connect(port);
+        let Response::Value { found, value } = c.call(&Request::Get { key: b"shared" }) else {
+            panic!()
+        };
+        assert!(found);
+        assert_eq!(value, 400, "no lost increments in mode {mode:?}");
+        c.call(&Request::Shutdown);
+        let _ = handle.join();
+    }
+}
+
+#[test]
+fn shutdown_via_handle_terminates_workers() {
+    gocc_gosync::set_procs(8);
+    let handle = spawn(config(Mode::Gocc)).expect("spawn");
+    let mut c = Client::connect(handle.port());
+    assert_eq!(
+        c.call(&Request::Set {
+            key: b"x",
+            value: 1,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    handle.request_shutdown();
+    let summary = handle.join();
+    assert!(summary.conns_accepted >= 1);
+    let v = JsonValue::parse(&summary.stats_json).expect("final stats parse");
+    assert_eq!(v.get("server").unwrap().as_str(), Some("goccd"));
+}

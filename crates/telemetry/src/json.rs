@@ -120,6 +120,16 @@ impl JsonWriter {
         self
     }
 
+    /// Splices an already-rendered JSON document in as a value — how the
+    /// server nests a [`crate::TelemetryReport`]'s JSON inside its own
+    /// stats document without re-parsing it. The caller owns the claim
+    /// that `json` is well-formed; garbage in, garbage out.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.pad();
+        self.out.push_str(json);
+        self
+    }
+
     /// Convenience: `key` + `u64`.
     pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
         self.key(k).u64(v)
@@ -138,6 +148,11 @@ impl JsonWriter {
     /// Convenience: `key` + `bool`.
     pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
         self.key(k).bool(v)
+    }
+
+    /// Convenience: `key` + `raw`.
+    pub fn field_raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k).raw(json)
     }
 
     /// Finishes and returns the document.
@@ -440,6 +455,33 @@ mod tests {
         assert!(JsonValue::parse("[1,]").is_err());
         assert!(JsonValue::parse("{} extra").is_err());
         assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn raw_splices_nested_documents() {
+        let mut inner = JsonWriter::new();
+        inner.begin_object().field_u64("sites", 3).end_object();
+        let inner = inner.finish();
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("mode", "gocc")
+            .field_raw("telemetry", &inner)
+            .key("list")
+            .begin_array()
+            .raw("1")
+            .raw("2")
+            .end_array()
+            .end_object();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            r#"{"mode":"gocc","telemetry":{"sites":3},"list":[1,2]}"#
+        );
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            v.get("telemetry").unwrap().get("sites").unwrap().as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]

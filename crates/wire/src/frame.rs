@@ -1,0 +1,209 @@
+//! Frame extraction and blocking frame IO.
+//!
+//! [`FrameBuf`] is the server side's incremental reassembly buffer: bytes
+//! arrive in arbitrary chunks from a non-blocking socket, and
+//! [`FrameBuf::next_frame`] hands back complete frame bodies without
+//! copying them out. [`read_frame`]/[`write_frame`] are the blocking
+//! client-side helpers.
+
+use std::io::{self, Read, Write};
+
+use crate::{WireError, MAX_FRAME};
+
+/// Incremental frame reassembly over a byte stream.
+///
+/// Consumed bytes are compacted away lazily so steady-state operation
+/// reuses one allocation.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn compact(&mut self) {
+        // Only pay the memmove once the dead prefix dominates.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Extracts the next complete frame body, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, and
+    /// [`WireError::TooLarge`]/[`WireError::Malformed`] when the header
+    /// itself is invalid (the connection is unrecoverable at that point —
+    /// there is no way to resynchronize a corrupt length prefix).
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len == 0 {
+            return Err(WireError::Malformed("zero-length frame"));
+        }
+        if len > MAX_FRAME {
+            return Err(WireError::TooLarge);
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body_start = self.start + 4;
+        self.start = body_start + len;
+        Ok(Some(&self.buf[body_start..body_start + len]))
+    }
+}
+
+/// Writes one already-encoded frame (or batch of frames) and flushes.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads exactly one frame body into `buf` (cleared first), blocking.
+///
+/// Returns `Ok(false)` on clean EOF at a frame boundary; mid-frame EOF and
+/// invalid headers surface as `io::Error`.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(false),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid frame length {len}"),
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_request, Request};
+
+    #[test]
+    fn reassembles_across_arbitrary_chunking() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Get { key: b"chunky" }, &mut wire);
+        encode_request(&Request::Scan { limit: 5 }, &mut wire);
+        // Feed one byte at a time.
+        let mut fb = FrameBuf::new();
+        let mut seen = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(body) = fb.next_frame().unwrap() {
+                seen.push(body.to_vec());
+            }
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(
+            crate::decode_request(&seen[0]).unwrap(),
+            Request::Get { key: b"chunky" }
+        );
+        assert_eq!(
+            crate::decode_request(&seen[1]).unwrap(),
+            Request::Scan { limit: 5 }
+        );
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn rejects_corrupt_headers() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&[0, 0, 0, 0]);
+        assert_eq!(
+            fb.next_frame(),
+            Err(WireError::Malformed("zero-length frame"))
+        );
+        let mut fb = FrameBuf::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn blocking_roundtrip_over_a_pipe() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats, &mut wire);
+        let mut cursor = io::Cursor::new(wire);
+        let mut body = Vec::new();
+        assert!(read_frame(&mut cursor, &mut body).unwrap());
+        assert_eq!(crate::decode_request(&body).unwrap(), Request::Stats);
+        assert!(!read_frame(&mut cursor, &mut body).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn midframe_eof_is_an_error() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Get { key: b"k" }, &mut wire);
+        wire.truncate(wire.len() - 1);
+        let mut cursor = io::Cursor::new(wire);
+        let mut body = Vec::new();
+        assert!(read_frame(&mut cursor, &mut body).is_err());
+    }
+
+    #[test]
+    fn compaction_preserves_partial_frames() {
+        let mut wire = Vec::new();
+        for i in 0..200u64 {
+            encode_request(
+                &Request::Set {
+                    key: b"somewhat-long-key-for-compaction",
+                    value: i,
+                    ttl: 0,
+                },
+                &mut wire,
+            );
+        }
+        let mut fb = FrameBuf::new();
+        let mut count = 0;
+        // Feed in 7-byte chunks so frames straddle every boundary and the
+        // >4096-byte compaction threshold is crossed repeatedly.
+        for chunk in wire.chunks(7) {
+            fb.extend(chunk);
+            while let Some(body) = fb.next_frame().unwrap() {
+                assert!(matches!(
+                    crate::decode_request(body).unwrap(),
+                    Request::Set { .. }
+                ));
+                count += 1;
+            }
+        }
+        assert_eq!(count, 200);
+    }
+}

@@ -1,0 +1,538 @@
+//! The `goccd` wire protocol: a hand-rolled length-prefixed binary frame
+//! format for the cache service in `crates/server`.
+//!
+//! # Framing
+//!
+//! ```text
+//! frame   := len:u32le body          (len = |body|, 1 ..= MAX_FRAME)
+//! body    := opcode:u8 payload
+//! ```
+//!
+//! Requests and responses share the framing; opcodes with the high bit set
+//! are responses. Payloads are fixed-layout little-endian fields; keys are
+//! length-prefixed byte strings (the server hashes them with `fnv1a` into
+//! its word-oriented store). Decoding is zero-copy-ish: [`Request`] and
+//! [`Response`] borrow key/string payloads straight out of the frame
+//! buffer, and encoding appends to a caller-owned `Vec<u8>` so buffers are
+//! reused across frames.
+//!
+//! # Robustness contract
+//!
+//! [`decode_request`] / [`decode_response`] never panic: any input slice
+//! either decodes to a complete, well-formed message or returns a
+//! [`WireError`]. Payloads must be *exact* — trailing bytes, out-of-range
+//! lengths, non-boolean flag bytes and invalid UTF-8 are all errors, so a
+//! corrupted frame cannot silently alias a valid one. The seeded
+//! fuzz-style suites in `tests/` hold the decoder to this.
+
+mod frame;
+
+pub use frame::{read_frame, write_frame, FrameBuf};
+
+/// Hard ceiling on the body size of a single frame (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Hard ceiling on a key's length in bytes.
+pub const MAX_KEY: usize = 1024;
+
+/// Hard ceiling on the entry count a SCAN may request.
+pub const MAX_SCAN: u32 = 4096;
+
+/// Why a frame or message failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the message did.
+    Truncated,
+    /// A declared length exceeds its ceiling ([`MAX_FRAME`], [`MAX_KEY`]
+    /// or [`MAX_SCAN`]).
+    TooLarge,
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+    /// Structurally invalid payload (trailing bytes, bad flag byte, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::TooLarge => write!(f, "declared length exceeds protocol limit"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// Look up a key.
+    Get {
+        /// Key bytes.
+        key: &'a [u8],
+    },
+    /// Store `value` under `key`; `ttl` is in logical ticks, 0 = never
+    /// expires.
+    Set {
+        /// Key bytes.
+        key: &'a [u8],
+        /// Value word.
+        value: u64,
+        /// Expiration in logical ticks (0 = none).
+        ttl: u64,
+    },
+    /// Remove a key.
+    Del {
+        /// Key bytes.
+        key: &'a [u8],
+    },
+    /// Add `delta` (wrapping) to the value under `key`, treating a missing
+    /// key as 0; returns the new value.
+    Incr {
+        /// Key bytes.
+        key: &'a [u8],
+        /// Wrapping increment.
+        delta: u64,
+    },
+    /// Return up to `limit` `(hashed_key, value)` pairs.
+    Scan {
+        /// Maximum entries to return (≤ [`MAX_SCAN`]).
+        limit: u32,
+    },
+    /// Fetch the server's statistics/telemetry JSON document.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response<'a> {
+    /// GET result.
+    Value {
+        /// Whether the key was present (and unexpired).
+        found: bool,
+        /// The value (0 when absent).
+        value: u64,
+    },
+    /// SET acknowledged.
+    Done,
+    /// DEL result.
+    Deleted {
+        /// Whether the key existed.
+        existed: bool,
+    },
+    /// INCR result: the post-increment value.
+    Counter {
+        /// New value.
+        value: u64,
+    },
+    /// SCAN result: `(hashed_key, value)` pairs.
+    Entries {
+        /// The pairs, in table order.
+        pairs: Vec<(u64, u64)>,
+    },
+    /// STATS result: a JSON document.
+    Stats {
+        /// The server's stats/telemetry JSON.
+        json: &'a str,
+    },
+    /// SHUTDOWN acknowledged; the server will close the connection.
+    Bye,
+    /// The request failed; the connection stays usable unless the error
+    /// was a framing violation (the server closes it after sending this).
+    Error {
+        /// Human-readable cause.
+        message: &'a str,
+    },
+}
+
+// Request opcodes.
+const OP_GET: u8 = 0x01;
+const OP_SET: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_INCR: u8 = 0x04;
+const OP_SCAN: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_SHUTDOWN: u8 = 0x07;
+// Response opcodes (high bit set).
+const OP_VALUE: u8 = 0x81;
+const OP_DONE: u8 = 0x82;
+const OP_DELETED: u8 = 0x83;
+const OP_COUNTER: u8 = 0x84;
+const OP_ENTRIES: u8 = 0x85;
+const OP_STATS_R: u8 = 0x86;
+const OP_BYE: u8 = 0x87;
+const OP_ERROR: u8 = 0xFF;
+
+/// Sequential reader over a payload slice; every accessor is
+/// bounds-checked and returns [`WireError::Truncated`] past the end.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn key(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u16()? as usize;
+        if len > MAX_KEY {
+            return Err(WireError::TooLarge);
+        }
+        self.take(len)
+    }
+
+    fn flag(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("flag byte not 0/1")),
+        }
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_key(out: &mut Vec<u8>, key: &[u8]) {
+    assert!(key.len() <= MAX_KEY, "key exceeds MAX_KEY");
+    put_u16(out, key.len() as u16);
+    out.extend_from_slice(key);
+}
+
+/// Appends a complete frame (header + opcode + payload) for `req` to
+/// `out`. The buffer is not cleared, so responses/requests can be batched.
+pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
+    let header = out.len();
+    put_u32(out, 0); // patched below
+    match req {
+        Request::Get { key } => {
+            out.push(OP_GET);
+            put_key(out, key);
+        }
+        Request::Set { key, value, ttl } => {
+            out.push(OP_SET);
+            put_key(out, key);
+            put_u64(out, *value);
+            put_u64(out, *ttl);
+        }
+        Request::Del { key } => {
+            out.push(OP_DEL);
+            put_key(out, key);
+        }
+        Request::Incr { key, delta } => {
+            out.push(OP_INCR);
+            put_key(out, key);
+            put_u64(out, *delta);
+        }
+        Request::Scan { limit } => {
+            out.push(OP_SCAN);
+            put_u32(out, *limit);
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+    patch_len(out, header);
+}
+
+/// Appends a complete frame for `resp` to `out`.
+pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
+    let header = out.len();
+    put_u32(out, 0);
+    match resp {
+        Response::Value { found, value } => {
+            out.push(OP_VALUE);
+            out.push(u8::from(*found));
+            put_u64(out, *value);
+        }
+        Response::Done => out.push(OP_DONE),
+        Response::Deleted { existed } => {
+            out.push(OP_DELETED);
+            out.push(u8::from(*existed));
+        }
+        Response::Counter { value } => {
+            out.push(OP_COUNTER);
+            put_u64(out, *value);
+        }
+        Response::Entries { pairs } => {
+            assert!(
+                pairs.len() <= MAX_SCAN as usize,
+                "entry count exceeds MAX_SCAN"
+            );
+            out.push(OP_ENTRIES);
+            put_u32(out, pairs.len() as u32);
+            for &(k, v) in pairs {
+                put_u64(out, k);
+                put_u64(out, v);
+            }
+        }
+        Response::Stats { json } => {
+            out.push(OP_STATS_R);
+            put_u32(out, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Response::Bye => out.push(OP_BYE),
+        Response::Error { message } => {
+            out.push(OP_ERROR);
+            let msg = &message.as_bytes()[..message.len().min(512)];
+            put_u16(out, msg.len() as u16);
+            out.extend_from_slice(msg);
+        }
+    }
+    patch_len(out, header);
+}
+
+fn patch_len(out: &mut [u8], header: usize) {
+    let body = out.len() - header - 4;
+    assert!(body >= 1 && body <= MAX_FRAME, "frame body out of range");
+    out[header..header + 4].copy_from_slice(&(body as u32).to_le_bytes());
+}
+
+/// Decodes a frame *body* (opcode + payload, header already stripped) as
+/// a request. Never panics; unknown opcodes, truncation, limit violations
+/// and trailing bytes all yield `Err`.
+pub fn decode_request(body: &[u8]) -> Result<Request<'_>, WireError> {
+    let mut c = Cursor::new(body);
+    let req = match c.u8()? {
+        OP_GET => Request::Get { key: c.key()? },
+        OP_SET => Request::Set {
+            key: c.key()?,
+            value: c.u64()?,
+            ttl: c.u64()?,
+        },
+        OP_DEL => Request::Del { key: c.key()? },
+        OP_INCR => Request::Incr {
+            key: c.key()?,
+            delta: c.u64()?,
+        },
+        OP_SCAN => {
+            let limit = c.u32()?;
+            if limit > MAX_SCAN {
+                return Err(WireError::TooLarge);
+            }
+            Request::Scan { limit }
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(WireError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decodes a frame body as a response, with the same no-panic contract as
+/// [`decode_request`].
+pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
+    let mut c = Cursor::new(body);
+    let resp = match c.u8()? {
+        OP_VALUE => Response::Value {
+            found: c.flag()?,
+            value: c.u64()?,
+        },
+        OP_DONE => Response::Done,
+        OP_DELETED => Response::Deleted { existed: c.flag()? },
+        OP_COUNTER => Response::Counter { value: c.u64()? },
+        OP_ENTRIES => {
+            let count = c.u32()?;
+            if count > MAX_SCAN {
+                return Err(WireError::TooLarge);
+            }
+            let mut pairs = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                pairs.push((c.u64()?, c.u64()?));
+            }
+            Response::Entries { pairs }
+        }
+        OP_STATS_R => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME {
+                return Err(WireError::TooLarge);
+            }
+            let bytes = c.take(len)?;
+            let json =
+                std::str::from_utf8(bytes).map_err(|_| WireError::Malformed("stats not UTF-8"))?;
+            Response::Stats { json }
+        }
+        OP_BYE => Response::Bye,
+        OP_ERROR => {
+            let len = c.u16()? as usize;
+            let bytes = c.take(len)?;
+            let message =
+                std::str::from_utf8(bytes).map_err(|_| WireError::Malformed("error not UTF-8"))?;
+            Response::Error { message }
+        }
+        op => return Err(WireError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request<'_>) {
+        let mut out = Vec::new();
+        encode_request(&req, &mut out);
+        let body = &out[4..];
+        assert_eq!(
+            u32::from_le_bytes(out[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert_eq!(decode_request(body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response<'_>) {
+        let mut out = Vec::new();
+        encode_response(&resp, &mut out);
+        assert_eq!(decode_response(&out[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_request(Request::Get { key: b"alpha" });
+        roundtrip_request(Request::Set {
+            key: b"",
+            value: u64::MAX,
+            ttl: 7,
+        });
+        roundtrip_request(Request::Del { key: b"k" });
+        roundtrip_request(Request::Incr {
+            key: b"counter",
+            delta: 3,
+        });
+        roundtrip_request(Request::Scan { limit: MAX_SCAN });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_response(Response::Value {
+            found: true,
+            value: 42,
+        });
+        roundtrip_response(Response::Value {
+            found: false,
+            value: 0,
+        });
+        roundtrip_response(Response::Done);
+        roundtrip_response(Response::Deleted { existed: true });
+        roundtrip_response(Response::Counter { value: 9 });
+        roundtrip_response(Response::Entries {
+            pairs: vec![(1, 2), (u64::MAX, 0)],
+        });
+        roundtrip_response(Response::Entries { pairs: vec![] });
+        roundtrip_response(Response::Stats {
+            json: r#"{"ok":true}"#,
+        });
+        roundtrip_response(Response::Bye);
+        roundtrip_response(Response::Error { message: "nope" });
+    }
+
+    #[test]
+    fn batched_frames_share_one_buffer() {
+        let mut out = Vec::new();
+        encode_request(&Request::Get { key: b"a" }, &mut out);
+        let first = out.len();
+        encode_request(&Request::Stats, &mut out);
+        assert_eq!(
+            decode_request(&out[4..first]).unwrap(),
+            Request::Get { key: b"a" }
+        );
+        assert_eq!(decode_request(&out[first + 4..]).unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut out = Vec::new();
+        encode_request(&Request::Stats, &mut out);
+        let mut body = out[4..].to_vec();
+        body.push(0);
+        assert_eq!(
+            decode_request(&body),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn oversized_declarations_rejected() {
+        // key_len beyond MAX_KEY with no actual bytes behind it.
+        let mut body = vec![OP_GET];
+        put_u16(&mut body, (MAX_KEY + 1) as u16);
+        assert_eq!(decode_request(&body), Err(WireError::TooLarge));
+        let mut body = vec![OP_SCAN];
+        put_u32(&mut body, MAX_SCAN + 1);
+        assert_eq!(decode_request(&body), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn flag_bytes_are_strict() {
+        let mut body = vec![OP_VALUE, 2];
+        put_u64(&mut body, 1);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        assert_eq!(decode_request(&[0x7E]), Err(WireError::UnknownOpcode(0x7E)));
+        assert_eq!(
+            decode_response(&[0x10]),
+            Err(WireError::UnknownOpcode(0x10))
+        );
+        assert_eq!(decode_request(&[]), Err(WireError::Truncated));
+    }
+}

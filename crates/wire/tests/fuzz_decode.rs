@@ -1,0 +1,178 @@
+//! Fuzz-style decoder suites on seeded SplitMix64 corpora.
+//!
+//! The contract under test: for *any* byte slice, `decode_request` /
+//! `decode_response` and `FrameBuf::next_frame` either produce a complete,
+//! well-formed message or return `Err` — they never panic, never loop, and
+//! never read out of bounds. Three corpora exercise it: pure random bytes,
+//! truncations of valid frames, and single-byte mutations of valid frames.
+
+use gocc_telemetry::SplitMix64;
+use gocc_wire::{
+    decode_request, decode_response, encode_request, encode_response, FrameBuf, Request, Response,
+};
+
+/// A deterministic pool of valid requests covering every verb.
+fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<'a> {
+    keybuf.clear();
+    let keylen = rng.below_usize(24);
+    for _ in 0..keylen {
+        keybuf.push(rng.next_u64() as u8);
+    }
+    match rng.below(7) {
+        0 => Request::Get { key: keybuf },
+        1 => Request::Set {
+            key: keybuf,
+            value: rng.next_u64(),
+            ttl: rng.below(100),
+        },
+        2 => Request::Del { key: keybuf },
+        3 => Request::Incr {
+            key: keybuf,
+            delta: rng.next_u64(),
+        },
+        4 => Request::Scan {
+            limit: rng.below(u64::from(gocc_wire::MAX_SCAN) + 1) as u32,
+        },
+        5 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
+    match rng.below(8) {
+        0 => Response::Value {
+            found: rng.flip(),
+            value: rng.next_u64(),
+        },
+        1 => Response::Done,
+        2 => Response::Deleted {
+            existed: rng.flip(),
+        },
+        3 => Response::Counter {
+            value: rng.next_u64(),
+        },
+        4 => {
+            let n = rng.below_usize(50);
+            Response::Entries {
+                pairs: (0..n).map(|_| (rng.next_u64(), rng.next_u64())).collect(),
+            }
+        }
+        5 => Response::Stats {
+            json: r#"{"mode":"gocc","requests":12}"#,
+        },
+        6 => Response::Bye,
+        _ => Response::Error {
+            message: "seeded failure",
+        },
+    }
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    let mut buf = Vec::new();
+    for _ in 0..20_000 {
+        buf.clear();
+        let len = rng.below_usize(64);
+        for _ in 0..len {
+            buf.push(rng.next_u64() as u8);
+        }
+        // Any result is acceptable; the process not panicking is the test.
+        let _ = decode_request(&buf);
+        let _ = decode_response(&buf);
+    }
+}
+
+#[test]
+fn truncations_of_valid_frames_always_err() {
+    let mut rng = SplitMix64::new(42);
+    let mut keybuf = Vec::new();
+    let mut wire = Vec::new();
+    for _ in 0..500 {
+        wire.clear();
+        let req = sample_request(&mut rng, &mut keybuf);
+        encode_request(&req, &mut wire);
+        let body = &wire[4..];
+        assert_eq!(
+            decode_request(body).unwrap(),
+            req,
+            "sanity: full body decodes"
+        );
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "strict truncation at {cut}/{} must not decode: {req:?}",
+                body.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_response_bodies_always_err() {
+    let mut rng = SplitMix64::new(1337);
+    let mut wire = Vec::new();
+    for _ in 0..500 {
+        wire.clear();
+        let resp = sample_response(&mut rng);
+        encode_response(&resp, &mut wire);
+        let body = &wire[4..];
+        assert_eq!(decode_response(body).unwrap(), resp);
+        for cut in 0..body.len() {
+            assert!(decode_response(&body[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn single_byte_mutations_decode_or_err_but_never_panic() {
+    let mut rng = SplitMix64::new(7);
+    let mut keybuf = Vec::new();
+    let mut wire = Vec::new();
+    for _ in 0..300 {
+        wire.clear();
+        let req = sample_request(&mut rng, &mut keybuf);
+        encode_request(&req, &mut wire);
+        let body = wire[4..].to_vec();
+        for _ in 0..16 {
+            let mut mutated = body.clone();
+            let idx = rng.below_usize(mutated.len());
+            mutated[idx] ^= 1 << rng.below(8);
+            // Either a clean decode of *some* message or a clean error.
+            let _ = decode_request(&mutated);
+            let _ = decode_response(&mutated);
+        }
+    }
+}
+
+#[test]
+fn frame_stream_with_garbage_tail_yields_frames_then_error() {
+    let mut rng = SplitMix64::new(99);
+    let mut keybuf = Vec::new();
+    let mut wire = Vec::new();
+    let mut expected = 0;
+    for _ in 0..20 {
+        let req = sample_request(&mut rng, &mut keybuf);
+        encode_request(&req, &mut wire);
+        expected += 1;
+    }
+    // A corrupt header after the valid prefix: length 0 is never legal.
+    wire.extend_from_slice(&[0, 0, 0, 0]);
+    let mut fb = FrameBuf::new();
+    fb.extend(&wire);
+    let mut seen = 0;
+    loop {
+        match fb.next_frame() {
+            Ok(Some(body)) => {
+                decode_request(body).expect("prefix frames are valid");
+                seen += 1;
+            }
+            Ok(None) => panic!("must hit the corrupt header, not starvation"),
+            Err(_) => break,
+        }
+    }
+    assert_eq!(
+        seen, expected,
+        "every valid frame surfaced before the error"
+    );
+}

@@ -78,15 +78,24 @@ pub struct Cache {
 }
 
 impl Cache {
+    /// Creates an empty cache with room for `capacity` entries (the
+    /// server's constructor: capacity is a deployment decision there, not
+    /// a function of preloaded benchmark keys). `TxMap` probing degrades
+    /// near full occupancy, so size at roughly 2× the expected key count.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Cache {
+            lock: ElidableRwMutex::new(),
+            items: TxMap::with_capacity(capacity),
+            expirations: TxMap::with_capacity(capacity),
+            now: gocc_txds::TxCounter::new(1),
+        }
+    }
+
     /// Creates a cache preloaded with `preload` non-expiring keys.
     #[must_use]
     pub fn new(rt: &gocc_htm::HtmRuntime, preload: usize) -> Self {
-        let c = Cache {
-            lock: ElidableRwMutex::new(),
-            items: TxMap::with_capacity(preload * 4),
-            expirations: TxMap::with_capacity(preload * 4),
-            now: gocc_txds::TxCounter::new(1),
-        };
+        let c = Cache::with_capacity(preload * 4);
         let mut tx = Tx::direct(rt);
         for i in 0..preload {
             c.items
@@ -127,13 +136,46 @@ impl Cache {
         });
     }
 
-    /// `CacheDelete`.
-    pub fn delete(&self, engine: &Engine<'_>, key: u64) {
+    /// `CacheDelete`. Returns whether the key existed.
+    pub fn delete(&self, engine: &Engine<'_>, key: u64) -> bool {
         engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
-            self.items.remove(tx, key)?;
+            let existed = self.items.remove(tx, key)?.is_some();
             self.expirations.remove(tx, key)?;
-            Ok(())
-        });
+            Ok(existed)
+        })
+    }
+
+    /// `CacheIncrement`: wrapping add to the value under `key`, treating a
+    /// missing key as 0; returns the new value. The read-modify-write runs
+    /// as one critical section, so concurrent increments never lose
+    /// updates in either mode.
+    pub fn incr(&self, engine: &Engine<'_>, key: u64, delta: u64) -> u64 {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            let cur = self.items.get(tx, key)?.unwrap_or(0);
+            let new = cur.wrapping_add(delta);
+            self.items.insert(tx, key, new)?;
+            Ok(new)
+        })
+    }
+
+    /// Dumps up to `limit` `(key, value)` pairs under `RLock`, in table
+    /// order (expiration stamps are not consulted — this is the cheap
+    /// diagnostic dump, not a point lookup). The full-table walk makes a
+    /// deliberately large read set: under GOCC this is the
+    /// capacity-abort generator among the server's verbs.
+    pub fn scan(&self, engine: &Engine<'_>, limit: usize) -> Vec<(u64, u64)> {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            // Built fresh on every attempt: an aborted speculation re-runs
+            // the closure, and entries from the doomed attempt must not
+            // survive into the retry.
+            let mut out = Vec::new();
+            self.items.for_each(tx, |k, v| {
+                if out.len() < limit {
+                    out.push((k, v));
+                }
+            })?;
+            Ok(out)
+        })
     }
 
     /// Advances the logical clock (harness only, not a benchmark op).
@@ -216,8 +258,64 @@ mod tests {
         let c = Cache::new(rt.htm(), 8);
         let engine = Engine::new(&rt, Mode::Lock);
         assert_eq!(c.item_count(&engine), 8);
-        c.delete(&engine, RwMap::key(2));
+        assert!(c.delete(&engine, RwMap::key(2)));
+        assert!(!c.delete(&engine, RwMap::key(2)), "second delete misses");
         assert_eq!(c.get(&engine, RwMap::key(2)), None);
         assert_eq!(c.item_count(&engine), 7);
+    }
+
+    #[test]
+    fn incr_treats_missing_as_zero_and_wraps() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::new(rt.htm(), 4);
+            let engine = Engine::new(&rt, mode);
+            let k = RwMap::key(77);
+            assert_eq!(c.incr(&engine, k, 5), 5, "missing key starts at 0");
+            assert_eq!(c.incr(&engine, k, 3), 8);
+            assert_eq!(c.get(&engine, k), Some(8));
+            c.set(&engine, k, u64::MAX, 0);
+            assert_eq!(c.incr(&engine, k, 2), 1, "wrapping add");
+        }
+    }
+
+    #[test]
+    fn concurrent_incrs_never_lose_updates() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::new(rt.htm(), 4);
+            let engine = Engine::new(&rt, mode);
+            let k = RwMap::key(5000);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let (engine, c) = (&engine, &c);
+                    s.spawn(move || {
+                        for _ in 0..250 {
+                            c.incr(engine, k, 1);
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.get(&engine, k), Some(1000), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn scan_dumps_entries_with_limit() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::new(rt.htm(), 16);
+            let engine = Engine::new(&rt, mode);
+            let all = c.scan(&engine, 1000);
+            assert_eq!(all.len(), 16);
+            let mut sorted: Vec<u64> = all.iter().map(|&(_, v)| v).collect();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<u64>>());
+            assert_eq!(c.scan(&engine, 3).len(), 3, "limit respected");
+            assert_eq!(c.scan(&engine, 0).len(), 0);
+        }
     }
 }

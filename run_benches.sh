@@ -1,19 +1,49 @@
 #!/bin/sh
 # Regenerates every paper artifact: console tables into bench_output.txt,
 # machine-readable BENCH_<name>.json files into bench_artifacts/.
+#
+# Each binary's exit status is recorded individually (a plain pipeline
+# would report only grep's status and silently swallow bench failures);
+# any failure is listed at the end and makes this script exit nonzero.
 set -u
 cd "$(dirname "$0")"
 out=bench_output.txt
 artifacts=bench_artifacts
+failures=""
 : > "$out"
 mkdir -p "$artifacts"
-for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation; do
-  echo "===== $bin =====" >> "$out"
-  timeout 900 ./target/release/$bin 2>&1 | grep -v 'WARNING conda' >> "$out"
+
+# run_step NAME CMD... — append CMD's filtered output to $out, remember
+# NAME if it failed.
+run_step() {
+  name=$1
+  shift
+  echo "===== $name =====" >> "$out"
+  status_file=$(mktemp)
+  { timeout 900 "$@" 2>&1; echo $? > "$status_file"; } \
+    | grep -v 'WARNING conda' >> "$out"
+  status=$(cat "$status_file")
+  rm -f "$status_file"
+  if [ "$status" -ne 0 ]; then
+    echo "FAILED $name (status $status)" | tee -a "$out"
+    failures="$failures $name"
+  fi
   echo >> "$out"
+}
+
+for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation; do
+  run_step "$bin" "./target/release/$bin"
 done
+
+# Server throughput: self-hosted goccd sweep in both modes (S1).
+run_step loadgen ./target/release/loadgen --mode both --workers 4
+
 for f in BENCH_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"
 done
 echo "artifacts: $(ls "$artifacts" | wc -l) JSON files in $artifacts/" >> "$out"
+if [ -n "$failures" ]; then
+  echo "BENCHES_FAILED:$failures" | tee -a "$out"
+  exit 1
+fi
 echo BENCHES_DONE >> "$out"

@@ -38,4 +38,45 @@ cargo test -q --offline --workspace
 echo "== formatting =="
 cargo fmt --check
 
+echo "== goccd loopback smoke =="
+# Boot the real daemon on an ephemeral port in each mode, hit it with a
+# short loadgen burst over real sockets, and require a clean SHUTDOWN.
+# loadgen itself asserts that the STATS response parses with the
+# telemetry JSON parser and reports the expected mode.
+for mode in lock gocc; do
+  log=$(mktemp)
+  ./target/release/goccd --mode "$mode" --port 0 --workers 2 > "$log" &
+  goccd_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(awk '/^LISTENING /{print $2}' "$log")
+    [ -n "$port" ] && break
+    if ! kill -0 "$goccd_pid" 2>/dev/null; then
+      echo "FAIL: goccd ($mode) died before listening" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "FAIL: goccd ($mode) never printed LISTENING" >&2
+    kill "$goccd_pid" 2>/dev/null || true
+    exit 1
+  fi
+  ./target/release/loadgen --addr "127.0.0.1:$port" --mode "$mode" \
+    --workers 2 --warmup-ms 50 --window-ms 200 --shutdown
+  if ! wait "$goccd_pid"; then
+    echo "FAIL: goccd ($mode) did not shut down cleanly" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  grep -q "goccd shut down:" "$log" || {
+    echo "FAIL: goccd ($mode) printed no shutdown summary" >&2
+    cat "$log" >&2
+    exit 1
+  }
+  echo "ok: goccd $mode smoke (port $port)"
+  rm -f "$log"
+done
+
 echo "CI_OK"

@@ -49,7 +49,9 @@ fn run_cache(mode: Mode, ops: &[CacheOp]) -> Vec<Option<u64>> {
                 );
             }
             CacheOp::Get(k) => observations.push(cache.get(&engine, RwMap::key(*k as usize))),
-            CacheOp::Delete(k) => cache.delete(&engine, RwMap::key(*k as usize)),
+            CacheOp::Delete(k) => {
+                cache.delete(&engine, RwMap::key(*k as usize));
+            }
             CacheOp::Tick => cache.tick(&engine),
         }
     }
