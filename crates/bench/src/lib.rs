@@ -295,6 +295,7 @@ pub fn stats_fields(w: &mut JsonWriter, htm: &StatsSnapshot, opti: &OptiStatsSna
         .field_u64("perceptron_slow", opti.perceptron_slow)
         .field_u64("single_thread_bypass", opti.single_thread_bypass)
         .field_u64("mismatch_recoveries", opti.mismatch_recoveries)
+        .field_u64("watchdog_forced", opti.watchdog_forced)
         .end_object();
 }
 

@@ -1,0 +1,92 @@
+//! Lock/Unlock mis-pairing injection.
+//!
+//! GOCC's transform pairs each `Lock` with a post-dominating `Unlock` and
+//! relies on runtime mutex-mismatch detection (paper §5.4, Listing 19's
+//! `FastUnlock` check) to recover when a pair was mis-identified — the
+//! classic trigger being hand-over-hand locking. This plan tells a chaos
+//! driver *when* to emit such a mis-paired sequence: the driver holds two
+//! locks and, on `mispair() == true`, unlocks the *other* one inside the
+//! elided section, which must surface as a mismatch recovery (never a
+//! panic, never silent corruption).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::seq::SeqTable;
+use crate::{decide, unit};
+
+/// Deterministic per-site mis-pairing schedule.
+#[derive(Debug)]
+pub struct PairingFaultPlan {
+    seed: u64,
+    rate: f64,
+    seq: SeqTable,
+    injected: AtomicU64,
+}
+
+impl PairingFaultPlan {
+    /// A plan mis-pairing each decision with probability `rate`.
+    #[must_use]
+    pub fn new(seed: u64, rate: f64) -> Self {
+        PairingFaultPlan {
+            seed,
+            rate,
+            seq: SeqTable::new(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured mis-pairing rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws the next decision for `site`: should this section mis-pair
+    /// its unlock? Advances the site's decision index.
+    pub fn mispair(&self, site: usize) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        let n = self.seq.next(site);
+        let hit = unit(decide(self.seed, site as u64, n)) < self.rate;
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Number of mis-pairings injected so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let plan = PairingFaultPlan::new(8, 0.0);
+        assert!((0..100).all(|_| !plan.mispair(1)));
+        assert_eq!(plan.count(), 0);
+    }
+
+    #[test]
+    fn full_rate_always_fires_and_counts() {
+        let plan = PairingFaultPlan::new(8, 1.0);
+        assert!((0..100).all(|_| plan.mispair(1)));
+        assert_eq!(plan.count(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_site() {
+        let a = PairingFaultPlan::new(21, 0.5);
+        let b = PairingFaultPlan::new(21, 0.5);
+        let sa: Vec<bool> = (0..200).map(|_| a.mispair(9)).collect();
+        let sb: Vec<bool> = (0..200).map(|_| b.mispair(9)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&x| x) && sa.iter().any(|&x| !x));
+    }
+}

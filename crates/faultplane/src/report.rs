@@ -1,0 +1,102 @@
+//! Snapshot of everything a [`crate::FaultPlane`] injected.
+//!
+//! The report is `Eq`, which is the replay-by-seed check in executable
+//! form: a deterministic driver re-run under the same seed must produce a
+//! byte-identical report (`chaos_soak` asserts exactly this).
+
+use gocc_telemetry::JsonWriter;
+
+use crate::{INJECTED_ABORT_NAMES, TRANSPORT_FAULT_NAMES};
+
+/// Injected-fault counts across all three plans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Root seed the plane was built from.
+    pub seed: u64,
+    /// Injected HTM aborts, indexed per `InjectedAbort::index`.
+    pub htm_injected: [u64; 4],
+    /// Injected Lock/Unlock mis-pairings.
+    pub pairing_injected: u64,
+    /// Injected transport faults, indexed per `TransportFault::index`.
+    pub transport_injected: [u64; 4],
+}
+
+impl FaultReport {
+    /// Total injections across every plan.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.htm_injected.iter().sum::<u64>()
+            + self.pairing_injected
+            + self.transport_injected.iter().sum::<u64>()
+    }
+
+    /// Renders the report as a stable-order JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object().field_u64("seed", self.seed);
+        w.key("htm_injected").begin_object();
+        for (name, count) in INJECTED_ABORT_NAMES.iter().zip(self.htm_injected) {
+            w.field_u64(name, count);
+        }
+        w.end_object();
+        w.field_u64("pairing_injected", self.pairing_injected);
+        w.key("transport_injected").begin_object();
+        for (name, count) in TRANSPORT_FAULT_NAMES.iter().zip(self.transport_injected) {
+            w.field_u64(name, count);
+        }
+        w.end_object();
+        w.field_u64("total", self.total());
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_telemetry::JsonValue;
+
+    #[test]
+    fn json_roundtrips() {
+        let report = FaultReport {
+            seed: 7,
+            htm_injected: [1, 2, 3, 4],
+            pairing_injected: 5,
+            transport_injected: [6, 7, 8, 9],
+        };
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            v.get("htm_injected")
+                .unwrap()
+                .get("capacity")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("transport_injected")
+                .unwrap()
+                .get("reset")
+                .unwrap()
+                .as_f64(),
+            Some(9.0)
+        );
+        assert_eq!(v.get("total").unwrap().as_f64(), Some(45.0));
+    }
+
+    #[test]
+    fn equality_is_the_replay_check() {
+        let a = FaultReport {
+            seed: 1,
+            htm_injected: [0; 4],
+            pairing_injected: 0,
+            transport_injected: [0; 4],
+        };
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.pairing_injected = 1;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-key decision sequence counters.
+//!
+//! Every fault decision is keyed by `(key, n)` where `n` is the key's own
+//! monotonically increasing decision index. Keys must not share counters —
+//! a shared counter would let an unrelated key's traffic shift this key's
+//! schedule, breaking replay-by-seed for partitioned drivers. So the table
+//! stores exact keys with lock-free open addressing rather than hashing
+//! into a lossy fixed grid.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel for an unclaimed slot. Keys are call-site addresses or small
+/// stream ids; `usize::MAX` collides with neither.
+const EMPTY: usize = usize::MAX;
+
+/// Number of slots. Sized for "sites in one process" (call sites are
+/// static addresses; streams are connection indices) — far more than any
+/// driver uses. The last slot acts as a shared overflow counter so the
+/// table degrades (loses per-key isolation, keeps determinism for
+/// single-threaded drivers) instead of failing when full.
+const SLOTS: usize = 4096;
+
+/// Lock-free exact-key table of `u64` counters.
+pub struct SeqTable {
+    keys: Box<[AtomicUsize]>,
+    counts: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for SeqTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqTable").field("slots", &SLOTS).finish()
+    }
+}
+
+impl Default for SeqTable {
+    fn default() -> Self {
+        SeqTable::new()
+    }
+}
+
+impl SeqTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SeqTable {
+            keys: (0..SLOTS).map(|_| AtomicUsize::new(EMPTY)).collect(),
+            counts: (0..SLOTS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Claims or finds the slot for `key`, returning its index.
+    fn slot(&self, key: usize) -> usize {
+        // Fibonacci hashing spreads pointer-like keys well.
+        let mut idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % (SLOTS - 1);
+        for _ in 0..SLOTS - 1 {
+            let cur = self.keys[idx].load(Ordering::Acquire);
+            if cur == key {
+                return idx;
+            }
+            if cur == EMPTY {
+                match self.keys[idx].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return idx,
+                    Err(actual) if actual == key => return idx,
+                    Err(_) => {}
+                }
+            }
+            idx = (idx + 1) % (SLOTS - 1);
+        }
+        SLOTS - 1 // shared overflow slot
+    }
+
+    /// Returns the next decision index for `key` (0, 1, 2, … per key).
+    pub fn next(&self, key: usize) -> u64 {
+        self.counts[self.slot(key)].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The number of decisions drawn so far for `key`.
+    #[must_use]
+    pub fn drawn(&self, key: usize) -> u64 {
+        self.counts[self.slot(key)].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_key_sequences_are_independent() {
+        let t = SeqTable::new();
+        assert_eq!(t.next(10), 0);
+        assert_eq!(t.next(20), 0);
+        assert_eq!(t.next(10), 1);
+        assert_eq!(t.next(10), 2);
+        assert_eq!(t.next(20), 1);
+        assert_eq!(t.drawn(10), 3);
+        assert_eq!(t.drawn(20), 2);
+    }
+
+    #[test]
+    fn survives_many_distinct_keys() {
+        let t = SeqTable::new();
+        // More keys than slots: the tail shares the overflow counter but
+        // nothing panics and early keys keep exact sequences.
+        for key in 0..2 * SLOTS {
+            let _ = t.next(key);
+        }
+        assert_eq!(t.next(0), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_do_not_lose_counts() {
+        let t = SeqTable::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.next(77);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.drawn(77), 4000);
+    }
+}

@@ -20,11 +20,13 @@
 //! heuristic and the `optiLib` single-thread bypass consult.
 
 mod mutex;
+mod pairing;
 mod procs;
 mod rwmutex;
 mod sema;
 
 pub use mutex::{GoMutex, GoMutexGuard};
+pub use pairing::{lock_id, LockLedger};
 pub use procs::{procs, set_procs};
 pub use rwmutex::{GoRwMutex, GoRwReadGuard, GoRwWriteGuard};
 pub use sema::Semaphore;

@@ -1,5 +1,9 @@
 //! Tunables for the simulated HTM.
 
+use std::sync::Arc;
+
+use gocc_faultplane::HtmFaultPlan;
+
 /// Configuration of the simulated HTM's capacity and structure.
 ///
 /// The defaults model an Intel Coffee Lake core (the paper's testbed): the
@@ -24,6 +28,12 @@ pub struct HtmConfig {
     /// rate real TSX exhibits even single-threaded (see the paper's §2,
     /// challenge 3). Zero by default for determinism.
     pub spurious_abort_rate: f64,
+    /// Deterministic fault-injection plan. When set, each fast-path
+    /// transaction attempt draws once from the plan (keyed by the call
+    /// site installed via `Tx::set_fault_site`) and aborts with the drawn
+    /// cause — the seeded chaos harness uses this to force every retry /
+    /// fallback branch. `None` (the default) injects nothing.
+    pub fault_plan: Option<Arc<HtmFaultPlan>>,
 }
 
 impl HtmConfig {
@@ -36,6 +46,7 @@ impl HtmConfig {
             max_nesting_depth: 7,
             stripe_bits: 18,
             spurious_abort_rate: 0.0,
+            fault_plan: None,
         }
     }
 
@@ -49,6 +60,7 @@ impl HtmConfig {
             max_nesting_depth: 3,
             stripe_bits: 6,
             spurious_abort_rate: 0.0,
+            fault_plan: None,
         }
     }
 }

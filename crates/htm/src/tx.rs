@@ -99,6 +99,13 @@ pub struct Tx<'a> {
     doomed: Option<AbortCause>,
     rng: u64,
     spurious_threshold: u64,
+    /// Fault-injection key: the elided call site, installed by the layer
+    /// above (`optilock`) right after `Tx::fast`. 0 = "unknown site".
+    fault_site: usize,
+    /// Whether this attempt already consumed its injection draw. One draw
+    /// per attempt keeps the injected rate per-attempt (not per-op) and
+    /// makes injected counts equal doomed-attempt counts.
+    fault_pending: bool,
 }
 
 impl<'a> Tx<'a> {
@@ -125,6 +132,8 @@ impl<'a> Tx<'a> {
             doomed: None,
             rng: rv.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9E37_79B9,
             spurious_threshold,
+            fault_site: 0,
+            fault_pending: rt.config().fault_plan.is_some(),
         }
     }
 
@@ -145,7 +154,16 @@ impl<'a> Tx<'a> {
             doomed: None,
             rng: 0,
             spurious_threshold: 0,
+            fault_site: 0,
+            fault_pending: false,
         }
+    }
+
+    /// Installs the fault-injection key for this attempt (the elided call
+    /// site). Must be called before the first transactional operation so
+    /// the lazy injection draw is attributed to the right site.
+    pub fn set_fault_site(&mut self, site: usize) {
+        self.fault_site = site;
     }
 
     /// The execution mode of this context.
@@ -207,6 +225,33 @@ impl<'a> Tx<'a> {
         Ok(())
     }
 
+    /// Draws this attempt's injected fault, if a plan is configured.
+    ///
+    /// Lazy (first fault-checkable operation) so the call site set by the
+    /// layer above is already installed; at most one draw per attempt.
+    fn maybe_injected(&mut self) -> TxResult<()> {
+        if !self.fault_pending {
+            return Ok(());
+        }
+        self.fault_pending = false;
+        let Some(plan) = self.rt.config().fault_plan.as_deref() else {
+            return Ok(());
+        };
+        use gocc_faultplane::InjectedAbort;
+        match plan.draw(self.fault_site) {
+            None => Ok(()),
+            Some(inj) => {
+                let cause = match inj {
+                    InjectedAbort::Conflict => AbortCause::Conflict,
+                    InjectedAbort::Capacity => AbortCause::Capacity,
+                    InjectedAbort::LockHeld => AbortCause::Explicit(LOCK_HELD_CODE),
+                    InjectedAbort::Spurious => AbortCause::Retry,
+                };
+                Err(self.doom(cause))
+            }
+        }
+    }
+
     /// Revalidates the read set against the current clock and, on success,
     /// extends the read version (TL2 timestamp extension).
     fn extend(&mut self) -> TxResult<()> {
@@ -226,6 +271,7 @@ impl<'a> Tx<'a> {
     /// the direct path it is a plain load (the mutex is held).
     pub fn read<T: Copy>(&mut self, var: &'a TxVar<T>) -> TxResult<T> {
         self.check_doomed()?;
+        self.maybe_injected()?;
         self.maybe_spurious()?;
         if self.mode == TxMode::Direct {
             // SAFETY: direct mode runs with the guarding mutex held; no
@@ -283,6 +329,7 @@ impl<'a> Tx<'a> {
     /// observe the version change.
     pub fn write<T: Copy>(&mut self, var: &'a TxVar<T>, val: T) -> TxResult<()> {
         self.check_doomed()?;
+        self.maybe_injected()?;
         self.maybe_spurious()?;
         let addr = var.addr();
         if self.mode == TxMode::Direct {
@@ -350,6 +397,7 @@ impl<'a> Tx<'a> {
         if self.mode == TxMode::Direct {
             return Ok(());
         }
+        self.maybe_injected()?;
         let seen = lock.observe();
         let blocked = match kind {
             Elision::Read => LockWord::snapshot_blocks_read(seen),
@@ -727,6 +775,71 @@ mod tests {
         let v = TxVar::new(0u64);
         let mut tx = Tx::fast(&rt);
         assert_eq!(tx.read(&v).unwrap_err().cause, AbortCause::Retry);
+    }
+
+    #[test]
+    fn injected_faults_doom_fast_transactions() {
+        use gocc_faultplane::{AbortMix, HtmFaultPlan, InjectedAbort};
+        use std::sync::Arc;
+        for (inj, want) in [
+            (InjectedAbort::Conflict, AbortCause::Conflict),
+            (InjectedAbort::Capacity, AbortCause::Capacity),
+            (
+                InjectedAbort::LockHeld,
+                AbortCause::Explicit(LOCK_HELD_CODE),
+            ),
+            (InjectedAbort::Spurious, AbortCause::Retry),
+        ] {
+            let mut mix = AbortMix::default();
+            match inj {
+                InjectedAbort::Conflict => mix.conflict = 1.0,
+                InjectedAbort::Capacity => mix.capacity = 1.0,
+                InjectedAbort::LockHeld => mix.lock_held = 1.0,
+                InjectedAbort::Spurious => mix.spurious = 1.0,
+            }
+            let plan = Arc::new(HtmFaultPlan::new(7, mix));
+            let mut cfg = HtmConfig::coffee_lake();
+            cfg.fault_plan = Some(Arc::clone(&plan));
+            let rt = HtmRuntime::new(cfg);
+            let v = TxVar::new(0u64);
+            let mut tx = Tx::fast(&rt);
+            tx.set_fault_site(99);
+            assert_eq!(tx.read(&v).unwrap_err().cause, want, "{inj:?}");
+            // Exactly one draw per attempt, charged to the installed site.
+            assert_eq!(plan.total_injected(), 1);
+            // Direct mode never draws.
+            let mut slow = Tx::direct(&rt);
+            slow.write(&v, 1).unwrap();
+            slow.commit().unwrap();
+            assert_eq!(plan.total_injected(), 1);
+        }
+    }
+
+    #[test]
+    fn injection_draw_happens_once_per_attempt() {
+        use gocc_faultplane::{AbortMix, HtmFaultPlan};
+        use std::sync::Arc;
+        // Rate zero: the plan is consulted but never fires; a multi-op
+        // transaction must still commit and draw exactly once.
+        let plan = Arc::new(HtmFaultPlan::new(
+            3,
+            AbortMix {
+                conflict: 0.0,
+                ..AbortMix::default()
+            },
+        ));
+        let mut cfg = HtmConfig::coffee_lake();
+        cfg.fault_plan = Some(Arc::clone(&plan));
+        let rt = HtmRuntime::new(cfg);
+        let v = TxVar::new(0u64);
+        let mut tx = Tx::fast(&rt);
+        tx.set_fault_site(5);
+        for i in 0..10 {
+            tx.write(&v, i).unwrap();
+            let _ = tx.read(&v).unwrap();
+        }
+        tx.commit().unwrap();
+        assert_eq!(plan.total_injected(), 0);
     }
 
     #[test]

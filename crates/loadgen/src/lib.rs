@@ -14,16 +14,17 @@
 //! identical request streams per connection (arrival interleaving is the
 //! only nondeterminism, as in any closed-loop harness).
 
+pub mod resilient;
 pub mod zipf;
 
 use std::io;
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 use gocc_telemetry::{HistogramSnapshot, JsonValue, JsonWriter, LatencyHistogram, SplitMix64};
-use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+use gocc_wire::{decode_response, Request, Response};
 
+pub use resilient::{connect_with_retry, ClientConfig, ResilientClient};
 use zipf::Zipf;
 
 /// Workload shape knobs (shared by every point of a sweep).
@@ -47,6 +48,8 @@ pub struct LoadConfig {
     pub window: Duration,
     /// Base RNG seed.
     pub seed: u64,
+    /// Connection resilience (timeouts, bounded retries, replay).
+    pub client: ClientConfig,
 }
 
 impl Default for LoadConfig {
@@ -60,6 +63,7 @@ impl Default for LoadConfig {
             warmup: Duration::from_millis(200),
             window: Duration::from_millis(800),
             seed: 42,
+            client: ClientConfig::default(),
         }
     }
 }
@@ -75,11 +79,15 @@ pub struct PointResult {
     pub elapsed: Duration,
     /// Request→response latency of measured operations.
     pub latency: HistogramSnapshot,
-    /// IO/decode/protocol failures on the client side (each ends its
-    /// connection's loop).
+    /// IO/decode/protocol failures on the client side that exhausted
+    /// their retries.
     pub client_errors: u64,
     /// `Response::Error` frames received.
     pub server_errors: u64,
+    /// Connections re-established after I/O failures.
+    pub reconnects: u64,
+    /// Requests re-sent over a fresh connection (idempotent verbs only).
+    pub replays: u64,
 }
 
 impl PointResult {
@@ -104,34 +112,31 @@ const PHASE_WARMUP: u8 = 0;
 const PHASE_MEASURE: u8 = 1;
 const PHASE_DONE: u8 = 2;
 
+/// Cross-thread tallies shared by one point's connection drivers.
+#[derive(Default)]
+struct PointTallies {
+    ops: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    reconnects: AtomicU64,
+    replays: AtomicU64,
+}
+
 /// Runs one closed-loop point against a live server.
 pub fn run_point(port: u16, workers: usize, cfg: &LoadConfig) -> io::Result<PointResult> {
     assert!(workers >= 1);
     let zipf = Zipf::new(cfg.keyspace, cfg.zipf_s);
     let phase = AtomicU8::new(PHASE_WARMUP);
-    let ops = AtomicU64::new(0);
-    let client_errors = AtomicU64::new(0);
-    let server_errors = AtomicU64::new(0);
+    let tallies = PointTallies::default();
     let hist = LatencyHistogram::new();
 
     let elapsed = std::thread::scope(|s| {
         for w in 0..workers {
-            let (zipf, phase, ops, client_errors, server_errors, hist) =
-                (&zipf, &phase, &ops, &client_errors, &server_errors, &hist);
+            let (zipf, phase, tallies, hist) = (&zipf, &phase, &tallies, &hist);
             let seed = cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let cfg = cfg.clone();
             s.spawn(move || {
-                drive_connection(
-                    port,
-                    &cfg,
-                    zipf,
-                    seed,
-                    phase,
-                    ops,
-                    client_errors,
-                    server_errors,
-                    hist,
-                );
+                drive_connection(port, &cfg, zipf, seed, phase, tallies, hist);
             });
         }
         std::thread::sleep(cfg.warmup);
@@ -145,11 +150,13 @@ pub fn run_point(port: u16, workers: usize, cfg: &LoadConfig) -> io::Result<Poin
 
     Ok(PointResult {
         workers,
-        ops: ops.load(Ordering::SeqCst),
+        ops: tallies.ops.load(Ordering::SeqCst),
         elapsed,
         latency: hist.snapshot(),
-        client_errors: client_errors.load(Ordering::SeqCst),
-        server_errors: server_errors.load(Ordering::SeqCst),
+        client_errors: tallies.client_errors.load(Ordering::SeqCst),
+        server_errors: tallies.server_errors.load(Ordering::SeqCst),
+        reconnects: tallies.reconnects.load(Ordering::SeqCst),
+        replays: tallies.replays.load(Ordering::SeqCst),
     })
 }
 
@@ -167,31 +174,28 @@ fn response_matches(req: &Request<'_>, resp: &Response<'_>) -> bool {
     )
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Give up on a connection whose failures exhaust retries this many times
+/// in a row — the server is gone, not merely faulty.
+const MAX_CONSECUTIVE_FAILURES: u32 = 5;
+
 fn drive_connection(
     port: u16,
     cfg: &LoadConfig,
     zipf: &Zipf,
     seed: u64,
     phase: &AtomicU8,
-    ops: &AtomicU64,
-    client_errors: &AtomicU64,
-    server_errors: &AtomicU64,
+    tallies: &PointTallies,
     hist: &LatencyHistogram,
 ) {
-    let Ok(stream) = TcpStream::connect(("127.0.0.1", port)) else {
-        client_errors.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let mut stream = stream;
+    // Independent streams for the workload draw and the backoff jitter so
+    // resilience events never perturb the request sequence.
+    let mut client = ResilientClient::new(port, cfg.client.clone(), seed ^ 0xA076_1D64_78BD_642F);
     let mut rng = SplitMix64::new(seed);
     let mut keybuf = String::new();
-    let mut wirebuf = Vec::new();
     let mut respbuf = Vec::new();
     let mut local_ops = 0u64;
     let mut op_index = 0u64;
+    let mut consecutive_failures = 0u32;
 
     loop {
         let ph = phase.load(Ordering::Acquire);
@@ -227,27 +231,31 @@ fn drive_connection(
             }
         };
 
-        wirebuf.clear();
-        encode_request(&req, &mut wirebuf);
         let t0 = Instant::now();
-        if write_frame(&mut stream, &wirebuf).is_err() {
-            client_errors.fetch_add(1, Ordering::Relaxed);
-            break;
-        }
-        match read_frame(&mut stream, &mut respbuf) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => {
-                client_errors.fetch_add(1, Ordering::Relaxed);
+        // Idempotent verbs replay over fresh connections; INCR must not
+        // (a lost response leaves the increment's fate unknown).
+        let sent = match req {
+            Request::Incr { .. } => client.call_no_replay(&req, &mut respbuf),
+            _ => client.call(&req, &mut respbuf),
+        };
+        if sent.is_err() {
+            tallies.client_errors.fetch_add(1, Ordering::Relaxed);
+            consecutive_failures += 1;
+            if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
                 break;
             }
+            continue;
         }
+        consecutive_failures = 0;
         match decode_response(&respbuf) {
             Ok(Response::Error { .. }) => {
-                server_errors.fetch_add(1, Ordering::Relaxed);
+                tallies.server_errors.fetch_add(1, Ordering::Relaxed);
             }
             Ok(ref resp) if response_matches(&req, resp) => {}
             Ok(_) | Err(_) => {
-                client_errors.fetch_add(1, Ordering::Relaxed);
+                // A mis-shaped response is a protocol bug, not chaos:
+                // stop this connection so the point reports it.
+                tallies.client_errors.fetch_add(1, Ordering::Relaxed);
                 break;
             }
         }
@@ -256,7 +264,13 @@ fn drive_connection(
             local_ops += 1;
         }
     }
-    ops.fetch_add(local_ops, Ordering::SeqCst);
+    tallies.ops.fetch_add(local_ops, Ordering::SeqCst);
+    tallies
+        .reconnects
+        .fetch_add(client.reconnects(), Ordering::SeqCst);
+    tallies
+        .replays
+        .fetch_add(client.replays(), Ordering::SeqCst);
 }
 
 /// A fetched-and-validated STATS document.
@@ -277,17 +291,13 @@ impl StatsDoc {
 }
 
 fn control_call(port: u16, req: &Request<'_>) -> Result<Vec<u8>, String> {
-    let mut stream =
-        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let mut wirebuf = Vec::new();
-    encode_request(req, &mut wirebuf);
-    write_frame(&mut stream, &wirebuf).map_err(|e| format!("send: {e}"))?;
+    // Bounded connects + timeouts: control-plane calls against a dead or
+    // wedged daemon fail in seconds, they never hang a script.
+    let mut client = ResilientClient::new(port, ClientConfig::default(), 0x0C07);
     let mut respbuf = Vec::new();
-    match read_frame(&mut stream, &mut respbuf) {
-        Ok(true) => Ok(respbuf),
-        Ok(false) => Err("server closed before responding".into()),
-        Err(e) => Err(format!("recv: {e}")),
+    match client.call_no_replay(req, &mut respbuf) {
+        Ok(()) => Ok(respbuf),
+        Err(e) => Err(format!("control call: {e}")),
     }
 }
 
@@ -371,6 +381,8 @@ fn mode_fields(w: &mut JsonWriter, m: &ModeResult) {
         .field_f64("ns_per_op", p.ns_per_op())
         .field_u64("client_errors", p.client_errors)
         .field_u64("server_errors", p.server_errors)
+        .field_u64("reconnects", p.reconnects)
+        .field_u64("replays", p.replays)
         .key("latency")
         .begin_object()
         .field_f64("mean_ns", h.mean())
@@ -444,6 +456,8 @@ mod tests {
                 latency: hist.snapshot(),
                 client_errors: 0,
                 server_errors: 1,
+                reconnects: 3,
+                replays: 2,
             },
             stats_raw: r#"{"server":"goccd","mode":"gocc","telemetry":null}"#.to_string(),
         }

@@ -1,0 +1,335 @@
+//! Client-side resilience: bounded connects, seeded exponential backoff,
+//! and reconnect-with-replay.
+//!
+//! The load generator's original client treated any I/O hiccup as the end
+//! of its connection's life. Under transport fault injection (or a
+//! restarting server) that conflates *chaos* with *failure*. This module
+//! provides the degradation contract instead:
+//!
+//! * **Connects are bounded**: [`connect_with_retry`] uses
+//!   `TcpStream::connect_timeout` and a capped number of attempts, so a
+//!   dead daemon fails fast instead of hanging a script.
+//! * **Backoff is seeded**: retry delays are exponential with jitter drawn
+//!   from a [`SplitMix64`], so a given client's retry schedule is a pure
+//!   function of its seed (replay-by-seed, same contract as the fault
+//!   plans in `gocc-faultplane`).
+//! * **Replay is caller-controlled**: [`ResilientClient::call`] replays a
+//!   request over a fresh connection after an I/O failure — safe for the
+//!   idempotent verbs (GET/SET/DEL/SCAN/STATS). INCR is *not* replay-safe
+//!   (a lost response leaves the increment's fate unknown), so callers
+//!   route it through [`ResilientClient::call_no_replay`].
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use gocc_telemetry::SplitMix64;
+use gocc_wire::{encode_request, read_frame, write_frame, Request};
+
+/// Resilience knobs for one client connection.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (a stalled server surfaces as an error the
+    /// replay path handles, never a hang).
+    pub read_timeout: Duration,
+    /// Connect attempts before giving up (≥ 1).
+    pub connect_attempts: u32,
+    /// First backoff delay; doubles per failed attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Send attempts per [`ResilientClient::call`] (≥ 1); each failure
+    /// costs a reconnect.
+    pub replay_attempts: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            connect_attempts: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(250),
+            replay_attempts: 8,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A profile for fault-heavy runs: patient on replays, snappy on
+    /// timeouts (injected stalls should cost milliseconds, not seconds).
+    #[must_use]
+    pub fn chaos() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            connect_attempts: 5,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            replay_attempts: 20,
+        }
+    }
+}
+
+/// Exponential backoff with equal jitter: `d/2 + uniform(0, d/2)` where
+/// `d = min(cap, base << attempt)`.
+fn backoff_delay(cfg: &ClientConfig, attempt: u32, rng: &mut SplitMix64) -> Duration {
+    let base = cfg.backoff_base.as_nanos().max(1) as u64;
+    let exp = base.saturating_mul(1u64 << attempt.min(20));
+    let capped = exp.min(cfg.backoff_cap.as_nanos().max(1) as u64);
+    let half = capped / 2;
+    Duration::from_nanos(half + rng.below(half.max(1)))
+}
+
+/// Connects to `127.0.0.1:port` with per-attempt timeout and bounded,
+/// backoff-spaced retries. A dead daemon therefore fails in roughly
+/// `connect_attempts × connect_timeout` at worst — never a hang.
+pub fn connect_with_retry(
+    port: u16,
+    cfg: &ClientConfig,
+    rng: &mut SplitMix64,
+) -> io::Result<TcpStream> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..cfg.connect_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff_delay(cfg, attempt - 1, rng));
+        }
+        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                stream.set_read_timeout(Some(cfg.read_timeout))?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("zero connect attempts configured")))
+}
+
+/// A request/response client that survives connection loss.
+///
+/// The connection is established lazily and re-established after any I/O
+/// failure. [`ResilientClient::reconnects`] and
+/// [`ResilientClient::replays`] expose how much resilience a run actually
+/// consumed — chaos tests assert these are nonzero (faults really landed)
+/// while correctness stays perfect.
+pub struct ResilientClient {
+    port: u16,
+    cfg: ClientConfig,
+    rng: SplitMix64,
+    stream: Option<TcpStream>,
+    wirebuf: Vec<u8>,
+    reconnects: u64,
+    replays: u64,
+}
+
+impl ResilientClient {
+    /// A client for `127.0.0.1:port`; `seed` drives its backoff jitter.
+    #[must_use]
+    pub fn new(port: u16, cfg: ClientConfig, seed: u64) -> Self {
+        ResilientClient {
+            port,
+            cfg,
+            rng: SplitMix64::new(seed),
+            stream: None,
+            wirebuf: Vec::new(),
+            reconnects: 0,
+            replays: 0,
+        }
+    }
+
+    /// Times a connection was re-established after an I/O failure.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Times a request was re-sent after a failed attempt.
+    #[must_use]
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Sends `req` and reads its response body into `resp`, replaying
+    /// over fresh connections on failure (up to
+    /// [`ClientConfig::replay_attempts`]). Only call this for idempotent
+    /// requests.
+    pub fn call(&mut self, req: &Request<'_>, resp: &mut Vec<u8>) -> io::Result<()> {
+        self.call_inner(req, resp, self.cfg.replay_attempts.max(1))
+    }
+
+    /// Sends `req` exactly once. On failure the connection is dropped
+    /// (the next call reconnects) and the error is returned — the verb's
+    /// effect on the server is unknown, which is why INCR goes here.
+    pub fn call_no_replay(&mut self, req: &Request<'_>, resp: &mut Vec<u8>) -> io::Result<()> {
+        self.call_inner(req, resp, 1)
+    }
+
+    fn call_inner(
+        &mut self,
+        req: &Request<'_>,
+        resp: &mut Vec<u8>,
+        attempts: u32,
+    ) -> io::Result<()> {
+        self.wirebuf.clear();
+        encode_request(req, &mut self.wirebuf);
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.replays += 1;
+            }
+            match self.attempt_once(resp) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    // Whatever went wrong, the stream's framing state is
+                    // suspect; reconnect before any retry.
+                    if self.stream.take().is_some() {
+                        self.reconnects += 1;
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("zero attempts configured")))
+    }
+
+    fn attempt_once(&mut self, resp: &mut Vec<u8>) -> io::Result<()> {
+        if self.stream.is_none() {
+            self.stream = Some(connect_with_retry(self.port, &self.cfg, &mut self.rng)?);
+        }
+        let stream = self.stream.as_mut().expect("just ensured");
+        write_frame(stream, &self.wirebuf)?;
+        if !read_frame(stream, resp)? {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "server closed before responding",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_wire::{decode_request, decode_response, encode_response, Response};
+    use std::io::Write as _;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    fn free_port() -> u16 {
+        // Bind-then-drop: the port is free again immediately after.
+        TcpListener::bind((Ipv4Addr::LOCALHOST, 0))
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port()
+    }
+
+    #[test]
+    fn dead_daemon_fails_fast() {
+        let port = free_port();
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            connect_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..ClientConfig::default()
+        };
+        let t0 = Instant::now();
+        let err = connect_with_retry(port, &cfg, &mut SplitMix64::new(1));
+        assert!(err.is_err(), "nothing is listening on {port}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "bounded retries must fail fast, took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn backoff_is_seeded_and_capped() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            ..ClientConfig::default()
+        };
+        let series = |seed: u64| -> Vec<Duration> {
+            let mut rng = SplitMix64::new(seed);
+            (0..8).map(|a| backoff_delay(&cfg, a, &mut rng)).collect()
+        };
+        assert_eq!(series(7), series(7), "same seed, same schedule");
+        assert_ne!(series(7), series(8), "different seeds diverge");
+        for d in series(7) {
+            assert!(d >= Duration::from_millis(2), "equal jitter keeps a floor");
+            assert!(d <= Duration::from_millis(40), "cap respected: {d:?}");
+        }
+    }
+
+    /// A one-request server: optionally drops the first `flaky` requests
+    /// mid-exchange (read then close, no response), then serves `Done`.
+    fn flaky_server(flaky: usize, total: usize) -> (u16, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let handle = std::thread::spawn(move || {
+            for i in 0..total {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut body = Vec::new();
+                let got = read_frame(&mut s, &mut body).unwrap_or(false);
+                if i < flaky {
+                    drop(s); // mid-exchange hangup: the client must replay
+                    continue;
+                }
+                assert!(got, "request must arrive intact");
+                assert!(decode_request(&body).is_ok());
+                let mut out = Vec::new();
+                encode_response(&Response::Done, &mut out);
+                s.write_all(&out).unwrap();
+            }
+        });
+        (port, handle)
+    }
+
+    #[test]
+    fn replay_survives_midexchange_hangups() {
+        let (port, server) = flaky_server(2, 3);
+        let mut client = ResilientClient::new(port, ClientConfig::chaos(), 5);
+        let mut resp = Vec::new();
+        client
+            .call(
+                &Request::Set {
+                    key: b"k",
+                    value: 1,
+                    ttl: 0,
+                },
+                &mut resp,
+            )
+            .expect("replay must eventually land");
+        assert_eq!(decode_response(&resp).unwrap(), Response::Done);
+        assert_eq!(client.replays(), 2, "two hangups, two replays");
+        assert_eq!(client.reconnects(), 2);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn no_replay_reports_the_failure_and_recovers() {
+        let (port, server) = flaky_server(1, 2);
+        let mut client = ResilientClient::new(port, ClientConfig::chaos(), 6);
+        let mut resp = Vec::new();
+        let req = Request::Incr {
+            key: b"ctr",
+            delta: 1,
+        };
+        // First attempt dies mid-exchange; INCR must NOT be replayed.
+        assert!(client.call_no_replay(&req, &mut resp).is_err());
+        assert_eq!(client.replays(), 0, "INCR is never replayed");
+        // The client recovers on the next call over a fresh connection.
+        client.call_no_replay(&req, &mut resp).expect("recovered");
+        assert_eq!(decode_response(&resp).unwrap(), Response::Done);
+        assert_eq!(client.reconnects(), 1);
+        server.join().unwrap();
+    }
+}

@@ -19,6 +19,15 @@ pub struct RetryPolicy {
     /// starting a transaction ("spin with pause till lock held" in
     /// Listing 19).
     pub lock_wait_spins: u32,
+    /// Livelock watchdog: after this many aborts within one critical
+    /// section the runtime hard-forces the lock path, regardless of
+    /// `max_attempts`. The budget above is the *tuning* bound; this is
+    /// the *guarantee* bound — it caps total re-executions even under a
+    /// pathological policy or a perpetually-transient abort stream, so a
+    /// section always completes after at most `watchdog_abort_bound + 1`
+    /// executions. Forced sections are counted in `OptiStats` and
+    /// telemetry (`watchdog_forced`).
+    pub watchdog_abort_bound: u32,
 }
 
 impl RetryPolicy {
@@ -35,6 +44,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             lock_wait_spins: 128,
+            watchdog_abort_bound: 64,
         }
     }
 }
@@ -44,20 +54,65 @@ mod tests {
     use super::*;
     use gocc_htm::{LOCK_HELD_CODE, MUTEX_MISMATCH_CODE};
 
+    /// Every `AbortCause` variant, paired with whether the policy may
+    /// retry it. This is the retry state machine's full transition table:
+    /// `should_retry(cause, n)` is `transient(cause) && n > 0`, and the
+    /// budget-zero row is the absorbing "fall back to the lock" state.
+    const TRANSITIONS: &[(AbortCause, bool)] = &[
+        // Transient: another attempt may succeed.
+        (AbortCause::Retry, true),
+        (AbortCause::Conflict, true),
+        (AbortCause::Explicit(LOCK_HELD_CODE), true),
+        // Deterministic: retrying re-derives the same abort.
+        (AbortCause::Capacity, false),
+        (AbortCause::Debug, false),
+        (AbortCause::Nested, false),
+        (AbortCause::Unfriendly, false),
+        (AbortCause::Explicit(MUTEX_MISMATCH_CODE), false),
+        (AbortCause::Explicit(0x00), false),
+        (AbortCause::Explicit(0x7F), false),
+    ];
+
     #[test]
-    fn transient_causes_retry_while_budget_remains() {
+    fn every_cause_with_budget_follows_transience() {
         let p = RetryPolicy::default();
-        assert!(p.should_retry(AbortCause::Conflict, 2));
-        assert!(p.should_retry(AbortCause::Retry, 1));
-        assert!(p.should_retry(AbortCause::Explicit(LOCK_HELD_CODE), 1));
-        assert!(!p.should_retry(AbortCause::Conflict, 0));
+        for &(cause, transient) in TRANSITIONS {
+            for budget in [1, 2, p.max_attempts, u32::MAX] {
+                assert_eq!(
+                    p.should_retry(cause, budget),
+                    transient,
+                    "cause {cause:?} budget {budget}"
+                );
+            }
+        }
     }
 
     #[test]
-    fn deterministic_causes_never_retry() {
+    fn exhausted_budget_is_absorbing_for_every_cause() {
         let p = RetryPolicy::default();
-        assert!(!p.should_retry(AbortCause::Capacity, 3));
-        assert!(!p.should_retry(AbortCause::Unfriendly, 3));
-        assert!(!p.should_retry(AbortCause::Explicit(MUTEX_MISMATCH_CODE), 3));
+        for &(cause, _) in TRANSITIONS {
+            assert!(
+                !p.should_retry(cause, 0),
+                "cause {cause:?} must not retry at budget 0"
+            );
+        }
+    }
+
+    #[test]
+    fn transience_matches_the_abort_taxonomy() {
+        // The policy's transition table and the HTM crate's taxonomy must
+        // agree, or the session layer would retry causes the policy
+        // considers deterministic.
+        for &(cause, transient) in TRANSITIONS {
+            assert_eq!(cause.is_transient(), transient, "{cause:?}");
+        }
+    }
+
+    #[test]
+    fn watchdog_bound_exceeds_default_budget() {
+        let p = RetryPolicy::default();
+        // The watchdog is a backstop, not the common path: it must only
+        // fire after the normal budget is long exhausted.
+        assert!(p.watchdog_abort_bound > p.max_attempts);
     }
 }

@@ -182,6 +182,9 @@ enum Decision {
     SlowPerceptron,
     SlowBypass,
     SlowExhausted,
+    /// The livelock watchdog tripped: this section aborted
+    /// `watchdog_abort_bound` times and is hard-forced onto the lock.
+    SlowWatchdog,
 }
 
 /// The paper's `OptiLock`: per lock/unlock pair state.
@@ -196,6 +199,11 @@ pub struct OptiLock {
     lk: Option<LockKey>,
     attempts_left: u32,
     attempted_htm: bool,
+    /// Aborts observed by the *current* section across all its
+    /// re-executions — the monotone counter the livelock watchdog trips
+    /// on. Unlike `attempts_left` (which callers can configure arbitrarily
+    /// large), this only resets when the section completes.
+    section_aborts: u32,
     decision: Option<Decision>,
     /// Latest predictor verdict, traced into the telemetry event ring.
     predicted_fast: bool,
@@ -216,6 +224,7 @@ impl OptiLock {
             lk: None,
             attempts_left: u32::MAX,
             attempted_htm: false,
+            section_aborts: 0,
             decision: None,
             predicted_fast: false,
             section_start: None,
@@ -313,6 +322,7 @@ impl OptiLock {
             }
             self.attempted_htm = true;
             let mut tx = Tx::fast(rt.htm());
+            tx.set_fault_site(self.site);
             match tx.subscribe_lock(lock.word(), lock.kind()) {
                 Ok(()) => {
                     scope.state = ScopeState::Fast { tx, depth: 1 };
@@ -342,6 +352,16 @@ impl OptiLock {
     }
 
     fn decide(&self, rt: &GoccRuntime, lock: LockRef<'_>) -> Decision {
+        if self.section_aborts >= rt.policy().watchdog_abort_bound {
+            // Bounded-retry guarantee: whatever the configured budget,
+            // this section has re-executed enough. Force the lock path —
+            // it cannot abort, so the section completes on this execution.
+            OptiStats::add(&rt.stats().watchdog_forced);
+            if let Some(t) = rt.telemetry() {
+                t.note_watchdog_forced();
+            }
+            return Decision::SlowWatchdog;
+        }
         if self.attempts_left == 0 {
             return Decision::SlowExhausted;
         }
@@ -365,6 +385,7 @@ impl OptiLock {
 
     fn note_abort(&mut self, rt: &GoccRuntime, lock: LockRef<'_>, abort: &Abort) {
         self.attempts_left = self.attempts_left.saturating_sub(1);
+        self.section_aborts = self.section_aborts.saturating_add(1);
         if !abort.cause.is_transient() {
             // Deterministic causes exhaust the budget immediately.
             self.attempts_left = 0;
@@ -496,6 +517,7 @@ impl OptiLock {
         self.decision = None;
         self.attempted_htm = false;
         self.attempts_left = u32::MAX;
+        self.section_aborts = 0;
         self.section_start = None;
     }
 }

@@ -12,6 +12,7 @@ pub struct OptiStats {
     pub(crate) perceptron_slow: AtomicU64,
     pub(crate) single_thread_bypass: AtomicU64,
     pub(crate) mismatch_recoveries: AtomicU64,
+    pub(crate) watchdog_forced: AtomicU64,
 }
 
 /// A point-in-time copy of [`OptiStats`].
@@ -31,6 +32,9 @@ pub struct OptiStatsSnapshot {
     pub single_thread_bypass: u64,
     /// Mis-paired mutex recoveries (Appendix C hand-over-hand handling).
     pub mismatch_recoveries: u64,
+    /// Sections the livelock watchdog hard-forced onto the lock path
+    /// after `RetryPolicy::watchdog_abort_bound` aborts.
+    pub watchdog_forced: u64,
 }
 
 impl OptiStats {
@@ -49,6 +53,7 @@ impl OptiStats {
             perceptron_slow: self.perceptron_slow.load(Ordering::Relaxed),
             single_thread_bypass: self.single_thread_bypass.load(Ordering::Relaxed),
             mismatch_recoveries: self.mismatch_recoveries.load(Ordering::Relaxed),
+            watchdog_forced: self.watchdog_forced.load(Ordering::Relaxed),
         }
     }
 }

@@ -3,9 +3,13 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
-use gocc_wire::{decode_request, encode_response, FrameBuf, Request, Response};
+use gocc_faultplane::TransportFaultPlan;
+use gocc_wire::{
+    decode_request, encode_response, FaultyStream, FrameBuf, Request, Response, MAX_FRAME,
+};
 use gocc_workloads::Engine;
 
 use crate::ServerState;
@@ -28,8 +32,12 @@ enum FlushState {
 }
 
 /// One client connection, owned by exactly one worker thread.
+///
+/// The stream is wrapped in a [`FaultyStream`] so a configured transport
+/// fault plan can perturb this connection's reads and writes; with no plan
+/// the wrapper is pass-through.
 pub(crate) struct Conn {
-    stream: TcpStream,
+    stream: FaultyStream<TcpStream>,
     inbuf: FrameBuf,
     outbuf: Vec<u8>,
     outpos: usize,
@@ -39,9 +47,9 @@ pub(crate) struct Conn {
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream) -> Self {
+    pub(crate) fn new(stream: TcpStream, fault_plan: Option<Arc<TransportFaultPlan>>) -> Self {
         Conn {
-            stream,
+            stream: FaultyStream::maybe(stream, fault_plan),
             inbuf: FrameBuf::new(),
             outbuf: Vec::new(),
             outpos: 0,
@@ -145,7 +153,21 @@ impl Conn {
                             match req {
                                 Request::Stats => {
                                     let json = state.stats_json();
-                                    encode_response(&Response::Stats { json: &json }, outbuf);
+                                    // A stats document larger than a frame
+                                    // (giant telemetry event trace) would
+                                    // trip the encoder's frame-size assert
+                                    // — a network-reachable panic. Refuse
+                                    // it on just this connection instead.
+                                    if json.len() > MAX_FRAME - 8 {
+                                        encode_response(
+                                            &Response::Error {
+                                                message: "stats document exceeds frame limit",
+                                            },
+                                            outbuf,
+                                        );
+                                    } else {
+                                        encode_response(&Response::Stats { json: &json }, outbuf);
+                                    }
                                 }
                                 Request::Shutdown => {
                                     state.request_shutdown();

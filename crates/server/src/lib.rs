@@ -43,6 +43,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gocc_faultplane::TransportFaultPlan;
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_workloads::Engine;
 pub use gocc_workloads::Mode;
@@ -70,6 +71,9 @@ pub struct ServerConfig {
     /// Disconnect a client whose pending response bytes make no progress
     /// for this long.
     pub write_timeout: Duration,
+    /// Seeded transport fault injection on every accepted connection's
+    /// reads/writes (chaos testing); `None` disables it entirely.
+    pub fault_plan: Option<Arc<TransportFaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +85,7 @@ impl Default for ServerConfig {
             shards: 4,
             capacity_per_shard: 1 << 14,
             write_timeout: Duration::from_secs(5),
+            fault_plan: None,
         }
     }
 }
@@ -245,20 +250,40 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     for w in 0..state.config.workers {
         let (tx, rx) = std::sync::mpsc::channel();
         senders.push(tx);
-        let state = Arc::clone(&state);
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("goccd-worker-{w}"))
-                .spawn(move || worker_loop(&rx, &state))
-                .expect("spawn worker"),
-        );
+        let worker_state = Arc::clone(&state);
+        match std::thread::Builder::new()
+            .name(format!("goccd-worker-{w}"))
+            .spawn(move || worker_loop(&rx, &worker_state))
+        {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                // Partial startup: wake the already-running workers (they
+                // exit once their sender is gone) and report the failure
+                // instead of panicking with threads leaked.
+                state.request_shutdown();
+                drop(senders);
+                for h in workers {
+                    let _ = h.join();
+                }
+                return Err(e);
+            }
+        }
     }
 
     let acceptor_state = Arc::clone(&state);
-    let acceptor = std::thread::Builder::new()
+    let acceptor = match std::thread::Builder::new()
         .name("goccd-acceptor".into())
         .spawn(move || acceptor_loop(&listener, senders, &acceptor_state))
-        .expect("spawn acceptor");
+    {
+        Ok(handle) => handle,
+        Err(e) => {
+            state.request_shutdown();
+            for h in workers {
+                let _ = h.join();
+            }
+            return Err(e);
+        }
+    };
 
     Ok(ServerHandle {
         port,
@@ -305,7 +330,7 @@ fn worker_loop(rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
         // Adopt newly dispatched connections.
         loop {
             match rx.try_recv() {
-                Ok(stream) => conns.push(Conn::new(stream)),
+                Ok(stream) => conns.push(Conn::new(stream, state.config.fault_plan.clone())),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     dispatcher_gone = true;

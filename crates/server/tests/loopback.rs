@@ -3,8 +3,10 @@
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
+use gocc_faultplane::{TransportFaultPlan, TransportMix};
 use gocc_server::{spawn, Mode, ServerConfig};
 use gocc_telemetry::JsonValue;
 use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
@@ -50,6 +52,7 @@ fn config(mode: Mode) -> ServerConfig {
         shards: 2,
         capacity_per_shard: 1024,
         write_timeout: Duration::from_secs(5),
+        fault_plan: None,
     }
 }
 
@@ -244,6 +247,84 @@ fn concurrent_clients_share_the_store() {
         c.call(&Request::Shutdown);
         let _ = handle.join();
     }
+}
+
+#[test]
+fn injected_transport_faults_cost_connections_not_correctness() {
+    // Elevated seeded transport faults on every server-side read/write:
+    // short reads/writes must be absorbed by frame reassembly, stalls by
+    // polling, and resets by the client reconnecting. Since SET/GET are
+    // idempotent, retrying over fresh connections must converge on a
+    // fully correct store — faults cost connections, never data.
+    gocc_gosync::set_procs(8);
+    let plan = Arc::new(TransportFaultPlan::new(2024, TransportMix::uniform(0.2)));
+    let mut cfg = config(Mode::Gocc);
+    cfg.fault_plan = Some(Arc::clone(&plan));
+    let handle = spawn(cfg).expect("spawn");
+    let port = handle.port();
+
+    // One request on a fresh connection; any IO error is the caller's to
+    // retry (the fault plan resets connections constantly).
+    let once = |req: &Request<'_>| -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        let mut wire = Vec::new();
+        encode_request(req, &mut wire);
+        write_frame(&mut stream, &wire)?;
+        let mut resp = Vec::new();
+        if !read_frame(&mut stream, &mut resp)? {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "server closed before responding",
+            ));
+        }
+        Ok(resp)
+    };
+    let with_retry = |req: &Request<'_>| -> Vec<u8> {
+        for _ in 0..500 {
+            if let Ok(resp) = once(req) {
+                return resp;
+            }
+        }
+        panic!("500 attempts all failed — server degraded, not degrading");
+    };
+
+    const KEYS: u64 = 60;
+    for i in 0..KEYS {
+        let key = format!("chaos-{i}");
+        let resp = with_retry(&Request::Set {
+            key: key.as_bytes(),
+            value: i * 3,
+            ttl: 0,
+        });
+        assert_eq!(decode_response(&resp).unwrap(), Response::Done);
+    }
+    for i in 0..KEYS {
+        let key = format!("chaos-{i}");
+        let resp = with_retry(&Request::Get {
+            key: key.as_bytes(),
+        });
+        assert_eq!(
+            decode_response(&resp).unwrap(),
+            Response::Value {
+                found: true,
+                value: i * 3
+            },
+            "key {key} lost or corrupted under transport faults"
+        );
+    }
+
+    assert!(
+        plan.total_injected() > 0,
+        "the fault plan must actually have fired"
+    );
+    handle.request_shutdown();
+    let summary = handle.join();
+    assert_eq!(
+        summary.malformed_frames, 0,
+        "faults must never corrupt frames"
+    );
 }
 
 #[test]

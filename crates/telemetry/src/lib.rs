@@ -58,6 +58,11 @@ pub struct Telemetry {
     /// Sections whose latency was dropped because the clock went backwards
     /// or the section never completed (diagnostic; normally zero).
     dropped_samples: AtomicU64,
+    /// Sections the livelock watchdog hard-forced onto the lock path
+    /// after their abort count crossed the policy bound. Nonzero means
+    /// the bounded-retry guarantee was exercised, not that anything went
+    /// wrong — the section still completed, pessimistically.
+    watchdog_forced: AtomicU64,
 }
 
 impl Telemetry {
@@ -78,6 +83,17 @@ impl Telemetry {
         self.dropped_samples.load(Ordering::Relaxed)
     }
 
+    /// Notes a section hard-forced to the lock path by the watchdog.
+    pub fn note_watchdog_forced(&self) {
+        self.watchdog_forced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of watchdog-forced sections.
+    #[must_use]
+    pub fn watchdog_forced(&self) -> u64 {
+        self.watchdog_forced.load(Ordering::Relaxed)
+    }
+
     /// Snapshots everything into a serializable report.
     #[must_use]
     pub fn report(&self) -> TelemetryReport {
@@ -88,6 +104,7 @@ impl Telemetry {
             slow_latency: self.slow_latency.snapshot(),
             events: self.events.drain(),
             dropped_samples: self.dropped(),
+            watchdog_forced: self.watchdog_forced(),
         }
     }
 }

@@ -22,6 +22,8 @@ pub struct TelemetryReport {
     pub events: Vec<Event>,
     /// Samples dropped for lack of attribution.
     pub dropped_samples: u64,
+    /// Sections the livelock watchdog hard-forced onto the lock path.
+    pub watchdog_forced: u64,
 }
 
 fn histogram_json(w: &mut JsonWriter, h: &HistogramSnapshot) {
@@ -53,6 +55,7 @@ impl TelemetryReport {
         w.begin_object()
             .field_u64("aliased_sites", self.aliased_sites)
             .field_u64("dropped_samples", self.dropped_samples)
+            .field_u64("watchdog_forced", self.watchdog_forced)
             .key("sites")
             .begin_array();
         for s in &self.sites {
@@ -183,6 +186,7 @@ mod tests {
                 outcome: EventOutcome::Abort(2),
             }],
             dropped_samples: 0,
+            watchdog_forced: 2,
         }
     }
 
@@ -193,6 +197,7 @@ mod tests {
         let b = report.to_json();
         assert_eq!(a, b, "byte-stable for identical reports");
         let v = JsonValue::parse(&a).expect("self-emitted JSON parses");
+        assert_eq!(v.get("watchdog_forced").unwrap(), &JsonValue::Number(2.0));
         let sites = v.get("sites").unwrap().as_array().unwrap();
         assert_eq!(sites.len(), 1);
         assert_eq!(

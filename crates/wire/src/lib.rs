@@ -25,8 +25,10 @@
 //! corrupted frame cannot silently alias a valid one. The seeded
 //! fuzz-style suites in `tests/` hold the decoder to this.
 
+mod fault;
 mod frame;
 
+pub use fault::FaultyStream;
 pub use frame::{read_frame, write_frame, FrameBuf};
 
 /// Hard ceiling on the body size of a single frame (1 MiB).

@@ -13,18 +13,27 @@ failures=""
 : > "$out"
 mkdir -p "$artifacts"
 
+# Wall-clock budget per bench, overridable for quick smoke passes:
+#   BENCH_TIMEOUT=60 ./run_benches.sh
+bench_timeout=${BENCH_TIMEOUT:-900}
+
 # run_step NAME CMD... — append CMD's filtered output to $out, remember
-# NAME if it failed.
+# NAME if it failed. A bench that exceeds $bench_timeout seconds is
+# killed and recorded as a distinct "TIMEOUT NAME" line (timeout(1)
+# exits 124), so a hung run is diagnosable from bench_output.txt alone.
 run_step() {
   name=$1
   shift
   echo "===== $name =====" >> "$out"
   status_file=$(mktemp)
-  { timeout 900 "$@" 2>&1; echo $? > "$status_file"; } \
+  { timeout "$bench_timeout" "$@" 2>&1; echo $? > "$status_file"; } \
     | grep -v 'WARNING conda' >> "$out"
   status=$(cat "$status_file")
   rm -f "$status_file"
-  if [ "$status" -ne 0 ]; then
+  if [ "$status" -eq 124 ]; then
+    echo "TIMEOUT $name (killed after ${bench_timeout}s)" | tee -a "$out"
+    failures="$failures $name"
+  elif [ "$status" -ne 0 ]; then
     echo "FAILED $name (status $status)" | tee -a "$out"
     failures="$failures $name"
   fi

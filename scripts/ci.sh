@@ -79,4 +79,16 @@ for mode in lock gocc; do
   rm -f "$log"
 done
 
+echo "== chaos soak (fixed seed, both modes) =="
+# Short combined-fault run at elevated rates: HTM abort injection,
+# Lock/Unlock mis-pairing and transport faults, all from one seed.
+# chaos_soak exits nonzero on any oracle divergence, undetected mispair
+# or watchdog starvation, and exit 2 if its liveness monitor sees no
+# progress (deadlock/livelock) — any of which fails CI here.
+./target/release/chaos_soak --seed 2026 --mode both \
+  --sections 200 --threads 4 \
+  --abort-rate 0.25 --pairing-rate 0.25 --transport-rate 0.2 \
+  --net-keys 32 --net-clients 3 --stall-secs 60
+echo "ok: chaos soak"
+
 echo "CI_OK"
