@@ -44,6 +44,9 @@ fn sanitized_allocation(engine: &Engine<'_>, scope: &Scope, worker: usize, i: u6
 }
 
 fn main() {
+    // Pinned to 8 procs for the whole sweep: this figure contrasts the
+    // perceptron's decisions against always-speculate, and the §5.4.2
+    // bypass at procs=1 would override both sides with the lock path.
     gocc_gosync::set_procs(8);
     println!("== Figure 10: Tally with vs without the perceptron ==");
     println!(
@@ -121,8 +124,8 @@ fn main() {
             stats_fields(&mut w, &htm, &opti);
             w.key("perceptron")
                 .begin_object()
-                .field_u64("decisions_fast", perc.decisions_fast)
-                .field_u64("decisions_slow", perc.decisions_slow)
+                .field_u64("decisions_fast", opti.perceptron_htm)
+                .field_u64("decisions_slow", opti.perceptron_slow)
                 .field_u64("resets", perc.resets)
                 .field_u64(
                     "trained_mutex_cells",

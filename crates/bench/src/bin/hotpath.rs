@@ -1,0 +1,170 @@
+//! Hot-path micro-benchmark: what one *uncontended* critical section
+//! costs, in both modes.
+//!
+//! GOCC's viability rests on the fast path being cheap enough to try
+//! (§5.4, §6): if `FastLock`→section→`FastUnlock` costs much more than an
+//! uncontended mutex, every figure's 1-core column pays for it. This
+//! binary pins that cost down with a single worker and no contention,
+//! across three section shapes:
+//!
+//! - `empty`  — lock/unlock only, no transactional work;
+//! - `read1`  — one `TxVar` read;
+//! - `write1` — one `TxVar` write.
+//!
+//! Each shape is measured three ways: the pessimistic baseline
+//! (`Mode::Lock`), gocc with speculation engaged (`procs = 8`, so the
+//! single-thread bypass stays out of the way and the perceptron/HTM path
+//! runs), and gocc at `procs = 1` where the §5.4.2 single-OS-thread
+//! bypass should convert every section into a plain lock acquisition.
+//!
+//! The simulated-coherence model stays at 1 core: this benchmark is about
+//! constant overhead, not scaling.
+//!
+//! Flags: `--window-ms N` shrinks the measurement window (CI uses this),
+//! `--gate RATIO` exits nonzero if any section's speculating-gocc cost
+//! exceeds `RATIO ×` the lock baseline — a loose order-of-magnitude
+//! regression gate, not a benchmark assertion.
+
+use std::time::Duration;
+
+use gocc_bench::{stats_fields, warm_measure, write_artifact, Measured};
+use gocc_optilock::{call_site, GoccRuntime, LockRef};
+use gocc_telemetry::JsonWriter;
+use gocc_txds::TxCounter;
+use gocc_workloads::{Engine, Mode};
+
+#[derive(Clone, Copy)]
+enum Shape {
+    Empty,
+    Read1,
+    Write1,
+}
+
+impl Shape {
+    fn name(self) -> &'static str {
+        match self {
+            Shape::Empty => "empty",
+            Shape::Read1 => "read1",
+            Shape::Write1 => "write1",
+        }
+    }
+}
+
+fn measure(shape: Shape, mode: Mode, procs: usize, window: Duration) -> Measured {
+    let prev = gocc_gosync::set_procs(procs);
+    let rt = GoccRuntime::new_default();
+    let engine = Engine::new(&rt, mode);
+    let m = gocc_optilock::ElidableMutex::new();
+    let c = TxCounter::new(0);
+    let ns = warm_measure(1, window, |_w, _i| {
+        engine.section(call_site!(), LockRef::Mutex(&m), |tx| match shape {
+            Shape::Empty => Ok(()),
+            Shape::Read1 => c.get(tx).map(|_| ()),
+            Shape::Write1 => c.add(tx, 1).map(|_| ()),
+        });
+    });
+    let out = Measured::with_runtime(ns, &rt);
+    gocc_gosync::set_procs(prev);
+    out
+}
+
+struct Row {
+    shape: Shape,
+    lock: Measured,
+    spec: Measured,
+    bypass: Measured,
+}
+
+impl Row {
+    fn spec_ratio(&self) -> f64 {
+        self.spec.ns_per_op / self.lock.ns_per_op
+    }
+    fn bypass_ratio(&self) -> f64 {
+        self.bypass.ns_per_op / self.lock.ns_per_op
+    }
+}
+
+fn main() {
+    let mut window = gocc_bench::DEFAULT_WINDOW;
+    let mut gate: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--window-ms" => {
+                let v = args.next().expect("--window-ms needs a value");
+                window = Duration::from_millis(v.parse().expect("--window-ms: integer"));
+            }
+            "--gate" => {
+                let v = args.next().expect("--gate needs a value");
+                gate = Some(v.parse().expect("--gate: float"));
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== hotpath: uncontended single-worker section cost ==");
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>16} {:>14}",
+        "section", "lock ns/op", "gocc ns/op", "gocc/lock", "bypass ns/op", "bypass/lock"
+    );
+
+    let mut rows = Vec::new();
+    for shape in [Shape::Empty, Shape::Read1, Shape::Write1] {
+        let lock = measure(shape, Mode::Lock, 8, window);
+        let spec = measure(shape, Mode::Gocc, 8, window);
+        let bypass = measure(shape, Mode::Gocc, 1, window);
+        let row = Row {
+            shape,
+            lock,
+            spec,
+            bypass,
+        };
+        println!(
+            "{:<8} {:>12.1} {:>14.1} {:>11.2}x {:>16.1} {:>13.2}x",
+            shape.name(),
+            row.lock.ns_per_op,
+            row.spec.ns_per_op,
+            row.spec_ratio(),
+            row.bypass.ns_per_op,
+            row.bypass_ratio(),
+        );
+        rows.push(row);
+    }
+
+    let worst = rows.iter().map(Row::spec_ratio).fold(0.0f64, f64::max);
+    println!("worst speculating gocc/lock ratio: {worst:.2}x");
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("figure", "hotpath")
+        .field_u64("window_ms", window.as_millis() as u64)
+        .field_f64("worst_spec_ratio", worst)
+        .key("sections")
+        .begin_array();
+    for row in &rows {
+        w.begin_object()
+            .field_str("name", row.shape.name())
+            .field_f64("lock_ns_per_op", row.lock.ns_per_op)
+            .field_f64("gocc_ns_per_op", row.spec.ns_per_op)
+            .field_f64("gocc_bypass_ns_per_op", row.bypass.ns_per_op)
+            .field_f64("spec_ratio", row.spec_ratio())
+            .field_f64("bypass_ratio", row.bypass_ratio());
+        stats_fields(&mut w, &row.spec.htm, &row.spec.opti);
+        w.key("bypass_stats").begin_object();
+        stats_fields(&mut w, &row.bypass.htm, &row.bypass.opti);
+        w.end_object().end_object();
+    }
+    w.end_array().end_object();
+    write_artifact("hotpath", &w.finish());
+
+    if let Some(gate) = gate {
+        if worst > gate {
+            eprintln!("GATE FAILED: worst gocc/lock ratio {worst:.2}x exceeds gate {gate:.2}x");
+            std::process::exit(1);
+        }
+        println!("gate ok: {worst:.2}x <= {gate:.2}x");
+    }
+}

@@ -157,17 +157,21 @@ impl SweepResult {
 
 /// Geometric mean of the speedup ratios (lock/gocc) at one core index,
 /// expressed as a percentage like the paper's "sensitive"/"all" bars.
+///
+/// An empty set has no geomean: `None`, which the JSON emission renders
+/// as `null`. (It used to render as `0.000`, which reads as "measured, no
+/// speedup" — a different claim entirely.)
 #[must_use]
-pub fn geomean_pct(results: &[&SweepResult], core_idx: usize) -> f64 {
+pub fn geomean_pct(results: &[&SweepResult], core_idx: usize) -> Option<f64> {
     if results.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut log_sum = 0.0;
     for r in results {
         let p = r.points[core_idx];
         log_sum += (p.lock_ns / p.gocc_ns).ln();
     }
-    ((log_sum / results.len() as f64).exp() - 1.0) * 100.0
+    Some(((log_sum / results.len() as f64).exp() - 1.0) * 100.0)
 }
 
 /// Runs one benchmark across modes and core counts.
@@ -184,17 +188,20 @@ pub fn sweep_driver(
     window: Duration,
     point: &dyn Fn(Mode, usize, Duration) -> Measured,
 ) -> SweepResult {
-    // The paper pins GOMAXPROCS to the machine's 8 cores while varying
-    // the benchmark's parallelism.
-    gocc_gosync::set_procs(8);
     let mut points = Vec::new();
     for &cores in &CORE_COUNTS {
+        // Go's benchmark harness sets GOMAXPROCS per `-cpu` point, so the
+        // 1-core column runs with one P and the §5.4.2 single-OS-thread
+        // bypass engages — mirror that by setting the modeled proc count
+        // per point, not once per sweep.
+        let prev_procs = gocc_gosync::set_procs(cores);
         // Engage the coherence-cost model at this sweep's core count (the
         // container has one CPU; see crate docs and DESIGN.md §7).
         let prev = gocc_htm::contention::set_sim_cores(cores);
         let lock = point(Mode::Lock, cores, window);
         let gocc = point(Mode::Gocc, cores, window);
         gocc_htm::contention::set_sim_cores(prev);
+        gocc_gosync::set_procs(prev_procs);
         points.push(Point {
             cores,
             lock_ns: lock.ns_per_op,
@@ -242,11 +249,10 @@ pub fn print_geomeans(results: &[SweepResult]) {
         }
         print!("{label:<28}");
         for (idx, &cores) in CORE_COUNTS.iter().enumerate() {
-            print!(
-                " | {:>2}c geomean {:>+7.1}%          ",
-                cores,
-                geomean_pct(&group, idx)
-            );
+            match geomean_pct(&group, idx) {
+                Some(g) => print!(" | {cores:>2}c geomean {g:>+7.1}%          "),
+                None => print!(" | {cores:>2}c geomean     n/a           "),
+            }
         }
         println!();
     }
@@ -279,6 +285,9 @@ pub fn stats_fields(w: &mut JsonWriter, htm: &StatsSnapshot, opti: &OptiStatsSna
         .field_u64("commits", htm.commits)
         .field_u64("read_only_commits", htm.read_only_commits)
         .field_u64("direct_sections", htm.direct_sections)
+        .field_u64("ctx_fresh", htm.ctx_fresh)
+        .field_u64("ctx_reused", htm.ctx_reused)
+        .field_u64("inline_overflows", htm.inline_overflows)
         .end_object()
         .key("aborts")
         .begin_object();
@@ -346,7 +355,10 @@ pub fn bench_json(figure: &str, results: &[SweepResult]) -> String {
     for (label, group) in &groups {
         w.key(label).begin_array();
         for idx in 0..npoints {
-            w.f64(geomean_pct(group, idx));
+            match geomean_pct(group, idx) {
+                Some(g) => w.f64(g),
+                None => w.null(),
+            };
         }
         w.end_array();
     }
@@ -434,8 +446,43 @@ mod tests {
                 opti: OptiStatsSnapshot::default(),
             }],
         };
-        let g = geomean_pct(&[&r, &r], 0);
+        let g = geomean_pct(&[&r, &r], 0).expect("non-empty set");
         assert!((g - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_empty_set_is_none_and_renders_null() {
+        assert_eq!(geomean_pct(&[], 0), None);
+        // A figure where every benchmark is sensitive leaves the
+        // non_sensitive group empty: its geomeans must render as null,
+        // not 0.000 ("measured, no speedup").
+        let r = SweepResult {
+            name: "x".into(),
+            sensitive: true,
+            points: vec![Point {
+                cores: 1,
+                lock_ns: 100.0,
+                gocc_ns: 50.0,
+                htm: StatsSnapshot::default(),
+                opti: OptiStatsSnapshot::default(),
+            }],
+        };
+        let json = bench_json("test", &[r]);
+        let doc = JsonValue::parse(&json).expect("valid JSON");
+        let geo = doc.get("geomean_pct").unwrap();
+        assert_eq!(
+            geo.get("non_sensitive").unwrap().as_array().unwrap()[0],
+            JsonValue::Null,
+            "empty group must emit null: {json}"
+        );
+        assert!(
+            (geo.get("all").unwrap().as_array().unwrap()[0]
+                .as_f64()
+                .unwrap()
+                - 100.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod contention;
 mod abort;
 mod clock;
 mod config;
+mod ctx;
 mod gate;
 mod runtime;
 mod stats;

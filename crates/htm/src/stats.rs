@@ -23,6 +23,8 @@ pub struct HtmStats {
     aborts_nested: AtomicU64,
     aborts_unfriendly: AtomicU64,
     direct_sections: AtomicU64,
+    ctx_fresh: AtomicU64,
+    inline_overflows: AtomicU64,
 }
 
 /// A point-in-time copy of [`HtmStats`].
@@ -50,6 +52,17 @@ pub struct StatsSnapshot {
     pub aborts_unfriendly: u64,
     /// Critical sections executed in direct (slow-path) mode.
     pub direct_sections: u64,
+    /// Fast-path attempts that had to *allocate* their `TxContext` arena
+    /// (first section on a thread, or overlapping transactions).
+    pub ctx_fresh: u64,
+    /// Fast-path attempts served by a cached thread-local arena. Derived:
+    /// every fast start acquires exactly one context, so this is
+    /// `starts - ctx_fresh`.
+    pub ctx_reused: u64,
+    /// Capacity aborts caused by a *physical* arena bound (inline write
+    /// table, staged-value size, read/subscription capacity) rather than
+    /// the modeled HTM capacity. A subset of `aborts_capacity`.
+    pub inline_overflows: u64,
 }
 
 impl StatsSnapshot {
@@ -100,6 +113,14 @@ impl HtmStats {
         self.direct_sections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_ctx_fresh(&self) {
+        self.ctx_fresh.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_inline_overflow(&self) {
+        self.inline_overflows.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_abort(&self, cause: AbortCause) {
         let counter = match cause {
             AbortCause::Explicit(_) => &self.aborts_explicit,
@@ -116,8 +137,10 @@ impl HtmStats {
     /// Takes a consistent-enough snapshot of the counters.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
+        let starts = self.starts.load(Ordering::Relaxed);
+        let ctx_fresh = self.ctx_fresh.load(Ordering::Relaxed);
         StatsSnapshot {
-            starts: self.starts.load(Ordering::Relaxed),
+            starts,
             commits: self.commits.load(Ordering::Relaxed),
             read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
             aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
@@ -128,6 +151,9 @@ impl HtmStats {
             aborts_nested: self.aborts_nested.load(Ordering::Relaxed),
             aborts_unfriendly: self.aborts_unfriendly.load(Ordering::Relaxed),
             direct_sections: self.direct_sections.load(Ordering::Relaxed),
+            ctx_fresh,
+            ctx_reused: starts.saturating_sub(ctx_fresh),
+            inline_overflows: self.inline_overflows.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,9 +1,12 @@
 //! Transaction contexts: the TL2-style speculation engine and the direct
 //! (slow-path) execution mode.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Per-attempt state lives in a reusable thread-local arena
+//! ([`crate::ctx`]); a steady-state fast-path attempt performs no heap
+//! allocation. See DESIGN.md §10 for the memory layout.
 
 use crate::abort::{Abort, AbortCause, TxResult, LOCK_HELD_CODE};
+use crate::ctx::{self, ReadEntry, TxContext};
 use crate::gate::LockWord;
 use crate::runtime::HtmRuntime;
 use crate::stripe::{StripeId, StripeSnapshot, CACHE_LINE};
@@ -30,49 +33,19 @@ pub enum Elision {
 /// Bounded attempts when spinning on a stripe briefly held by a committer.
 const STRIPE_SPIN_ATTEMPTS: usize = 64;
 
-struct ReadEntry {
-    stripe: StripeId,
-    seen: StripeSnapshot,
-}
-
-/// Type-erased staged write. `value_ptr`/`set_from` exist so that
-/// read-your-own-write can recover the typed value: the write-set key is the
-/// cell's address, and one address always refers to one `TxVar<T>`, so the
-/// staged payload behind a given key is always the same `T`.
-trait WriteSlot {
-    fn write_back(&self);
-    fn value_ptr(&self) -> *const ();
-    /// # Safety
-    ///
-    /// `src` must point to a valid value of the slot's concrete `T`.
-    unsafe fn set_from(&mut self, src: *const ());
-}
-
-struct Staged<'a, T: Copy> {
-    var: &'a TxVar<T>,
-    val: T,
-}
-
-impl<T: Copy> WriteSlot for Staged<'_, T> {
-    fn write_back(&self) {
-        // SAFETY: commit holds the stripe lock covering `var` when invoking
-        // write-backs (see `Tx::commit`).
-        unsafe { self.var.store_locked(self.val) }
-    }
-
-    fn value_ptr(&self) -> *const () {
-        (&self.val as *const T).cast()
-    }
-
-    unsafe fn set_from(&mut self, src: *const ()) {
-        // SAFETY: caller guarantees `src` points to a `T`.
-        self.val = unsafe { *src.cast::<T>() };
-    }
-}
-
-struct WriteEntry<'a> {
-    stripe: StripeId,
-    slot: Box<dyn WriteSlot + 'a>,
+/// Monomorphized write-back: volatile-stores the staged `T` at `src`
+/// (a slot buffer) to the `TxVar<T>` value pointer `dst`.
+///
+/// # Safety
+///
+/// `dst` must point at the `TxVar<T>` this write was staged for (with its
+/// stripe lock held, per [`TxVar::store_locked`]'s contract) and `src` at
+/// a valid `T` with at least `T`'s alignment.
+unsafe fn write_back_erased<T: Copy>(dst: *mut u8, src: *const u8) {
+    // SAFETY: per this function's contract; volatile mirrors
+    // `TxVar::store_locked` so concurrent seqlock readers discard torn
+    // copies.
+    unsafe { std::ptr::write_volatile(dst.cast::<T>(), std::ptr::read(src.cast::<T>())) }
 }
 
 /// A transaction context.
@@ -91,10 +64,18 @@ pub struct Tx<'a> {
     mode: TxMode,
     /// Read version: clock snapshot the speculation is consistent with.
     rv: u64,
-    reads: Vec<ReadEntry>,
-    writes: HashMap<usize, WriteEntry<'a>>,
-    write_lines: HashSet<usize>,
-    subs: Vec<(&'a LockWord, u64)>,
+    /// The reusable arena (fast mode only; direct mode touches no
+    /// transactional state and no thread-local).
+    ctx: Option<Box<TxContext>>,
+    /// Whether `ctx` came out of the thread-local cache.
+    ctx_reused: bool,
+    /// Sticky flag: a *physical* arena bound (not the modeled HTM
+    /// capacity) forced a capacity abort.
+    overflowed: bool,
+    /// Modeled read-set bound, clamped to the arena's physical capacity.
+    max_reads: usize,
+    /// Modeled write-line bound, clamped to the arena's physical capacity.
+    max_lines: usize,
     depth: usize,
     doomed: Option<AbortCause>,
     rng: u64,
@@ -114,26 +95,32 @@ impl<'a> Tx<'a> {
     pub fn fast(rt: &'a HtmRuntime) -> Self {
         rt.stats().record_start();
         let rv = rt.clock().now();
-        let rate = rt.config().spurious_abort_rate;
+        let config = rt.config();
+        let rate = config.spurious_abort_rate;
         let spurious_threshold = if rate > 0.0 {
             (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64
         } else {
             0
         };
+        let (ctx, ctx_reused) = ctx::acquire();
+        if !ctx_reused {
+            rt.stats().record_ctx_fresh();
+        }
         Tx {
             rt,
             mode: TxMode::Fast,
             rv,
-            reads: Vec::new(),
-            writes: HashMap::new(),
-            write_lines: HashSet::new(),
-            subs: Vec::new(),
+            ctx: Some(ctx),
+            ctx_reused,
+            overflowed: false,
+            max_reads: config.max_read_entries.min(ctx::MAX_READ_ENTRIES),
+            max_lines: config.max_write_lines.min(ctx::MAX_WRITE_LINES),
             depth: 1,
             doomed: None,
             rng: rv.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9E37_79B9,
             spurious_threshold,
             fault_site: 0,
-            fault_pending: rt.config().fault_plan.is_some(),
+            fault_pending: config.fault_plan.is_some(),
         }
     }
 
@@ -146,10 +133,11 @@ impl<'a> Tx<'a> {
             rt,
             mode: TxMode::Direct,
             rv: 0,
-            reads: Vec::new(),
-            writes: HashMap::new(),
-            write_lines: HashSet::new(),
-            subs: Vec::new(),
+            ctx: None,
+            ctx_reused: false,
+            overflowed: false,
+            max_reads: 0,
+            max_lines: 0,
             depth: 1,
             doomed: None,
             rng: 0,
@@ -187,13 +175,29 @@ impl<'a> Tx<'a> {
     /// Number of read-set entries recorded so far.
     #[must_use]
     pub fn read_set_len(&self) -> usize {
-        self.reads.len()
+        self.ctx.as_ref().map_or(0, |c| c.reads.len())
     }
 
     /// Number of distinct cache lines staged for writing.
     #[must_use]
     pub fn write_set_lines(&self) -> usize {
-        self.write_lines.len()
+        self.ctx.as_ref().map_or(0, |c| c.lines.len())
+    }
+
+    /// Whether this attempt checked its arena out of the thread-local
+    /// cache (steady state) rather than allocating it (first section on
+    /// this thread, or an overlapping transaction).
+    #[must_use]
+    pub fn ctx_reused(&self) -> bool {
+        self.ctx_reused
+    }
+
+    /// Whether a *physical* arena bound (inline write table, staged-value
+    /// size, read or subscription capacity) forced a capacity abort, as
+    /// opposed to the modeled HTM capacity.
+    #[must_use]
+    pub fn inline_overflowed(&self) -> bool {
+        self.overflowed
     }
 
     fn doom(&mut self, cause: AbortCause) -> Abort {
@@ -202,6 +206,16 @@ impl<'a> Tx<'a> {
             self.rt.stats().record_abort(cause);
         }
         Abort::new(self.doomed.unwrap_or(cause))
+    }
+
+    /// Marks a physical-capacity overflow and dooms with the capacity
+    /// cause the perceptron already learns from.
+    fn doom_overflow(&mut self) -> Abort {
+        if !self.overflowed {
+            self.overflowed = true;
+            self.rt.stats().record_inline_overflow();
+        }
+        self.doom(AbortCause::Capacity)
     }
 
     fn check_doomed(&self) -> TxResult<()> {
@@ -256,7 +270,8 @@ impl<'a> Tx<'a> {
     /// extends the read version (TL2 timestamp extension).
     fn extend(&mut self) -> TxResult<()> {
         let now = self.rt.clock().now();
-        for r in &self.reads {
+        let ctx = self.ctx.as_ref().expect("fast tx has a context");
+        for r in &ctx.reads {
             if !self.rt.table().validate(r.stripe, r.seen) {
                 return Err(Abort::new(AbortCause::Conflict));
             }
@@ -279,17 +294,21 @@ impl<'a> Tx<'a> {
             // so no writer races with this load under the access protocol.
             return Ok(unsafe { var.load_racy() });
         }
+        let rt = self.rt;
         let addr = var.addr();
-        if let Some(entry) = self.writes.get(&addr) {
-            // Read-your-own-write: the key is the cell address, so the
-            // staged payload is a `T` by construction.
-            // SAFETY: see `WriteSlot` docs — one address, one `TxVar<T>`.
-            let val = unsafe { *entry.slot.value_ptr().cast::<T>() };
-            return Ok(val);
+        {
+            let ctx = self.ctx.as_ref().expect("fast tx has a context");
+            if let Some(idx) = ctx.lookup(addr) {
+                // Read-your-own-write: the key is the cell address, so the
+                // staged payload is a `T` by construction (one address, one
+                // `TxVar<T>`), 8-aligned per the inline-buffer contract.
+                let slot = &ctx.slots[idx as usize];
+                return Ok(unsafe { std::ptr::read(slot.buf.as_ptr().cast::<T>()) });
+            }
         }
-        let stripe = self.rt.table().stripe_of_addr(addr);
+        let stripe = rt.table().stripe_of_addr(addr);
         for attempt in 0..STRIPE_SPIN_ATTEMPTS {
-            let s1 = self.rt.table().load(stripe);
+            let s1 = rt.table().load(stripe);
             if s1.is_locked() {
                 // A committer holds the stripe; brief, so spin (and let it
                 // run when the machine is oversubscribed).
@@ -309,14 +328,22 @@ impl<'a> Tx<'a> {
             }
             // SAFETY: torn copies are discarded when `s2 != s1` below.
             let val = unsafe { var.load_racy() };
-            let s2 = self.rt.table().load(stripe);
+            let s2 = rt.table().load(stripe);
             if s2 != s1 {
                 continue;
             }
-            if self.reads.len() >= self.rt.config().max_read_entries {
+            let reads = self.ctx.as_ref().map_or(0, |c| c.reads.len());
+            if reads >= self.max_reads {
+                if reads >= ctx::MAX_READ_ENTRIES {
+                    return Err(self.doom_overflow());
+                }
                 return Err(self.doom(AbortCause::Capacity));
             }
-            self.reads.push(ReadEntry { stripe, seen: s1 });
+            self.ctx
+                .as_mut()
+                .expect("fast tx has a context")
+                .reads
+                .push(ReadEntry { stripe, seen: s1 });
             return Ok(val);
         }
         Err(self.doom(AbortCause::Conflict))
@@ -324,9 +351,9 @@ impl<'a> Tx<'a> {
 
     /// Writes a transactional cell.
     ///
-    /// Fast path: the write is buffered; direct path: written in place
-    /// under the cell's stripe lock so overlapping speculative readers
-    /// observe the version change.
+    /// Fast path: the write is buffered in the arena's inline write set;
+    /// direct path: written in place under the cell's stripe lock so
+    /// overlapping speculative readers observe the version change.
     pub fn write<T: Copy>(&mut self, var: &'a TxVar<T>, val: T) -> TxResult<()> {
         self.check_doomed()?;
         self.maybe_injected()?;
@@ -360,26 +387,42 @@ impl<'a> Tx<'a> {
             table.unlock_with_version(stripe, wv.max(held.version() + 1));
             return Ok(());
         }
-        if let Some(entry) = self.writes.get_mut(&addr) {
-            // SAFETY: same address ⇒ same `TxVar<T>` ⇒ same `T`.
-            unsafe { entry.slot.set_from((&val as *const T).cast()) };
+        // Values that do not fit the inline slot buffer cannot be staged:
+        // physical capacity abort (hardware aborts on unfriendly data too).
+        if std::mem::size_of::<T>() > ctx::INLINE_VALUE_BYTES
+            || std::mem::align_of::<T>() > ctx::INLINE_VALUE_ALIGN
+        {
+            return Err(self.doom_overflow());
+        }
+        let rt = self.rt;
+        let max_lines = self.max_lines;
+        let ctx = self.ctx.as_mut().expect("fast tx has a context");
+        let (idx, found) = ctx.find_for_write(addr);
+        if found {
+            let slot = &mut ctx.slots[idx as usize];
+            // SAFETY: same address ⇒ same `TxVar<T>` ⇒ same `T`; size and
+            // alignment were checked above.
+            unsafe { std::ptr::write(slot.buf.as_mut_ptr().cast::<T>(), val) };
             return Ok(());
         }
-        let line = addr / CACHE_LINE;
-        if !self.write_lines.contains(&line)
-            && self.write_lines.len() >= self.rt.config().max_write_lines
-        {
-            return Err(self.doom(AbortCause::Capacity));
+        if ctx.order.len() >= ctx::MAX_WRITE_ENTRIES {
+            return Err(self.doom_overflow());
         }
-        self.write_lines.insert(line);
-        let stripe = self.rt.table().stripe_of_addr(addr);
-        self.writes.insert(
-            addr,
-            WriteEntry {
-                stripe,
-                slot: Box::new(Staged { var, val }),
-            },
-        );
+        let line = addr / CACHE_LINE;
+        match ctx.note_write_line(line, max_lines) {
+            Ok(_new_line) => {}
+            Err(()) => {
+                if max_lines >= ctx::MAX_WRITE_LINES {
+                    return Err(self.doom_overflow());
+                }
+                return Err(self.doom(AbortCause::Capacity));
+            }
+        }
+        let stripe = rt.table().stripe_of_addr(addr);
+        ctx.note_stripe(stripe);
+        let slot = ctx.claim(idx, addr, stripe, write_back_erased::<T>);
+        // SAFETY: size/align checked above; the slot buffer is 8-aligned.
+        unsafe { std::ptr::write(slot.buf.as_mut_ptr().cast::<T>(), val) };
         Ok(())
     }
 
@@ -406,7 +449,11 @@ impl<'a> Tx<'a> {
         if blocked {
             return Err(self.doom(AbortCause::Explicit(LOCK_HELD_CODE)));
         }
-        self.subs.push((lock, seen));
+        let ctx = self.ctx.as_mut().expect("fast tx has a context");
+        if ctx.subs.len() >= ctx::MAX_SUBS {
+            return Err(self.doom_overflow());
+        }
+        ctx.subs.push((lock as *const LockWord, seen));
         Ok(())
     }
 
@@ -460,43 +507,77 @@ impl<'a> Tx<'a> {
     /// published). Fast-path contexts validate their read set and lock
     /// subscriptions, publish buffered writes under stripe locks, and
     /// advance the global clock.
-    pub fn commit(self) -> TxResult<()> {
+    pub fn commit(mut self) -> TxResult<()> {
         if let Some(cause) = self.doomed {
             return Err(Abort::new(cause));
         }
         if self.mode == TxMode::Direct {
             return Ok(());
         }
-        if self.writes.is_empty() {
-            return self.commit_read_only();
-        }
-        self.commit_writing()
-    }
-
-    fn commit_read_only(mut self) -> TxResult<()> {
-        for &(lock, seen) in &self.subs {
-            if !lock.validate(seen) {
-                return Err(self.doom(AbortCause::Explicit(LOCK_HELD_CODE)));
+        let mut ctx = self.ctx.take().expect("fast tx has a context");
+        let result = commit_ctx(self.rt, &mut ctx);
+        ctx::release(ctx);
+        match result {
+            Ok(read_only) => {
+                self.rt.stats().record_commit(read_only);
+                Ok(())
+            }
+            Err(cause) => {
+                self.rt.stats().record_abort(cause);
+                Err(Abort::new(cause))
             }
         }
-        for r in &self.reads {
-            if !self.rt.table().validate(r.stripe, r.seen) {
-                let abort = self.doom(AbortCause::Conflict);
-                return Err(abort);
-            }
-        }
-        self.rt.stats().record_commit(true);
-        Ok(())
     }
 
-    fn commit_writing(mut self) -> TxResult<()> {
-        let table = self.rt.table();
-        // Lock write stripes in sorted order (deadlock freedom), bounded.
-        let mut stripes: Vec<StripeId> = self.writes.values().map(|w| w.stripe).collect();
-        stripes.sort_unstable();
-        stripes.dedup();
-        let mut held: Vec<(StripeId, StripeSnapshot)> = Vec::with_capacity(stripes.len());
-        for &s in &stripes {
+    /// Discards the transaction: buffered writes are dropped.
+    ///
+    /// Equivalent to letting the context fall out of scope; provided for
+    /// call sites that want to make the roll-back explicit.
+    pub fn rollback(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        // Roll back: return the arena (reset) to the thread-local cache.
+        // `commit` takes the context out first, so this only fires for
+        // dropped/rolled-back transactions.
+        if let Some(ctx) = self.ctx.take() {
+            ctx::release(ctx);
+        }
+    }
+}
+
+/// Commits a fast-path transaction's context. Returns `Ok(read_only)` or
+/// the abort cause; the caller records statistics and releases the arena.
+fn commit_ctx(rt: &HtmRuntime, ctx: &mut TxContext) -> Result<bool, AbortCause> {
+    let table = rt.table();
+    if ctx.order.is_empty() {
+        // Read-only: validate subscriptions and the read set; nothing to
+        // publish, no clock tick (TL2's read-only fast path).
+        for &(lock, seen) in &ctx.subs {
+            // SAFETY: subscription pointers come from `&'a LockWord`s that
+            // outlive the `Tx<'a>` driving this commit.
+            if !unsafe { &*lock }.validate(seen) {
+                return Err(AbortCause::Explicit(LOCK_HELD_CODE));
+            }
+        }
+        for r in &ctx.reads {
+            if !table.validate(r.stripe, r.seen) {
+                return Err(AbortCause::Conflict);
+            }
+        }
+        return Ok(true);
+    }
+    // Lock write stripes in sorted order (deadlock freedom): `stripes`
+    // was kept sorted and deduped at write time, so `held` — pushed in
+    // the same order — stays sorted for the binary searches below.
+    debug_assert!(ctx.held.is_empty());
+    {
+        let stripes = &ctx.stripes;
+        let held = &mut ctx.held;
+        for &s in stripes {
             let mut locked = None;
             for attempt in 0..STRIPE_SPIN_ATTEMPTS {
                 if let Some(snap) = table.try_lock_current(s) {
@@ -512,82 +593,83 @@ impl<'a> Tx<'a> {
             match locked {
                 Some(snap) => held.push((s, snap)),
                 None => {
-                    self.release_held(&held, None);
-                    return Err(self.doom(AbortCause::Conflict));
+                    release_held(rt, held, None);
+                    held.clear();
+                    return Err(AbortCause::Conflict);
                 }
             }
         }
-        // Enter the commit gates *before* the final lock-word validation so
-        // a slow-path acquirer marking the word held either fails us here
-        // or waits for our write-back to drain.
-        for &(lock, _) in &self.subs {
-            lock.committer_enter();
+    }
+    // Enter the commit gates *before* the final lock-word validation so
+    // a slow-path acquirer marking the word held either fails us here
+    // or waits for our write-back to drain.
+    for &(lock, _) in &ctx.subs {
+        // SAFETY: see the read-only path above.
+        unsafe { &*lock }.committer_enter();
+    }
+    let mut fail: Option<AbortCause> = None;
+    for &(lock, seen) in &ctx.subs {
+        // SAFETY: see the read-only path above.
+        if !unsafe { &*lock }.validate(seen) {
+            fail = Some(AbortCause::Explicit(LOCK_HELD_CODE));
+            break;
         }
-        let mut fail: Option<AbortCause> = None;
-        for &(lock, seen) in &self.subs {
-            if !lock.validate(seen) {
-                fail = Some(AbortCause::Explicit(LOCK_HELD_CODE));
+    }
+    if fail.is_none() {
+        // Validate the read set: untouched stripes must match their
+        // snapshots; stripes we hold must not have changed before we
+        // locked them.
+        for r in &ctx.reads {
+            let ours = ctx.held.binary_search_by_key(&r.stripe, |&(s, _)| s);
+            let ok = match ours {
+                Ok(i) => ctx.held[i].1 == r.seen,
+                Err(_) => table.validate(r.stripe, r.seen),
+            };
+            if !ok {
+                fail = Some(AbortCause::Conflict);
                 break;
             }
         }
-        if fail.is_none() {
-            // Validate the read set: untouched stripes must match their
-            // snapshots; stripes we hold must not have changed before we
-            // locked them.
-            for r in &self.reads {
-                let ours = held.binary_search_by_key(&r.stripe, |&(s, _)| s);
-                let ok = match ours {
-                    Ok(i) => held[i].1 == r.seen,
-                    Err(_) => table.validate(r.stripe, r.seen),
-                };
-                if !ok {
-                    fail = Some(AbortCause::Conflict);
-                    break;
-                }
-            }
-        }
-        if let Some(cause) = fail {
-            self.exit_gates();
-            self.release_held(&held, None);
-            return Err(self.doom(cause));
-        }
-        let wv = self.rt.clock().tick();
-        // Model the coherence cost of taking ownership of each written
-        // line (symmetric with the slow path's per-write charges).
-        for _ in &held {
-            crate::contention::charge_shared_rmw();
-        }
-        for entry in self.writes.values() {
-            entry.slot.write_back();
-        }
-        self.release_held(&held, Some(wv));
-        self.exit_gates();
-        self.rt.stats().record_commit(false);
-        Ok(())
     }
-
-    fn exit_gates(&self) {
-        for &(lock, _) in &self.subs {
-            lock.committer_exit();
-        }
+    if let Some(cause) = fail {
+        exit_gates(ctx);
+        release_held(rt, &ctx.held, None);
+        ctx.held.clear();
+        return Err(cause);
     }
-
-    fn release_held(&self, held: &[(StripeId, StripeSnapshot)], new_version: Option<u64>) {
-        let table = self.rt.table();
-        for &(s, snap) in held {
-            match new_version {
-                Some(v) => table.unlock_with_version(s, v),
-                None => table.unlock_restore(s, snap),
-            }
-        }
+    let wv = rt.clock().tick();
+    // Model the coherence cost of taking ownership of each written
+    // line (symmetric with the slow path's per-write charges).
+    for _ in &ctx.held {
+        crate::contention::charge_shared_rmw();
     }
+    for &idx in &ctx.order {
+        let slot = &ctx.slots[idx as usize];
+        // SAFETY: `addr` is the staged `TxVar<T>`'s value pointer, its
+        // stripe is locked (held above), and `buf` holds a valid `T` —
+        // `write_back` is the `T`-monomorphized eraser.
+        unsafe { (slot.write_back)(slot.addr as *mut u8, slot.buf.as_ptr().cast()) };
+    }
+    release_held(rt, &ctx.held, Some(wv));
+    ctx.held.clear();
+    exit_gates(ctx);
+    Ok(false)
+}
 
-    /// Discards the transaction: buffered writes are dropped.
-    ///
-    /// Equivalent to letting the context fall out of scope; provided for
-    /// call sites that want to make the roll-back explicit.
-    pub fn rollback(self) {
-        drop(self);
+fn exit_gates(ctx: &TxContext) {
+    for &(lock, _) in &ctx.subs {
+        // SAFETY: see `commit_ctx`.
+        unsafe { &*lock }.committer_exit();
+    }
+}
+
+fn release_held(rt: &HtmRuntime, held: &[(StripeId, StripeSnapshot)], new_version: Option<u64>) {
+    let table = rt.table();
+    for &(s, snap) in held {
+        match new_version {
+            Some(v) => table.unlock_with_version(s, v),
+            None => table.unlock_restore(s, snap),
+        }
     }
 }
 
@@ -596,8 +678,8 @@ impl std::fmt::Debug for Tx<'_> {
         f.debug_struct("Tx")
             .field("mode", &self.mode)
             .field("rv", &self.rv)
-            .field("reads", &self.reads.len())
-            .field("write_lines", &self.write_lines.len())
+            .field("reads", &self.read_set_len())
+            .field("write_lines", &self.write_set_lines())
             .field("depth", &self.depth)
             .field("doomed", &self.doomed)
             .finish()
@@ -664,6 +746,9 @@ mod tests {
             }
         }
         assert_eq!(aborted.expect("must abort").cause, AbortCause::Capacity);
+        // The modeled (configured) bound fired, not the physical arena.
+        assert!(!tx.inline_overflowed());
+        assert_eq!(rt.stats().snapshot().inline_overflows, 0);
     }
 
     #[test]
@@ -679,6 +764,26 @@ mod tests {
             }
         }
         assert_eq!(aborted.expect("must abort").cause, AbortCause::Capacity);
+        assert!(!tx.inline_overflowed());
+    }
+
+    #[test]
+    fn oversized_staged_value_overflows_the_inline_slot() {
+        let rt = rt();
+        // 40 bytes > the 32-byte inline buffer.
+        let v = TxVar::new([0u64; 5]);
+        let mut tx = Tx::fast(&rt);
+        assert_eq!(
+            tx.write(&v, [1; 5]).unwrap_err().cause,
+            AbortCause::Capacity
+        );
+        assert!(tx.inline_overflowed(), "physical bound, not modeled one");
+        assert_eq!(rt.stats().snapshot().inline_overflows, 1);
+        // Reads of the cell still work on the direct path.
+        drop(tx);
+        let mut slow = Tx::direct(&rt);
+        assert_eq!(slow.read(&v).unwrap(), [0; 5]);
+        slow.commit().unwrap();
     }
 
     #[test]
@@ -743,6 +848,22 @@ mod tests {
         let err = tx.commit().unwrap_err();
         assert_eq!(err.cause, AbortCause::Explicit(LOCK_HELD_CODE));
         lw.clear_held();
+    }
+
+    #[test]
+    fn subscription_capacity_overflows() {
+        let rt = rt();
+        let words: Vec<Box<LockWord>> = (0..32).map(|_| Box::new(LockWord::new())).collect();
+        let mut tx = Tx::fast(&rt);
+        let mut aborted = None;
+        for w in &words {
+            if let Err(a) = tx.subscribe_lock(w, Elision::Write) {
+                aborted = Some(a);
+                break;
+            }
+        }
+        assert_eq!(aborted.expect("must abort").cause, AbortCause::Capacity);
+        assert!(tx.inline_overflowed());
     }
 
     #[test]
@@ -863,6 +984,26 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_context_reuse() {
+        let rt = rt();
+        let v = TxVar::new(0u64);
+        std::thread::spawn(move || {
+            // A dedicated thread so this test owns its context cache.
+            for i in 0..5u64 {
+                let mut tx = Tx::fast(&rt);
+                tx.write(&v, i).unwrap();
+                assert_eq!(tx.ctx_reused(), i > 0, "iteration {i}");
+                tx.commit().unwrap();
+            }
+            let snap = rt.stats().snapshot();
+            assert_eq!(snap.ctx_fresh, 1, "one allocation on first use");
+            assert_eq!(snap.ctx_reused, 4, "every later attempt reuses");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
     fn timestamp_extension_allows_read_after_unrelated_commit() {
         let rt = rt();
         let x = Box::new(TxVar::new(0u64));
@@ -877,6 +1018,54 @@ mod tests {
         assert_eq!(a.read(&y).unwrap(), 9);
         assert_eq!(a.read(&x).unwrap(), 0);
         a.commit().unwrap();
+    }
+
+    #[test]
+    fn large_write_sets_cross_the_hash_path_and_commit() {
+        let rt = rt();
+        // 256 distinct addresses: far past the linear-scan threshold, so
+        // lookups and inserts exercise the open-addressed table.
+        let cells: Vec<TxVar<u64>> = (0..256).map(|_| TxVar::new(0)).collect();
+        let mut tx = Tx::fast(&rt);
+        for (i, c) in cells.iter().enumerate() {
+            tx.write(c, i as u64).unwrap();
+        }
+        // Read-your-own-write through the hash path, then overwrite.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(tx.read(c).unwrap(), i as u64);
+            tx.write(c, i as u64 * 2).unwrap();
+        }
+        tx.commit().unwrap();
+        let mut check = Tx::direct(&rt);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(check.read(c).unwrap(), i as u64 * 2);
+        }
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn reused_context_carries_no_state_between_attempts() {
+        let rt = rt();
+        std::thread::spawn(move || {
+            let v = TxVar::new(1u64);
+            let w = TxVar::new(2u64);
+            let mut a = Tx::fast(&rt);
+            a.write(&v, 99).unwrap();
+            a.rollback();
+            // Same thread, so `b` reuses `a`'s arena: it must not see the
+            // rolled-back staged write, and committing must not publish it.
+            let mut b = Tx::fast(&rt);
+            assert!(b.ctx_reused());
+            assert_eq!(b.read(&v).unwrap(), 1, "stale staged write visible");
+            b.write(&w, 3).unwrap();
+            b.commit().unwrap();
+            let mut check = Tx::direct(&rt);
+            assert_eq!(check.read(&v).unwrap(), 1);
+            assert_eq!(check.read(&w).unwrap(), 3);
+            check.commit().unwrap();
+        })
+        .join()
+        .unwrap();
     }
 }
 

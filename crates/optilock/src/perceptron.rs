@@ -55,24 +55,20 @@ pub struct Perceptron {
     mutex_streak: Box<[AtomicU32]>,
     site_streak: Box<[AtomicU32]>,
     resets: AtomicU64,
-    decisions_fast: AtomicU64,
-    decisions_slow: AtomicU64,
     config: PerceptronConfig,
 }
 
 /// A point-in-time copy of a [`Perceptron`]'s learning state (Figure 10's
-/// back-off narrative, as data): both weight tables, decision counts and
-/// decay/reset events.
+/// back-off narrative, as data): both weight tables and decay/reset
+/// events. Decision counts live in `OptiStats`
+/// (`perceptron_htm`/`perceptron_slow`) — the predictor itself keeps no
+/// shared counters off its lookup path.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PerceptronSnapshot {
     /// The mutex⊕site weight table.
     pub mutex_weights: Vec<i8>,
     /// The call-site weight table.
     pub site_weights: Vec<i8>,
-    /// Predictions that chose HTM.
-    pub decisions_fast: u64,
-    /// Predictions that chose the lock.
-    pub decisions_slow: u64,
     /// Decay-driven weight resets.
     pub resets: u64,
 }
@@ -93,6 +89,7 @@ impl PerceptronSnapshot {
     }
 }
 
+#[inline]
 fn index_of(feature: usize) -> usize {
     // The paper takes the lower 12 bits of the address, which decorrelates
     // well for stack-allocated OptiLocks that live pages apart. This
@@ -122,13 +119,12 @@ impl Perceptron {
             mutex_streak: zeroed_u32(TABLE_ENTRIES),
             site_streak: zeroed_u32(TABLE_ENTRIES),
             resets: AtomicU64::new(0),
-            decisions_fast: AtomicU64::new(0),
-            decisions_slow: AtomicU64::new(0),
             config,
         }
     }
 
     /// Computes the feature indices for a (mutex, call-site) pair.
+    #[inline]
     #[must_use]
     pub fn features(&self, mutex_id: usize, site: usize) -> Features {
         Features {
@@ -144,17 +140,30 @@ impl Perceptron {
     /// calls to the slow path its weights reset to zero, so the next call
     /// gives HTM another chance ("without this reset, perceptron would get
     /// stuck on the slowpath").
+    ///
+    /// The HTM branch is the steady-state hot path: it costs exactly the
+    /// two weight-table reads, and only touches the streak cells when
+    /// there is a nonzero streak to clear — so repeated fast predictions
+    /// never dirty a shared cache line. Decision *counting* lives with
+    /// the caller (`OptiStats::perceptron_htm`/`perceptron_slow`), not
+    /// here: a shared counter RMW per prediction would put every core on
+    /// one cache line and cost more than the lookup it is counting.
+    #[inline]
     #[must_use]
     pub fn predict(&self, features: Features) -> bool {
         let sum = i32::from(self.mutex_weights[features.mutex_idx].load(Ordering::Relaxed))
             + i32::from(self.site_weights[features.site_idx].load(Ordering::Relaxed));
         if sum >= self.config.threshold {
-            self.decisions_fast.fetch_add(1, Ordering::Relaxed);
-            self.mutex_streak[features.mutex_idx].store(0, Ordering::Relaxed);
-            self.site_streak[features.site_idx].store(0, Ordering::Relaxed);
+            for (streaks, idx) in [
+                (&self.mutex_streak, features.mutex_idx),
+                (&self.site_streak, features.site_idx),
+            ] {
+                if streaks[idx].load(Ordering::Relaxed) != 0 {
+                    streaks[idx].store(0, Ordering::Relaxed);
+                }
+            }
             return true;
         }
-        self.decisions_slow.fetch_add(1, Ordering::Relaxed);
         self.advance_streak(features);
         false
     }
@@ -175,6 +184,7 @@ impl Perceptron {
 
     /// Trains towards HTM: the prediction said HTM and the section finished
     /// on the fast path.
+    #[inline]
     pub fn reward(&self, features: Features) {
         bump(&self.mutex_weights[features.mutex_idx], 1);
         bump(&self.site_weights[features.site_idx], 1);
@@ -210,15 +220,6 @@ impl Perceptron {
         )
     }
 
-    /// Decisions taken so far as `(fast, slow)` counts.
-    #[must_use]
-    pub fn decision_counts(&self) -> (u64, u64) {
-        (
-            self.decisions_fast.load(Ordering::Relaxed),
-            self.decisions_slow.load(Ordering::Relaxed),
-        )
-    }
-
     /// Copies the complete learning state for offline inspection.
     #[must_use]
     pub fn snapshot(&self) -> PerceptronSnapshot {
@@ -233,8 +234,6 @@ impl Perceptron {
                 .iter()
                 .map(|w| w.load(Ordering::Relaxed))
                 .collect(),
-            decisions_fast: self.decisions_fast.load(Ordering::Relaxed),
-            decisions_slow: self.decisions_slow.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
         }
     }
@@ -320,20 +319,17 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_reflects_training_and_decisions() {
+    fn snapshot_reflects_training() {
         let p = p();
         let f = p.features(0x10, 0x20);
         assert!(p.predict(f));
         p.penalize(f);
         assert!(!p.predict(f));
         let snap = p.snapshot();
-        assert_eq!(snap.decisions_fast, 1);
-        assert_eq!(snap.decisions_slow, 1);
         assert_eq!(snap.resets, 0);
         assert_eq!(PerceptronSnapshot::trained_cells(&snap.mutex_weights), 1);
         assert_eq!(PerceptronSnapshot::trained_cells(&snap.site_weights), 1);
         assert_eq!(PerceptronSnapshot::table_bias(&snap.mutex_weights), -1);
-        assert_eq!(p.decision_counts(), (1, 1));
         assert_eq!(p.weights(f), (-1, -1));
     }
 

@@ -30,6 +30,7 @@ use gocc_htm::{Abort, Elision, LockWord, Tx, TxResult, MUTEX_MISMATCH_CODE};
 use gocc_telemetry::{Event, EventOutcome};
 
 use crate::elidable::{ElidableMutex, ElidableRwMutex};
+use crate::perceptron::Features;
 use crate::runtime::GoccRuntime;
 use crate::stats::OptiStats;
 
@@ -168,7 +169,14 @@ impl<'a> HtmScope<'a> {
     pub fn abort_restart(&mut self) {
         match std::mem::replace(&mut self.state, ScopeState::Idle) {
             ScopeState::Idle => {}
-            ScopeState::Fast { tx, .. } => tx.rollback(),
+            ScopeState::Fast { tx, .. } => {
+                if tx.inline_overflowed() {
+                    if let Some(t) = self.rt.telemetry() {
+                        t.note_inline_overflow();
+                    }
+                }
+                tx.rollback();
+            }
             ScopeState::Slow { .. } => {
                 panic!("optilock: abort_restart on a slow-path section")
             }
@@ -205,6 +213,10 @@ pub struct OptiLock {
     /// large), this only resets when the section completes.
     section_aborts: u32,
     decision: Option<Decision>,
+    /// Perceptron indices for the current section, hashed once at the
+    /// first prediction and reused by every later predict/train touch —
+    /// the decision itself then costs exactly two weight-table reads.
+    features: Option<Features>,
     /// Latest predictor verdict, traced into the telemetry event ring.
     predicted_fast: bool,
     /// When the section's first execution began; set only with telemetry
@@ -226,9 +238,17 @@ impl OptiLock {
             attempted_htm: false,
             section_aborts: 0,
             decision: None,
+            features: None,
             predicted_fast: false,
             section_start: None,
         }
+    }
+
+    /// The perceptron indices for this section, computed on first use.
+    fn section_features(&mut self, rt: &GoccRuntime, lock: LockRef<'_>) -> Features {
+        *self
+            .features
+            .get_or_insert_with(|| rt.perceptron().features(lock.lock_id(), self.site))
     }
 
     /// Whether the last `FastLock` fell back to the real lock.
@@ -248,6 +268,10 @@ impl OptiLock {
     /// the scope is then rolled back and the caller must re-execute the
     /// section from its outermost `fast_lock`.
     pub fn fast_lock<'a>(&mut self, scope: &mut HtmScope<'a>, lock: LockRef<'a>) -> TxResult<()> {
+        // A lock point (re)starts this pair's section: drop any feature
+        // indices cached for a previous lock so training cannot touch a
+        // stale cell when the pair is reused with a different mutex.
+        self.features = None;
         let nested_outcome = match &mut scope.state {
             ScopeState::Fast { tx, depth } => {
                 // Nested pair inside a speculation: flat nesting.
@@ -317,12 +341,15 @@ impl OptiLock {
                 spins -= 1;
             }
             OptiStats::add(&rt.stats().htm_attempts);
-            if let Some(t) = rt.telemetry() {
-                t.sites.record_start(self.site, lock.lock_id());
-            }
             self.attempted_htm = true;
             let mut tx = Tx::fast(rt.htm());
             tx.set_fault_site(self.site);
+            if let Some(t) = rt.telemetry() {
+                t.sites.record_start(self.site, lock.lock_id());
+                if tx.ctx_reused() {
+                    t.note_ctx_reused();
+                }
+            }
             match tx.subscribe_lock(lock.word(), lock.kind()) {
                 Ok(()) => {
                     scope.state = ScopeState::Fast { tx, depth: 1 };
@@ -331,6 +358,11 @@ impl OptiLock {
                     return;
                 }
                 Err(abort) => {
+                    if tx.inline_overflowed() {
+                        if let Some(t) = rt.telemetry() {
+                            t.note_inline_overflow();
+                        }
+                    }
                     tx.rollback();
                     self.note_abort(rt, lock, &abort);
                     // Immediately re-decide; exhausted budgets fall through
@@ -351,7 +383,7 @@ impl OptiLock {
         self.lk = Some(lock.key());
     }
 
-    fn decide(&self, rt: &GoccRuntime, lock: LockRef<'_>) -> Decision {
+    fn decide(&mut self, rt: &GoccRuntime, lock: LockRef<'_>) -> Decision {
         if self.section_aborts >= rt.policy().watchdog_abort_bound {
             // Bounded-retry guarantee: whatever the configured budget,
             // this section has re-executed enough. Force the lock path —
@@ -373,7 +405,7 @@ impl OptiLock {
         if !rt.perceptron_enabled() {
             return Decision::Htm;
         }
-        let features = rt.perceptron().features(lock.lock_id(), self.site);
+        let features = self.section_features(rt, lock);
         if rt.perceptron().predict(features) {
             OptiStats::add(&rt.stats().perceptron_htm);
             Decision::Htm
@@ -481,9 +513,9 @@ impl OptiLock {
         }
     }
 
-    fn train_fast_completion(&self, rt: &GoccRuntime, lock: LockRef<'_>) {
+    fn train_fast_completion(&mut self, rt: &GoccRuntime, lock: LockRef<'_>) {
         if rt.perceptron_enabled() {
-            let features = rt.perceptron().features(lock.lock_id(), self.site);
+            let features = self.section_features(rt, lock);
             rt.perceptron().reward(features);
         }
     }
@@ -505,7 +537,7 @@ impl OptiLock {
         }
         if self.attempted_htm && rt.perceptron_enabled() {
             // HTM was tried but the section finished on the lock: penalize.
-            let features = rt.perceptron().features(lock.lock_id(), self.site);
+            let features = self.section_features(rt, lock);
             rt.perceptron().penalize(features);
         }
         self.finish();
@@ -515,6 +547,7 @@ impl OptiLock {
         self.slow_path = false;
         self.lk = None;
         self.decision = None;
+        self.features = None;
         self.attempted_htm = false;
         self.attempts_left = u32::MAX;
         self.section_aborts = 0;

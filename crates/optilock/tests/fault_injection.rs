@@ -135,6 +135,84 @@ fn injected_spurious_aborts_follow_the_retry_branch() {
 }
 
 #[test]
+fn injected_aborts_leave_reused_contexts_clean() {
+    // The same thread-local `TxContext` arena serves every attempt on this
+    // thread; injected aborts tear attempts down mid-section. No staged
+    // write from an aborted attempt may leak into a later one — the final
+    // count proves it (a stale write-set entry would publish a stale value
+    // or double-apply an increment at some commit).
+    let (rt, plan) = np_runtime_with(
+        AbortMix {
+            conflict: 0.4,
+            ..AbortMix::default()
+        },
+        21,
+    );
+    let m = ElidableMutex::new();
+    let v = TxVar::new(0u64);
+    const SECTIONS: u64 = 300;
+    for i in 0..SECTIONS {
+        critical_mutex(&rt, call_site!(), &m, |tx| {
+            let cur = tx.read(&v)?;
+            // Also stage a value that each attempt overwrites, so a stale
+            // entry from an aborted attempt would be observable.
+            tx.write(&v, cur + 1)?;
+            assert_eq!(tx.read(&v)?, i + 1, "own staged write must win");
+            Ok(())
+        });
+    }
+    let mut check = Tx::direct(rt.htm());
+    assert_eq!(check.read(&v).unwrap(), SECTIONS, "stale context state");
+    assert!(plan.total_injected() > 50, "injection must actually fire");
+    let htm = rt.htm().stats().snapshot();
+    // Every attempt — including each aborted one — reused the one arena
+    // this thread allocated; rollback must hand it back clean.
+    assert!(htm.ctx_fresh <= 2, "contexts leaked across aborts: {htm:?}");
+    assert!(htm.ctx_reused >= SECTIONS, "reuse not engaged: {htm:?}");
+    assert_eq!(htm.inline_overflows, 0);
+}
+
+#[test]
+fn inline_table_overflow_aborts_with_capacity_and_completes_slow() {
+    // A section writing more distinct cache lines than the arena can hold
+    // must abort with Capacity (the cause the perceptron learns from),
+    // count as a physical inline overflow, and complete on the lock path.
+    gocc_gosync::set_procs(8);
+    let mut cfg = GoccConfig::no_perceptron();
+    cfg.telemetry_enabled = true;
+    let rt = GoccRuntime::new(cfg);
+    let m = ElidableMutex::new();
+    // 600 cache lines of u64 cells: past the 512-line physical bound.
+    let cells: Vec<TxVar<u64>> = (0..600 * 8).map(|_| TxVar::new(0)).collect();
+    critical_mutex(&rt, call_site!(), &m, |tx| {
+        for (i, c) in cells.iter().enumerate() {
+            tx.write(c, i as u64)?;
+        }
+        Ok(())
+    });
+    let mut check = Tx::direct(rt.htm());
+    assert_eq!(check.read(&cells[4799]).unwrap(), 4799, "section lost");
+    let htm = rt.htm().stats().snapshot();
+    assert!(htm.aborts_capacity >= 1, "no capacity abort: {htm:?}");
+    assert!(htm.inline_overflows >= 1, "overflow not counted: {htm:?}");
+    let snap = rt.stats().snapshot();
+    assert_eq!(snap.slow_sections, 1);
+    assert_eq!(
+        snap.htm_attempts, 1,
+        "capacity is deterministic: one doomed attempt, then the lock"
+    );
+    assert!(
+        rt.telemetry().unwrap().inline_overflows() >= 1,
+        "telemetry must surface the overflow"
+    );
+    // The oversized section must not have poisoned the thread's arena.
+    let v = TxVar::new(0u64);
+    critical_mutex(&rt, call_site!(), &m, |tx| tx.write(&v, 7));
+    let mut check = Tx::direct(rt.htm());
+    assert_eq!(check.read(&v).unwrap(), 7);
+}
+
+#[test]
 fn watchdog_bounds_a_pathological_retry_policy() {
     // A policy with an effectively unbounded budget plus a 100% transient
     // abort rate is a livelock machine. The watchdog must cap it: each

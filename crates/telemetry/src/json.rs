@@ -120,6 +120,14 @@ impl JsonWriter {
         self
     }
 
+    /// Emits a `null` — the convention for "no value", e.g. a statistic
+    /// over an empty set (as opposed to a zero, which reads as measured).
+    pub fn null(&mut self) -> &mut Self {
+        self.pad();
+        self.out.push_str("null");
+        self
+    }
+
     /// Splices an already-rendered JSON document in as a value — how the
     /// server nests a [`crate::TelemetryReport`]'s JSON inside its own
     /// stats document without re-parsing it. The caller owns the claim
@@ -406,6 +414,28 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn null_values_round_trip() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("missing")
+            .null()
+            .key("list")
+            .begin_array()
+            .null()
+            .u64(1)
+            .end_array()
+            .end_object();
+        let s = w.finish();
+        assert_eq!(s, r#"{"missing":null,"list":[null,1]}"#);
+        let v = JsonValue::parse(&s).expect("parses");
+        assert_eq!(v.get("missing").unwrap(), &JsonValue::Null);
+        assert_eq!(
+            v.get("list").unwrap().as_array().unwrap()[0],
+            JsonValue::Null
+        );
+    }
 
     #[test]
     fn writer_emits_stable_order() {

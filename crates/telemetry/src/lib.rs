@@ -63,6 +63,14 @@ pub struct Telemetry {
     /// the bounded-retry guarantee was exercised, not that anything went
     /// wrong — the section still completed, pessimistically.
     watchdog_forced: AtomicU64,
+    /// Speculative attempts that reused a cached per-thread transaction
+    /// context (the allocation-free steady state). Attempts minus this is
+    /// how many times the runtime had to allocate an arena.
+    ctx_reused: AtomicU64,
+    /// Speculative attempts aborted because a *physical* context bound
+    /// (inline write table, staged-value size, read/subscription
+    /// capacity) overflowed, as opposed to the modeled HTM capacity.
+    inline_overflows: AtomicU64,
 }
 
 impl Telemetry {
@@ -94,6 +102,28 @@ impl Telemetry {
         self.watchdog_forced.load(Ordering::Relaxed)
     }
 
+    /// Notes a speculative attempt that reused a cached context.
+    pub fn note_ctx_reused(&self) {
+        self.ctx_reused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of attempts that reused a cached context.
+    #[must_use]
+    pub fn ctx_reused(&self) -> u64 {
+        self.ctx_reused.load(Ordering::Relaxed)
+    }
+
+    /// Notes an abort caused by a physical context-capacity overflow.
+    pub fn note_inline_overflow(&self) {
+        self.inline_overflows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of physical context-capacity overflows.
+    #[must_use]
+    pub fn inline_overflows(&self) -> u64 {
+        self.inline_overflows.load(Ordering::Relaxed)
+    }
+
     /// Snapshots everything into a serializable report.
     #[must_use]
     pub fn report(&self) -> TelemetryReport {
@@ -105,6 +135,8 @@ impl Telemetry {
             events: self.events.drain(),
             dropped_samples: self.dropped(),
             watchdog_forced: self.watchdog_forced(),
+            ctx_reused: self.ctx_reused(),
+            inline_overflows: self.inline_overflows(),
         }
     }
 }

@@ -24,6 +24,10 @@ pub struct TelemetryReport {
     pub dropped_samples: u64,
     /// Sections the livelock watchdog hard-forced onto the lock path.
     pub watchdog_forced: u64,
+    /// Speculative attempts that reused a cached per-thread context.
+    pub ctx_reused: u64,
+    /// Aborts caused by physical context-capacity overflows.
+    pub inline_overflows: u64,
 }
 
 fn histogram_json(w: &mut JsonWriter, h: &HistogramSnapshot) {
@@ -56,6 +60,8 @@ impl TelemetryReport {
             .field_u64("aliased_sites", self.aliased_sites)
             .field_u64("dropped_samples", self.dropped_samples)
             .field_u64("watchdog_forced", self.watchdog_forced)
+            .field_u64("ctx_reused", self.ctx_reused)
+            .field_u64("inline_overflows", self.inline_overflows)
             .key("sites")
             .begin_array();
         for s in &self.sites {
@@ -187,6 +193,8 @@ mod tests {
             }],
             dropped_samples: 0,
             watchdog_forced: 2,
+            ctx_reused: 8,
+            inline_overflows: 1,
         }
     }
 
@@ -198,6 +206,8 @@ mod tests {
         assert_eq!(a, b, "byte-stable for identical reports");
         let v = JsonValue::parse(&a).expect("self-emitted JSON parses");
         assert_eq!(v.get("watchdog_forced").unwrap(), &JsonValue::Number(2.0));
+        assert_eq!(v.get("ctx_reused").unwrap(), &JsonValue::Number(8.0));
+        assert_eq!(v.get("inline_overflows").unwrap(), &JsonValue::Number(1.0));
         let sites = v.get("sites").unwrap().as_array().unwrap();
         assert_eq!(sites.len(), 1);
         assert_eq!(

@@ -40,7 +40,7 @@ run_step() {
   echo >> "$out"
 }
 
-for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation; do
+for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation hotpath; do
   run_step "$bin" "./target/release/$bin"
 done
 

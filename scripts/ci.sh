@@ -79,6 +79,18 @@ for mode in lock gocc; do
   rm -f "$log"
 done
 
+echo "== hot-path perf smoke =="
+# Loose order-of-magnitude gate on uncontended section cost: the
+# speculating gocc fast path must stay within HOTPATH_GATE_RATIO x the
+# plain-lock baseline. The bound is deliberately generous (CI boxes are
+# noisy); it exists to catch "someone re-introduced a per-section heap
+# allocation"-class regressions, not to benchmark. Override like
+# BENCH_TIMEOUT: HOTPATH_GATE_RATIO=12 ./scripts/ci.sh
+hotpath_gate=${HOTPATH_GATE_RATIO:-8}
+./target/release/hotpath --window-ms 100 --gate "$hotpath_gate"
+rm -f BENCH_hotpath.json
+echo "ok: hot-path gate (<= ${hotpath_gate}x lock)"
+
 echo "== chaos soak (fixed seed, both modes) =="
 # Short combined-fault run at elevated rates: HTM abort injection,
 # Lock/Unlock mis-pairing and transport faults, all from one seed.
