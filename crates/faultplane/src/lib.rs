@@ -20,6 +20,12 @@
 //! * [`TransportFaultPlan`] — short reads/writes, stalls and mid-frame
 //!   resets for the `wire`/`server`/`loadgen` I/O path.
 //!
+//! A fourth, standalone plan targets the *overload* surface rather than
+//! the correctness surface: [`LoadFaultPlan`] injects seeded worker
+//! stalls and slow-store draws so `goccd`'s brownout controller can be
+//! driven through every state transition deterministically, without
+//! constructing wall-clock load.
+//!
 //! # The replay-by-seed contract
 //!
 //! Every decision is a pure function of `(seed, key, n)` where `key` is
@@ -36,12 +42,14 @@
 //! the other way around.
 
 mod htm;
+mod load;
 mod pairing;
 mod report;
 mod seq;
 mod transport;
 
 pub use htm::{AbortMix, HtmFaultPlan, InjectedAbort, INJECTED_ABORT_NAMES};
+pub use load::{LoadFault, LoadFaultPlan, LoadMix, LOAD_FAULT_NAMES};
 pub use pairing::PairingFaultPlan;
 pub use report::FaultReport;
 pub use seq::SeqTable;

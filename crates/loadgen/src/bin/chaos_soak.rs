@@ -549,6 +549,7 @@ fn phase3_networked(args: &Args, mode: Mode, live: &Liveness) -> Result<(), Stri
         capacity_per_shard: 1 << 14,
         write_timeout: Duration::from_secs(5),
         fault_plan: (args.transport_rate > 0.0).then(|| Arc::clone(&plane.transport)),
+        ..ServerConfig::default()
     })
     .map_err(|e| format!("spawn goccd: {e}"))?;
     let port = handle.port();

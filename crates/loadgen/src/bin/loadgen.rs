@@ -245,7 +245,7 @@ fn run(args: &Args) -> Result<(), String> {
                     shards: args.shards,
                     capacity_per_shard: args.capacity,
                     write_timeout: Duration::from_secs(5),
-                    fault_plan: None,
+                    ..ServerConfig::default()
                 })
                 .map_err(|e| format!("spawn goccd: {e}"))?;
                 let result = measure(handle.port(), mode, wc, &args.load);

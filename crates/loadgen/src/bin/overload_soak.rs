@@ -1,0 +1,578 @@
+//! `overload_soak` — open-loop saturation harness for `goccd`'s overload
+//! protection.
+//!
+//! For each mode (lock, gocc) the soak:
+//!
+//! 1. spawns an in-process `goccd` with a seeded [`LoadFaultPlan`]
+//!    (worker stalls + slow store calls) so the latency signal that
+//!    drives the brownout controller is deterministic and guaranteed;
+//! 2. **calibrates** capacity with a short closed-loop run;
+//! 3. proves the deadline guarantee with a zero-budget probe: the SET is
+//!    answered `DeadlineExceeded` and the key must NOT exist afterwards —
+//!    an expired request never executes against the engine;
+//! 4. drives **open-loop** arrivals at 2× the calibrated capacity with
+//!    per-request deadline budgets, past saturation by construction;
+//! 5. after removing the load, polls HEALTH until the server walks back
+//!    to `healthy`, and requires it within 5 seconds;
+//! 6. checks the overload gates from the server's own counters:
+//!    admitted-request p99 ≤ `OVERLOAD_GATE_P99_MS` (default 100), mean
+//!    shed cost < 10 µs server-side, bounded per-worker queue depth, at
+//!    least one brownout escalation, zero executed-but-expired requests.
+//!
+//! Everything lands in `BENCH_overload.json`. Exit codes: 0 all gates
+//! pass, 1 setup/driver failure, 4 one or more overload gates violated
+//! (distinct so CI can tell a broken harness from a broken guarantee).
+//!
+//! ```console
+//! $ OVERLOAD_GATE_P99_MS=150 overload_soak --quick --seed 7
+//! ```
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gocc_faultplane::{LoadFaultPlan, LoadMix};
+use gocc_loadgen::{
+    fetch_health, run_open_loop, run_point, LoadConfig, OpenLoopConfig, OpenLoopResult,
+};
+use gocc_server::{mode_name, parse_mode, spawn, HealthState, Mode, ServerConfig, ServerSummary};
+use gocc_telemetry::{JsonValue, JsonWriter};
+use gocc_wire::{decode_response, encode_request_v2, read_frame, write_frame, Request, Response};
+
+/// Setup/driver failure (server died, IO, malformed stats).
+const EXIT_SETUP: u8 = 1;
+/// One or more overload gates violated.
+const EXIT_GATE: u8 = 4;
+
+/// Mean server-side cost of a shed request must stay under this.
+const SHED_COST_GATE_NS: f64 = 10_000.0;
+/// The server must walk Shedding → Healthy within this after the load
+/// stops.
+const RECOVERY_GATE: Duration = Duration::from_secs(5);
+/// Server-internal cap on frames decoded per pump pass (`conn.rs`); the
+/// queue-depth gauge is bounded by it times the connections a worker owns.
+const MAX_FRAMES_PER_PUMP: u64 = 256;
+
+struct Args {
+    seed: u64,
+    /// None = both modes.
+    mode: Option<Mode>,
+    quick: bool,
+    out: Option<String>,
+    conns: usize,
+    server_workers: usize,
+    gate_p99_ms: f64,
+}
+
+fn usage() -> String {
+    "usage: overload_soak [--seed N] [--mode lock|gocc|both] [--quick] \
+     [--out PATH|none] [--conns N] [--server-workers N] [--gate-p99-ms F]\n\
+     env: OVERLOAD_GATE_P99_MS overrides the default p99 gate (ms)"
+        .to_string()
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let env_gate = std::env::var("OVERLOAD_GATE_P99_MS")
+        .ok()
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("OVERLOAD_GATE_P99_MS: {e}"))
+        })
+        .transpose()?;
+    let mut args = Args {
+        seed: 2026,
+        mode: None,
+        quick: false,
+        out: Some("BENCH_overload.json".to_string()),
+        conns: 8,
+        server_workers: 2,
+        gate_p99_ms: env_gate.unwrap_or(100.0),
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--seed" => args.seed = num("--seed", &value("--seed")?)?,
+            "--mode" => {
+                let v = value("--mode")?;
+                args.mode = if v == "both" {
+                    None
+                } else {
+                    Some(parse_mode(&v)?)
+                };
+            }
+            "--quick" => args.quick = true,
+            "--out" => {
+                let v = value("--out")?;
+                args.out = (v != "none").then_some(v);
+            }
+            "--conns" => {
+                args.conns = num("--conns", &value("--conns")?)?;
+                if args.conns == 0 {
+                    return Err("--conns must be >= 1".into());
+                }
+            }
+            "--server-workers" => {
+                args.server_workers = num("--server-workers", &value("--server-workers")?)?;
+            }
+            "--gate-p99-ms" => {
+                args.gate_p99_ms = num("--gate-p99-ms", &value("--gate-p99-ms")?)?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.gate_p99_ms <= 0.0 {
+        return Err("the p99 gate must be positive".into());
+    }
+    Ok(args)
+}
+
+/// One gate's verdict, reported in the artifact and on stderr.
+struct Gate {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn gate(name: &'static str, pass: bool, detail: String) -> Gate {
+    Gate { name, pass, detail }
+}
+
+/// Server-side overload counters pulled out of the final STATS document.
+struct ServerOverload {
+    shed_total: u64,
+    shed_ns_total: u64,
+    shed_ns_max: u64,
+    deadline_pre: u64,
+    deadline_post: u64,
+    healthy_to_degraded: u64,
+    shedding_to_degraded: u64,
+    degraded_to_healthy: u64,
+    queue_depth_max: u64,
+    workers: u64,
+}
+
+fn parse_server_overload(stats_json: &str) -> Result<ServerOverload, String> {
+    let v = JsonValue::parse(stats_json).map_err(|e| format!("final STATS does not parse: {e}"))?;
+    let num = |node: &JsonValue, key: &str| -> Result<u64, String> {
+        node.get(key)
+            .and_then(JsonValue::as_f64)
+            .map(|f| f as u64)
+            .ok_or_else(|| format!("STATS missing {key:?}"))
+    };
+    let o = v.get("overload").ok_or("STATS missing \"overload\"")?;
+    let t = o.get("transitions").ok_or("STATS missing transitions")?;
+    let workers = v
+        .get("per_worker")
+        .and_then(JsonValue::as_array)
+        .ok_or("STATS missing per_worker")?;
+    let queue_depth_max = workers
+        .iter()
+        .map(|w| num(w, "queue_depth_max"))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    Ok(ServerOverload {
+        shed_total: num(o, "shed_total")?,
+        shed_ns_total: num(o, "shed_ns_total")?,
+        shed_ns_max: num(o, "shed_ns_max")?,
+        deadline_pre: num(o, "deadline_pre")?,
+        deadline_post: num(o, "deadline_post")?,
+        healthy_to_degraded: num(t, "healthy_to_degraded")?,
+        shedding_to_degraded: num(t, "shedding_to_degraded")?,
+        degraded_to_healthy: num(t, "degraded_to_healthy")?,
+        queue_depth_max,
+        workers: workers.len() as u64,
+    })
+}
+
+/// Proves an already-expired request never reaches the engine: a SET with
+/// a zero deadline budget must come back `DeadlineExceeded`, and the key
+/// must not exist afterwards.
+fn deadline_probe(port: u16, key: &str) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("probe connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut call = |req: &Request<'_>, deadline: Option<u32>| -> Result<Vec<u8>, String> {
+        let mut wire = Vec::new();
+        encode_request_v2(req, deadline, &mut wire);
+        write_frame(&mut stream, &wire).map_err(|e| format!("probe send: {e}"))?;
+        let mut resp = Vec::new();
+        if !read_frame(&mut stream, &mut resp).map_err(|e| format!("probe recv: {e}"))? {
+            return Err("server closed on the probe connection".into());
+        }
+        Ok(resp)
+    };
+    let resp = call(
+        &Request::Set {
+            key: key.as_bytes(),
+            value: 0xDEAD,
+            ttl: 0,
+        },
+        Some(0),
+    )?;
+    match decode_response(&resp).map_err(|e| e.to_string())? {
+        Response::DeadlineExceeded => {}
+        other => return Err(format!("zero-budget SET answered {other:?}")),
+    }
+    let resp = call(
+        &Request::Get {
+            key: key.as_bytes(),
+        },
+        None,
+    )?;
+    match decode_response(&resp).map_err(|e| e.to_string())? {
+        Response::Value { found: false, .. } => Ok(()),
+        Response::Value { found: true, .. } => {
+            Err("expired SET was executed against the engine".into())
+        }
+        other => Err(format!("probe GET answered {other:?}")),
+    }
+}
+
+struct ModeOutcome {
+    mode: Mode,
+    capacity_ops_per_sec: f64,
+    open: OpenLoopResult,
+    recovery_ms: u64,
+    server: ServerOverload,
+    summary: ServerSummary,
+    gates: Vec<Gate>,
+}
+
+fn soak_mode(args: &Args, mode: Mode) -> Result<ModeOutcome, String> {
+    // Fault mix: enough slow-store draws that the latency EWMA crosses
+    // the (lowered) brownout thresholds under saturation, deterministic
+    // per seed so reruns see the same schedule.
+    let plan = Arc::new(LoadFaultPlan::new(
+        args.seed,
+        LoadMix {
+            stall: 0.05,
+            stall_for: Duration::from_millis(1),
+            slow_store: 0.25,
+            slow_store_for: Duration::from_millis(2),
+        },
+    ));
+    let mut cfg = ServerConfig {
+        mode,
+        port: 0,
+        workers: args.server_workers,
+        shards: 4,
+        capacity_per_shard: 1 << 14,
+        queue_limit: 64,
+        load_plan: Some(Arc::clone(&plan)),
+        ..ServerConfig::default()
+    };
+    // Thresholds matched to the injected fault mix: ~25% of requests at
+    // +2ms puts the latency EWMA well over latency_high once saturated,
+    // and well under latency_low once the load is gone.
+    cfg.brownout.alpha = 0.3;
+    cfg.brownout.depth_high = 16.0;
+    cfg.brownout.depth_low = 2.0;
+    cfg.brownout.latency_high = Duration::from_micros(400);
+    cfg.brownout.latency_low = Duration::from_micros(150);
+    cfg.brownout.recover_obs = 8;
+    let handle = spawn(cfg).map_err(|e| format!("spawn goccd: {e}"))?;
+    let port = handle.port();
+
+    // Phase 1: the deadline guarantee, proven while the server is calm.
+    deadline_probe(port, &format!("soak-probe-{}", args.seed))?;
+
+    // Phase 2: closed-loop calibration. The closed loop cannot overload
+    // the server (it waits for every response), so its throughput is a
+    // fair capacity estimate that already includes the injected faults.
+    let (cal_window, open_window) = if args.quick {
+        (Duration::from_millis(300), Duration::from_millis(1_000))
+    } else {
+        (Duration::from_millis(600), Duration::from_millis(3_000))
+    };
+    let cal = run_point(
+        port,
+        4,
+        &LoadConfig {
+            warmup: Duration::from_millis(150),
+            window: cal_window,
+            scan_every: 0,
+            seed: args.seed,
+            ..LoadConfig::default()
+        },
+    )
+    .map_err(|e| format!("calibration: {e}"))?;
+    if cal.ops == 0 {
+        return Err("calibration completed zero operations".into());
+    }
+    let capacity = cal.ops_per_sec();
+
+    // Phase 3: open-loop arrivals at 2× capacity — past saturation by
+    // construction — with a per-request deadline budget at the p99 gate.
+    let deadline_us = (args.gate_p99_ms * 1_000.0) as u32;
+    let open_cfg = OpenLoopConfig {
+        conns: args.conns,
+        rate_per_conn: (2.0 * capacity / args.conns as f64).max(50.0),
+        warmup: Duration::from_millis(200),
+        duration: open_window,
+        deadline_us: Some(deadline_us),
+        seed: args.seed ^ 0x0516,
+        max_inflight: 256,
+        breaker: None, // adversarial client: keeps offering while shed
+        drain_grace: Duration::from_secs(3),
+        ..OpenLoopConfig::default()
+    };
+    let open = run_open_loop(port, &open_cfg).map_err(|e| format!("open loop: {e}"))?;
+
+    // Phase 4: load removed — the server must walk back to Healthy.
+    let t0 = Instant::now();
+    let recovery_ms = loop {
+        let (state, _, _) = fetch_health(port)?;
+        if HealthState::from_u8(state) == HealthState::Healthy {
+            break t0.elapsed().as_millis() as u64;
+        }
+        if t0.elapsed() > RECOVERY_GATE + Duration::from_secs(1) {
+            break u64::MAX; // recorded; the gate below fails loudly
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    handle.request_shutdown();
+    let summary = handle.join();
+    let server = parse_server_overload(&summary.stats_json)?;
+
+    // The gates, each verified from the artifact's own counters.
+    let p99_ns = open.latency.quantile(0.99);
+    let gate_ns = (args.gate_p99_ms * 1e6) as u64;
+    let shed_mean_ns = if server.shed_total > 0 {
+        server.shed_ns_total as f64 / server.shed_total as f64
+    } else {
+        0.0
+    };
+    // `queue_depth` counts every frame a pump pass sees (shed ones too),
+    // so its bound is frames-per-pump-pass × the connections one worker
+    // owns, not `queue_limit`.
+    let depth_bound = MAX_FRAMES_PER_PUMP * (args.conns as u64).div_ceil(server.workers.max(1));
+    let gates = vec![
+        gate(
+            "saturated",
+            open.overloaded > 0 && server.shed_total > 0,
+            format!(
+                "server shed {} requests ({} observed client-side) at 2x capacity",
+                server.shed_total, open.overloaded
+            ),
+        ),
+        gate(
+            "admitted_p99",
+            open.ok > 0 && p99_ns <= gate_ns,
+            format!(
+                "admitted p99 {:.2}ms vs gate {:.2}ms over {} admitted",
+                p99_ns as f64 / 1e6,
+                args.gate_p99_ms,
+                open.ok
+            ),
+        ),
+        gate(
+            "shed_cost",
+            server.shed_total > 0 && shed_mean_ns < SHED_COST_GATE_NS,
+            format!(
+                "mean shed cost {shed_mean_ns:.0}ns (max {}ns) vs gate {SHED_COST_GATE_NS:.0}ns",
+                server.shed_ns_max
+            ),
+        ),
+        gate(
+            "no_expired_executed",
+            server.deadline_pre > 0,
+            format!(
+                "{} expired requests rejected pre-engine, {} post (probe proved none executed)",
+                server.deadline_pre, server.deadline_post
+            ),
+        ),
+        gate(
+            "brownout_engaged",
+            server.healthy_to_degraded >= 1,
+            format!(
+                "{} healthy->degraded escalations",
+                server.healthy_to_degraded
+            ),
+        ),
+        gate(
+            "recovers",
+            recovery_ms != u64::MAX
+                && Duration::from_millis(recovery_ms) <= RECOVERY_GATE
+                && server.degraded_to_healthy >= 1,
+            format!(
+                "healthy {recovery_ms}ms after load removal \
+                 ({} shedding->degraded, {} degraded->healthy edges)",
+                server.shedding_to_degraded, server.degraded_to_healthy
+            ),
+        ),
+        gate(
+            "bounded_memory",
+            server.queue_depth_max <= depth_bound,
+            format!(
+                "peak queue depth {} vs bound {depth_bound}",
+                server.queue_depth_max
+            ),
+        ),
+    ];
+
+    Ok(ModeOutcome {
+        mode,
+        capacity_ops_per_sec: capacity,
+        open,
+        recovery_ms,
+        server,
+        summary,
+        gates,
+    })
+}
+
+fn mode_json(w: &mut JsonWriter, m: &ModeOutcome) {
+    let o = &m.open;
+    let h = &o.latency;
+    w.begin_object()
+        .field_f64("capacity_ops_per_sec", m.capacity_ops_per_sec)
+        .field_f64("target_rate", o.target_rate)
+        .key("open_loop")
+        .begin_object()
+        .field_u64("offered", o.offered)
+        .field_u64("sent", o.sent)
+        .field_u64("completed", o.completed)
+        .field_u64("ok", o.ok)
+        .field_u64("overloaded", o.overloaded)
+        .field_u64("deadline_exceeded", o.deadline_exceeded)
+        .field_u64("server_errors", o.server_errors)
+        .field_u64("client_errors", o.client_errors)
+        .field_u64("dropped_inflight", o.dropped_inflight)
+        .field_f64("goodput_ops_per_sec", o.goodput())
+        .key("admitted_latency")
+        .begin_object()
+        .field_f64("mean_ns", h.mean())
+        .field_u64("p50_ns", h.quantile(0.5))
+        .field_u64("p99_ns", h.quantile(0.99))
+        .field_u64("max_ns", h.max)
+        .field_u64("samples", h.count)
+        .end_object()
+        .end_object()
+        .field_u64("recovery_ms", m.recovery_ms)
+        .field_u64("shed_total", m.server.shed_total)
+        .field_u64("deadline_misses", m.summary.deadline_misses)
+        .key("gates")
+        .begin_array();
+    for g in &m.gates {
+        w.begin_object()
+            .field_str("name", g.name)
+            .field_bool("pass", g.pass)
+            .field_str("detail", &g.detail)
+            .end_object();
+    }
+    w.end_array()
+        .field_raw("server_stats", &m.summary.stats_json)
+        .end_object();
+}
+
+fn run(args: &Args) -> Result<Vec<ModeOutcome>, String> {
+    let modes: Vec<Mode> = match args.mode {
+        Some(m) => vec![m],
+        None => vec![Mode::Lock, Mode::Gocc],
+    };
+    let mut outcomes = Vec::new();
+    for mode in modes {
+        println!("== overload soak: {} mode ==", mode_name(mode));
+        let m = soak_mode(args, mode)?;
+        println!(
+            "   capacity {:.0} ops/s, offered {:.0}/s open-loop; \
+             {} ok, {} shed, {} deadline-missed, recovered in {}ms",
+            m.capacity_ops_per_sec,
+            m.open.target_rate,
+            m.open.ok,
+            m.server.shed_total,
+            m.summary.deadline_misses,
+            m.recovery_ms,
+        );
+        for g in &m.gates {
+            println!(
+                "   [{}] {:<20} {}",
+                if g.pass { "pass" } else { "FAIL" },
+                g.name,
+                g.detail
+            );
+        }
+        outcomes.push(m);
+    }
+    Ok(outcomes)
+}
+
+fn artifact_json(args: &Args, outcomes: &[ModeOutcome]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("figure", "overload")
+        .key("config")
+        .begin_object()
+        .field_u64("seed", args.seed)
+        .field_bool("quick", args.quick)
+        .field_f64("gate_p99_ms", args.gate_p99_ms)
+        .field_u64("conns", args.conns as u64)
+        .field_u64("server_workers", args.server_workers as u64)
+        .field_f64("overload_factor", 2.0)
+        .end_object()
+        .key("modes")
+        .begin_object();
+    for m in outcomes {
+        w.key(mode_name(m.mode));
+        mode_json(&mut w, m);
+    }
+    w.end_object().end_object();
+    w.finish()
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_SETUP);
+        }
+    };
+    gocc_gosync::set_procs(8);
+    let outcomes = match run(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("overload_soak: {msg}");
+            return ExitCode::from(EXIT_SETUP);
+        }
+    };
+    if let Some(path) = &args.out {
+        let json = artifact_json(&args, &outcomes);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("overload_soak: writing {path}: {e}");
+            return ExitCode::from(EXIT_SETUP);
+        }
+        println!("wrote {path}");
+    }
+    let failed: Vec<&Gate> = outcomes
+        .iter()
+        .flat_map(|m| m.gates.iter())
+        .filter(|g| !g.pass)
+        .collect();
+    if failed.is_empty() {
+        println!("overload_soak: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("overload_soak: {} gate(s) violated", failed.len());
+        ExitCode::from(EXIT_GATE)
+    }
+}

@@ -14,6 +14,7 @@
 //! identical request streams per connection (arrival interleaving is the
 //! only nondeterminism, as in any closed-loop harness).
 
+pub mod openloop;
 pub mod resilient;
 pub mod zipf;
 
@@ -24,7 +25,10 @@ use std::time::{Duration, Instant};
 use gocc_telemetry::{HistogramSnapshot, JsonValue, JsonWriter, LatencyHistogram, SplitMix64};
 use gocc_wire::{decode_response, Request, Response};
 
-pub use resilient::{connect_with_retry, ClientConfig, ResilientClient};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopResult};
+pub use resilient::{
+    connect_with_retry, BreakerConfig, BreakerState, CircuitBreaker, ClientConfig, ResilientClient,
+};
 use zipf::Zipf;
 
 /// Workload shape knobs (shared by every point of a sweep).
@@ -88,6 +92,11 @@ pub struct PointResult {
     pub reconnects: u64,
     /// Requests re-sent over a fresh connection (idempotent verbs only).
     pub replays: u64,
+    /// `Response::Overloaded` frames received (server-side admission
+    /// shed — retriable, not an error).
+    pub sheds: u64,
+    /// `Response::DeadlineExceeded` frames received.
+    pub deadline_exceeded: u64,
 }
 
 impl PointResult {
@@ -120,6 +129,8 @@ struct PointTallies {
     server_errors: AtomicU64,
     reconnects: AtomicU64,
     replays: AtomicU64,
+    sheds: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 /// Runs one closed-loop point against a live server.
@@ -157,6 +168,8 @@ pub fn run_point(port: u16, workers: usize, cfg: &LoadConfig) -> io::Result<Poin
         server_errors: tallies.server_errors.load(Ordering::SeqCst),
         reconnects: tallies.reconnects.load(Ordering::SeqCst),
         replays: tallies.replays.load(Ordering::SeqCst),
+        sheds: tallies.sheds.load(Ordering::SeqCst),
+        deadline_exceeded: tallies.deadline_exceeded.load(Ordering::SeqCst),
     })
 }
 
@@ -251,6 +264,14 @@ fn drive_connection(
             Ok(Response::Error { .. }) => {
                 tallies.server_errors.fetch_add(1, Ordering::Relaxed);
             }
+            // Overload-protection responses are valid answers to any data
+            // verb: count them, keep the loop running.
+            Ok(Response::Overloaded { .. }) => {
+                tallies.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Response::DeadlineExceeded) => {
+                tallies.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
             Ok(ref resp) if response_matches(&req, resp) => {}
             Ok(_) | Err(_) => {
                 // A mis-shaped response is a protocol bug, not chaos:
@@ -318,6 +339,22 @@ pub fn fetch_stats(port: u16) -> Result<StatsDoc, String> {
     })
 }
 
+/// Fetches the server's HEALTH triple `(state, shed_total,
+/// deadline_misses)` — the cheap probe scripts poll while waiting for a
+/// browned-out server to recover.
+pub fn fetch_health(port: u16) -> Result<(u8, u64, u64), String> {
+    let respbuf = control_call(port, &Request::Health)?;
+    match decode_response(&respbuf) {
+        Ok(Response::Health {
+            state,
+            shed_total,
+            deadline_misses,
+        }) => Ok((state, shed_total, deadline_misses)),
+        Ok(other) => Err(format!("HEALTH answered {other:?}")),
+        Err(e) => Err(format!("bad health response: {e}")),
+    }
+}
+
 /// Sends SHUTDOWN and confirms the Bye.
 pub fn send_shutdown(port: u16) -> Result<(), String> {
     let respbuf = control_call(port, &Request::Shutdown)?;
@@ -383,6 +420,8 @@ fn mode_fields(w: &mut JsonWriter, m: &ModeResult) {
         .field_u64("server_errors", p.server_errors)
         .field_u64("reconnects", p.reconnects)
         .field_u64("replays", p.replays)
+        .field_u64("sheds", p.sheds)
+        .field_u64("deadline_exceeded", p.deadline_exceeded)
         .key("latency")
         .begin_object()
         .field_f64("mean_ns", h.mean())
@@ -458,6 +497,8 @@ mod tests {
                 server_errors: 1,
                 reconnects: 3,
                 replays: 2,
+                sheds: 0,
+                deadline_exceeded: 0,
             },
             stats_raw: r#"{"server":"goccd","mode":"gocc","telemetry":null}"#.to_string(),
         }

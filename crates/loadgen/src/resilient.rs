@@ -18,10 +18,19 @@
 //!   idempotent verbs (GET/SET/DEL/SCAN/STATS). INCR is *not* replay-safe
 //!   (a lost response leaves the increment's fate unknown), so callers
 //!   route it through [`ResilientClient::call_no_replay`].
+//! * **Failures are classified**: `ConnectionRefused` means nothing is
+//!   listening — the daemon is dead, not busy — so connects give up after
+//!   [`ClientConfig::refused_attempts`] instead of burning the full
+//!   backoff schedule reserved for transient errors (timeouts, resets).
+//! * **Overload is not a fault**: a [`CircuitBreaker`] tracks consecutive
+//!   `Overloaded` responses and opens after
+//!   [`BreakerConfig::open_after`] of them; while open, the client sheds
+//!   its own arrivals locally (costing the server nothing) until a
+//!   cooldown expires and a half-open probe closes the breaker again.
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gocc_telemetry::SplitMix64;
 use gocc_wire::{encode_request, read_frame, write_frame, Request};
@@ -34,8 +43,14 @@ pub struct ClientConfig {
     /// Socket read timeout (a stalled server surfaces as an error the
     /// replay path handles, never a hang).
     pub read_timeout: Duration,
-    /// Connect attempts before giving up (≥ 1).
+    /// Connect attempts before giving up (≥ 1). Applies to *transient*
+    /// failures (timeouts, resets) — a refused connection gives up after
+    /// [`ClientConfig::refused_attempts`] instead.
     pub connect_attempts: u32,
+    /// Connect attempts when the failure is `ConnectionRefused`: nothing
+    /// is listening, so retrying the full schedule only delays the
+    /// inevitable (≥ 1).
+    pub refused_attempts: u32,
     /// First backoff delay; doubles per failed attempt.
     pub backoff_base: Duration,
     /// Ceiling on any single backoff delay.
@@ -51,6 +66,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(10),
             connect_attempts: 3,
+            refused_attempts: 2,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(250),
             replay_attempts: 8,
@@ -67,6 +83,7 @@ impl ClientConfig {
             connect_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(2),
             connect_attempts: 5,
+            refused_attempts: 2,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(50),
             replay_attempts: 20,
@@ -84,30 +101,189 @@ fn backoff_delay(cfg: &ClientConfig, attempt: u32, rng: &mut SplitMix64) -> Dura
     Duration::from_nanos(half + rng.below(half.max(1)))
 }
 
+/// The bounded, classified retry loop, generic over the connect attempt
+/// so the classification is unit-testable without sockets. Returns the
+/// final result and the number of attempts actually made.
+///
+/// `ConnectionRefused` counts against [`ClientConfig::refused_attempts`]
+/// (the daemon is dead — fail fast); every other error burns the full
+/// [`ClientConfig::connect_attempts`] backoff schedule.
+fn connect_loop<T>(
+    cfg: &ClientConfig,
+    rng: &mut SplitMix64,
+    mut connect: impl FnMut() -> io::Result<T>,
+) -> (io::Result<T>, u32) {
+    let mut last: Option<io::Error> = None;
+    let mut refused = 0u32;
+    let mut attempts = 0u32;
+    for attempt in 0..cfg.connect_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff_delay(cfg, attempt - 1, rng));
+        }
+        attempts += 1;
+        match connect() {
+            Ok(v) => return (Ok(v), attempts),
+            Err(e) => {
+                if e.kind() == io::ErrorKind::ConnectionRefused {
+                    refused += 1;
+                    if refused >= cfg.refused_attempts.max(1) {
+                        return (Err(e), attempts);
+                    }
+                }
+                last = Some(e);
+            }
+        }
+    }
+    (
+        Err(last.unwrap_or_else(|| io::Error::other("zero connect attempts configured"))),
+        attempts,
+    )
+}
+
 /// Connects to `127.0.0.1:port` with per-attempt timeout and bounded,
-/// backoff-spaced retries. A dead daemon therefore fails in roughly
-/// `connect_attempts × connect_timeout` at worst — never a hang.
+/// backoff-spaced retries. A dead daemon (connection refused) fails after
+/// [`ClientConfig::refused_attempts`]; transient failures get the full
+/// schedule — at worst `connect_attempts × connect_timeout`, never a hang.
 pub fn connect_with_retry(
     port: u16,
     cfg: &ClientConfig,
     rng: &mut SplitMix64,
 ) -> io::Result<TcpStream> {
     let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
-    let mut last: Option<io::Error> = None;
-    for attempt in 0..cfg.connect_attempts.max(1) {
-        if attempt > 0 {
-            std::thread::sleep(backoff_delay(cfg, attempt - 1, rng));
-        }
-        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
-            Ok(stream) => {
-                let _ = stream.set_nodelay(true);
-                stream.set_read_timeout(Some(cfg.read_timeout))?;
-                return Ok(stream);
-            }
-            Err(e) => last = Some(e),
+    let (result, _) = connect_loop(cfg, rng, || {
+        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        Ok(stream)
+    });
+    result
+}
+
+/// Circuit-breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are shed client-side until the cooldown expires.
+    Open,
+    /// One probe is in flight; its outcome decides Open vs Closed.
+    HalfOpen,
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive `Overloaded` responses that open the breaker (≥ 1).
+    pub open_after: u32,
+    /// How long the breaker stays open before permitting one half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            open_after: 5,
+            cooldown: Duration::from_millis(200),
         }
     }
-    Err(last.unwrap_or_else(|| io::Error::other("zero connect attempts configured")))
+}
+
+/// A client-side circuit breaker keyed on the server's `Overloaded`
+/// responses.
+///
+/// The feedback loop: an overloaded server sheds cheaply but still pays
+/// *something* per rejection, so a polite client stops sending once the
+/// pattern is unambiguous. [`CircuitBreaker::permit`] gates each send;
+/// the caller reports outcomes via [`CircuitBreaker::on_overloaded`] /
+/// [`CircuitBreaker::on_success`]. After `open_after` consecutive
+/// rejections the breaker opens; once [`BreakerConfig::cooldown`] passes,
+/// exactly one probe is permitted (half-open) and its outcome either
+/// closes or re-opens the breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_overloaded: u32,
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_overloaded: 0,
+            opened_at: None,
+            trips: 0,
+        }
+    }
+
+    /// Current state (recomputed lazily on [`CircuitBreaker::permit`]).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether a request may be sent now. While open, returns `false`
+    /// until the cooldown expires, then transitions to half-open and
+    /// permits exactly one probe.
+    pub fn permit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_none_or(|t| t.elapsed() >= self.cfg.cooldown);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports an `Overloaded` response for a permitted request.
+    pub fn on_overloaded(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_overloaded += 1;
+                if self.consecutive_overloaded >= self.cfg.open_after.max(1) {
+                    self.open();
+                }
+            }
+            BreakerState::HalfOpen => self.open(),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports any non-`Overloaded` response for a permitted request.
+    pub fn on_success(&mut self) {
+        self.consecutive_overloaded = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.opened_at = None;
+        }
+    }
+
+    fn open(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(Instant::now());
+        self.consecutive_overloaded = 0;
+        self.trips += 1;
+    }
 }
 
 /// A request/response client that survives connection loss.
@@ -331,5 +507,134 @@ mod tests {
         assert_eq!(decode_response(&resp).unwrap(), Response::Done);
         assert_eq!(client.reconnects(), 1);
         server.join().unwrap();
+    }
+
+    /// A fast-retry config so the classification tests measure attempts,
+    /// not wall-clock.
+    fn retry_cfg() -> ClientConfig {
+        ClientConfig {
+            connect_attempts: 6,
+            refused_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn connection_refused_fails_after_refused_attempts() {
+        let cfg = retry_cfg();
+        let mut rng = SplitMix64::new(3);
+        let (result, attempts) = connect_loop::<()>(&cfg, &mut rng, || {
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+        });
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(
+            attempts, 2,
+            "a dead daemon must not burn the full backoff schedule"
+        );
+    }
+
+    #[test]
+    fn transient_errors_get_the_full_schedule() {
+        let cfg = retry_cfg();
+        let mut rng = SplitMix64::new(4);
+        let (result, attempts) = connect_loop::<()>(&cfg, &mut rng, || {
+            Err(io::Error::new(io::ErrorKind::TimedOut, "timeout"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(attempts, 6, "transient failures retry the full schedule");
+    }
+
+    #[test]
+    fn transient_then_success_connects() {
+        let cfg = retry_cfg();
+        let mut rng = SplitMix64::new(5);
+        let mut calls = 0u32;
+        let (result, attempts) = connect_loop(&cfg, &mut rng, || {
+            calls += 1;
+            if calls < 4 {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "timeout"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result.unwrap(), 4);
+        assert_eq!(attempts, 4);
+    }
+
+    #[test]
+    fn one_refusal_below_the_limit_still_recovers() {
+        // One refusal (below refused_attempts = 2) sprinkled among
+        // transient errors must not abort the schedule.
+        let cfg = retry_cfg();
+        let mut rng = SplitMix64::new(6);
+        let mut calls = 0u32;
+        let (result, attempts) = connect_loop(&cfg, &mut rng, || {
+            calls += 1;
+            match calls {
+                1 => Err(io::Error::new(io::ErrorKind::TimedOut, "timeout")),
+                2 => Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused")),
+                _ => Ok(calls),
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_overloads_only() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            open_after: 3,
+            cooldown: Duration::from_millis(50),
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_overloaded();
+        b.on_overloaded();
+        // A success breaks the streak: the counter must reset.
+        b.on_success();
+        b.on_overloaded();
+        b.on_overloaded();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.permit());
+        b.on_overloaded();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.permit(), "an open breaker sheds client-side");
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_success() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            open_after: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        b.on_overloaded();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.permit(), "cooldown not yet elapsed");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.permit(), "cooldown elapsed: one probe is permitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.permit(), "only ONE probe while half-open");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.permit());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_reopens_on_overload() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            open_after: 1,
+            cooldown: Duration::from_millis(5),
+        });
+        b.on_overloaded();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.permit());
+        b.on_overloaded();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(b.trips(), 2);
+        assert!(!b.permit(), "fresh cooldown after the failed probe");
     }
 }

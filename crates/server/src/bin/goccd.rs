@@ -18,7 +18,8 @@ use gocc_server::{mode_name, parse_mode, spawn, ServerConfig};
 
 fn usage() -> String {
     "usage: goccd [--mode lock|gocc] [--port N] [--workers N] [--shards N] \
-     [--capacity N] [--write-timeout-ms N] [--stats-out PATH]"
+     [--capacity N] [--write-timeout-ms N] [--drain-timeout-ms N] \
+     [--queue-limit N] [--stats-out PATH]"
         .to_string()
 }
 
@@ -66,6 +67,21 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String>
                         .parse()
                         .map_err(|e| format!("--write-timeout-ms: {e}"))?,
                 );
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout = Duration::from_millis(
+                    value("--drain-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--drain-timeout-ms: {e}"))?,
+                );
+            }
+            "--queue-limit" => {
+                config.queue_limit = value("--queue-limit")?
+                    .parse()
+                    .map_err(|e| format!("--queue-limit: {e}"))?;
+                if config.queue_limit == 0 {
+                    return Err("--queue-limit must be >= 1".into());
+                }
             }
             "--stats-out" => stats_out = Some(value("--stats-out")?),
             "--help" | "-h" => return Err(usage()),

@@ -1,18 +1,21 @@
-//! Per-connection state machine: non-blocking read → frame → execute →
-//! non-blocking write, with error isolation and slow-client eviction.
+//! Per-connection state machine: non-blocking read → frame → admit →
+//! execute → non-blocking write, with error isolation, deadline
+//! enforcement and slow-client eviction.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use gocc_faultplane::TransportFaultPlan;
+use gocc_faultplane::{LoadFault, TransportFaultPlan};
 use gocc_wire::{
-    decode_request, encode_response, FaultyStream, FrameBuf, Request, Response, MAX_FRAME,
+    decode_request_any, encode_response, FaultyStream, FrameBuf, Request, Response, WireError,
+    MAX_FRAME,
 };
 use gocc_workloads::Engine;
 
-use crate::ServerState;
+use crate::overload::{classify, VerbClass};
+use crate::{ServerState, WorkerCtx};
 
 /// Cap on frames executed per pump so one pipelining client cannot starve
 /// a worker's other connections.
@@ -42,6 +45,12 @@ pub(crate) struct Conn {
     outbuf: Vec<u8>,
     outpos: usize,
     last_write_progress: Instant,
+    /// When the oldest unprocessed bytes arrived: set on a read into an
+    /// empty input buffer, cleared once the buffer drains. Deadline
+    /// budgets are measured from here — conservative for pipelined
+    /// backlogs (later frames in the same burst inherit the burst's
+    /// arrival time, so a deadline can only fire early, never late).
+    ingest_at: Option<Instant>,
     /// Stop reading; flush what is queued, then close.
     closing: bool,
 }
@@ -54,6 +63,7 @@ impl Conn {
             outbuf: Vec::new(),
             outpos: 0,
             last_write_progress: Instant::now(),
+            ingest_at: None,
             closing: false,
         }
     }
@@ -68,7 +78,12 @@ impl Conn {
     }
 
     /// One cooperative scheduling quantum for this connection.
-    pub(crate) fn pump(&mut self, engine: &Engine<'_>, state: &ServerState) -> PumpOutcome {
+    pub(crate) fn pump(
+        &mut self,
+        engine: &Engine<'_>,
+        state: &ServerState,
+        wctx: &mut WorkerCtx,
+    ) -> PumpOutcome {
         let mut progressed = false;
 
         // 1. Drain queued response bytes first — a slow client must not
@@ -84,9 +99,12 @@ impl Conn {
             return PumpOutcome::Close;
         }
 
-        // 2. Ingest bytes.
+        // 2. Ingest bytes — unless this connection already holds more
+        //    unprocessed input than the high-water mark. Not reading is
+        //    the memory bound: the kernel socket buffer fills and TCP
+        //    pushes back on the client.
         let mut peer_eof = false;
-        if !self.closing {
+        if !self.closing && self.inbuf.pending() < state.config.recv_high_water {
             let mut chunk = [0u8; 4096];
             for _ in 0..16 {
                 match self.stream.read(&mut chunk) {
@@ -95,6 +113,9 @@ impl Conn {
                         break;
                     }
                     Ok(n) => {
+                        if self.inbuf.pending() == 0 {
+                            self.ingest_at = Some(Instant::now());
+                        }
                         self.inbuf.extend(&chunk[..n]);
                         progressed = true;
                     }
@@ -105,9 +126,12 @@ impl Conn {
             }
         }
 
-        // 3. Execute complete frames.
+        // 3. Admit and execute complete frames.
         if !self.closing {
-            progressed |= self.process_frames(engine, state);
+            progressed |= self.process_frames(engine, state, wctx);
+        }
+        if self.inbuf.pending() == 0 {
+            self.ingest_at = None;
         }
 
         // 4. Push out whatever step 3 produced.
@@ -128,15 +152,26 @@ impl Conn {
         }
     }
 
-    /// Decodes and executes buffered frames. A framing or decode error
-    /// sends one final `Error` response and marks the connection closing —
-    /// the error never propagates past this connection.
-    fn process_frames(&mut self, engine: &Engine<'_>, state: &ServerState) -> bool {
+    /// Decodes, admits and executes buffered frames.
+    ///
+    /// A decode error sends one final `Error` response and marks the
+    /// connection closing. An *oversized* frame is the one framing error
+    /// that does not cost the connection: `FrameBuf` skips its body and
+    /// resynchronizes, so the response is an `Error` and the conversation
+    /// continues. Shed and deadline-expired requests answer with their
+    /// dedicated retriable responses and also keep the connection.
+    fn process_frames(
+        &mut self,
+        engine: &Engine<'_>,
+        state: &ServerState,
+        wctx: &mut WorkerCtx,
+    ) -> bool {
         let mut progressed = false;
         for _ in 0..MAX_FRAMES_PER_PUMP {
             if self.closing {
                 break;
             }
+            let arrival = self.ingest_at.unwrap_or_else(Instant::now);
             let Conn {
                 inbuf,
                 outbuf,
@@ -147,37 +182,20 @@ impl Conn {
                 Ok(None) => break,
                 Ok(Some(body)) => {
                     progressed = true;
-                    match decode_request(body) {
-                        Ok(req) => {
-                            state.counters.note_request(&req);
-                            match req {
-                                Request::Stats => {
-                                    let json = state.stats_json();
-                                    // A stats document larger than a frame
-                                    // (giant telemetry event trace) would
-                                    // trip the encoder's frame-size assert
-                                    // — a network-reachable panic. Refuse
-                                    // it on just this connection instead.
-                                    if json.len() > MAX_FRAME - 8 {
-                                        encode_response(
-                                            &Response::Error {
-                                                message: "stats document exceeds frame limit",
-                                            },
-                                            outbuf,
-                                        );
-                                    } else {
-                                        encode_response(&Response::Stats { json: &json }, outbuf);
-                                    }
-                                }
-                                Request::Shutdown => {
-                                    state.request_shutdown();
-                                    encode_response(&Response::Bye, outbuf);
-                                    *closing = true;
-                                }
-                                ref data_verb => {
-                                    let resp = state.store.execute(engine, data_verb);
-                                    encode_response(&resp, outbuf);
-                                }
+                    wctx.frames_seen += 1;
+                    match decode_request_any(body) {
+                        Ok(frame) => {
+                            state.counters.note_request(&frame.req);
+                            if !execute_admitted(
+                                engine,
+                                state,
+                                wctx,
+                                outbuf,
+                                arrival,
+                                &frame.req,
+                                frame.deadline_us,
+                            ) {
+                                *closing = true;
                             }
                         }
                         Err(e) => {
@@ -187,6 +205,18 @@ impl Conn {
                             *closing = true;
                         }
                     }
+                }
+                Err(WireError::TooLarge) => {
+                    // Oversized frame: FrameBuf discards the body and
+                    // resynchronizes, so answer and keep the connection.
+                    progressed = true;
+                    state.counters.note_oversized();
+                    encode_response(
+                        &Response::Error {
+                            message: "frame exceeds size limit",
+                        },
+                        outbuf,
+                    );
                 }
                 Err(e) => {
                     // Corrupt length prefix: there is no resynchronizing.
@@ -223,4 +253,113 @@ impl Conn {
             }
         }
     }
+}
+
+/// The admit → deadline-check → execute pipeline for one decoded request.
+///
+/// Returns `false` when the connection must start closing (SHUTDOWN).
+/// Free function (not a method) so the borrow of `outbuf` stays disjoint
+/// from the rest of the connection.
+fn execute_admitted(
+    engine: &Engine<'_>,
+    state: &ServerState,
+    wctx: &mut WorkerCtx,
+    outbuf: &mut Vec<u8>,
+    arrival: Instant,
+    req: &Request<'_>,
+    deadline_us: Option<u32>,
+) -> bool {
+    let t0 = Instant::now();
+    let class = classify(req);
+
+    // Deadline pre-check: a request whose budget expired while it queued
+    // is answered without ever reaching the engine.
+    if let Some(budget_us) = deadline_us {
+        if class != VerbClass::Control && expired(arrival, budget_us) {
+            state.counters.note_deadline_pre();
+            encode_response(&Response::DeadlineExceeded, outbuf);
+            return true;
+        }
+    }
+
+    // Admission: the brownout state and this pump pass's queue depth
+    // decide. The whole reject path (classify + admit + encode) is
+    // measured — the soak asserts its mean stays under 10 µs.
+    if let Err(cause) = state
+        .brownout
+        .admit(class, wctx.frames_seen, state.config.queue_limit)
+    {
+        encode_response(
+            &Response::Overloaded {
+                state: state.brownout.state() as u8,
+            },
+            outbuf,
+        );
+        state
+            .counters
+            .note_shed(wctx.worker, cause, t0.elapsed().as_nanos() as u64);
+        return true;
+    }
+
+    let keep_open = match req {
+        Request::Stats => {
+            let json = state.stats_json();
+            // A stats document larger than a frame (giant telemetry
+            // event trace) would trip the encoder's frame-size assert
+            // — a network-reachable panic. Refuse it on just this
+            // connection instead.
+            if json.len() > MAX_FRAME - 8 {
+                encode_response(
+                    &Response::Error {
+                        message: "stats document exceeds frame limit",
+                    },
+                    outbuf,
+                );
+            } else {
+                encode_response(&Response::Stats { json: &json }, outbuf);
+            }
+            true
+        }
+        Request::Health => {
+            encode_response(&state.health_response(), outbuf);
+            true
+        }
+        Request::Shutdown => {
+            state.request_shutdown();
+            encode_response(&Response::Bye, outbuf);
+            false
+        }
+        data_verb => {
+            let exec_start = Instant::now();
+            if let Some(plan) = &state.config.load_plan {
+                if let Some(LoadFault::SlowStore(d)) = plan.draw_store(wctx.worker as u64) {
+                    std::thread::sleep(d);
+                }
+            }
+            let resp = state.store.execute(engine, data_verb);
+            wctx.lat_sum_ns += exec_start.elapsed().as_nanos() as u64;
+            wctx.lat_count += 1;
+            state.counters.note_executed(wctx.worker);
+            // Deadline post-check: the effect is already applied (the
+            // engine ran), but the client stopped waiting — tell it so
+            // instead of shipping a result it will ignore. Documented
+            // semantics: deadlines bound *waiting*, not *effects*.
+            match deadline_us {
+                Some(budget_us) if expired(arrival, budget_us) => {
+                    state.counters.note_deadline_post();
+                    encode_response(&Response::DeadlineExceeded, outbuf);
+                }
+                _ => encode_response(&resp, outbuf),
+            }
+            true
+        }
+    };
+    keep_open
+}
+
+/// Whether `budget_us` microseconds have fully elapsed since `arrival`.
+/// A zero budget is always expired — the probe clients use that to test
+/// the pre-check without a race.
+fn expired(arrival: Instant, budget_us: u32) -> bool {
+    arrival.elapsed() >= Duration::from_micros(u64::from(budget_us))
 }

@@ -28,10 +28,33 @@
 //!   [`ServerConfig::write_timeout`].
 //! * **Graceful shutdown** (SHUTDOWN verb or
 //!   [`ServerHandle::request_shutdown`]): the acceptor stops, workers
-//!   flush pending responses (bounded drain), close their connections and
-//!   exit; [`ServerHandle::join`] then yields a [`ServerSummary`].
+//!   flush pending responses (bounded drain, [`ServerConfig::drain_timeout`]),
+//!   close their connections and exit; [`ServerHandle::join`] then yields
+//!   a [`ServerSummary`].
+//!
+//! # Overload protection
+//!
+//! The server defends its latency under saturation (see `overload`):
+//!
+//! * **Deadlines**: protocol-v2 frames carry a client budget; requests
+//!   that expired while queued are answered `DeadlineExceeded` without
+//!   touching the engine, and requests that expire *during* execution get
+//!   the same response (effect applied — deadlines bound waiting, not
+//!   effects).
+//! * **Admission control**: per-worker queue depth sheds expensive verbs
+//!   (SCAN/STATS) at half of [`ServerConfig::queue_limit`] and everything
+//!   but the control plane at the full limit.
+//! * **Brownout**: EWMAs of queue depth and request latency drive
+//!   `Healthy → Degraded → Shedding`; shed requests are answered with the
+//!   retriable `Overloaded` response on a connection that stays open.
+//! * **Memory bound**: a connection holding more than
+//!   [`ServerConfig::recv_high_water`] unprocessed bytes stops being read
+//!   until it drains — TCP backpressure caps per-connection memory.
+//! * The **HEALTH** verb reports the brownout state plus shed and
+//!   deadline-miss counters, and is never shed.
 
 mod conn;
+mod overload;
 mod stats;
 mod store;
 
@@ -43,12 +66,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gocc_faultplane::TransportFaultPlan;
+use gocc_faultplane::{LoadFault, LoadFaultPlan, TransportFaultPlan};
 use gocc_optilock::{GoccConfig, GoccRuntime};
+use gocc_wire::Response;
 use gocc_workloads::Engine;
 pub use gocc_workloads::Mode;
 
-pub use stats::ServerCounters;
+pub use overload::{
+    classify, BrownoutConfig, BrownoutController, HealthState, ShedCause, VerbClass,
+    SHED_CAUSE_NAMES, TRANSITION_NAMES,
+};
+pub use stats::{ServerCounters, WorkerGauges};
 pub use store::ShardedStore;
 
 use conn::{Conn, PumpOutcome};
@@ -71,9 +99,24 @@ pub struct ServerConfig {
     /// Disconnect a client whose pending response bytes make no progress
     /// for this long.
     pub write_timeout: Duration,
+    /// How long the shutdown drain gives each connection to flush its
+    /// queued response bytes before closing regardless.
+    pub drain_timeout: Duration,
+    /// Per-worker admission queue limit: data verbs are shed once a pump
+    /// pass has seen this many frames; expensive verbs (SCAN/STATS) at
+    /// half of it.
+    pub queue_limit: u64,
+    /// Stop reading a connection holding this many unprocessed input
+    /// bytes until it drains (per-connection memory bound).
+    pub recv_high_water: usize,
+    /// Brownout state-machine thresholds.
+    pub brownout: BrownoutConfig,
     /// Seeded transport fault injection on every accepted connection's
     /// reads/writes (chaos testing); `None` disables it entirely.
     pub fault_plan: Option<Arc<TransportFaultPlan>>,
+    /// Seeded load fault injection (worker stalls, slow store calls) for
+    /// driving the brownout controller deterministically; `None` disables.
+    pub load_plan: Option<Arc<LoadFaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -85,7 +128,12 @@ impl Default for ServerConfig {
             shards: 4,
             capacity_per_shard: 1 << 14,
             write_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_millis(500),
+            queue_limit: 256,
+            recv_high_water: 256 * 1024,
+            brownout: BrownoutConfig::default(),
             fault_plan: None,
+            load_plan: None,
         }
     }
 }
@@ -97,6 +145,7 @@ pub struct ServerState {
     config: ServerConfig,
     shutdown: AtomicBool,
     counters: ServerCounters,
+    brownout: BrownoutController,
 }
 
 impl ServerState {
@@ -104,9 +153,10 @@ impl ServerState {
         ServerState {
             rt: GoccRuntime::new(GoccConfig::with_telemetry()),
             store: ShardedStore::new(config.shards, config.capacity_per_shard),
-            config,
             shutdown: AtomicBool::new(false),
-            counters: ServerCounters::default(),
+            counters: ServerCounters::new(config.workers),
+            brownout: BrownoutController::new(config.brownout),
+            config,
         }
     }
 
@@ -132,9 +182,48 @@ impl ServerState {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
+    /// The brownout controller (state, transition counters).
+    #[must_use]
+    pub fn brownout(&self) -> &BrownoutController {
+        &self.brownout
+    }
+
+    /// The HEALTH response: brownout state plus shed/deadline counters.
+    #[must_use]
+    pub fn health_response(&self) -> Response<'static> {
+        Response::Health {
+            state: self.brownout.state() as u8,
+            shed_total: self.counters.shed_total(),
+            deadline_misses: self.counters.deadline_misses(),
+        }
+    }
+
+    /// End-of-pump bookkeeping for one worker: publish the pass's queue
+    /// depth, feed the brownout controller one observation (idle passes
+    /// feed zeros, which is what decays the EWMAs back to Healthy), and
+    /// take the load plan's stall draw.
+    fn finish_pump(&self, wctx: &mut WorkerCtx) {
+        self.counters.set_queue_depth(wctx.worker, wctx.frames_seen);
+        let mean_lat_ns = if wctx.lat_count > 0 {
+            wctx.lat_sum_ns as f64 / wctx.lat_count as f64
+        } else {
+            0.0
+        };
+        self.brownout.observe(wctx.frames_seen as f64, mean_lat_ns);
+        wctx.frames_seen = 0;
+        wctx.lat_sum_ns = 0;
+        wctx.lat_count = 0;
+        if let Some(plan) = &self.config.load_plan {
+            if let Some(LoadFault::Stall(d)) = plan.draw_worker(wctx.worker as u64) {
+                std::thread::sleep(d);
+            }
+        }
+    }
+
     /// Renders the STATS document: server identity, counters, live entry
-    /// count, and the runtime's full [`gocc_telemetry::TelemetryReport`]
-    /// JSON spliced in under `"telemetry"`.
+    /// count, overload state, and the runtime's full
+    /// [`gocc_telemetry::TelemetryReport`] JSON spliced in under
+    /// `"telemetry"`.
     #[must_use]
     pub fn stats_json(&self) -> String {
         let engine = Engine::new(&self.rt, self.config.mode);
@@ -149,9 +238,24 @@ impl ServerState {
             self.config.workers as u64,
             self.config.shards as u64,
             entries,
+            self.brownout.state().name(),
+            self.brownout.transitions(),
             &telemetry,
         )
     }
+}
+
+/// Per-worker pump-pass scratch state, reset by
+/// [`ServerState::finish_pump`].
+pub(crate) struct WorkerCtx {
+    /// This worker's index (stable across the server's lifetime).
+    pub(crate) worker: usize,
+    /// Frames seen this pump pass — the admission queue depth.
+    pub(crate) frames_seen: u64,
+    /// Summed engine-execution nanoseconds this pass.
+    pub(crate) lat_sum_ns: u64,
+    /// Requests executed this pass.
+    pub(crate) lat_count: u64,
 }
 
 /// `"lock"` / `"gocc"` — the CLI and STATS spelling of a [`Mode`].
@@ -191,8 +295,14 @@ pub struct ServerSummary {
     pub requests: u64,
     /// Frames that failed to parse (each cost its connection).
     pub malformed_frames: u64,
+    /// Oversized frames skipped with their connection kept alive.
+    pub oversized_frames: u64,
     /// Connections dropped for unresponsive reads on the client side.
     pub slow_client_drops: u64,
+    /// Requests shed by admission control, all causes.
+    pub shed_total: u64,
+    /// Deadline misses (expired before or during execution).
+    pub deadline_misses: u64,
     /// The final STATS JSON document.
     pub stats_json: String,
 }
@@ -230,7 +340,10 @@ impl ServerHandle {
             conns_closed: c.closed(),
             requests: c.total_requests(),
             malformed_frames: c.malformed(),
+            oversized_frames: c.oversized(),
             slow_client_drops: c.slow_drops(),
+            shed_total: c.shed_total(),
+            deadline_misses: c.deadline_misses(),
             stats_json: self.state.stats_json(),
         }
     }
@@ -253,7 +366,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         let worker_state = Arc::clone(&state);
         match std::thread::Builder::new()
             .name(format!("goccd-worker-{w}"))
-            .spawn(move || worker_loop(&rx, &worker_state))
+            .spawn(move || worker_loop(w, &rx, &worker_state))
         {
             Ok(handle) => workers.push(handle),
             Err(e) => {
@@ -322,10 +435,16 @@ fn acceptor_loop(
     // coming.
 }
 
-fn worker_loop(rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
+fn worker_loop(worker: usize, rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
     let engine = Engine::new(&state.rt, state.config.mode);
     let mut conns: Vec<Conn> = Vec::new();
     let mut dispatcher_gone = false;
+    let mut wctx = WorkerCtx {
+        worker,
+        frames_seen: 0,
+        lat_sum_ns: 0,
+        lat_count: 0,
+    };
     loop {
         // Adopt newly dispatched connections.
         loop {
@@ -340,7 +459,7 @@ fn worker_loop(rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
         }
 
         let mut progressed = false;
-        conns.retain_mut(|c| match c.pump(&engine, state) {
+        conns.retain_mut(|c| match c.pump(&engine, state, &mut wctx) {
             PumpOutcome::Alive { made_progress } => {
                 progressed |= made_progress;
                 true
@@ -350,6 +469,7 @@ fn worker_loop(rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
                 false
             }
         });
+        state.finish_pump(&mut wctx);
 
         if state.shutting_down() {
             drain_and_close(&mut conns, state);
@@ -364,10 +484,11 @@ fn worker_loop(rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
     }
 }
 
-/// Bounded final flush: give every connection up to 500 ms to drain its
-/// pending response bytes, then close regardless.
+/// Bounded final flush: give every connection up to
+/// [`ServerConfig::drain_timeout`] to drain its pending response bytes,
+/// then close regardless.
 fn drain_and_close(conns: &mut Vec<Conn>, state: &ServerState) {
-    let deadline = Instant::now() + Duration::from_millis(500);
+    let deadline = Instant::now() + state.config.drain_timeout;
     while Instant::now() < deadline && conns.iter().any(Conn::has_pending_output) {
         for c in conns.iter_mut() {
             c.flush_only();

@@ -5,8 +5,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use gocc_telemetry::JsonWriter;
 use gocc_wire::Request;
 
+use crate::overload::{ShedCause, SHED_CAUSE_NAMES, TRANSITION_NAMES};
+
 /// Wire verbs, in STATS reporting order.
-const VERB_NAMES: [&str; 7] = ["get", "set", "del", "incr", "scan", "stats", "shutdown"];
+const VERB_NAMES: [&str; 8] = [
+    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown",
+];
 
 fn verb_index(req: &Request<'_>) -> usize {
     match req {
@@ -16,21 +20,104 @@ fn verb_index(req: &Request<'_>) -> usize {
         Request::Incr { .. } => 3,
         Request::Scan { .. } => 4,
         Request::Stats => 5,
-        Request::Shutdown => 6,
+        Request::Health => 6,
+        Request::Shutdown => 7,
+    }
+}
+
+/// Per-worker admission gauges, reported in the STATS `per_worker` array.
+#[derive(Debug, Default)]
+pub struct WorkerGauges {
+    /// Frames seen in the worker's most recent pump pass (a gauge, not a
+    /// counter).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth` over the server's lifetime.
+    queue_depth_max: AtomicU64,
+    /// Requests this worker shed.
+    shed_total: AtomicU64,
+    /// Requests this worker executed against the engine.
+    executed: AtomicU64,
+}
+
+impl WorkerGauges {
+    /// Most recent pump pass's queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime high-water mark of the queue depth.
+    #[must_use]
+    pub fn queue_depth_max(&self) -> u64 {
+        self.queue_depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Requests this worker shed.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests this worker executed.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
     }
 }
 
 /// Relaxed atomic counters for everything the data plane touches.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerCounters {
     accepted: AtomicU64,
     closed: AtomicU64,
-    by_verb: [AtomicU64; 7],
+    by_verb: [AtomicU64; 8],
     malformed: AtomicU64,
+    /// Oversized frames skipped (connection survived and resynchronized).
+    oversized: AtomicU64,
     slow_drops: AtomicU64,
+    /// Requests shed, by [`ShedCause::index`].
+    shed_by_cause: [AtomicU64; 5],
+    /// Total nanoseconds spent deciding + answering shed requests.
+    shed_ns_total: AtomicU64,
+    /// Slowest single shed decision, nanoseconds.
+    shed_ns_max: AtomicU64,
+    /// Requests whose deadline had already expired on arrival (never
+    /// reached the engine).
+    deadline_pre: AtomicU64,
+    /// Requests whose deadline expired during execution (effect applied,
+    /// response replaced with `DeadlineExceeded`).
+    deadline_post: AtomicU64,
+    per_worker: Vec<WorkerGauges>,
+}
+
+impl Default for ServerCounters {
+    fn default() -> Self {
+        ServerCounters::new(1)
+    }
 }
 
 impl ServerCounters {
+    /// Counters for a server with `workers` worker threads.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        ServerCounters {
+            accepted: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            by_verb: Default::default(),
+            malformed: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            slow_drops: AtomicU64::new(0),
+            shed_by_cause: Default::default(),
+            shed_ns_total: AtomicU64::new(0),
+            shed_ns_max: AtomicU64::new(0),
+            deadline_pre: AtomicU64::new(0),
+            deadline_post: AtomicU64::new(0),
+            per_worker: (0..workers.max(1))
+                .map(|_| WorkerGauges::default())
+                .collect(),
+        }
+    }
+
     pub(crate) fn note_accept(&self) {
         self.accepted.fetch_add(1, Ordering::Relaxed);
     }
@@ -47,8 +134,44 @@ impl ServerCounters {
         self.malformed.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_oversized(&self) {
+        self.oversized.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_slow_drop(&self) {
         self.slow_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one shed request: its cause, the worker that shed it, and
+    /// the nanoseconds the whole reject path took (decision + response
+    /// encode) — the soak asserts this stays under 10 µs.
+    pub(crate) fn note_shed(&self, worker: usize, cause: ShedCause, ns: u64) {
+        self.shed_by_cause[cause.index()].fetch_add(1, Ordering::Relaxed);
+        self.shed_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.shed_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.per_worker[worker % self.per_worker.len()]
+            .shed_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_deadline_pre(&self) {
+        self.deadline_pre.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_deadline_post(&self) {
+        self.deadline_post.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_executed(&self, worker: usize) {
+        self.per_worker[worker % self.per_worker.len()]
+            .executed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_queue_depth(&self, worker: usize, depth: u64) {
+        let g = &self.per_worker[worker % self.per_worker.len()];
+        g.queue_depth.store(depth, Ordering::Relaxed);
+        g.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Connections accepted.
@@ -75,14 +198,77 @@ impl ServerCounters {
         self.malformed.load(Ordering::Relaxed)
     }
 
+    /// Oversized frames skipped with the connection kept alive.
+    #[must_use]
+    pub fn oversized(&self) -> u64 {
+        self.oversized.load(Ordering::Relaxed)
+    }
+
     /// Connections dropped on write timeout.
     #[must_use]
     pub fn slow_drops(&self) -> u64 {
         self.slow_drops.load(Ordering::Relaxed)
     }
 
+    /// Total requests shed, all causes.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed_by_cause
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Shed counts by [`ShedCause::index`].
+    #[must_use]
+    pub fn shed_by_cause(&self) -> [u64; 5] {
+        let mut out = [0; 5];
+        for (o, c) in out.iter_mut().zip(&self.shed_by_cause) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total nanoseconds spent on shed paths.
+    #[must_use]
+    pub fn shed_ns_total(&self) -> u64 {
+        self.shed_ns_total.load(Ordering::Relaxed)
+    }
+
+    /// Slowest single shed path, nanoseconds.
+    #[must_use]
+    pub fn shed_ns_max(&self) -> u64 {
+        self.shed_ns_max.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected before execution because their deadline had
+    /// already expired.
+    #[must_use]
+    pub fn deadline_pre(&self) -> u64 {
+        self.deadline_pre.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose deadline expired during execution.
+    #[must_use]
+    pub fn deadline_post(&self) -> u64 {
+        self.deadline_post.load(Ordering::Relaxed)
+    }
+
+    /// All deadline misses, pre + post.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_pre() + self.deadline_post()
+    }
+
+    /// Per-worker admission gauges.
+    #[must_use]
+    pub fn per_worker(&self) -> &[WorkerGauges] {
+        &self.per_worker
+    }
+
     /// Renders the STATS document. `telemetry_json` is spliced in raw
-    /// (either a rendered [`gocc_telemetry::TelemetryReport`] or `null`).
+    /// (either a rendered [`gocc_telemetry::TelemetryReport`] or `null`);
+    /// `health` and `transitions` come from the brownout controller.
     #[must_use]
     pub(crate) fn to_json(
         &self,
@@ -90,6 +276,8 @@ impl ServerCounters {
         workers: u64,
         shards: u64,
         entries: u64,
+        health: &str,
+        transitions: [u64; 4],
         telemetry_json: &str,
     ) -> String {
         let mut w = JsonWriter::new();
@@ -108,7 +296,37 @@ impl ServerCounters {
         }
         w.end_object()
             .field_u64("malformed_frames", self.malformed())
+            .field_u64("oversized_frames", self.oversized())
             .field_u64("slow_client_drops", self.slow_drops())
+            .key("overload")
+            .begin_object()
+            .field_str("health", health)
+            .field_u64("shed_total", self.shed_total())
+            .key("shed_by_cause")
+            .begin_object();
+        for (name, n) in SHED_CAUSE_NAMES.iter().zip(self.shed_by_cause()) {
+            w.field_u64(name, n);
+        }
+        w.end_object()
+            .field_u64("shed_ns_total", self.shed_ns_total())
+            .field_u64("shed_ns_max", self.shed_ns_max())
+            .field_u64("deadline_pre", self.deadline_pre())
+            .field_u64("deadline_post", self.deadline_post())
+            .key("transitions")
+            .begin_object();
+        for (name, n) in TRANSITION_NAMES.iter().zip(transitions) {
+            w.field_u64(name, n);
+        }
+        w.end_object().end_object().key("per_worker").begin_array();
+        for g in &self.per_worker {
+            w.begin_object()
+                .field_u64("queue_depth", g.queue_depth())
+                .field_u64("queue_depth_max", g.queue_depth_max())
+                .field_u64("shed_total", g.shed_total())
+                .field_u64("executed", g.executed())
+                .end_object();
+        }
+        w.end_array()
             .field_u64("entries", entries)
             .field_raw("telemetry", telemetry_json)
             .end_object();
@@ -123,7 +341,7 @@ mod tests {
 
     #[test]
     fn stats_document_parses_and_reconciles() {
-        let c = ServerCounters::default();
+        let c = ServerCounters::new(2);
         c.note_accept();
         c.note_accept();
         c.note_close();
@@ -134,16 +352,66 @@ mod tests {
             ttl: 0,
         });
         c.note_request(&Request::Get { key: b"k" });
+        c.note_request(&Request::Health);
         c.note_malformed();
-        let json = c.to_json("gocc", 2, 4, 17, "null");
+        let json = c.to_json("gocc", 2, 4, 17, "healthy", [0; 4], "null");
         let v = JsonValue::parse(&json).expect("stats JSON parses");
         assert_eq!(v.get("mode").unwrap().as_str(), Some("gocc"));
         assert_eq!(v.get("conns_accepted").unwrap().as_f64(), Some(2.0));
         let reqs = v.get("requests").unwrap();
-        assert_eq!(reqs.get("total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(reqs.get("total").unwrap().as_f64(), Some(4.0));
         assert_eq!(reqs.get("get").unwrap().as_f64(), Some(2.0));
         assert_eq!(reqs.get("set").unwrap().as_f64(), Some(1.0));
+        assert_eq!(reqs.get("health").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("telemetry"), Some(&JsonValue::Null));
         assert_eq!(v.get("entries").unwrap().as_f64(), Some(17.0));
+    }
+
+    #[test]
+    fn overload_counters_reconcile_in_the_document() {
+        let c = ServerCounters::new(2);
+        c.note_shed(0, ShedCause::QueueFull, 900);
+        c.note_shed(1, ShedCause::SheddingWrite, 1_400);
+        c.note_shed(1, ShedCause::SheddingWrite, 700);
+        c.note_deadline_pre();
+        c.note_deadline_post();
+        c.note_oversized();
+        c.set_queue_depth(0, 12);
+        c.set_queue_depth(0, 3);
+        c.note_executed(1);
+        assert_eq!(c.shed_total(), 3);
+        assert_eq!(c.shed_by_cause(), [1, 0, 0, 0, 2]);
+        assert_eq!(c.shed_ns_total(), 3_000);
+        assert_eq!(c.shed_ns_max(), 1_400);
+        assert_eq!(c.deadline_misses(), 2);
+        let json = c.to_json("lock", 2, 4, 0, "shedding", [1, 1, 0, 0], "null");
+        let v = JsonValue::parse(&json).expect("parses");
+        let o = v.get("overload").unwrap();
+        assert_eq!(o.get("health").unwrap().as_str(), Some("shedding"));
+        assert_eq!(o.get("shed_total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            o.get("shed_by_cause")
+                .unwrap()
+                .get("shedding_write")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            o.get("transitions")
+                .unwrap()
+                .get("healthy_to_degraded")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        let workers = v.get("per_worker").unwrap().as_array().unwrap();
+        let w0 = &workers[0];
+        assert_eq!(w0.get("queue_depth").unwrap().as_f64(), Some(3.0));
+        assert_eq!(w0.get("queue_depth_max").unwrap().as_f64(), Some(12.0));
+        let w1 = &workers[1];
+        assert_eq!(w1.get("shed_total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(w1.get("executed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("oversized_frames").unwrap().as_f64(), Some(1.0));
     }
 }

@@ -98,7 +98,7 @@ impl ShardedStore {
             Request::Scan { limit } => Response::Entries {
                 pairs: self.scan(engine, limit as usize),
             },
-            Request::Stats | Request::Shutdown => Response::Error {
+            Request::Stats | Request::Health | Request::Shutdown => Response::Error {
                 message: "control-plane verb reached the store",
             },
         }

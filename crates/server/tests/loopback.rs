@@ -52,7 +52,7 @@ fn config(mode: Mode) -> ServerConfig {
         shards: 2,
         capacity_per_shard: 1024,
         write_timeout: Duration::from_secs(5),
-        fault_plan: None,
+        ..ServerConfig::default()
     }
 }
 

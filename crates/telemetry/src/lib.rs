@@ -26,6 +26,7 @@
 //! runtime layers above decide the mapping.
 
 mod events;
+mod ewma;
 mod histogram;
 mod json;
 mod registry;
@@ -33,6 +34,7 @@ mod report;
 pub mod rng;
 
 pub use events::{Event, EventOutcome, EventRing};
+pub use ewma::Ewma;
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use json::{JsonValue, JsonWriter};
 pub use registry::{SiteRecord, SiteRegistry, ABORT_CAUSES, ABORT_CAUSE_NAMES};

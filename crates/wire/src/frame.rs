@@ -14,10 +14,19 @@ use crate::{WireError, MAX_FRAME};
 ///
 /// Consumed bytes are compacted away lazily so steady-state operation
 /// reuses one allocation.
+///
+/// An **oversized** frame (a well-formed header declaring more than
+/// [`MAX_FRAME`] bytes) is reported once as [`WireError::TooLarge`] and
+/// then *skipped*: the declared bytes are discarded as they arrive — never
+/// buffered — and extraction resynchronizes at the next frame boundary.
+/// The connection survives; only a structurally corrupt header (length 0)
+/// is unrecoverable.
 #[derive(Debug, Default)]
 pub struct FrameBuf {
     buf: Vec<u8>,
     start: usize,
+    /// Bytes of an oversized frame body still to be discarded.
+    skip: usize,
 }
 
 impl FrameBuf {
@@ -49,11 +58,19 @@ impl FrameBuf {
 
     /// Extracts the next complete frame body, if one is buffered.
     ///
-    /// Returns `Ok(None)` when more bytes are needed, and
-    /// [`WireError::TooLarge`]/[`WireError::Malformed`] when the header
-    /// itself is invalid (the connection is unrecoverable at that point —
-    /// there is no way to resynchronize a corrupt length prefix).
+    /// Returns `Ok(None)` when more bytes are needed.
+    /// [`WireError::TooLarge`] is returned *once* per oversized frame and
+    /// is recoverable: the frame's declared bytes are discarded and
+    /// subsequent calls resume at the next frame boundary.
+    /// [`WireError::Malformed`] (length 0) is unrecoverable — there is no
+    /// way to resynchronize a corrupt length prefix.
     pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        if self.skip > 0 {
+            self.discard_skipped();
+            if self.skip > 0 {
+                return Ok(None);
+            }
+        }
         let avail = &self.buf[self.start..];
         if avail.len() < 4 {
             return Ok(None);
@@ -63,6 +80,12 @@ impl FrameBuf {
             return Err(WireError::Malformed("zero-length frame"));
         }
         if len > MAX_FRAME {
+            // Consume the header, arm skip mode for the declared body, and
+            // report the violation exactly once. The body is discarded as
+            // it arrives, so an oversized frame costs no buffering.
+            self.start += 4;
+            self.skip = len;
+            self.discard_skipped();
             return Err(WireError::TooLarge);
         }
         if avail.len() < 4 + len {
@@ -71,6 +94,13 @@ impl FrameBuf {
         let body_start = self.start + 4;
         self.start = body_start + len;
         Ok(Some(&self.buf[body_start..body_start + len]))
+    }
+
+    fn discard_skipped(&mut self) {
+        let eat = (self.buf.len() - self.start).min(self.skip);
+        self.start += eat;
+        self.skip -= eat;
+        self.compact();
     }
 }
 
@@ -154,6 +184,101 @@ mod tests {
         let mut fb = FrameBuf::new();
         fb.extend(&u32::MAX.to_le_bytes());
         assert_eq!(fb.next_frame(), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn oversized_frame_resynchronizes_at_next_boundary() {
+        // A valid frame, then an oversized one (header + declared body),
+        // then another valid frame, fed one byte at a time. The oversized
+        // frame must surface TooLarge exactly once, its body must be
+        // discarded as it arrives (never buffered), and both valid frames
+        // must decode.
+        let mut before = Vec::new();
+        encode_request(&Request::Get { key: b"before" }, &mut before);
+        let oversized_len = (MAX_FRAME + 3) as u32;
+        let mut wire = before.clone();
+        wire.extend_from_slice(&oversized_len.to_le_bytes());
+        wire.resize(wire.len() + oversized_len as usize, 0xAB);
+        let after_start = wire.len();
+        encode_request(&Request::Scan { limit: 9 }, &mut wire);
+
+        let mut fb = FrameBuf::new();
+        let mut seen = Vec::new();
+        let mut too_large = 0;
+        for (i, &b) in wire.iter().enumerate() {
+            fb.extend(&[b]);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(body)) => seen.push(body.to_vec()),
+                    Ok(None) => break,
+                    Err(WireError::TooLarge) => too_large += 1,
+                    Err(e) => panic!("unexpected error {e:?} at byte {i}"),
+                }
+            }
+            // The oversized body must be discarded incrementally, never
+            // accumulated: pending stays bounded by one small frame.
+            assert!(fb.pending() <= 64, "buffered {} bytes", fb.pending());
+            if i >= after_start {
+                assert_eq!(too_large, 1, "TooLarge must fire before resync");
+            }
+        }
+        assert_eq!(too_large, 1, "TooLarge must surface exactly once");
+        assert_eq!(seen.len(), 2);
+        assert_eq!(
+            crate::decode_request(&seen[0]).unwrap(),
+            Request::Get { key: b"before" }
+        );
+        assert_eq!(
+            crate::decode_request(&seen[1]).unwrap(),
+            Request::Scan { limit: 9 }
+        );
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_skip_survives_chunked_delivery() {
+        // Same scenario with coarse chunks, including chunks that span the
+        // oversized body's end and the next frame's header.
+        let mut wire = Vec::new();
+        encode_request(
+            &Request::Set {
+                key: b"k",
+                value: 1,
+                ttl: 0,
+            },
+            &mut wire,
+        );
+        let oversized_len = (MAX_FRAME + 1000) as u32;
+        wire.extend_from_slice(&oversized_len.to_le_bytes());
+        wire.resize(wire.len() + oversized_len as usize, 0xCD);
+        encode_request(&Request::Del { key: b"k" }, &mut wire);
+
+        let mut fb = FrameBuf::new();
+        let mut seen = Vec::new();
+        let mut too_large = 0;
+        for chunk in wire.chunks(striding_prime()) {
+            fb.extend(chunk);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(body)) => seen.push(body.to_vec()),
+                    Ok(None) => break,
+                    Err(WireError::TooLarge) => too_large += 1,
+                    Err(e) => panic!("unexpected error {e:?}"),
+                }
+            }
+        }
+        assert_eq!(too_large, 1);
+        assert_eq!(seen.len(), 2);
+        assert!(matches!(
+            crate::decode_request(&seen[1]).unwrap(),
+            Request::Del { .. }
+        ));
+    }
+
+    fn striding_prime() -> usize {
+        // A chunk size coprime to the frame sizes involved so chunk
+        // boundaries drift across header/body boundaries.
+        977
     }
 
     #[test]

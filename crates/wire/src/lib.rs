@@ -4,8 +4,9 @@
 //! # Framing
 //!
 //! ```text
-//! frame   := len:u32le body          (len = |body|, 1 ..= MAX_FRAME)
-//! body    := opcode:u8 payload
+//! frame   := len:u32le body            (len = |body|, 1 ..= MAX_FRAME)
+//! body    := opcode:u8 payload         (protocol v1)
+//!          | MAGIC_V2 flags:u8 [deadline_us:u32le] opcode:u8 payload
 //! ```
 //!
 //! Requests and responses share the framing; opcodes with the high bit set
@@ -15,6 +16,18 @@
 //! [`Response`] borrow key/string payloads straight out of the frame
 //! buffer, and encoding appends to a caller-owned `Vec<u8>` so buffers are
 //! reused across frames.
+//!
+//! # Protocol v2: deadline budgets
+//!
+//! A request body may be wrapped in a v2 envelope: a [`MAGIC_V2`] byte
+//! (an opcode value no v1 request uses, so the versions coexist on one
+//! connection), a flags byte, and — when flag bit 0 is set — a
+//! client-supplied **deadline budget** in microseconds. The server
+//! enforces the budget with cheap monotonic checks before and after the
+//! storage call; an expired request is answered with
+//! [`Response::DeadlineExceeded`] and is *never* executed against the
+//! engine. [`decode_request_any`] accepts both versions; v1 frames decode
+//! byte-for-byte as before.
 //!
 //! # Robustness contract
 //!
@@ -39,6 +52,15 @@ pub const MAX_KEY: usize = 1024;
 
 /// Hard ceiling on the entry count a SCAN may request.
 pub const MAX_SCAN: u32 = 4096;
+
+/// First body byte of a protocol-v2 request envelope. Chosen outside the
+/// v1 request opcode space (0x01..=0x08) and the response space (high bit
+/// set), so a v1 decoder sees it as an unknown opcode rather than
+/// misparsing, and [`decode_request_any`] can dispatch on it.
+pub const MAGIC_V2: u8 = 0xB2;
+
+/// v2 flags bit: a `deadline_us:u32le` field follows the flags byte.
+const V2_FLAG_DEADLINE: u8 = 0x01;
 
 /// Why a frame or message failed to decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,6 +129,20 @@ pub enum Request<'a> {
     Stats,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Probe the server's overload state (always admitted, served without
+    /// touching the engine — cheap enough to call from a health checker
+    /// even while the server is shedding).
+    Health,
+}
+
+/// A decoded request plus its v2 envelope fields (absent for v1 frames).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestFrame<'a> {
+    /// The request itself.
+    pub req: Request<'a>,
+    /// Client-supplied deadline budget in microseconds, measured from
+    /// server receipt; `None` for v1 frames or v2 frames without one.
+    pub deadline_us: Option<u32>,
 }
 
 /// A server response.
@@ -143,6 +179,28 @@ pub enum Response<'a> {
     },
     /// SHUTDOWN acknowledged; the server will close the connection.
     Bye,
+    /// HEALTH result: the brownout state plus overload counters.
+    Health {
+        /// Brownout state: 0 = Healthy, 1 = Degraded, 2 = Shedding.
+        state: u8,
+        /// Requests rejected by admission control over the server's life.
+        shed_total: u64,
+        /// Deadline misses (pre-execution rejections + post-execution
+        /// overruns) over the server's life.
+        deadline_misses: u64,
+    },
+    /// The request was rejected by admission control. Retriable: back off
+    /// and retry; the connection stays fully usable.
+    Overloaded {
+        /// Brownout state at rejection time (same encoding as
+        /// [`Response::Health`]).
+        state: u8,
+    },
+    /// The request's deadline budget expired — either before execution
+    /// (the request was not executed) or during it (the effect was
+    /// applied but the client's budget is already blown). Retriable for
+    /// idempotent verbs.
+    DeadlineExceeded,
     /// The request failed; the connection stays usable unless the error
     /// was a framing violation (the server closes it after sending this).
     Error {
@@ -159,6 +217,7 @@ const OP_INCR: u8 = 0x04;
 const OP_SCAN: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
+const OP_HEALTH: u8 = 0x08;
 // Response opcodes (high bit set).
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -167,6 +226,9 @@ const OP_COUNTER: u8 = 0x84;
 const OP_ENTRIES: u8 = 0x85;
 const OP_STATS_R: u8 = 0x86;
 const OP_BYE: u8 = 0x87;
+const OP_HEALTH_R: u8 = 0x88;
+const OP_OVERLOADED: u8 = 0x89;
+const OP_DEADLINE: u8 = 0x8A;
 const OP_ERROR: u8 = 0xFF;
 
 /// Sequential reader over a payload slice; every accessor is
@@ -257,6 +319,29 @@ fn put_key(out: &mut Vec<u8>, key: &[u8]) {
 pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
     let header = out.len();
     put_u32(out, 0); // patched below
+    encode_request_body(req, out);
+    patch_len(out, header);
+}
+
+/// Appends a complete protocol-v2 frame for `req`, carrying `deadline_us`
+/// when given. A `None` deadline still emits the v2 envelope (magic +
+/// flags) — use [`encode_request`] for plain v1 frames.
+pub fn encode_request_v2(req: &Request<'_>, deadline_us: Option<u32>, out: &mut Vec<u8>) {
+    let header = out.len();
+    put_u32(out, 0);
+    out.push(MAGIC_V2);
+    match deadline_us {
+        Some(budget) => {
+            out.push(V2_FLAG_DEADLINE);
+            put_u32(out, budget);
+        }
+        None => out.push(0),
+    }
+    encode_request_body(req, out);
+    patch_len(out, header);
+}
+
+fn encode_request_body(req: &Request<'_>, out: &mut Vec<u8>) {
     match req {
         Request::Get { key } => {
             out.push(OP_GET);
@@ -283,8 +368,8 @@ pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
         }
         Request::Stats => out.push(OP_STATS),
         Request::Shutdown => out.push(OP_SHUTDOWN),
+        Request::Health => out.push(OP_HEALTH),
     }
-    patch_len(out, header);
 }
 
 /// Appends a complete frame for `resp` to `out`.
@@ -324,6 +409,21 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             out.extend_from_slice(json.as_bytes());
         }
         Response::Bye => out.push(OP_BYE),
+        Response::Health {
+            state,
+            shed_total,
+            deadline_misses,
+        } => {
+            out.push(OP_HEALTH_R);
+            out.push(*state);
+            put_u64(out, *shed_total);
+            put_u64(out, *deadline_misses);
+        }
+        Response::Overloaded { state } => {
+            out.push(OP_OVERLOADED);
+            out.push(*state);
+        }
+        Response::DeadlineExceeded => out.push(OP_DEADLINE),
         Response::Error { message } => {
             out.push(OP_ERROR);
             let msg = &message.as_bytes()[..message.len().min(512)];
@@ -341,10 +441,38 @@ fn patch_len(out: &mut [u8], header: usize) {
 }
 
 /// Decodes a frame *body* (opcode + payload, header already stripped) as
-/// a request. Never panics; unknown opcodes, truncation, limit violations
-/// and trailing bytes all yield `Err`.
+/// a protocol-v1 request. Never panics; unknown opcodes, truncation,
+/// limit violations and trailing bytes all yield `Err`.
 pub fn decode_request(body: &[u8]) -> Result<Request<'_>, WireError> {
     let mut c = Cursor::new(body);
+    let req = decode_request_inner(&mut c)?;
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decodes a frame body as either protocol version: a leading
+/// [`MAGIC_V2`] byte selects the v2 envelope (flags + optional deadline
+/// budget), anything else decodes exactly as v1. Same no-panic contract
+/// as [`decode_request`].
+pub fn decode_request_any(body: &[u8]) -> Result<RequestFrame<'_>, WireError> {
+    let mut c = Cursor::new(body);
+    let mut deadline_us = None;
+    if body.first() == Some(&MAGIC_V2) {
+        let _ = c.u8()?;
+        let flags = c.u8()?;
+        if flags & !V2_FLAG_DEADLINE != 0 {
+            return Err(WireError::Malformed("unknown v2 flag bits"));
+        }
+        if flags & V2_FLAG_DEADLINE != 0 {
+            deadline_us = Some(c.u32()?);
+        }
+    }
+    let req = decode_request_inner(&mut c)?;
+    c.finish()?;
+    Ok(RequestFrame { req, deadline_us })
+}
+
+fn decode_request_inner<'a>(c: &mut Cursor<'a>) -> Result<Request<'a>, WireError> {
     let req = match c.u8()? {
         OP_GET => Request::Get { key: c.key()? },
         OP_SET => Request::Set {
@@ -366,9 +494,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request<'_>, WireError> {
         }
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_HEALTH => Request::Health,
         op => return Err(WireError::UnknownOpcode(op)),
     };
-    c.finish()?;
     Ok(req)
 }
 
@@ -406,6 +534,13 @@ pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
             Response::Stats { json }
         }
         OP_BYE => Response::Bye,
+        OP_HEALTH_R => Response::Health {
+            state: c.u8()?,
+            shed_total: c.u64()?,
+            deadline_misses: c.u64()?,
+        },
+        OP_OVERLOADED => Response::Overloaded { state: c.u8()? },
+        OP_DEADLINE => Response::DeadlineExceeded,
         OP_ERROR => {
             let len = c.u16()? as usize;
             let bytes = c.take(len)?;
@@ -456,6 +591,91 @@ mod tests {
         roundtrip_request(Request::Scan { limit: MAX_SCAN });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Health);
+    }
+
+    fn roundtrip_v2(req: Request<'_>, deadline_us: Option<u32>) {
+        let mut out = Vec::new();
+        encode_request_v2(&req, deadline_us, &mut out);
+        let body = &out[4..];
+        assert_eq!(
+            u32::from_le_bytes(out[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert_eq!(
+            decode_request_any(body).unwrap(),
+            RequestFrame { req, deadline_us }
+        );
+    }
+
+    #[test]
+    fn v2_envelopes_roundtrip() {
+        roundtrip_v2(Request::Get { key: b"alpha" }, Some(1_500));
+        roundtrip_v2(
+            Request::Set {
+                key: b"k",
+                value: 7,
+                ttl: 0,
+            },
+            Some(0),
+        );
+        roundtrip_v2(Request::Scan { limit: 16 }, Some(u32::MAX));
+        roundtrip_v2(Request::Health, None);
+        roundtrip_v2(
+            Request::Incr {
+                key: b"c",
+                delta: 2,
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn v1_frames_decode_unchanged_through_decode_request_any() {
+        for req in [
+            Request::Get { key: b"compat" },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Health,
+        ] {
+            let mut out = Vec::new();
+            encode_request(&req, &mut out);
+            let frame = decode_request_any(&out[4..]).unwrap();
+            assert_eq!(frame.req, req);
+            assert_eq!(frame.deadline_us, None, "v1 carries no deadline");
+            // And the strict v1 decoder still accepts the same bytes.
+            assert_eq!(decode_request(&out[4..]).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn v2_strictness() {
+        // Unknown flag bits are malformed.
+        let mut out = Vec::new();
+        encode_request_v2(&Request::Stats, None, &mut out);
+        let mut body = out[4..].to_vec();
+        body[1] = 0x82; // flags with undefined bits
+        assert!(matches!(
+            decode_request_any(&body),
+            Err(WireError::Malformed(_))
+        ));
+        // A declared deadline with truncated bytes is truncated.
+        let body = [MAGIC_V2, 0x01, 0x10, 0x00];
+        assert_eq!(decode_request_any(&body), Err(WireError::Truncated));
+        // Trailing bytes after the inner payload are rejected.
+        let mut out = Vec::new();
+        encode_request_v2(&Request::Get { key: b"k" }, Some(9), &mut out);
+        let mut body = out[4..].to_vec();
+        body.push(0);
+        assert_eq!(
+            decode_request_any(&body),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+        // The strict v1 decoder rejects v2 envelopes outright.
+        assert_eq!(
+            decode_request(&[MAGIC_V2, 0, OP_STATS]),
+            Err(WireError::UnknownOpcode(MAGIC_V2))
+        );
     }
 
     #[test]
@@ -479,6 +699,13 @@ mod tests {
             json: r#"{"ok":true}"#,
         });
         roundtrip_response(Response::Bye);
+        roundtrip_response(Response::Health {
+            state: 2,
+            shed_total: 12_345,
+            deadline_misses: 67,
+        });
+        roundtrip_response(Response::Overloaded { state: 1 });
+        roundtrip_response(Response::DeadlineExceeded);
         roundtrip_response(Response::Error { message: "nope" });
     }
 

@@ -8,7 +8,8 @@
 
 use gocc_telemetry::SplitMix64;
 use gocc_wire::{
-    decode_request, decode_response, encode_request, encode_response, FrameBuf, Request, Response,
+    decode_request, decode_request_any, decode_response, encode_request, encode_request_v2,
+    encode_response, FrameBuf, Request, Response,
 };
 
 /// A deterministic pool of valid requests covering every verb.
@@ -18,7 +19,7 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
     for _ in 0..keylen {
         keybuf.push(rng.next_u64() as u8);
     }
-    match rng.below(7) {
+    match rng.below(8) {
         0 => Request::Get { key: keybuf },
         1 => Request::Set {
             key: keybuf,
@@ -34,12 +35,13 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
             limit: rng.below(u64::from(gocc_wire::MAX_SCAN) + 1) as u32,
         },
         5 => Request::Stats,
+        6 => Request::Health,
         _ => Request::Shutdown,
     }
 }
 
 fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
-    match rng.below(8) {
+    match rng.below(11) {
         0 => Response::Value {
             found: rng.flip(),
             value: rng.next_u64(),
@@ -61,6 +63,15 @@ fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
             json: r#"{"mode":"gocc","requests":12}"#,
         },
         6 => Response::Bye,
+        7 => Response::Health {
+            state: rng.below(3) as u8,
+            shed_total: rng.next_u64(),
+            deadline_misses: rng.next_u64(),
+        },
+        8 => Response::Overloaded {
+            state: rng.below(3) as u8,
+        },
+        9 => Response::DeadlineExceeded,
         _ => Response::Error {
             message: "seeded failure",
         },
@@ -143,6 +154,88 @@ fn single_byte_mutations_decode_or_err_but_never_panic() {
             let _ = decode_response(&mutated);
         }
     }
+}
+
+#[test]
+fn v2_truncations_and_mutations_never_panic() {
+    let mut rng = SplitMix64::new(0xB2B2);
+    let mut keybuf = Vec::new();
+    let mut wire = Vec::new();
+    for _ in 0..300 {
+        wire.clear();
+        let req = sample_request(&mut rng, &mut keybuf);
+        let deadline = if rng.flip() {
+            Some(rng.next_u64() as u32)
+        } else {
+            None
+        };
+        encode_request_v2(&req, deadline, &mut wire);
+        let body = wire[4..].to_vec();
+        let frame = decode_request_any(&body).expect("full v2 body decodes");
+        assert_eq!(frame.req, req);
+        assert_eq!(frame.deadline_us, deadline);
+        for cut in 0..body.len() {
+            assert!(
+                decode_request_any(&body[..cut]).is_err(),
+                "v2 truncation at {cut} must not decode"
+            );
+        }
+        for _ in 0..8 {
+            let mut mutated = body.clone();
+            let idx = rng.below_usize(mutated.len());
+            mutated[idx] ^= 1 << rng.below(8);
+            let _ = decode_request_any(&mutated);
+        }
+    }
+}
+
+#[test]
+fn frame_stream_with_seeded_oversized_frames_resynchronizes() {
+    // Interleave valid v1/v2 frames with oversized frames at seeded
+    // positions; FrameBuf must yield every valid frame, surface TooLarge
+    // once per oversized frame, and never wedge or panic.
+    let mut rng = SplitMix64::new(0x0512);
+    let mut keybuf = Vec::new();
+    let mut wire = Vec::new();
+    let mut valid = 0u32;
+    let mut oversized = 0u32;
+    for _ in 0..40 {
+        if rng.below(4) == 0 {
+            let len = (gocc_wire::MAX_FRAME + 1 + rng.below_usize(4096)) as u32;
+            wire.extend_from_slice(&len.to_le_bytes());
+            wire.resize(wire.len() + len as usize, 0x5A);
+            oversized += 1;
+        } else {
+            let req = sample_request(&mut rng, &mut keybuf);
+            if rng.flip() {
+                encode_request(&req, &mut wire);
+            } else {
+                encode_request_v2(&req, Some(rng.next_u64() as u32), &mut wire);
+            }
+            valid += 1;
+        }
+    }
+    let mut fb = FrameBuf::new();
+    let mut seen = 0u32;
+    let mut too_large = 0u32;
+    for chunk in wire.chunks(1237) {
+        fb.extend(chunk);
+        loop {
+            match fb.next_frame() {
+                Ok(Some(body)) => {
+                    decode_request_any(body).expect("interleaved frames are valid");
+                    seen += 1;
+                }
+                Ok(None) => break,
+                Err(gocc_wire::WireError::TooLarge) => too_large += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(fb.pending() < 8192, "oversized bodies must not buffer");
+    }
+    assert_eq!(seen, valid);
+    assert_eq!(too_large, oversized);
+    assert_eq!(fb.pending(), 0);
 }
 
 #[test]

@@ -47,6 +47,10 @@ done
 # Server throughput: self-hosted goccd sweep in both modes (S1).
 run_step loadgen ./target/release/loadgen --mode both --workers 4
 
+# Overload protection: open-loop saturation at 2x capacity, both modes;
+# produces BENCH_overload.json with the gate verdicts and counters.
+run_step overload_soak ./target/release/overload_soak --seed 2026
+
 for f in BENCH_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"
 done

@@ -103,4 +103,26 @@ echo "== chaos soak (fixed seed, both modes) =="
   --net-keys 32 --net-clients 3 --stall-secs 60
 echo "ok: chaos soak"
 
+echo "== overload soak (open-loop saturation, both modes) =="
+# Drives goccd 2x past its calibrated capacity with open-loop arrivals
+# and deadline budgets, then checks the overload guarantees from the
+# server's own counters: bounded admitted p99 (gate in ms, overridable
+# via OVERLOAD_GATE_P99_MS=150 ./scripts/ci.sh), sub-10us shed cost,
+# no expired request ever executed, brownout engage + recovery within
+# 5s of load removal. Exit 4 means a guarantee was violated (vs exit 1
+# for a broken harness) so the two fail differently here.
+overload_gate=${OVERLOAD_GATE_P99_MS:-100}
+if OVERLOAD_GATE_P99_MS="$overload_gate" \
+  ./target/release/overload_soak --quick --seed 2026 --out none; then
+  echo "ok: overload soak (p99 gate ${overload_gate}ms)"
+else
+  status=$?
+  if [ "$status" -eq 4 ]; then
+    echo "FAIL: overload guarantee violated (gate ${overload_gate}ms)" >&2
+  else
+    echo "FAIL: overload soak harness error (status $status)" >&2
+  fi
+  exit "$status"
+fi
+
 echo "CI_OK"
