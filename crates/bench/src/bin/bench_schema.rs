@@ -1,0 +1,79 @@
+//! `bench_schema` — validates benchmark artifacts against the common
+//! schema every `BENCH_*.json` must carry.
+//!
+//! Each artifact must parse with the workspace's own JSON parser and
+//! open with the header [`gocc_bench::artifact_header`] renders: the
+//! bench name, the mode list, the driving script's git revision and
+//! wall-clock budget. The perf trajectory across PRs is diffed by
+//! machine; an artifact that drops the header silently falls out of that
+//! comparison, so CI fails it here instead.
+//!
+//! With file arguments, checks exactly those; with none, checks every
+//! `BENCH_*.json` in the current directory and fails if there are none
+//! (a schema check that validated nothing is a misconfigured pipeline,
+//! not a pass).
+
+use gocc_telemetry::JsonValue;
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("does not parse: {e}"))?;
+    let header = doc.get("header").ok_or("missing \"header\" object")?;
+    let name = header
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or("header.name missing or not a string")?;
+    let modes = header
+        .get("modes")
+        .and_then(JsonValue::as_array)
+        .ok_or("header.modes missing or not an array")?;
+    if modes.is_empty() || modes.iter().any(|m| m.as_str().is_none()) {
+        return Err("header.modes must be a non-empty array of strings".into());
+    }
+    let git_rev = header
+        .get("git_rev")
+        .and_then(|v| v.as_str())
+        .ok_or("header.git_rev missing or not a string")?;
+    let budget = header
+        .get("budget_secs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("header.budget_secs missing or not a number")?;
+    println!(
+        "ok: {path} (name={name} modes={} git_rev={git_rev} budget={budget}s)",
+        modes.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .expect("reading the current directory")
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect();
+        found.sort();
+        paths = found;
+    }
+    if paths.is_empty() {
+        eprintln!("bench_schema: no BENCH_*.json artifacts to validate");
+        std::process::exit(1);
+    }
+    let mut bad = 0usize;
+    for path in &paths {
+        if let Err(e) = check(path) {
+            eprintln!("FAIL: {path}: {e}");
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        eprintln!(
+            "bench_schema: {bad} of {} artifact(s) violate the schema",
+            paths.len()
+        );
+        std::process::exit(1);
+    }
+    println!("bench_schema: {} artifact(s) conform", paths.len());
+}

@@ -1,0 +1,195 @@
+//! Flight-recorder overhead gate: what per-request tracing costs on the
+//! speculating hot path.
+//!
+//! An observability layer that taxes the fast path defeats its purpose —
+//! the whole point of PR 4's allocation-free discipline was to keep
+//! `FastLock`→section→`FastUnlock` cheap, and the flight recorder rides
+//! exactly that path. This binary pins the tax down against the same
+//! speculating baseline `hotpath` uses (gocc mode, `procs = 8`, one
+//! uncontended write-style section per request), emulating the server's
+//! per-request pattern around each section:
+//!
+//! - `baseline` — no tracing anywhere: the recorder stays unconfigured
+//!   and the loop never touches the trace API;
+//! - `disabled` — the full request plumbing (`begin_request`, the
+//!   [`gocc_telemetry::trace::tracing_active`] gate in every layer) with
+//!   sampling off: what *every* deployment pays;
+//! - `sampled` — 1-in-64 sampling, the default `goccd` runs with;
+//! - `full` — every request traced (`N = 1`): the worst case, reported
+//!   but not gated.
+//!
+//! Configurations are measured in interleaved repeats (round-robin, so
+//! drift hits all of them equally) and scored min-of-K — the floor is the
+//! honest cost, everything above it is scheduler noise. Gates:
+//! `disabled` ≤ 1% over baseline, `sampled` ≤ 5%, overridable via
+//! `TRACE_GATE_DISABLED_PCT` / `TRACE_GATE_SAMPLED_PCT`. Everything lands
+//! in `BENCH_trace.json`; exit 1 on a violated gate.
+
+use std::time::Duration;
+
+use gocc_bench::{warm_measure, write_artifact};
+use gocc_optilock::{call_site, GoccRuntime, LockRef};
+use gocc_telemetry::{trace, JsonWriter};
+use gocc_txds::TxCounter;
+use gocc_workloads::{Engine, Mode};
+
+/// Interleaved repeats per configuration; each row's score is its min.
+const REPEATS: usize = 5;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    Baseline,
+    Disabled,
+    Sampled,
+    Full,
+}
+
+impl Config {
+    fn name(self) -> &'static str {
+        match self {
+            Config::Baseline => "baseline",
+            Config::Disabled => "disabled",
+            Config::Sampled => "sampled",
+            Config::Full => "full",
+        }
+    }
+
+    /// The recorder's `sample_n` for this configuration.
+    fn sample_n(self) -> u64 {
+        match self {
+            Config::Baseline | Config::Disabled => 0,
+            Config::Sampled => 64,
+            Config::Full => 1,
+        }
+    }
+}
+
+/// One measurement window of the per-request pattern under `config`.
+fn measure(config: Config, window: Duration) -> f64 {
+    let rt = GoccRuntime::new_default();
+    rt.tracer().configure(config.sample_n(), 0x7AC3_5EED);
+    let engine = Engine::new(&rt, Mode::Gocc);
+    let m = gocc_optilock::ElidableMutex::new();
+    let c = TxCounter::new(0);
+    let site = call_site!();
+    let ns = if config == Config::Baseline {
+        // No trace API anywhere: the cost every pre-tracing build paid.
+        warm_measure(1, window, |_w, _i| {
+            engine.section(site, LockRef::Mutex(&m), |tx| c.add(tx, 1).map(|_| ()));
+        })
+    } else {
+        // The server's per-request shape: one sampling decision, the id
+        // pinned for the section, cleared after — exactly what
+        // `conn::process_frames` does around `execute_admitted`.
+        warm_measure(1, window, |_w, _i| {
+            let id = rt.tracer().begin_request();
+            if id != 0 {
+                trace::set_current(id);
+            }
+            engine.section(site, LockRef::Mutex(&m), |tx| c.add(tx, 1).map(|_| ()));
+            if id != 0 {
+                trace::clear_current();
+            }
+        })
+    };
+    rt.tracer().configure(0, 0);
+    ns
+}
+
+fn gate_from_env(var: &str, default: f64) -> f64 {
+    match std::env::var(var) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("{var} must be a float: {e}")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let mut window = Duration::from_millis(120);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--window-ms" => {
+                let v = args.next().expect("--window-ms needs a value");
+                window = Duration::from_millis(v.parse().expect("--window-ms: integer"));
+            }
+            other => {
+                eprintln!("unknown flag: {other}\nusage: trace_overhead [--window-ms N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let gate_disabled = gate_from_env("TRACE_GATE_DISABLED_PCT", 1.0);
+    let gate_sampled = gate_from_env("TRACE_GATE_SAMPLED_PCT", 5.0);
+
+    let prev = gocc_gosync::set_procs(8);
+    const CONFIGS: [Config; 4] = [
+        Config::Baseline,
+        Config::Disabled,
+        Config::Sampled,
+        Config::Full,
+    ];
+    // Round-robin over configurations so thermal / scheduler drift is
+    // spread across all of them instead of biasing whichever ran last.
+    let mut best = [f64::INFINITY; 4];
+    for _ in 0..REPEATS {
+        for (i, &config) in CONFIGS.iter().enumerate() {
+            best[i] = best[i].min(measure(config, window));
+        }
+    }
+    gocc_gosync::set_procs(prev);
+
+    let baseline = best[0];
+    let overhead_pct = |ns: f64| ((ns - baseline) / baseline * 100.0).max(0.0);
+
+    println!("== trace_overhead: flight-recorder cost on the speculating hot path ==");
+    println!("{:<10} {:>12} {:>12}", "config", "ns/op", "overhead");
+    for (i, &config) in CONFIGS.iter().enumerate() {
+        println!(
+            "{:<10} {:>12.1} {:>11.2}%",
+            config.name(),
+            best[i],
+            overhead_pct(best[i]),
+        );
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("figure", "trace")
+        .field_u64("window_ms", window.as_millis() as u64)
+        .field_u64("repeats", REPEATS as u64)
+        .field_f64("gate_disabled_pct", gate_disabled)
+        .field_f64("gate_sampled_pct", gate_sampled)
+        .key("configs")
+        .begin_array();
+    for (i, &config) in CONFIGS.iter().enumerate() {
+        w.begin_object()
+            .field_str("name", config.name())
+            .field_u64("sample_n", config.sample_n())
+            .field_f64("ns_per_op", best[i])
+            .field_f64("overhead_pct", overhead_pct(best[i]))
+            .end_object();
+    }
+    w.end_array().end_object();
+    write_artifact("trace", &w.finish());
+
+    let mut failed = false;
+    for (config, pct, gate) in [
+        (Config::Disabled, overhead_pct(best[1]), gate_disabled),
+        (Config::Sampled, overhead_pct(best[2]), gate_sampled),
+    ] {
+        if pct > gate {
+            eprintln!(
+                "GATE FAILED: {} overhead {pct:.2}% exceeds gate {gate:.2}%",
+                config.name()
+            );
+            failed = true;
+        } else {
+            println!("gate ok: {} {pct:.2}% <= {gate:.2}%", config.name());
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -57,6 +57,14 @@ impl HtmRuntime {
         &self.clock
     }
 
+    /// Current TL2 version-clock value — the logical timestamp the commit
+    /// protocol orders by. Exposed for observability (flight-recorder HTM
+    /// attempt spans carry it), not for transactional use.
+    #[must_use]
+    pub fn clock_now(&self) -> u64 {
+        self.clock.now()
+    }
+
     /// Statistics counters of this domain.
     #[must_use]
     pub fn stats(&self) -> &HtmStats {

@@ -61,12 +61,15 @@ struct Args {
     net_keys: u64,
     net_clients: usize,
     stall_secs: u64,
+    /// Prefix for the per-mode Chrome trace dumps written after the
+    /// networked phase; `None` disables them.
+    trace_out: Option<String>,
 }
 
 fn usage() -> String {
     "usage: chaos_soak [--seed N] [--mode lock|gocc|both] [--sections N] [--threads N] \
      [--abort-rate F] [--pairing-rate F] [--transport-rate F] \
-     [--net-keys N] [--net-clients N] [--stall-secs N]"
+     [--net-keys N] [--net-clients N] [--stall-secs N] [--trace-out PREFIX|none]"
         .to_string()
 }
 
@@ -82,6 +85,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         net_keys: 48,
         net_clients: 3,
         stall_secs: 60,
+        trace_out: Some("TRACE_chaos".to_string()),
     };
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -118,6 +122,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--net-keys" => args.net_keys = num("--net-keys", &value("--net-keys")?)?,
             "--net-clients" => args.net_clients = num("--net-clients", &value("--net-clients")?)?,
             "--stall-secs" => args.stall_secs = num("--stall-secs", &value("--stall-secs")?)?,
+            "--trace-out" => {
+                let v = value("--trace-out")?;
+                args.trace_out = (v != "none").then_some(v);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -653,8 +661,19 @@ fn phase3_networked(args: &Args, mode: Mode, live: &Liveness) -> Result<(), Stri
         other => return Err(format!("server reports mode {other:?}")),
     }
 
+    let state = handle.state_arc();
     handle.request_shutdown();
     let summary = handle.join();
+    if let Some(prefix) = &args.trace_out {
+        // The flight recorder's surviving spans, as a Chrome trace-event
+        // document. Validated before it lands: a dump that does not parse
+        // is a bug, not an artifact.
+        let dump = state.chrome_trace_json();
+        JsonValue::parse(&dump).map_err(|e| format!("chrome trace dump does not parse: {e}"))?;
+        let path = format!("{prefix}_{}.json", mode_name(mode));
+        std::fs::write(&path, &dump).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
     if summary.malformed_frames != 0 {
         return Err(format!(
             "transport faults must never corrupt frames: {} malformed",

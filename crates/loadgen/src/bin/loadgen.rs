@@ -23,8 +23,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use gocc_loadgen::{
-    bench_server_json, fetch_stats, run_point, send_shutdown, sweep_counts, LoadConfig, ModeResult,
-    SweepRow,
+    bench_server_json, fetch_stats, fetch_trace, run_point, send_shutdown, sweep_counts,
+    LoadConfig, ModeResult, SweepRow,
 };
 use gocc_server::{mode_name, parse_mode, spawn, Mode, ServerConfig};
 
@@ -34,6 +34,9 @@ struct Args {
     workers: usize,
     addr: Option<String>,
     shutdown: bool,
+    /// Drain up to N flight-recorder spans after the window (0 = server
+    /// default cap) and print the TRACE document. External targets only.
+    trace: Option<u32>,
     out: Option<String>,
     server_workers: usize,
     shards: usize,
@@ -43,9 +46,9 @@ struct Args {
 
 fn usage() -> String {
     "usage: loadgen [--mode lock|gocc|both] [--workers N] [--addr 127.0.0.1:PORT] \
-     [--shutdown] [--out PATH|none] [--server-workers N] [--shards N] [--capacity N] \
-     [--warmup-ms N] [--window-ms N] [--keyspace N] [--read-frac F] [--zipf S] \
-     [--scan-every N] [--seed N]"
+     [--shutdown] [--trace N] [--out PATH|none] [--server-workers N] [--shards N] \
+     [--capacity N] [--warmup-ms N] [--window-ms N] [--keyspace N] [--read-frac F] \
+     [--zipf S] [--scan-every N] [--seed N]"
         .to_string()
 }
 
@@ -55,6 +58,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         workers: 4,
         addr: None,
         shutdown: false,
+        trace: None,
         out: None,
         server_workers: 2,
         shards: 4,
@@ -92,6 +96,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--addr" => args.addr = Some(value("--addr")?),
             "--shutdown" => args.shutdown = true,
+            "--trace" => args.trace = Some(num("--trace", &value("--trace")?)?),
             "--out" => {
                 let v = value("--out")?;
                 args.out = (v != "none").then_some(v);
@@ -126,6 +131,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     }
     if args.addr.is_some() && args.mode.is_none() {
         return Err("--addr drives one server with one mode; pick --mode lock or gocc".into());
+    }
+    if args.trace.is_some() && args.addr.is_none() {
+        return Err("--trace drains a live daemon; it needs --addr".into());
     }
     if !out_given {
         // Sweeps produce the artifact by default; smoke runs against an
@@ -226,6 +234,11 @@ fn run(args: &Args) -> Result<(), String> {
             Mode::Gocc => row.gocc = Some(m),
         }
         rows.push(row);
+        if let Some(max) = args.trace {
+            // Drained before SHUTDOWN: TRACE against a dead server is
+            // just a connection error.
+            println!("{}", fetch_trace(port, max)?.raw);
+        }
         if args.shutdown {
             send_shutdown(port)?;
         }
@@ -273,7 +286,7 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if let Some(path) = &args.out {
-        let json = bench_server_json(&args.load, &rows);
+        let json = gocc_bench::with_header("server", &bench_server_json(&args.load, &rows));
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }

@@ -253,6 +253,9 @@ struct ModeOutcome {
     server: ServerOverload,
     summary: ServerSummary,
     gates: Vec<Gate>,
+    /// Chrome trace-event dump of the flight recorder's surviving spans,
+    /// drained after shutdown.
+    chrome_trace: String,
 }
 
 fn soak_mode(args: &Args, mode: Mode) -> Result<ModeOutcome, String> {
@@ -348,9 +351,13 @@ fn soak_mode(args: &Args, mode: Mode) -> Result<ModeOutcome, String> {
         std::thread::sleep(Duration::from_millis(25));
     };
 
+    let state = handle.state_arc();
     handle.request_shutdown();
     let summary = handle.join();
     let server = parse_server_overload(&summary.stats_json)?;
+    let chrome_trace = state.chrome_trace_json();
+    JsonValue::parse(&chrome_trace)
+        .map_err(|e| format!("chrome trace dump does not parse: {e}"))?;
 
     // The gates, each verified from the artifact's own counters.
     let p99_ns = open.latency.quantile(0.99);
@@ -436,6 +443,7 @@ fn soak_mode(args: &Args, mode: Mode) -> Result<ModeOutcome, String> {
         server,
         summary,
         gates,
+        chrome_trace,
     })
 }
 
@@ -556,12 +564,22 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = &args.out {
-        let json = artifact_json(&args, &outcomes);
+        let json = gocc_bench::with_header("overload", &artifact_json(&args, &outcomes));
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("overload_soak: writing {path}: {e}");
             return ExitCode::from(EXIT_SETUP);
         }
         println!("wrote {path}");
+        // Each mode's flight-recorder dump rides along, loadable straight
+        // into chrome://tracing or Perfetto.
+        for m in &outcomes {
+            let trace_path = format!("TRACE_overload_{}.json", mode_name(m.mode));
+            if let Err(e) = std::fs::write(&trace_path, &m.chrome_trace) {
+                eprintln!("overload_soak: writing {trace_path}: {e}");
+                return ExitCode::from(EXIT_SETUP);
+            }
+            println!("wrote {trace_path}");
+        }
     }
     let failed: Vec<&Gate> = outcomes
         .iter()

@@ -183,6 +183,7 @@ fn response_matches(req: &Request<'_>, resp: &Response<'_>) -> bool {
             | (Request::Incr { .. }, Response::Counter { .. })
             | (Request::Scan { .. }, Response::Entries { .. })
             | (Request::Stats, Response::Stats { .. })
+            | (Request::Trace { .. }, Response::Trace { .. })
             | (Request::Shutdown, Response::Bye)
     )
 }
@@ -334,6 +335,43 @@ pub fn fetch_stats(port: u16) -> Result<StatsDoc, String> {
     };
     let parsed = JsonValue::parse(json).map_err(|e| format!("STATS JSON does not parse: {e}"))?;
     Ok(StatsDoc {
+        raw: json.to_string(),
+        parsed,
+    })
+}
+
+/// A drained-and-validated TRACE document.
+#[derive(Clone, Debug)]
+pub struct TraceDoc {
+    /// The raw JSON exactly as served.
+    pub raw: String,
+    /// The parse (through `gocc-telemetry`'s own parser).
+    pub parsed: JsonValue,
+}
+
+impl TraceDoc {
+    /// The `"spans"` array.
+    #[must_use]
+    pub fn spans(&self) -> &[JsonValue] {
+        self.parsed
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+    }
+}
+
+/// Drains up to `max` flight-recorder spans from a live daemon (`0` asks
+/// for the server-side default cap). TRACE is *draining* — a lost response
+/// loses spans — so this never replays over a fresh connection.
+pub fn fetch_trace(port: u16, max: u32) -> Result<TraceDoc, String> {
+    let respbuf = control_call(port, &Request::Trace { max })?;
+    let Response::Trace { json } =
+        decode_response(&respbuf).map_err(|e| format!("bad trace response: {e}"))?
+    else {
+        return Err("TRACE returned a non-trace response".into());
+    };
+    let parsed = JsonValue::parse(json).map_err(|e| format!("TRACE JSON does not parse: {e}"))?;
+    Ok(TraceDoc {
         raw: json.to_string(),
         parsed,
     })

@@ -3,7 +3,7 @@
 use std::sync::OnceLock;
 
 use gocc_htm::{HtmConfig, HtmRuntime};
-use gocc_telemetry::Telemetry;
+use gocc_telemetry::{Telemetry, TraceRecorder};
 
 use crate::perceptron::{Perceptron, PerceptronConfig};
 use crate::policy::RetryPolicy;
@@ -79,6 +79,7 @@ pub struct GoccRuntime {
     perceptron_enabled: bool,
     stats: OptiStats,
     telemetry: Option<Box<Telemetry>>,
+    tracer: Box<TraceRecorder>,
 }
 
 impl GoccRuntime {
@@ -92,6 +93,7 @@ impl GoccRuntime {
             perceptron_enabled: config.perceptron_enabled,
             stats: OptiStats::default(),
             telemetry: config.telemetry_enabled.then(|| Box::new(Telemetry::new())),
+            tracer: Box::new(TraceRecorder::new()),
         }
     }
 
@@ -142,6 +144,14 @@ impl GoccRuntime {
     #[must_use]
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.telemetry.as_deref()
+    }
+
+    /// The per-request flight recorder. Always present — sampling is off
+    /// (and the hot path pays one global relaxed load) until
+    /// [`TraceRecorder::configure`] enables it.
+    #[must_use]
+    pub fn tracer(&self) -> &TraceRecorder {
+        &self.tracer
     }
 }
 

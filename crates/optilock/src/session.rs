@@ -27,7 +27,10 @@ use std::time::Instant;
 
 use gocc_gosync::procs;
 use gocc_htm::{Abort, Elision, LockWord, Tx, TxResult, MUTEX_MISMATCH_CODE};
-use gocc_telemetry::{Event, EventOutcome};
+use gocc_telemetry::trace::{
+    self, PERCEPTRON_PENALIZE, PERCEPTRON_PREDICT_HTM, PERCEPTRON_PREDICT_SLOW, PERCEPTRON_REWARD,
+};
+use gocc_telemetry::{Event, EventOutcome, Span, SpanKind};
 
 use crate::elidable::{ElidableMutex, ElidableRwMutex};
 use crate::perceptron::Features;
@@ -222,6 +225,10 @@ pub struct OptiLock {
     /// When the section's first execution began; set only with telemetry
     /// on, so the disabled hot path never reads the clock.
     section_start: Option<Instant>,
+    /// Flight recorder: when the in-flight HTM attempt began (trace
+    /// nanoseconds; 0 = no attempt being traced). Set only for sampled
+    /// requests, so the untraced hot path never reads the clock.
+    trace_attempt_start: u64,
 }
 
 impl OptiLock {
@@ -241,7 +248,52 @@ impl OptiLock {
             features: None,
             predicted_fast: false,
             section_start: None,
+            trace_attempt_start: 0,
         }
+    }
+
+    /// Flight recorder: closes the in-flight HTM attempt span. `outcome`
+    /// is 0 for a commit, `1 + cause_index` for an abort; the `b` payload
+    /// carries the TL2 version-clock snapshot the attempt resolved at.
+    #[inline]
+    fn trace_attempt_outcome(&mut self, rt: &GoccRuntime, outcome: u64) {
+        let id = trace::current();
+        if id == 0 {
+            return;
+        }
+        let now = trace::now_ns();
+        let start = if self.trace_attempt_start == 0 {
+            now
+        } else {
+            self.trace_attempt_start
+        };
+        self.trace_attempt_start = 0;
+        rt.tracer().push(Span {
+            trace_id: id,
+            kind: SpanKind::HtmAttempt,
+            start_ns: start,
+            dur_ns: now.saturating_sub(start),
+            a: outcome,
+            b: rt.htm().clock_now(),
+        });
+    }
+
+    /// Flight recorder: marks a perceptron touch (predict or train) as an
+    /// instant span on the current trace.
+    #[inline]
+    fn trace_perceptron(rt: &GoccRuntime, site: usize, action: u64) {
+        let id = trace::current();
+        if id == 0 {
+            return;
+        }
+        rt.tracer().push(Span {
+            trace_id: id,
+            kind: SpanKind::Perceptron,
+            start_ns: trace::now_ns(),
+            dur_ns: 0,
+            a: action,
+            b: site as u64,
+        });
     }
 
     /// The perceptron indices for this section, computed on first use.
@@ -342,6 +394,9 @@ impl OptiLock {
             }
             OptiStats::add(&rt.stats().htm_attempts);
             self.attempted_htm = true;
+            if trace::current() != 0 {
+                self.trace_attempt_start = trace::now_ns();
+            }
             let mut tx = Tx::fast(rt.htm());
             tx.set_fault_site(self.site);
             if let Some(t) = rt.telemetry() {
@@ -408,9 +463,11 @@ impl OptiLock {
         let features = self.section_features(rt, lock);
         if rt.perceptron().predict(features) {
             OptiStats::add(&rt.stats().perceptron_htm);
+            Self::trace_perceptron(rt, self.site, PERCEPTRON_PREDICT_HTM);
             Decision::Htm
         } else {
             OptiStats::add(&rt.stats().perceptron_slow);
+            Self::trace_perceptron(rt, self.site, PERCEPTRON_PREDICT_SLOW);
             Decision::SlowPerceptron
         }
     }
@@ -422,6 +479,7 @@ impl OptiLock {
             // Deterministic causes exhaust the budget immediately.
             self.attempts_left = 0;
         }
+        self.trace_attempt_outcome(rt, 1 + abort.cause.index() as u64);
         if let Some(t) = rt.telemetry() {
             let cause = abort.cause.index();
             t.sites.record_abort(self.site, lock.lock_id(), cause);
@@ -485,6 +543,7 @@ impl OptiLock {
                 match tx.commit() {
                     Ok(()) => {
                         OptiStats::add(&rt.stats().fast_commits);
+                        self.trace_attempt_outcome(rt, 0);
                         if let Some(t) = rt.telemetry() {
                             t.sites.record_commit(self.site, lock.lock_id());
                             match self.section_start.take() {
@@ -517,6 +576,7 @@ impl OptiLock {
         if rt.perceptron_enabled() {
             let features = self.section_features(rt, lock);
             rt.perceptron().reward(features);
+            Self::trace_perceptron(rt, self.site, PERCEPTRON_REWARD);
         }
     }
 
@@ -539,6 +599,7 @@ impl OptiLock {
             // HTM was tried but the section finished on the lock: penalize.
             let features = self.section_features(rt, lock);
             rt.perceptron().penalize(features);
+            Self::trace_perceptron(rt, self.site, PERCEPTRON_PENALIZE);
         }
         self.finish();
     }
@@ -552,6 +613,7 @@ impl OptiLock {
         self.attempts_left = u32::MAX;
         self.section_aborts = 0;
         self.section_start = None;
+        self.trace_attempt_start = 0;
     }
 }
 
@@ -929,6 +991,60 @@ mod tests {
         });
         let mut check = Tx::direct(rt.htm());
         assert_eq!(check.read(&v).unwrap(), 1000, "lost updates under elision");
+    }
+
+    #[test]
+    fn sampled_sections_record_attempt_and_perceptron_spans() {
+        let rt = rt();
+        rt.tracer().configure(1, 7);
+        let id = rt.tracer().begin_request();
+        assert_ne!(id, 0, "sample-every-request must sample");
+        trace::set_current(id);
+        let m = ElidableMutex::new();
+        let v = TxVar::new(0u64);
+        for _ in 0..5 {
+            critical_mutex(&rt, crate::call_site!(), &m, |tx| {
+                let cur = tx.read(&v)?;
+                tx.write(&v, cur + 1)
+            });
+        }
+        trace::clear_current();
+        let spans = rt.tracer().drain();
+        rt.tracer().configure(0, 0);
+        let attempts: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::HtmAttempt)
+            .collect();
+        assert_eq!(attempts.len(), 5, "one attempt span per committed section");
+        assert!(
+            attempts.iter().all(|s| s.a == 0),
+            "uncontended attempts commit"
+        );
+        assert!(spans.iter().all(|s| s.trace_id == id));
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::Perceptron),
+            "predict/train activity must be traced"
+        );
+    }
+
+    #[test]
+    fn traced_aborts_name_their_cause() {
+        let rt = rt();
+        rt.tracer().configure(1, 11);
+        let id = rt.tracer().begin_request();
+        trace::set_current(id);
+        let m = ElidableMutex::new();
+        let site = crate::call_site!();
+        critical_mutex(&rt, site, &m, |tx| tx.unfriendly());
+        trace::clear_current();
+        let spans = rt.tracer().drain();
+        rt.tracer().configure(0, 0);
+        let aborted: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::HtmAttempt && s.a != 0)
+            .collect();
+        assert!(!aborted.is_empty(), "the unfriendly abort must be traced");
+        assert_eq!(aborted[0].detail(), Some("unfriendly"));
     }
 
     #[test]

@@ -126,6 +126,49 @@ fn steady_state_direct_sections_do_not_allocate() {
 }
 
 #[test]
+fn fully_traced_sections_do_not_allocate() {
+    // The flight recorder rides the same hot path: with every request
+    // sampled (N = 1), the sampling decision, the id propagation and the
+    // per-attempt span pushes must all stay within the zero-allocation
+    // budget — the span ring is fixed-size atomics by construction.
+    let prev = gocc_gosync::set_procs(8);
+    let rt = GoccRuntime::new_default();
+    rt.tracer().configure(1, 0xA110_C8);
+    let m = ElidableMutex::new();
+    let v = TxVar::new(0u64);
+    let site = call_site!();
+    let run = || {
+        let id = rt.tracer().begin_request();
+        if id != 0 {
+            gocc_telemetry::trace::set_current(id);
+        }
+        critical_mutex(&rt, site, &m, |tx| {
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 1)
+        });
+        if id != 0 {
+            gocc_telemetry::trace::clear_current();
+        }
+    };
+    for _ in 0..64 {
+        run();
+    }
+    let allocs = allocs_over(10_000, run);
+    gocc_gosync::set_procs(prev);
+    assert_eq!(
+        allocs, 0,
+        "fully-traced sections must be allocation-free after warmup"
+    );
+    // Sanity: the recorder actually saw the traffic.
+    assert!(
+        rt.tracer().pushed() >= 10_000,
+        "tracing was not engaged: {} spans",
+        rt.tracer().pushed()
+    );
+    rt.tracer().configure(0, 0);
+}
+
+#[test]
 fn aborted_sections_do_not_allocate_either() {
     // Conflict-free aborts exercise rollback + context release + retry;
     // the unfriendly abort below forces slow-path completion every time.

@@ -15,17 +15,29 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use gocc_server::{mode_name, parse_mode, spawn, ServerConfig};
+use gocc_telemetry::JsonValue;
 
 fn usage() -> String {
     "usage: goccd [--mode lock|gocc] [--port N] [--workers N] [--shards N] \
      [--capacity N] [--write-timeout-ms N] [--drain-timeout-ms N] \
-     [--queue-limit N] [--stats-out PATH]"
+     [--queue-limit N] [--stats-out PATH] [--trace-sample-n N] \
+     [--trace-out PATH] [--stats-interval-secs N]"
         .to_string()
 }
 
-fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String> {
+/// Parsed command line: the server config plus goccd-only output knobs.
+struct Cli {
+    config: ServerConfig,
+    stats_out: Option<String>,
+    trace_out: Option<String>,
+    stats_interval: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut config = ServerConfig::default();
     let mut stats_out = None;
+    let mut trace_out = None;
+    let mut stats_interval = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -84,22 +96,48 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String>
                 }
             }
             "--stats-out" => stats_out = Some(value("--stats-out")?),
+            "--trace-sample-n" => {
+                config.trace_sample_n = value("--trace-sample-n")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample-n: {e}"))?;
+            }
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--stats-interval-secs" => {
+                let secs: u64 = value("--stats-interval-secs")?
+                    .parse()
+                    .map_err(|e| format!("--stats-interval-secs: {e}"))?;
+                if secs == 0 {
+                    return Err("--stats-interval-secs must be >= 1".into());
+                }
+                stats_interval = Some(secs);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    Ok((config, stats_out))
+    Ok(Cli {
+        config,
+        stats_out,
+        trace_out,
+        stats_interval,
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, stats_out) = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    let Cli {
+        config,
+        stats_out,
+        trace_out,
+        stats_interval,
+    } = cli;
 
     gocc_gosync::set_procs(8);
     let mode = config.mode;
@@ -122,6 +160,40 @@ fn main() -> ExitCode {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
+    // Periodic one-line operational summary, opt-in. The thread owns an
+    // Arc of the state so it can outlive the borrowed handle; it exits on
+    // the shutdown flag and is detached (join would add up to a full
+    // interval of shutdown latency for log output nobody is waiting on).
+    let state = handle.state_arc();
+    if let Some(secs) = stats_interval {
+        let state = handle.state_arc();
+        std::thread::spawn(move || {
+            let mut last_total = 0u64;
+            while !state.shutting_down() {
+                // Sleep in small steps so shutdown is observed promptly.
+                let until = std::time::Instant::now() + Duration::from_secs(secs);
+                while std::time::Instant::now() < until && !state.shutting_down() {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                if state.shutting_down() {
+                    break;
+                }
+                let c = state.counters();
+                let total = c.total_requests();
+                let p99 = c.request_latency().snapshot().quantile(0.99);
+                println!(
+                    "stats: {:.0} req/s shed={} brownout={} p99={}ns",
+                    (total - last_total) as f64 / secs as f64,
+                    c.shed_total(),
+                    state.brownout().state().name(),
+                    p99,
+                );
+                let _ = std::io::stdout().flush();
+                last_total = total;
+            }
+        });
+    }
+
     let summary = handle.join();
     println!(
         "goccd shut down: {} conns, {} requests, {} malformed frames, {} slow-client drops",
@@ -132,6 +204,21 @@ fn main() -> ExitCode {
     );
     if let Some(path) = stats_out {
         if let Err(e) = std::fs::write(&path, &summary.stats_json) {
+            eprintln!("goccd: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        let dump = state.chrome_trace_json();
+        // The dump must load in a trace viewer; parsing it through the
+        // repo's own JSON reader catches a malformed document before it
+        // ships.
+        if JsonValue::parse(&dump).is_err() {
+            eprintln!("goccd: internal error: trace dump is not valid JSON");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, &dump) {
             eprintln!("goccd: writing {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -8,6 +8,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gocc_faultplane::{LoadFault, TransportFaultPlan};
+use gocc_telemetry::trace;
+use gocc_telemetry::{Span, SpanKind};
 use gocc_wire::{
     decode_request_any, encode_response, FaultyStream, FrameBuf, Request, Response, WireError,
     MAX_FRAME,
@@ -15,11 +17,17 @@ use gocc_wire::{
 use gocc_workloads::Engine;
 
 use crate::overload::{classify, VerbClass};
+use crate::stats::verb_index;
 use crate::{ServerState, WorkerCtx};
 
 /// Cap on frames executed per pump so one pipelining client cannot starve
 /// a worker's other connections.
 const MAX_FRAMES_PER_PUMP: usize = 256;
+
+/// Span cap applied when a TRACE request asks for `max: 0` ("everything"):
+/// a full 8K-slot ring rendered to JSON can exceed [`MAX_FRAME`], so the
+/// open-ended form drains in bounded bites instead of erroring.
+const TRACE_DEFAULT_MAX: u32 = 4096;
 
 /// What one pump pass decided.
 pub(crate) enum PumpOutcome {
@@ -183,9 +191,44 @@ impl Conn {
                 Ok(Some(body)) => {
                     progressed = true;
                     wctx.frames_seen += 1;
+                    // Flight recorder: the sampling decision is made once
+                    // per request, here at frame decode, and the id rides
+                    // the worker's thread-local through admission, the
+                    // engine, and the HTM session until the frame is done.
+                    let decode_t0 = if trace::tracing_active() {
+                        trace::now_ns()
+                    } else {
+                        0
+                    };
+                    let body_len = body.len() as u64;
                     match decode_request_any(body) {
                         Ok(frame) => {
                             state.counters.note_request(&frame.req);
+                            let trace_id = state.rt.tracer().begin_request();
+                            if trace_id != 0 {
+                                trace::set_current(trace_id);
+                                let now = trace::now_ns();
+                                state.rt.tracer().push(Span {
+                                    trace_id,
+                                    kind: SpanKind::WireDecode,
+                                    start_ns: decode_t0,
+                                    dur_ns: now.saturating_sub(decode_t0),
+                                    a: body_len,
+                                    b: verb_index(&frame.req) as u64,
+                                });
+                                // How long the frame's bytes sat in the
+                                // input buffer before this pump pass
+                                // reached them.
+                                let wait_ns = arrival.elapsed().as_nanos() as u64;
+                                state.rt.tracer().push(Span {
+                                    trace_id,
+                                    kind: SpanKind::QueueWait,
+                                    start_ns: now.saturating_sub(wait_ns),
+                                    dur_ns: wait_ns,
+                                    a: wctx.frames_seen,
+                                    b: 0,
+                                });
+                            }
                             if !execute_admitted(
                                 engine,
                                 state,
@@ -196,6 +239,9 @@ impl Conn {
                                 frame.deadline_us,
                             ) {
                                 *closing = true;
+                            }
+                            if trace_id != 0 {
+                                trace::clear_current();
                             }
                         }
                         Err(e) => {
@@ -271,6 +317,9 @@ fn execute_admitted(
 ) -> bool {
     let t0 = Instant::now();
     let class = classify(req);
+    let trace_id = trace::current();
+    let t0_ns = if trace_id != 0 { trace::now_ns() } else { 0 };
+    let out_start = outbuf.len();
 
     // Deadline pre-check: a request whose budget expired while it queued
     // is answered without ever reaching the engine.
@@ -295,11 +344,24 @@ fn execute_admitted(
             },
             outbuf,
         );
-        state
-            .counters
-            .note_shed(wctx.worker, cause, t0.elapsed().as_nanos() as u64);
+        let shed_ns = t0.elapsed().as_nanos() as u64;
+        state.counters.note_shed(wctx.worker, cause, shed_ns);
+        if trace_id != 0 {
+            state.rt.tracer().push(Span {
+                trace_id,
+                kind: SpanKind::Shed,
+                start_ns: t0_ns,
+                dur_ns: shed_ns,
+                a: cause.index() as u64,
+                b: state.brownout.state() as u8 as u64,
+            });
+        }
         return true;
     }
+
+    // Start of the response-encode window: control verbs encode straight
+    // from here; data verbs reset it after the store call.
+    let mut resp_t0 = t0_ns;
 
     let keep_open = match req {
         Request::Stats => {
@@ -320,6 +382,23 @@ fn execute_admitted(
             }
             true
         }
+        Request::Trace { max } => {
+            let cap = if *max == 0 { TRACE_DEFAULT_MAX } else { *max };
+            let json = state.trace_json(cap);
+            // Same frame-size refusal as STATS: never feed the encoder a
+            // document that would trip its size assert.
+            if json.len() > MAX_FRAME - 8 {
+                encode_response(
+                    &Response::Error {
+                        message: "trace document exceeds frame limit",
+                    },
+                    outbuf,
+                );
+            } else {
+                encode_response(&Response::Trace { json: &json }, outbuf);
+            }
+            true
+        }
         Request::Health => {
             encode_response(&state.health_response(), outbuf);
             true
@@ -336,10 +415,23 @@ fn execute_admitted(
                     std::thread::sleep(d);
                 }
             }
+            let store_t0 = if trace_id != 0 { trace::now_ns() } else { 0 };
             let resp = state.store.execute(engine, data_verb);
-            wctx.lat_sum_ns += exec_start.elapsed().as_nanos() as u64;
+            let exec_ns = exec_start.elapsed().as_nanos() as u64;
+            if trace_id != 0 {
+                resp_t0 = trace::now_ns();
+                state.rt.tracer().push(Span {
+                    trace_id,
+                    kind: SpanKind::StoreOp,
+                    start_ns: store_t0,
+                    dur_ns: resp_t0.saturating_sub(store_t0),
+                    a: verb_index(data_verb) as u64,
+                    b: 0,
+                });
+            }
+            wctx.lat_sum_ns += exec_ns;
             wctx.lat_count += 1;
-            state.counters.note_executed(wctx.worker);
+            state.counters.note_executed(wctx.worker, exec_ns);
             // Deadline post-check: the effect is already applied (the
             // engine ran), but the client stopped waiting — tell it so
             // instead of shipping a result it will ignore. Documented
@@ -354,6 +446,16 @@ fn execute_admitted(
             true
         }
     };
+    if trace_id != 0 {
+        state.rt.tracer().push(Span {
+            trace_id,
+            kind: SpanKind::ResponseWrite,
+            start_ns: resp_t0,
+            dur_ns: trace::now_ns().saturating_sub(resp_t0),
+            a: (outbuf.len() - out_start) as u64,
+            b: 0,
+        });
+    }
     keep_open
 }
 

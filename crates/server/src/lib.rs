@@ -68,6 +68,7 @@ use std::time::{Duration, Instant};
 
 use gocc_faultplane::{LoadFault, LoadFaultPlan, TransportFaultPlan};
 use gocc_optilock::{GoccConfig, GoccRuntime};
+use gocc_telemetry::trace;
 use gocc_wire::Response;
 use gocc_workloads::Engine;
 pub use gocc_workloads::Mode;
@@ -117,6 +118,13 @@ pub struct ServerConfig {
     /// Seeded load fault injection (worker stalls, slow store calls) for
     /// driving the brownout controller deterministically; `None` disables.
     pub load_plan: Option<Arc<LoadFaultPlan>>,
+    /// Flight-recorder sampling rate: trace every N-th request per worker
+    /// thread (`0` disables tracing entirely — the hot path then pays one
+    /// relaxed atomic load per frame and nothing else).
+    pub trace_sample_n: u64,
+    /// Seed mixed into flight-recorder trace ids, so two runs with the
+    /// same traffic produce the same ids.
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -134,6 +142,8 @@ impl Default for ServerConfig {
             brownout: BrownoutConfig::default(),
             fault_plan: None,
             load_plan: None,
+            trace_sample_n: 64,
+            trace_seed: 0x9e37_79b9_7f4a_7c15,
         }
     }
 }
@@ -150,8 +160,11 @@ pub struct ServerState {
 
 impl ServerState {
     fn new(config: ServerConfig) -> Self {
+        let rt = GoccRuntime::new(GoccConfig::with_telemetry());
+        rt.tracer()
+            .configure(config.trace_sample_n, config.trace_seed);
         ServerState {
-            rt: GoccRuntime::new(GoccConfig::with_telemetry()),
+            rt,
             store: ShardedStore::new(config.shards, config.capacity_per_shard),
             shutdown: AtomicBool::new(false),
             counters: ServerCounters::new(config.workers),
@@ -221,9 +234,9 @@ impl ServerState {
     }
 
     /// Renders the STATS document: server identity, counters, live entry
-    /// count, overload state, and the runtime's full
-    /// [`gocc_telemetry::TelemetryReport`] JSON spliced in under
-    /// `"telemetry"`.
+    /// count, overload state, flight-recorder counters under `"trace"`,
+    /// and the runtime's full [`gocc_telemetry::TelemetryReport`] JSON
+    /// spliced in under `"telemetry"`.
     #[must_use]
     pub fn stats_json(&self) -> String {
         let engine = Engine::new(&self.rt, self.config.mode);
@@ -233,6 +246,14 @@ impl ServerState {
             .telemetry()
             .map(|t| t.report().to_json())
             .unwrap_or_else(|| "null".to_string());
+        let tracer = self.rt.tracer();
+        let mut tw = gocc_telemetry::JsonWriter::new();
+        tw.begin_object()
+            .field_u64("sample_n", tracer.sample_n())
+            .field_u64("spans_pushed", tracer.pushed())
+            .field_u64("spans_dropped", tracer.dropped())
+            .field_u64("spans_taken", tracer.taken())
+            .end_object();
         self.counters.to_json(
             mode_name(self.config.mode),
             self.config.workers as u64,
@@ -241,7 +262,26 @@ impl ServerState {
             self.brownout.state().name(),
             self.brownout.transitions(),
             &telemetry,
+            &tw.finish(),
         )
+    }
+
+    /// Drains up to `max` flight-recorder spans (all of them when `max` is
+    /// zero) into the TRACE response document.
+    #[must_use]
+    pub fn trace_json(&self, max: u32) -> String {
+        let tracer = self.rt.tracer();
+        let cap = if max == 0 { usize::MAX } else { max as usize };
+        let (spans, truncated) = tracer.take(cap);
+        trace::spans_json(&spans, tracer.pushed(), tracer.dropped(), truncated)
+    }
+
+    /// Copies (without draining) every retained span into a Chrome
+    /// trace-event JSON document, for `goccd --trace-out` and the soak
+    /// binaries' shutdown dumps.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        trace::chrome_trace_json(&self.rt.tracer().drain())
     }
 }
 
@@ -318,6 +358,14 @@ impl ServerHandle {
     #[must_use]
     pub fn state(&self) -> &ServerState {
         &self.state
+    }
+
+    /// A cloned `Arc` of the shared state, for observers that outlive
+    /// borrows of the handle (e.g. `goccd --stats-interval-secs`'s
+    /// reporter thread).
+    #[must_use]
+    pub fn state_arc(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
     }
 
     /// Flags shutdown without a wire round-trip.

@@ -76,8 +76,8 @@ pub enum VerbClass {
     Write,
     /// SCAN: walks every shard; first to go.
     Scan,
-    /// STATS: renders the full telemetry document; rate-capped under
-    /// pressure.
+    /// STATS/TRACE: render the full telemetry document or drain the span
+    /// ring; rate-capped under pressure.
     Stats,
     /// HEALTH/SHUTDOWN: always admitted.
     Control,
@@ -90,7 +90,7 @@ pub fn classify(req: &Request<'_>) -> VerbClass {
         Request::Get { .. } => VerbClass::Read,
         Request::Set { .. } | Request::Del { .. } | Request::Incr { .. } => VerbClass::Write,
         Request::Scan { .. } => VerbClass::Scan,
-        Request::Stats => VerbClass::Stats,
+        Request::Stats | Request::Trace { .. } => VerbClass::Stats,
         Request::Health | Request::Shutdown => VerbClass::Control,
     }
 }

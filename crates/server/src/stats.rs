@@ -2,17 +2,17 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use gocc_telemetry::JsonWriter;
+use gocc_telemetry::{JsonWriter, LatencyHistogram};
 use gocc_wire::Request;
 
 use crate::overload::{ShedCause, SHED_CAUSE_NAMES, TRANSITION_NAMES};
 
 /// Wire verbs, in STATS reporting order.
-const VERB_NAMES: [&str; 8] = [
-    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown",
+const VERB_NAMES: [&str; 9] = [
+    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown", "trace",
 ];
 
-fn verb_index(req: &Request<'_>) -> usize {
+pub(crate) fn verb_index(req: &Request<'_>) -> usize {
     match req {
         Request::Get { .. } => 0,
         Request::Set { .. } => 1,
@@ -22,6 +22,7 @@ fn verb_index(req: &Request<'_>) -> usize {
         Request::Stats => 5,
         Request::Health => 6,
         Request::Shutdown => 7,
+        Request::Trace { .. } => 8,
     }
 }
 
@@ -70,7 +71,7 @@ impl WorkerGauges {
 pub struct ServerCounters {
     accepted: AtomicU64,
     closed: AtomicU64,
-    by_verb: [AtomicU64; 8],
+    by_verb: [AtomicU64; 9],
     malformed: AtomicU64,
     /// Oversized frames skipped (connection survived and resynchronized).
     oversized: AtomicU64,
@@ -87,6 +88,9 @@ pub struct ServerCounters {
     /// Requests whose deadline expired during execution (effect applied,
     /// response replaced with `DeadlineExceeded`).
     deadline_post: AtomicU64,
+    /// End-to-end data-verb latency (engine execution, ns) — the source of
+    /// the p99 the `--stats-interval-secs` summary line prints.
+    request_latency: LatencyHistogram,
     per_worker: Vec<WorkerGauges>,
 }
 
@@ -112,6 +116,7 @@ impl ServerCounters {
             shed_ns_max: AtomicU64::new(0),
             deadline_pre: AtomicU64::new(0),
             deadline_post: AtomicU64::new(0),
+            request_latency: LatencyHistogram::new(),
             per_worker: (0..workers.max(1))
                 .map(|_| WorkerGauges::default())
                 .collect(),
@@ -162,10 +167,11 @@ impl ServerCounters {
         self.deadline_post.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_executed(&self, worker: usize) {
+    pub(crate) fn note_executed(&self, worker: usize, ns: u64) {
         self.per_worker[worker % self.per_worker.len()]
             .executed
             .fetch_add(1, Ordering::Relaxed);
+        self.request_latency.record(ns);
     }
 
     pub(crate) fn set_queue_depth(&self, worker: usize, depth: u64) {
@@ -260,15 +266,23 @@ impl ServerCounters {
         self.deadline_pre() + self.deadline_post()
     }
 
+    /// Data-verb execution latency (the `--stats-interval-secs` p99
+    /// source).
+    #[must_use]
+    pub fn request_latency(&self) -> &LatencyHistogram {
+        &self.request_latency
+    }
+
     /// Per-worker admission gauges.
     #[must_use]
     pub fn per_worker(&self) -> &[WorkerGauges] {
         &self.per_worker
     }
 
-    /// Renders the STATS document. `telemetry_json` is spliced in raw
-    /// (either a rendered [`gocc_telemetry::TelemetryReport`] or `null`);
-    /// `health` and `transitions` come from the brownout controller.
+    /// Renders the STATS document. `telemetry_json` and `trace_json` are
+    /// spliced in raw (a rendered [`gocc_telemetry::TelemetryReport`] /
+    /// flight-recorder counter object, or `null`); `health` and
+    /// `transitions` come from the brownout controller.
     #[must_use]
     pub(crate) fn to_json(
         &self,
@@ -279,6 +293,7 @@ impl ServerCounters {
         health: &str,
         transitions: [u64; 4],
         telemetry_json: &str,
+        trace_json: &str,
     ) -> String {
         let mut w = JsonWriter::new();
         w.begin_object()
@@ -317,7 +332,17 @@ impl ServerCounters {
         for (name, n) in TRANSITION_NAMES.iter().zip(transitions) {
             w.field_u64(name, n);
         }
-        w.end_object().end_object().key("per_worker").begin_array();
+        w.end_object().end_object();
+        let lat = self.request_latency.snapshot();
+        w.key("request_latency")
+            .begin_object()
+            .field_u64("count", lat.count)
+            .field_f64("mean_ns", lat.mean())
+            .field_u64("p50_ns", lat.quantile(0.5))
+            .field_u64("p99_ns", lat.quantile(0.99))
+            .field_u64("max_ns", lat.max)
+            .end_object();
+        w.key("per_worker").begin_array();
         for g in &self.per_worker {
             w.begin_object()
                 .field_u64("queue_depth", g.queue_depth())
@@ -328,6 +353,7 @@ impl ServerCounters {
         }
         w.end_array()
             .field_u64("entries", entries)
+            .field_raw("trace", trace_json)
             .field_raw("telemetry", telemetry_json)
             .end_object();
         w.finish()
@@ -354,16 +380,31 @@ mod tests {
         c.note_request(&Request::Get { key: b"k" });
         c.note_request(&Request::Health);
         c.note_malformed();
-        let json = c.to_json("gocc", 2, 4, 17, "healthy", [0; 4], "null");
+        c.note_request(&Request::Trace { max: 64 });
+        let json = c.to_json(
+            "gocc",
+            2,
+            4,
+            17,
+            "healthy",
+            [0; 4],
+            "null",
+            r#"{"sample_n":64}"#,
+        );
         let v = JsonValue::parse(&json).expect("stats JSON parses");
         assert_eq!(v.get("mode").unwrap().as_str(), Some("gocc"));
         assert_eq!(v.get("conns_accepted").unwrap().as_f64(), Some(2.0));
         let reqs = v.get("requests").unwrap();
-        assert_eq!(reqs.get("total").unwrap().as_f64(), Some(4.0));
+        assert_eq!(reqs.get("total").unwrap().as_f64(), Some(5.0));
         assert_eq!(reqs.get("get").unwrap().as_f64(), Some(2.0));
         assert_eq!(reqs.get("set").unwrap().as_f64(), Some(1.0));
         assert_eq!(reqs.get("health").unwrap().as_f64(), Some(1.0));
+        assert_eq!(reqs.get("trace").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("telemetry"), Some(&JsonValue::Null));
+        assert_eq!(
+            v.get("trace").unwrap().get("sample_n").unwrap().as_f64(),
+            Some(64.0)
+        );
         assert_eq!(v.get("entries").unwrap().as_f64(), Some(17.0));
     }
 
@@ -378,13 +419,14 @@ mod tests {
         c.note_oversized();
         c.set_queue_depth(0, 12);
         c.set_queue_depth(0, 3);
-        c.note_executed(1);
+        c.note_executed(1, 2_000);
         assert_eq!(c.shed_total(), 3);
         assert_eq!(c.shed_by_cause(), [1, 0, 0, 0, 2]);
         assert_eq!(c.shed_ns_total(), 3_000);
         assert_eq!(c.shed_ns_max(), 1_400);
         assert_eq!(c.deadline_misses(), 2);
-        let json = c.to_json("lock", 2, 4, 0, "shedding", [1, 1, 0, 0], "null");
+        assert_eq!(c.request_latency().snapshot().count, 1);
+        let json = c.to_json("lock", 2, 4, 0, "shedding", [1, 1, 0, 0], "null", "null");
         let v = JsonValue::parse(&json).expect("parses");
         let o = v.get("overload").unwrap();
         assert_eq!(o.get("health").unwrap().as_str(), Some("shedding"));
@@ -413,5 +455,8 @@ mod tests {
         assert_eq!(w1.get("shed_total").unwrap().as_f64(), Some(2.0));
         assert_eq!(w1.get("executed").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("oversized_frames").unwrap().as_f64(), Some(1.0));
+        let lat = v.get("request_latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(lat.get("max_ns").unwrap().as_f64(), Some(2000.0));
     }
 }

@@ -98,9 +98,11 @@ impl ShardedStore {
             Request::Scan { limit } => Response::Entries {
                 pairs: self.scan(engine, limit as usize),
             },
-            Request::Stats | Request::Health | Request::Shutdown => Response::Error {
-                message: "control-plane verb reached the store",
-            },
+            Request::Stats | Request::Health | Request::Shutdown | Request::Trace { .. } => {
+                Response::Error {
+                    message: "control-plane verb reached the store",
+                }
+            }
         }
     }
 }

@@ -157,6 +157,103 @@ fn stats_json_parses_with_telemetry_parser() {
 }
 
 #[test]
+fn trace_verb_returns_spans_for_sampled_requests() {
+    gocc_gosync::set_procs(8);
+    let mut cfg = config(Mode::Gocc);
+    cfg.trace_sample_n = 1; // sample every request
+    let handle = spawn(cfg).expect("spawn");
+    let mut c = Client::connect(handle.port());
+    for i in 0..32u64 {
+        let key = format!("t-{i}");
+        c.call(&Request::Set {
+            key: key.as_bytes(),
+            value: i,
+            ttl: 0,
+        });
+        c.call(&Request::Get {
+            key: key.as_bytes(),
+        });
+        c.call(&Request::Incr {
+            key: b"ctr",
+            delta: 1,
+        });
+    }
+
+    let Response::Trace { json } = c.call(&Request::Trace { max: 0 }) else {
+        panic!("TRACE must return the span document");
+    };
+    let v = JsonValue::parse(json).expect("TRACE JSON parses");
+    let spans = v.get("spans").unwrap().as_array().unwrap();
+    assert!(!spans.is_empty(), "sampled requests must leave spans");
+    assert!(v.get("pushed").unwrap().as_f64().unwrap() > 0.0);
+
+    // The whole request path is covered: decode → admission queue →
+    // engine section → HTM attempts → perceptron decisions → store op →
+    // response encode.
+    let kinds: std::collections::BTreeSet<&str> = spans
+        .iter()
+        .map(|s| s.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    for k in [
+        "wire_decode",
+        "queue_wait",
+        "section",
+        "htm_attempt",
+        "perceptron",
+        "store_op",
+        "response_write",
+    ] {
+        assert!(kinds.contains(k), "missing span kind {k}; have {kinds:?}");
+    }
+
+    // Every HTM attempt names its outcome (commit or an abort cause).
+    for s in spans.iter() {
+        if s.get("kind").unwrap().as_str() == Some("htm_attempt") {
+            let outcome = s.get("outcome").unwrap().as_str().unwrap();
+            assert!(!outcome.is_empty());
+        }
+    }
+
+    // One request's spans correlate on a single nonzero trace id: take
+    // the newest store_op span and find the rest of its chain.
+    let last_store = spans
+        .iter()
+        .rev()
+        .find(|s| s.get("kind").unwrap().as_str() == Some("store_op"))
+        .expect("a store_op span");
+    let id = last_store.get("trace_id").unwrap().as_f64().unwrap();
+    assert!(id != 0.0);
+    let chain: std::collections::BTreeSet<&str> = spans
+        .iter()
+        .filter(|s| s.get("trace_id").unwrap().as_f64() == Some(id))
+        .map(|s| s.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    for k in ["wire_decode", "queue_wait", "store_op", "response_write"] {
+        assert!(chain.contains(k), "trace {id} missing {k}; has {chain:?}");
+    }
+
+    // STATS reports the flight-recorder counters, and the drain above is
+    // visible in spans_taken.
+    let Response::Stats { json } = c.call(&Request::Stats) else {
+        panic!("stats must return the JSON document");
+    };
+    let sv = JsonValue::parse(json).expect("STATS JSON parses");
+    let tr = sv.get("trace").unwrap();
+    assert_eq!(tr.get("sample_n").unwrap().as_f64(), Some(1.0));
+    assert!(tr.get("spans_pushed").unwrap().as_f64().unwrap() > 0.0);
+    assert!(tr.get("spans_taken").unwrap().as_f64().unwrap() > 0.0);
+
+    // The Chrome trace dump of whatever is currently retained parses and
+    // carries the viewer's required fields.
+    let dump = handle.state().chrome_trace_json();
+    let dv = JsonValue::parse(&dump).expect("chrome dump parses");
+    assert!(dv.get("traceEvents").unwrap().as_array().is_some());
+
+    c.call(&Request::Shutdown);
+    let _ = handle.join();
+}
+
+#[test]
 fn malformed_frame_kills_the_connection_not_the_server() {
     gocc_gosync::set_procs(8);
     let handle = spawn(config(Mode::Gocc)).expect("spawn");

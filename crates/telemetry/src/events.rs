@@ -144,6 +144,30 @@ impl EventRing {
             .sum()
     }
 
+    /// Events still retained in the ring (what [`EventRing::drain`] would
+    /// return, modulo races).
+    #[must_use]
+    pub fn retained(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cursor.load(Ordering::Relaxed).min(SLOTS as u64))
+            .sum()
+    }
+
+    /// Events overwritten by ring wrap-around — pushed minus retained.
+    /// Nonzero means the drained window is a truncated tail of the run.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.cursor
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(SLOTS as u64)
+            })
+            .sum()
+    }
+
     /// Copies out every retained event, oldest-first per shard.
     #[must_use]
     pub fn drain(&self) -> Vec<Event> {
@@ -224,6 +248,9 @@ mod tests {
         // Retained events are the most recent window.
         assert!(events.iter().all(|e| e.site > SLOTS));
         assert_eq!(ring.pushed(), (SLOTS * 3) as u64);
+        assert_eq!(ring.retained(), SLOTS as u64);
+        assert_eq!(ring.dropped(), (SLOTS * 2) as u64);
+        assert_eq!(ring.pushed(), ring.retained() + ring.dropped());
     }
 
     #[test]

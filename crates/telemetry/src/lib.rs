@@ -32,6 +32,7 @@ mod json;
 mod registry;
 mod report;
 pub mod rng;
+pub mod trace;
 
 pub use events::{Event, EventOutcome, EventRing};
 pub use ewma::Ewma;
@@ -40,6 +41,7 @@ pub use json::{JsonValue, JsonWriter};
 pub use registry::{SiteRecord, SiteRegistry, ABORT_CAUSES, ABORT_CAUSE_NAMES};
 pub use report::TelemetryReport;
 pub use rng::SplitMix64;
+pub use trace::{Span, SpanKind, TraceRecorder, SPAN_KIND_NAMES};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,6 +137,8 @@ impl Telemetry {
             fast_latency: self.fast_latency.snapshot(),
             slow_latency: self.slow_latency.snapshot(),
             events: self.events.drain(),
+            events_pushed: self.events.pushed(),
+            events_dropped: self.events.dropped(),
             dropped_samples: self.dropped(),
             watchdog_forced: self.watchdog_forced(),
             ctx_reused: self.ctx_reused(),

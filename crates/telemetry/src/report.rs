@@ -20,6 +20,11 @@ pub struct TelemetryReport {
     pub slow_latency: HistogramSnapshot,
     /// Recent elision-decision trace.
     pub events: Vec<Event>,
+    /// Events ever pushed into the ring (including overwritten ones).
+    pub events_pushed: u64,
+    /// Events lost to ring wrap-around (pushed minus retained); nonzero
+    /// means `events` is a truncated tail of the run.
+    pub events_dropped: u64,
     /// Samples dropped for lack of attribution.
     pub dropped_samples: u64,
     /// Sections the livelock watchdog hard-forced onto the lock path.
@@ -82,7 +87,10 @@ impl TelemetryReport {
         histogram_json(&mut w, &self.fast_latency);
         w.key("slow_latency");
         histogram_json(&mut w, &self.slow_latency);
-        w.key("events").begin_array();
+        w.field_u64("events_pushed", self.events_pushed)
+            .field_u64("events_dropped", self.events_dropped)
+            .key("events")
+            .begin_array();
         for e in &self.events {
             let (outcome, cause) = match e.outcome {
                 EventOutcome::FastCommit => ("fast_commit", None),
@@ -191,6 +199,8 @@ mod tests {
                 predicted_fast: true,
                 outcome: EventOutcome::Abort(2),
             }],
+            events_pushed: 5,
+            events_dropped: 4,
             dropped_samples: 0,
             watchdog_forced: 2,
             ctx_reused: 8,
@@ -208,6 +218,8 @@ mod tests {
         assert_eq!(v.get("watchdog_forced").unwrap(), &JsonValue::Number(2.0));
         assert_eq!(v.get("ctx_reused").unwrap(), &JsonValue::Number(8.0));
         assert_eq!(v.get("inline_overflows").unwrap(), &JsonValue::Number(1.0));
+        assert_eq!(v.get("events_pushed").unwrap(), &JsonValue::Number(5.0));
+        assert_eq!(v.get("events_dropped").unwrap(), &JsonValue::Number(4.0));
         let sites = v.get("sites").unwrap().as_array().unwrap();
         assert_eq!(sites.len(), 1);
         assert_eq!(

@@ -133,6 +133,13 @@ pub enum Request<'a> {
     /// touching the engine — cheap enough to call from a health checker
     /// even while the server is shedding).
     Health,
+    /// Drain up to `max` completed flight-recorder spans from the live
+    /// daemon as a JSON document. Draining, not idempotent: a retry
+    /// returns the *next* batch, so clients must not replay it.
+    Trace {
+        /// Maximum span count to return (0 = server default).
+        max: u32,
+    },
 }
 
 /// A decoded request plus its v2 envelope fields (absent for v1 frames).
@@ -201,6 +208,11 @@ pub enum Response<'a> {
     /// applied but the client's budget is already blown). Retriable for
     /// idempotent verbs.
     DeadlineExceeded,
+    /// TRACE result: a JSON document of drained spans plus ring counters.
+    Trace {
+        /// The span batch (`{"spans":[…],"pushed":…,"dropped":…}`).
+        json: &'a str,
+    },
     /// The request failed; the connection stays usable unless the error
     /// was a framing violation (the server closes it after sending this).
     Error {
@@ -218,6 +230,7 @@ const OP_SCAN: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
 const OP_HEALTH: u8 = 0x08;
+const OP_TRACE: u8 = 0x09;
 // Response opcodes (high bit set).
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -229,6 +242,7 @@ const OP_BYE: u8 = 0x87;
 const OP_HEALTH_R: u8 = 0x88;
 const OP_OVERLOADED: u8 = 0x89;
 const OP_DEADLINE: u8 = 0x8A;
+const OP_TRACE_R: u8 = 0x8B;
 const OP_ERROR: u8 = 0xFF;
 
 /// Sequential reader over a payload slice; every accessor is
@@ -369,6 +383,10 @@ fn encode_request_body(req: &Request<'_>, out: &mut Vec<u8>) {
         Request::Stats => out.push(OP_STATS),
         Request::Shutdown => out.push(OP_SHUTDOWN),
         Request::Health => out.push(OP_HEALTH),
+        Request::Trace { max } => {
+            out.push(OP_TRACE);
+            put_u32(out, *max);
+        }
     }
 }
 
@@ -424,6 +442,11 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             out.push(*state);
         }
         Response::DeadlineExceeded => out.push(OP_DEADLINE),
+        Response::Trace { json } => {
+            out.push(OP_TRACE_R);
+            put_u32(out, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
         Response::Error { message } => {
             out.push(OP_ERROR);
             let msg = &message.as_bytes()[..message.len().min(512)];
@@ -495,6 +518,7 @@ fn decode_request_inner<'a>(c: &mut Cursor<'a>) -> Result<Request<'a>, WireError
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
         OP_HEALTH => Request::Health,
+        OP_TRACE => Request::Trace { max: c.u32()? },
         op => return Err(WireError::UnknownOpcode(op)),
     };
     Ok(req)
@@ -541,6 +565,16 @@ pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
         },
         OP_OVERLOADED => Response::Overloaded { state: c.u8()? },
         OP_DEADLINE => Response::DeadlineExceeded,
+        OP_TRACE_R => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME {
+                return Err(WireError::TooLarge);
+            }
+            let bytes = c.take(len)?;
+            let json =
+                std::str::from_utf8(bytes).map_err(|_| WireError::Malformed("trace not UTF-8"))?;
+            Response::Trace { json }
+        }
         OP_ERROR => {
             let len = c.u16()? as usize;
             let bytes = c.take(len)?;
@@ -592,6 +626,8 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Health);
+        roundtrip_request(Request::Trace { max: 0 });
+        roundtrip_request(Request::Trace { max: u32::MAX });
     }
 
     fn roundtrip_v2(req: Request<'_>, deadline_us: Option<u32>) {
@@ -621,6 +657,7 @@ mod tests {
         );
         roundtrip_v2(Request::Scan { limit: 16 }, Some(u32::MAX));
         roundtrip_v2(Request::Health, None);
+        roundtrip_v2(Request::Trace { max: 256 }, Some(10_000));
         roundtrip_v2(
             Request::Incr {
                 key: b"c",
@@ -706,7 +743,29 @@ mod tests {
         });
         roundtrip_response(Response::Overloaded { state: 1 });
         roundtrip_response(Response::DeadlineExceeded);
+        roundtrip_response(Response::Trace {
+            json: r#"{"spans":[],"pushed":0}"#,
+        });
         roundtrip_response(Response::Error { message: "nope" });
+    }
+
+    #[test]
+    fn trace_payloads_are_strict() {
+        // A truncated max field is rejected.
+        assert_eq!(decode_request(&[OP_TRACE, 0x01]), Err(WireError::Truncated));
+        // A trace response whose declared length overruns the payload.
+        let mut body = vec![OP_TRACE_R];
+        put_u32(&mut body, 100);
+        body.extend_from_slice(b"{}");
+        assert_eq!(decode_response(&body), Err(WireError::Truncated));
+        // Non-UTF-8 span JSON is malformed.
+        let mut body = vec![OP_TRACE_R];
+        put_u32(&mut body, 2);
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use gocc_htm::{Tx, TxResult};
 use gocc_optilock::{critical, GoccRuntime, LockRef};
-use gocc_telemetry::{Telemetry, TelemetryReport};
+use gocc_telemetry::trace;
+use gocc_telemetry::{Span, SpanKind, Telemetry, TelemetryReport};
 
 /// Which program variant runs: the baseline or the transformed one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,10 +68,29 @@ impl<'a> Engine<'a> {
         lock: LockRef<'a>,
         body: impl FnMut(&mut Tx<'a>) -> TxResult<R>,
     ) -> R {
-        match self.mode {
+        let trace_id = trace::current();
+        if trace_id == 0 {
+            return match self.mode {
+                Mode::Gocc => critical(self.rt, site, lock, body),
+                Mode::Lock => self.pessimistic(lock, body),
+            };
+        }
+        // Sampled request: wrap the whole elision envelope (all retries
+        // and the fallback included) in one section span.
+        let start = trace::now_ns();
+        let out = match self.mode {
             Mode::Gocc => critical(self.rt, site, lock, body),
             Mode::Lock => self.pessimistic(lock, body),
-        }
+        };
+        self.rt.tracer().push(Span {
+            trace_id,
+            kind: SpanKind::Section,
+            start_ns: start,
+            dur_ns: trace::now_ns().saturating_sub(start),
+            a: site as u64,
+            b: 0,
+        });
+        out
     }
 
     /// Runs a critical section that GOCC did *not* transform (e.g.

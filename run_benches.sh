@@ -17,6 +17,13 @@ mkdir -p "$artifacts"
 #   BENCH_TIMEOUT=60 ./run_benches.sh
 bench_timeout=${BENCH_TIMEOUT:-900}
 
+# Every BENCH_*.json carries a common header (bench name, mode list, git
+# rev, budget) so artifacts from different PRs diff by machine; the bench
+# binaries read these two variables when rendering it.
+BENCH_GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+BENCH_TIMEOUT=$bench_timeout
+export BENCH_GIT_REV BENCH_TIMEOUT
+
 # run_step NAME CMD... — append CMD's filtered output to $out, remember
 # NAME if it failed. A bench that exceeds $bench_timeout seconds is
 # killed and recorded as a distinct "TIMEOUT NAME" line (timeout(1)
@@ -40,7 +47,7 @@ run_step() {
   echo >> "$out"
 }
 
-for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation hotpath; do
+for bin in table1 corpus_stats figure6 figure7 figure8 figure9 figure10 zap_results perceptron_overhead defer_cost ablation hotpath trace_overhead; do
   run_step "$bin" "./target/release/$bin"
 done
 
@@ -51,7 +58,11 @@ run_step loadgen ./target/release/loadgen --mode both --workers 4
 # produces BENCH_overload.json with the gate verdicts and counters.
 run_step overload_soak ./target/release/overload_soak --seed 2026
 
-for f in BENCH_*.json; do
+# Schema gate before the artifacts move: every BENCH_*.json must parse
+# and carry the common header, or the sweep fails.
+run_step bench_schema ./scripts/check_bench_schema.sh
+
+for f in BENCH_*.json TRACE_overload_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"
 done
 echo "artifacts: $(ls "$artifacts" | wc -l) JSON files in $artifacts/" >> "$out"

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Validates benchmark artifacts: every BENCH_*.json (in the current
+# directory, or the files given as arguments) must parse with the
+# workspace JSON parser and carry the common header object (bench name,
+# mode list, git rev, wall-clock budget) that makes the perf trajectory
+# machine-diffable across PRs. Thin wrapper over the bench_schema binary
+# so CI and humans invoke the same check.
+set -eu
+root=$(dirname "$0")/..
+bin="$root/target/release/bench_schema"
+if [ ! -x "$bin" ]; then
+  (cd "$root" && cargo build --release --offline -p gocc-bench --bin bench_schema)
+fi
+exec "$bin" "$@"

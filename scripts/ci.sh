@@ -88,8 +88,15 @@ echo "== hot-path perf smoke =="
 # BENCH_TIMEOUT: HOTPATH_GATE_RATIO=12 ./scripts/ci.sh
 hotpath_gate=${HOTPATH_GATE_RATIO:-8}
 ./target/release/hotpath --window-ms 100 --gate "$hotpath_gate"
-rm -f BENCH_hotpath.json
 echo "ok: hot-path gate (<= ${hotpath_gate}x lock)"
+
+echo "== flight-recorder overhead gate =="
+# The tracing tax on the same speculating-section figure: disabled
+# tracing must stay within 1% of the untraced baseline and 1-in-64
+# sampling (goccd's default) within 5%, min-of-5 interleaved repeats.
+# Override on noisy boxes: TRACE_GATE_SAMPLED_PCT=8 ./scripts/ci.sh
+./target/release/trace_overhead --window-ms 120
+echo "ok: trace overhead gate"
 
 echo "== chaos soak (fixed seed, both modes) =="
 # Short combined-fault run at elevated rates: HTM abort injection,
@@ -101,6 +108,15 @@ echo "== chaos soak (fixed seed, both modes) =="
   --sections 200 --threads 4 \
   --abort-rate 0.25 --pairing-rate 0.25 --transport-rate 0.2 \
   --net-keys 32 --net-clients 3 --stall-secs 60
+# The soak validates its flight-recorder dumps before writing them; here
+# we only require that they actually landed.
+for mode in lock gocc; do
+  if [ ! -s "TRACE_chaos_$mode.json" ]; then
+    echo "FAIL: chaos soak wrote no TRACE_chaos_$mode.json" >&2
+    exit 1
+  fi
+done
+rm -f TRACE_chaos_lock.json TRACE_chaos_gocc.json
 echo "ok: chaos soak"
 
 echo "== overload soak (open-loop saturation, both modes) =="
@@ -124,5 +140,12 @@ else
   fi
   exit "$status"
 fi
+
+echo "== bench artifact schema =="
+# Every BENCH_*.json emitted above must parse and carry the common
+# header object (machine-diffable perf trajectory across PRs).
+./scripts/check_bench_schema.sh
+rm -f BENCH_hotpath.json BENCH_trace.json
+echo "ok: bench artifacts conform to the common schema"
 
 echo "CI_OK"
