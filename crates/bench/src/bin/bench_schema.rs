@@ -11,7 +11,11 @@
 //! With file arguments, checks exactly those; with none, checks every
 //! `BENCH_*.json` in the current directory and fails if there are none
 //! (a schema check that validated nothing is a misconfigured pipeline,
-//! not a pass).
+//! not a pass). `--expect NAME.json` (repeatable) declares an artifact
+//! that MUST be present: a bench that silently stopped emitting its
+//! file would otherwise pass the glob check by absence, and its perf
+//! trajectory would just end without anyone noticing. Expected files
+//! are validated along with the rest.
 
 use gocc_telemetry::JsonValue;
 
@@ -46,7 +50,22 @@ fn check(path: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut expected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--expect" {
+            match args.next() {
+                Some(name) => expected.push(name),
+                None => {
+                    eprintln!("bench_schema: --expect needs a file name");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
         let mut found: Vec<String> = std::fs::read_dir(".")
             .expect("reading the current directory")
@@ -56,6 +75,19 @@ fn main() {
             .collect();
         found.sort();
         paths = found;
+    }
+    let mut missing = 0usize;
+    for want in &expected {
+        if !std::path::Path::new(want).exists() {
+            eprintln!("FAIL: expected artifact {want} was not produced");
+            missing += 1;
+        } else if !paths.contains(want) {
+            paths.push(want.clone());
+        }
+    }
+    if missing > 0 {
+        eprintln!("bench_schema: {missing} expected artifact(s) missing");
+        std::process::exit(1);
     }
     if paths.is_empty() {
         eprintln!("bench_schema: no BENCH_*.json artifacts to validate");

@@ -8,7 +8,7 @@
 //! *deterministically*, so any failure a fault schedule exposes is
 //! replayable from its seed.
 //!
-//! Three plans cover the stack's three fault surfaces:
+//! Four plans cover the stack's correctness fault surfaces:
 //!
 //! * [`HtmFaultPlan`] — injects transaction aborts
 //!   (conflict/capacity/explicit/spurious) into `gocc-htm` at per-site
@@ -18,7 +18,12 @@
 //!   Lock/Unlock sequence (hand-over-hand style) so mutex-mismatch
 //!   detection is exercised end-to-end;
 //! * [`TransportFaultPlan`] — short reads/writes, stalls and mid-frame
-//!   resets for the `wire`/`server`/`loadgen` I/O path.
+//!   resets for the `wire`/`server`/`loadgen` I/O path;
+//! * [`StorageFaultPlan`] — torn appends, short fsyncs and crash points
+//!   for the `wal` durability path, keyed by `(seed, lsn)`; injected
+//!   under the `WalFile` trait so the WAL cannot tell a simulated file
+//!   from a real one (`crash_soak` replays its schedules both in-process
+//!   and by aborting a real `goccd`).
 //!
 //! A fourth, standalone plan targets the *overload* surface rather than
 //! the correctness surface: [`LoadFaultPlan`] injects seeded worker
@@ -46,6 +51,7 @@ mod load;
 mod pairing;
 mod report;
 mod seq;
+mod storage;
 mod transport;
 
 pub use htm::{AbortMix, HtmFaultPlan, InjectedAbort, INJECTED_ABORT_NAMES};
@@ -53,6 +59,7 @@ pub use load::{LoadFault, LoadFaultPlan, LoadMix, LOAD_FAULT_NAMES};
 pub use pairing::PairingFaultPlan;
 pub use report::FaultReport;
 pub use seq::SeqTable;
+pub use storage::{StorageFault, StorageFaultPlan, StorageMix, STORAGE_FAULT_NAMES};
 pub use transport::{TransportFault, TransportFaultPlan, TransportMix, TRANSPORT_FAULT_NAMES};
 
 use gocc_telemetry::SplitMix64;

@@ -184,6 +184,7 @@ fn response_matches(req: &Request<'_>, resp: &Response<'_>) -> bool {
             | (Request::Scan { .. }, Response::Entries { .. })
             | (Request::Stats, Response::Stats { .. })
             | (Request::Trace { .. }, Response::Trace { .. })
+            | (Request::Flush, Response::Flushed { .. })
             | (Request::Shutdown, Response::Bye)
     )
 }

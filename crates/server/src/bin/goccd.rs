@@ -14,14 +14,18 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gocc_server::{mode_name, parse_mode, spawn, ServerConfig};
+use gocc_server::{mode_name, parse_mode, spawn, ServerConfig, SyncPolicy, WalBackend};
+
 use gocc_telemetry::JsonValue;
 
 fn usage() -> String {
     "usage: goccd [--mode lock|gocc] [--port N] [--workers N] [--shards N] \
      [--capacity N] [--write-timeout-ms N] [--drain-timeout-ms N] \
      [--queue-limit N] [--stats-out PATH] [--trace-sample-n N] \
-     [--trace-out PATH] [--stats-interval-secs N]"
+     [--trace-out PATH] [--stats-interval-secs N] \
+     [--data-dir PATH] [--wal-sync off|group|always] [--fsync-batch-size N] \
+     [--fsync-wait-us N] [--checkpoint-every N] \
+     [--wal-fault-seed N --wal-fault-crash P]"
         .to_string()
 }
 
@@ -38,6 +42,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut stats_out = None;
     let mut trace_out = None;
     let mut stats_interval = None;
+    let mut wal_fault_seed: Option<u64> = None;
+    let mut wal_fault_crash: f64 = 0.0;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -96,6 +102,45 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--stats-out" => stats_out = Some(value("--stats-out")?),
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(value("--data-dir")?));
+            }
+            "--wal-sync" => {
+                let v = value("--wal-sync")?;
+                config.wal.sync = SyncPolicy::parse(&v).ok_or_else(|| {
+                    format!("--wal-sync: unknown policy {v:?} (off|group|always)")
+                })?;
+            }
+            "--fsync-batch-size" => {
+                config.wal.fsync_batch_size = value("--fsync-batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--fsync-batch-size: {e}"))?;
+                if config.wal.fsync_batch_size == 0 {
+                    return Err("--fsync-batch-size must be >= 1".into());
+                }
+            }
+            "--fsync-wait-us" => {
+                config.wal.fsync_wait_us = value("--fsync-wait-us")?
+                    .parse()
+                    .map_err(|e| format!("--fsync-wait-us: {e}"))?;
+            }
+            "--checkpoint-every" => {
+                config.wal.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--wal-fault-seed" => {
+                wal_fault_seed = Some(
+                    value("--wal-fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--wal-fault-seed: {e}"))?,
+                );
+            }
+            "--wal-fault-crash" => {
+                wal_fault_crash = value("--wal-fault-crash")?
+                    .parse()
+                    .map_err(|e| format!("--wal-fault-crash: {e}"))?;
+            }
             "--trace-sample-n" => {
                 config.trace_sample_n = value("--trace-sample-n")?
                     .parse()
@@ -114,6 +159,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
+    }
+    // Crash-soak hook: a seeded fault plan switches the WAL to the Abort
+    // backend, which tears a seeded append onto disk and kills the process
+    // the way SIGKILL would. Test harness only; no effect without
+    // --data-dir.
+    if let Some(seed) = wal_fault_seed {
+        let plan = gocc_faultplane::StorageFaultPlan::new(
+            seed,
+            gocc_faultplane::StorageMix {
+                crash_per_append: wal_fault_crash,
+                torn_given_crash: 0.5,
+                short_fsync: 0.0,
+                ckpt_crash: 0.0,
+            },
+        );
+        config.wal.backend = WalBackend::Abort(std::sync::Arc::new(plan));
     }
     Ok(Cli {
         config,
@@ -154,6 +215,19 @@ fn main() -> ExitCode {
         handle.port(),
         mode_name(mode),
     );
+    // Surface what recovery did before the daemon takes traffic: an
+    // operator restarting after a crash wants "how much came back"
+    // without having to query STATS.
+    if let Some(wal) = handle.state().wal() {
+        let r = wal.recovery_stats();
+        println!(
+            "goccd recovered {} records (checkpoint {} + WAL replay {}, torn tail {} bytes)",
+            r.checkpoint_entries + r.replayed,
+            r.checkpoint_entries,
+            r.replayed,
+            r.truncated_bytes,
+        );
+    }
     println!("LISTENING {}", handle.port());
     // Scripts parse the LISTENING line from a redirected pipe; don't let
     // it sit in a stdio buffer.

@@ -403,6 +403,21 @@ fn execute_admitted(
             encode_response(&state.health_response(), outbuf);
             true
         }
+        Request::Flush => {
+            // Durability barrier: returns once everything staged before it
+            // is fsynced. Without a WAL the barrier is vacuous.
+            let resp = match state.wal() {
+                Some(wal) => match wal.flush() {
+                    Ok(durable_lsn) => Response::Flushed { durable_lsn },
+                    Err(_) => Response::Error {
+                        message: "write-ahead log failed",
+                    },
+                },
+                None => Response::Flushed { durable_lsn: 0 },
+            };
+            encode_response(&resp, outbuf);
+            true
+        }
         Request::Shutdown => {
             state.request_shutdown();
             encode_response(&Response::Bye, outbuf);
@@ -416,7 +431,10 @@ fn execute_admitted(
                 }
             }
             let store_t0 = if trace_id != 0 { trace::now_ns() } else { 0 };
-            let resp = state.store.execute(engine, data_verb);
+            let (mut resp, ticket) = match state.wal() {
+                Some(wal) => state.store.execute_durable(engine, data_verb, wal),
+                None => (state.store.execute(engine, data_verb), None),
+            };
             let exec_ns = exec_start.elapsed().as_nanos() as u64;
             if trace_id != 0 {
                 resp_t0 = trace::now_ns();
@@ -429,9 +447,39 @@ fn execute_admitted(
                     b: 0,
                 });
             }
+            // Engine latency only feeds the brownout EWMA — the group
+            // commit wait below is deliberate batching, not overload, and
+            // must not drive the controller toward shedding.
             wctx.lat_sum_ns += exec_ns;
             wctx.lat_count += 1;
             state.counters.note_executed(wctx.worker, exec_ns);
+            // Ack-after-barrier: the response for a mutating verb is not
+            // encoded until its WAL record is inside an fsynced prefix.
+            // The in-memory effect is already applied; if the log died,
+            // say so instead of acknowledging a write that may not
+            // survive a crash.
+            if let Some(ticket) = ticket {
+                let wal = state.wal().expect("ticket implies wal");
+                let wait_t0 = if trace_id != 0 { trace::now_ns() } else { 0 };
+                let waited = wal.wait(ticket);
+                if trace_id != 0 {
+                    let now = trace::now_ns();
+                    state.rt.tracer().push(Span {
+                        trace_id,
+                        kind: SpanKind::WalCommit,
+                        start_ns: wait_t0,
+                        dur_ns: now.saturating_sub(wait_t0),
+                        a: ticket.number(),
+                        b: 0,
+                    });
+                    resp_t0 = now;
+                }
+                if waited.is_err() {
+                    resp = Response::Error {
+                        message: "write-ahead log failed; write not durable",
+                    };
+                }
+            }
             // Deadline post-check: the effect is already applied (the
             // engine ran), but the client stopped waiting — tell it so
             // instead of shipping a result it will ignore. Documented

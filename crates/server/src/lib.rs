@@ -69,6 +69,8 @@ use std::time::{Duration, Instant};
 use gocc_faultplane::{LoadFault, LoadFaultPlan, TransportFaultPlan};
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_telemetry::trace;
+use gocc_wal::{CheckpointImage, Wal};
+pub use gocc_wal::{SyncPolicy, WalBackend, WalConfig};
 use gocc_wire::Response;
 use gocc_workloads::Engine;
 pub use gocc_workloads::Mode;
@@ -125,6 +127,12 @@ pub struct ServerConfig {
     /// Seed mixed into flight-recorder trace ids, so two runs with the
     /// same traffic produce the same ids.
     pub trace_seed: u64,
+    /// Durability root: the WAL segments and checkpoint live here. `None`
+    /// runs purely in memory — no log, no recovery, zero overhead.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL tuning (sync policy, group-commit batch/linger, checkpoint
+    /// cadence, fault-injection backend). Ignored without `data_dir`.
+    pub wal: WalConfig,
 }
 
 impl Default for ServerConfig {
@@ -144,6 +152,8 @@ impl Default for ServerConfig {
             load_plan: None,
             trace_sample_n: 64,
             trace_seed: 0x9e37_79b9_7f4a_7c15,
+            data_dir: None,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -156,21 +166,42 @@ pub struct ServerState {
     shutdown: AtomicBool,
     counters: ServerCounters,
     brownout: BrownoutController,
+    /// The durability subsystem, when `data_dir` is configured.
+    wal: Option<Arc<Wal>>,
 }
 
 impl ServerState {
-    fn new(config: ServerConfig) -> Self {
+    fn new(config: ServerConfig) -> io::Result<Self> {
         let rt = GoccRuntime::new(GoccConfig::with_telemetry());
         rt.tracer()
             .configure(config.trace_sample_n, config.trace_seed);
-        ServerState {
+        let store = ShardedStore::new(config.shards, config.capacity_per_shard);
+        // Recovery before the listener opens: replay checkpoint + WAL tail
+        // into the store, so the first accepted connection already sees
+        // every write the previous process acknowledged.
+        let wal = match &config.data_dir {
+            Some(dir) => {
+                let (wal, recovered) = Wal::open(dir, config.shards.max(1), config.wal.clone())?;
+                store.restore_all(rt.htm(), &recovered.shards);
+                Some(wal)
+            }
+            None => None,
+        };
+        Ok(ServerState {
             rt,
-            store: ShardedStore::new(config.shards, config.capacity_per_shard),
+            store,
             shutdown: AtomicBool::new(false),
             counters: ServerCounters::new(config.workers),
             brownout: BrownoutController::new(config.brownout),
+            wal,
             config,
-        }
+        })
+    }
+
+    /// The durability subsystem, when the server runs with one.
+    #[must_use]
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// The execution mode.
@@ -254,6 +285,10 @@ impl ServerState {
             .field_u64("spans_dropped", tracer.dropped())
             .field_u64("spans_taken", tracer.taken())
             .end_object();
+        let wal_json = match &self.wal {
+            Some(wal) => wal.stats_json(),
+            None => "null".to_string(),
+        };
         self.counters.to_json(
             mode_name(self.config.mode),
             self.config.workers as u64,
@@ -263,6 +298,7 @@ impl ServerState {
             self.brownout.transitions(),
             &telemetry,
             &tw.finish(),
+            &wal_json,
         )
     }
 
@@ -322,6 +358,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 /// Final accounting returned by [`ServerHandle::join`].
@@ -382,6 +419,14 @@ impl ServerHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        if let Some(ck) = self.checkpointer {
+            let _ = ck.join();
+        }
+        // Flush and close the log last — after this, everything the
+        // workers acknowledged is on disk and the segments are closed.
+        if let Some(wal) = &self.state.wal {
+            wal.shutdown();
+        }
         let c = &self.state.counters;
         ServerSummary {
             conns_accepted: c.accepted(),
@@ -404,7 +449,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
     listener.set_nonblocking(true)?;
     let port = listener.local_addr()?.port();
-    let state = Arc::new(ServerState::new(config));
+    let state = Arc::new(ServerState::new(config)?);
 
     let mut senders: Vec<Sender<std::net::TcpStream>> = Vec::new();
     let mut workers = Vec::new();
@@ -446,12 +491,56 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         }
     };
 
+    let checkpointer = match &state.wal {
+        Some(wal) if state.config.wal.checkpoint_every > 0 => {
+            let ck_state = Arc::clone(&state);
+            let ck_wal = Arc::clone(wal);
+            Some(
+                std::thread::Builder::new()
+                    .name("goccd-checkpoint".into())
+                    .spawn(move || checkpoint_loop(&ck_state, &ck_wal))
+                    .map_err(|e| {
+                        state.request_shutdown();
+                        e
+                    })?,
+            )
+        }
+        _ => None,
+    };
+
     Ok(ServerHandle {
         port,
         state,
         acceptor,
         workers,
+        checkpointer,
     })
+}
+
+/// Periodic checkpointing: every time the WAL accumulates
+/// [`WalConfig::checkpoint_every`] records, rotate to a fresh segment,
+/// snapshot every shard (each in one read section), commit the image to
+/// the side file and delete the covered segments. Crashes at any point
+/// leave a recoverable directory — `crates/wal` owns and tests that.
+fn checkpoint_loop(state: &ServerState, wal: &Wal) {
+    let engine = Engine::new(&state.rt, state.config.mode);
+    while !state.shutting_down() {
+        if !wal.should_checkpoint() {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let (base_gen, retired) = match wal.begin_checkpoint() {
+            Ok(x) => x,
+            Err(_) => return, // log dead (seeded crash or I/O failure)
+        };
+        let image = CheckpointImage {
+            base_gen,
+            shards: state.store.snapshot_all(&engine),
+        };
+        if wal.finish_checkpoint(&image, &retired).is_err() {
+            return;
+        }
+    }
 }
 
 fn acceptor_loop(

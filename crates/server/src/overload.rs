@@ -91,7 +91,10 @@ pub fn classify(req: &Request<'_>) -> VerbClass {
         Request::Set { .. } | Request::Del { .. } | Request::Incr { .. } => VerbClass::Write,
         Request::Scan { .. } => VerbClass::Scan,
         Request::Stats | Request::Trace { .. } => VerbClass::Stats,
-        Request::Health | Request::Shutdown => VerbClass::Control,
+        // FLUSH is control-plane: it is the operator's durability barrier,
+        // and shedding it would let an overloaded server dodge the very
+        // fsync pressure the operator is trying to observe.
+        Request::Health | Request::Shutdown | Request::Flush => VerbClass::Control,
     }
 }
 

@@ -8,8 +8,8 @@ use gocc_wire::Request;
 use crate::overload::{ShedCause, SHED_CAUSE_NAMES, TRANSITION_NAMES};
 
 /// Wire verbs, in STATS reporting order.
-const VERB_NAMES: [&str; 9] = [
-    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown", "trace",
+const VERB_NAMES: [&str; 10] = [
+    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown", "trace", "flush",
 ];
 
 pub(crate) fn verb_index(req: &Request<'_>) -> usize {
@@ -23,6 +23,7 @@ pub(crate) fn verb_index(req: &Request<'_>) -> usize {
         Request::Health => 6,
         Request::Shutdown => 7,
         Request::Trace { .. } => 8,
+        Request::Flush => 9,
     }
 }
 
@@ -71,7 +72,7 @@ impl WorkerGauges {
 pub struct ServerCounters {
     accepted: AtomicU64,
     closed: AtomicU64,
-    by_verb: [AtomicU64; 9],
+    by_verb: [AtomicU64; 10],
     malformed: AtomicU64,
     /// Oversized frames skipped (connection survived and resynchronized).
     oversized: AtomicU64,
@@ -279,11 +280,13 @@ impl ServerCounters {
         &self.per_worker
     }
 
-    /// Renders the STATS document. `telemetry_json` and `trace_json` are
-    /// spliced in raw (a rendered [`gocc_telemetry::TelemetryReport`] /
-    /// flight-recorder counter object, or `null`); `health` and
+    /// Renders the STATS document. `telemetry_json`, `trace_json` and
+    /// `wal_json` are spliced in raw (a rendered
+    /// [`gocc_telemetry::TelemetryReport`] / flight-recorder counter
+    /// object / WAL counter object, or `null`); `health` and
     /// `transitions` come from the brownout controller.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn to_json(
         &self,
         mode: &str,
@@ -294,6 +297,7 @@ impl ServerCounters {
         transitions: [u64; 4],
         telemetry_json: &str,
         trace_json: &str,
+        wal_json: &str,
     ) -> String {
         let mut w = JsonWriter::new();
         w.begin_object()
@@ -353,6 +357,7 @@ impl ServerCounters {
         }
         w.end_array()
             .field_u64("entries", entries)
+            .field_raw("wal", wal_json)
             .field_raw("trace", trace_json)
             .field_raw("telemetry", telemetry_json)
             .end_object();
@@ -390,6 +395,7 @@ mod tests {
             [0; 4],
             "null",
             r#"{"sample_n":64}"#,
+            r#"{"enabled":true,"fsyncs":3}"#,
         );
         let v = JsonValue::parse(&json).expect("stats JSON parses");
         assert_eq!(v.get("mode").unwrap().as_str(), Some("gocc"));
@@ -406,6 +412,10 @@ mod tests {
             Some(64.0)
         );
         assert_eq!(v.get("entries").unwrap().as_f64(), Some(17.0));
+        assert_eq!(
+            v.get("wal").unwrap().get("fsyncs").unwrap().as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -426,7 +436,17 @@ mod tests {
         assert_eq!(c.shed_ns_max(), 1_400);
         assert_eq!(c.deadline_misses(), 2);
         assert_eq!(c.request_latency().snapshot().count, 1);
-        let json = c.to_json("lock", 2, 4, 0, "shedding", [1, 1, 0, 0], "null", "null");
+        let json = c.to_json(
+            "lock",
+            2,
+            4,
+            0,
+            "shedding",
+            [1, 1, 0, 0],
+            "null",
+            "null",
+            "null",
+        );
         let v = JsonValue::parse(&json).expect("parses");
         let o = v.get("overload").unwrap();
         assert_eq!(o.get("health").unwrap().as_str(), Some("shedding"));

@@ -8,6 +8,7 @@
 //! cache-service trade and is documented in the protocol).
 
 use gocc_txds::{fnv1a, mix64};
+use gocc_wal::{ShardImage, Staged, Wal, WalKind, WalTicket};
 use gocc_wire::{Request, Response};
 use gocc_workloads::gocache::Cache;
 use gocc_workloads::Engine;
@@ -34,12 +35,19 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// The shard owning hashed key `h`. `fnv1a` output is re-mixed so the
-    /// shard index and the in-shard probe sequence use independent bits.
+    /// Index of the shard owning hashed key `h`. `fnv1a` output is
+    /// re-mixed so the shard index and the in-shard probe sequence use
+    /// independent bits. Stable across restarts for a fixed shard count —
+    /// WAL records address shards by this index.
+    #[must_use]
+    pub fn shard_index_for(&self, h: u64) -> usize {
+        (mix64(h) >> 32) as usize % self.shards.len()
+    }
+
+    /// The shard owning hashed key `h`.
     #[must_use]
     pub fn shard_for(&self, h: u64) -> &Cache {
-        let idx = (mix64(h) >> 32) as usize % self.shards.len();
-        &self.shards[idx]
+        &self.shards[self.shard_index_for(h)]
     }
 
     /// Total live entries across shards (one read section per shard).
@@ -98,11 +106,99 @@ impl ShardedStore {
             Request::Scan { limit } => Response::Entries {
                 pairs: self.scan(engine, limit as usize),
             },
-            Request::Stats | Request::Health | Request::Shutdown | Request::Trace { .. } => {
-                Response::Error {
-                    message: "control-plane verb reached the store",
-                }
+            Request::Stats
+            | Request::Health
+            | Request::Shutdown
+            | Request::Trace { .. }
+            | Request::Flush => Response::Error {
+                message: "control-plane verb reached the store",
+            },
+        }
+    }
+
+    /// Executes one mutating request with WAL staging: the shard's
+    /// critical section assigns the commit sequence number, the post-image
+    /// record is staged into the shard's commit pipe, and the returned
+    /// ticket is what the connection must [`Wal::wait`] on **before**
+    /// encoding the acknowledgement — the ack-after-barrier ordering is
+    /// the entire durability contract. Read verbs return no ticket.
+    #[must_use]
+    pub fn execute_durable(
+        &self,
+        engine: &Engine<'_>,
+        req: &Request<'_>,
+        wal: &Wal,
+    ) -> (Response<'static>, Option<WalTicket>) {
+        match *req {
+            Request::Set { key, value, ttl } => {
+                let h = fnv1a(key);
+                let shard = self.shard_index_for(h);
+                let (seq, exp) = self.shards[shard].set_seq(engine, h, value, ttl);
+                let ticket = wal.stage(Staged {
+                    shard: shard as u32,
+                    seq,
+                    kind: WalKind::Put,
+                    key: h,
+                    value,
+                    exp,
+                });
+                (Response::Done, Some(ticket))
             }
+            Request::Del { key } => {
+                let h = fnv1a(key);
+                let shard = self.shard_index_for(h);
+                let (existed, seq) = self.shards[shard].delete_seq(engine, h);
+                let ticket = wal.stage(Staged {
+                    shard: shard as u32,
+                    seq,
+                    kind: WalKind::Del,
+                    key: h,
+                    value: 0,
+                    exp: 0,
+                });
+                (Response::Deleted { existed }, Some(ticket))
+            }
+            Request::Incr { key, delta } => {
+                let h = fnv1a(key);
+                let shard = self.shard_index_for(h);
+                let (value, seq) = self.shards[shard].incr_seq(engine, h, delta);
+                // Post-image of the value only; replay preserves whatever
+                // expiration the key carries (`WalKind::PutVal`).
+                let ticket = wal.stage(Staged {
+                    shard: shard as u32,
+                    seq,
+                    kind: WalKind::PutVal,
+                    key: h,
+                    value,
+                    exp: 0,
+                });
+                (Response::Counter { value }, Some(ticket))
+            }
+            _ => (self.execute(engine, req), None),
+        }
+    }
+
+    /// Snapshots every shard for a checkpoint — each shard in one read
+    /// section (consistent per shard, which is all replay needs: WAL
+    /// records are applied per shard by sequence number).
+    #[must_use]
+    pub fn snapshot_all(&self, engine: &Engine<'_>) -> Vec<ShardImage> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let (entries, seq, now) = s.snapshot(engine);
+                ShardImage { entries, seq, now }
+            })
+            .collect()
+    }
+
+    /// Rebuilds every shard from recovered images (boot, before the
+    /// listener opens). Panics if the image count mismatches the shard
+    /// count — recovery validated that against the checkpoint already.
+    pub fn restore_all(&self, rt: &gocc_htm::HtmRuntime, images: &[ShardImage]) {
+        assert_eq!(images.len(), self.shards.len(), "shard count changed");
+        for (shard, img) in self.shards.iter().zip(images) {
+            shard.restore(rt, &img.entries, img.seq, img.now);
         }
     }
 }

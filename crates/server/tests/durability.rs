@@ -1,0 +1,310 @@
+//! End-to-end durability tests: a real `goccd` server with a WAL-backed
+//! data directory, killed gracefully and restarted, must serve every
+//! acknowledged write back. Also covers the FLUSH verb contract and the
+//! STATS `"wal"` object.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gocc_server::{spawn, Mode, ServerConfig, SyncPolicy};
+use gocc_telemetry::JsonValue;
+use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+
+/// Blocking request/response helper over one client connection.
+struct Client {
+    stream: TcpStream,
+    wirebuf: Vec<u8>,
+    respbuf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            stream,
+            wirebuf: Vec::new(),
+            respbuf: Vec::new(),
+        }
+    }
+
+    fn call(&mut self, req: &Request<'_>) -> Response<'_> {
+        self.wirebuf.clear();
+        encode_request(req, &mut self.wirebuf);
+        write_frame(&mut self.stream, &self.wirebuf).expect("send");
+        assert!(
+            read_frame(&mut self.stream, &mut self.respbuf).expect("recv"),
+            "server closed mid-conversation"
+        );
+        decode_response(&self.respbuf).expect("well-formed response")
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gocc-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(mode: Mode, data_dir: Option<PathBuf>, sync: SyncPolicy) -> ServerConfig {
+    let mut config = ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 1024,
+        write_timeout: Duration::from_secs(5),
+        data_dir,
+        ..ServerConfig::default()
+    };
+    config.wal.sync = sync;
+    config.wal.fsync_wait_us = 50;
+    config
+}
+
+/// SET/INCR/DEL against a WAL-backed server, graceful restart, read back.
+/// Every acknowledged write must be visible after recovery in both
+/// execution modes and under both ack policies.
+#[test]
+fn acked_writes_survive_graceful_restart() {
+    gocc_gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        for sync in [SyncPolicy::Group, SyncPolicy::Always] {
+            let dir = temp_dir("restart");
+            let handle = spawn(config(mode, Some(dir.clone()), sync)).expect("spawn with data dir");
+            let mut c = Client::connect(handle.port());
+            for i in 0..64u64 {
+                let key = format!("key-{i}");
+                assert_eq!(
+                    c.call(&Request::Set {
+                        key: key.as_bytes(),
+                        value: i * 10,
+                        ttl: 0
+                    }),
+                    Response::Done
+                );
+            }
+            assert_eq!(
+                c.call(&Request::Incr {
+                    key: b"ctr",
+                    delta: 5
+                }),
+                Response::Counter { value: 5 }
+            );
+            assert_eq!(
+                c.call(&Request::Incr {
+                    key: b"ctr",
+                    delta: 37
+                }),
+                Response::Counter { value: 42 }
+            );
+            assert_eq!(
+                c.call(&Request::Del { key: b"key-13" }),
+                Response::Deleted { existed: true }
+            );
+            assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+            let _ = handle.join();
+
+            // Same directory, fresh process state: recovery must replay
+            // the checkpoint-free tail before the listener opens.
+            let handle = spawn(config(mode, Some(dir.clone()), sync)).expect("respawn");
+            let mut c = Client::connect(handle.port());
+            for i in 0..64u64 {
+                let key = format!("key-{i}");
+                let want = if i == 13 {
+                    Response::Value {
+                        found: false,
+                        value: 0,
+                    }
+                } else {
+                    Response::Value {
+                        found: true,
+                        value: i * 10,
+                    }
+                };
+                assert_eq!(
+                    c.call(&Request::Get {
+                        key: key.as_bytes()
+                    }),
+                    want,
+                    "mode={mode:?} sync={sync:?} key-{i}"
+                );
+            }
+            // INCR post-images replay to the final value, and the counter
+            // keeps counting from there.
+            assert_eq!(
+                c.call(&Request::Incr {
+                    key: b"ctr",
+                    delta: 1
+                }),
+                Response::Counter { value: 43 }
+            );
+            let Response::Stats { json } = c.call(&Request::Stats) else {
+                panic!("stats must answer");
+            };
+            let doc = JsonValue::parse(&json).expect("stats JSON parses");
+            let wal = doc.get("wal").expect("wal object in STATS");
+            assert!(matches!(wal.get("enabled"), Some(JsonValue::Bool(true))));
+            let replayed = wal
+                .get("recovery")
+                .and_then(|r| r.get("recovery_replayed"))
+                .and_then(JsonValue::as_f64)
+                .expect("recovery_replayed counter");
+            assert!(replayed >= 66.0, "expected a replayed tail, got {replayed}");
+            assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+            let _ = handle.join();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// FLUSH is the client-visible barrier: it returns a non-zero durable
+/// LSN once writes exist, and the LSN is monotone across calls.
+#[test]
+fn flush_returns_monotone_durable_lsn() {
+    gocc_gosync::set_procs(8);
+    let dir = temp_dir("flush");
+    let handle = spawn(config(Mode::Gocc, Some(dir.clone()), SyncPolicy::Group)).expect("spawn");
+    let mut c = Client::connect(handle.port());
+    assert_eq!(
+        c.call(&Request::Set {
+            key: b"k",
+            value: 1,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    let Response::Flushed { durable_lsn: a } = c.call(&Request::Flush) else {
+        panic!("flush must answer Flushed");
+    };
+    assert!(a > 0, "a write happened, so the durable LSN must be > 0");
+    assert_eq!(
+        c.call(&Request::Set {
+            key: b"k2",
+            value: 2,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    let Response::Flushed { durable_lsn: b } = c.call(&Request::Flush) else {
+        panic!("flush must answer Flushed");
+    };
+    assert!(b > a, "durable LSN must advance: {a} -> {b}");
+    assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without `--data-dir` there is no log to flush: FLUSH stays a cheap
+/// no-op answering LSN 0, and STATS reports `"wal": null`.
+#[test]
+fn flush_without_wal_is_vacuous() {
+    gocc_gosync::set_procs(8);
+    let handle = spawn(config(Mode::Lock, None, SyncPolicy::Group)).expect("spawn");
+    let mut c = Client::connect(handle.port());
+    assert_eq!(
+        c.call(&Request::Flush),
+        Response::Flushed { durable_lsn: 0 }
+    );
+    let Response::Stats { json } = c.call(&Request::Stats) else {
+        panic!("stats must answer");
+    };
+    let doc = JsonValue::parse(&json).expect("stats JSON parses");
+    assert!(
+        matches!(doc.get("wal"), Some(JsonValue::Null)),
+        "wal must be JSON null without a data dir"
+    );
+    assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+    let _ = handle.join();
+}
+
+/// Checkpointing compacts recovery: after enough writes the checkpoint
+/// thread persists a snapshot, and a restart loads it instead of
+/// replaying the whole history.
+#[test]
+fn checkpoint_bounds_replay_on_restart() {
+    gocc_gosync::set_procs(8);
+    let dir = temp_dir("ckpt");
+    let mut cfg = config(Mode::Gocc, Some(dir.clone()), SyncPolicy::Group);
+    cfg.wal.checkpoint_every = 100;
+    let handle = spawn(cfg.clone()).expect("spawn");
+    let mut c = Client::connect(handle.port());
+    for i in 0..400u64 {
+        let key = format!("k{}", i % 32);
+        assert_eq!(
+            c.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i,
+                ttl: 0
+            }),
+            Response::Done
+        );
+    }
+    // Wait for the checkpoint thread to notice the trigger.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let Response::Stats { json } = c.call(&Request::Stats) else {
+            panic!("stats must answer");
+        };
+        let doc = JsonValue::parse(&json).expect("stats JSON parses");
+        let ckpts = doc
+            .get("wal")
+            .and_then(|w| w.get("checkpoints"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        if ckpts >= 1.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint after 400 writes with checkpoint_every=100"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+    let _ = handle.join();
+
+    let handle = spawn(cfg).expect("respawn");
+    let mut c = Client::connect(handle.port());
+    let Response::Stats { json } = c.call(&Request::Stats) else {
+        panic!("stats must answer");
+    };
+    let doc = JsonValue::parse(&json).expect("stats JSON parses");
+    let rec = doc
+        .get("wal")
+        .and_then(|w| w.get("recovery"))
+        .expect("recovery object");
+    assert!(
+        matches!(rec.get("checkpoint_loaded"), Some(JsonValue::Bool(true))),
+        "restart must boot from the checkpoint"
+    );
+    let replayed = rec
+        .get("recovery_replayed")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!(
+        replayed < 400.0,
+        "checkpoint must truncate replay below full history, got {replayed}"
+    );
+    // Last write wins per key after checkpoint + tail replay.
+    for k in 0..32u64 {
+        let key = format!("k{k}");
+        let want = (0..400).rev().find(|i| i % 32 == k).unwrap();
+        assert_eq!(
+            c.call(&Request::Get {
+                key: key.as_bytes()
+            }),
+            Response::Value {
+                found: true,
+                value: want
+            }
+        );
+    }
+    assert_eq!(c.call(&Request::Shutdown), Response::Bye);
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -58,10 +58,13 @@ pub enum SpanKind {
     StoreOp = 6,
     /// Response encode onto the outbound buffer.
     ResponseWrite = 7,
+    /// Wait for the WAL group-commit barrier to cover a staged write;
+    /// `a` = the awaited per-shard ticket.
+    WalCommit = 8,
 }
 
 /// Names indexed by `SpanKind as u8`.
-pub const SPAN_KIND_NAMES: [&str; 8] = [
+pub const SPAN_KIND_NAMES: [&str; 9] = [
     "wire_decode",
     "queue_wait",
     "shed",
@@ -70,6 +73,7 @@ pub const SPAN_KIND_NAMES: [&str; 8] = [
     "perceptron",
     "store_op",
     "response_write",
+    "wal_commit",
 ];
 
 /// Perceptron span `a`-payload values.
@@ -95,6 +99,7 @@ impl SpanKind {
             5 => SpanKind::Perceptron,
             6 => SpanKind::StoreOp,
             7 => SpanKind::ResponseWrite,
+            8 => SpanKind::WalCommit,
             _ => SpanKind::WireDecode,
         }
     }

@@ -1,0 +1,129 @@
+//! Allocation budget for the WAL-enabled hot path.
+//!
+//! PR 4 made the request hot path allocation-free; durability must not
+//! give that back. The staging side of group commit is two mutex ops, a
+//! push into retained capacity and a condvar wake — and the ack wait is
+//! a condvar sleep. None of it may allocate once warm, *with a live
+//! syncer thread draining the pipes* (the drain swaps buffers with the
+//! staging side, so both sides' capacities must stabilize).
+//!
+//! Same counting-allocator pattern as `crates/optilock/tests/alloc_budget.rs`:
+//! a per-thread counter, so the syncer thread's own (amortized, off-path)
+//! allocations do not perturb the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use gocc_wal::{Staged, SyncPolicy, Wal, WalBackend, WalConfig, WalKind};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System`; only adds bookkeeping.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: the allocator can be called while this thread's TLS is
+        // being torn down, where `with` would abort the process.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+fn stage_put(wal: &Wal, seq: u64) -> gocc_wal::WalTicket {
+    wal.stage(Staged {
+        shard: 0,
+        seq,
+        kind: WalKind::Put,
+        key: seq % 64,
+        value: seq,
+        exp: 0,
+    })
+}
+
+fn measure(sync: SyncPolicy, iters: u64) -> u64 {
+    let dir = std::env::temp_dir().join(format!(
+        "gocc-wal-alloc-{}-{}",
+        sync.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = WalConfig {
+        sync,
+        fsync_batch_size: 8,
+        fsync_wait_us: 20,
+        checkpoint_every: 0,
+        backend: WalBackend::Real,
+    };
+    let (wal, _) = Wal::open(&dir, 1, config).unwrap();
+    let mut seq = 0u64;
+    // Warmup: pipe and syncer scratch buffers ping-pong via mem::swap;
+    // both start at PIPE_RESERVE capacity but condvar/mutex internals and
+    // lazily-grown syncer state still need a shakeout pass.
+    for _ in 0..4096 {
+        seq += 1;
+        let t = stage_put(&wal, seq);
+        wal.wait(t).unwrap();
+    }
+    wal.flush().unwrap();
+    let before = allocations_on_this_thread();
+    for i in 0..iters {
+        seq += 1;
+        let t = stage_put(&wal, seq);
+        wal.wait(t).unwrap();
+        // Under sync=off the wait is a no-op, so a closed loop with zero
+        // per-op work outruns the syncer without bound — something no
+        // real caller (which does network I/O per op) can do. Flush
+        // periodically to keep the backlog inside the pipes' retained
+        // capacity; the flush barrier is itself part of the measured
+        // surface (the FLUSH verb rides on it).
+        if i % 256 == 255 {
+            wal.flush().unwrap();
+        }
+    }
+    let allocs = allocations_on_this_thread() - before;
+    wal.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    allocs
+}
+
+#[test]
+fn staging_with_sync_off_does_not_allocate() {
+    let allocs = measure(SyncPolicy::Off, 20_000);
+    assert_eq!(
+        allocs, 0,
+        "stage+ack with sync=off must be allocation-free after warmup"
+    );
+}
+
+#[test]
+fn staging_with_group_commit_does_not_allocate() {
+    let allocs = measure(SyncPolicy::Group, 5_000);
+    assert_eq!(
+        allocs, 0,
+        "stage+wait through the group-commit barrier must be allocation-free after warmup"
+    );
+}

@@ -140,6 +140,11 @@ pub enum Request<'a> {
         /// Maximum span count to return (0 = server default).
         max: u32,
     },
+    /// Force a durability barrier: every write acknowledged before this
+    /// request is fsynced to the write-ahead log before the reply.
+    /// Answered with [`Response::Flushed`]; on a server running without a
+    /// WAL the barrier is vacuous and `durable_lsn` is 0.
+    Flush,
 }
 
 /// A decoded request plus its v2 envelope fields (absent for v1 frames).
@@ -213,6 +218,11 @@ pub enum Response<'a> {
         /// The span batch (`{"spans":[…],"pushed":…,"dropped":…}`).
         json: &'a str,
     },
+    /// FLUSH result: the barrier completed.
+    Flushed {
+        /// Highest log sequence number known durable (0 without a WAL).
+        durable_lsn: u64,
+    },
     /// The request failed; the connection stays usable unless the error
     /// was a framing violation (the server closes it after sending this).
     Error {
@@ -231,6 +241,7 @@ const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
 const OP_HEALTH: u8 = 0x08;
 const OP_TRACE: u8 = 0x09;
+const OP_FLUSH: u8 = 0x0A;
 // Response opcodes (high bit set).
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -243,6 +254,7 @@ const OP_HEALTH_R: u8 = 0x88;
 const OP_OVERLOADED: u8 = 0x89;
 const OP_DEADLINE: u8 = 0x8A;
 const OP_TRACE_R: u8 = 0x8B;
+const OP_FLUSHED: u8 = 0x8C;
 const OP_ERROR: u8 = 0xFF;
 
 /// Sequential reader over a payload slice; every accessor is
@@ -387,6 +399,7 @@ fn encode_request_body(req: &Request<'_>, out: &mut Vec<u8>) {
             out.push(OP_TRACE);
             put_u32(out, *max);
         }
+        Request::Flush => out.push(OP_FLUSH),
     }
 }
 
@@ -446,6 +459,10 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             out.push(OP_TRACE_R);
             put_u32(out, json.len() as u32);
             out.extend_from_slice(json.as_bytes());
+        }
+        Response::Flushed { durable_lsn } => {
+            out.push(OP_FLUSHED);
+            put_u64(out, *durable_lsn);
         }
         Response::Error { message } => {
             out.push(OP_ERROR);
@@ -519,6 +536,7 @@ fn decode_request_inner<'a>(c: &mut Cursor<'a>) -> Result<Request<'a>, WireError
         OP_SHUTDOWN => Request::Shutdown,
         OP_HEALTH => Request::Health,
         OP_TRACE => Request::Trace { max: c.u32()? },
+        OP_FLUSH => Request::Flush,
         op => return Err(WireError::UnknownOpcode(op)),
     };
     Ok(req)
@@ -565,6 +583,9 @@ pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
         },
         OP_OVERLOADED => Response::Overloaded { state: c.u8()? },
         OP_DEADLINE => Response::DeadlineExceeded,
+        OP_FLUSHED => Response::Flushed {
+            durable_lsn: c.u64()?,
+        },
         OP_TRACE_R => {
             let len = c.u32()? as usize;
             if len > MAX_FRAME {
@@ -628,6 +649,7 @@ mod tests {
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Trace { max: 0 });
         roundtrip_request(Request::Trace { max: u32::MAX });
+        roundtrip_request(Request::Flush);
     }
 
     fn roundtrip_v2(req: Request<'_>, deadline_us: Option<u32>) {
@@ -658,6 +680,8 @@ mod tests {
         roundtrip_v2(Request::Scan { limit: 16 }, Some(u32::MAX));
         roundtrip_v2(Request::Health, None);
         roundtrip_v2(Request::Trace { max: 256 }, Some(10_000));
+        roundtrip_v2(Request::Flush, Some(50_000));
+        roundtrip_v2(Request::Flush, None);
         roundtrip_v2(
             Request::Incr {
                 key: b"c",
@@ -746,6 +770,10 @@ mod tests {
         roundtrip_response(Response::Trace {
             json: r#"{"spans":[],"pushed":0}"#,
         });
+        roundtrip_response(Response::Flushed { durable_lsn: 0 });
+        roundtrip_response(Response::Flushed {
+            durable_lsn: u64::MAX,
+        });
         roundtrip_response(Response::Error { message: "nope" });
     }
 
@@ -766,6 +794,19 @@ mod tests {
             decode_response(&body),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn flush_payloads_are_strict() {
+        // FLUSH carries no payload; trailing bytes are rejected.
+        assert_eq!(
+            decode_request(&[OP_FLUSH, 0]),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+        // A truncated durable_lsn is truncated, not zero.
+        let mut body = vec![OP_FLUSHED];
+        body.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(decode_response(&body), Err(WireError::Truncated));
     }
 
     #[test]

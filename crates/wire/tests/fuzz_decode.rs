@@ -19,7 +19,7 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
     for _ in 0..keylen {
         keybuf.push(rng.next_u64() as u8);
     }
-    match rng.below(8) {
+    match rng.below(10) {
         0 => Request::Get { key: keybuf },
         1 => Request::Set {
             key: keybuf,
@@ -36,12 +36,16 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
         },
         5 => Request::Stats,
         6 => Request::Health,
+        7 => Request::Trace {
+            max: rng.below(512) as u32,
+        },
+        8 => Request::Flush,
         _ => Request::Shutdown,
     }
 }
 
 fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
-    match rng.below(11) {
+    match rng.below(13) {
         0 => Response::Value {
             found: rng.flip(),
             value: rng.next_u64(),
@@ -72,6 +76,12 @@ fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
             state: rng.below(3) as u8,
         },
         9 => Response::DeadlineExceeded,
+        10 => Response::Trace {
+            json: r#"{"spans":[],"pushed":3,"dropped":0}"#,
+        },
+        11 => Response::Flushed {
+            durable_lsn: rng.next_u64(),
+        },
         _ => Response::Error {
             message: "seeded failure",
         },

@@ -75,6 +75,10 @@ pub struct Cache {
     /// harness; reading wall-clock time inside a transaction would be an
     /// HTM-unfriendly operation on real hardware too).
     now: gocc_txds::TxCounter,
+    /// Commit sequence number for durable writes: bumped *inside* the
+    /// mutating critical section, so the sequence order equals the commit
+    /// order and a WAL replay sorted by it rebuilds this exact state.
+    seq: gocc_txds::TxCounter,
 }
 
 impl Cache {
@@ -89,6 +93,7 @@ impl Cache {
             items: TxMap::with_capacity(capacity),
             expirations: TxMap::with_capacity(capacity),
             now: gocc_txds::TxCounter::new(1),
+            seq: gocc_txds::TxCounter::new(0),
         }
     }
 
@@ -191,6 +196,94 @@ impl Cache {
         engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
             self.items.len(tx)
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Durable-write support (the server's WAL rides on these).
+    //
+    // Each `_seq` variant is its plain counterpart plus a sequence bump
+    // inside the same critical section; the returned `seq` totally orders
+    // this write against every other mutation of the shard, which is what
+    // makes a replay sorted by `seq` rebuild the same state. The plain
+    // methods stay untouched — benchmarks pay nothing for durability.
+    // ------------------------------------------------------------------
+
+    /// [`Cache::set`] returning `(seq, exp)` for WAL staging (the resolved
+    /// absolute expiration is what replay must restore, not the ttl).
+    pub fn set_seq(&self, engine: &Engine<'_>, key: u64, value: u64, ttl: u64) -> (u64, u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            let exp = if ttl == 0 { 0 } else { self.now.get(tx)? + ttl };
+            self.items.insert(tx, key, value)?;
+            self.expirations.insert(tx, key, exp)?;
+            let seq = self.seq.add(tx, 1)?;
+            Ok((seq, exp))
+        })
+    }
+
+    /// [`Cache::delete`] returning `(existed, seq)` for WAL staging.
+    pub fn delete_seq(&self, engine: &Engine<'_>, key: u64) -> (bool, u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            let existed = self.items.remove(tx, key)?.is_some();
+            self.expirations.remove(tx, key)?;
+            let seq = self.seq.add(tx, 1)?;
+            Ok((existed, seq))
+        })
+    }
+
+    /// [`Cache::incr`] returning `(new_value, seq)` for WAL staging. The
+    /// log records the post-image (the new value), not the delta, so
+    /// replaying any suffix of the log is idempotent per key.
+    pub fn incr_seq(&self, engine: &Engine<'_>, key: u64, delta: u64) -> (u64, u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            let cur = self.items.get(tx, key)?.unwrap_or(0);
+            let new = cur.wrapping_add(delta);
+            self.items.insert(tx, key, new)?;
+            let seq = self.seq.add(tx, 1)?;
+            Ok((new, seq))
+        })
+    }
+
+    /// Consistent snapshot of the shard — `(key, value, exp)` triples plus
+    /// the sequence and clock — taken in **one** read section, so it
+    /// captures a state that actually existed: every write with `seq` ≤
+    /// the returned value is included, every later one excluded.
+    pub fn snapshot(&self, engine: &Engine<'_>) -> (Vec<(u64, u64, u64)>, u64, u64) {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            // Built fresh per attempt: an aborted speculation must not
+            // leak doomed entries into the retry.
+            let mut pairs = Vec::new();
+            self.items.for_each(tx, |k, v| pairs.push((k, v)))?;
+            let mut entries = Vec::with_capacity(pairs.len());
+            for (k, v) in pairs {
+                let exp = self.expirations.get(tx, k)?.unwrap_or(0);
+                entries.push((k, v, exp));
+            }
+            let seq = self.seq.get(tx)?;
+            let now = self.now.get(tx)?;
+            Ok((entries, seq, now))
+        })
+    }
+
+    /// Rebuilds the shard from a recovered image. Boot-time only (runs as
+    /// a direct transaction before the server accepts connections), which
+    /// is why it takes the runtime rather than an [`Engine`].
+    pub fn restore(
+        &self,
+        rt: &gocc_htm::HtmRuntime,
+        entries: &[(u64, u64, u64)],
+        seq: u64,
+        now: u64,
+    ) {
+        let mut tx = Tx::direct(rt);
+        for &(k, v, exp) in entries {
+            self.items.insert(&mut tx, k, v).expect("restore insert");
+            self.expirations
+                .insert(&mut tx, k, exp)
+                .expect("restore exp");
+        }
+        self.seq.set(&mut tx, seq).expect("restore seq");
+        self.now.set(&mut tx, now.max(1)).expect("restore now");
+        tx.commit().expect("restore commit");
     }
 }
 
@@ -299,6 +392,73 @@ mod tests {
                 }
             });
             assert_eq!(c.get(&engine, k), Some(1000), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn seq_orders_writes_and_snapshot_restore_roundtrips() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::with_capacity(256);
+            let engine = Engine::new(&rt, mode);
+            let (s1, exp1) = c.set_seq(&engine, 10, 100, 0);
+            let (s2, exp2) = c.set_seq(&engine, 11, 200, 5);
+            let (v3, s3) = c.incr_seq(&engine, 10, 7);
+            let (existed, s4) = c.delete_seq(&engine, 11);
+            assert_eq!((s1, s2, s3, s4), (1, 2, 3, 4), "seq is dense per shard");
+            assert_eq!(exp1, 0);
+            assert_eq!(exp2, 6, "ttl resolves against the logical clock");
+            assert_eq!(v3, 107);
+            assert!(existed);
+
+            let (entries, seq, now) = c.snapshot(&engine);
+            assert_eq!(seq, 4);
+            assert_eq!(now, 1);
+            assert_eq!(entries, vec![(10, 107, 0)]);
+
+            // A fresh cache restored from the snapshot serves the same
+            // reads and continues the sequence where it left off.
+            let rt2 = GoccRuntime::new_default();
+            let c2 = Cache::with_capacity(256);
+            c2.restore(rt2.htm(), &entries, seq, now);
+            let engine2 = Engine::new(&rt2, mode);
+            assert_eq!(c2.get(&engine2, 10), Some(107));
+            assert_eq!(c2.get(&engine2, 11), None);
+            let (s5, _) = c2.set_seq(&engine2, 12, 1, 0);
+            assert_eq!(s5, 5, "sequence resumes after restore");
+        }
+    }
+
+    #[test]
+    fn concurrent_seq_writes_are_densely_ordered() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::with_capacity(1024);
+            let engine = Engine::new(&rt, mode);
+            let mut all: Vec<u64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4u64)
+                    .map(|t| {
+                        let (engine, c) = (&engine, &c);
+                        s.spawn(move || {
+                            (0..100u64)
+                                .map(|i| c.set_seq(engine, t * 1000 + i, i, 0).0)
+                                .collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (1..=400).collect::<Vec<u64>>(),
+                "every write got a unique dense seq ({mode:?})"
+            );
         }
     }
 

@@ -58,9 +58,17 @@ run_step loadgen ./target/release/loadgen --mode both --workers 4
 # produces BENCH_overload.json with the gate verdicts and counters.
 run_step overload_soak ./target/release/overload_soak --seed 2026
 
+# Durability: engine- and service-level throughput across sync policies,
+# both modes; produces BENCH_wal.json and enforces the group-commit
+# amortization and sync-off tax gates.
+run_step wal_bench ./target/release/wal_bench --window-ms 500 --gate
+
 # Schema gate before the artifacts move: every BENCH_*.json must parse
-# and carry the common header, or the sweep fails.
-run_step bench_schema ./scripts/check_bench_schema.sh
+# and carry the common header, or the sweep fails. The --expect list
+# pins the artifacts the steps above must have produced.
+run_step bench_schema ./scripts/check_bench_schema.sh \
+  --expect BENCH_hotpath.json --expect BENCH_trace.json \
+  --expect BENCH_overload.json --expect BENCH_wal.json
 
 for f in BENCH_*.json TRACE_overload_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"
