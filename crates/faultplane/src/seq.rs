@@ -114,6 +114,69 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_draws_are_gap_free_and_duplicate_free() {
+        // Four racing drawers on one key: the indices they observe must
+        // partition 0..4000 exactly — a duplicate would replay a fault
+        // decision, a gap would skip one, and either breaks replay.
+        let t = SeqTable::new();
+        let seen: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut local = Vec::with_capacity(1000);
+                    for _ in 0..1000 {
+                        local.push(t.next(55));
+                    }
+                    seen.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = seen.into_inner().unwrap();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..4000).collect();
+        assert_eq!(all, expect, "draw indices must be gap- and dup-free");
+    }
+
+    #[test]
+    fn gaps_in_one_keys_traffic_never_shift_anothers_schedule() {
+        // Key A draws in bursts with arbitrary gaps between them; key B's
+        // observed sequence must match a table where B ran alone. This is
+        // the property that keeps seeded replication fault schedules
+        // replayable when an unrelated stream goes quiet or chatty.
+        let noisy = SeqTable::new();
+        let quiet = SeqTable::new();
+        let mut noisy_b = Vec::new();
+        let mut quiet_b = Vec::new();
+        for round in 0..50usize {
+            for _ in 0..round % 7 {
+                let _ = noisy.next(111); // key A bursts, sizes vary
+            }
+            noisy_b.push(noisy.next(222));
+            quiet_b.push(quiet.next(222));
+        }
+        assert_eq!(noisy_b, quiet_b);
+        assert_eq!(noisy.drawn(222), 50);
+    }
+
+    #[test]
+    fn colliding_keys_keep_exact_independent_counters() {
+        // Two keys whose Fibonacci hash lands on the same initial slot
+        // must probe apart, not share a counter.
+        let home = |key: usize| (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % (SLOTS - 1);
+        let a = 1usize;
+        let b = (2..)
+            .find(|&k| home(k) == home(a))
+            .expect("a colliding key exists");
+        let t = SeqTable::new();
+        for _ in 0..5 {
+            let _ = t.next(a);
+        }
+        assert_eq!(t.next(b), 0, "collision partner starts fresh");
+        assert_eq!(t.drawn(a), 5);
+        assert_eq!(t.drawn(b), 1);
+    }
+
+    #[test]
     fn concurrent_claims_do_not_lose_counts() {
         let t = SeqTable::new();
         std::thread::scope(|s| {

@@ -305,7 +305,7 @@ fn sim_run(seed: u64, mode: Mode, args: &Args, live: &Liveness) -> Result<bool, 
                             }
                         }
                         match ticket {
-                            Some(ticket) => match wal.wait(ticket) {
+                            Some((ticket, _staged)) => match wal.wait(ticket) {
                                 Ok(()) => hist.acked = Some(hist.states.len() - 1),
                                 Err(_) => {
                                     crashed = true;

@@ -1,0 +1,950 @@
+//! `failover_soak` — kill the primary mid-load, promote a replica, and
+//! prove the replication guarantees end to end.
+//!
+//! Topology per mode: one real `goccd` **child process** as the primary
+//! (WAL-backed, `--repl-accept --repl-min-acks 2`, optional seeded
+//! transport faults on the replication stream) plus two **in-process**
+//! replicas following it. Three claims are checked, each a hard failure:
+//!
+//! 1. **No acked write is lost.** A sequential writer drives SET/DEL
+//!    through a [`ClusterClient`] and records, per key, every issued
+//!    post-state and the index of the last acknowledged one. Mid-load the
+//!    primary is SIGKILLed; the replica with the highest replicated
+//!    version is promoted over the wire (`REPL_PROMOTE`), the other is
+//!    repointed at it. With `min_acks = 2` an ack means both replicas
+//!    applied the write, so whichever is promoted must still serve it:
+//!    every key read back from the new primary must be an issued state at
+//!    or after its last acked one. (The load is SET/DEL only — their
+//!    post-states are history-independent, so a write the failover window
+//!    swallowed client-side cannot poison the predictions that follow,
+//!    unlike INCR, whose end-to-end story `crash_soak` already covers.)
+//! 2. **Reads stay available and staleness is bounded.** Reader threads
+//!    round-robin GETs across all endpoints for the whole run; they must
+//!    keep succeeding *during* the primary outage (replicas serve reads),
+//!    and after failover the repointed replica must converge to the new
+//!    primary's exact state within a deadline.
+//! 3. **Recovery is bounded.** The first acked write after the kill must
+//!    land within `--recovery-deadline-ms`, via redirects alone — the
+//!    writer is never told where the new primary is.
+//!
+//! A separate fencing phase checks the split-brain guard: a
+//! `min_acks = 1` primary whose only replica is shut down must stop
+//! acknowledging within its lease (writes fail "fenced", on the
+//! primary's own clock — no coordinator tells it), and must resume once
+//! a fresh replica attaches and resyncs.
+//!
+//! Exit codes: 1 = harness error, 2 = liveness watchdog, 4 = a
+//! replication guarantee was violated.
+//!
+//! ```console
+//! $ failover_soak --seed 2026 --mode both --load-ops 1200
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gocc_faultplane::{TransportFaultPlan, TransportMix};
+use gocc_loadgen::{fetch_stats, ClientConfig, ClusterClient, ResilientClient};
+use gocc_server::{mode_name, parse_mode, spawn, Mode, ServerConfig, ServerHandle};
+use gocc_telemetry::{JsonValue, SplitMix64};
+use gocc_wire::{
+    decode_response, encode_repl_request, read_frame, write_frame, ReplRequest, Request, Response,
+};
+
+// ---------------------------------------------------------------- args --
+
+struct Args {
+    seed: u64,
+    /// None = both modes.
+    mode: Option<Mode>,
+    /// Sequential writer ops per mode (the kill fires halfway).
+    load_ops: u64,
+    /// Distinct keys the writer cycles over.
+    keys: u64,
+    /// Per-op fault probability on the replication streams (0 = off).
+    fault_rate: f64,
+    /// How long the controller waits between the kill and the promotion:
+    /// a deliberate primary-less window in which replicas alone must
+    /// carry reads.
+    outage_hold: Duration,
+    /// Kill → first-acked-write bound.
+    recovery_deadline: Duration,
+    /// Bound on the repointed replica converging after failover.
+    converge_deadline: Duration,
+    /// Path to the goccd binary.
+    goccd: String,
+    stall_secs: u64,
+}
+
+fn usage() -> String {
+    "usage: failover_soak [--seed N] [--mode lock|gocc|both] [--load-ops N] [--keys N] \
+     [--fault-rate F] [--outage-hold-ms N] [--recovery-deadline-ms N] \
+     [--converge-deadline-ms N] [--goccd PATH] [--stall-secs N]"
+        .to_string()
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2026,
+        mode: None,
+        load_ops: 1200,
+        keys: 24,
+        fault_rate: 0.02,
+        outage_hold: Duration::from_millis(250),
+        recovery_deadline: Duration::from_secs(5),
+        converge_deadline: Duration::from_secs(3),
+        goccd: "./target/release/goccd".to_string(),
+        stall_secs: 60,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--seed" => args.seed = num("--seed", &value("--seed")?)?,
+            "--mode" => {
+                let v = value("--mode")?;
+                args.mode = if v == "both" {
+                    None
+                } else {
+                    Some(parse_mode(&v)?)
+                };
+            }
+            "--load-ops" => args.load_ops = num("--load-ops", &value("--load-ops")?)?,
+            "--keys" => args.keys = num("--keys", &value("--keys")?)?,
+            "--fault-rate" => args.fault_rate = num("--fault-rate", &value("--fault-rate")?)?,
+            "--outage-hold-ms" => {
+                args.outage_hold =
+                    Duration::from_millis(num("--outage-hold-ms", &value("--outage-hold-ms")?)?);
+            }
+            "--recovery-deadline-ms" => {
+                args.recovery_deadline = Duration::from_millis(num(
+                    "--recovery-deadline-ms",
+                    &value("--recovery-deadline-ms")?,
+                )?);
+            }
+            "--converge-deadline-ms" => {
+                args.converge_deadline = Duration::from_millis(num(
+                    "--converge-deadline-ms",
+                    &value("--converge-deadline-ms")?,
+                )?);
+            }
+            "--goccd" => args.goccd = value("--goccd")?,
+            "--stall-secs" => args.stall_secs = num("--stall-secs", &value("--stall-secs")?)?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.load_ops < 100 || args.keys == 0 {
+        return Err("--load-ops must be >= 100 and --keys >= 1".into());
+    }
+    Ok(args)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gocc-failover-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A guarantee violation (exit 4), distinct from a broken harness.
+fn violation(msg: String) -> String {
+    format!("VIOLATION: {msg}")
+}
+
+// ---------------------------------------------------- liveness watchdog --
+
+struct Liveness {
+    beats: AtomicU64,
+    done: AtomicBool,
+}
+
+fn start_liveness_monitor(stall: Duration) -> Arc<Liveness> {
+    let live = Arc::new(Liveness {
+        beats: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+    });
+    let monitor = Arc::clone(&live);
+    std::thread::Builder::new()
+        .name("failover-liveness".into())
+        .spawn(move || {
+            let mut last = monitor.beats.load(Ordering::Relaxed);
+            let mut last_change = Instant::now();
+            loop {
+                std::thread::sleep(Duration::from_millis(200));
+                if monitor.done.load(Ordering::Relaxed) {
+                    return;
+                }
+                let now = monitor.beats.load(Ordering::Relaxed);
+                if now != last {
+                    last = now;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() > stall {
+                    eprintln!(
+                        "failover_soak: LIVENESS WATCHDOG: no progress for {}s",
+                        stall.as_secs()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        })
+        .expect("spawn liveness monitor");
+    live
+}
+
+// ------------------------------------------------------- per-key oracle --
+
+/// Post-state history of one key under the sequential writer. SET/DEL
+/// only, so every predicted post-state is independent of whether earlier
+/// ops actually executed.
+#[derive(Default)]
+struct KeyHist {
+    states: Vec<Option<u64>>,
+    acked: Option<usize>,
+}
+
+impl KeyHist {
+    fn current(&self) -> Option<u64> {
+        self.states.last().copied().flatten()
+    }
+
+    /// Whether `got` is the acked state or any later issued state.
+    fn admits(&self, got: Option<u64>) -> bool {
+        match self.acked {
+            Some(ai) => self.states[ai..].contains(&got),
+            None => got.is_none() || self.states.contains(&got),
+        }
+    }
+}
+
+type Oracle = HashMap<String, KeyHist>;
+
+fn issue_op<'k>(rng: &mut SplitMix64, key: &'k str, hist: &mut KeyHist) -> Request<'k> {
+    if rng.below(100) < 85 {
+        let value = rng.next_u64() >> 1;
+        hist.states.push(Some(value));
+        Request::Set {
+            key: key.as_bytes(),
+            value,
+            ttl: 0,
+        }
+    } else {
+        hist.states.push(None);
+        Request::Del {
+            key: key.as_bytes(),
+        }
+    }
+}
+
+// --------------------------------------------------------- child primary --
+
+struct Daemon {
+    child: std::process::Child,
+    port: u16,
+}
+
+fn spawn_primary(args: &Args, mode: Mode, dir: &std::path::Path) -> Result<Daemon, String> {
+    let mut cmd = std::process::Command::new(&args.goccd);
+    cmd.args([
+        "--mode",
+        mode_name(mode),
+        "--port",
+        "0",
+        "--workers",
+        "2",
+        "--shards",
+        "2",
+        "--repl-accept",
+        "--repl-min-acks",
+        "2",
+        "--repl-lease-ms",
+        "400",
+        "--repl-ack-timeout-ms",
+        "2000",
+    ])
+    .arg("--data-dir")
+    .arg(dir)
+    .args(["--wal-sync", "group", "--fsync-wait-us", "100"])
+    .stdout(std::process::Stdio::piped())
+    .stderr(std::process::Stdio::null());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", args.goccd))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut port = None;
+    let mut line = String::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if let Some(p) = line.strip_prefix("LISTENING ") {
+                    port = p.trim().parse().ok();
+                    break;
+                }
+            }
+            Err(e) => return Err(format!("reading goccd stdout: {e}")),
+        }
+    }
+    let Some(port) = port else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("goccd never printed LISTENING".into());
+    };
+    // Keep the child's stdout drained so it can never block on the pipe.
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 4096];
+        while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+    });
+    Ok(Daemon { child, port })
+}
+
+fn spawn_replica(
+    args: &Args,
+    mode: Mode,
+    primary_port: u16,
+    salt: u64,
+) -> Result<ServerHandle, String> {
+    let fault_plan = (args.fault_rate > 0.0).then(|| {
+        Arc::new(TransportFaultPlan::new(
+            args.seed ^ (salt + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            TransportMix::uniform(args.fault_rate),
+        ))
+    });
+    spawn(ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 4096,
+        replica_of: Some(format!("127.0.0.1:{primary_port}")),
+        repl_fault_plan: fault_plan,
+        repl_seed: args.seed,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("spawn replica: {e}"))
+}
+
+// --------------------------------------------------------- wire helpers --
+
+/// One REPL verb over a fresh connection; returns the decoded-and-owned
+/// outcome (`Ok` for `Done`).
+fn repl_call(port: u16, req: &ReplRequest<'_>) -> Result<(), String> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect {port}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut frame = Vec::new();
+    encode_repl_request(req, &mut frame);
+    write_frame(&mut stream, &frame).map_err(|e| format!("send: {e}"))?;
+    let mut resp = Vec::new();
+    if !read_frame(&mut stream, &mut resp).map_err(|e| format!("recv: {e}"))? {
+        return Err("connection closed".into());
+    }
+    match decode_response(&resp).map_err(|e| format!("decode: {e}"))? {
+        Response::Done => Ok(()),
+        other => Err(format!("REPL verb answered {other:?}")),
+    }
+}
+
+/// The `repl` object from a node's STATS.
+fn repl_stats(port: u16) -> Result<JsonValue, String> {
+    let doc = fetch_stats(port)?;
+    doc.parsed
+        .get("repl")
+        .cloned()
+        .ok_or_else(|| "STATS lacks a repl object".to_string())
+}
+
+fn repl_u64(repl: &JsonValue, field: &str) -> u64 {
+    repl.get(field).and_then(JsonValue::as_f64).unwrap_or(0.0) as u64
+}
+
+/// Sum of a node's per-shard replicated versions.
+fn version_sum(repl: &JsonValue) -> u64 {
+    repl.get("versions")
+        .and_then(JsonValue::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(JsonValue::as_f64)
+                .map(|v| v as u64)
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// GET through a resilient single-node client.
+fn get_value(client: &mut ResilientClient, key: &str) -> Result<Option<u64>, String> {
+    let mut resp = Vec::new();
+    client
+        .call(
+            &Request::Get {
+                key: key.as_bytes(),
+            },
+            &mut resp,
+        )
+        .map_err(|e| format!("GET {key}: {e}"))?;
+    match decode_response(&resp).map_err(|e| format!("decode GET: {e}"))? {
+        Response::Value { found, value } => Ok(found.then_some(value)),
+        other => Err(format!("GET answered {other:?}")),
+    }
+}
+
+// ------------------------------------------------------- reader threads --
+
+struct ReadTallies {
+    ok: AtomicU64,
+    err: AtomicU64,
+    during_outage: AtomicU64,
+}
+
+// ------------------------------------------------------ failover phase --
+
+/// How one write attempt resolved, as far as the oracle is concerned.
+enum WriteOutcome {
+    Acked,
+    Unacked,
+}
+
+fn write_once(cluster: &mut ClusterClient, req: &Request<'_>) -> Result<WriteOutcome, String> {
+    let mut resp = Vec::new();
+    match cluster.write(req, &mut resp) {
+        Err(_) => Ok(WriteOutcome::Unacked),
+        Ok(()) => match decode_response(&resp) {
+            // Fenced/timed-out/shed answers are honest non-acks; anything
+            // else positive acknowledges the write.
+            Ok(Response::Error { .. })
+            | Ok(Response::Overloaded { .. })
+            | Ok(Response::DeadlineExceeded) => Ok(WriteOutcome::Unacked),
+            Ok(_) => Ok(WriteOutcome::Acked),
+            Err(e) => Err(format!("mis-framed write response: {e}")),
+        },
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn failover_phase(args: &Args, mode: Mode, live: &Liveness) -> Result<(), String> {
+    let dir = tmp(&format!("primary-{}", mode_name(mode)));
+    let primary = spawn_primary(args, mode, &dir)?;
+    let r1 = spawn_replica(args, mode, primary.port, 1)?;
+    let r2 = spawn_replica(args, mode, primary.port, 2)?;
+    let replica_ports = [r1.port(), r2.port()];
+    let all_ports = vec![primary.port, r1.port(), r2.port()];
+
+    // min_acks = 2: the primary is fenced until both replicas subscribe.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let repl = repl_stats(primary.port)?;
+        if repl_u64(&repl, "subscribers") >= 2 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err("replicas never subscribed to the primary".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Readers: round-robin GETs across every endpoint, all phases.
+    let stop = AtomicBool::new(false);
+    let outage = AtomicBool::new(false);
+    let tallies = ReadTallies {
+        ok: AtomicU64::new(0),
+        err: AtomicU64::new(0),
+        during_outage: AtomicU64::new(0),
+    };
+
+    let result: Result<(Oracle, Duration, u16), String> = std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let (stop, outage, tallies, live, ports) =
+                (&stop, &outage, &tallies, &live, &all_ports);
+            let seed = args.seed ^ (t + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            s.spawn(move || {
+                let mut cluster = ClusterClient::new(ports, ClientConfig::chaos(), seed);
+                let mut rng = SplitMix64::new(seed);
+                let mut resp = Vec::new();
+                let mut keybuf = String::new();
+                while !stop.load(Ordering::Relaxed) {
+                    use std::fmt::Write as _;
+                    keybuf.clear();
+                    let _ = write!(keybuf, "fk-{}", rng.below(64));
+                    match cluster.read(
+                        &Request::Get {
+                            key: keybuf.as_bytes(),
+                        },
+                        &mut resp,
+                    ) {
+                        Ok(()) => {
+                            tallies.ok.fetch_add(1, Ordering::Relaxed);
+                            if outage.load(Ordering::Relaxed) {
+                                tallies.during_outage.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            tallies.err.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    live.beats.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // The sequential oracle writer (this thread).
+        let run = || -> Result<(Oracle, Duration, u16), String> {
+            let mut cluster =
+                ClusterClient::new(&all_ports, ClientConfig::chaos(), args.seed ^ 0xF417);
+            let mut rng = SplitMix64::new(args.seed ^ 0xFA11_07E6);
+            let mut oracle = Oracle::new();
+            let kill_at = args.load_ops / 2;
+            let mut primary_corpse = Some(primary.child);
+            let mut t_kill: Option<Instant> = None;
+            let mut recovery: Option<Duration> = None;
+            let mut new_primary_port: Option<u16> = None;
+            let mut fault_evidence = 0u64;
+
+            for i in 0..args.load_ops {
+                live.beats.fetch_add(1, Ordering::Relaxed);
+                if i == kill_at {
+                    // SIGKILL mid-load: no drain, no goodbye.
+                    primary_corpse
+                        .as_mut()
+                        .expect("child killed exactly once")
+                        .kill()
+                        .map_err(|e| format!("kill primary: {e}"))?;
+                    t_kill = Some(Instant::now());
+                    outage.store(true, Ordering::Relaxed);
+
+                    // Hold the primary-less window open: replicas alone
+                    // carry reads here, which is the availability claim
+                    // the reader tallies prove.
+                    let hold_until = Instant::now() + args.outage_hold;
+                    while Instant::now() < hold_until {
+                        std::thread::sleep(Duration::from_millis(10));
+                        live.beats.fetch_add(1, Ordering::Relaxed);
+                    }
+
+                    // Controller: promote the replica with the highest
+                    // replicated version, repoint the other at it.
+                    let mut best = (0usize, 0u64);
+                    for (idx, &port) in replica_ports.iter().enumerate() {
+                        let repl = repl_stats(port)?;
+                        fault_evidence += repl_u64(&repl, "reconnects")
+                            + repl_u64(&repl, "naks_sent")
+                            + repl_u64(&repl, "snap_resyncs");
+                        let sum = version_sum(&repl);
+                        if sum >= best.1 {
+                            best = (idx, sum);
+                        }
+                    }
+                    let winner = replica_ports[best.0];
+                    let loser = replica_ports[1 - best.0];
+                    repl_call(winner, &ReplRequest::Promote { upstream: b"" })
+                        .map_err(|e| format!("promote {winner}: {e}"))?;
+                    let upstream = format!("127.0.0.1:{winner}");
+                    repl_call(
+                        loser,
+                        &ReplRequest::Promote {
+                            upstream: upstream.as_bytes(),
+                        },
+                    )
+                    .map_err(|e| format!("repoint {loser}: {e}"))?;
+                    new_primary_port = Some(winner);
+                }
+
+                let key = format!("fk-{}", rng.below(args.keys));
+                let hist = oracle.entry(key.clone()).or_default();
+                let req = issue_op(&mut rng, &key, hist);
+                match write_once(&mut cluster, &req)? {
+                    WriteOutcome::Acked => {
+                        hist.acked = Some(hist.states.len() - 1);
+                        if let (Some(t0), None) = (t_kill, recovery) {
+                            recovery = Some(t0.elapsed());
+                            outage.store(false, Ordering::Relaxed);
+                        }
+                    }
+                    WriteOutcome::Unacked => {}
+                }
+            }
+
+            // Reap the corpse.
+            if let Some(mut child) = primary_corpse {
+                let _ = child.wait();
+            }
+            if args.fault_rate > 0.0 && fault_evidence == 0 {
+                return Err(format!(
+                    "fault rate {} injected on the replication streams but no reconnect, \
+                     NAK or snapshot resync was ever observed — the faults verified nothing",
+                    args.fault_rate
+                ));
+            }
+            let recovery = recovery.ok_or_else(|| {
+                violation(format!(
+                    "no write was ever acknowledged after the kill ({} attempts)",
+                    args.load_ops - kill_at
+                ))
+            })?;
+            if recovery > args.recovery_deadline {
+                return Err(violation(format!(
+                    "recovery took {recovery:?}, deadline {:?}",
+                    args.recovery_deadline
+                )));
+            }
+            Ok((oracle, recovery, new_primary_port.expect("set at kill_at")))
+        };
+        let r = run();
+        stop.store(true, Ordering::Relaxed);
+        r
+    });
+    let (mut oracle, recovery, new_primary) = result?;
+    let repointed = *replica_ports
+        .iter()
+        .find(|&&p| p != new_primary)
+        .expect("two replicas");
+
+    // Claim 1: no acked write lost. Every key on the new primary must be
+    // an issued state at or after its last acked one.
+    let acked_keys = oracle.values().filter(|h| h.acked.is_some()).count();
+    if acked_keys == 0 {
+        return Err("no key ever got an acked write — the oracle verified nothing".into());
+    }
+    let mut client = ResilientClient::new(new_primary, ClientConfig::default(), args.seed);
+    for (key, hist) in oracle.iter_mut() {
+        let got = get_value(&mut client, key)?;
+        if !hist.admits(got) {
+            return Err(violation(format!(
+                "mode {}: key {key} on the promoted primary is {got:?}, not an issued \
+                 state at or after acked index {:?} ({} issued)",
+                mode_name(mode),
+                hist.acked,
+                hist.states.len()
+            )));
+        }
+        // Rebaseline on what survived: it is the truth going forward.
+        *hist = KeyHist {
+            states: vec![got],
+            acked: Some(0),
+        };
+    }
+
+    // The new primary must identify as one, and the old role is gone.
+    let repl = repl_stats(new_primary)?;
+    if repl.get("role").and_then(JsonValue::as_str) != Some("primary") {
+        return Err(violation(format!(
+            "promoted node {new_primary} does not report role=primary"
+        )));
+    }
+
+    // Claim 2b: bounded staleness after failover — a final round of acked
+    // writes on the new primary must appear on the repointed replica
+    // within the convergence deadline.
+    let mut rng = SplitMix64::new(args.seed ^ 0xC0_4E_56_E9);
+    for i in 0..64u64 {
+        let key = format!("fk-{}", i % args.keys);
+        let hist = oracle.entry(key.clone()).or_default();
+        let req = issue_op(&mut rng, &key, hist);
+        match write_once_single(&mut client, &req)? {
+            WriteOutcome::Acked => hist.acked = Some(hist.states.len() - 1),
+            WriteOutcome::Unacked => {
+                return Err(format!("post-failover write on {key} was not acked"))
+            }
+        }
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut replica_client = ResilientClient::new(repointed, ClientConfig::default(), args.seed);
+    let deadline = Instant::now() + args.converge_deadline;
+    'converge: loop {
+        live.beats.fetch_add(1, Ordering::Relaxed);
+        let mut lagging = None;
+        for (key, hist) in &oracle {
+            if get_value(&mut replica_client, key)? != hist.current() {
+                lagging = Some(key.clone());
+                break;
+            }
+        }
+        match lagging {
+            None => break 'converge,
+            Some(key) if Instant::now() > deadline => {
+                return Err(violation(format!(
+                    "repointed replica did not converge within {:?} (key {key} still stale)",
+                    args.converge_deadline
+                )));
+            }
+            Some(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let repl = repl_stats(repointed)?;
+    let upstream = repl.get("upstream").and_then(JsonValue::as_str);
+    if upstream != Some(&format!("127.0.0.1:{new_primary}")) {
+        return Err(violation(format!(
+            "repointed replica follows {upstream:?}, expected the promoted primary"
+        )));
+    }
+
+    // Claim 2a: reads kept flowing while the primary was down.
+    let reads_ok = tallies.ok.load(Ordering::Relaxed);
+    let reads_err = tallies.err.load(Ordering::Relaxed);
+    let reads_outage = tallies.during_outage.load(Ordering::Relaxed);
+    if reads_outage == 0 {
+        return Err(violation(
+            "no read succeeded during the primary outage — replicas did not carry reads"
+                .to_string(),
+        ));
+    }
+    if reads_err > reads_ok / 100 {
+        return Err(violation(format!(
+            "reader error rate too high: {reads_err} errors vs {reads_ok} successes"
+        )));
+    }
+
+    // Teardown: both in-process nodes (promoted primary included) shut
+    // down cleanly.
+    r1.request_shutdown();
+    r2.request_shutdown();
+    let _ = r1.join();
+    let _ = r2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "failover ({:<4})  OK  recovery={recovery:?} acked_keys={acked_keys} \
+         reads_during_outage={reads_outage} reads={reads_ok}",
+        mode_name(mode),
+    );
+    Ok(())
+}
+
+/// `write_once` against a single node instead of a cluster view.
+fn write_once_single(
+    client: &mut ResilientClient,
+    req: &Request<'_>,
+) -> Result<WriteOutcome, String> {
+    let mut resp = Vec::new();
+    match client.call_no_replay(req, &mut resp) {
+        Err(_) => Ok(WriteOutcome::Unacked),
+        Ok(()) => match decode_response(&resp) {
+            Ok(Response::Error { .. })
+            | Ok(Response::Overloaded { .. })
+            | Ok(Response::DeadlineExceeded) => Ok(WriteOutcome::Unacked),
+            Ok(_) => Ok(WriteOutcome::Acked),
+            Err(e) => Err(format!("mis-framed write response: {e}")),
+        },
+    }
+}
+
+// -------------------------------------------------------- fencing phase --
+
+/// The split-brain guard, timed on the primary's own clock: with
+/// `min_acks = 1` and its only replica gone, the primary must stop
+/// acknowledging within the lease, keep refusing while partitioned, and
+/// resume once a fresh replica attaches.
+fn fencing_phase(args: &Args, mode: Mode, live: &Liveness) -> Result<(), String> {
+    const LEASE: Duration = Duration::from_millis(200);
+    let primary = spawn(ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 4096,
+        repl_accept: true,
+        repl_min_acks: 1,
+        repl_lease: LEASE,
+        repl_ack_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("spawn fencing primary: {e}"))?;
+    let pport = primary.port();
+    let mut client = ResilientClient::new(pport, ClientConfig::default(), args.seed ^ 0xFE);
+
+    let fenced_now = |client: &mut ResilientClient| -> Result<bool, String> {
+        let mut resp = Vec::new();
+        client
+            .call(
+                &Request::Set {
+                    key: b"fence-probe",
+                    value: 7,
+                    ttl: 0,
+                },
+                &mut resp,
+            )
+            .map_err(|e| format!("fence probe: {e}"))?;
+        match decode_response(&resp).map_err(|e| format!("decode: {e}"))? {
+            Response::Error { message } if message.contains("fenced") => Ok(true),
+            Response::Done => Ok(false),
+            other => Err(format!("fence probe answered {other:?}")),
+        }
+    };
+
+    // Boot state: no replica has ever acked, so the primary starts fenced.
+    if !fenced_now(&mut client)? {
+        return Err(violation(
+            "a min_acks=1 primary with no replica acked a write at boot".to_string(),
+        ));
+    }
+
+    // Attach a replica: writes must start flowing.
+    let r1 = spawn_replica(args, mode, pport, 3)?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fenced_now(&mut client)? {
+        if Instant::now() > deadline {
+            return Err(violation(
+                "primary stayed fenced after its replica subscribed".to_string(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    for i in 0..50u64 {
+        let mut resp = Vec::new();
+        client
+            .call(
+                &Request::Set {
+                    key: format!("fz-{}", i % 8).as_bytes(),
+                    value: i,
+                    ttl: 0,
+                },
+                &mut resp,
+            )
+            .map_err(|e| format!("steady write: {e}"))?;
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Partition: the only replica goes away. The primary must fence
+    // itself within the lease window — nobody tells it.
+    r1.request_shutdown();
+    let _ = r1.join();
+    let t0 = Instant::now();
+    let deadline = t0 + LEASE * 10;
+    while !fenced_now(&mut client)? {
+        if Instant::now() > deadline {
+            return Err(violation(format!(
+                "primary kept acking {:?} after losing its only replica (lease {LEASE:?})",
+                t0.elapsed()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    // And it must *stay* fenced while the partition lasts.
+    let hold = Instant::now() + LEASE * 3;
+    while Instant::now() < hold {
+        if !fenced_now(&mut client)? {
+            return Err(violation(
+                "primary acked a write while partitioned from every replica".to_string(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    let repl = repl_stats(pport)?;
+    if !matches!(repl.get("fenced"), Some(JsonValue::Bool(true))) {
+        return Err(violation("STATS does not report fenced=true".to_string()));
+    }
+    if repl_u64(&repl, "fenced_rejects") == 0 {
+        return Err(violation(
+            "no fenced_rejects counted during the partition".to_string(),
+        ));
+    }
+
+    // Heal: a fresh replica attaches, resyncs from snapshot, and the
+    // primary resumes.
+    let r2 = spawn_replica(args, mode, pport, 4)?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fenced_now(&mut client)? {
+        if Instant::now() > deadline {
+            return Err(violation(
+                "primary stayed fenced after a fresh replica attached".to_string(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    // The late joiner must have actually resynced the pre-partition data.
+    let mut rclient = ResilientClient::new(r2.port(), ClientConfig::default(), args.seed);
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while get_value(&mut rclient, "fz-7")? != Some(47) {
+        if Instant::now() > deadline {
+            return Err(violation(
+                "late replica never served the pre-partition writes".to_string(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    r2.request_shutdown();
+    let _ = r2.join();
+    primary.request_shutdown();
+    let _ = primary.join();
+    println!("fencing  ({:<4})  OK  lease={LEASE:?}", mode_name(mode));
+    Ok(())
+}
+
+// ---------------------------------------------------------------- main --
+
+fn run(args: &Args) -> Result<(), String> {
+    if !std::path::Path::new(&args.goccd).exists() {
+        return Err(format!(
+            "goccd binary not found at {} (build release first)",
+            args.goccd
+        ));
+    }
+    let modes: Vec<Mode> = match args.mode {
+        Some(m) => vec![m],
+        None => vec![Mode::Lock, Mode::Gocc],
+    };
+    let live = start_liveness_monitor(Duration::from_secs(args.stall_secs.max(5)));
+    let t0 = Instant::now();
+    for &mode in &modes {
+        failover_phase(args, mode, &live)?;
+        fencing_phase(args, mode, &live)?;
+    }
+    live.done.store(true, Ordering::Relaxed);
+    println!(
+        "failover_soak PASS  seed={} load_ops={} fault_rate={} {:?}",
+        args.seed,
+        args.load_ops,
+        args.fault_rate,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    gocc_gosync::set_procs(8);
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("failover_soak: FAIL: {msg}");
+            if msg.starts_with("VIOLATION:") {
+                ExitCode::from(4)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

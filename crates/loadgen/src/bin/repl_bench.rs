@@ -1,0 +1,434 @@
+//! `repl_bench` — read throughput versus replica count.
+//!
+//! The serving-capacity story of replication: replicas serve
+//! version-checked GETs, so a read-heavy workload can spread across the
+//! whole group instead of queueing on the primary. Each cell boots an
+//! in-process primary (`repl_accept`, asynchronous — `min_acks = 0`)
+//! plus 0, 1 or 2 replicas, preloads the keyspace, waits for every
+//! replica to reach the primary's replicated version, then drives
+//! closed-loop GET clients pinned round-robin across the endpoints and
+//! reports aggregate kops/s per cell, in both execution modes.
+//!
+//! **A 1-CPU caveat**, same as the other benches (see EXPERIMENTS.md):
+//! this container gives every node the same single core, so replicas add
+//! *serving endpoints* but no compute — wall-clock scaling appears on
+//! real hardware, not here. The artifact still records the scaling ratio
+//! for machines that have cores to show it; the `--gate` bounds enforce
+//! what is meaningful on any box:
+//!
+//! * the **replication tax** — aggregate read throughput with two
+//!   replicas attached (and the primary streaming to them) must stay
+//!   within `REPL_GATE_SCALE_X` of the replica-free baseline, and
+//! * **real distribution** — replicas must serve at least
+//!   `REPL_GATE_SHARE_PCT`% of the reads in the two-replica cell, so the
+//!   scaling claim is exercised rather than simulated.
+//!
+//! Emits `BENCH_replication.json` (common artifact header).
+//!
+//! ```console
+//! $ repl_bench --window-ms 300 --gate
+//! ```
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use gocc_loadgen::fetch_stats;
+use gocc_server::{mode_name, spawn, Mode, ServerConfig, ServerHandle};
+use gocc_telemetry::{JsonValue, JsonWriter, SplitMix64};
+use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+
+const KEYS: u64 = 2048;
+const SHARDS: usize = 4;
+const REPLICA_COUNTS: [usize; 3] = [0, 1, 2];
+
+struct Args {
+    window: Duration,
+    /// Closed-loop GET clients, assigned endpoint `i % endpoints`.
+    clients: usize,
+    /// Best-of-N repeats per cell (one-sided noise, same as wal_bench).
+    repeats: usize,
+    gate: bool,
+}
+
+fn usage() -> String {
+    "usage: repl_bench [--window-ms N] [--clients N] [--repeats N] [--gate]".to_string()
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        window: Duration::from_millis(300),
+        clients: 6,
+        repeats: 2,
+        gate: false,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--window-ms" => {
+                args.window = Duration::from_millis(
+                    value("--window-ms")?
+                        .parse()
+                        .map_err(|e| format!("--window-ms: {e}"))?,
+                );
+            }
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+                if args.clients == 0 {
+                    return Err("--clients must be >= 1".into());
+                }
+            }
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if args.repeats == 0 {
+                    return Err("--repeats must be >= 1".into());
+                }
+            }
+            "--gate" => args.gate = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+struct CellResult {
+    kops: f64,
+    primary_reads: u64,
+    replica_reads: u64,
+}
+
+impl CellResult {
+    fn replica_share_pct(&self) -> f64 {
+        let total = self.primary_reads + self.replica_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.replica_reads as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+fn version_sum(port: u16) -> Result<u64, String> {
+    let doc = fetch_stats(port)?;
+    let repl = doc
+        .get_repl()
+        .ok_or_else(|| format!("node {port} STATS lacks a repl object"))?;
+    Ok(repl
+        .get("versions")
+        .and_then(JsonValue::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(JsonValue::as_f64)
+                .map(|v| v as u64)
+                .sum()
+        })
+        .unwrap_or(0))
+}
+
+/// A plain blocking call over an existing stream.
+fn call<'b>(
+    stream: &mut TcpStream,
+    req: &Request<'_>,
+    wirebuf: &mut Vec<u8>,
+    respbuf: &'b mut Vec<u8>,
+) -> Result<Response<'b>, String> {
+    wirebuf.clear();
+    encode_request(req, wirebuf);
+    write_frame(stream, wirebuf).map_err(|e| format!("send: {e}"))?;
+    if !read_frame(stream, respbuf).map_err(|e| format!("recv: {e}"))? {
+        return Err("connection closed".into());
+    }
+    decode_response(respbuf).map_err(|e| format!("decode: {e}"))
+}
+
+fn connect(port: u16) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// One measured cell: primary + `replicas` followers, preloaded and
+/// caught up, then `clients` closed-loop GET threads.
+fn measure_cell(mode: Mode, replicas: usize, args: &Args) -> Result<CellResult, String> {
+    let primary = spawn(ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: SHARDS,
+        capacity_per_shard: (KEYS * 4) as usize,
+        repl_accept: true,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("spawn primary: {e}"))?;
+    let followers: Vec<ServerHandle> = (0..replicas)
+        .map(|_| {
+            spawn(ServerConfig {
+                mode,
+                port: 0,
+                workers: 2,
+                shards: SHARDS,
+                capacity_per_shard: (KEYS * 4) as usize,
+                replica_of: Some(format!("127.0.0.1:{}", primary.port())),
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("spawn replica: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut ports = vec![primary.port()];
+    ports.extend(followers.iter().map(ServerHandle::port));
+
+    // Preload every key, then wait for the replicas to catch up to the
+    // primary's replicated version so the measurement reads warm copies.
+    {
+        let mut stream = connect(primary.port())?;
+        let (mut wirebuf, mut respbuf) = (Vec::new(), Vec::new());
+        let mut rng = SplitMix64::new(0xBE4C);
+        let mut keybuf = String::new();
+        for k in 0..KEYS {
+            use std::fmt::Write as _;
+            keybuf.clear();
+            let _ = write!(keybuf, "k{k}");
+            let resp = call(
+                &mut stream,
+                &Request::Set {
+                    key: keybuf.as_bytes(),
+                    value: rng.next_u64() >> 1,
+                    ttl: 0,
+                },
+                &mut wirebuf,
+                &mut respbuf,
+            )?;
+            if resp != Response::Done {
+                return Err(format!("preload SET answered {resp:?}"));
+            }
+        }
+    }
+    let want = version_sum(primary.port())?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for &port in &ports[1..] {
+        while version_sum(port)? < want {
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "replica {port} never caught up to version sum {want}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let warmup = args.window / 8;
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let per_client: Vec<(usize, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|t| {
+                let (stop, ports) = (&stop, &ports);
+                s.spawn(move || {
+                    let endpoint = t % ports.len();
+                    let mut stream = connect(ports[endpoint]).expect("connect endpoint");
+                    let mut rng = SplitMix64::new(0x6E7 ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9));
+                    let (mut wirebuf, mut respbuf) = (Vec::new(), Vec::new());
+                    let mut keybuf = String::new();
+                    let mut ops = 0u64;
+                    let mut counting = false;
+                    while !stop.load(Ordering::Relaxed) {
+                        use std::fmt::Write as _;
+                        keybuf.clear();
+                        let _ = write!(keybuf, "k{}", rng.below(KEYS));
+                        let got = call(
+                            &mut stream,
+                            &Request::Get {
+                                key: keybuf.as_bytes(),
+                            },
+                            &mut wirebuf,
+                            &mut respbuf,
+                        )
+                        .expect("GET");
+                        assert!(
+                            matches!(got, Response::Value { found: true, .. }),
+                            "warm key missing: {got:?}"
+                        );
+                        if counting {
+                            ops += 1;
+                        } else if started.elapsed() >= warmup {
+                            counting = true;
+                        }
+                    }
+                    (endpoint, ops)
+                })
+            })
+            .collect();
+        std::thread::sleep(warmup + args.window);
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    for f in followers {
+        f.request_shutdown();
+        let _ = f.join();
+    }
+    primary.request_shutdown();
+    let _ = primary.join();
+
+    let total: u64 = per_client.iter().map(|&(_, ops)| ops).sum();
+    let primary_reads: u64 = per_client
+        .iter()
+        .filter(|&&(e, _)| e == 0)
+        .map(|&(_, ops)| ops)
+        .sum();
+    Ok(CellResult {
+        kops: total as f64 / args.window.as_secs_f64() / 1e3,
+        primary_reads,
+        replica_reads: total - primary_reads,
+    })
+}
+
+fn gate_env(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `fetch_stats` returns a parsed document; pull its `repl` object.
+trait ReplDoc {
+    fn get_repl(&self) -> Option<&JsonValue>;
+}
+
+impl ReplDoc for gocc_loadgen::StatsDoc {
+    fn get_repl(&self) -> Option<&JsonValue> {
+        self.parsed.get("repl")
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    gocc_gosync::set_procs(8);
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_u64("clients", args.clients as u64)
+        .field_u64("window_ms", args.window.as_millis() as u64)
+        .field_u64("keys", KEYS);
+
+    println!(
+        "replication read throughput: {} closed-loop GET clients round-robined over \
+         primary + replicas, {}ms window",
+        args.clients,
+        args.window.as_millis()
+    );
+    let mut gocc_cells: Vec<CellResult> = Vec::new();
+    for mode in [Mode::Lock, Mode::Gocc] {
+        println!("  {}:", mode_name(mode));
+        w.key(mode_name(mode)).begin_array();
+        for &replicas in &REPLICA_COUNTS {
+            let mut best: Option<CellResult> = None;
+            for _ in 0..args.repeats {
+                let r = match measure_cell(mode, replicas, &args) {
+                    Ok(r) => r,
+                    Err(msg) => {
+                        eprintln!("repl_bench: FAIL: {msg}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if best.as_ref().is_none_or(|b| r.kops > b.kops) {
+                    best = Some(r);
+                }
+            }
+            let r = best.expect("repeats >= 1");
+            println!(
+                "    replicas={replicas}  {:>9.1} kops/s  replica_share={:>5.1}%",
+                r.kops,
+                r.replica_share_pct()
+            );
+            w.begin_object()
+                .field_u64("replicas", replicas as u64)
+                .field_f64("kops", r.kops)
+                .field_u64("primary_reads", r.primary_reads)
+                .field_u64("replica_reads", r.replica_reads)
+                .field_f64("replica_share_pct", r.replica_share_pct())
+                .end_object();
+            if mode == Mode::Gocc {
+                gocc_cells.push(r);
+            }
+        }
+        w.end_array();
+    }
+
+    // Gates on the gocc cells (the paper's execution mode): bounded
+    // replication tax and genuine read distribution. The raw scaling
+    // ratio is recorded for machines with cores to exercise it. The
+    // tax bound sits at ~2x the measured cost (0.67–0.76x across runs
+    // on this one-core box); a real regression — replicas serializing
+    // the primary — lands under 0.4x.
+    let scale_x = gate_env("REPL_GATE_SCALE_X", 0.55);
+    let share_pct = gate_env("REPL_GATE_SHARE_PCT", 25.0);
+    let baseline = gocc_cells[0].kops;
+    let two = &gocc_cells[REPLICA_COUNTS.len() - 1];
+    let scale_ratio = if baseline > 0.0 {
+        two.kops / baseline
+    } else {
+        f64::INFINITY
+    };
+    let share = two.replica_share_pct();
+    let scale_ok = scale_ratio >= scale_x;
+    let share_ok = share >= share_pct;
+    w.key("gates")
+        .begin_object()
+        .field_bool("enforced", args.gate)
+        .field_f64("scale_ratio_2_replicas", scale_ratio)
+        .field_f64("scale_ratio_min", scale_x)
+        .field_bool("scale_ok", scale_ok)
+        .field_f64("replica_share_pct", share)
+        .field_f64("replica_share_min_pct", share_pct)
+        .field_bool("share_ok", share_ok)
+        .end_object()
+        .end_object();
+    gocc_bench::write_artifact("replication", &w.finish());
+    println!(
+        "gates (gocc): 2-replica/0-replica read throughput = {scale_ratio:.2}x \
+         (need >= {scale_x:.2}x)  replica share = {share:.1}% (need >= {share_pct:.1}%)"
+    );
+
+    if args.gate && !(scale_ok && share_ok) {
+        if !scale_ok {
+            eprintln!(
+                "repl_bench: GATE FAIL: read throughput with 2 replicas is only \
+                 {scale_ratio:.2}x the replica-free baseline (need {scale_x:.2}x; \
+                 override REPL_GATE_SCALE_X)"
+            );
+        }
+        if !share_ok {
+            eprintln!(
+                "repl_bench: GATE FAIL: replicas served only {share:.1}% of reads \
+                 (need {share_pct:.1}%; override REPL_GATE_SHARE_PCT)"
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

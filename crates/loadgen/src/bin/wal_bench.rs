@@ -167,7 +167,7 @@ fn measure_engine(
                         match wal {
                             Some(wal) => {
                                 let (_, ticket) = store.execute_durable(&engine, &req, wal);
-                                if let Some(ticket) = ticket {
+                                if let Some((ticket, _staged)) = ticket {
                                     wal.wait(ticket).expect("wal healthy");
                                 }
                             }

@@ -1,0 +1,333 @@
+//! Cluster-aware client: write-to-primary with `NotPrimary` redirect
+//! following, reads round-robined across every endpoint.
+//!
+//! A replicated deployment gives a client two new jobs the single-node
+//! [`ResilientClient`](crate::ResilientClient) never had:
+//!
+//! * **Writes must find the primary.** Any replica answers a write with
+//!   `NotPrimary { hint }`; the hint names the upstream the replica is
+//!   following. During failover the hint may point at a corpse — the
+//!   client treats a dead endpoint like any other failed attempt and
+//!   rotates to the next known node, so it converges on the promoted
+//!   replica as soon as promotion lands, without any out-of-band
+//!   coordination.
+//! * **Reads may go anywhere.** Replicas serve GET/SCAN/STATS from
+//!   their version-checked copy, so reads round-robin across the whole
+//!   endpoint set and keep succeeding while the primary is down — that
+//!   availability is the half of the replication story the failover
+//!   soak asserts on.
+//!
+//! Endpoints learned from redirect hints are added to the set on the
+//! fly; per-endpoint connections are lazy and survive across calls.
+
+use std::io;
+use std::time::Duration;
+
+use gocc_telemetry::SplitMix64;
+use gocc_wire::{decode_response, Request, Response};
+
+use crate::resilient::{ClientConfig, ResilientClient};
+
+/// Total write attempts (across redirects, rotations and replays) before
+/// a write call reports failure to the caller.
+const WRITE_ATTEMPTS: u32 = 12;
+
+struct Endpoint {
+    port: u16,
+    client: ResilientClient,
+    /// Reads this endpoint served (the distribution proof for the
+    /// read-scaling bench and the failover soak).
+    reads: u64,
+}
+
+/// A client for a primary/replica group on loopback.
+pub struct ClusterClient {
+    cfg: ClientConfig,
+    seed: u64,
+    endpoints: Vec<Endpoint>,
+    /// Index of the endpoint currently believed to be the primary.
+    primary: usize,
+    /// Read round-robin cursor.
+    rr: usize,
+    rng: SplitMix64,
+    redirects: u64,
+    rotations: u64,
+}
+
+impl ClusterClient {
+    /// A client over `ports` (any mix of primary and replicas — the
+    /// first write discovers which is which); `seed` drives backoff
+    /// jitter and retry pacing.
+    #[must_use]
+    pub fn new(ports: &[u16], cfg: ClientConfig, seed: u64) -> Self {
+        assert!(!ports.is_empty(), "a cluster needs at least one endpoint");
+        let endpoints = ports
+            .iter()
+            .enumerate()
+            .map(|(i, &port)| Endpoint {
+                port,
+                client: ResilientClient::new(
+                    port,
+                    cfg.clone(),
+                    seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                reads: 0,
+            })
+            .collect();
+        ClusterClient {
+            cfg,
+            seed,
+            endpoints,
+            primary: 0,
+            rr: 0,
+            rng: SplitMix64::new(seed ^ 0xC1_05_7E_12),
+            redirects: 0,
+            rotations: 0,
+        }
+    }
+
+    /// The port currently believed to host the primary.
+    #[must_use]
+    pub fn primary_port(&self) -> u16 {
+        self.endpoints[self.primary].port
+    }
+
+    /// `NotPrimary` hints followed.
+    #[must_use]
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Blind rotations to the next endpoint after an I/O failure or an
+    /// unusable hint (dead-primary windows during failover).
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Reads served per endpoint, in endpoint order (ports alongside).
+    #[must_use]
+    pub fn reads_by_endpoint(&self) -> Vec<(u16, u64)> {
+        self.endpoints.iter().map(|e| (e.port, e.reads)).collect()
+    }
+
+    fn index_of(&mut self, port: u16) -> usize {
+        if let Some(i) = self.endpoints.iter().position(|e| e.port == port) {
+            return i;
+        }
+        // A hint named a node we did not know about: adopt it.
+        let i = self.endpoints.len();
+        self.endpoints.push(Endpoint {
+            port,
+            client: ResilientClient::new(
+                port,
+                self.cfg.clone(),
+                self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            reads: 0,
+        });
+        i
+    }
+
+    /// Sends a write to the believed primary, following `NotPrimary`
+    /// hints and rotating past dead endpoints, up to a bounded number of
+    /// attempts. On `Ok` the response body is in `resp` and came from a
+    /// node that accepted the write (it may still be a server `Error`,
+    /// e.g. a fenced primary — the caller decides what that means).
+    ///
+    /// Replay safety is the caller's contract exactly as with
+    /// [`ResilientClient`]: route INCR through a fresh key history or
+    /// accept ambiguity.
+    pub fn write(&mut self, req: &Request<'_>, resp: &mut Vec<u8>) -> io::Result<()> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..WRITE_ATTEMPTS {
+            if attempt > 0 {
+                // Failover windows are tens of milliseconds; pace the
+                // retry loop instead of hammering corpses.
+                std::thread::sleep(Duration::from_millis(1 + self.rng.below(4)));
+            }
+            let i = self.primary;
+            match self.endpoints[i].client.call_no_replay(req, resp) {
+                Ok(()) => {
+                    let hint_port = match decode_response(resp) {
+                        Ok(Response::NotPrimary { hint }) => {
+                            Some(hint.rsplit(':').next().and_then(|p| p.parse::<u16>().ok()))
+                        }
+                        _ => None,
+                    };
+                    match hint_port {
+                        None => return Ok(()), // any non-redirect answer
+                        Some(Some(port)) if port != self.endpoints[i].port => {
+                            self.primary = self.index_of(port);
+                            self.redirects += 1;
+                        }
+                        Some(_) => {
+                            // Empty, unparsable or self-referential hint:
+                            // the node knows no better primary. Rotate.
+                            self.primary = (i + 1) % self.endpoints.len();
+                            self.rotations += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.primary = (i + 1) % self.endpoints.len();
+                    self.rotations += 1;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no endpoint accepted the write (redirect loop)",
+            )
+        }))
+    }
+
+    /// Sends a read to the next endpoint in round-robin order, trying
+    /// every endpoint once before giving up. Replicas and primaries both
+    /// serve reads, so this succeeds as long as *any* node is alive.
+    pub fn read(&mut self, req: &Request<'_>, resp: &mut Vec<u8>) -> io::Result<()> {
+        let n = self.endpoints.len();
+        let mut last: Option<io::Error> = None;
+        for _ in 0..n {
+            let i = self.rr % n;
+            self.rr = self.rr.wrapping_add(1);
+            match self.endpoints[i].client.call(req, resp) {
+                Ok(()) => {
+                    self.endpoints[i].reads += 1;
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("cluster has no endpoints")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocc_wire::{encode_response, read_frame, Response};
+    use std::io::Write as _;
+    use std::net::{Ipv4Addr, TcpListener};
+
+    /// A one-shot server loop answering every request with `make(port)`.
+    fn answering_server(
+        total: usize,
+        make: impl Fn() -> Vec<u8> + Send + 'static,
+    ) -> (u16, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..total {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut body = Vec::new();
+                while read_frame(&mut s, &mut body).unwrap_or(false) {
+                    s.write_all(&make()).unwrap();
+                }
+            }
+        });
+        (port, handle)
+    }
+
+    fn done_frame() -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_response(&Response::Done, &mut out);
+        out
+    }
+
+    #[test]
+    fn writes_follow_the_redirect_hint() {
+        let (primary_port, primary) = answering_server(1, done_frame);
+        let hint = format!("127.0.0.1:{primary_port}");
+        let (replica_port, replica) = answering_server(1, move || {
+            let mut out = Vec::new();
+            encode_response(&Response::NotPrimary { hint: &hint }, &mut out);
+            out
+        });
+        // The client starts believing the replica is the primary.
+        let mut c = ClusterClient::new(&[replica_port], ClientConfig::chaos(), 7);
+        let mut resp = Vec::new();
+        c.write(
+            &Request::Set {
+                key: b"k",
+                value: 1,
+                ttl: 0,
+            },
+            &mut resp,
+        )
+        .expect("redirect must land on the real primary");
+        assert_eq!(decode_response(&resp).unwrap(), Response::Done);
+        assert_eq!(c.redirects(), 1);
+        assert_eq!(c.primary_port(), primary_port, "hint endpoint adopted");
+        drop(c); // close the client connections so the server loops exit
+        primary.join().unwrap();
+        replica.join().unwrap();
+    }
+
+    #[test]
+    fn writes_rotate_past_a_dead_primary() {
+        // Endpoint 0 is a corpse (bound then dropped); endpoint 1 answers.
+        let dead = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let (live, server) = answering_server(1, done_frame);
+        let mut c = ClusterClient::new(&[dead, live], ClientConfig::chaos(), 8);
+        let mut resp = Vec::new();
+        c.write(
+            &Request::Set {
+                key: b"k",
+                value: 2,
+                ttl: 0,
+            },
+            &mut resp,
+        )
+        .expect("rotation must find the live node");
+        assert_eq!(decode_response(&resp).unwrap(), Response::Done);
+        assert!(c.rotations() >= 1, "the corpse cost at least one rotation");
+        assert_eq!(c.primary_port(), live);
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reads_round_robin_across_endpoints() {
+        let (a, sa) = answering_server(1, || {
+            let mut out = Vec::new();
+            encode_response(
+                &Response::Value {
+                    found: true,
+                    value: 1,
+                },
+                &mut out,
+            );
+            out
+        });
+        let (b, sb) = answering_server(1, || {
+            let mut out = Vec::new();
+            encode_response(
+                &Response::Value {
+                    found: true,
+                    value: 2,
+                },
+                &mut out,
+            );
+            out
+        });
+        let mut c = ClusterClient::new(&[a, b], ClientConfig::chaos(), 9);
+        let mut resp = Vec::new();
+        for _ in 0..6 {
+            c.read(&Request::Get { key: b"k" }, &mut resp).unwrap();
+        }
+        let reads = c.reads_by_endpoint();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].1, 3, "round-robin splits evenly");
+        assert_eq!(reads[1].1, 3);
+        drop(c);
+        sa.join().unwrap();
+        sb.join().unwrap();
+    }
+}

@@ -14,6 +14,7 @@
 //! identical request streams per connection (arrival interleaving is the
 //! only nondeterminism, as in any closed-loop harness).
 
+pub mod cluster;
 pub mod openloop;
 pub mod resilient;
 pub mod zipf;
@@ -25,6 +26,7 @@ use std::time::{Duration, Instant};
 use gocc_telemetry::{HistogramSnapshot, JsonValue, JsonWriter, LatencyHistogram, SplitMix64};
 use gocc_wire::{decode_response, Request, Response};
 
+pub use cluster::ClusterClient;
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopResult};
 pub use resilient::{
     connect_with_retry, BreakerConfig, BreakerState, CircuitBreaker, ClientConfig, ResilientClient,

@@ -25,7 +25,10 @@ fn usage() -> String {
      [--trace-out PATH] [--stats-interval-secs N] \
      [--data-dir PATH] [--wal-sync off|group|always] [--fsync-batch-size N] \
      [--fsync-wait-us N] [--checkpoint-every N] \
-     [--wal-fault-seed N --wal-fault-crash P]"
+     [--wal-fault-seed N --wal-fault-crash P] \
+     [--replica-of HOST:PORT] [--repl-accept] [--repl-min-acks N] \
+     [--repl-lease-ms N] [--repl-ack-timeout-ms N] \
+     [--repl-fault-seed N --repl-fault-rate P]"
         .to_string()
 }
 
@@ -44,6 +47,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut stats_interval = None;
     let mut wal_fault_seed: Option<u64> = None;
     let mut wal_fault_crash: f64 = 0.0;
+    let mut repl_fault_seed: Option<u64> = None;
+    let mut repl_fault_rate: f64 = 0.0;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -141,6 +146,44 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--wal-fault-crash: {e}"))?;
             }
+            "--replica-of" => {
+                config.replica_of = Some(value("--replica-of")?);
+            }
+            "--repl-accept" => config.repl_accept = true,
+            "--repl-min-acks" => {
+                config.repl_min_acks = value("--repl-min-acks")?
+                    .parse()
+                    .map_err(|e| format!("--repl-min-acks: {e}"))?;
+            }
+            "--repl-lease-ms" => {
+                let ms: u64 = value("--repl-lease-ms")?
+                    .parse()
+                    .map_err(|e| format!("--repl-lease-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--repl-lease-ms must be >= 1".into());
+                }
+                config.repl_lease = Duration::from_millis(ms);
+            }
+            "--repl-ack-timeout-ms" => {
+                config.repl_ack_timeout = Duration::from_millis(
+                    value("--repl-ack-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--repl-ack-timeout-ms: {e}"))?,
+                );
+            }
+            "--repl-fault-seed" => {
+                repl_fault_seed = Some(
+                    value("--repl-fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--repl-fault-seed: {e}"))?,
+                );
+                config.repl_seed = repl_fault_seed.unwrap_or(config.repl_seed);
+            }
+            "--repl-fault-rate" => {
+                repl_fault_rate = value("--repl-fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--repl-fault-rate: {e}"))?;
+            }
             "--trace-sample-n" => {
                 config.trace_sample_n = value("--trace-sample-n")?
                     .parse()
@@ -175,6 +218,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             },
         );
         config.wal.backend = WalBackend::Abort(std::sync::Arc::new(plan));
+    }
+    // Failover-soak hook: a seeded transport fault plan on the replication
+    // stream only (client connections stay clean), driving partitions,
+    // stalls and resets between primary and replica deterministically.
+    if let Some(seed) = repl_fault_seed {
+        if repl_fault_rate > 0.0 {
+            config.repl_fault_plan = Some(std::sync::Arc::new(
+                gocc_faultplane::TransportFaultPlan::new(
+                    seed,
+                    gocc_faultplane::TransportMix::uniform(repl_fault_rate),
+                ),
+            ));
+        }
     }
     Ok(Cli {
         config,
@@ -211,9 +267,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "goccd listening on 127.0.0.1:{} (mode={} workers={workers} shards={shards})",
+        "goccd listening on 127.0.0.1:{} (mode={} workers={workers} shards={shards} role={} git_rev={})",
         handle.port(),
         mode_name(mode),
+        handle.state().role_name(),
+        handle.state().git_rev(),
     );
     // Surface what recovery did before the daemon takes traffic: an
     // operator restarting after a crash wants "how much came back"

@@ -11,14 +11,15 @@ use gocc_faultplane::{LoadFault, TransportFaultPlan};
 use gocc_telemetry::trace;
 use gocc_telemetry::{Span, SpanKind};
 use gocc_wire::{
-    decode_request_any, encode_response, FaultyStream, FrameBuf, Request, Response, WireError,
-    MAX_FRAME,
+    decode_repl_request, decode_request_any, encode_response, is_repl_request, FaultyStream,
+    FrameBuf, ReplRequest, Request, Response, WireError, MAX_FRAME,
 };
 use gocc_workloads::Engine;
 
 use crate::overload::{classify, VerbClass};
+use crate::repl::{pump_repl_out, ReplSub};
 use crate::stats::verb_index;
-use crate::{ServerState, WorkerCtx};
+use crate::{ReplWaitError, ServerState, WorkerCtx};
 
 /// Cap on frames executed per pump so one pipelining client cannot starve
 /// a worker's other connections.
@@ -61,6 +62,10 @@ pub(crate) struct Conn {
     ingest_at: Option<Instant>,
     /// Stop reading; flush what is queued, then close.
     closing: bool,
+    /// Set once this connection sent REPL_HELLO: it is a replica's
+    /// replication stream, and the pump additionally drains the feed's
+    /// batches for this subscriber.
+    repl: Option<ReplSub>,
 }
 
 impl Conn {
@@ -73,6 +78,16 @@ impl Conn {
             last_write_progress: Instant::now(),
             ingest_at: None,
             closing: false,
+            repl: None,
+        }
+    }
+
+    /// Connection teardown: release the feed subscription, if any, so a
+    /// dead replica stops counting toward `min_acks` immediately instead
+    /// of waiting out the lease.
+    pub(crate) fn on_close(&self, state: &ServerState) {
+        if let (Some(sub), Some(feed)) = (&self.repl, state.repl_feed()) {
+            feed.unsubscribe(sub.id);
         }
     }
 
@@ -142,6 +157,23 @@ impl Conn {
             self.ingest_at = None;
         }
 
+        // 3b. If this is a subscribed replication stream, drain the feed:
+        // snapshot resyncs, incremental batches, heartbeats. A promoted-
+        // away (replica) node stops pumping — its feed is a sink, not a
+        // source.
+        if !self.closing && !state.is_replica() {
+            if let (Some(sub), Some(feed)) = (&mut self.repl, state.repl_feed()) {
+                progressed |= pump_repl_out(
+                    sub,
+                    feed,
+                    &state.store,
+                    engine,
+                    &mut self.outbuf,
+                    state.config.repl_lease,
+                );
+            }
+        }
+
         // 4. Push out whatever step 3 produced.
         match self.flush_inner() {
             FlushState::Clean { progressed: p } => progressed |= p,
@@ -184,12 +216,20 @@ impl Conn {
                 inbuf,
                 outbuf,
                 closing,
+                repl,
                 ..
             } = self;
             match inbuf.next_frame() {
                 Ok(None) => break,
                 Ok(Some(body)) => {
                     progressed = true;
+                    // Replication verbs bypass admission entirely: a
+                    // brownout must never shed the ack stream that keeps
+                    // the primary's lease (and its replicas) alive.
+                    if is_repl_request(body) {
+                        handle_repl_frame(engine, state, outbuf, repl, closing, body);
+                        continue;
+                    }
                     wctx.frames_seen += 1;
                     // Flight recorder: the sampling decision is made once
                     // per request, here at frame decode, and the id rides
@@ -424,6 +464,41 @@ fn execute_admitted(
             false
         }
         data_verb => {
+            let is_write = matches!(
+                data_verb,
+                Request::Set { .. } | Request::Del { .. } | Request::Incr { .. }
+            );
+            // Replicas serve reads; writes are redirected to the primary.
+            // The replication stream is a replica's only writer, so its
+            // shard versions stay exactly the primary's.
+            if is_write && state.is_replica() {
+                let hint = state.upstream_hint();
+                encode_response(&Response::NotPrimary { hint: &hint }, outbuf);
+                return true;
+            }
+            let feed = if state.is_replica() {
+                None
+            } else {
+                state.repl_feed()
+            };
+            // Fencing pre-check: a primary that cannot currently reach
+            // `min_acks` live replicas must not apply (much less ack) new
+            // writes — a partitioned old primary goes read-only instead
+            // of diverging.
+            if is_write {
+                if let Some(feed) = feed {
+                    if feed.fenced() {
+                        feed.counters().note_fenced_reject();
+                        encode_response(
+                            &Response::Error {
+                                message: "primary fenced: insufficient live replicas",
+                            },
+                            outbuf,
+                        );
+                        return true;
+                    }
+                }
+            }
             let exec_start = Instant::now();
             if let Some(plan) = &state.config.load_plan {
                 if let Some(LoadFault::SlowStore(d)) = plan.draw_store(wctx.worker as u64) {
@@ -431,9 +506,22 @@ fn execute_admitted(
                 }
             }
             let store_t0 = if trace_id != 0 { trace::now_ns() } else { 0 };
-            let (mut resp, ticket) = match state.wal() {
-                Some(wal) => state.store.execute_durable(engine, data_verb, wal),
-                None => (state.store.execute(engine, data_verb), None),
+            let (mut resp, ticket, staged) = match state.wal() {
+                Some(wal) => {
+                    let (resp, t) = state.store.execute_durable(engine, data_verb, wal);
+                    match t {
+                        Some((ticket, staged)) => (resp, Some(ticket), Some(staged)),
+                        None => (resp, None, None),
+                    }
+                }
+                // No WAL but a feed: the request path itself is the
+                // durable prefix (there is nothing stronger to wait for),
+                // so publish straight to the feed after the shard commit.
+                None if feed.is_some() => {
+                    let (resp, staged) = state.store.execute_staged(engine, data_verb);
+                    (resp, None, staged)
+                }
+                None => (state.store.execute(engine, data_verb), None, None),
             };
             let exec_ns = exec_start.elapsed().as_nanos() as u64;
             if trace_id != 0 {
@@ -458,8 +546,7 @@ fn execute_admitted(
             // The in-memory effect is already applied; if the log died,
             // say so instead of acknowledging a write that may not
             // survive a crash.
-            if let Some(ticket) = ticket {
-                let wal = state.wal().expect("ticket implies wal");
+            if let (Some(ticket), Some(wal)) = (ticket, state.wal()) {
                 let wait_t0 = if trace_id != 0 { trace::now_ns() } else { 0 };
                 let waited = wal.wait(ticket);
                 if trace_id != 0 {
@@ -478,6 +565,36 @@ fn execute_admitted(
                     resp = Response::Error {
                         message: "write-ahead log failed; write not durable",
                     };
+                }
+            } else if let (Some(feed), Some(staged)) = (feed, staged.as_ref()) {
+                // No-WAL primary: everything applied is "durable" by this
+                // deployment's definition, so it enters the feed here.
+                feed.publish(staged.shard, std::slice::from_ref(staged));
+            }
+            // Replication gate: with `min_acks` configured, the ack is
+            // withheld until enough replicas confirmed this version (or
+            // the primary turns out to be fenced — then the client must
+            // not treat the write as accepted, even though it applied
+            // locally: the promoted side's history wins).
+            if let (Some(feed), Some(staged)) = (feed, staged.as_ref()) {
+                if !matches!(resp, Response::Error { .. }) {
+                    match feed.wait_replicated(
+                        staged.shard,
+                        staged.seq,
+                        state.config.repl_ack_timeout,
+                    ) {
+                        Ok(()) => {}
+                        Err(ReplWaitError::Fenced) => {
+                            resp = Response::Error {
+                                message: "primary fenced: write not acknowledged",
+                            };
+                        }
+                        Err(ReplWaitError::Timeout) => {
+                            resp = Response::Error {
+                                message: "replication timed out: write not acknowledged",
+                            };
+                        }
+                    }
                 }
             }
             // Deadline post-check: the effect is already applied (the
@@ -505,6 +622,101 @@ fn execute_admitted(
         });
     }
     keep_open
+}
+
+/// Handles one replication verb on this connection.
+///
+/// Free function with the same disjoint-borrow shape as
+/// [`execute_admitted`]: `outbuf`, the subscription slot and the closing
+/// flag come in as separate `&mut`s from the destructured connection.
+fn handle_repl_frame(
+    engine: &Engine<'_>,
+    state: &ServerState,
+    outbuf: &mut Vec<u8>,
+    repl: &mut Option<ReplSub>,
+    closing: &mut bool,
+    body: &[u8],
+) {
+    match decode_repl_request(body) {
+        Ok(ReplRequest::Hello { versions }) => {
+            // A replica cannot feed other replicas (no chaining in this
+            // topology) — redirect the subscriber at the primary.
+            if state.is_replica() {
+                let hint = state.upstream_hint();
+                encode_response(&Response::NotPrimary { hint: &hint }, outbuf);
+                return;
+            }
+            let Some(feed) = state.repl_feed() else {
+                encode_response(
+                    &Response::Error {
+                        message: "replication not enabled (start with --repl-accept)",
+                    },
+                    outbuf,
+                );
+                *closing = true;
+                return;
+            };
+            // A second HELLO on the same connection replaces the old
+            // subscription (a replica restarting its session).
+            if let Some(old) = repl.take() {
+                feed.unsubscribe(old.id);
+            }
+            let id = feed.subscribe(&versions);
+            *repl = Some(ReplSub::new(id));
+            encode_response(
+                &Response::ReplWelcome {
+                    shards: state.store.shards() as u32,
+                },
+                outbuf,
+            );
+        }
+        Ok(ReplRequest::Ack {
+            shard,
+            version,
+            nak,
+        }) => {
+            // Acks are one-way: no response rides back. A NAK flags the
+            // shard for snapshot resync inside the feed.
+            if let (Some(sub), Some(feed)) = (repl.as_ref(), state.repl_feed()) {
+                feed.note_ack(sub.id, shard, version, nak);
+            }
+        }
+        Ok(ReplRequest::Promote { upstream }) => {
+            if upstream.is_empty() {
+                // Become primary. Idempotent; the feed re-bases to the
+                // store's live versions.
+                state.promote_to_primary(engine);
+                encode_response(&Response::Done, outbuf);
+            } else {
+                match std::str::from_utf8(upstream) {
+                    Ok(addr) if state.is_replica() => {
+                        // Repoint at a new primary; the sink thread picks
+                        // the change up on its next poll tick.
+                        state.set_upstream(addr.to_string());
+                        encode_response(&Response::Done, outbuf);
+                    }
+                    Ok(_) => encode_response(
+                        &Response::Error {
+                            message: "cannot repoint a primary; demotion is not supported",
+                        },
+                        outbuf,
+                    ),
+                    Err(_) => encode_response(
+                        &Response::Error {
+                            message: "upstream address is not valid UTF-8",
+                        },
+                        outbuf,
+                    ),
+                }
+            }
+        }
+        Err(e) => {
+            state.counters.note_malformed();
+            let message = format!("malformed replication frame: {e}");
+            encode_response(&Response::Error { message: &message }, outbuf);
+            *closing = true;
+        }
+    }
 }
 
 /// Whether `budget_us` microseconds have fully elapsed since `arrival`.

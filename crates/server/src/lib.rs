@@ -55,6 +55,7 @@
 
 mod conn;
 mod overload;
+mod repl;
 mod stats;
 mod store;
 
@@ -62,14 +63,15 @@ use std::io;
 use std::net::{Ipv4Addr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gocc_faultplane::{LoadFault, LoadFaultPlan, TransportFaultPlan};
 use gocc_optilock::{GoccConfig, GoccRuntime};
+pub use gocc_repl::{ReplConfig, ReplFeed, ReplWaitError};
 use gocc_telemetry::trace;
-use gocc_wal::{CheckpointImage, Wal};
+use gocc_wal::{CheckpointImage, DurableTap, Wal};
 pub use gocc_wal::{SyncPolicy, WalBackend, WalConfig};
 use gocc_wire::Response;
 use gocc_workloads::Engine;
@@ -133,6 +135,28 @@ pub struct ServerConfig {
     /// WAL tuning (sync policy, group-commit batch/linger, checkpoint
     /// cadence, fault-injection backend). Ignored without `data_dir`.
     pub wal: WalConfig,
+    /// Boot as a replica of this primary (`host:port`). The node serves
+    /// reads, answers writes `NotPrimary`, and applies the upstream's
+    /// version-stamped stream until promoted.
+    pub replica_of: Option<String>,
+    /// Accept replication subscribers (REPL_HELLO) as a primary. Implied
+    /// for promoted replicas; a plain primary must opt in.
+    pub repl_accept: bool,
+    /// Writes acknowledge only after this many replicas confirmed the
+    /// version (0 = replication is asynchronous, never gates acks).
+    pub repl_min_acks: usize,
+    /// Primary fencing lease: with `repl_min_acks > 0`, a primary that
+    /// has not heard an ack within this window stops acknowledging
+    /// writes — a partitioned old primary cannot diverge.
+    pub repl_lease: Duration,
+    /// How long a write waits for `repl_min_acks` confirmations before
+    /// answering with a retriable error.
+    pub repl_ack_timeout: Duration,
+    /// Seeded transport fault injection on the replication stream only
+    /// (partitions, stalls, resets between primary and replica).
+    pub repl_fault_plan: Option<Arc<TransportFaultPlan>>,
+    /// Seed for the replica's reconnect/resync backoff jitter.
+    pub repl_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -154,6 +178,13 @@ impl Default for ServerConfig {
             trace_seed: 0x9e37_79b9_7f4a_7c15,
             data_dir: None,
             wal: WalConfig::default(),
+            replica_of: None,
+            repl_accept: false,
+            repl_min_acks: 0,
+            repl_lease: Duration::from_millis(500),
+            repl_ack_timeout: Duration::from_millis(1000),
+            repl_fault_plan: None,
+            repl_seed: 0x5ca1_ab1e,
         }
     }
 }
@@ -168,6 +199,20 @@ pub struct ServerState {
     brownout: BrownoutController,
     /// The durability subsystem, when `data_dir` is configured.
     wal: Option<Arc<Wal>>,
+    /// The replication feed, when this node is (or can become) part of a
+    /// replication topology. Created at boot, before the listener opens —
+    /// a feed installed later would race the syncer and lose records.
+    repl_feed: Option<Arc<ReplFeed>>,
+    /// Whether this node currently answers writes with `NotPrimary`.
+    replica: AtomicBool,
+    /// Last known primary address: the replica's upstream, and the
+    /// redirect hint served with `NotPrimary`.
+    upstream: Mutex<String>,
+    /// Replica-side apply counters for the STATS `repl` object.
+    replica_stats: repl::ReplicaCounters,
+    /// Build identity echoed in the boot line and STATS header (the
+    /// `BENCH_GIT_REV` convention the bench artifacts already use).
+    git_rev: String,
 }
 
 impl ServerState {
@@ -179,13 +224,35 @@ impl ServerState {
         // Recovery before the listener opens: replay checkpoint + WAL tail
         // into the store, so the first accepted connection already sees
         // every write the previous process acknowledged.
+        let mut recovered_versions = vec![0u64; config.shards.max(1)];
         let wal = match &config.data_dir {
             Some(dir) => {
                 let (wal, recovered) = Wal::open(dir, config.shards.max(1), config.wal.clone())?;
                 store.restore_all(rt.htm(), &recovered.shards);
+                recovered_versions = recovered.shards.iter().map(|s| s.seq).collect();
                 Some(wal)
             }
             None => None,
+        };
+        // The feed must exist (and be tapped into the WAL) before the
+        // first write: records synced before `set_tap` are never
+        // replayed, so a late feed would stall at the gap forever.
+        let repl_feed = if config.repl_accept || config.replica_of.is_some() {
+            let feed = Arc::new(ReplFeed::new(
+                ReplConfig {
+                    shards: config.shards.max(1),
+                    min_acks: config.repl_min_acks,
+                    lease: config.repl_lease,
+                    ..ReplConfig::default()
+                },
+                &recovered_versions,
+            ));
+            if let Some(wal) = &wal {
+                wal.set_tap(Arc::clone(&feed) as Arc<dyn DurableTap>);
+            }
+            Some(feed)
+        } else {
+            None
         };
         Ok(ServerState {
             rt,
@@ -194,6 +261,11 @@ impl ServerState {
             counters: ServerCounters::new(config.workers),
             brownout: BrownoutController::new(config.brownout),
             wal,
+            repl_feed,
+            replica: AtomicBool::new(config.replica_of.is_some()),
+            upstream: Mutex::new(config.replica_of.clone().unwrap_or_default()),
+            replica_stats: repl::ReplicaCounters::default(),
+            git_rev: std::env::var("BENCH_GIT_REV").unwrap_or_else(|_| "unknown".to_string()),
             config,
         })
     }
@@ -202,6 +274,64 @@ impl ServerState {
     #[must_use]
     pub fn wal(&self) -> Option<&Arc<Wal>> {
         self.wal.as_ref()
+    }
+
+    /// The replication feed, when this node participates in replication.
+    #[must_use]
+    pub fn repl_feed(&self) -> Option<&Arc<ReplFeed>> {
+        self.repl_feed.as_ref()
+    }
+
+    /// Whether this node currently answers writes with `NotPrimary`.
+    #[must_use]
+    pub fn is_replica(&self) -> bool {
+        self.replica.load(Ordering::SeqCst)
+    }
+
+    /// `"primary"` / `"replica"` — the boot-line and STATS spelling.
+    #[must_use]
+    pub fn role_name(&self) -> &'static str {
+        if self.is_replica() {
+            "replica"
+        } else {
+            "primary"
+        }
+    }
+
+    /// Build identity (`BENCH_GIT_REV`, `"unknown"` when unset).
+    #[must_use]
+    pub fn git_rev(&self) -> &str {
+        &self.git_rev
+    }
+
+    /// Last known primary address (the replica's upstream and the
+    /// `NotPrimary` redirect hint); empty when unknown.
+    #[must_use]
+    pub fn upstream_hint(&self) -> String {
+        self.upstream.lock().map(|g| g.clone()).unwrap_or_default()
+    }
+
+    /// Records a new primary address (REPL_PROMOTE repoint, or a
+    /// `NotPrimary` hint followed by the replica's sink loop).
+    pub fn set_upstream(&self, addr: String) {
+        if let Ok(mut g) = self.upstream.lock() {
+            *g = addr;
+        }
+    }
+
+    /// Promotes this node to primary: writes are accepted from here on,
+    /// and the feed is re-based to the store's current versions — the
+    /// replica's apply path bypassed the tap, so the feed's view is
+    /// stale until this reset. Subscribers at other versions get flagged
+    /// for snapshot resync, which is exactly right after a failover.
+    pub fn promote_to_primary(&self, engine: &Engine<'_>) {
+        if !self.replica.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(feed) = &self.repl_feed {
+            feed.reset_versions(&self.store.versions(engine));
+        }
+        self.set_upstream(String::new());
     }
 
     /// The execution mode.
@@ -289,8 +419,17 @@ impl ServerState {
             Some(wal) => wal.stats_json(),
             None => "null".to_string(),
         };
+        let repl_json = match &self.repl_feed {
+            Some(_) if self.is_replica() => self
+                .replica_stats
+                .json(&self.upstream_hint(), &self.store.versions(&engine)),
+            Some(feed) => feed.stats_json(),
+            None => "null".to_string(),
+        };
         self.counters.to_json(
             mode_name(self.config.mode),
+            self.git_rev(),
+            self.role_name(),
             self.config.workers as u64,
             self.config.shards as u64,
             entries,
@@ -299,6 +438,7 @@ impl ServerState {
             &telemetry,
             &tw.finish(),
             &wal_json,
+            &repl_json,
         )
     }
 
@@ -359,6 +499,7 @@ pub struct ServerHandle {
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
+    replicator: Option<JoinHandle<()>>,
 }
 
 /// Final accounting returned by [`ServerHandle::join`].
@@ -421,6 +562,9 @@ impl ServerHandle {
         }
         if let Some(ck) = self.checkpointer {
             let _ = ck.join();
+        }
+        if let Some(rp) = self.replicator {
+            let _ = rp.join();
         }
         // Flush and close the log last — after this, everything the
         // workers acknowledged is on disk and the segments are closed.
@@ -508,12 +652,30 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         _ => None,
     };
 
+    // The replica's sink thread: dials the upstream, applies the stream,
+    // exits on shutdown or promotion.
+    let replicator = if state.config.replica_of.is_some() {
+        let rp_state = Arc::clone(&state);
+        Some(
+            std::thread::Builder::new()
+                .name("goccd-replica".into())
+                .spawn(move || repl::replica_loop(&rp_state))
+                .map_err(|e| {
+                    state.request_shutdown();
+                    e
+                })?,
+        )
+    } else {
+        None
+    };
+
     Ok(ServerHandle {
         port,
         state,
         acceptor,
         workers,
         checkpointer,
+        replicator,
     })
 }
 
@@ -602,6 +764,7 @@ fn worker_loop(worker: usize, rx: &Receiver<std::net::TcpStream>, state: &Server
                 true
             }
             PumpOutcome::Close => {
+                c.on_close(state);
                 state.counters.note_close();
                 false
             }
@@ -632,7 +795,8 @@ fn drain_and_close(conns: &mut Vec<Conn>, state: &ServerState) {
         }
         std::thread::sleep(Duration::from_micros(200));
     }
-    for _ in conns.drain(..) {
+    for c in conns.drain(..) {
+        c.on_close(state);
         state.counters.note_close();
     }
 }

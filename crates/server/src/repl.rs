@@ -1,0 +1,428 @@
+//! Server-side replication wiring: the primary's per-subscriber stream
+//! pump and the replica's upstream sink loop.
+//!
+//! The division of labor with `gocc-repl`:
+//!
+//! * [`gocc_repl::ReplFeed`] owns the protocol *state* (reorder buffer,
+//!   per-subscriber queues, resync phases, leases). It is fed by the WAL
+//!   syncer's durable tap (or directly by the request path on a no-WAL
+//!   primary) and knows nothing about sockets.
+//! * This module owns the *I/O*: [`pump_repl_out`] runs inside a
+//!   subscriber connection's normal pump quantum and turns feed state
+//!   into `REPL_BATCH` frames — snapshot chunks for resyncing shards,
+//!   incremental batches for streaming ones, count-0 heartbeats to keep
+//!   the lease audited; [`replica_loop`] is the replica's dedicated
+//!   thread that dials the upstream primary, applies what arrives, and
+//!   answers version-checked ACKs/NAKs.
+
+use std::io::Read;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gocc_repl::{resync_backoff, ReplFeed, SnapshotAssembler, SubId};
+use gocc_telemetry::{trace, JsonWriter, Span, SpanKind};
+use gocc_wire::{
+    decode_response, encode_repl_request, encode_response, write_frame, FaultyStream, FrameBuf,
+    ReplRecord, ReplRequest, Response, REPL_FLAG_FIN, REPL_FLAG_RESET, REPL_FLAG_SNAP,
+    REPL_KIND_PUT,
+};
+use gocc_workloads::Engine;
+
+use crate::store::ShardedStore;
+use crate::ServerState;
+
+/// Records per incremental `REPL_BATCH` frame (and per snapshot chunk):
+/// ~100 KiB of payload, far under the 1 MiB frame cap, so one slow frame
+/// never monopolizes a worker's write path.
+const BATCH_RECORDS: usize = 4096;
+
+/// Stop draining the feed into a subscriber connection once this many
+/// response bytes are queued — TCP backpressure, not unbounded memory.
+const OUT_HIGH_WATER: usize = 256 * 1024;
+
+/// One subscribed replica stream, owned by its connection.
+pub(crate) struct ReplSub {
+    /// The feed-side subscriber slot.
+    pub(crate) id: SubId,
+    /// Last heartbeat emission.
+    last_beat: Instant,
+}
+
+impl ReplSub {
+    pub(crate) fn new(id: SubId) -> Self {
+        ReplSub {
+            id,
+            last_beat: Instant::now(),
+        }
+    }
+}
+
+/// One pump quantum of primary→replica output for a subscribed stream:
+/// snapshot-resync any flagged shards, drain incremental batches, and
+/// emit heartbeats (count-0 batches stamped with the stream's version,
+/// which double as the version audit that keeps the lease honest).
+/// Returns whether anything was produced.
+pub(crate) fn pump_repl_out(
+    sub: &mut ReplSub,
+    feed: &ReplFeed,
+    store: &ShardedStore,
+    engine: &Engine<'_>,
+    outbuf: &mut Vec<u8>,
+    lease: Duration,
+) -> bool {
+    let mut progressed = false;
+
+    // Snapshot resync for every shard flagged Needed: arm (so records
+    // released from here on queue *behind* the snapshot), snapshot the
+    // live shard in one read section, ship it chunked, then cut the
+    // queue at the snapshot's version. If an overflow re-flagged the
+    // shard while we streamed chunks, the cut fails and the next pump
+    // restarts the resync — the replica's assembler handles a second
+    // RESET mid-flight.
+    for shard in feed.resync_needed(sub.id) {
+        feed.arm_resync(sub.id, shard);
+        let (entries, seq, now) = store.shard_at(shard as usize).snapshot(engine);
+        encode_snapshot_chunks(shard, &entries, seq, now, outbuf);
+        let _ = feed.resync_cut(sub.id, shard, seq);
+        progressed = true;
+    }
+
+    // Incremental stream, bounded by output backpressure.
+    while outbuf.len() < OUT_HIGH_WATER {
+        let batches = feed.drain(sub.id, BATCH_RECORDS);
+        if batches.is_empty() {
+            break;
+        }
+        for b in batches {
+            encode_response(
+                &Response::ReplBatch {
+                    shard: b.shard,
+                    flags: 0,
+                    prev_version: b.prev_version,
+                    now: b.now,
+                    records: b.records,
+                },
+                outbuf,
+            );
+        }
+        progressed = true;
+    }
+
+    // Heartbeats at a quarter of the lease: an idle stream still acks
+    // four times per window, so a healthy-but-quiet replica never gets
+    // the primary fenced, and a version drift surfaces as a NAK even
+    // with no traffic.
+    if sub.last_beat.elapsed() >= lease / 4 {
+        for (shard, v) in feed.heartbeat_versions(sub.id).iter().enumerate() {
+            if let Some(version) = v {
+                encode_response(
+                    &Response::ReplBatch {
+                        shard: shard as u32,
+                        flags: 0,
+                        prev_version: *version,
+                        now: 0,
+                        records: Vec::new(),
+                    },
+                    outbuf,
+                );
+                progressed = true;
+            }
+        }
+        sub.last_beat = Instant::now();
+    }
+    progressed
+}
+
+/// Encodes one shard snapshot as chunked `SNAP` batches: RESET on the
+/// first chunk, FIN on the last, `prev_version` = the snapshot's version
+/// on every chunk.
+fn encode_snapshot_chunks(
+    shard: u32,
+    entries: &[(u64, u64, u64)],
+    seq: u64,
+    now: u64,
+    outbuf: &mut Vec<u8>,
+) {
+    let chunks: Vec<&[(u64, u64, u64)]> = if entries.is_empty() {
+        vec![&[]] // an empty shard still needs its RESET|FIN frame
+    } else {
+        entries.chunks(BATCH_RECORDS).collect()
+    };
+    let nchunks = chunks.len();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let mut flags = REPL_FLAG_SNAP;
+        if i == 0 {
+            flags |= REPL_FLAG_RESET;
+        }
+        if i + 1 == nchunks {
+            flags |= REPL_FLAG_FIN;
+        }
+        let records: Vec<ReplRecord> = chunk
+            .iter()
+            .map(|&(key, value, exp)| ReplRecord {
+                kind: REPL_KIND_PUT,
+                key,
+                value,
+                exp,
+            })
+            .collect();
+        encode_response(
+            &Response::ReplBatch {
+                shard,
+                flags,
+                prev_version: seq,
+                now,
+                records,
+            },
+            outbuf,
+        );
+    }
+}
+
+/// Replica-side counters, reported in the STATS `repl` object.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicaCounters {
+    batches_applied: AtomicU64,
+    records_applied: AtomicU64,
+    naks_sent: AtomicU64,
+    snap_resyncs: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl ReplicaCounters {
+    pub(crate) fn json(&self, upstream: &str, versions: &[u64]) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("role", "replica")
+            .field_str("upstream", upstream)
+            .key("versions")
+            .begin_array();
+        for &v in versions {
+            w.u64(v);
+        }
+        w.end_array()
+            .field_u64(
+                "batches_applied",
+                self.batches_applied.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "records_applied",
+                self.records_applied.load(Ordering::Relaxed),
+            )
+            .field_u64("naks_sent", self.naks_sent.load(Ordering::Relaxed))
+            .field_u64("snap_resyncs", self.snap_resyncs.load(Ordering::Relaxed))
+            .field_u64("reconnects", self.reconnects.load(Ordering::Relaxed))
+            .end_object();
+        w.finish()
+    }
+}
+
+/// How one upstream session ended.
+enum SessionEnd {
+    /// Shutdown or promotion observed — the loop exits.
+    Stop,
+    /// The upstream changed (Promote repoint or NotPrimary hint) —
+    /// reconnect immediately, fresh backoff.
+    Repointed,
+    /// Connection or protocol failure — reconnect with backoff.
+    Failed,
+}
+
+/// The replica's sink thread: dial the upstream, announce our versions,
+/// apply what arrives, ack (or NAK) every batch, and reconnect with
+/// bounded seeded backoff when the stream dies. Exits on shutdown or
+/// once a Promote makes this node the primary.
+pub(crate) fn replica_loop(state: &Arc<ServerState>) {
+    let engine = Engine::new(&state.rt, state.config.mode);
+    let mut attempt: u32 = 0;
+    while !state.shutting_down() && state.is_replica() {
+        match run_session(state, &engine) {
+            SessionEnd::Stop => return,
+            SessionEnd::Repointed => attempt = 0,
+            SessionEnd::Failed => {
+                attempt = attempt.saturating_add(1);
+                state
+                    .replica_stats
+                    .reconnects
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let wait = resync_backoff(
+            state.config.repl_seed,
+            1,
+            attempt,
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+        );
+        let until = Instant::now() + wait;
+        while Instant::now() < until && !state.shutting_down() && state.is_replica() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
+    let upstream = state.upstream_hint();
+    let Some(addr) = upstream.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        return SessionEnd::Failed;
+    };
+    let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+        return SessionEnd::Failed;
+    };
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: every timeout tick re-checks shutdown, role and
+    // upstream, so promotion and repointing are observed promptly.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return SessionEnd::Failed;
+    }
+    let mut stream = FaultyStream::maybe(stream, state.config.repl_fault_plan.clone());
+
+    let mut frame = Vec::new();
+    let versions = state.store.versions(engine);
+    encode_repl_request(&ReplRequest::Hello { versions }, &mut frame);
+    if write_frame(&mut stream, &frame).is_err() {
+        return SessionEnd::Failed;
+    }
+
+    let mut inbuf = FrameBuf::new();
+    let mut assembler = SnapshotAssembler::new();
+    let mut chunk = [0u8; 4096];
+    let counters = &state.replica_stats;
+    loop {
+        if state.shutting_down() || !state.is_replica() {
+            return SessionEnd::Stop;
+        }
+        if state.upstream_hint() != upstream {
+            return SessionEnd::Repointed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return SessionEnd::Failed,
+            Ok(n) => inbuf.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return SessionEnd::Failed,
+        }
+        loop {
+            let body = match inbuf.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(_) => return SessionEnd::Failed,
+            };
+            let resp = match decode_response(body) {
+                Ok(r) => r,
+                Err(_) => return SessionEnd::Failed,
+            };
+            match resp {
+                Response::ReplWelcome { shards } => {
+                    if shards as usize != state.store.shards() {
+                        // Topology mismatch is permanent; stop rather
+                        // than reconnect-spin against it.
+                        return SessionEnd::Stop;
+                    }
+                }
+                Response::ReplBatch {
+                    shard,
+                    flags,
+                    prev_version,
+                    now,
+                    records,
+                } => {
+                    let shard_idx = shard as usize;
+                    if shard_idx >= state.store.shards() {
+                        return SessionEnd::Failed;
+                    }
+                    let ack = if flags & REPL_FLAG_SNAP != 0 {
+                        match assembler.feed(shard, flags, prev_version, &records) {
+                            Some((entries, version)) => {
+                                state
+                                    .store
+                                    .shard_at(shard_idx)
+                                    .replace(engine, &entries, version, now);
+                                counters.snap_resyncs.fetch_add(1, Ordering::Relaxed);
+                                Some(ReplRequest::Ack {
+                                    shard,
+                                    version,
+                                    nak: false,
+                                })
+                            }
+                            None => None, // mid-snapshot chunk: ack at FIN
+                        }
+                    } else {
+                        let trace_id = state.rt.tracer().begin_request();
+                        let t0 = if trace_id != 0 { trace::now_ns() } else { 0 };
+                        let applied = state.store.apply_repl_batch(
+                            engine,
+                            shard_idx,
+                            prev_version,
+                            now,
+                            &records,
+                        );
+                        if trace_id != 0 {
+                            state.rt.tracer().push(Span {
+                                trace_id,
+                                kind: SpanKind::ReplApply,
+                                start_ns: t0,
+                                dur_ns: trace::now_ns().saturating_sub(t0),
+                                a: u64::from(shard),
+                                b: prev_version,
+                            });
+                        }
+                        match applied {
+                            Ok(version) => {
+                                counters.batches_applied.fetch_add(1, Ordering::Relaxed);
+                                counters
+                                    .records_applied
+                                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                                Some(ReplRequest::Ack {
+                                    shard,
+                                    version,
+                                    nak: false,
+                                })
+                            }
+                            Err(actual) => {
+                                // The OCC conflict on the wire: our version
+                                // is not what the stream assumed. NAK with
+                                // where we actually are; the primary
+                                // resyncs us from a snapshot.
+                                counters.naks_sent.fetch_add(1, Ordering::Relaxed);
+                                Some(ReplRequest::Ack {
+                                    shard,
+                                    version: actual,
+                                    nak: true,
+                                })
+                            }
+                        }
+                    };
+                    if let Some(ack) = ack {
+                        frame.clear();
+                        encode_repl_request(&ack, &mut frame);
+                        if write_frame(&mut stream, &frame).is_err() {
+                            return SessionEnd::Failed;
+                        }
+                    }
+                }
+                Response::NotPrimary { hint } => {
+                    // The node we dialed is itself a replica. Follow the
+                    // hint if it has one.
+                    if !hint.is_empty() && hint != upstream {
+                        state.set_upstream(hint.to_string());
+                        return SessionEnd::Repointed;
+                    }
+                    return SessionEnd::Failed;
+                }
+                Response::Error { .. } => return SessionEnd::Failed,
+                _ => return SessionEnd::Failed,
+            }
+        }
+    }
+}

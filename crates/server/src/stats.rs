@@ -280,16 +280,20 @@ impl ServerCounters {
         &self.per_worker
     }
 
-    /// Renders the STATS document. `telemetry_json`, `trace_json` and
-    /// `wal_json` are spliced in raw (a rendered
+    /// Renders the STATS document. `telemetry_json`, `trace_json`,
+    /// `wal_json` and `repl_json` are spliced in raw (a rendered
     /// [`gocc_telemetry::TelemetryReport`] / flight-recorder counter
-    /// object / WAL counter object, or `null`); `health` and
-    /// `transitions` come from the brownout controller.
+    /// object / WAL counter object / replication object, or `null`);
+    /// `health` and `transitions` come from the brownout controller;
+    /// `git_rev` and `role` identify the build and the node's current
+    /// replication role.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn to_json(
         &self,
         mode: &str,
+        git_rev: &str,
+        role: &str,
         workers: u64,
         shards: u64,
         entries: u64,
@@ -298,11 +302,14 @@ impl ServerCounters {
         telemetry_json: &str,
         trace_json: &str,
         wal_json: &str,
+        repl_json: &str,
     ) -> String {
         let mut w = JsonWriter::new();
         w.begin_object()
             .field_str("server", "goccd")
             .field_str("mode", mode)
+            .field_str("git_rev", git_rev)
+            .field_str("role", role)
             .field_u64("workers", workers)
             .field_u64("shards", shards)
             .field_u64("conns_accepted", self.accepted())
@@ -357,6 +364,7 @@ impl ServerCounters {
         }
         w.end_array()
             .field_u64("entries", entries)
+            .field_raw("repl", repl_json)
             .field_raw("wal", wal_json)
             .field_raw("trace", trace_json)
             .field_raw("telemetry", telemetry_json)
@@ -388,6 +396,8 @@ mod tests {
         c.note_request(&Request::Trace { max: 64 });
         let json = c.to_json(
             "gocc",
+            "deadbeef",
+            "primary",
             2,
             4,
             17,
@@ -396,9 +406,16 @@ mod tests {
             "null",
             r#"{"sample_n":64}"#,
             r#"{"enabled":true,"fsyncs":3}"#,
+            r#"{"role":"primary","subscribers":0}"#,
         );
         let v = JsonValue::parse(&json).expect("stats JSON parses");
         assert_eq!(v.get("mode").unwrap().as_str(), Some("gocc"));
+        assert_eq!(v.get("git_rev").unwrap().as_str(), Some("deadbeef"));
+        assert_eq!(v.get("role").unwrap().as_str(), Some("primary"));
+        assert_eq!(
+            v.get("repl").unwrap().get("role").unwrap().as_str(),
+            Some("primary")
+        );
         assert_eq!(v.get("conns_accepted").unwrap().as_f64(), Some(2.0));
         let reqs = v.get("requests").unwrap();
         assert_eq!(reqs.get("total").unwrap().as_f64(), Some(5.0));
@@ -438,11 +455,14 @@ mod tests {
         assert_eq!(c.request_latency().snapshot().count, 1);
         let json = c.to_json(
             "lock",
+            "unknown",
+            "replica",
             2,
             4,
             0,
             "shedding",
             [1, 1, 0, 0],
+            "null",
             "null",
             "null",
             "null",

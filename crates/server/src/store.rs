@@ -9,8 +9,8 @@
 
 use gocc_txds::{fnv1a, mix64};
 use gocc_wal::{ShardImage, Staged, Wal, WalKind, WalTicket};
-use gocc_wire::{Request, Response};
-use gocc_workloads::gocache::Cache;
+use gocc_wire::{ReplRecord, Request, Response, REPL_KIND_DEL, REPL_KIND_PUT};
+use gocc_workloads::gocache::{Cache, CacheOp};
 use gocc_workloads::Engine;
 
 /// A fixed set of independently locked cache shards.
@@ -48,6 +48,20 @@ impl ShardedStore {
     #[must_use]
     pub fn shard_for(&self, h: u64) -> &Cache {
         &self.shards[self.shard_index_for(h)]
+    }
+
+    /// The shard at `index` — the replication paths address shards by the
+    /// index the wire protocol carries, not by key.
+    #[must_use]
+    pub fn shard_at(&self, index: usize) -> &Cache {
+        &self.shards[index]
+    }
+
+    /// Current version (committed sequence number) of every shard, each
+    /// read in its own read section.
+    #[must_use]
+    pub fn versions(&self, engine: &Engine<'_>) -> Vec<u64> {
+        self.shards.iter().map(|s| s.version(engine)).collect()
     }
 
     /// Total live entries across shards (one read section per shard).
@@ -116,47 +130,49 @@ impl ShardedStore {
         }
     }
 
-    /// Executes one mutating request with WAL staging: the shard's
-    /// critical section assigns the commit sequence number, the post-image
-    /// record is staged into the shard's commit pipe, and the returned
-    /// ticket is what the connection must [`Wal::wait`] on **before**
-    /// encoding the acknowledgement — the ack-after-barrier ordering is
-    /// the entire durability contract. Read verbs return no ticket.
+    /// Executes one mutating request, returning the committed post-image
+    /// record alongside the response. The shard's critical section assigns
+    /// the commit sequence number; the record is what WAL staging and the
+    /// replication feed both consume. Read and control verbs return no
+    /// record.
     #[must_use]
-    pub fn execute_durable(
+    pub fn execute_staged(
         &self,
         engine: &Engine<'_>,
         req: &Request<'_>,
-        wal: &Wal,
-    ) -> (Response<'static>, Option<WalTicket>) {
+    ) -> (Response<'static>, Option<Staged>) {
         match *req {
             Request::Set { key, value, ttl } => {
                 let h = fnv1a(key);
                 let shard = self.shard_index_for(h);
                 let (seq, exp) = self.shards[shard].set_seq(engine, h, value, ttl);
-                let ticket = wal.stage(Staged {
-                    shard: shard as u32,
-                    seq,
-                    kind: WalKind::Put,
-                    key: h,
-                    value,
-                    exp,
-                });
-                (Response::Done, Some(ticket))
+                (
+                    Response::Done,
+                    Some(Staged {
+                        shard: shard as u32,
+                        seq,
+                        kind: WalKind::Put,
+                        key: h,
+                        value,
+                        exp,
+                    }),
+                )
             }
             Request::Del { key } => {
                 let h = fnv1a(key);
                 let shard = self.shard_index_for(h);
                 let (existed, seq) = self.shards[shard].delete_seq(engine, h);
-                let ticket = wal.stage(Staged {
-                    shard: shard as u32,
-                    seq,
-                    kind: WalKind::Del,
-                    key: h,
-                    value: 0,
-                    exp: 0,
-                });
-                (Response::Deleted { existed }, Some(ticket))
+                (
+                    Response::Deleted { existed },
+                    Some(Staged {
+                        shard: shard as u32,
+                        seq,
+                        kind: WalKind::Del,
+                        key: h,
+                        value: 0,
+                        exp: 0,
+                    }),
+                )
             }
             Request::Incr { key, delta } => {
                 let h = fnv1a(key);
@@ -164,18 +180,54 @@ impl ShardedStore {
                 let (value, seq) = self.shards[shard].incr_seq(engine, h, delta);
                 // Post-image of the value only; replay preserves whatever
                 // expiration the key carries (`WalKind::PutVal`).
-                let ticket = wal.stage(Staged {
-                    shard: shard as u32,
-                    seq,
-                    kind: WalKind::PutVal,
-                    key: h,
-                    value,
-                    exp: 0,
-                });
-                (Response::Counter { value }, Some(ticket))
+                (
+                    Response::Counter { value },
+                    Some(Staged {
+                        shard: shard as u32,
+                        seq,
+                        kind: WalKind::PutVal,
+                        key: h,
+                        value,
+                        exp: 0,
+                    }),
+                )
             }
             _ => (self.execute(engine, req), None),
         }
+    }
+
+    /// [`ShardedStore::execute_staged`] plus WAL staging: the record goes
+    /// into the shard's commit pipe, and the returned ticket is what the
+    /// connection must [`Wal::wait`] on **before** encoding the
+    /// acknowledgement — the ack-after-barrier ordering is the entire
+    /// durability contract. Read verbs return no ticket.
+    #[must_use]
+    pub fn execute_durable(
+        &self,
+        engine: &Engine<'_>,
+        req: &Request<'_>,
+        wal: &Wal,
+    ) -> (Response<'static>, Option<(WalTicket, Staged)>) {
+        let (resp, staged) = self.execute_staged(engine, req);
+        let ticket = staged.map(|record| (wal.stage(record), record));
+        (resp, ticket)
+    }
+
+    /// Applies one replicated batch to the shard it addresses, with the
+    /// version check done inside the shard's critical section. `Ok(new)`
+    /// means every record applied and the shard is at `new`;
+    /// `Err(actual)` is the version-gap conflict the replica answers with
+    /// a NAK.
+    pub fn apply_repl_batch(
+        &self,
+        engine: &Engine<'_>,
+        shard: usize,
+        prev_version: u64,
+        now: u64,
+        records: &[ReplRecord],
+    ) -> Result<u64, u64> {
+        let ops: Vec<CacheOp> = records.iter().map(record_to_op).collect();
+        self.shards[shard].apply_versioned(engine, prev_version, now, &ops)
     }
 
     /// Snapshots every shard for a checkpoint — each shard in one read
@@ -200,6 +252,24 @@ impl ShardedStore {
         for (shard, img) in self.shards.iter().zip(images) {
             shard.restore(rt, &img.entries, img.seq, img.now);
         }
+    }
+}
+
+/// Converts a wire replication record into the cache's apply op. Unknown
+/// kinds (a newer primary) degrade to a value-preserving put rather than
+/// a panic — the decoder already rejects them, this is defense in depth.
+fn record_to_op(r: &ReplRecord) -> CacheOp {
+    match r.kind {
+        REPL_KIND_PUT => CacheOp::Put {
+            key: r.key,
+            value: r.value,
+            exp: r.exp,
+        },
+        REPL_KIND_DEL => CacheOp::Del { key: r.key },
+        _ => CacheOp::PutVal {
+            key: r.key,
+            value: r.value,
+        },
     }
 }
 

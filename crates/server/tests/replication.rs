@@ -1,0 +1,499 @@
+//! End-to-end replication tests: a primary and a replica `goccd`, wired
+//! over real sockets, with version-checked batch apply, snapshot resync
+//! for late joiners, synchronous-ack gating, promotion, and lease-based
+//! fencing.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gocc_server::{spawn, Mode, ServerConfig, ServerHandle};
+use gocc_telemetry::JsonValue;
+use gocc_wire::{
+    decode_response, encode_repl_request, encode_request, read_frame, write_frame, ReplRequest,
+    Request, Response,
+};
+
+/// Blocking request/response helper over one client connection.
+struct Client {
+    stream: TcpStream,
+    wirebuf: Vec<u8>,
+    respbuf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            stream,
+            wirebuf: Vec::new(),
+            respbuf: Vec::new(),
+        }
+    }
+
+    fn call(&mut self, req: &Request<'_>) -> Response<'_> {
+        self.wirebuf.clear();
+        encode_request(req, &mut self.wirebuf);
+        write_frame(&mut self.stream, &self.wirebuf).expect("send");
+        assert!(
+            read_frame(&mut self.stream, &mut self.respbuf).expect("recv"),
+            "server closed mid-conversation"
+        );
+        decode_response(&self.respbuf).expect("well-formed response")
+    }
+
+    /// Sends a replication verb (the operator plane: REPL_PROMOTE).
+    fn repl_call(&mut self, req: &ReplRequest<'_>) -> Response<'_> {
+        self.wirebuf.clear();
+        encode_repl_request(req, &mut self.wirebuf);
+        write_frame(&mut self.stream, &self.wirebuf).expect("send");
+        assert!(
+            read_frame(&mut self.stream, &mut self.respbuf).expect("recv"),
+            "server closed mid-conversation"
+        );
+        decode_response(&self.respbuf).expect("well-formed response")
+    }
+
+    fn stats(&mut self) -> JsonValue {
+        match self.call(&Request::Stats) {
+            Response::Stats { json } => JsonValue::parse(json).expect("stats JSON parses"),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gocc-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn primary_config(mode: Mode) -> ServerConfig {
+    ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 2048,
+        repl_accept: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn replica_config(mode: Mode, primary_port: u16) -> ServerConfig {
+    ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 2048,
+        replica_of: Some(format!("127.0.0.1:{primary_port}")),
+        ..ServerConfig::default()
+    }
+}
+
+/// Polls the replica until `key` reads back as `want`, or panics after
+/// `deadline` — the bounded-staleness assertion.
+fn await_value(replica: &mut Client, key: &[u8], want: Response<'_>, deadline: Duration) {
+    let until = Instant::now() + deadline;
+    loop {
+        let got = replica.call(&Request::Get { key });
+        if got == want {
+            return;
+        }
+        assert!(
+            Instant::now() < until,
+            "replica did not converge on {:?} within {:?} (last: {:?})",
+            String::from_utf8_lossy(key),
+            deadline,
+            got,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn shutdown(handle: ServerHandle) {
+    handle.request_shutdown();
+    let _ = handle.join();
+}
+
+/// Writes stream from primary to replica; the replica serves them, and
+/// redirects writes at the primary with a hint. Both execution modes.
+#[test]
+fn replica_follows_the_primary_and_redirects_writes() {
+    gocc_gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        let primary = spawn(primary_config(mode)).expect("spawn primary");
+        let replica = spawn(replica_config(mode, primary.port())).expect("spawn replica");
+        let mut p = Client::connect(primary.port());
+        let mut r = Client::connect(replica.port());
+
+        for i in 0..100u64 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                p.call(&Request::Set {
+                    key: key.as_bytes(),
+                    value: i * 3,
+                    ttl: 0
+                }),
+                Response::Done
+            );
+        }
+        assert_eq!(
+            p.call(&Request::Del { key: b"key-7" }),
+            Response::Deleted { existed: true }
+        );
+        assert_eq!(
+            p.call(&Request::Incr {
+                key: b"ctr",
+                delta: 9
+            }),
+            Response::Counter { value: 9 }
+        );
+
+        // Bounded staleness: the whole batch converges on the replica.
+        await_value(
+            &mut r,
+            b"ctr",
+            Response::Value {
+                found: true,
+                value: 9,
+            },
+            Duration::from_secs(5),
+        );
+        await_value(
+            &mut r,
+            b"key-7",
+            Response::Value {
+                found: false,
+                value: 0,
+            },
+            Duration::from_secs(5),
+        );
+        for i in 0..100u64 {
+            if i == 7 {
+                continue;
+            }
+            let key = format!("key-{i}");
+            await_value(
+                &mut r,
+                key.as_bytes(),
+                Response::Value {
+                    found: true,
+                    value: i * 3,
+                },
+                Duration::from_secs(5),
+            );
+        }
+
+        // Writes at the replica are redirected, with the primary's
+        // address as the hint.
+        let hint = format!("127.0.0.1:{}", primary.port());
+        assert_eq!(
+            r.call(&Request::Set {
+                key: b"nope",
+                value: 1,
+                ttl: 0
+            }),
+            Response::NotPrimary { hint: &hint }
+        );
+        assert_eq!(
+            r.call(&Request::Del { key: b"nope" }),
+            Response::NotPrimary { hint: &hint }
+        );
+
+        // Roles and the repl object surface in STATS on both sides.
+        let ps = p.stats();
+        assert_eq!(ps.get("role").unwrap().as_str(), Some("primary"));
+        let repl = ps.get("repl").unwrap();
+        assert_eq!(repl.get("role").unwrap().as_str(), Some("primary"));
+        assert!(repl.get("batches_sent").unwrap().as_f64().unwrap() >= 1.0);
+        let rs = r.stats();
+        assert_eq!(rs.get("role").unwrap().as_str(), Some("replica"));
+        let repl = rs.get("repl").unwrap();
+        assert_eq!(repl.get("upstream").unwrap().as_str(), Some(hint.as_str()));
+        assert!(repl.get("batches_applied").unwrap().as_f64().unwrap() >= 1.0);
+
+        shutdown(replica);
+        shutdown(primary);
+    }
+}
+
+/// A replica that joins after the primary already has state (here: a
+/// WAL-backed primary, so the stream rides the durable tap) must catch
+/// up via snapshot resync and then follow incrementally.
+#[test]
+fn late_replica_catches_up_via_snapshot_resync() {
+    gocc_gosync::set_procs(8);
+    let dir = temp_dir("late-join");
+    let mut config = primary_config(Mode::Gocc);
+    config.data_dir = Some(dir.clone());
+    config.wal.fsync_wait_us = 50;
+    let primary = spawn(config).expect("spawn primary");
+    let mut p = Client::connect(primary.port());
+
+    // State exists before any replica subscribes: the subscriber starts
+    // behind and must resync from a live snapshot, not the stream.
+    for i in 0..150u64 {
+        let key = format!("pre-{i}");
+        assert_eq!(
+            p.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i,
+                ttl: 0
+            }),
+            Response::Done
+        );
+    }
+
+    let replica = spawn(replica_config(Mode::Gocc, primary.port())).expect("spawn replica");
+    let mut r = Client::connect(replica.port());
+    for i in [0u64, 73, 149] {
+        let key = format!("pre-{i}");
+        await_value(
+            &mut r,
+            key.as_bytes(),
+            Response::Value {
+                found: true,
+                value: i,
+            },
+            Duration::from_secs(5),
+        );
+    }
+
+    // And the stream keeps flowing after the resync.
+    assert_eq!(
+        p.call(&Request::Set {
+            key: b"post",
+            value: 424_242,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    await_value(
+        &mut r,
+        b"post",
+        Response::Value {
+            found: true,
+            value: 424_242,
+        },
+        Duration::from_secs(5),
+    );
+    let rs = r.stats();
+    let resyncs = rs
+        .get("repl")
+        .unwrap()
+        .get("snap_resyncs")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(resyncs >= 1.0, "late joiner must have snapshot-resynced");
+
+    shutdown(replica);
+    shutdown(primary);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `min_acks: 1`, an acknowledged write is already applied on the
+/// replica — reading it there immediately must succeed, no polling.
+#[test]
+fn synchronous_acks_are_immediately_readable_on_the_replica() {
+    gocc_gosync::set_procs(8);
+    let mut config = primary_config(Mode::Gocc);
+    config.repl_min_acks = 1;
+    config.repl_lease = Duration::from_millis(500);
+    config.repl_ack_timeout = Duration::from_secs(5);
+    let primary = spawn(config).expect("spawn primary");
+    let replica = spawn(replica_config(Mode::Gocc, primary.port())).expect("spawn replica");
+    let mut p = Client::connect(primary.port());
+    let mut r = Client::connect(replica.port());
+
+    // With `min_acks: 1` the primary is fenced until the replica's
+    // subscription lands — wait for the attach before asserting acks.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let subs = p
+            .stats()
+            .get("repl")
+            .and_then(|repl| repl.get("subscribers"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if subs >= 1.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never subscribed to the primary"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    for i in 0..50u64 {
+        let key = format!("sync-{i}");
+        assert_eq!(
+            p.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i + 1,
+                ttl: 0
+            }),
+            Response::Done,
+            "synchronous write must be acknowledged"
+        );
+        // No await: the ack implies the replica applied it.
+        assert_eq!(
+            r.call(&Request::Get {
+                key: key.as_bytes()
+            }),
+            Response::Value {
+                found: true,
+                value: i + 1
+            },
+            "acked write missing on the replica — ack-before-apply bug"
+        );
+    }
+
+    shutdown(replica);
+    shutdown(primary);
+}
+
+/// REPL_PROMOTE with an empty upstream turns the replica into a primary:
+/// role flips, writes are accepted, and the feed is re-based.
+#[test]
+fn promotion_turns_the_replica_into_a_writable_primary() {
+    gocc_gosync::set_procs(8);
+    let primary = spawn(primary_config(Mode::Gocc)).expect("spawn primary");
+    let replica = spawn(replica_config(Mode::Gocc, primary.port())).expect("spawn replica");
+    let mut p = Client::connect(primary.port());
+    let mut r = Client::connect(replica.port());
+
+    assert_eq!(
+        p.call(&Request::Set {
+            key: b"before",
+            value: 1,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    await_value(
+        &mut r,
+        b"before",
+        Response::Value {
+            found: true,
+            value: 1,
+        },
+        Duration::from_secs(5),
+    );
+
+    // Writes rejected before promotion, accepted after.
+    assert!(matches!(
+        r.call(&Request::Set {
+            key: b"after",
+            value: 2,
+            ttl: 0
+        }),
+        Response::NotPrimary { .. }
+    ));
+    assert_eq!(
+        r.repl_call(&ReplRequest::Promote { upstream: b"" }),
+        Response::Done
+    );
+    assert_eq!(
+        r.call(&Request::Set {
+            key: b"after",
+            value: 2,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    assert_eq!(
+        r.call(&Request::Get { key: b"before" }),
+        Response::Value {
+            found: true,
+            value: 1
+        },
+        "promotion must keep the replicated state"
+    );
+    assert_eq!(r.stats().get("role").unwrap().as_str(), Some("primary"));
+
+    shutdown(replica);
+    shutdown(primary);
+}
+
+/// Lease fencing: a primary that requires an ack and has no live replica
+/// rejects writes — at boot (no subscriber yet), then again after its
+/// only replica goes away. In between, with the replica attached, writes
+/// flow.
+#[test]
+fn fenced_primary_rejects_writes_without_live_replicas() {
+    gocc_gosync::set_procs(8);
+    let mut config = primary_config(Mode::Gocc);
+    config.repl_min_acks = 1;
+    config.repl_lease = Duration::from_millis(200);
+    config.repl_ack_timeout = Duration::from_secs(5);
+    let primary = spawn(config).expect("spawn primary");
+    let mut p = Client::connect(primary.port());
+
+    // No replica has ever connected: fenced from the start.
+    assert!(
+        matches!(
+            p.call(&Request::Set {
+                key: b"k",
+                value: 1,
+                ttl: 0
+            }),
+            Response::Error { .. }
+        ),
+        "write must be fenced with zero live replicas"
+    );
+
+    // Attach the replica; writes unfence once the stream acks.
+    let replica = spawn(replica_config(Mode::Gocc, primary.port())).expect("spawn replica");
+    let until = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = p.call(&Request::Set {
+            key: b"k",
+            value: 2,
+            ttl: 0,
+        });
+        if resp == Response::Done {
+            break;
+        }
+        assert!(Instant::now() < until, "primary never unfenced: {resp:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Partition (here: kill) the only replica. Once the lease expires the
+    // primary must stop acknowledging writes and say why.
+    shutdown(replica);
+    let until = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = p.call(&Request::Set {
+            key: b"k",
+            value: 3,
+            ttl: 0,
+        });
+        if matches!(resp, Response::Error { .. }) {
+            break;
+        }
+        assert!(
+            Instant::now() < until,
+            "primary kept acking past the lease: {resp:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let fenced = p
+        .stats()
+        .get("repl")
+        .unwrap()
+        .get("fenced_rejects")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(fenced >= 1.0, "fenced rejects must be counted");
+
+    shutdown(primary);
+}

@@ -61,10 +61,14 @@ pub enum SpanKind {
     /// Wait for the WAL group-commit barrier to cover a staged write;
     /// `a` = the awaited per-shard ticket.
     WalCommit = 8,
+    /// Replica apply of one replication batch; `a` = shard,
+    /// `b` = the batch's `prev_version` (so a NAKed gap is visible as a
+    /// mismatch against the neighboring spans).
+    ReplApply = 9,
 }
 
 /// Names indexed by `SpanKind as u8`.
-pub const SPAN_KIND_NAMES: [&str; 9] = [
+pub const SPAN_KIND_NAMES: [&str; 10] = [
     "wire_decode",
     "queue_wait",
     "shed",
@@ -74,6 +78,7 @@ pub const SPAN_KIND_NAMES: [&str; 9] = [
     "store_op",
     "response_write",
     "wal_commit",
+    "repl_apply",
 ];
 
 /// Perceptron span `a`-payload values.
@@ -100,6 +105,7 @@ impl SpanKind {
             6 => SpanKind::StoreOp,
             7 => SpanKind::ResponseWrite,
             8 => SpanKind::WalCommit,
+            9 => SpanKind::ReplApply,
             _ => SpanKind::WireDecode,
         }
     }

@@ -31,7 +31,7 @@
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -158,6 +158,27 @@ impl From<io::Error> for WalError {
     }
 }
 
+/// Observer of the WAL's durable prefix. The syncer invokes
+/// [`DurableTap::publish`] once per shard per pass, strictly **after**
+/// the pass's durability barrier (under `off`, after the append — the
+/// ack there makes no durability promise either), so everything a tap
+/// sees is exactly what an acknowledgement may promise. Records within
+/// one call are in pipe order, which is *not* necessarily `seq` order —
+/// staging happens outside the critical section — so consumers that
+/// need commit order (the replication feed) reorder by `Staged::seq`.
+pub trait DurableTap: Send + Sync {
+    /// A batch of shard `shard`'s records just became part of the
+    /// durable prefix.
+    fn publish(&self, shard: u32, records: &[Staged]);
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock. A panicking
+/// peer must degrade the WAL (the crashed flag handles that), never
+/// cascade panics into worker or syncer threads.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Records of retained capacity each pipe (and its syncer-side swap
 /// partner) starts with. Staging stays allocation-free as long as the
 /// per-shard backlog between fsync passes fits; beyond that the Vec
@@ -227,6 +248,11 @@ pub struct Wal {
     /// Checkpoint attempt counter (fault-schedule key).
     ckpt_idx: AtomicU64,
     syncer: Mutex<Option<thread::JoinHandle<()>>>,
+    /// Durable-prefix observer (the replication feed). Bumping `tap_gen`
+    /// tells the syncer to re-read the slot, so the steady-state pass
+    /// pays one relaxed load, not a lock.
+    tap: Mutex<Option<Arc<dyn DurableTap>>>,
+    tap_gen: AtomicU64,
     counters: WalCounters,
     recovery: RecoveryStats,
 }
@@ -274,6 +300,8 @@ impl Wal {
             segments: Mutex::new(gens),
             ckpt_idx: AtomicU64::new(0),
             syncer: Mutex::new(None),
+            tap: Mutex::new(None),
+            tap_gen: AtomicU64::new(0),
             counters,
             recovery: recovered.stats,
         });
@@ -283,8 +311,17 @@ impl Wal {
                 .name("wal-syncer".into())
                 .spawn(move || syncer_loop(&w, file))?
         };
-        *wal.syncer.lock().unwrap() = Some(handle);
+        *lock_unpoisoned(&wal.syncer) = Some(handle);
         Ok((wal, recovered))
+    }
+
+    /// Installs (or replaces) the durable-prefix tap. The syncer picks
+    /// the change up on its next pass; records already past their
+    /// barrier when the tap lands are not replayed — a consumer that
+    /// needs history resyncs from a snapshot, same as after a gap.
+    pub fn set_tap(&self, tap: Arc<dyn DurableTap>) {
+        *lock_unpoisoned(&self.tap) = Some(tap);
+        self.tap_gen.fetch_add(1, Ordering::Release);
     }
 
     /// The configured ack-release policy.
@@ -312,7 +349,7 @@ impl Wal {
     pub fn stage(&self, rec: Staged) -> WalTicket {
         let shard = rec.shard;
         let ticket = {
-            let mut p = self.pipes[shard as usize].lock().unwrap();
+            let mut p = lock_unpoisoned(&self.pipes[shard as usize]);
             p.records.push(rec);
             p.staged += 1;
             p.staged
@@ -344,7 +381,7 @@ impl Wal {
         if self.durable[shard].load(Ordering::Acquire) >= t.ticket {
             return Ok(());
         }
-        let mut guard = self.ack_mu.lock().unwrap();
+        let mut guard = lock_unpoisoned(&self.ack_mu);
         loop {
             if self.durable[shard].load(Ordering::Acquire) >= t.ticket {
                 return Ok(());
@@ -356,7 +393,7 @@ impl Wal {
             guard = self
                 .ack_cv
                 .wait_timeout(guard, Duration::from_millis(2))
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
     }
@@ -367,7 +404,7 @@ impl Wal {
     pub fn flush(&self) -> Result<u64, WalError> {
         let token = self.flush_req.fetch_add(1, Ordering::SeqCst) + 1;
         self.wake();
-        let mut guard = self.ack_mu.lock().unwrap();
+        let mut guard = lock_unpoisoned(&self.ack_mu);
         loop {
             if self.flush_done.load(Ordering::SeqCst) >= token {
                 return Ok(self.counters.durable_lsn.load(Ordering::Relaxed));
@@ -378,7 +415,7 @@ impl Wal {
             guard = self
                 .ack_cv
                 .wait_timeout(guard, Duration::from_millis(2))
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
     }
@@ -401,7 +438,7 @@ impl Wal {
     pub fn begin_checkpoint(&self) -> Result<(u64, Vec<u64>), WalError> {
         let token = self.rotate_req.fetch_add(1, Ordering::SeqCst) + 1;
         self.wake();
-        let mut guard = self.ack_mu.lock().unwrap();
+        let mut guard = lock_unpoisoned(&self.ack_mu);
         loop {
             if self.rotate_done.load(Ordering::SeqCst) >= token {
                 break;
@@ -412,12 +449,17 @@ impl Wal {
             guard = self
                 .ack_cv
                 .wait_timeout(guard, Duration::from_millis(2))
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
         drop(guard);
-        let segs = self.segments.lock().unwrap();
-        let active = *segs.last().expect("segment list never empty");
+        let segs = lock_unpoisoned(&self.segments);
+        let Some(&active) = segs.last() else {
+            // An empty segment list means the syncer died mid-rotation;
+            // degrade instead of panicking in the checkpointer thread.
+            drop(segs);
+            return Err(self.poison());
+        };
         let retired = segs[..segs.len() - 1].to_vec();
         Ok((active, retired))
     }
@@ -468,10 +510,7 @@ impl Wal {
             }
             let _ = std::fs::remove_file(segment_path(&self.dir, gen));
         }
-        self.segments
-            .lock()
-            .unwrap()
-            .retain(|&g| g >= image.base_gen);
+        lock_unpoisoned(&self.segments).retain(|&g| g >= image.base_gen);
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.counters
             .checkpoint_entries
@@ -499,14 +538,14 @@ impl Wal {
     pub fn shutdown(&self) {
         self.shutdown_flag.store(true, Ordering::SeqCst);
         self.wake();
-        let handle = self.syncer.lock().unwrap().take();
+        let handle = lock_unpoisoned(&self.syncer).take();
         if let Some(h) = handle {
             let _ = h.join();
         }
     }
 
     fn wake(&self) {
-        let mut w = self.wake_mu.lock().unwrap();
+        let mut w = lock_unpoisoned(&self.wake_mu);
         *w = true;
         drop(w);
         self.wake_cv.notify_one();
@@ -601,6 +640,9 @@ fn syncer_loop(wal: &Wal, mut file: Box<dyn WalFile>) {
     let mut rotate_handled = 0u64;
     // Bytes appended to the active segment; the barrier target.
     let mut file_bytes = 0u64;
+    // Durable-prefix tap, cached; re-read only when the generation bumps.
+    let mut tap: Option<Arc<dyn DurableTap>> = None;
+    let mut tap_seen = 0u64;
 
     // A short fsync reports success without covering everything the
     // syncer appended, so a single `sync` call is not a barrier — this
@@ -640,13 +682,13 @@ fn syncer_loop(wal: &Wal, mut file: Box<dyn WalFile>) {
                 wal.syncer_idle.store(true, Ordering::SeqCst);
                 total = drain(wal, &mut scratch, &mut drained_to);
                 if total == 0 {
-                    let guard = wal.wake_mu.lock().unwrap();
+                    let guard = lock_unpoisoned(&wal.wake_mu);
                     let mut guard = if *guard {
                         guard
                     } else {
                         wal.wake_cv
                             .wait_timeout(guard, Duration::from_micros(500))
-                            .unwrap()
+                            .unwrap_or_else(PoisonError::into_inner)
                             .0
                     };
                     *guard = false;
@@ -675,8 +717,12 @@ fn syncer_loop(wal: &Wal, mut file: Box<dyn WalFile>) {
                         break;
                     }
                     let wait = (deadline - now).min(Duration::from_micros(50));
-                    let guard = wal.wake_mu.lock().unwrap();
-                    let mut guard = wal.wake_cv.wait_timeout(guard, wait).unwrap().0;
+                    let guard = lock_unpoisoned(&wal.wake_mu);
+                    let mut guard = wal
+                        .wake_cv
+                        .wait_timeout(guard, wait)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
                     *guard = false;
                     drop(guard);
                     total = drain(wal, &mut scratch, &mut drained_to);
@@ -730,6 +776,21 @@ fn syncer_loop(wal: &Wal, mut file: Box<dyn WalFile>) {
                         wal.ack_cv.notify_all();
                     }
                 }
+                // The pass's records are now inside the durable prefix
+                // (or, under `off`, appended): hand them to the tap
+                // before the scratch is recycled.
+                let gen = wal.tap_gen.load(Ordering::Acquire);
+                if gen != tap_seen {
+                    tap = lock_unpoisoned(&wal.tap).clone();
+                    tap_seen = gen;
+                }
+                if let Some(t) = &tap {
+                    for (s, recs) in scratch.iter().enumerate() {
+                        if !recs.is_empty() {
+                            t.publish(s as u32, recs);
+                        }
+                    }
+                }
                 for recs in &mut scratch {
                     recs.clear();
                 }
@@ -754,15 +815,20 @@ fn syncer_loop(wal: &Wal, mut file: Box<dyn WalFile>) {
             if want_rotate {
                 file.close()?;
                 let next_gen = {
-                    let segs = wal.segments.lock().unwrap();
-                    *segs.last().expect("segment list never empty") + 1
+                    let segs = lock_unpoisoned(&wal.segments);
+                    // A missing active segment is unrecoverable state;
+                    // degrade to Crashed rather than panic the syncer.
+                    match segs.last() {
+                        Some(&g) => g + 1,
+                        None => return Err(WalIoError::Crashed),
+                    }
                 };
                 file = wal
                     .cfg
                     .backend
                     .open(&segment_path(&wal.dir, next_gen))
                     .map_err(WalIoError::Io)?;
-                wal.segments.lock().unwrap().push(next_gen);
+                lock_unpoisoned(&wal.segments).push(next_gen);
                 file_bytes = 0;
                 wal.counters.rotations.fetch_add(1, Ordering::Relaxed);
                 rotate_handled = rotate_target;
@@ -797,7 +863,7 @@ fn syncer_loop(wal: &Wal, mut file: Box<dyn WalFile>) {
 fn drain(wal: &Wal, scratch: &mut [Vec<Staged>], drained_to: &mut [u64]) -> usize {
     let mut total = 0;
     for (s, slot) in scratch.iter_mut().enumerate() {
-        let mut p = wal.pipes[s].lock().unwrap();
+        let mut p = lock_unpoisoned(&wal.pipes[s]);
         if !p.records.is_empty() {
             if slot.is_empty() {
                 // Swap the empty scratch in; the pipe keeps its capacity.

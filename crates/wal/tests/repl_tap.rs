@@ -1,0 +1,263 @@
+//! The replication contract at the WAL layer: the durable-prefix tap
+//! feeds exactly what acks promise, and a checkpoint landing in the
+//! middle of a replica resync never breaks the
+//! `checkpoint image + durable tail = recovered state` identity.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use gocc_faultplane::{StorageFaultPlan, StorageMix};
+use gocc_wal::{
+    CheckpointImage, DurableTap, ShardImage, Staged, SyncPolicy, Wal, WalBackend, WalConfig,
+    WalKind,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gocc-wal-tap-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn put(shard: u32, seq: u64, key: u64, value: u64) -> Staged {
+    Staged {
+        shard,
+        seq,
+        kind: WalKind::Put,
+        key,
+        value,
+        exp: 0,
+    }
+}
+
+fn cfg(sync: SyncPolicy, backend: WalBackend) -> WalConfig {
+    WalConfig {
+        sync,
+        fsync_batch_size: 8,
+        fsync_wait_us: 50,
+        checkpoint_every: 0,
+        backend,
+    }
+}
+
+/// Collects everything published, per shard.
+#[derive(Default)]
+struct Collector {
+    by_shard: Mutex<HashMap<u32, Vec<Staged>>>,
+}
+
+impl DurableTap for Collector {
+    fn publish(&self, shard: u32, records: &[Staged]) {
+        self.by_shard
+            .lock()
+            .unwrap()
+            .entry(shard)
+            .or_default()
+            .extend_from_slice(records);
+    }
+}
+
+impl Collector {
+    /// Shard `s`'s records sorted into commit (`seq`) order — the same
+    /// reordering the replication feed performs.
+    fn commit_order(&self, s: u32) -> Vec<Staged> {
+        let mut v = self
+            .by_shard
+            .lock()
+            .unwrap()
+            .get(&s)
+            .cloned()
+            .unwrap_or_default();
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+}
+
+#[test]
+fn tap_sees_every_acked_record_under_every_policy() {
+    for sync in [SyncPolicy::Off, SyncPolicy::Group, SyncPolicy::Always] {
+        let dir = tmp(&format!("ack-{}", sync.name()));
+        let (wal, _) = Wal::open(&dir, 2, cfg(sync, WalBackend::Real)).unwrap();
+        let tap = Arc::new(Collector::default());
+        wal.set_tap(Arc::clone(&tap) as Arc<dyn DurableTap>);
+        for i in 0..300u64 {
+            let t = wal.stage(put((i % 2) as u32, i / 2 + 1, i, i * 3));
+            wal.wait(t).unwrap();
+        }
+        // Graceful shutdown is a barrier; after it the tap must hold the
+        // complete, gap-free history of both shards.
+        wal.shutdown();
+        for s in 0..2u32 {
+            let recs = tap.commit_order(s);
+            assert_eq!(recs.len(), 150, "policy {}", sync.name());
+            for (i, r) in recs.iter().enumerate() {
+                assert_eq!(r.seq, i as u64 + 1, "gap-free seq on shard {s}");
+                assert_eq!(r.value, r.key * 3);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Satellite: a checkpoint that lands mid-replication-resync. The
+/// replica's resync reads `(image, image.seq)` and then follows the
+/// durable stream; records keep committing while the checkpoint's
+/// rotate/snapshot/truncate sequence runs. Both the primary's own
+/// recovery and the replica reconstruction (image + tapped tail) must
+/// converge on the same state, under both ack policies.
+#[test]
+fn checkpoint_landing_mid_resync_keeps_recovery_and_tap_coherent() {
+    for sync in [SyncPolicy::Group, SyncPolicy::Always] {
+        let dir = tmp(&format!("midresync-{}", sync.name()));
+        let (wal, _) = Wal::open(&dir, 1, cfg(sync, WalBackend::Real)).unwrap();
+        let tap = Arc::new(Collector::default());
+        wal.set_tap(Arc::clone(&tap) as Arc<dyn DurableTap>);
+
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut seq = 0u64;
+        let mut write = |wal: &Wal, oracle: &mut HashMap<u64, u64>, n: u64| {
+            for _ in 0..n {
+                seq += 1;
+                let key = seq % 32;
+                let t = wal.stage(put(0, seq, key, seq));
+                oracle.insert(key, seq);
+                wal.wait(t).unwrap();
+            }
+            seq
+        };
+
+        write(&wal, &mut oracle, 200);
+        // Rotate first (begin), then — before the snapshot commits —
+        // more records land: exactly the window a concurrent resync
+        // lives in. The snapshot is taken at the rotation point.
+        let (base_gen, retired) = wal.begin_checkpoint().unwrap();
+        assert!(!retired.is_empty());
+        let image = CheckpointImage {
+            base_gen,
+            shards: vec![ShardImage {
+                entries: oracle.iter().map(|(&k, &v)| (k, v, 0)).collect(),
+                seq: 200,
+                now: 0,
+            }],
+        };
+        let snap_entries = image.shards[0].entries.clone();
+        write(&wal, &mut oracle, 50);
+        wal.finish_checkpoint(&image, &retired).unwrap();
+        let final_seq = write(&wal, &mut oracle, 50);
+        wal.shutdown();
+
+        // Primary-side recovery: new checkpoint + tail only.
+        let (wal2, rec) = Wal::open(&dir, 1, cfg(sync, WalBackend::Real)).unwrap();
+        wal2.shutdown();
+        assert!(rec.stats.checkpoint_loaded, "policy {}", sync.name());
+        assert_eq!(rec.shards[0].seq, final_seq);
+        let recovered: HashMap<u64, u64> = rec.shards[0]
+            .entries
+            .iter()
+            .map(|&(k, v, _)| (k, v))
+            .collect();
+        assert_eq!(recovered, oracle);
+
+        // Replica-side reconstruction: the image at seq 200 plus every
+        // tapped record with a later seq, applied in commit order.
+        let mut replica: HashMap<u64, u64> = snap_entries.iter().map(|&(k, v, _)| (k, v)).collect();
+        let tail: Vec<Staged> = tap
+            .commit_order(0)
+            .into_iter()
+            .filter(|r| r.seq > 200)
+            .collect();
+        assert_eq!(tail.len(), 100, "tap covers the whole post-image tail");
+        for r in &tail {
+            replica.insert(r.key, r.value);
+        }
+        assert_eq!(replica, oracle, "image + durable tail = primary state");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Seeded crashes during the same interleaving: whatever the schedule
+/// kills, every acked record is inside the tap's published prefix —
+/// a replica fed from the tap can never be asked to forget an ack.
+#[test]
+fn seeded_crashes_never_ack_outside_the_tapped_prefix() {
+    let mut crashes = 0;
+    for seed in 0..12u64 {
+        for sync in [SyncPolicy::Group, SyncPolicy::Always] {
+            let dir = tmp(&format!("crash-{seed}-{}", sync.name()));
+            let plan = Arc::new(StorageFaultPlan::new(
+                seed,
+                StorageMix {
+                    crash_per_append: 0.003,
+                    torn_given_crash: 0.5,
+                    short_fsync: 0.2,
+                    ckpt_crash: 0.25,
+                },
+            ));
+            let mut config = cfg(sync, WalBackend::Sim(plan));
+            config.fsync_wait_us = 10;
+            let (wal, _) = Wal::open(&dir, 1, config).unwrap();
+            let tap = Arc::new(Collector::default());
+            wal.set_tap(Arc::clone(&tap) as Arc<dyn DurableTap>);
+
+            let mut acked_max = 0u64;
+            let mut cache: HashMap<u64, u64> = HashMap::new();
+            let mut seq = 0u64;
+            'run: for round in 0..5u64 {
+                for _ in 0..60u64 {
+                    seq += 1;
+                    let t = wal.stage(put(0, seq, seq % 16, seq));
+                    cache.insert(seq % 16, seq);
+                    if wal.wait(t).is_err() {
+                        crashes += 1;
+                        break 'run;
+                    }
+                    acked_max = seq;
+                }
+                let (base_gen, retired) = match wal.begin_checkpoint() {
+                    Ok(x) => x,
+                    Err(_) => {
+                        crashes += 1;
+                        break 'run;
+                    }
+                };
+                let image = CheckpointImage {
+                    base_gen,
+                    shards: vec![ShardImage {
+                        entries: cache.iter().map(|(&k, &v)| (k, v, 0)).collect(),
+                        seq,
+                        now: 0,
+                    }],
+                };
+                // The mid-resync write between begin and finish.
+                seq += 1;
+                let t = wal.stage(put(0, seq, seq % 16, seq));
+                cache.insert(seq % 16, seq);
+                if wal.wait(t).is_err() {
+                    crashes += 1;
+                    break 'run;
+                }
+                acked_max = seq;
+                if wal.finish_checkpoint(&image, &retired).is_err() {
+                    crashes += 1;
+                    break 'run;
+                }
+                let _ = round;
+            }
+            wal.shutdown();
+
+            let tapped = tap.commit_order(0);
+            // Acks release strictly after the barrier that also feeds
+            // the tap, so the tap prefix must cover every acked seq.
+            let covered: std::collections::HashSet<u64> = tapped.iter().map(|r| r.seq).collect();
+            for s in 1..=acked_max {
+                assert!(
+                    covered.contains(&s),
+                    "seed {seed} {}: acked seq {s} missing from tap (max {acked_max})",
+                    sync.name()
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(crashes >= 4, "schedule must actually crash runs: {crashes}");
+}

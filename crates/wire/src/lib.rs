@@ -53,6 +53,27 @@ pub const MAX_KEY: usize = 1024;
 /// Hard ceiling on the entry count a SCAN may request.
 pub const MAX_SCAN: u32 = 4096;
 
+/// Hard ceiling on the shard count a REPL_HELLO may announce.
+pub const MAX_REPL_SHARDS: u32 = 4096;
+
+/// Hard ceiling on the record count of one replication batch. Sized so a
+/// full batch (25 bytes per record plus the envelope) stays under
+/// [`MAX_FRAME`]; snapshot resyncs larger than this are chunked.
+pub const MAX_REPL_BATCH: u32 = 32_768;
+
+/// [`Response::ReplBatch`] flag: first chunk of a snapshot resync — the
+/// replica clears its pending snapshot buffer before staging records.
+pub const REPL_FLAG_RESET: u8 = 0x01;
+/// [`Response::ReplBatch`] flag: last chunk of a snapshot resync — the
+/// replica atomically replaces the shard with the staged records and
+/// adopts `prev_version` as the shard version.
+pub const REPL_FLAG_FIN: u8 = 0x02;
+/// [`Response::ReplBatch`] flag: this batch is part of a snapshot resync
+/// (set on every chunk, alongside RESET/FIN on the first/last).
+pub const REPL_FLAG_SNAP: u8 = 0x04;
+
+const REPL_FLAGS_ALL: u8 = REPL_FLAG_RESET | REPL_FLAG_FIN | REPL_FLAG_SNAP;
+
 /// First body byte of a protocol-v2 request envelope. Chosen outside the
 /// v1 request opcode space (0x01..=0x08) and the response space (high bit
 /// set), so a v1 decoder sees it as an unknown opcode rather than
@@ -147,6 +168,60 @@ pub enum Request<'a> {
     Flush,
 }
 
+/// One replicated write record: the post-image the primary's durable
+/// prefix committed, keyed by the store's hashed key word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplRecord {
+    /// 0 = put (value + absolute expiration), 1 = delete, 2 = value-only
+    /// put (expiration preserved — the INCR post-image).
+    pub kind: u8,
+    /// Hashed key word.
+    pub key: u64,
+    /// Value word (ignored for deletes).
+    pub value: u64,
+    /// Absolute expiration tick, 0 = none (ignored for kinds 1 and 2).
+    pub exp: u64,
+}
+
+/// [`ReplRecord::kind`]: store `value` with expiration `exp`.
+pub const REPL_KIND_PUT: u8 = 0;
+/// [`ReplRecord::kind`]: remove the key.
+pub const REPL_KIND_DEL: u8 = 1;
+/// [`ReplRecord::kind`]: store `value`, preserving any existing
+/// expiration (INCR post-image).
+pub const REPL_KIND_PUTVAL: u8 = 2;
+
+/// A replication request (replica → primary on a replication stream, or
+/// operator → node for promotion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplRequest<'a> {
+    /// Opens a replication stream: the replica announces its per-shard
+    /// versions so the primary can stream exactly the missing suffix (or
+    /// trigger a snapshot resync per shard).
+    Hello {
+        /// Current version (applied sequence number) of each shard.
+        versions: Vec<u64>,
+    },
+    /// Acknowledges (or rejects) a batch. `nak` set means the replica's
+    /// shard version did not match `prev_version` — the OCC conflict on
+    /// the wire — and the primary must resync that shard from a snapshot.
+    Ack {
+        /// Shard index.
+        shard: u32,
+        /// The replica's shard version after (ack) or at (nak) the batch.
+        version: u64,
+        /// True when the batch was rejected for a version gap.
+        nak: bool,
+    },
+    /// Changes a node's replication role. An empty `upstream` promotes
+    /// the node to primary; a non-empty `upstream` (`host:port` UTF-8)
+    /// re-points a replica at a new primary.
+    Promote {
+        /// New upstream address, empty to become primary.
+        upstream: &'a [u8],
+    },
+}
+
 /// A decoded request plus its v2 envelope fields (absent for v1 frames).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RequestFrame<'a> {
@@ -223,6 +298,36 @@ pub enum Response<'a> {
         /// Highest log sequence number known durable (0 without a WAL).
         durable_lsn: u64,
     },
+    /// One replication batch (primary → replica). Applies only if the
+    /// replica's shard version equals `prev_version`; the new version is
+    /// `prev_version + records.len()`. Snapshot chunks set the
+    /// `REPL_FLAG_*` bits and adopt `prev_version` wholesale at FIN.
+    ReplBatch {
+        /// Shard index.
+        shard: u32,
+        /// `REPL_FLAG_*` bits (0 for a normal incremental batch).
+        flags: u8,
+        /// The shard version this batch applies on top of (or, for a
+        /// snapshot FIN chunk, the version the snapshot represents).
+        prev_version: u64,
+        /// The primary's logical clock for the shard, shipped so
+        /// expirations mean the same thing on both sides.
+        now: u64,
+        /// The committed post-images, in commit (version) order.
+        records: Vec<ReplRecord>,
+    },
+    /// REPL_HELLO accepted: the stream is live.
+    ReplWelcome {
+        /// The primary's shard count (must match the replica's).
+        shards: u32,
+    },
+    /// A write verb reached a replica. Retriable against the primary;
+    /// `hint` is the last known primary address (`host:port`), empty when
+    /// unknown.
+    NotPrimary {
+        /// Redirect hint, possibly empty.
+        hint: &'a str,
+    },
     /// The request failed; the connection stays usable unless the error
     /// was a framing violation (the server closes it after sending this).
     Error {
@@ -242,6 +347,9 @@ const OP_SHUTDOWN: u8 = 0x07;
 const OP_HEALTH: u8 = 0x08;
 const OP_TRACE: u8 = 0x09;
 const OP_FLUSH: u8 = 0x0A;
+const OP_REPL_HELLO: u8 = 0x0B;
+const OP_REPL_ACK: u8 = 0x0C;
+const OP_REPL_PROMOTE: u8 = 0x0D;
 // Response opcodes (high bit set).
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -255,6 +363,9 @@ const OP_OVERLOADED: u8 = 0x89;
 const OP_DEADLINE: u8 = 0x8A;
 const OP_TRACE_R: u8 = 0x8B;
 const OP_FLUSHED: u8 = 0x8C;
+const OP_REPL_BATCH: u8 = 0x8D;
+const OP_REPL_WELCOME: u8 = 0x8E;
+const OP_NOT_PRIMARY: u8 = 0x8F;
 const OP_ERROR: u8 = 0xFF;
 
 /// Sequential reader over a payload slice; every accessor is
@@ -403,6 +514,79 @@ fn encode_request_body(req: &Request<'_>, out: &mut Vec<u8>) {
     }
 }
 
+/// Appends a complete frame for a replication request to `out`.
+pub fn encode_repl_request(req: &ReplRequest<'_>, out: &mut Vec<u8>) {
+    let header = out.len();
+    put_u32(out, 0);
+    match req {
+        ReplRequest::Hello { versions } => {
+            assert!(
+                versions.len() <= MAX_REPL_SHARDS as usize,
+                "shard count exceeds MAX_REPL_SHARDS"
+            );
+            out.push(OP_REPL_HELLO);
+            put_u32(out, versions.len() as u32);
+            for &v in versions {
+                put_u64(out, v);
+            }
+        }
+        ReplRequest::Ack {
+            shard,
+            version,
+            nak,
+        } => {
+            out.push(OP_REPL_ACK);
+            put_u32(out, *shard);
+            put_u64(out, *version);
+            out.push(u8::from(*nak));
+        }
+        ReplRequest::Promote { upstream } => {
+            out.push(OP_REPL_PROMOTE);
+            put_key(out, upstream);
+        }
+    }
+    patch_len(out, header);
+}
+
+/// Whether a frame body's opcode is a replication request. Replication
+/// streams use plain v1 frames (no deadline envelope), so one leading
+/// byte decides the dispatch.
+#[must_use]
+pub fn is_repl_request(body: &[u8]) -> bool {
+    matches!(
+        body.first(),
+        Some(&OP_REPL_HELLO) | Some(&OP_REPL_ACK) | Some(&OP_REPL_PROMOTE)
+    )
+}
+
+/// Decodes a frame body as a replication request, with the same no-panic
+/// strictness contract as [`decode_request`].
+pub fn decode_repl_request(body: &[u8]) -> Result<ReplRequest<'_>, WireError> {
+    let mut c = Cursor::new(body);
+    let req = match c.u8()? {
+        OP_REPL_HELLO => {
+            let count = c.u32()?;
+            if count > MAX_REPL_SHARDS {
+                return Err(WireError::TooLarge);
+            }
+            let mut versions = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                versions.push(c.u64()?);
+            }
+            ReplRequest::Hello { versions }
+        }
+        OP_REPL_ACK => ReplRequest::Ack {
+            shard: c.u32()?,
+            version: c.u64()?,
+            nak: c.flag()?,
+        },
+        OP_REPL_PROMOTE => ReplRequest::Promote { upstream: c.key()? },
+        op => return Err(WireError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
 /// Appends a complete frame for `resp` to `out`.
 pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
     let header = out.len();
@@ -463,6 +647,41 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
         Response::Flushed { durable_lsn } => {
             out.push(OP_FLUSHED);
             put_u64(out, *durable_lsn);
+        }
+        Response::ReplBatch {
+            shard,
+            flags,
+            prev_version,
+            now,
+            records,
+        } => {
+            assert!(
+                records.len() <= MAX_REPL_BATCH as usize,
+                "record count exceeds MAX_REPL_BATCH"
+            );
+            assert!(*flags & !REPL_FLAGS_ALL == 0, "undefined repl flag bits");
+            out.push(OP_REPL_BATCH);
+            put_u32(out, *shard);
+            out.push(*flags);
+            put_u64(out, *prev_version);
+            put_u64(out, *now);
+            put_u32(out, records.len() as u32);
+            for r in records {
+                out.push(r.kind);
+                put_u64(out, r.key);
+                put_u64(out, r.value);
+                put_u64(out, r.exp);
+            }
+        }
+        Response::ReplWelcome { shards } => {
+            out.push(OP_REPL_WELCOME);
+            put_u32(out, *shards);
+        }
+        Response::NotPrimary { hint } => {
+            out.push(OP_NOT_PRIMARY);
+            let hint = &hint.as_bytes()[..hint.len().min(256)];
+            put_u16(out, hint.len() as u16);
+            out.extend_from_slice(hint);
         }
         Response::Error { message } => {
             out.push(OP_ERROR);
@@ -586,6 +805,47 @@ pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
         OP_FLUSHED => Response::Flushed {
             durable_lsn: c.u64()?,
         },
+        OP_REPL_BATCH => {
+            let shard = c.u32()?;
+            let flags = c.u8()?;
+            if flags & !REPL_FLAGS_ALL != 0 {
+                return Err(WireError::Malformed("undefined repl flag bits"));
+            }
+            let prev_version = c.u64()?;
+            let now = c.u64()?;
+            let count = c.u32()?;
+            if count > MAX_REPL_BATCH {
+                return Err(WireError::TooLarge);
+            }
+            let mut records = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let kind = c.u8()?;
+                if kind > REPL_KIND_PUTVAL {
+                    return Err(WireError::Malformed("unknown repl record kind"));
+                }
+                records.push(ReplRecord {
+                    kind,
+                    key: c.u64()?,
+                    value: c.u64()?,
+                    exp: c.u64()?,
+                });
+            }
+            Response::ReplBatch {
+                shard,
+                flags,
+                prev_version,
+                now,
+                records,
+            }
+        }
+        OP_REPL_WELCOME => Response::ReplWelcome { shards: c.u32()? },
+        OP_NOT_PRIMARY => {
+            let len = c.u16()? as usize;
+            let bytes = c.take(len)?;
+            let hint =
+                std::str::from_utf8(bytes).map_err(|_| WireError::Malformed("hint not UTF-8"))?;
+            Response::NotPrimary { hint }
+        }
         OP_TRACE_R => {
             let len = c.u32()? as usize;
             if len > MAX_FRAME {
@@ -807,6 +1067,183 @@ mod tests {
         let mut body = vec![OP_FLUSHED];
         body.extend_from_slice(&[1, 2, 3]);
         assert_eq!(decode_response(&body), Err(WireError::Truncated));
+    }
+
+    fn roundtrip_repl(req: ReplRequest<'_>) {
+        let mut out = Vec::new();
+        encode_repl_request(&req, &mut out);
+        let body = &out[4..];
+        assert_eq!(
+            u32::from_le_bytes(out[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert!(is_repl_request(body));
+        assert_eq!(decode_repl_request(body).unwrap(), req);
+    }
+
+    #[test]
+    fn repl_requests_roundtrip() {
+        roundtrip_repl(ReplRequest::Hello {
+            versions: vec![0, 7, u64::MAX],
+        });
+        roundtrip_repl(ReplRequest::Hello { versions: vec![] });
+        roundtrip_repl(ReplRequest::Ack {
+            shard: 3,
+            version: 99,
+            nak: false,
+        });
+        roundtrip_repl(ReplRequest::Ack {
+            shard: 0,
+            version: 0,
+            nak: true,
+        });
+        roundtrip_repl(ReplRequest::Promote { upstream: b"" });
+        roundtrip_repl(ReplRequest::Promote {
+            upstream: b"127.0.0.1:7070",
+        });
+    }
+
+    #[test]
+    fn repl_responses_roundtrip() {
+        roundtrip_response(Response::ReplBatch {
+            shard: 2,
+            flags: 0,
+            prev_version: 41,
+            now: 9,
+            records: vec![
+                ReplRecord {
+                    kind: REPL_KIND_PUT,
+                    key: 0xDEAD,
+                    value: 7,
+                    exp: 12,
+                },
+                ReplRecord {
+                    kind: REPL_KIND_DEL,
+                    key: 0xBEEF,
+                    value: 0,
+                    exp: 0,
+                },
+                ReplRecord {
+                    kind: REPL_KIND_PUTVAL,
+                    key: 1,
+                    value: u64::MAX,
+                    exp: 0,
+                },
+            ],
+        });
+        roundtrip_response(Response::ReplBatch {
+            shard: 0,
+            flags: REPL_FLAG_SNAP | REPL_FLAG_RESET | REPL_FLAG_FIN,
+            prev_version: 1000,
+            now: 55,
+            records: vec![],
+        });
+        roundtrip_response(Response::ReplWelcome { shards: 16 });
+        roundtrip_response(Response::NotPrimary { hint: "" });
+        roundtrip_response(Response::NotPrimary {
+            hint: "127.0.0.1:9999",
+        });
+    }
+
+    #[test]
+    fn repl_payloads_are_strict() {
+        // HELLO shard count beyond the ceiling, with no bytes behind it.
+        let mut body = vec![OP_REPL_HELLO];
+        put_u32(&mut body, MAX_REPL_SHARDS + 1);
+        assert_eq!(decode_repl_request(&body), Err(WireError::TooLarge));
+        // HELLO declaring more versions than it carries.
+        let mut body = vec![OP_REPL_HELLO];
+        put_u32(&mut body, 2);
+        put_u64(&mut body, 1);
+        assert_eq!(decode_repl_request(&body), Err(WireError::Truncated));
+        // ACK with a non-boolean nak byte.
+        let mut body = vec![OP_REPL_ACK];
+        put_u32(&mut body, 0);
+        put_u64(&mut body, 5);
+        body.push(2);
+        assert!(matches!(
+            decode_repl_request(&body),
+            Err(WireError::Malformed(_))
+        ));
+        // Trailing bytes after a PROMOTE are rejected.
+        let mut out = Vec::new();
+        encode_repl_request(&ReplRequest::Promote { upstream: b"x" }, &mut out);
+        let mut body = out[4..].to_vec();
+        body.push(0);
+        assert_eq!(
+            decode_repl_request(&body),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+        // Batch with undefined flag bits.
+        let mut body = vec![OP_REPL_BATCH];
+        put_u32(&mut body, 0);
+        body.push(0x80);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, 0);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
+        // Batch with an unknown record kind.
+        let mut body = vec![OP_REPL_BATCH];
+        put_u32(&mut body, 0);
+        body.push(0);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, 1);
+        body.push(3);
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 2);
+        put_u64(&mut body, 3);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
+        // Batch whose declared count overruns the ceiling.
+        let mut body = vec![OP_REPL_BATCH];
+        put_u32(&mut body, 0);
+        body.push(0);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, MAX_REPL_BATCH + 1);
+        assert_eq!(decode_response(&body), Err(WireError::TooLarge));
+        // NotPrimary with non-UTF-8 hint bytes.
+        let mut body = vec![OP_NOT_PRIMARY];
+        put_u16(&mut body, 2);
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
+        // Data verbs are not replication requests.
+        assert!(!is_repl_request(&[OP_GET]));
+        assert!(!is_repl_request(&[MAGIC_V2, 0, OP_GET]));
+        assert!(!is_repl_request(&[]));
+    }
+
+    #[test]
+    fn repl_batch_at_ceiling_fits_one_frame() {
+        let records = vec![
+            ReplRecord {
+                kind: REPL_KIND_PUT,
+                key: 1,
+                value: 2,
+                exp: 3,
+            };
+            MAX_REPL_BATCH as usize
+        ];
+        let resp = Response::ReplBatch {
+            shard: 0,
+            flags: 0,
+            prev_version: 0,
+            now: 0,
+            records,
+        };
+        let mut out = Vec::new();
+        encode_response(&resp, &mut out);
+        assert!(out.len() - 4 <= MAX_FRAME, "max batch must fit MAX_FRAME");
+        assert_eq!(decode_response(&out[4..]).unwrap(), resp);
     }
 
     #[test]

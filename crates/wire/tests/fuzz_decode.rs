@@ -8,8 +8,9 @@
 
 use gocc_telemetry::SplitMix64;
 use gocc_wire::{
-    decode_request, decode_request_any, decode_response, encode_request, encode_request_v2,
-    encode_response, FrameBuf, Request, Response,
+    decode_repl_request, decode_request, decode_request_any, decode_response, encode_repl_request,
+    encode_request, encode_request_v2, encode_response, FrameBuf, ReplRecord, ReplRequest, Request,
+    Response, REPL_FLAG_FIN, REPL_FLAG_RESET, REPL_FLAG_SNAP,
 };
 
 /// A deterministic pool of valid requests covering every verb.
@@ -44,8 +45,56 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
     }
 }
 
+/// A deterministic pool of valid replication requests.
+fn sample_repl_request(rng: &mut SplitMix64) -> ReplRequest<'static> {
+    match rng.below(3) {
+        0 => ReplRequest::Hello {
+            versions: (0..rng.below_usize(9)).map(|_| rng.next_u64()).collect(),
+        },
+        1 => ReplRequest::Ack {
+            shard: rng.below(16) as u32,
+            version: rng.next_u64(),
+            nak: rng.flip(),
+        },
+        _ => ReplRequest::Promote {
+            upstream: if rng.flip() { b"" } else { b"127.0.0.1:7171" },
+        },
+    }
+}
+
+fn sample_repl_batch(rng: &mut SplitMix64) -> Response<'static> {
+    let flags = match rng.below(4) {
+        0 => 0,
+        1 => REPL_FLAG_SNAP | REPL_FLAG_RESET,
+        2 => REPL_FLAG_SNAP | REPL_FLAG_FIN,
+        _ => REPL_FLAG_SNAP | REPL_FLAG_RESET | REPL_FLAG_FIN,
+    };
+    let n = rng.below_usize(20);
+    Response::ReplBatch {
+        shard: rng.below(16) as u32,
+        flags,
+        prev_version: rng.next_u64(),
+        now: rng.below(1 << 20),
+        records: (0..n)
+            .map(|_| ReplRecord {
+                kind: rng.below(3) as u8,
+                key: rng.next_u64(),
+                value: rng.next_u64(),
+                exp: rng.below(1 << 20),
+            })
+            .collect(),
+    }
+}
+
 fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
-    match rng.below(13) {
+    match rng.below(16) {
+        13 => sample_repl_batch(rng),
+        14 => Response::ReplWelcome {
+            shards: rng.below(64) as u32,
+        },
+        15 => Response::NotPrimary {
+            hint: "127.0.0.1:7171",
+        },
         0 => Response::Value {
             found: rng.flip(),
             value: rng.next_u64(),
@@ -141,6 +190,47 @@ fn truncated_response_bodies_always_err() {
         assert_eq!(decode_response(body).unwrap(), resp);
         for cut in 0..body.len() {
             assert!(decode_response(&body[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn repl_truncations_and_mutations_never_panic() {
+    let mut rng = SplitMix64::new(0x8D8D);
+    let mut wire = Vec::new();
+    for _ in 0..300 {
+        // Requests: HELLO/ACK/PROMOTE.
+        wire.clear();
+        let req = sample_repl_request(&mut rng);
+        encode_repl_request(&req, &mut wire);
+        let body = wire[4..].to_vec();
+        assert_eq!(decode_repl_request(&body).unwrap(), req);
+        for cut in 0..body.len() {
+            assert!(
+                decode_repl_request(&body[..cut]).is_err(),
+                "repl truncation at {cut} must not decode: {req:?}"
+            );
+        }
+        for _ in 0..8 {
+            let mut mutated = body.clone();
+            let idx = rng.below_usize(mutated.len());
+            mutated[idx] ^= 1 << rng.below(8);
+            let _ = decode_repl_request(&mutated);
+        }
+        // Responses: batches (the long-payload path).
+        wire.clear();
+        let resp = sample_repl_batch(&mut rng);
+        encode_response(&resp, &mut wire);
+        let body = wire[4..].to_vec();
+        assert_eq!(decode_response(&body).unwrap(), resp);
+        for cut in 0..body.len() {
+            assert!(decode_response(&body[..cut]).is_err());
+        }
+        for _ in 0..8 {
+            let mut mutated = body.clone();
+            let idx = rng.below_usize(mutated.len());
+            mutated[idx] ^= 1 << rng.below(8);
+            let _ = decode_response(&mutated);
         }
     }
 }

@@ -65,6 +65,35 @@ impl RwMap {
     }
 }
 
+/// One replicated mutation for [`Cache::apply_versioned`]: the post-image
+/// a primary's committed write produced, in a form a replica can apply
+/// without re-running the verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOp {
+    /// Store `value` with absolute expiration `exp` (0 = none).
+    Put {
+        /// Hashed key word.
+        key: u64,
+        /// Value word.
+        value: u64,
+        /// Absolute expiration tick.
+        exp: u64,
+    },
+    /// Remove the key.
+    Del {
+        /// Hashed key word.
+        key: u64,
+    },
+    /// Store `value`, preserving any existing expiration (the INCR
+    /// post-image).
+    PutVal {
+        /// Hashed key word.
+        key: u64,
+        /// Value word.
+        value: u64,
+    },
+}
+
 /// The cache layer of go-cache: values carry an expiration stamp.
 pub struct Cache {
     lock: ElidableRwMutex,
@@ -264,6 +293,84 @@ impl Cache {
         })
     }
 
+    /// Current shard version: the sequence number of the last committed
+    /// write, read in its own read section.
+    pub fn version(&self, engine: &Engine<'_>) -> u64 {
+        engine.section(call_site!(), LockRef::Read(&self.lock), |tx| {
+            self.seq.get(tx)
+        })
+    }
+
+    /// The paper's validate-then-apply, on the wire: applies a replicated
+    /// batch **only if** the shard's version equals `prev_version`, all in
+    /// one write section. On match, every op is applied, the version
+    /// advances to `prev_version + ops.len()`, the logical clock catches
+    /// up to the primary's `now`, and the new version is returned. On
+    /// mismatch nothing is applied and `Err(actual_version)` is returned —
+    /// the `ConcurrencyConflict` the replication stream answers with a
+    /// NAK.
+    pub fn apply_versioned(
+        &self,
+        engine: &Engine<'_>,
+        prev_version: u64,
+        now: u64,
+        ops: &[CacheOp],
+    ) -> Result<u64, u64> {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            let cur = self.seq.get(tx)?;
+            if cur != prev_version {
+                return Ok(Err(cur));
+            }
+            for op in ops {
+                match *op {
+                    CacheOp::Put { key, value, exp } => {
+                        self.items.insert(tx, key, value)?;
+                        self.expirations.insert(tx, key, exp)?;
+                    }
+                    CacheOp::Del { key } => {
+                        self.items.remove(tx, key)?;
+                        self.expirations.remove(tx, key)?;
+                    }
+                    CacheOp::PutVal { key, value } => {
+                        self.items.insert(tx, key, value)?;
+                    }
+                }
+            }
+            let new_version = prev_version + ops.len() as u64;
+            self.seq.set(tx, new_version)?;
+            if now > self.now.get(tx)? {
+                self.now.set(tx, now)?;
+            }
+            Ok(Ok(new_version))
+        })
+    }
+
+    /// Atomically replaces the shard's entire contents with a snapshot
+    /// image — the resync path after a replication gap. Unlike
+    /// [`Cache::restore`] this runs on a **live** shard through the
+    /// engine, in one write section, so concurrent readers see either the
+    /// old state or the new one, never a half-loaded mix. (The write set
+    /// is the whole table; under GOCC this aborts for capacity and takes
+    /// the pessimistic path, which is exactly right for a rare bulk op.)
+    pub fn replace(&self, engine: &Engine<'_>, entries: &[(u64, u64, u64)], seq: u64, now: u64) {
+        engine.section(call_site!(), LockRef::Write(&self.lock), |tx| {
+            // Built fresh per attempt (abort-safe, like `scan`).
+            let mut stale = Vec::new();
+            self.items.for_each(tx, |k, _| stale.push(k))?;
+            for k in stale {
+                self.items.remove(tx, k)?;
+                self.expirations.remove(tx, k)?;
+            }
+            for &(k, v, exp) in entries {
+                self.items.insert(tx, k, v)?;
+                self.expirations.insert(tx, k, exp)?;
+            }
+            self.seq.set(tx, seq)?;
+            self.now.set(tx, now.max(1))?;
+            Ok(())
+        });
+    }
+
     /// Rebuilds the shard from a recovered image. Boot-time only (runs as
     /// a direct transaction before the server accepts connections), which
     /// is why it takes the runtime rather than an [`Engine`].
@@ -459,6 +566,81 @@ mod tests {
                 (1..=400).collect::<Vec<u64>>(),
                 "every write got a unique dense seq ({mode:?})"
             );
+        }
+    }
+
+    #[test]
+    fn apply_versioned_is_version_checked_and_atomic() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::with_capacity(256);
+            let engine = Engine::new(&rt, mode);
+            let batch = [
+                CacheOp::Put {
+                    key: 1,
+                    value: 10,
+                    exp: 0,
+                },
+                CacheOp::Put {
+                    key: 2,
+                    value: 20,
+                    exp: 9,
+                },
+                CacheOp::PutVal { key: 1, value: 11 },
+            ];
+            // Version 0 matches an empty shard: the batch applies.
+            assert_eq!(c.apply_versioned(&engine, 0, 3, &batch), Ok(3));
+            assert_eq!(c.version(&engine), 3);
+            assert_eq!(c.get(&engine, 1), Some(11));
+            assert_eq!(c.get(&engine, 2), Some(20));
+            // A gap (replaying the same batch) is rejected untouched.
+            assert_eq!(c.apply_versioned(&engine, 0, 3, &batch), Err(3));
+            assert_eq!(c.get(&engine, 1), Some(11), "nak applied nothing");
+            // The next contiguous batch applies, including deletes.
+            let del = [CacheOp::Del { key: 2 }];
+            assert_eq!(c.apply_versioned(&engine, 3, 3, &del), Ok(4));
+            assert_eq!(c.get(&engine, 2), None, "mode {mode:?}");
+        }
+    }
+    #[test]
+    fn apply_versioned_advances_the_clock_monotonically() {
+        gocc_gosync::set_procs(8);
+        let rt = GoccRuntime::new_default();
+        let c = Cache::with_capacity(64);
+        let engine = Engine::new(&rt, Mode::Gocc);
+        let put = [CacheOp::Put {
+            key: 5,
+            value: 1,
+            exp: 4,
+        }];
+        assert_eq!(c.apply_versioned(&engine, 0, 5, &put), Ok(1));
+        // The entry expired at the primary (exp 4 < now 5).
+        assert_eq!(c.get(&engine, 5), None);
+        // A batch carrying an older clock must not rewind time.
+        assert_eq!(c.apply_versioned(&engine, 1, 2, &[]), Ok(1));
+        assert_eq!(c.get(&engine, 5), None, "clock never rewinds");
+    }
+
+    #[test]
+    fn replace_swaps_the_whole_shard_in_both_modes() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new_default();
+            let c = Cache::with_capacity(256);
+            let engine = Engine::new(&rt, mode);
+            c.set_seq(&engine, 1, 100, 0);
+            c.set_seq(&engine, 2, 200, 0);
+            let image = vec![(7u64, 70u64, 0u64), (8, 80, 3)];
+            c.replace(&engine, &image, 42, 2);
+            assert_eq!(c.get(&engine, 1), None, "old keys are gone");
+            assert_eq!(c.get(&engine, 2), None);
+            assert_eq!(c.get(&engine, 7), Some(70));
+            assert_eq!(c.get(&engine, 8), Some(80));
+            assert_eq!(c.version(&engine), 42, "version adopted wholesale");
+            // Writes continue from the adopted version.
+            let (seq, _) = c.set_seq(&engine, 9, 90, 0);
+            assert_eq!(seq, 43, "mode {mode:?}");
         }
     }
 

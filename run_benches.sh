@@ -63,12 +63,18 @@ run_step overload_soak ./target/release/overload_soak --seed 2026
 # amortization and sync-off tax gates.
 run_step wal_bench ./target/release/wal_bench --window-ms 500 --gate
 
+# Replication: closed-loop read throughput against replica count, both
+# modes; produces BENCH_replication.json and enforces the replication
+# tax and replica-read-share gates.
+run_step repl_bench ./target/release/repl_bench --window-ms 500 --gate
+
 # Schema gate before the artifacts move: every BENCH_*.json must parse
 # and carry the common header, or the sweep fails. The --expect list
 # pins the artifacts the steps above must have produced.
 run_step bench_schema ./scripts/check_bench_schema.sh \
   --expect BENCH_hotpath.json --expect BENCH_trace.json \
-  --expect BENCH_overload.json --expect BENCH_wal.json
+  --expect BENCH_overload.json --expect BENCH_wal.json \
+  --expect BENCH_replication.json
 
 for f in BENCH_*.json TRACE_overload_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"

@@ -157,6 +157,29 @@ echo "== crash soak (seeded kill/recover, both modes) =="
   --crash-rate 0.004 --stall-secs 60
 echo "ok: crash soak"
 
+echo "== failover soak (kill primary, promote replica, both modes) =="
+# Replication guarantees end to end under seeded transport faults on the
+# replication streams: boots a goccd primary with two in-process
+# replicas, SIGKILLs the primary mid-load, holds a deliberate
+# primary-less window (replicas alone must carry reads), promotes the
+# replica with the highest replicated version and repoints the other.
+# Checks: no acked write lost (per-key oracle against the new primary),
+# reads stay available during the outage, bounded staleness on the
+# repointed replica, recovery within deadline, and lease-based fencing
+# (a primary below min-acks rejects writes). Exit 4 = guarantee
+# violated, exit 2 = liveness watchdog, exit 1 = harness error.
+if ./target/release/failover_soak --seed 2026 --mode both --load-ops 1200; then
+  echo "ok: failover soak"
+else
+  status=$?
+  if [ "$status" -eq 4 ]; then
+    echo "FAIL: replication guarantee violated" >&2
+  else
+    echo "FAIL: failover soak harness error (status $status)" >&2
+  fi
+  exit "$status"
+fi
+
 echo "== WAL throughput gates (group commit amortization) =="
 # Two bounds from BENCH_wal.json, on the gocc numbers: engine-level
 # group commit must amortize to >= 5x the one-fsync-per-record floor
@@ -166,14 +189,26 @@ echo "== WAL throughput gates (group commit amortization) =="
 ./target/release/wal_bench --window-ms 300 --gate
 echo "ok: WAL gates (group amortization, off tax)"
 
+echo "== replication read gates (replica fan-out) =="
+# Read throughput vs replica count from BENCH_replication.json, on the
+# gocc numbers: with both endpoints on one core the gate is a bounded
+# replication tax (2-replica aggregate >= REPL_GATE_SCALE_X of the
+# primary-only figure) plus proof that replicas actually serve
+# (replica read share >= REPL_GATE_SHARE_PCT). On multi-core boxes the
+# recorded scale ratio shows real fan-out. Overridable like the other
+# perf gates on noisy boxes.
+./target/release/repl_bench --window-ms 300 --gate
+echo "ok: replication gates (tax bound, replica share)"
+
 echo "== bench artifact schema =="
 # Every BENCH_*.json emitted above must parse and carry the common
 # header object (machine-diffable perf trajectory across PRs). The
 # --expect list pins the artifacts the stages above are supposed to
 # produce: a bench that silently stops emitting its file fails here.
 ./scripts/check_bench_schema.sh \
-  --expect BENCH_hotpath.json --expect BENCH_trace.json --expect BENCH_wal.json
-rm -f BENCH_hotpath.json BENCH_trace.json BENCH_wal.json
+  --expect BENCH_hotpath.json --expect BENCH_trace.json --expect BENCH_wal.json \
+  --expect BENCH_replication.json
+rm -f BENCH_hotpath.json BENCH_trace.json BENCH_wal.json BENCH_replication.json
 echo "ok: bench artifacts conform to the common schema"
 
 echo "CI_OK"
