@@ -354,7 +354,23 @@ impl ReplFeed {
                 ss.queue.push_back((seq, rec));
                 sub.queued_total += 1;
             }
-            if sub.queued_total > cfg.max_queue {
+            // Overflow sheds the worst offender, not whichever shard
+            // happened to be releasing: drop whole per-shard queues,
+            // largest first, until back under the cap. Each dropped
+            // shard is flagged for snapshot resync (an armed shard
+            // re-flags too; its in-flight cut will fail and restart).
+            while sub.queued_total > cfg.max_queue {
+                let Some(worst) = sub
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ss)| !ss.queue.is_empty())
+                    .max_by_key(|(_, ss)| ss.queue.len())
+                    .map(|(s, _)| s)
+                else {
+                    break;
+                };
+                let ss = &mut sub.shards[worst];
                 sub.queued_total -= ss.queue.len();
                 ss.queue.clear();
                 ss.phase = Phase::Needed;
@@ -880,6 +896,32 @@ mod tests {
         assert_eq!(f.counters().overflows(), 1);
         assert_eq!(f.resync_needed(sub), vec![0]);
         assert!(f.drain(sub, 100).is_empty(), "overflowed queue was dropped");
+    }
+
+    #[test]
+    fn overflow_drops_the_backlogged_shard_not_the_releasing_one() {
+        let f = ReplFeed::new(
+            ReplConfig {
+                shards: 2,
+                max_queue: 4,
+                ..ReplConfig::default()
+            },
+            &[0, 0],
+        );
+        let sub = f.subscribe(&[0, 0]);
+        // Shard 0 holds the backlog (4 records, at the cap but not over).
+        let backlog: Vec<Staged> = (1..=4).map(|i| staged(0, i, i, i)).collect();
+        f.publish(0, &backlog);
+        assert_eq!(f.counters().overflows(), 0);
+        // One record on healthy shard 1 tips the total over the cap: the
+        // drop must hit shard 0's backlog, not the shard releasing now.
+        f.publish(1, &[staged(1, 1, 77, 770)]);
+        assert_eq!(f.counters().overflows(), 1);
+        assert_eq!(f.resync_needed(sub), vec![0], "backlogged shard resyncs");
+        let b = f.drain(sub, 100);
+        assert_eq!(b.len(), 1, "healthy shard kept its queue");
+        assert_eq!(b[0].shard, 1);
+        assert_eq!(b[0].records[0].key, 77);
     }
 
     #[test]

@@ -43,7 +43,8 @@ enum FlushState {
     Fatal,
 }
 
-/// One client connection, owned by exactly one worker thread.
+/// One client connection, owned by exactly one thread at a time — a
+/// worker, or the repl-out thread once it subscribes via REPL_HELLO.
 ///
 /// The stream is wrapped in a [`FaultyStream`] so a configured transport
 /// fault plan can perturb this connection's reads and writes; with no plan
@@ -89,6 +90,13 @@ impl Conn {
         if let (Some(sub), Some(feed)) = (&self.repl, state.repl_feed()) {
             feed.unsubscribe(sub.id);
         }
+    }
+
+    /// Whether this connection subscribed as a replication stream
+    /// (sent REPL_HELLO). Such connections are migrated off the worker
+    /// onto the dedicated repl-out thread.
+    pub(crate) fn is_repl_sub(&self) -> bool {
+        self.repl.is_some()
     }
 
     pub(crate) fn has_pending_output(&self) -> bool {

@@ -20,6 +20,10 @@
 //!   `&mut`; the only cross-thread state is the [`ServerState`] behind an
 //!   `Arc` — the store (whose interior synchronization *is* the system
 //!   under test), atomic counters, and the shutdown flag.
+//! * Connections that subscribe as replication streams (REPL_HELLO) are
+//!   handed off to one dedicated **repl-out** thread: a worker may block
+//!   in `wait_replicated` for a `min_acks` write, and the subscriber
+//!   stream that ack rides on must keep pumping while it does.
 //! * A **malformed frame kills its connection, never the server**: framing
 //!   or decode errors send a final `Error` response and close that one
 //!   connection. IO errors likewise. A worker never panics on input.
@@ -205,6 +209,12 @@ pub struct ServerState {
     repl_feed: Option<Arc<ReplFeed>>,
     /// Whether this node currently answers writes with `NotPrimary`.
     replica: AtomicBool,
+    /// Serializes promotion against the replica sink's batch applies:
+    /// the sink holds this while it checks the role and mutates the
+    /// store, so `promote_to_primary` can never re-base the feed while
+    /// a buffered batch is mid-apply (which would advance the store past
+    /// the feed's new base and stall replication forever).
+    promote_gate: Mutex<()>,
     /// Last known primary address: the replica's upstream, and the
     /// redirect hint served with `NotPrimary`.
     upstream: Mutex<String>,
@@ -263,6 +273,7 @@ impl ServerState {
             wal,
             repl_feed,
             replica: AtomicBool::new(config.replica_of.is_some()),
+            promote_gate: Mutex::new(()),
             upstream: Mutex::new(config.replica_of.clone().unwrap_or_default()),
             replica_stats: repl::ReplicaCounters::default(),
             git_rev: std::env::var("BENCH_GIT_REV").unwrap_or_else(|_| "unknown".to_string()),
@@ -324,7 +335,17 @@ impl ServerState {
     /// replica's apply path bypassed the tap, so the feed's view is
     /// stale until this reset. Subscribers at other versions get flagged
     /// for snapshot resync, which is exactly right after a failover.
+    ///
+    /// Holding `promote_gate` across the role flip *and* the feed
+    /// re-base makes promotion atomic with respect to the sink's batch
+    /// applies: a buffered batch either lands before the re-base (and is
+    /// counted in the versions read here) or observes the flipped role
+    /// and is rejected.
     pub fn promote_to_primary(&self, engine: &Engine<'_>) {
+        let _gate = self
+            .promote_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !self.replica.swap(false, Ordering::SeqCst) {
             return;
         }
@@ -500,6 +521,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
     replicator: Option<JoinHandle<()>>,
+    repl_pump: Option<JoinHandle<()>>,
 }
 
 /// Final accounting returned by [`ServerHandle::join`].
@@ -566,6 +588,9 @@ impl ServerHandle {
         if let Some(rp) = self.replicator {
             let _ = rp.join();
         }
+        if let Some(rp) = self.repl_pump {
+            let _ = rp.join();
+        }
         // Flush and close the log last — after this, everything the
         // workers acknowledged is on disk and the segments are closed.
         if let Some(wal) = &self.state.wal {
@@ -595,15 +620,38 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let port = listener.local_addr()?.port();
     let state = Arc::new(ServerState::new(config)?);
 
+    // Subscriber (REPL_HELLO) connections are pumped by a dedicated
+    // thread, never a worker: a worker can block in `wait_replicated`
+    // for up to `repl_ack_timeout`, and if it also owned the subscriber
+    // stream the awaited batch would never be sent — with one worker (or
+    // an unlucky round-robin) every min_acks write would time out and
+    // the lease would falsely fence the primary. Workers hand
+    // subscribed connections over via this channel.
+    let (repl_tx, repl_pump) = if state.repl_feed.is_some() {
+        let (tx, rx) = std::sync::mpsc::channel::<Conn>();
+        let rp_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("goccd-repl-out".into())
+            .spawn(move || repl_out_loop(&rx, &rp_state))
+            .map_err(|e| {
+                state.request_shutdown();
+                e
+            })?;
+        (Some(tx), Some(handle))
+    } else {
+        (None, None)
+    };
+
     let mut senders: Vec<Sender<std::net::TcpStream>> = Vec::new();
     let mut workers = Vec::new();
     for w in 0..state.config.workers {
         let (tx, rx) = std::sync::mpsc::channel();
         senders.push(tx);
         let worker_state = Arc::clone(&state);
+        let worker_repl_tx = repl_tx.clone();
         match std::thread::Builder::new()
             .name(format!("goccd-worker-{w}"))
-            .spawn(move || worker_loop(w, &rx, &worker_state))
+            .spawn(move || worker_loop(w, &rx, &worker_state, worker_repl_tx))
         {
             Ok(handle) => workers.push(handle),
             Err(e) => {
@@ -676,6 +724,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         workers,
         checkpointer,
         replicator,
+        repl_pump,
     })
 }
 
@@ -734,7 +783,12 @@ fn acceptor_loop(
     // coming.
 }
 
-fn worker_loop(worker: usize, rx: &Receiver<std::net::TcpStream>, state: &ServerState) {
+fn worker_loop(
+    worker: usize,
+    rx: &Receiver<std::net::TcpStream>,
+    state: &ServerState,
+    repl_tx: Option<Sender<Conn>>,
+) {
     let engine = Engine::new(&state.rt, state.config.mode);
     let mut conns: Vec<Conn> = Vec::new();
     let mut dispatcher_gone = false;
@@ -758,6 +812,85 @@ fn worker_loop(worker: usize, rx: &Receiver<std::net::TcpStream>, state: &Server
         }
 
         let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].pump(&engine, state, &mut wctx) {
+                PumpOutcome::Alive { made_progress } => {
+                    progressed |= made_progress;
+                    // A connection that subscribed as a replication
+                    // stream leaves this worker for the dedicated
+                    // repl-out thread: a worker can block in
+                    // `wait_replicated`, and the stream it waits on must
+                    // keep pumping while it does.
+                    if conns[i].is_repl_sub() {
+                        if let Some(tx) = &repl_tx {
+                            let c = conns.swap_remove(i);
+                            if let Err(send_err) = tx.send(c) {
+                                // Repl thread already gone (shutdown):
+                                // close the stream here.
+                                send_err.0.on_close(state);
+                                state.counters.note_close();
+                            }
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                PumpOutcome::Close => {
+                    let c = conns.swap_remove(i);
+                    c.on_close(state);
+                    state.counters.note_close();
+                }
+            }
+        }
+        state.finish_pump(&mut wctx);
+
+        if state.shutting_down() {
+            drain_and_close(&mut conns, state);
+            return;
+        }
+        if dispatcher_gone && conns.is_empty() {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// The dedicated replication-output thread: owns every subscriber
+/// connection (the workers migrate them here right after REPL_HELLO) so
+/// the batch/heartbeat stream is pumped even while every worker sits
+/// blocked in [`ReplFeed::wait_replicated`] — pumping subscribers from
+/// the workers deadlocked every `min_acks` write whenever the writing
+/// client and the subscription shared a worker.
+fn repl_out_loop(rx: &Receiver<Conn>, state: &ServerState) {
+    let engine = Engine::new(&state.rt, state.config.mode);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut senders_gone = false;
+    // Scratch only: this thread's frames must not feed the brownout
+    // controller or the per-worker gauges, so `finish_pump` is never
+    // called and the counters are cleared by hand each pass.
+    let mut wctx = WorkerCtx {
+        worker: 0,
+        frames_seen: 0,
+        lat_sum_ns: 0,
+        lat_count: 0,
+    };
+    loop {
+        // Adopt subscriber connections handed over by the workers.
+        loop {
+            match rx.try_recv() {
+                Ok(c) => conns.push(c),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    senders_gone = true;
+                    break;
+                }
+            }
+        }
+
+        let mut progressed = false;
         conns.retain_mut(|c| match c.pump(&engine, state, &mut wctx) {
             PumpOutcome::Alive { made_progress } => {
                 progressed |= made_progress;
@@ -769,13 +902,15 @@ fn worker_loop(worker: usize, rx: &Receiver<std::net::TcpStream>, state: &Server
                 false
             }
         });
-        state.finish_pump(&mut wctx);
+        wctx.frames_seen = 0;
+        wctx.lat_sum_ns = 0;
+        wctx.lat_count = 0;
 
         if state.shutting_down() {
             drain_and_close(&mut conns, state);
             return;
         }
-        if dispatcher_gone && conns.is_empty() {
+        if senders_gone && conns.is_empty() {
             return;
         }
         if !progressed {

@@ -8,8 +8,10 @@
 //!   syncer's durable tap (or directly by the request path on a no-WAL
 //!   primary) and knows nothing about sockets.
 //! * This module owns the *I/O*: [`pump_repl_out`] runs inside a
-//!   subscriber connection's normal pump quantum and turns feed state
-//!   into `REPL_BATCH` frames — snapshot chunks for resyncing shards,
+//!   subscriber connection's pump quantum — on the dedicated repl-out
+//!   thread, never a worker, so a worker blocked in `wait_replicated`
+//!   cannot starve the stream it waits on — and turns feed state into
+//!   `REPL_BATCH` frames: snapshot chunks for resyncing shards,
 //!   incremental batches for streaming ones, count-0 heartbeats to keep
 //!   the lease audited; [`replica_loop`] is the replica's dedicated
 //!   thread that dials the upstream primary, applies what arrives, and
@@ -48,6 +50,10 @@ pub(crate) struct ReplSub {
     pub(crate) id: SubId,
     /// Last heartbeat emission.
     last_beat: Instant,
+    /// Snapshot resync in flight: streamed chunk by chunk across pump
+    /// quanta so the output buffer stays bounded by [`OUT_HIGH_WATER`]
+    /// (plus one chunk) even for a huge shard.
+    snap: Option<SnapStream>,
 }
 
 impl ReplSub {
@@ -55,8 +61,26 @@ impl ReplSub {
         ReplSub {
             id,
             last_beat: Instant::now(),
+            snap: None,
         }
     }
+}
+
+/// One armed shard snapshot mid-stream. Holding the raw entries (24 B
+/// each) instead of encoding the whole shard at once is what keeps the
+/// per-subscriber output buffer bounded — the encoded chunks are
+/// produced lazily, backpressured by the connection's flush.
+struct SnapStream {
+    shard: u32,
+    entries: Vec<(u64, u64, u64)>,
+    /// The snapshot's version — `prev_version` on every chunk, and the
+    /// cut point handed back to the feed at FIN.
+    seq: u64,
+    now: u64,
+    /// Next entry index to encode.
+    next: usize,
+    /// Whether the RESET chunk already went out.
+    started: bool,
 }
 
 /// One pump quantum of primary→replica output for a subscribed stream:
@@ -74,19 +98,74 @@ pub(crate) fn pump_repl_out(
 ) -> bool {
     let mut progressed = false;
 
-    // Snapshot resync for every shard flagged Needed: arm (so records
-    // released from here on queue *behind* the snapshot), snapshot the
-    // live shard in one read section, ship it chunked, then cut the
-    // queue at the snapshot's version. If an overflow re-flagged the
-    // shard while we streamed chunks, the cut fails and the next pump
-    // restarts the resync — the replica's assembler handles a second
-    // RESET mid-flight.
-    for shard in feed.resync_needed(sub.id) {
-        feed.arm_resync(sub.id, shard);
-        let (entries, seq, now) = store.shard_at(shard as usize).snapshot(engine);
-        encode_snapshot_chunks(shard, &entries, seq, now, outbuf);
-        let _ = feed.resync_cut(sub.id, shard, seq);
-        progressed = true;
+    // Snapshot resync, one shard at a time, streamed across pump
+    // quanta: arm (so records released from here on queue *behind* the
+    // snapshot), snapshot the live shard in one read section, ship it
+    // chunked — pausing whenever the output buffer crosses
+    // [`OUT_HIGH_WATER`] and resuming from the last chunk next quantum —
+    // then cut the queue at the snapshot's version. If an overflow
+    // re-flagged the shard while chunks streamed, the cut fails and a
+    // later pump restarts the resync — the replica's assembler handles
+    // a second RESET mid-flight.
+    while outbuf.len() < OUT_HIGH_WATER {
+        if sub.snap.is_none() {
+            let Some(&shard) = feed.resync_needed(sub.id).first() else {
+                break;
+            };
+            feed.arm_resync(sub.id, shard);
+            let (entries, seq, now) = store.shard_at(shard as usize).snapshot(engine);
+            sub.snap = Some(SnapStream {
+                shard,
+                entries,
+                seq,
+                now,
+                next: 0,
+                started: false,
+            });
+        }
+        let snap = sub.snap.as_mut().expect("armed above");
+        let mut finished = false;
+        while outbuf.len() < OUT_HIGH_WATER {
+            let end = (snap.next + BATCH_RECORDS).min(snap.entries.len());
+            let mut flags = REPL_FLAG_SNAP;
+            if !snap.started {
+                flags |= REPL_FLAG_RESET;
+            }
+            if end == snap.entries.len() {
+                flags |= REPL_FLAG_FIN;
+            }
+            let records: Vec<ReplRecord> = snap.entries[snap.next..end]
+                .iter()
+                .map(|&(key, value, exp)| ReplRecord {
+                    kind: REPL_KIND_PUT,
+                    key,
+                    value,
+                    exp,
+                })
+                .collect();
+            encode_response(
+                &Response::ReplBatch {
+                    shard: snap.shard,
+                    flags,
+                    prev_version: snap.seq,
+                    now: snap.now,
+                    records,
+                },
+                outbuf,
+            );
+            snap.started = true;
+            snap.next = end;
+            progressed = true;
+            if flags & REPL_FLAG_FIN != 0 {
+                finished = true;
+                break;
+            }
+        }
+        if finished {
+            let snap = sub.snap.take().expect("streamed above");
+            let _ = feed.resync_cut(sub.id, snap.shard, snap.seq);
+        }
+        // Not finished: paused at the high-water mark, resume next pump.
     }
 
     // Incremental stream, bounded by output backpressure.
@@ -133,52 +212,6 @@ pub(crate) fn pump_repl_out(
         sub.last_beat = Instant::now();
     }
     progressed
-}
-
-/// Encodes one shard snapshot as chunked `SNAP` batches: RESET on the
-/// first chunk, FIN on the last, `prev_version` = the snapshot's version
-/// on every chunk.
-fn encode_snapshot_chunks(
-    shard: u32,
-    entries: &[(u64, u64, u64)],
-    seq: u64,
-    now: u64,
-    outbuf: &mut Vec<u8>,
-) {
-    let chunks: Vec<&[(u64, u64, u64)]> = if entries.is_empty() {
-        vec![&[]] // an empty shard still needs its RESET|FIN frame
-    } else {
-        entries.chunks(BATCH_RECORDS).collect()
-    };
-    let nchunks = chunks.len();
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        let mut flags = REPL_FLAG_SNAP;
-        if i == 0 {
-            flags |= REPL_FLAG_RESET;
-        }
-        if i + 1 == nchunks {
-            flags |= REPL_FLAG_FIN;
-        }
-        let records: Vec<ReplRecord> = chunk
-            .iter()
-            .map(|&(key, value, exp)| ReplRecord {
-                kind: REPL_KIND_PUT,
-                key,
-                value,
-                exp,
-            })
-            .collect();
-        encode_response(
-            &Response::ReplBatch {
-                shard,
-                flags,
-                prev_version: seq,
-                now,
-                records,
-            },
-            outbuf,
-        );
-    }
 }
 
 /// Replica-side counters, reported in the STATS `repl` object.
@@ -341,6 +374,20 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                     if shard_idx >= state.store.shards() {
                         return SessionEnd::Failed;
                     }
+                    // Role re-check, atomic with the apply: a
+                    // REPL_PROMOTE may have flipped this node to primary
+                    // while this batch sat buffered in `inbuf`. The gate
+                    // pairs with `promote_to_primary` — once the
+                    // promotion has re-based the feed, no batch may
+                    // advance the store past that base, so the check and
+                    // the store mutation share one critical section.
+                    let gate = state
+                        .promote_gate
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if !state.is_replica() {
+                        return SessionEnd::Stop;
+                    }
                     let ack = if flags & REPL_FLAG_SNAP != 0 {
                         match assembler.feed(shard, flags, prev_version, &records) {
                             Some((entries, version)) => {
@@ -403,6 +450,8 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                             }
                         }
                     };
+                    // The gate must not be held across socket writes.
+                    drop(gate);
                     if let Some(ack) = ack {
                         frame.clear();
                         encode_repl_request(&ack, &mut frame);

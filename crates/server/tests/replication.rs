@@ -360,6 +360,66 @@ fn synchronous_acks_are_immediately_readable_on_the_replica() {
     shutdown(primary);
 }
 
+/// Regression: with a single worker the writing client and the
+/// replica's subscription are forced onto the same worker. Subscriber
+/// streams are pumped by the dedicated repl-out thread, so a `min_acks`
+/// write must still be acknowledged — when the worker pumped the
+/// subscriber itself, its blocking `wait_replicated` starved the very
+/// batch it was waiting on and every write timed out until the lease
+/// falsely fenced the primary.
+#[test]
+fn synchronous_acks_survive_a_single_worker() {
+    gocc_gosync::set_procs(8);
+    let mut config = primary_config(Mode::Gocc);
+    config.workers = 1;
+    config.repl_min_acks = 1;
+    config.repl_lease = Duration::from_millis(500);
+    config.repl_ack_timeout = Duration::from_secs(5);
+    let primary = spawn(config).expect("spawn primary");
+    let mut replica_cfg = replica_config(Mode::Gocc, primary.port());
+    replica_cfg.workers = 1;
+    let replica = spawn(replica_cfg).expect("spawn replica");
+    let mut p = Client::connect(primary.port());
+
+    // Unfence: wait for the subscription to land and the first ack.
+    let until = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = p.call(&Request::Set {
+            key: b"warm",
+            value: 1,
+            ttl: 0,
+        });
+        if resp == Response::Done {
+            break;
+        }
+        assert!(Instant::now() < until, "primary never unfenced: {resp:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Every synchronous write must ack promptly — no repl_ack_timeout
+    // stalls, no false fencing.
+    for i in 0..50u64 {
+        let key = format!("one-worker-{i}");
+        let t0 = Instant::now();
+        assert_eq!(
+            p.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i,
+                ttl: 0
+            }),
+            Response::Done,
+            "min_acks write must be acknowledged with workers=1"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "ack stalled — subscriber stream starved by the worker"
+        );
+    }
+
+    shutdown(replica);
+    shutdown(primary);
+}
+
 /// REPL_PROMOTE with an empty upstream turns the replica into a primary:
 /// role flips, writes are accepted, and the feed is re-based.
 #[test]
