@@ -573,60 +573,83 @@ fn phase3_networked(args: &Args, mode: Mode, live: &Liveness) -> Result<(), Stri
                         args.seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64),
                     );
                     let io = |e: std::io::Error| format!("client {t}: {e}");
-                    let mut resp = Vec::new();
                     let value_of = |i: u64| (t as u64).wrapping_mul(1_000_003) + i * 7;
-                    for i in 0..args.net_keys {
-                        let key = format!("c{t}-{i}");
-                        client
-                            .call(
-                                &Request::Set {
-                                    key: key.as_bytes(),
-                                    value: value_of(i),
-                                    ttl: 0,
-                                },
-                                &mut resp,
-                            )
-                            .map_err(io)?;
-                        if decode_response(&resp).map_err(|e| format!("client {t}: {e}"))?
-                            != Response::Done
-                        {
-                            return Err(format!("client {t}: SET {key} not acknowledged"));
+                    // Pipelined seeding: SETs go out in bursts of 8 and
+                    // the whole burst replays on an I/O fault (idempotent
+                    // verbs only, so batch replay stays safe under chaos).
+                    const BATCH: u64 = 8;
+                    let mut resps: Vec<Vec<u8>> = Vec::new();
+                    let mut start = 0u64;
+                    while start < args.net_keys {
+                        let end = (start + BATCH).min(args.net_keys);
+                        let keys: Vec<String> = (start..end).map(|i| format!("c{t}-{i}")).collect();
+                        let reqs: Vec<Request<'_>> = keys
+                            .iter()
+                            .zip(start..end)
+                            .map(|(key, i)| Request::Set {
+                                key: key.as_bytes(),
+                                value: value_of(i),
+                                ttl: 0,
+                            })
+                            .collect();
+                        client.call_pipelined(&reqs, &mut resps).map_err(io)?;
+                        for (body, key) in resps.iter().zip(&keys) {
+                            if decode_response(body).map_err(|e| format!("client {t}: {e}"))?
+                                != Response::Done
+                            {
+                                return Err(format!("client {t}: SET {key} not acknowledged"));
+                            }
                         }
                         live.beat();
+                        start = end;
                     }
-                    for i in 0..args.net_keys {
-                        let key = format!("c{t}-{i}");
-                        let deleted = i % 5 == 4;
-                        if deleted {
-                            client
-                                .call(
-                                    &Request::Del {
-                                        key: key.as_bytes(),
-                                    },
-                                    &mut resp,
-                                )
-                                .map_err(io)?;
-                        }
-                        client
-                            .call(
-                                &Request::Get {
+                    // Verify phase, also pipelined: each key's DEL (every
+                    // fifth) rides in the same burst as its GET; FIFO
+                    // order on one connection keeps them serialized.
+                    let mut start = 0u64;
+                    while start < args.net_keys {
+                        let end = (start + BATCH).min(args.net_keys);
+                        let keys: Vec<String> = (start..end).map(|i| format!("c{t}-{i}")).collect();
+                        let mut reqs: Vec<Request<'_>> = Vec::new();
+                        let mut expect: Vec<Option<Response<'_>>> = Vec::new();
+                        for (key, i) in keys.iter().zip(start..end) {
+                            let deleted = i % 5 == 4;
+                            if deleted {
+                                reqs.push(Request::Del {
                                     key: key.as_bytes(),
-                                },
-                                &mut resp,
-                            )
-                            .map_err(io)?;
-                        let got = decode_response(&resp).map_err(|e| format!("client {t}: {e}"))?;
-                        let want = Response::Value {
-                            found: !deleted,
-                            value: if deleted { 0 } else { value_of(i) },
-                        };
-                        if got != want {
-                            return Err(format!(
-                                "client {t}: {key} diverged under transport faults: \
-                                 got {got:?}, want {want:?}"
-                            ));
+                                });
+                                expect.push(None); // any Deleted shape is fine
+                            }
+                            reqs.push(Request::Get {
+                                key: key.as_bytes(),
+                            });
+                            expect.push(Some(Response::Value {
+                                found: !deleted,
+                                value: if deleted { 0 } else { value_of(i) },
+                            }));
+                        }
+                        client.call_pipelined(&reqs, &mut resps).map_err(io)?;
+                        for (body, want) in resps.iter().zip(&expect) {
+                            let got =
+                                decode_response(body).map_err(|e| format!("client {t}: {e}"))?;
+                            match want {
+                                None => {
+                                    if !matches!(got, Response::Deleted { .. }) {
+                                        return Err(format!("client {t}: DEL answered {got:?}"));
+                                    }
+                                }
+                                Some(want) => {
+                                    if got != *want {
+                                        return Err(format!(
+                                            "client {t}: key diverged under transport \
+                                             faults: got {got:?}, want {want:?}"
+                                        ));
+                                    }
+                                }
+                            }
                         }
                         live.beat();
+                        start = end;
                     }
                     Ok((client.reconnects(), client.replays()))
                 })

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gocc_faultplane::{StorageFaultPlan, StorageMix};
+use gocc_loadgen::{connect_with_retry, ClientConfig};
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_server::{mode_name, parse_mode, Mode, ShardedStore};
 use gocc_telemetry::{JsonValue, SplitMix64};
@@ -467,26 +468,24 @@ struct SoakClient {
 
 impl SoakClient {
     fn connect(port: u16) -> Result<SoakClient, String> {
-        // The daemon may take a beat between LISTENING and accept.
-        let mut last = String::new();
-        for _ in 0..50 {
-            match TcpStream::connect(("127.0.0.1", port)) {
-                Ok(stream) => {
-                    stream
-                        .set_read_timeout(Some(Duration::from_secs(10)))
-                        .map_err(|e| e.to_string())?;
-                    stream.set_nodelay(true).map_err(|e| e.to_string())?;
-                    return Ok(SoakClient {
-                        stream,
-                        wirebuf: Vec::new(),
-                        respbuf: Vec::new(),
-                    });
-                }
-                Err(e) => last = e.to_string(),
-            }
-            std::thread::sleep(Duration::from_millis(20));
-        }
-        Err(format!("connect 127.0.0.1:{port}: {last}"))
+        // The daemon may take a beat between LISTENING and accept, so the
+        // refused budget is generous — this is startup, not a dead daemon.
+        let cfg = ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            connect_attempts: 50,
+            refused_attempts: 50,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(25),
+            ..ClientConfig::default()
+        };
+        let mut rng = SplitMix64::new(0xC4A5_4150 ^ u64::from(port));
+        let stream = connect_with_retry(port, &cfg, &mut rng)
+            .map_err(|e| format!("connect 127.0.0.1:{port}: {e}"))?;
+        Ok(SoakClient {
+            stream,
+            wirebuf: Vec::new(),
+            respbuf: Vec::new(),
+        })
     }
 
     fn call(&mut self, req: &Request<'_>) -> Result<Response<'_>, String> {

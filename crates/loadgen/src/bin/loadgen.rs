@@ -37,6 +37,12 @@ struct Args {
     /// Drain up to N flight-recorder spans after the window (0 = server
     /// default cap) and print the TRACE document. External targets only.
     trace: Option<u32>,
+    /// Depth for external runs; restricts the sweep's depth axis when
+    /// given. `None` = depth 1 externally, the [1, 8, 32] axis in sweeps.
+    pipeline: Option<usize>,
+    /// Minimum ops/sec ratio (deepest depth vs depth 1, at 1 worker)
+    /// each swept mode must reach; violation exits with code 4.
+    pipeline_gate: Option<f64>,
     out: Option<String>,
     server_workers: usize,
     shards: usize,
@@ -46,9 +52,9 @@ struct Args {
 
 fn usage() -> String {
     "usage: loadgen [--mode lock|gocc|both] [--workers N] [--addr 127.0.0.1:PORT] \
-     [--shutdown] [--trace N] [--out PATH|none] [--server-workers N] [--shards N] \
-     [--capacity N] [--warmup-ms N] [--window-ms N] [--keyspace N] [--read-frac F] \
-     [--zipf S] [--scan-every N] [--seed N]"
+     [--shutdown] [--trace N] [--pipeline N] [--pipeline-gate X] [--out PATH|none] \
+     [--server-workers N] [--shards N] [--capacity N] [--warmup-ms N] [--window-ms N] \
+     [--keyspace N] [--read-frac F] [--zipf S] [--scan-every N] [--seed N]"
         .to_string()
 }
 
@@ -59,6 +65,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         addr: None,
         shutdown: false,
         trace: None,
+        pipeline: None,
+        pipeline_gate: None,
         out: None,
         server_workers: 2,
         shards: 4,
@@ -97,6 +105,16 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--addr" => args.addr = Some(value("--addr")?),
             "--shutdown" => args.shutdown = true,
             "--trace" => args.trace = Some(num("--trace", &value("--trace")?)?),
+            "--pipeline" => {
+                let d: usize = num("--pipeline", &value("--pipeline")?)?;
+                if d == 0 {
+                    return Err("--pipeline must be >= 1".into());
+                }
+                args.pipeline = Some(d);
+            }
+            "--pipeline-gate" => {
+                args.pipeline_gate = Some(num("--pipeline-gate", &value("--pipeline-gate")?)?);
+            }
             "--out" => {
                 let v = value("--out")?;
                 args.out = (v != "none").then_some(v);
@@ -134,6 +152,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     }
     if args.trace.is_some() && args.addr.is_none() {
         return Err("--trace drains a live daemon; it needs --addr".into());
+    }
+    if args.pipeline_gate.is_some() && args.addr.is_some() {
+        return Err("--pipeline-gate compares sweep depths; it conflicts with --addr".into());
     }
     if !out_given {
         // Sweeps produce the artifact by default; smoke runs against an
@@ -186,11 +207,12 @@ fn measure(
     })
 }
 
-fn print_row(mode: Mode, m: &ModeResult) {
+fn print_row(mode: Mode, depth: usize, m: &ModeResult) {
     let p = &m.point;
     println!(
-        "{:>7}  {:<4}  {:>9}  {:>11.0}  {:>9}  {:>9}  {:>5}",
+        "{:>7}  {:>4}  {:<4}  {:>9}  {:>11.0}  {:>9}  {:>9}  {:>5}",
         p.workers,
+        depth,
         mode_name(mode),
         p.ops,
         p.ops_per_sec(),
@@ -208,14 +230,19 @@ fn print_row(mode: Mode, m: &ModeResult) {
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<ExitCode, String> {
     let modes: Vec<Mode> = match args.mode {
         Some(m) => vec![m],
         None => vec![Mode::Lock, Mode::Gocc],
     };
+    let depths: Vec<usize> = match args.pipeline {
+        Some(d) => vec![d],
+        None if args.addr.is_some() => vec![1],
+        None => vec![1, 8, 32],
+    };
     println!(
-        "{:>7}  {:<4}  {:>9}  {:>11}  {:>9}  {:>9}  {:>5}",
-        "workers", "mode", "ops", "ops/s", "p50(ns)", "p99(ns)", "errs"
+        "{:>7}  {:>4}  {:<4}  {:>9}  {:>11}  {:>9}  {:>9}  {:>5}",
+        "workers", "pipe", "mode", "ops", "ops/s", "p50(ns)", "p99(ns)", "errs"
     );
 
     let mut rows = Vec::new();
@@ -223,10 +250,13 @@ fn run(args: &Args) -> Result<(), String> {
         // External server: one point, no sweep, caller owns the lifecycle.
         let port = loopback_port(addr)?;
         let mode = args.mode.expect("checked in parse_args");
-        let m = measure(port, mode, args.workers, &args.load)?;
-        print_row(mode, &m);
+        let mut load = args.load.clone();
+        load.pipeline = depths[0];
+        let m = measure(port, mode, args.workers, &load)?;
+        print_row(mode, depths[0], &m);
         let mut row = SweepRow {
             workers: args.workers,
+            pipeline: depths[0],
             ..SweepRow::default()
         };
         match mode {
@@ -244,53 +274,111 @@ fn run(args: &Args) -> Result<(), String> {
         }
     } else {
         for wc in sweep_counts(args.workers) {
-            let mut row = SweepRow {
-                workers: wc,
-                ..SweepRow::default()
-            };
-            for &mode in &modes {
-                // A fresh server per point: no cross-point warmup bleed,
-                // and each mode's telemetry covers exactly one window.
-                let handle = spawn(ServerConfig {
-                    mode,
-                    port: 0,
-                    workers: args.server_workers,
-                    shards: args.shards,
-                    capacity_per_shard: args.capacity,
-                    write_timeout: Duration::from_secs(5),
-                    ..ServerConfig::default()
-                })
-                .map_err(|e| format!("spawn goccd: {e}"))?;
-                let result = measure(handle.port(), mode, wc, &args.load);
-                let shutdown = send_shutdown(handle.port());
-                let summary = handle.join();
-                let m = result?;
-                shutdown?;
-                if summary.slow_client_drops > 0 {
-                    eprintln!(
-                        "warning: server dropped {} slow clients",
-                        summary.slow_client_drops
+            for &depth in &depths {
+                let mut row = SweepRow {
+                    workers: wc,
+                    pipeline: depth,
+                    ..SweepRow::default()
+                };
+                let mut load = args.load.clone();
+                load.pipeline = depth;
+                for &mode in &modes {
+                    // A fresh server per point: no cross-point warmup
+                    // bleed, and each mode's telemetry covers exactly one
+                    // window.
+                    let handle = spawn(ServerConfig {
+                        mode,
+                        port: 0,
+                        workers: args.server_workers,
+                        shards: args.shards,
+                        capacity_per_shard: args.capacity,
+                        write_timeout: Duration::from_secs(5),
+                        ..ServerConfig::default()
+                    })
+                    .map_err(|e| format!("spawn goccd: {e}"))?;
+                    let result = measure(handle.port(), mode, wc, &load);
+                    let shutdown = send_shutdown(handle.port());
+                    let summary = handle.join();
+                    let m = result?;
+                    shutdown?;
+                    if summary.slow_client_drops > 0 {
+                        eprintln!(
+                            "warning: server dropped {} slow clients",
+                            summary.slow_client_drops
+                        );
+                    }
+                    print_row(mode, depth, &m);
+                    match mode {
+                        Mode::Lock => row.lock = Some(m),
+                        Mode::Gocc => row.gocc = Some(m),
+                    }
+                }
+                if let Some(s) = row.speedup_pct() {
+                    println!(
+                        "{:>7}  {:>4}  gocc vs lock: {s:+.1}%",
+                        row.workers, row.pipeline
                     );
                 }
-                print_row(mode, &m);
-                match mode {
-                    Mode::Lock => row.lock = Some(m),
-                    Mode::Gocc => row.gocc = Some(m),
-                }
+                rows.push(row);
             }
-            if let Some(s) = row.speedup_pct() {
-                println!("{:>7}  gocc vs lock: {s:+.1}%", row.workers);
-            }
-            rows.push(row);
         }
     }
 
     if let Some(path) = &args.out {
-        let json = gocc_bench::with_header("server", &bench_server_json(&args.load, &rows));
+        let json =
+            gocc_bench::with_header("server", &bench_server_json(&args.load, &depths, &rows));
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
-    Ok(())
+
+    if let Some(min_ratio) = args.pipeline_gate {
+        return pipeline_gate(&rows, &depths, min_ratio);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Checks the pipelining payoff: at 1 worker, the deepest depth must
+/// deliver at least `min_ratio`× the ops/sec of depth 1, for every mode
+/// that was swept. Returns exit code 4 on a violation (the soak-gate
+/// convention: distinguishable from setup failures).
+fn pipeline_gate(rows: &[SweepRow], depths: &[usize], min_ratio: f64) -> Result<ExitCode, String> {
+    let deepest = *depths.iter().max().expect("at least one depth");
+    if depths.len() < 2 || deepest < 2 {
+        return Err("--pipeline-gate needs a sweep covering depth 1 and a deeper depth".into());
+    }
+    let point = |depth: usize| {
+        rows.iter()
+            .find(|r| r.workers == 1 && r.pipeline == depth)
+            .ok_or_else(|| format!("gate point (1 worker, depth {depth}) missing from sweep"))
+    };
+    let (base, deep) = (point(1)?, point(deepest)?);
+    let mut violated = false;
+    for (name, pick) in [
+        (
+            "lock",
+            &(|r: &SweepRow| r.lock.clone()) as &dyn Fn(&SweepRow) -> Option<ModeResult>,
+        ),
+        ("gocc", &|r: &SweepRow| r.gocc.clone()),
+    ] {
+        let (Some(b), Some(d)) = (pick(base), pick(deep)) else {
+            continue;
+        };
+        let ratio = d.point.ops_per_sec() / b.point.ops_per_sec().max(1e-9);
+        let verdict = if ratio >= min_ratio {
+            "ok"
+        } else {
+            "VIOLATION"
+        };
+        println!(
+            "pipeline gate [{name}]: depth {deepest} vs 1 at 1 worker: \
+             {ratio:.1}x (need >= {min_ratio:.1}x) {verdict}"
+        );
+        violated |= ratio < min_ratio;
+    }
+    if violated {
+        return Ok(ExitCode::from(4));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -304,7 +392,7 @@ fn main() -> ExitCode {
     };
     gocc_gosync::set_procs(8);
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("loadgen: {msg}");
             ExitCode::FAILURE

@@ -34,7 +34,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use gocc_loadgen::fetch_stats;
+use gocc_loadgen::{connect_with_retry, fetch_stats, ClientConfig};
 use gocc_server::{mode_name, spawn, Mode, ServerConfig, ServerHandle};
 use gocc_telemetry::{JsonValue, JsonWriter, SplitMix64};
 use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
@@ -153,12 +153,15 @@ fn call<'b>(
 }
 
 fn connect(port: u16) -> Result<TcpStream, String> {
-    let stream = TcpStream::connect(("127.0.0.1", port)).map_err(|e| e.to_string())?;
-    stream.set_nodelay(true).map_err(|e| e.to_string())?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| e.to_string())?;
-    Ok(stream)
+    // connect_with_retry sets nodelay + read timeout; the in-process
+    // server is already listening, so the default bounded schedule is
+    // plenty.
+    let cfg = ClientConfig {
+        read_timeout: Duration::from_secs(10),
+        ..ClientConfig::default()
+    };
+    let mut rng = SplitMix64::new(0x5EED_C0DE ^ u64::from(port));
+    connect_with_retry(port, &cfg, &mut rng).map_err(|e| e.to_string())
 }
 
 /// One measured cell: primary + `replicas` followers, preloaded and

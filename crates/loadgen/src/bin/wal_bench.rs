@@ -32,12 +32,12 @@
 //! ```
 
 use std::io::Write as _;
-use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use gocc_loadgen::{connect_with_retry, ClientConfig};
 use gocc_optilock::{GoccConfig, GoccRuntime};
 use gocc_server::{mode_name, spawn, Mode, ServerConfig, ShardedStore, SyncPolicy};
 use gocc_telemetry::{JsonWriter, SplitMix64};
@@ -238,12 +238,12 @@ fn measure_service(
             .map(|t| {
                 let stop = &stop;
                 s.spawn(move || {
-                    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
-                    stream.set_nodelay(true).unwrap();
-                    stream
-                        .set_read_timeout(Some(Duration::from_secs(10)))
-                        .unwrap();
+                    let cfg = ClientConfig {
+                        read_timeout: Duration::from_secs(10),
+                        ..ClientConfig::default()
+                    };
                     let mut rng = SplitMix64::new(0x5EED ^ (t as u64 + 1).wrapping_mul(0x9E37));
+                    let mut stream = connect_with_retry(port, &cfg, &mut rng).expect("connect");
                     let (mut wirebuf, mut respbuf) = (Vec::new(), Vec::new());
                     let mut keybuf = String::new();
                     let mut ops = 0u64;

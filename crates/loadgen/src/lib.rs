@@ -54,6 +54,12 @@ pub struct LoadConfig {
     pub window: Duration,
     /// Base RNG seed.
     pub seed: u64,
+    /// Frames kept outstanding per connection. 1 (the default) is the
+    /// classic closed loop: send, wait, repeat. Above 1 each connection
+    /// keeps this many requests in flight over one socket, matching
+    /// responses FIFO — the client-side half of the batching amortization
+    /// (many frames per round-trip, many requests per server pump pass).
+    pub pipeline: usize,
     /// Connection resilience (timeouts, bounded retries, replay).
     pub client: ClientConfig,
 }
@@ -69,6 +75,7 @@ impl Default for LoadConfig {
             warmup: Duration::from_millis(200),
             window: Duration::from_millis(800),
             seed: 42,
+            pipeline: 1,
             client: ClientConfig::default(),
         }
     }
@@ -149,7 +156,14 @@ pub fn run_point(port: u16, workers: usize, cfg: &LoadConfig) -> io::Result<Poin
             let seed = cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let cfg = cfg.clone();
             s.spawn(move || {
-                drive_connection(port, &cfg, zipf, seed, phase, tallies, hist);
+                // Depth 1 keeps the original one-at-a-time driver byte for
+                // byte — unpipelined results stay comparable across
+                // versions of the pipelined driver.
+                if cfg.pipeline > 1 {
+                    drive_pipelined(port, &cfg, zipf, seed, phase, tallies, hist);
+                } else {
+                    drive_connection(port, &cfg, zipf, seed, phase, tallies, hist);
+                }
             });
         }
         std::thread::sleep(cfg.warmup);
@@ -298,6 +312,322 @@ fn drive_connection(
         .fetch_add(client.replays(), Ordering::SeqCst);
 }
 
+/// One outstanding pipelined request: everything needed to replay it over
+/// a fresh connection (the op spec, owned) plus the submit instant the
+/// latency measurement runs from.
+struct PipeInflight {
+    submitted: Instant,
+    measured: bool,
+    op: PipeOp,
+}
+
+/// Owned, replayable form of one workload op (key index instead of the
+/// formatted key string).
+#[derive(Clone, Copy)]
+enum PipeOp {
+    Get { key: usize },
+    Set { key: usize, value: u64 },
+    Del { key: usize },
+    Incr { key: usize },
+    Scan { limit: u32 },
+}
+
+impl PipeOp {
+    /// Encodes this op as a wire frame onto `outbuf`.
+    fn encode(self, keybuf: &mut String, outbuf: &mut Vec<u8>) {
+        use std::fmt::Write as _;
+        keybuf.clear();
+        let req = match self {
+            PipeOp::Get { key } => {
+                let _ = write!(keybuf, "key-{key}");
+                Request::Get {
+                    key: keybuf.as_bytes(),
+                }
+            }
+            PipeOp::Set { key, value } => {
+                let _ = write!(keybuf, "key-{key}");
+                Request::Set {
+                    key: keybuf.as_bytes(),
+                    value,
+                    ttl: 0,
+                }
+            }
+            PipeOp::Del { key } => {
+                let _ = write!(keybuf, "key-{key}");
+                Request::Del {
+                    key: keybuf.as_bytes(),
+                }
+            }
+            PipeOp::Incr { key } => {
+                let _ = write!(keybuf, "key-{key}");
+                Request::Incr {
+                    key: keybuf.as_bytes(),
+                    delta: 1,
+                }
+            }
+            PipeOp::Scan { limit } => Request::Scan { limit },
+        };
+        gocc_wire::encode_request(&req, outbuf);
+    }
+
+    /// Whether a lost response leaves the op safe to re-send. INCR is the
+    /// one non-idempotent verb: replaying it could double-count.
+    fn idempotent(self) -> bool {
+        !matches!(self, PipeOp::Incr { .. })
+    }
+
+    /// Whether `resp` is the right success shape for this op (overload /
+    /// deadline / error responses are matched separately).
+    fn matches(self, resp: &Response<'_>) -> bool {
+        matches!(
+            (self, resp),
+            (PipeOp::Get { .. }, Response::Value { .. })
+                | (PipeOp::Set { .. }, Response::Done)
+                | (PipeOp::Del { .. }, Response::Deleted { .. })
+                | (PipeOp::Incr { .. }, Response::Counter { .. })
+                | (PipeOp::Scan { .. }, Response::Entries { .. })
+        )
+    }
+}
+
+/// Draws the next workload op — the exact mix and RNG draw order of
+/// [`drive_connection`], in owned form.
+fn draw_pipe_op(cfg: &LoadConfig, zipf: &Zipf, rng: &mut SplitMix64, op_index: u64) -> PipeOp {
+    let key = zipf.sample(rng);
+    if cfg.scan_every > 0 && op_index.is_multiple_of(cfg.scan_every) {
+        PipeOp::Scan {
+            limit: cfg.scan_limit,
+        }
+    } else if rng.chance(cfg.read_frac) {
+        PipeOp::Get { key }
+    } else {
+        match rng.below(8) {
+            0 => PipeOp::Del { key },
+            1 => PipeOp::Incr { key },
+            _ => PipeOp::Set {
+                key,
+                value: rng.next_u64(),
+            },
+        }
+    }
+}
+
+/// The pipelined closed loop: keep `cfg.pipeline` frames outstanding on
+/// one nonblocking socket, match responses FIFO (the server answers every
+/// admitted frame in order), measure submit→match per request. On an I/O
+/// failure the connection is rebuilt and the outstanding *idempotent*
+/// requests are replayed in order; outstanding INCRs are dropped and
+/// counted as client errors — their fate is unknown, same contract as the
+/// resilient client's no-replay rule.
+fn drive_pipelined(
+    port: u16,
+    cfg: &LoadConfig,
+    zipf: &Zipf,
+    seed: u64,
+    phase: &AtomicU8,
+    tallies: &PointTallies,
+    hist: &LatencyHistogram,
+) {
+    use std::io::{Read, Write};
+
+    let depth = cfg.pipeline;
+    // Same stream split as drive_connection: workload draws never depend
+    // on resilience events.
+    let mut rng = SplitMix64::new(seed);
+    let mut backoff_rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+    let connect = |backoff_rng: &mut SplitMix64| -> io::Result<std::net::TcpStream> {
+        let stream = connect_with_retry(port, &cfg.client, backoff_rng)?;
+        stream.set_nonblocking(true)?;
+        Ok(stream)
+    };
+    let Ok(mut stream) = connect(&mut backoff_rng) else {
+        tallies.client_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+
+    let mut inflight: std::collections::VecDeque<PipeInflight> =
+        std::collections::VecDeque::with_capacity(depth);
+    let mut outbuf: Vec<u8> = Vec::new();
+    let mut framebuf = gocc_wire::FrameBuf::new();
+    let mut readbuf = [0u8; 16 * 1024];
+    let mut keybuf = String::new();
+    let mut local_ops = 0u64;
+    let mut local_reconnects = 0u64;
+    let mut local_replays = 0u64;
+    let mut op_index = 0u64;
+    let mut consecutive_failures = 0u32;
+
+    'outer: loop {
+        let ph = phase.load(Ordering::Acquire);
+        if ph == PHASE_DONE {
+            break;
+        }
+
+        // Top up to the configured depth.
+        while inflight.len() < depth {
+            op_index += 1;
+            let op = draw_pipe_op(cfg, zipf, &mut rng, op_index);
+            op.encode(&mut keybuf, &mut outbuf);
+            inflight.push_back(PipeInflight {
+                submitted: Instant::now(),
+                measured: ph == PHASE_MEASURE,
+                op,
+            });
+        }
+
+        // Push pending frames as far as the socket allows.
+        let mut io_failed = false;
+        let mut progressed = false;
+        while !outbuf.is_empty() {
+            match stream.write(&outbuf) {
+                Ok(0) => {
+                    io_failed = true;
+                    break;
+                }
+                Ok(k) => {
+                    outbuf.drain(..k);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    io_failed = true;
+                    break;
+                }
+            }
+        }
+
+        // Drain and FIFO-match whatever responses have arrived.
+        if !io_failed {
+            loop {
+                match stream.read(&mut readbuf) {
+                    Ok(0) => {
+                        io_failed = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        framebuf.extend(&readbuf[..k]);
+                        match match_pipe_frames(
+                            &mut framebuf,
+                            &mut inflight,
+                            tallies,
+                            hist,
+                            &mut local_ops,
+                        ) {
+                            Ok(matched) => progressed |= matched,
+                            Err(()) => {
+                                // Mis-shaped response: protocol bug, not
+                                // chaos. Stop so the point reports it.
+                                tallies.client_errors.fetch_add(1, Ordering::Relaxed);
+                                break 'outer;
+                            }
+                        }
+                        if k < readbuf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        io_failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if io_failed {
+            local_reconnects += 1;
+            consecutive_failures += 1;
+            if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+                tallies.client_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            outbuf.clear();
+            framebuf = gocc_wire::FrameBuf::new();
+            let pending: Vec<PipeInflight> = inflight.drain(..).collect();
+            match connect(&mut backoff_rng) {
+                Ok(s) => stream = s,
+                Err(_) => {
+                    tallies.client_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            // Replay outstanding idempotent requests in order; drop the
+            // non-idempotent ones.
+            for f in pending {
+                if f.op.idempotent() {
+                    f.op.encode(&mut keybuf, &mut outbuf);
+                    local_replays += 1;
+                    inflight.push_back(f);
+                } else {
+                    tallies.client_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            continue;
+        }
+        if progressed {
+            consecutive_failures = 0;
+        } else {
+            // Nothing moved: responses are in flight. Nap briefly instead
+            // of spinning on the nonblocking socket.
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    tallies.ops.fetch_add(local_ops, Ordering::SeqCst);
+    tallies
+        .reconnects
+        .fetch_add(local_reconnects, Ordering::SeqCst);
+    tallies.replays.fetch_add(local_replays, Ordering::SeqCst);
+}
+
+/// Decodes every complete frame in `framebuf`, matching FIFO against
+/// `inflight` with the same response classification as
+/// [`drive_connection`]. `Ok(true)` when at least one frame matched;
+/// `Err(())` on a protocol violation (mis-shaped or unsolicited
+/// response).
+fn match_pipe_frames(
+    framebuf: &mut gocc_wire::FrameBuf,
+    inflight: &mut std::collections::VecDeque<PipeInflight>,
+    tallies: &PointTallies,
+    hist: &LatencyHistogram,
+    local_ops: &mut u64,
+) -> Result<bool, ()> {
+    let mut matched = false;
+    loop {
+        let frame = match framebuf.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(matched),
+            Err(_) => return Err(()),
+        };
+        let Ok(resp) = decode_response(frame) else {
+            return Err(());
+        };
+        let Some(f) = inflight.pop_front() else {
+            return Err(());
+        };
+        match resp {
+            Response::Error { .. } => {
+                tallies.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Overloaded { .. } => {
+                tallies.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::DeadlineExceeded => {
+                tallies.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            ref r if f.op.matches(r) => {}
+            _ => return Err(()),
+        }
+        matched = true;
+        if f.measured {
+            hist.record(f.submitted.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            *local_ops += 1;
+        }
+    }
+}
+
 /// A fetched-and-validated STATS document.
 #[derive(Clone, Debug)]
 pub struct StatsDoc {
@@ -421,6 +751,10 @@ pub struct ModeResult {
 pub struct SweepRow {
     /// Closed-loop connection count.
     pub workers: usize,
+    /// Frames outstanding per connection when this row was measured
+    /// (1 = classic closed loop). `Default` yields 0; builders must set
+    /// it explicitly so depth is never silently conflated across rows.
+    pub pipeline: usize,
     /// Lock-mode result.
     pub lock: Option<ModeResult>,
     /// Gocc-mode result.
@@ -479,7 +813,7 @@ fn mode_fields(w: &mut JsonWriter, m: &ModeResult) {
 /// Renders the `BENCH_server.json` document (same artifact family as the
 /// figure benches: a `"figure"` tag, config echo, measured points).
 #[must_use]
-pub fn bench_server_json(cfg: &LoadConfig, rows: &[SweepRow]) -> String {
+pub fn bench_server_json(cfg: &LoadConfig, pipeline_depths: &[usize], rows: &[SweepRow]) -> String {
     let mut w = JsonWriter::new();
     w.begin_object()
         .field_str("figure", "server")
@@ -492,8 +826,12 @@ pub fn bench_server_json(cfg: &LoadConfig, rows: &[SweepRow]) -> String {
         .field_u64("scan_limit", u64::from(cfg.scan_limit))
         .field_u64("warmup_ms", cfg.warmup.as_millis() as u64)
         .field_u64("window_ms", cfg.window.as_millis() as u64)
-        .field_u64("seed", cfg.seed)
-        .end_object();
+        .field_u64("seed", cfg.seed);
+    w.key("pipeline_depths").begin_array();
+    for d in pipeline_depths {
+        w.u64(*d as u64);
+    }
+    w.end_array().end_object();
     w.key("worker_counts").begin_array();
     for r in rows {
         w.u64(r.workers as u64);
@@ -501,7 +839,9 @@ pub fn bench_server_json(cfg: &LoadConfig, rows: &[SweepRow]) -> String {
     w.end_array();
     w.key("points").begin_array();
     for r in rows {
-        w.begin_object().field_u64("workers", r.workers as u64);
+        w.begin_object()
+            .field_u64("workers", r.workers as u64)
+            .field_u64("pipeline", r.pipeline.max(1) as u64);
         if let Some(l) = &r.lock {
             w.key("lock");
             mode_fields(&mut w, l);
@@ -557,12 +897,14 @@ mod tests {
     fn speedup_sign_convention() {
         let row = SweepRow {
             workers: 2,
+            pipeline: 1,
             lock: Some(fake_mode_result(1000, 1000)),
             gocc: Some(fake_mode_result(1500, 1000)),
         };
         assert!((row.speedup_pct().unwrap() - 50.0).abs() < 1e-6);
         let partial = SweepRow {
             workers: 2,
+            pipeline: 1,
             lock: None,
             gocc: Some(fake_mode_result(1500, 1000)),
         };
@@ -574,13 +916,17 @@ mod tests {
         let cfg = LoadConfig::default();
         let rows = vec![SweepRow {
             workers: 2,
+            pipeline: 8,
             lock: Some(fake_mode_result(1000, 1000)),
             gocc: Some(fake_mode_result(2000, 1000)),
         }];
-        let json = bench_server_json(&cfg, &rows);
+        let json = bench_server_json(&cfg, &[1, 8], &rows);
         let v = JsonValue::parse(&json).expect("artifact parses");
         assert_eq!(v.get("figure").unwrap().as_str(), Some("server"));
+        let depths = v.get("config").unwrap().get("pipeline_depths").unwrap();
+        assert_eq!(depths.as_array().unwrap().len(), 2);
         let p = &v.get("points").unwrap().as_array().unwrap()[0];
+        assert_eq!(p.get("pipeline").unwrap().as_f64(), Some(8.0));
         assert!((p.get("speedup_pct").unwrap().as_f64().unwrap() - 100.0).abs() < 1e-6);
         let gocc = p.get("gocc").unwrap();
         assert_eq!(gocc.get("ops").unwrap().as_f64(), Some(2000.0));

@@ -345,6 +345,67 @@ impl ResilientClient {
         self.call_inner(req, resp, 1)
     }
 
+    /// Sends every request in `reqs` as one pipelined burst (all frames
+    /// written before any response is read) and collects the response
+    /// bodies in order into `resps`.
+    ///
+    /// Replay is all-or-nothing: after an I/O failure the *whole batch*
+    /// is re-sent over a fresh connection, so a batch containing INCR is
+    /// sent exactly once (any failure surfaces as the error, same
+    /// contract as [`ResilientClient::call_no_replay`]).
+    pub fn call_pipelined(
+        &mut self,
+        reqs: &[Request<'_>],
+        resps: &mut Vec<Vec<u8>>,
+    ) -> io::Result<()> {
+        self.wirebuf.clear();
+        for req in reqs {
+            encode_request(req, &mut self.wirebuf);
+        }
+        let replay_safe = !reqs.iter().any(|r| matches!(r, Request::Incr { .. }));
+        let attempts = if replay_safe {
+            self.cfg.replay_attempts.max(1)
+        } else {
+            1
+        };
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.replays += 1;
+            }
+            match self.attempt_batch(reqs.len(), resps) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if self.stream.take().is_some() {
+                        self.reconnects += 1;
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("empty batch")))
+    }
+
+    fn attempt_batch(&mut self, n: usize, resps: &mut Vec<Vec<u8>>) -> io::Result<()> {
+        resps.clear();
+        if self.stream.is_none() {
+            self.stream = Some(connect_with_retry(self.port, &self.cfg, &mut self.rng)?);
+        }
+        let stream = self.stream.as_mut().expect("just ensured");
+        write_frame(stream, &self.wirebuf)?;
+        for _ in 0..n {
+            let mut body = Vec::new();
+            if !read_frame(stream, &mut body)? {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "server closed mid-batch",
+                ));
+            }
+            resps.push(body);
+        }
+        Ok(())
+    }
+
     fn call_inner(
         &mut self,
         req: &Request<'_>,
@@ -506,6 +567,80 @@ mod tests {
         client.call_no_replay(&req, &mut resp).expect("recovered");
         assert_eq!(decode_response(&resp).unwrap(), Response::Done);
         assert_eq!(client.reconnects(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batch_replays_whole_batch_after_hangup() {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            // First connection: swallow one frame, then hang up mid-batch.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut body = Vec::new();
+            let _ = read_frame(&mut s, &mut body);
+            drop(s);
+            // Second connection: serve the replayed batch in full.
+            let (mut s, _) = listener.accept().unwrap();
+            for _ in 0..3 {
+                assert!(read_frame(&mut s, &mut body).unwrap());
+                assert!(decode_request(&body).is_ok());
+                let mut out = Vec::new();
+                encode_response(&Response::Done, &mut out);
+                s.write_all(&out).unwrap();
+            }
+        });
+        let mut client = ResilientClient::new(port, ClientConfig::chaos(), 9);
+        let reqs = [
+            Request::Set {
+                key: b"a",
+                value: 1,
+                ttl: 0,
+            },
+            Request::Del { key: b"b" },
+            Request::Set {
+                key: b"c",
+                value: 3,
+                ttl: 0,
+            },
+        ];
+        let mut resps = Vec::new();
+        client
+            .call_pipelined(&reqs, &mut resps)
+            .expect("batch replay must land");
+        assert_eq!(resps.len(), 3, "one response per request, in order");
+        for body in &resps {
+            assert_eq!(decode_response(body).unwrap(), Response::Done);
+        }
+        assert_eq!(client.replays(), 1, "whole batch replayed once");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batch_with_incr_is_never_replayed() {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut body = Vec::new();
+            let _ = read_frame(&mut s, &mut body);
+            drop(s); // mid-batch hangup; the INCR's fate is unknown
+        });
+        let mut client = ResilientClient::new(port, ClientConfig::chaos(), 10);
+        let reqs = [
+            Request::Set {
+                key: b"a",
+                value: 1,
+                ttl: 0,
+            },
+            Request::Incr {
+                key: b"ctr",
+                delta: 1,
+            },
+        ];
+        let mut resps = Vec::new();
+        assert!(client.call_pipelined(&reqs, &mut resps).is_err());
+        assert_eq!(client.replays(), 0, "a batch containing INCR sends once");
         server.join().unwrap();
     }
 

@@ -14,11 +14,13 @@ use gocc_wire::{
     decode_repl_request, decode_request_any, encode_response, is_repl_request, FaultyStream,
     FrameBuf, ReplRequest, Request, Response, WireError, MAX_FRAME,
 };
+use gocc_workloads::gocache::BatchOp;
 use gocc_workloads::Engine;
 
 use crate::overload::{classify, VerbClass};
 use crate::repl::{pump_repl_out, ReplSub};
 use crate::stats::verb_index;
+use crate::store::BatchOutcome;
 use crate::{ReplWaitError, ServerState, WorkerCtx};
 
 /// Cap on frames executed per pump so one pipelining client cannot starve
@@ -41,6 +43,38 @@ pub(crate) enum PumpOutcome {
 enum FlushState {
     Clean { progressed: bool },
     Fatal,
+}
+
+/// One admitted-but-unanswered request in the connection's current decode
+/// batch. Responses for the whole batch are encoded together, in arrival
+/// order, once the batch flushes — that is what keeps the wire strictly
+/// in order even though execution is grouped by shard.
+struct PendingReq {
+    /// Flight-recorder id (0 = unsampled).
+    trace_id: u64,
+    /// When this request's bytes arrived (deadline budgets run from here).
+    arrival: Instant,
+    /// Client deadline budget, if any.
+    deadline_us: Option<u32>,
+    /// Verb index, for the per-request `StoreOp` span payload.
+    verb: usize,
+    state: PendingState,
+}
+
+enum PendingState {
+    /// Execute through the batched store path.
+    Exec {
+        /// Owning shard (routes the request into its shard-group).
+        shard: usize,
+        op: BatchOp,
+    },
+    /// Answer decided at admission (shed, expired deadline, fenced
+    /// primary); held unencoded until the batch flushes so it occupies
+    /// its in-order response slot.
+    Ready(Response<'static>),
+    /// Replica write redirect — owns the hint string because
+    /// `Response::NotPrimary` borrows its payload.
+    NotPrimary(String),
 }
 
 /// One client connection, owned by exactly one thread at a time — a
@@ -67,6 +101,9 @@ pub(crate) struct Conn {
     /// replication stream, and the pump additionally drains the feed's
     /// batches for this subscriber.
     repl: Option<ReplSub>,
+    /// Reusable scratch for the pump's decode batch (capacity persists
+    /// across pump passes; always drained empty before the pass returns).
+    batch: Vec<PendingReq>,
 }
 
 impl Conn {
@@ -80,6 +117,7 @@ impl Conn {
             ingest_at: None,
             closing: false,
             repl: None,
+            batch: Vec::new(),
         }
     }
 
@@ -202,6 +240,14 @@ impl Conn {
 
     /// Decodes, admits and executes buffered frames.
     ///
+    /// Single-key data verbs are not executed one at a time: each is
+    /// admitted into a pending batch, and the batch executes with **one**
+    /// critical section per shard-group when it flushes — at the pump cap,
+    /// at end of buffered input, or before any frame that cannot join a
+    /// batch (control verbs, SCAN, replication verbs, framing errors).
+    /// Responses are encoded at flush time in arrival order, so the wire
+    /// ordering is identical to sequential execution.
+    ///
     /// A decode error sends one final `Error` response and marks the
     /// connection closing. An *oversized* frame is the one framing error
     /// that does not cost the connection: `FrameBuf` skips its body and
@@ -215,6 +261,7 @@ impl Conn {
         wctx: &mut WorkerCtx,
     ) -> bool {
         let mut progressed = false;
+        let mut batch = std::mem::take(&mut self.batch);
         for _ in 0..MAX_FRAMES_PER_PUMP {
             if self.closing {
                 break;
@@ -233,8 +280,11 @@ impl Conn {
                     progressed = true;
                     // Replication verbs bypass admission entirely: a
                     // brownout must never shed the ack stream that keeps
-                    // the primary's lease (and its replicas) alive.
+                    // the primary's lease (and its replicas) alive. They
+                    // still flush the batch first — a REPL frame between
+                    // two data frames must not reorder their responses.
                     if is_repl_request(body) {
+                        flush_batch(engine, state, wctx, outbuf, &mut batch);
                         handle_repl_frame(engine, state, outbuf, repl, closing, body);
                         continue;
                     }
@@ -254,7 +304,6 @@ impl Conn {
                             state.counters.note_request(&frame.req);
                             let trace_id = state.rt.tracer().begin_request();
                             if trace_id != 0 {
-                                trace::set_current(trace_id);
                                 let now = trace::now_ns();
                                 state.rt.tracer().push(Span {
                                     trace_id,
@@ -277,22 +326,42 @@ impl Conn {
                                     b: 0,
                                 });
                             }
-                            if !execute_admitted(
-                                engine,
+                            match gather_pending(
                                 state,
                                 wctx,
-                                outbuf,
                                 arrival,
                                 &frame.req,
                                 frame.deadline_us,
+                                trace_id,
                             ) {
-                                *closing = true;
-                            }
-                            if trace_id != 0 {
-                                trace::clear_current();
+                                Some(pending) => batch.push(pending),
+                                None => {
+                                    // Control verb or SCAN: flush what is
+                                    // pending (in-order responses), then
+                                    // run it on the sequential path.
+                                    flush_batch(engine, state, wctx, outbuf, &mut batch);
+                                    if trace_id != 0 {
+                                        trace::set_current(trace_id);
+                                    }
+                                    if !execute_admitted(
+                                        engine,
+                                        state,
+                                        wctx,
+                                        outbuf,
+                                        arrival,
+                                        &frame.req,
+                                        frame.deadline_us,
+                                    ) {
+                                        *closing = true;
+                                    }
+                                    if trace_id != 0 {
+                                        trace::clear_current();
+                                    }
+                                }
                             }
                         }
                         Err(e) => {
+                            flush_batch(engine, state, wctx, outbuf, &mut batch);
                             state.counters.note_malformed();
                             let message = format!("malformed frame: {e}");
                             encode_response(&Response::Error { message: &message }, outbuf);
@@ -304,6 +373,7 @@ impl Conn {
                     // Oversized frame: FrameBuf discards the body and
                     // resynchronizes, so answer and keep the connection.
                     progressed = true;
+                    flush_batch(engine, state, wctx, outbuf, &mut batch);
                     state.counters.note_oversized();
                     encode_response(
                         &Response::Error {
@@ -314,6 +384,7 @@ impl Conn {
                 }
                 Err(e) => {
                     // Corrupt length prefix: there is no resynchronizing.
+                    flush_batch(engine, state, wctx, outbuf, &mut batch);
                     state.counters.note_malformed();
                     let message = format!("unrecoverable framing error: {e}");
                     encode_response(&Response::Error { message: &message }, outbuf);
@@ -321,6 +392,8 @@ impl Conn {
                 }
             }
         }
+        flush_batch(engine, state, wctx, &mut self.outbuf, &mut batch);
+        self.batch = batch;
         progressed
     }
 
@@ -344,6 +417,280 @@ impl Conn {
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => return FlushState::Fatal,
+            }
+        }
+    }
+}
+
+/// The admit → deadline-check pipeline for one decoded request, producing
+/// a batch entry instead of executing. Returns `None` for verbs that
+/// cannot batch (control plane, SCAN) — the caller flushes and falls back
+/// to [`execute_admitted`]. For batchable verbs the per-request checks
+/// run here, at the same point in the request's life as on the sequential
+/// path: deadline pre-check, admission, replica redirect, fencing. A
+/// rejected request still returns `Some` — its decided response rides the
+/// batch as [`PendingState::Ready`] so it answers in arrival order.
+fn gather_pending(
+    state: &ServerState,
+    wctx: &mut WorkerCtx,
+    arrival: Instant,
+    req: &Request<'_>,
+    deadline_us: Option<u32>,
+    trace_id: u64,
+) -> Option<PendingReq> {
+    let (shard, op) = state.store.batch_op_for(req)?;
+    let verb = verb_index(req);
+    let pending = |state: PendingState| PendingReq {
+        trace_id,
+        arrival,
+        deadline_us,
+        verb,
+        state,
+    };
+
+    // Deadline pre-check: a request whose budget expired while it queued
+    // is answered without ever reaching the engine. (Batchable verbs are
+    // never Control class, so no exemption applies.)
+    if let Some(budget_us) = deadline_us {
+        if expired(arrival, budget_us) {
+            state.counters.note_deadline_pre();
+            return Some(pending(PendingState::Ready(Response::DeadlineExceeded)));
+        }
+    }
+
+    // Admission: same brownout decision, per request, before the request
+    // can join a batch — a batch never smuggles work past the controller.
+    let t0 = Instant::now();
+    let t0_ns = if trace_id != 0 { trace::now_ns() } else { 0 };
+    let class = classify(req);
+    if let Err(cause) = state
+        .brownout
+        .admit(class, wctx.frames_seen, state.config.queue_limit)
+    {
+        let shed_ns = t0.elapsed().as_nanos() as u64;
+        state.counters.note_shed(wctx.worker, cause, shed_ns);
+        if trace_id != 0 {
+            state.rt.tracer().push(Span {
+                trace_id,
+                kind: SpanKind::Shed,
+                start_ns: t0_ns,
+                dur_ns: shed_ns,
+                a: cause.index() as u64,
+                b: state.brownout.state() as u8 as u64,
+            });
+        }
+        return Some(pending(PendingState::Ready(Response::Overloaded {
+            state: state.brownout.state() as u8,
+        })));
+    }
+
+    let is_write = !matches!(op, BatchOp::Get { .. });
+    // Replicas serve reads; writes are redirected to the primary.
+    if is_write && state.is_replica() {
+        return Some(pending(PendingState::NotPrimary(state.upstream_hint())));
+    }
+    // Fencing pre-check, per request: a fenced primary must not apply new
+    // writes, including ones arriving mid-pipeline.
+    if is_write && !state.is_replica() {
+        if let Some(feed) = state.repl_feed() {
+            if feed.fenced() {
+                feed.counters().note_fenced_reject();
+                return Some(pending(PendingState::Ready(Response::Error {
+                    message: "primary fenced: insufficient live replicas",
+                })));
+            }
+        }
+    }
+    Some(pending(PendingState::Exec { shard, op }))
+}
+
+/// Executes and answers the pending batch: one critical section per
+/// shard-group via [`crate::ShardedStore::execute_batch`], then the WAL /
+/// replication / deadline epilogue per request, then every response
+/// encoded in arrival order. No-op on an empty batch. Mirrors the data-
+/// verb arm of [`execute_admitted`] exactly — same counters, same spans
+/// (plus a `BatchExec` span per shard-group), same error strings, same
+/// ack-after-barrier ordering per record.
+fn flush_batch(
+    engine: &Engine<'_>,
+    state: &ServerState,
+    wctx: &mut WorkerCtx,
+    outbuf: &mut Vec<u8>,
+    batch: &mut Vec<PendingReq>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    // Route the executable subset; rejected entries keep their slot in
+    // `batch` and only participate in response encoding below.
+    let mut routed: Vec<(usize, BatchOp)> = Vec::with_capacity(batch.len());
+    let mut exec_idx: Vec<usize> = Vec::with_capacity(batch.len());
+    for (i, p) in batch.iter().enumerate() {
+        if let PendingState::Exec { shard, op } = p.state {
+            routed.push((shard, op));
+            exec_idx.push(i);
+        }
+    }
+    let feed = if state.is_replica() {
+        None
+    } else {
+        state.repl_feed()
+    };
+    let mut outcomes: Vec<BatchOutcome> = Vec::new();
+    if !routed.is_empty() {
+        // One fault draw per executed request, so injected SlowStore
+        // rates match the sequential path request-for-request.
+        if let Some(plan) = &state.config.load_plan {
+            for _ in 0..routed.len() {
+                if let Some(LoadFault::SlowStore(d)) = plan.draw_store(wctx.worker as u64) {
+                    std::thread::sleep(d);
+                }
+            }
+        }
+        let wal = state.wal().map(|w| w.as_ref());
+        outcomes = state
+            .store
+            .execute_batch(engine, &routed, wal, |shard, positions, run| {
+                // The group's engine section runs under the first sampled
+                // request's trace id, so Section/HtmAttempt spans attach
+                // to a real request; the BatchExec span marks the whole
+                // group and carries its size.
+                let parent = positions
+                    .iter()
+                    .map(|&p| batch[exec_idx[p]].trace_id)
+                    .find(|&id| id != 0)
+                    .unwrap_or(0);
+                let t0_ns = if parent != 0 { trace::now_ns() } else { 0 };
+                let group_t0 = Instant::now();
+                if parent != 0 {
+                    trace::set_current(parent);
+                }
+                run();
+                if parent != 0 {
+                    trace::clear_current();
+                }
+                let group_ns = group_t0.elapsed().as_nanos() as u64;
+                let n = positions.len() as u64;
+                // Engine latency only feeds the brownout EWMA; the group's
+                // cost is attributed evenly across its requests so the
+                // controller sees the amortized per-request load.
+                let per_req_ns = group_ns / n.max(1);
+                for &p in positions {
+                    let pr = &batch[exec_idx[p]];
+                    wctx.lat_sum_ns += per_req_ns;
+                    wctx.lat_count += 1;
+                    state.counters.note_executed(wctx.worker, per_req_ns);
+                    if pr.trace_id != 0 {
+                        state.rt.tracer().push(Span {
+                            trace_id: pr.trace_id,
+                            kind: SpanKind::StoreOp,
+                            start_ns: t0_ns,
+                            dur_ns: group_ns,
+                            a: pr.verb as u64,
+                            b: 1,
+                        });
+                    }
+                }
+                if parent != 0 {
+                    state.rt.tracer().push(Span {
+                        trace_id: parent,
+                        kind: SpanKind::BatchExec,
+                        start_ns: t0_ns,
+                        dur_ns: group_ns,
+                        a: n,
+                        b: u64::from(shard),
+                    });
+                }
+                state.counters.note_batch(n);
+            });
+    }
+    // Epilogue + response encode, in arrival order. The WAL wait and the
+    // replication gate stay per-record: each mutation's ack still waits
+    // for exactly its own barrier, same as sequentially.
+    let mut outcome_iter = outcomes.into_iter();
+    for p in batch.drain(..) {
+        let out_start = outbuf.len();
+        match p.state {
+            PendingState::Ready(resp) => encode_response(&resp, outbuf),
+            PendingState::NotPrimary(hint) => {
+                encode_response(&Response::NotPrimary { hint: &hint }, outbuf);
+            }
+            PendingState::Exec { .. } => {
+                let BatchOutcome {
+                    mut resp,
+                    staged,
+                    ticket,
+                } = outcome_iter.next().expect("one outcome per routed entry");
+                // Ack-after-barrier: the response for a mutating verb is
+                // not encoded until its WAL record is inside an fsynced
+                // prefix.
+                if let (Some(ticket), Some(wal)) = (ticket, state.wal()) {
+                    let wait_t0 = if p.trace_id != 0 { trace::now_ns() } else { 0 };
+                    let waited = wal.wait(ticket);
+                    if p.trace_id != 0 {
+                        state.rt.tracer().push(Span {
+                            trace_id: p.trace_id,
+                            kind: SpanKind::WalCommit,
+                            start_ns: wait_t0,
+                            dur_ns: trace::now_ns().saturating_sub(wait_t0),
+                            a: ticket.number(),
+                            b: 0,
+                        });
+                    }
+                    if waited.is_err() {
+                        resp = Response::Error {
+                            message: "write-ahead log failed; write not durable",
+                        };
+                    }
+                } else if let (Some(feed), Some(staged)) = (feed, staged.as_ref()) {
+                    // No-WAL primary: the applied write is this
+                    // deployment's durable prefix, so it enters the feed
+                    // here.
+                    feed.publish(staged.shard, std::slice::from_ref(staged));
+                }
+                // Replication gate: the ack is withheld until enough
+                // replicas confirmed this record's version.
+                if let (Some(feed), Some(staged)) = (feed, staged.as_ref()) {
+                    if !matches!(resp, Response::Error { .. }) {
+                        match feed.wait_replicated(
+                            staged.shard,
+                            staged.seq,
+                            state.config.repl_ack_timeout,
+                        ) {
+                            Ok(()) => {}
+                            Err(ReplWaitError::Fenced) => {
+                                resp = Response::Error {
+                                    message: "primary fenced: write not acknowledged",
+                                };
+                            }
+                            Err(ReplWaitError::Timeout) => {
+                                resp = Response::Error {
+                                    message: "replication timed out: write not acknowledged",
+                                };
+                            }
+                        }
+                    }
+                }
+                // Deadline post-check: effects are already applied (the
+                // engine ran); only this request's response is replaced.
+                let resp_t0 = if p.trace_id != 0 { trace::now_ns() } else { 0 };
+                match p.deadline_us {
+                    Some(budget_us) if expired(p.arrival, budget_us) => {
+                        state.counters.note_deadline_post();
+                        encode_response(&Response::DeadlineExceeded, outbuf);
+                    }
+                    _ => encode_response(&resp, outbuf),
+                }
+                if p.trace_id != 0 {
+                    state.rt.tracer().push(Span {
+                        trace_id: p.trace_id,
+                        kind: SpanKind::ResponseWrite,
+                        start_ns: resp_t0,
+                        dur_ns: trace::now_ns().saturating_sub(resp_t0),
+                        a: (outbuf.len() - out_start) as u64,
+                        b: 0,
+                    });
+                }
             }
         }
     }

@@ -86,7 +86,7 @@ pub use overload::{
     SHED_CAUSE_NAMES, TRANSITION_NAMES,
 };
 pub use stats::{ServerCounters, WorkerGauges};
-pub use store::ShardedStore;
+pub use store::{BatchOutcome, ShardedStore};
 
 use conn::{Conn, PumpOutcome};
 

@@ -92,6 +92,16 @@ pub struct ServerCounters {
     /// End-to-end data-verb latency (engine execution, ns) — the source of
     /// the p99 the `--stats-interval-secs` summary line prints.
     request_latency: LatencyHistogram,
+    /// Shard-groups executed through one elided section (a batch of 1 is
+    /// still one group).
+    batches_executed: AtomicU64,
+    /// Shard-groups that held exactly one request — when this tracks
+    /// `batches_executed`, clients aren't pipelining and the batch path
+    /// adds no amortization.
+    single_request_batches: AtomicU64,
+    /// Distribution of requests per executed shard-group (log2 buckets,
+    /// counting requests rather than nanoseconds).
+    requests_per_batch: LatencyHistogram,
     per_worker: Vec<WorkerGauges>,
 }
 
@@ -118,6 +128,9 @@ impl ServerCounters {
             deadline_pre: AtomicU64::new(0),
             deadline_post: AtomicU64::new(0),
             request_latency: LatencyHistogram::new(),
+            batches_executed: AtomicU64::new(0),
+            single_request_batches: AtomicU64::new(0),
+            requests_per_batch: LatencyHistogram::new(),
             per_worker: (0..workers.max(1))
                 .map(|_| WorkerGauges::default())
                 .collect(),
@@ -173,6 +186,15 @@ impl ServerCounters {
             .executed
             .fetch_add(1, Ordering::Relaxed);
         self.request_latency.record(ns);
+    }
+
+    /// Accounts one executed shard-group of `len` requests.
+    pub(crate) fn note_batch(&self, len: u64) {
+        self.batches_executed.fetch_add(1, Ordering::Relaxed);
+        if len == 1 {
+            self.single_request_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.requests_per_batch.record(len);
     }
 
     pub(crate) fn set_queue_depth(&self, worker: usize, depth: u64) {
@@ -274,6 +296,24 @@ impl ServerCounters {
         &self.request_latency
     }
 
+    /// Shard-groups executed through one elided section.
+    #[must_use]
+    pub fn batches_executed(&self) -> u64 {
+        self.batches_executed.load(Ordering::Relaxed)
+    }
+
+    /// Shard-groups that held exactly one request.
+    #[must_use]
+    pub fn single_request_batches(&self) -> u64 {
+        self.single_request_batches.load(Ordering::Relaxed)
+    }
+
+    /// Distribution of requests per executed shard-group.
+    #[must_use]
+    pub fn requests_per_batch(&self) -> &LatencyHistogram {
+        &self.requests_per_batch
+    }
+
     /// Per-worker admission gauges.
     #[must_use]
     pub fn per_worker(&self) -> &[WorkerGauges] {
@@ -352,6 +392,20 @@ impl ServerCounters {
             .field_u64("p50_ns", lat.quantile(0.5))
             .field_u64("p99_ns", lat.quantile(0.99))
             .field_u64("max_ns", lat.max)
+            .end_object();
+        let rpb = self.requests_per_batch.snapshot();
+        w.key("batch")
+            .begin_object()
+            .field_u64("batches_executed", self.batches_executed())
+            .field_u64("single_request_batches", self.single_request_batches())
+            .key("requests_per_batch")
+            .begin_object()
+            .field_u64("count", rpb.count)
+            .field_f64("mean", rpb.mean())
+            .field_u64("p50", rpb.quantile(0.5))
+            .field_u64("p99", rpb.quantile(0.99))
+            .field_u64("max", rpb.max)
+            .end_object()
             .end_object();
         w.key("per_worker").begin_array();
         for g in &self.per_worker {
@@ -433,6 +487,29 @@ mod tests {
             v.get("wal").unwrap().get("fsyncs").unwrap().as_f64(),
             Some(3.0)
         );
+    }
+
+    #[test]
+    fn batch_counters_reconcile_in_the_document() {
+        let c = ServerCounters::new(1);
+        c.note_batch(1);
+        c.note_batch(8);
+        c.note_batch(1);
+        c.note_batch(32);
+        assert_eq!(c.batches_executed(), 4);
+        assert_eq!(c.single_request_batches(), 2);
+        assert_eq!(c.requests_per_batch().snapshot().max, 32);
+        let json = c.to_json(
+            "gocc", "unknown", "primary", 1, 4, 0, "healthy", [0; 4], "null", "null", "null",
+            "null",
+        );
+        let v = JsonValue::parse(&json).expect("parses");
+        let b = v.get("batch").unwrap();
+        assert_eq!(b.get("batches_executed").unwrap().as_f64(), Some(4.0));
+        assert_eq!(b.get("single_request_batches").unwrap().as_f64(), Some(2.0));
+        let rpb = b.get("requests_per_batch").unwrap();
+        assert_eq!(rpb.get("count").unwrap().as_f64(), Some(4.0));
+        assert_eq!(rpb.get("max").unwrap().as_f64(), Some(32.0));
     }
 
     #[test]

@@ -10,8 +10,22 @@
 use gocc_txds::{fnv1a, mix64};
 use gocc_wal::{ShardImage, Staged, Wal, WalKind, WalTicket};
 use gocc_wire::{ReplRecord, Request, Response, REPL_KIND_DEL, REPL_KIND_PUT};
-use gocc_workloads::gocache::{Cache, CacheOp};
+use gocc_workloads::gocache::{BatchOp, BatchReply, Cache, CacheOp};
 use gocc_workloads::Engine;
+
+/// Per-request result of [`ShardedStore::execute_batch`]: the response
+/// plus, for mutations, the committed post-image record and (when a WAL
+/// is attached) the staged ticket the connection must wait on before
+/// acknowledging — the same triple the single-request
+/// [`ShardedStore::execute_durable`] path produces.
+pub struct BatchOutcome {
+    /// The wire response for this request.
+    pub resp: Response<'static>,
+    /// Committed post-image for mutations (replication feed input).
+    pub staged: Option<Staged>,
+    /// WAL barrier ticket for mutations when a WAL is attached.
+    pub ticket: Option<WalTicket>,
+}
 
 /// A fixed set of independently locked cache shards.
 pub struct ShardedStore {
@@ -213,6 +227,134 @@ impl ShardedStore {
         (resp, ticket)
     }
 
+    /// Routes one decoded request for batched execution: the owning shard
+    /// index plus the pre-hashed [`BatchOp`]. Returns `None` for verbs
+    /// that never batch — SCAN (cross-shard, capacity-abort generator)
+    /// and the control plane.
+    #[must_use]
+    pub fn batch_op_for(&self, req: &Request<'_>) -> Option<(usize, BatchOp)> {
+        let (h, op) = match *req {
+            Request::Get { key } => {
+                let h = fnv1a(key);
+                (h, BatchOp::Get { key: h })
+            }
+            Request::Set { key, value, ttl } => {
+                let h = fnv1a(key);
+                (h, BatchOp::Set { key: h, value, ttl })
+            }
+            Request::Del { key } => {
+                let h = fnv1a(key);
+                (h, BatchOp::Del { key: h })
+            }
+            Request::Incr { key, delta } => {
+                let h = fnv1a(key);
+                (h, BatchOp::Incr { key: h, delta })
+            }
+            _ => return None,
+        };
+        Some((self.shard_index_for(h), op))
+    }
+
+    /// Executes a decoded batch with one critical section per shard-group
+    /// instead of one per request — the server-side half of the paper's
+    /// amortization. Requests are grouped by the shard index routed in
+    /// `routed` (from [`ShardedStore::batch_op_for`]); each non-empty
+    /// group runs through [`Cache::execute_batch`], in shard order, with
+    /// requests inside a group executing in arrival order (so per-shard
+    /// commit sequence numbers ascend with arrival, same as sequential
+    /// execution). Outcomes come back in input order.
+    ///
+    /// Mutations are staged to `wal` immediately after their group
+    /// commits, in seq order, preserving the ack-after-barrier contract
+    /// per record. `group_scope` wraps each group's execution — it
+    /// receives the shard, the input positions in the group, and a thunk
+    /// it **must invoke exactly once**; the connection layer uses it to
+    /// set the trace context and time the section without this layer
+    /// knowing about tracing.
+    #[must_use]
+    pub fn execute_batch(
+        &self,
+        engine: &Engine<'_>,
+        routed: &[(usize, BatchOp)],
+        wal: Option<&Wal>,
+        mut group_scope: impl FnMut(u32, &[usize], &mut dyn FnMut()),
+    ) -> Vec<BatchOutcome> {
+        let mut outcomes: Vec<Option<BatchOutcome>> = routed.iter().map(|_| None).collect();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (pos, &(shard, _)) in routed.iter().enumerate() {
+            by_shard[shard].push(pos);
+        }
+        for (shard, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let ops: Vec<BatchOp> = positions.iter().map(|&p| routed[p].1).collect();
+            let mut replies = Vec::new();
+            group_scope(shard as u32, positions, &mut || {
+                replies = self.shards[shard].execute_batch(engine, &ops);
+            });
+            assert_eq!(
+                replies.len(),
+                ops.len(),
+                "group_scope must run its thunk exactly once"
+            );
+            for (&pos, (reply, op)) in positions.iter().zip(replies.iter().zip(&ops)) {
+                let (resp, staged) = match (*reply, *op) {
+                    (BatchReply::Value { found, value }, _) => {
+                        (Response::Value { found, value }, None)
+                    }
+                    (BatchReply::Stored { seq, exp }, BatchOp::Set { key, value, .. }) => (
+                        Response::Done,
+                        Some(Staged {
+                            shard: shard as u32,
+                            seq,
+                            kind: WalKind::Put,
+                            key,
+                            value,
+                            exp,
+                        }),
+                    ),
+                    (BatchReply::Deleted { existed, seq }, BatchOp::Del { key }) => (
+                        Response::Deleted { existed },
+                        Some(Staged {
+                            shard: shard as u32,
+                            seq,
+                            kind: WalKind::Del,
+                            key,
+                            value: 0,
+                            exp: 0,
+                        }),
+                    ),
+                    (BatchReply::Counter { value, seq }, BatchOp::Incr { key, .. }) => (
+                        Response::Counter { value },
+                        Some(Staged {
+                            shard: shard as u32,
+                            seq,
+                            kind: WalKind::PutVal,
+                            key,
+                            value,
+                            exp: 0,
+                        }),
+                    ),
+                    _ => unreachable!("reply kind mismatches its op"),
+                };
+                let ticket = match (wal, staged) {
+                    (Some(w), Some(record)) => Some(w.stage(record)),
+                    _ => None,
+                };
+                outcomes[pos] = Some(BatchOutcome {
+                    resp,
+                    staged,
+                    ticket,
+                });
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every routed request got an outcome"))
+            .collect()
+    }
+
     /// Applies one replicated batch to the shard it addresses, with the
     /// version check done inside the shard's critical section. `Ok(new)`
     /// means every record applied and the shard is at `new`;
@@ -335,6 +477,83 @@ mod tests {
                 store.execute(&engine, &Request::Del { key: b"a" }),
                 Response::Deleted { existed: false }
             );
+        }
+    }
+
+    #[test]
+    fn execute_batch_matches_staged_oracle_and_groups_by_shard() {
+        gocc_gosync::set_procs(8);
+        for mode in [Mode::Lock, Mode::Gocc] {
+            let rt = GoccRuntime::new(GoccConfig::standard());
+            let engine = Engine::new(&rt, mode);
+            let batched = ShardedStore::new(4, 256);
+            let oracle = ShardedStore::new(4, 256);
+
+            let keys: Vec<String> = (0..24).map(|i| format!("key-{i}")).collect();
+            let reqs: Vec<Request<'_>> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| match i % 4 {
+                    0 => Request::Set {
+                        key: k.as_bytes(),
+                        value: i as u64 * 10,
+                        ttl: 0,
+                    },
+                    1 => Request::Get { key: k.as_bytes() },
+                    2 => Request::Incr {
+                        key: k.as_bytes(),
+                        delta: 3,
+                    },
+                    _ => Request::Del { key: k.as_bytes() },
+                })
+                .collect();
+
+            let routed: Vec<(usize, BatchOp)> = reqs
+                .iter()
+                .map(|r| batched.batch_op_for(r).expect("data verbs route"))
+                .collect();
+            let mut groups = Vec::new();
+            let outcomes = batched.execute_batch(&engine, &routed, None, |shard, pos, run| {
+                groups.push((shard, pos.len()));
+                run();
+            });
+
+            // One group per shard touched, total group sizes == requests,
+            // and all four shards see traffic with 24 spread keys.
+            assert_eq!(groups.iter().map(|&(_, n)| n).sum::<usize>(), reqs.len());
+            let mut shards_seen: Vec<u32> = groups.iter().map(|&(s, _)| s).collect();
+            shards_seen.sort_unstable();
+            shards_seen.dedup();
+            assert_eq!(shards_seen.len(), groups.len(), "one section per shard");
+
+            // The oracle executes the same requests one staged section at
+            // a time; responses and staged records must agree.
+            for (req, outcome) in reqs.iter().zip(&outcomes) {
+                let (resp, staged) = oracle.execute_staged(&engine, req);
+                assert_eq!(outcome.resp, resp);
+                assert!(outcome.ticket.is_none(), "no WAL attached");
+                match (outcome.staged, staged) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.shard, b.shard);
+                        assert_eq!(a.seq, b.seq, "per-shard seq order preserved");
+                        assert_eq!(a.kind as u8, b.kind as u8);
+                        assert_eq!((a.key, a.value, a.exp), (b.key, b.value, b.exp));
+                    }
+                    (a, b) => panic!("staged mismatch: {a:?} vs {b:?}"),
+                }
+            }
+            for k in &keys {
+                assert_eq!(
+                    batched.execute(&engine, &Request::Get { key: k.as_bytes() }),
+                    oracle.execute(&engine, &Request::Get { key: k.as_bytes() }),
+                    "end state diverged for {k} in {mode:?}"
+                );
+            }
+
+            // Control verbs and SCAN never batch.
+            assert!(batched.batch_op_for(&Request::Scan { limit: 5 }).is_none());
+            assert!(batched.batch_op_for(&Request::Stats).is_none());
         }
     }
 

@@ -108,20 +108,41 @@ impl HistogramSnapshot {
         self.sum as f64 / self.count as f64
     }
 
-    /// Approximate p-quantile (`0.0..=1.0`) from bucket floors; returns
-    /// the floor of the bucket holding the p-th sample. 0 when empty.
+    /// Approximate p-quantile (`0.0..=1.0`) with linear interpolation
+    /// inside the bucket holding the p-th sample. 0 when empty.
+    ///
+    /// Log2 buckets double in width, so returning only the bucket floor
+    /// collapses every sub-2× difference: a sweep whose p50, p90 and p99
+    /// all land in the `[262144, 524287]` bucket reports three identical
+    /// numbers. Interpolating by rank within the bucket (samples assumed
+    /// uniform across it — the standard histogram-quantile estimate)
+    /// recovers the sub-bucket resolution. The bucket ceiling is clamped
+    /// to the recorded maximum, so a lone sample reports itself exactly.
     #[must_use]
     pub fn quantile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let target = (((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target.max(1) {
-                return HistogramSnapshot::bucket_floor(i);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let lo = HistogramSnapshot::bucket_floor(i);
+                // Inclusive upper bound of bucket i: 0 for bucket 0, else
+                // 2^i - 1; never past the largest recorded sample.
+                let hi = match i {
+                    0 => 0,
+                    _ => ((1u128 << i) - 1).min(u128::from(self.max)) as u64,
+                };
+                let rank = target - seen; // 1..=c within this bucket
+                let span = u128::from(hi.saturating_sub(lo));
+                let off = (span * u128::from(rank) / u128::from(c)) as u64;
+                return lo + off;
+            }
+            seen += c;
         }
         self.max
     }
@@ -175,10 +196,39 @@ mod tests {
         }
         let s = h.snapshot();
         assert!(s.quantile(0.5) <= s.quantile(0.99));
-        assert_eq!(s.quantile(1.0), HistogramSnapshot::bucket_floor(10));
+        assert_eq!(s.quantile(1.0), 999, "top quantile reaches the max sample");
         let empty = HistogramSnapshot::default();
         assert_eq!(empty.quantile(0.5), 0);
         assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // Uniform 0..999: bucket 10 holds 512..=999 (488 samples). Without
+        // interpolation p50/p90/p99 would all collapse to bucket floors;
+        // with rank interpolation they separate and pin to exact values.
+        let h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        let s = h.snapshot();
+        // target=500 lands in bucket 9 (256..=511, 256 samples, seen=256
+        // before): lo=256, hi=511, rank=244 -> 256 + 255*244/256 = 499.
+        assert_eq!(s.quantile(0.5), 499);
+        // target=990, bucket 10 (512..=999 after max clamp, 488 samples,
+        // seen=512): lo=512, hi=999, rank=478 -> 512 + 487*478/488 = 989.
+        assert_eq!(s.quantile(0.99), 989);
+        assert_eq!(s.quantile(1.0), 999);
+        assert!(s.quantile(0.5) < s.quantile(0.9));
+        assert!(s.quantile(0.9) < s.quantile(0.99));
+
+        // A single sample reports itself exactly at every quantile: the
+        // bucket ceiling clamps to max, and rank==count pins to it.
+        let one = LatencyHistogram::new();
+        one.record(100);
+        let os = one.snapshot();
+        assert_eq!(os.quantile(0.5), 100);
+        assert_eq!(os.quantile(0.99), 100);
     }
 
     #[test]

@@ -65,10 +65,14 @@ pub enum SpanKind {
     /// `b` = the batch's `prev_version` (so a NAKed gap is visible as a
     /// mismatch against the neighboring spans).
     ReplApply = 9,
+    /// One shard-group executed through a single elided section;
+    /// `a` = requests in the group, `b` = shard. Parents the group's
+    /// per-request [`SpanKind::StoreOp`] spans.
+    BatchExec = 10,
 }
 
 /// Names indexed by `SpanKind as u8`.
-pub const SPAN_KIND_NAMES: [&str; 10] = [
+pub const SPAN_KIND_NAMES: [&str; 11] = [
     "wire_decode",
     "queue_wait",
     "shed",
@@ -79,6 +83,7 @@ pub const SPAN_KIND_NAMES: [&str; 10] = [
     "response_write",
     "wal_commit",
     "repl_apply",
+    "batch_exec",
 ];
 
 /// Perceptron span `a`-payload values.
@@ -106,6 +111,7 @@ impl SpanKind {
             7 => SpanKind::ResponseWrite,
             8 => SpanKind::WalCommit,
             9 => SpanKind::ReplApply,
+            10 => SpanKind::BatchExec,
             _ => SpanKind::WireDecode,
         }
     }

@@ -74,7 +74,7 @@ run_step repl_bench ./target/release/repl_bench --window-ms 500 --gate
 run_step bench_schema ./scripts/check_bench_schema.sh \
   --expect BENCH_hotpath.json --expect BENCH_trace.json \
   --expect BENCH_overload.json --expect BENCH_wal.json \
-  --expect BENCH_replication.json
+  --expect BENCH_replication.json --expect BENCH_server.json
 
 for f in BENCH_*.json TRACE_overload_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"

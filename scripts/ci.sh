@@ -64,7 +64,12 @@ for mode in lock gocc; do
     exit 1
   fi
   ./target/release/loadgen --addr "127.0.0.1:$port" --mode "$mode" \
-    --workers 2 --warmup-ms 50 --window-ms 200 --shutdown
+    --workers 2 --warmup-ms 50 --window-ms 200
+  # Same daemon, pipelined: 32 frames outstanding per connection drives
+  # the batch pump (one elided section per shard-group per pump pass);
+  # loadgen still verifies STATS parses and the mode matches.
+  ./target/release/loadgen --addr "127.0.0.1:$port" --mode "$mode" \
+    --workers 2 --pipeline 32 --warmup-ms 50 --window-ms 200 --shutdown
   if ! wait "$goccd_pid"; then
     echo "FAIL: goccd ($mode) did not shut down cleanly" >&2
     cat "$log" >&2
@@ -78,6 +83,27 @@ for mode in lock gocc; do
   echo "ok: goccd $mode smoke (port $port)"
   rm -f "$log"
 done
+
+echo "== pipelining gate (batched section execution payoff) =="
+# Client-side pipelining + server-side batching must actually amortize:
+# at 1 worker, depth 32 has to deliver >= PIPELINE_GATE_X x the ops/sec
+# of depth 1 in BOTH modes (the recorded artifact bar is 10x; CI uses a
+# noise-tolerant 5x). This also produces BENCH_server.json with the
+# full [1, 8, 32] depth axis for the schema pin below. Exit 4 means the
+# amortization gate was violated (vs exit 1 for a broken harness).
+pipeline_gate=${PIPELINE_GATE_X:-5}
+if ./target/release/loadgen --mode both --workers 1 \
+  --warmup-ms 100 --window-ms 400 --pipeline-gate "$pipeline_gate"; then
+  echo "ok: pipeline gate (>= ${pipeline_gate}x at depth 32)"
+else
+  status=$?
+  if [ "$status" -eq 4 ]; then
+    echo "FAIL: pipelining amortization below ${pipeline_gate}x" >&2
+  else
+    echo "FAIL: pipeline gate harness error (status $status)" >&2
+  fi
+  exit "$status"
+fi
 
 echo "== hot-path perf smoke =="
 # Loose order-of-magnitude gate on uncontended section cost: the
@@ -207,8 +233,9 @@ echo "== bench artifact schema =="
 # produce: a bench that silently stops emitting its file fails here.
 ./scripts/check_bench_schema.sh \
   --expect BENCH_hotpath.json --expect BENCH_trace.json --expect BENCH_wal.json \
-  --expect BENCH_replication.json
-rm -f BENCH_hotpath.json BENCH_trace.json BENCH_wal.json BENCH_replication.json
+  --expect BENCH_replication.json --expect BENCH_server.json
+rm -f BENCH_hotpath.json BENCH_trace.json BENCH_wal.json BENCH_replication.json \
+  BENCH_server.json
 echo "ok: bench artifacts conform to the common schema"
 
 echo "CI_OK"

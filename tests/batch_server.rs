@@ -1,0 +1,264 @@
+//! End-to-end checks for batched section execution: a pipelined client
+//! against a real `goccd`, compared verb-for-verb with the sequential
+//! path, plus the deadline and fault-injection edges of the batch pump.
+//!
+//! The server's batch pump groups each pump pass's decoded frames by
+//! shard and runs every shard-group through ONE elided section, so these
+//! tests pin the contract that makes that safe:
+//!
+//! * responses come back strictly in submission order, byte-identical to
+//!   what the one-frame-at-a-time path produces (including a SCAN mid
+//!   stream, which flushes the pending batch before it runs);
+//! * a deadline that expires *mid-batch* — after admission but before the
+//!   response is encoded — replaces only the response; the write itself
+//!   stays applied (the WAL/replication pipeline already shipped it);
+//! * injected HTM aborts retry the whole shard-group (the documented
+//!   fallback unit), never yielding torn or reordered results.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gocc_faultplane::{AbortMix, HtmFaultPlan, LoadFaultPlan, LoadMix};
+use gocc_repro::optilock::{GoccConfig, GoccRuntime};
+use gocc_repro::workloads::{Engine, Mode};
+use gocc_server::{spawn, ServerConfig, ShardedStore};
+use gocc_wire::{
+    decode_response, encode_request, encode_request_v2, read_frame, write_frame, Request, Response,
+};
+
+fn config(mode: Mode) -> ServerConfig {
+    ServerConfig {
+        mode,
+        port: 0,
+        workers: 1,
+        shards: 4,
+        capacity_per_shard: 1 << 12,
+        write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(port: u16) -> TcpStream {
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+}
+
+/// The deterministic mixed-verb script both drivers run: every data verb,
+/// keys spread over all four shards, repeated hits on the same keys so
+/// GET/INCR/DEL observe earlier writes, and a SCAN in the middle of each
+/// round (a control verb the batch pump must flush around, in order).
+fn script() -> Vec<(String, u8)> {
+    let mut ops = Vec::new();
+    for round in 0..6u64 {
+        for k in 0..10u64 {
+            ops.push((format!("bk-{k}"), ((round + k) % 5) as u8));
+        }
+    }
+    ops
+}
+
+fn request_for(key: &str, verb: u8, round: usize) -> Request<'_> {
+    match verb {
+        0 => Request::Set {
+            key: key.as_bytes(),
+            value: (round as u64 + 1) * 1000,
+            ttl: 0,
+        },
+        1 => Request::Get {
+            key: key.as_bytes(),
+        },
+        2 => Request::Incr {
+            key: key.as_bytes(),
+            delta: 7,
+        },
+        3 => Request::Del {
+            key: key.as_bytes(),
+        },
+        _ => Request::Scan { limit: 16 },
+    }
+}
+
+#[test]
+fn pipelined_mixed_verbs_match_the_sequential_oracle_in_both_modes() {
+    gocc_repro::gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        let ops = script();
+
+        // Sequential oracle: its own fresh server, one frame at a time.
+        let oracle = spawn(config(mode)).expect("spawn oracle");
+        let mut stream = connect(oracle.port());
+        let mut wirebuf = Vec::new();
+        let mut body = Vec::new();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for (i, (key, verb)) in ops.iter().enumerate() {
+            wirebuf.clear();
+            encode_request(&request_for(key, *verb, i), &mut wirebuf);
+            write_frame(&mut stream, &wirebuf).expect("oracle send");
+            assert!(read_frame(&mut stream, &mut body).expect("oracle recv"));
+            expected.push(body.clone());
+        }
+        drop(stream);
+        oracle.request_shutdown();
+        oracle.join();
+
+        // Pipelined run: fresh server, the same script in bursts of 16
+        // frames written before any response is read.
+        let pipelined = spawn(config(mode)).expect("spawn pipelined");
+        let mut stream = connect(pipelined.port());
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for (chunk_idx, chunk) in ops.chunks(16).enumerate() {
+            wirebuf.clear();
+            for (j, (key, verb)) in chunk.iter().enumerate() {
+                encode_request(&request_for(key, *verb, chunk_idx * 16 + j), &mut wirebuf);
+            }
+            stream.write_all(&wirebuf).expect("burst send");
+            for _ in chunk {
+                assert!(read_frame(&mut stream, &mut body).expect("burst recv"));
+                got.push(body.clone());
+            }
+        }
+        drop(stream);
+        pipelined.request_shutdown();
+        pipelined.join();
+
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                g,
+                e,
+                "[{mode:?}] response {i} diverged: pipelined {:?} vs sequential {:?}",
+                decode_response(g),
+                decode_response(e)
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_batch_deadline_expiry_suppresses_the_response_not_the_effects() {
+    gocc_repro::gosync::set_procs(8);
+    for mode in [Mode::Lock, Mode::Gocc] {
+        // Every request's storage call takes 20ms — far past the 5ms
+        // budget, so each write passes the admission pre-check (it just
+        // arrived) but fails the post-check after its group executes.
+        let plan = Arc::new(LoadFaultPlan::new(
+            7,
+            LoadMix {
+                slow_store: 1.0,
+                slow_store_for: Duration::from_millis(20),
+                ..LoadMix::default()
+            },
+        ));
+        let handle = spawn(ServerConfig {
+            load_plan: Some(plan),
+            ..config(mode)
+        })
+        .expect("spawn goccd");
+        let mut stream = connect(handle.port());
+
+        let keys = ["dl-a", "dl-b", "dl-c"];
+        let mut wirebuf = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            encode_request_v2(
+                &Request::Set {
+                    key: key.as_bytes(),
+                    value: 100 + i as u64,
+                    ttl: 0,
+                },
+                Some(5_000), // 5ms budget vs 20ms injected store latency
+                &mut wirebuf,
+            );
+        }
+        stream.write_all(&wirebuf).expect("send batch");
+        let mut body = Vec::new();
+        for key in &keys {
+            assert!(read_frame(&mut stream, &mut body).expect("recv"));
+            assert_eq!(
+                decode_response(&body).expect("decode"),
+                Response::DeadlineExceeded,
+                "[{mode:?}] {key}: the post-check must replace the response"
+            );
+        }
+
+        // The writes landed anyway: the deadline machinery suppresses the
+        // useful response, never the committed (and WAL-acknowledged)
+        // effect.
+        for (i, key) in keys.iter().enumerate() {
+            wirebuf.clear();
+            encode_request(
+                &Request::Get {
+                    key: key.as_bytes(),
+                },
+                &mut wirebuf,
+            );
+            write_frame(&mut stream, &wirebuf).expect("send get");
+            assert!(read_frame(&mut stream, &mut body).expect("recv get"));
+            assert_eq!(
+                decode_response(&body).expect("decode"),
+                Response::Value {
+                    found: true,
+                    value: 100 + i as u64
+                },
+                "[{mode:?}] {key}: effect must survive the expired deadline"
+            );
+        }
+        drop(stream);
+        handle.request_shutdown();
+        handle.join();
+    }
+}
+
+#[test]
+fn batched_groups_survive_injected_htm_aborts() {
+    gocc_repro::gosync::set_procs(8);
+    // 30% of fast-path attempts abort with injected causes; the batch
+    // fallback unit is the whole shard-group (the engine re-runs the
+    // group closure, and the pessimistic path takes the group's one lock
+    // acquisition), so results must stay identical to a fault-free run.
+    let plan = Arc::new(HtmFaultPlan::new(11, AbortMix::uniform(0.3)));
+    // No-perceptron config: HTM is attempted on every group, so the plan
+    // keeps injecting instead of the predictor learning to skip elision.
+    let mut faulty_cfg = GoccConfig::no_perceptron();
+    faulty_cfg.htm.fault_plan = Some(Arc::clone(&plan));
+    let faulty_rt = GoccRuntime::new(faulty_cfg);
+    let faulty = Engine::new(&faulty_rt, Mode::Gocc);
+    let faulty_store = ShardedStore::new(4, 256);
+
+    let clean_rt = GoccRuntime::new(GoccConfig::standard());
+    let clean = Engine::new(&clean_rt, Mode::Gocc);
+    let clean_store = ShardedStore::new(4, 256);
+
+    let ops = script();
+    for rep in 0..8 {
+        for (chunk_idx, chunk) in ops.chunks(16).enumerate() {
+            let reqs: Vec<Request<'_>> = chunk
+                .iter()
+                .enumerate()
+                .map(|(j, (key, verb))| request_for(key, verb % 4, rep * 1000 + chunk_idx * 16 + j))
+                .collect();
+            let routed: Vec<_> = reqs
+                .iter()
+                .map(|r| faulty_store.batch_op_for(r).expect("data verbs route"))
+                .collect();
+            let outcomes = faulty_store.execute_batch(&faulty, &routed, None, |_, _, run| run());
+            for (req, outcome) in reqs.iter().zip(&outcomes) {
+                let want = clean_store.execute(&clean, req);
+                assert_eq!(
+                    outcome.resp, want,
+                    "injected aborts must not change batch results"
+                );
+            }
+        }
+    }
+    assert!(
+        plan.total_injected() > 20,
+        "injection must actually fire (got {})",
+        plan.total_injected()
+    );
+}
