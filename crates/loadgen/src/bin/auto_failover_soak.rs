@@ -1,0 +1,883 @@
+//! `auto_failover_soak` — SIGKILL the primary under seeded transport
+//! faults and let the cluster heal itself: **no operator promote
+//! anywhere in this harness**. The replicas' failure detectors, the
+//! quorum election and the epoch fencing must do everything.
+//!
+//! Topology per mode: one `goccd` child process as the primary
+//! (WAL-backed, `--repl-accept --repl-min-acks 2`) and two in-process
+//! replicas with `repl_auto_promote`, each with its own data dir, so the
+//! replica-side WAL is in the acked path. Oracle, each a hard failure:
+//!
+//! 1. **No acked write is lost.** Sequential SET/DEL writer with a
+//!    per-key post-state history; after the self-elected primary takes
+//!    over, every key must read back as an issued state at or after its
+//!    last acked one.
+//! 2. **Exactly one new primary per epoch.** A monitor thread polls both
+//!    replicas' in-process state every few milliseconds for the whole
+//!    run: two simultaneous primaries is split brain. At the end the
+//!    loser must follow the winner at the winner's epoch.
+//! 3. **Read-your-writes is never violated.** A session writer drives
+//!    `SET_S`, pockets the `(shard, version)` tokens, and immediately
+//!    session-reads each key back through the cluster (floor-carrying
+//!    `GET_S`, `Behind` rotates). Every successful session read must
+//!    return a state at or after the session's last acked write.
+//! 4. **Detection + promotion is bounded.** From SIGKILL to the first
+//!    replica reporting role=primary must be under `--detect-deadline-ms`
+//!    (default 5000); the artifact records detection, promotion and
+//!    write-unavailability separately.
+//! 5. **A deposed primary's stale epoch is fenced.** The killed primary
+//!    is restarted from its own data dir (it boots believing it is a
+//!    primary, at epoch 0). It must refuse writes (lease fencing: no
+//!    live subscribers), and a replica deliberately repointed at it must
+//!    reject its stream (`stale_epoch_rejects` climbs) without applying
+//!    a single batch, then reconverge once repointed back at the winner.
+//!
+//! Emits `BENCH_failover.json` with the detection/promotion/
+//! unavailability numbers per mode.
+//!
+//! Exit codes: 1 = harness error, 2 = liveness watchdog, 4 = an oracle
+//! violation.
+//!
+//! ```console
+//! $ auto_failover_soak --seed 2026 --mode both --load-ops 1200
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gocc_faultplane::{TransportFaultPlan, TransportMix};
+use gocc_loadgen::{ClientConfig, ClusterClient, ResilientClient, Session};
+use gocc_server::{mode_name, parse_mode, spawn, Mode, ServerConfig, ServerHandle, ServerState};
+use gocc_telemetry::{JsonWriter, SplitMix64};
+use gocc_wire::{
+    decode_response, encode_repl_request, encode_request, read_frame, write_frame, ReplRequest,
+    Request, Response,
+};
+
+// ---------------------------------------------------------------- args --
+
+struct Args {
+    seed: u64,
+    /// None = both modes.
+    mode: Option<Mode>,
+    /// Sequential writer ops per mode (the kill fires halfway).
+    load_ops: u64,
+    /// Distinct plain-oracle keys.
+    keys: u64,
+    /// Per-op fault probability on the replication streams (0 = off).
+    fault_rate: f64,
+    /// SIGKILL → first replica reporting role=primary.
+    detect_deadline: Duration,
+    /// Bound on the loser reconverging after the rejoin phase.
+    converge_deadline: Duration,
+    goccd: String,
+    stall_secs: u64,
+}
+
+fn usage() -> String {
+    "usage: auto_failover_soak [--seed N] [--mode lock|gocc|both] [--load-ops N] [--keys N] \
+     [--fault-rate F] [--detect-deadline-ms N] [--converge-deadline-ms N] [--goccd PATH] \
+     [--stall-secs N]"
+        .to_string()
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2026,
+        mode: None,
+        load_ops: 1200,
+        keys: 24,
+        fault_rate: 0.02,
+        detect_deadline: Duration::from_secs(5),
+        converge_deadline: Duration::from_secs(3),
+        goccd: "./target/release/goccd".to_string(),
+        stall_secs: 60,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--seed" => args.seed = num("--seed", &value("--seed")?)?,
+            "--mode" => {
+                let v = value("--mode")?;
+                args.mode = if v == "both" {
+                    None
+                } else {
+                    Some(parse_mode(&v)?)
+                };
+            }
+            "--load-ops" => args.load_ops = num("--load-ops", &value("--load-ops")?)?,
+            "--keys" => args.keys = num("--keys", &value("--keys")?)?,
+            "--fault-rate" => args.fault_rate = num("--fault-rate", &value("--fault-rate")?)?,
+            "--detect-deadline-ms" => {
+                args.detect_deadline = Duration::from_millis(num(
+                    "--detect-deadline-ms",
+                    &value("--detect-deadline-ms")?,
+                )?);
+            }
+            "--converge-deadline-ms" => {
+                args.converge_deadline = Duration::from_millis(num(
+                    "--converge-deadline-ms",
+                    &value("--converge-deadline-ms")?,
+                )?);
+            }
+            "--goccd" => args.goccd = value("--goccd")?,
+            "--stall-secs" => args.stall_secs = num("--stall-secs", &value("--stall-secs")?)?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.load_ops < 100 || args.keys == 0 {
+        return Err("--load-ops must be >= 100 and --keys >= 1".into());
+    }
+    Ok(args)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gocc-autofailover-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A guarantee violation (exit 4), distinct from a broken harness.
+fn violation(msg: String) -> String {
+    format!("VIOLATION: {msg}")
+}
+
+// ---------------------------------------------------- liveness watchdog --
+
+struct Liveness {
+    beats: AtomicU64,
+    done: AtomicBool,
+}
+
+fn start_liveness_monitor(stall: Duration) -> Arc<Liveness> {
+    let live = Arc::new(Liveness {
+        beats: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+    });
+    let monitor = Arc::clone(&live);
+    std::thread::Builder::new()
+        .name("autofailover-liveness".into())
+        .spawn(move || {
+            let mut last = monitor.beats.load(Ordering::Relaxed);
+            let mut last_change = Instant::now();
+            loop {
+                std::thread::sleep(Duration::from_millis(200));
+                if monitor.done.load(Ordering::Relaxed) {
+                    return;
+                }
+                let now = monitor.beats.load(Ordering::Relaxed);
+                if now != last {
+                    last = now;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() > stall {
+                    eprintln!(
+                        "auto_failover_soak: LIVENESS WATCHDOG: no progress for {}s",
+                        stall.as_secs()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        })
+        .expect("spawn liveness monitor");
+    live
+}
+
+// ------------------------------------------------------- per-key oracle --
+
+/// Post-state history of one key under the sequential writer (SET/DEL
+/// only — post-states are history-independent).
+#[derive(Default)]
+struct KeyHist {
+    states: Vec<Option<u64>>,
+    acked: Option<usize>,
+}
+
+impl KeyHist {
+    fn admits(&self, got: Option<u64>) -> bool {
+        match self.acked {
+            Some(ai) => self.states[ai..].contains(&got),
+            None => got.is_none() || self.states.contains(&got),
+        }
+    }
+}
+
+type Oracle = HashMap<String, KeyHist>;
+
+// --------------------------------------------------------- child primary --
+
+struct Daemon {
+    child: std::process::Child,
+    port: u16,
+}
+
+fn spawn_primary(args: &Args, mode: Mode, dir: &std::path::Path) -> Result<Daemon, String> {
+    let mut cmd = std::process::Command::new(&args.goccd);
+    cmd.args([
+        "--mode",
+        mode_name(mode),
+        "--port",
+        "0",
+        "--workers",
+        "2",
+        "--shards",
+        "2",
+        "--repl-accept",
+        "--repl-min-acks",
+        "2",
+        "--repl-lease-ms",
+        "400",
+        "--repl-ack-timeout-ms",
+        "2000",
+    ])
+    .arg("--data-dir")
+    .arg(dir)
+    .args(["--wal-sync", "group", "--fsync-wait-us", "100"])
+    .stdout(std::process::Stdio::piped())
+    .stderr(std::process::Stdio::null());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", args.goccd))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut port = None;
+    let mut line = String::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if let Some(p) = line.strip_prefix("LISTENING ") {
+                    port = p.trim().parse().ok();
+                    break;
+                }
+            }
+            Err(e) => return Err(format!("reading goccd stdout: {e}")),
+        }
+    }
+    let Some(port) = port else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("goccd never printed LISTENING".into());
+    };
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 4096];
+        while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+    });
+    Ok(Daemon { child, port })
+}
+
+fn spawn_replica(
+    args: &Args,
+    mode: Mode,
+    primary_port: u16,
+    salt: u64,
+    dir: &std::path::Path,
+) -> Result<ServerHandle, String> {
+    let fault_plan = (args.fault_rate > 0.0).then(|| {
+        Arc::new(TransportFaultPlan::new(
+            args.seed ^ (salt + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            TransportMix::uniform(args.fault_rate),
+        ))
+    });
+    spawn(ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 4096,
+        replica_of: Some(format!("127.0.0.1:{primary_port}")),
+        repl_fault_plan: fault_plan,
+        // Distinct per-replica seeds stagger the suspicion jitter.
+        repl_seed: args.seed ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        repl_auto_promote: true,
+        repl_suspect: Duration::from_millis(300),
+        data_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("spawn replica: {e}"))
+}
+
+// --------------------------------------------------------- wire helpers --
+
+fn repl_call(port: u16, req: &ReplRequest<'_>) -> Result<(), String> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect {port}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut frame = Vec::new();
+    encode_repl_request(req, &mut frame);
+    write_frame(&mut stream, &frame).map_err(|e| format!("send: {e}"))?;
+    let mut resp = Vec::new();
+    if !read_frame(&mut stream, &mut resp).map_err(|e| format!("recv: {e}"))? {
+        return Err("connection closed".into());
+    }
+    match decode_response(&resp).map_err(|e| format!("decode: {e}"))? {
+        Response::Done => Ok(()),
+        other => Err(format!("REPL verb answered {other:?}")),
+    }
+}
+
+/// One request over a fresh connection (for probing the rejoined,
+/// possibly-fenced old primary without retry machinery in the way).
+fn call_once(port: u16, req: &Request<'_>) -> Result<Vec<u8>, String> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect {port}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let mut frame = Vec::new();
+    encode_request(req, &mut frame);
+    write_frame(&mut stream, &frame).map_err(|e| format!("send: {e}"))?;
+    let mut resp = Vec::new();
+    if !read_frame(&mut stream, &mut resp).map_err(|e| format!("recv: {e}"))? {
+        return Err("connection closed".into());
+    }
+    Ok(resp)
+}
+
+fn get_value(client: &mut ResilientClient, key: &str) -> Result<Option<u64>, String> {
+    let mut resp = Vec::new();
+    client
+        .call(
+            &Request::Get {
+                key: key.as_bytes(),
+            },
+            &mut resp,
+        )
+        .map_err(|e| format!("GET {key}: {e}"))?;
+    match decode_response(&resp).map_err(|e| format!("decode GET: {e}"))? {
+        Response::Value { found, value } => Ok(found.then_some(value)),
+        other => Err(format!("GET answered {other:?}")),
+    }
+}
+
+// ------------------------------------------------------ failover monitor --
+
+/// What the in-process poller measured around the kill.
+#[derive(Default)]
+struct FailoverTimes {
+    /// SIGKILL → first suspicion counted on either replica.
+    detection: Option<Duration>,
+    /// SIGKILL → first replica holding role=primary.
+    promotion: Option<Duration>,
+    /// Both replicas primary at once (split brain) observed.
+    split_brain: bool,
+}
+
+/// Polls both replicas' in-process state every ~3 ms from the moment of
+/// the kill: first suspicion = detection, first promotion = promotion,
+/// and a continuous exactly-one-primary check.
+fn monitor_failover(
+    r1: &Arc<ServerState>,
+    r2: &Arc<ServerState>,
+    t_kill: Instant,
+    deadline: Duration,
+    live: &Liveness,
+) -> FailoverTimes {
+    let base = r1.repl_suspicions() + r2.repl_suspicions();
+    let mut times = FailoverTimes::default();
+    while t_kill.elapsed() < deadline {
+        if times.detection.is_none() && r1.repl_suspicions() + r2.repl_suspicions() > base {
+            times.detection = Some(t_kill.elapsed());
+        }
+        let (p1, p2) = (!r1.is_replica(), !r2.is_replica());
+        if p1 && p2 {
+            times.split_brain = true;
+            return times;
+        }
+        if times.promotion.is_none() && (p1 || p2) {
+            // A suspicion necessarily preceded the promotion; if the
+            // poll missed the counter flip, pin detection here.
+            if times.detection.is_none() {
+                times.detection = Some(t_kill.elapsed());
+            }
+            times.promotion = Some(t_kill.elapsed());
+            return times;
+        }
+        live.beats.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    times
+}
+
+// --------------------------------------------------------- per-mode run --
+
+/// Everything the artifact wants from one mode's run.
+struct ModeResult {
+    mode: Mode,
+    detection: Duration,
+    promotion: Duration,
+    unavailability: Duration,
+    epoch: u64,
+    suspicions: u64,
+    elections: u64,
+    stale_epoch_rejects: u64,
+    acked_keys: u64,
+    session_reads: u64,
+    behind_rotations: u64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_mode(args: &Args, mode: Mode, live: &Liveness) -> Result<ModeResult, String> {
+    let pdir = tmp(&format!("primary-{}", mode_name(mode)));
+    let r1dir = tmp(&format!("replica1-{}", mode_name(mode)));
+    let r2dir = tmp(&format!("replica2-{}", mode_name(mode)));
+    let primary = spawn_primary(args, mode, &pdir)?;
+    let r1 = spawn_replica(args, mode, primary.port, 1, &r1dir)?;
+    let r2 = spawn_replica(args, mode, primary.port, 2, &r2dir)?;
+    r1.state().set_repl_peers(vec![
+        format!("127.0.0.1:{}", r2.port()),
+        format!("127.0.0.1:{}", primary.port),
+    ]);
+    r2.state().set_repl_peers(vec![
+        format!("127.0.0.1:{}", r1.port()),
+        format!("127.0.0.1:{}", primary.port),
+    ]);
+    let (s1, s2) = (r1.state_arc(), r2.state_arc());
+    let all_ports = vec![primary.port, r1.port(), r2.port()];
+
+    // min_acks = 2: wait out the boot fence by probing an actual write.
+    let mut probe = ResilientClient::new(primary.port, ClientConfig::default(), args.seed ^ 0xB0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut resp = Vec::new();
+        if probe
+            .call(
+                &Request::Set {
+                    key: b"boot-probe",
+                    value: 1,
+                    ttl: 0,
+                },
+                &mut resp,
+            )
+            .is_ok()
+            && matches!(decode_response(&resp), Ok(Response::Done))
+        {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err("primary never unfenced (replicas did not subscribe)".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(probe);
+
+    // Sequential controller: plain oracle writes + a RYW session, with
+    // the SIGKILL halfway and the in-process failover monitor at the
+    // kill. No promote call anywhere.
+    let mut cluster = ClusterClient::new(&all_ports, ClientConfig::chaos(), args.seed ^ 0xF417);
+    let mut rng = SplitMix64::new(args.seed ^ 0xFA11_07E6);
+    let mut oracle = Oracle::new();
+    let mut session = Session::new();
+    let mut session_hist: HashMap<String, KeyHist> = HashMap::new();
+    let mut session_reads = 0u64;
+    let kill_at = args.load_ops / 2;
+    let mut primary_corpse = Some(primary.child);
+    let mut times = FailoverTimes::default();
+    let mut t_kill: Option<Instant> = None;
+    let mut unavailability: Option<Duration> = None;
+
+    for i in 0..args.load_ops {
+        live.beats.fetch_add(1, Ordering::Relaxed);
+        if i == kill_at {
+            primary_corpse
+                .as_mut()
+                .expect("killed exactly once")
+                .kill()
+                .map_err(|e| format!("kill primary: {e}"))?;
+            let t0 = Instant::now();
+            t_kill = Some(t0);
+            times = monitor_failover(&s1, &s2, t0, args.detect_deadline, live);
+            if times.split_brain {
+                return Err(violation(
+                    "split brain: both replicas promoted themselves".to_string(),
+                ));
+            }
+            let Some(promotion) = times.promotion else {
+                return Err(violation(format!(
+                    "no replica auto-promoted itself within {:?} \
+                     (suspicions observed: {})",
+                    args.detect_deadline,
+                    s1.repl_suspicions() + s2.repl_suspicions(),
+                )));
+            };
+            if promotion > args.detect_deadline {
+                return Err(violation(format!(
+                    "detection+promotion took {promotion:?}, deadline {:?}",
+                    args.detect_deadline
+                )));
+            }
+        }
+
+        // Plain oracle op.
+        let key = format!("ak-{}", rng.below(args.keys));
+        let hist = oracle.entry(key.clone()).or_default();
+        let req = if rng.below(100) < 85 {
+            let value = rng.next_u64() >> 1;
+            hist.states.push(Some(value));
+            Request::Set {
+                key: key.as_bytes(),
+                value,
+                ttl: 0,
+            }
+        } else {
+            hist.states.push(None);
+            Request::Del {
+                key: key.as_bytes(),
+            }
+        };
+        let mut resp = Vec::new();
+        let acked = match cluster.write(&req, &mut resp) {
+            Err(_) => false,
+            Ok(()) => !matches!(
+                decode_response(&resp),
+                Ok(Response::Error { .. })
+                    | Ok(Response::Overloaded { .. })
+                    | Ok(Response::DeadlineExceeded)
+                    | Err(_)
+            ),
+        };
+        if acked {
+            hist.acked = Some(hist.states.len() - 1);
+            if let (Some(t0), None) = (t_kill, unavailability) {
+                unavailability = Some(t0.elapsed());
+            }
+        }
+
+        // RYW session op every few iterations: write, then read back
+        // through the cluster and hold it to the session's floor.
+        if i % 4 == 0 {
+            let skey = format!("ryw-{}", i % 8);
+            let shist = session_hist.entry(skey.clone()).or_default();
+            shist.states.push(Some(i));
+            let mut resp = Vec::new();
+            let ok = cluster
+                .write_session(&mut session, skey.as_bytes(), i, 0, &mut resp)
+                .is_ok();
+            if ok && matches!(decode_response(&resp), Ok(Response::DoneAt { .. })) {
+                shist.acked = Some(shist.states.len() - 1);
+            }
+            match cluster.read_session(&session, skey.as_bytes(), &mut resp) {
+                Err(_) => {
+                    // A session read may fail outright only while no
+                    // node is reachable; with two live replicas serving
+                    // floor-checked reads this must not happen.
+                    return Err(violation(format!(
+                        "session read of {skey} found no endpoint satisfying the floor \
+                         (op {i})"
+                    )));
+                }
+                Ok(()) => {
+                    session_reads += 1;
+                    let got = match decode_response(&resp) {
+                        Ok(Response::Value { found, value }) => found.then_some(value),
+                        Ok(other) => {
+                            return Err(format!("session read answered {other:?}"));
+                        }
+                        Err(e) => return Err(format!("mis-framed session read: {e}")),
+                    };
+                    if !shist.admits(got) {
+                        return Err(violation(format!(
+                            "read-your-writes violated on {skey}: got {got:?}, acked \
+                             index {:?} of {} issued (op {i})",
+                            shist.acked,
+                            shist.states.len()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(mut child) = primary_corpse {
+        let _ = child.wait();
+    }
+    let unavailability = unavailability
+        .ok_or_else(|| violation("no write was ever acknowledged after the kill".to_string()))?;
+
+    // Epoch oracle: exactly one primary, the loser follows it at the
+    // same epoch.
+    let (winner, loser, wstate, lstate) = if !s1.is_replica() {
+        (&r1, &r2, &s1, &s2)
+    } else if !s2.is_replica() {
+        (&r2, &r1, &s2, &s1)
+    } else {
+        return Err(violation(
+            "promotion observed during the run but no replica is primary now".to_string(),
+        ));
+    };
+    if !lstate.is_replica() {
+        return Err(violation(
+            "split brain at end of load: both replicas primary".to_string(),
+        ));
+    }
+    let epoch = wstate.epoch();
+    if epoch == 0 {
+        return Err(violation("promotion did not advance the epoch".to_string()));
+    }
+    let deadline = Instant::now() + args.converge_deadline;
+    loop {
+        if lstate.epoch() == epoch
+            && lstate.upstream_hint() == format!("127.0.0.1:{}", winner.port())
+        {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(violation(format!(
+                "loser never adopted epoch {epoch} / repointed at the winner \
+                 (epoch {}, upstream {:?})",
+                lstate.epoch(),
+                lstate.upstream_hint()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // No-acked-write-lost oracle against the self-elected primary.
+    let acked_keys = oracle.values().filter(|h| h.acked.is_some()).count() as u64;
+    if acked_keys == 0 {
+        return Err("no key ever got an acked write — the oracle verified nothing".into());
+    }
+    let mut wclient = ResilientClient::new(winner.port(), ClientConfig::default(), args.seed);
+    for (key, hist) in &oracle {
+        let got = get_value(&mut wclient, key)?;
+        if !hist.admits(got) {
+            return Err(violation(format!(
+                "mode {}: key {key} on the self-elected primary is {got:?}, not an \
+                 issued state at or after acked index {:?} ({} issued)",
+                mode_name(mode),
+                hist.acked,
+                hist.states.len()
+            )));
+        }
+    }
+
+    // Rejoin phase: the deposed primary comes back from its own data dir,
+    // believing it is a primary at epoch 0.
+    let rejoined = spawn_primary(args, mode, &pdir)?;
+    // Lease fencing half: no live subscribers, so it must refuse writes.
+    let resp = call_once(
+        rejoined.port,
+        &Request::Set {
+            key: b"poison",
+            value: 666,
+            ttl: 0,
+        },
+    )?;
+    match decode_response(&resp).map_err(|e| format!("decode rejoin probe: {e}"))? {
+        Response::Error { .. } => {}
+        other => {
+            return Err(violation(format!(
+                "rejoined deposed primary acked a write with no live replicas: {other:?}"
+            )));
+        }
+    }
+    // Epoch fencing half: a replica pointed at the stale primary must
+    // reject its stream without applying anything.
+    let stale_base = lstate.repl_stale_epoch_rejects();
+    let old_upstream = format!("127.0.0.1:{}", rejoined.port);
+    repl_call(
+        loser.port(),
+        &ReplRequest::Promote {
+            upstream: old_upstream.as_bytes(),
+        },
+    )
+    .map_err(|e| format!("repoint loser at deposed primary: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while lstate.repl_stale_epoch_rejects() == stale_base {
+        if Instant::now() > deadline {
+            return Err(violation(
+                "replica never rejected the deposed primary's stale epoch".to_string(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+    if lstate.epoch() != epoch {
+        return Err(violation(format!(
+            "replica's epoch moved ({} -> {}) while following a stale primary",
+            epoch,
+            lstate.epoch()
+        )));
+    }
+    // Repoint home and prove the loser still converges to the winner.
+    let winner_addr = format!("127.0.0.1:{}", winner.port());
+    repl_call(
+        loser.port(),
+        &ReplRequest::Promote {
+            upstream: winner_addr.as_bytes(),
+        },
+    )
+    .map_err(|e| format!("repoint loser at winner: {e}"))?;
+    let mut resp = Vec::new();
+    wclient
+        .call(
+            &Request::Set {
+                key: b"rejoin-sentinel",
+                value: 4242,
+                ttl: 0,
+            },
+            &mut resp,
+        )
+        .map_err(|e| format!("sentinel write: {e}"))?;
+    let mut lclient = ResilientClient::new(loser.port(), ClientConfig::default(), args.seed);
+    let deadline = Instant::now() + args.converge_deadline;
+    while get_value(&mut lclient, "rejoin-sentinel")? != Some(4242) {
+        if Instant::now() > deadline {
+            return Err(violation(format!(
+                "loser did not reconverge to the winner within {:?} after the rejoin \
+                 detour",
+                args.converge_deadline
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        live.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Teardown.
+    let mut rejoined = rejoined;
+    let _ = rejoined.child.kill();
+    let _ = rejoined.child.wait();
+    let suspicions = s1.repl_suspicions() + s2.repl_suspicions();
+    let elections = s1.repl_elections() + s2.repl_elections();
+    let stale_epoch_rejects = s1.repl_stale_epoch_rejects() + s2.repl_stale_epoch_rejects();
+    r1.request_shutdown();
+    r2.request_shutdown();
+    let _ = r1.join();
+    let _ = r2.join();
+    for d in [&pdir, &r1dir, &r2dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let result = ModeResult {
+        mode,
+        detection: times.detection.expect("promotion implies detection"),
+        promotion: times.promotion.expect("checked at kill"),
+        unavailability,
+        epoch,
+        suspicions,
+        elections,
+        stale_epoch_rejects,
+        acked_keys,
+        session_reads,
+        behind_rotations: cluster.behind_rotations(),
+    };
+    println!(
+        "auto_failover ({:<4})  OK  detection={:?} promotion={:?} unavailability={:?} \
+         epoch={} elections={} stale_epoch_rejects={} session_reads={}",
+        mode_name(mode),
+        result.detection,
+        result.promotion,
+        result.unavailability,
+        result.epoch,
+        result.elections,
+        result.stale_epoch_rejects,
+        result.session_reads,
+    );
+    Ok(result)
+}
+
+// ------------------------------------------------------------- artifact --
+
+fn render_artifact(seed: u64, results: &[ModeResult]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("seed").u64(seed);
+    w.key("results").begin_array();
+    for r in results {
+        w.begin_object();
+        w.key("mode").string(mode_name(r.mode));
+        w.key("detection_ms").f64(r.detection.as_secs_f64() * 1e3);
+        w.key("promotion_ms").f64(r.promotion.as_secs_f64() * 1e3);
+        w.key("unavailability_ms")
+            .f64(r.unavailability.as_secs_f64() * 1e3);
+        w.key("epoch").u64(r.epoch);
+        w.key("suspicions").u64(r.suspicions);
+        w.key("elections").u64(r.elections);
+        w.key("stale_epoch_rejects").u64(r.stale_epoch_rejects);
+        w.key("acked_keys").u64(r.acked_keys);
+        w.key("session_reads").u64(r.session_reads);
+        w.key("behind_rotations").u64(r.behind_rotations);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+// ---------------------------------------------------------------- main --
+
+fn run(args: &Args) -> Result<(), String> {
+    if !std::path::Path::new(&args.goccd).exists() {
+        return Err(format!(
+            "goccd binary not found at {} (build release first)",
+            args.goccd
+        ));
+    }
+    let modes: Vec<Mode> = match args.mode {
+        Some(m) => vec![m],
+        None => vec![Mode::Lock, Mode::Gocc],
+    };
+    let live = start_liveness_monitor(Duration::from_secs(args.stall_secs.max(5)));
+    let t0 = Instant::now();
+    let mut results = Vec::new();
+    for &mode in &modes {
+        results.push(run_mode(args, mode, &live)?);
+    }
+    live.done.store(true, Ordering::Relaxed);
+    gocc_bench::write_artifact("failover", &render_artifact(args.seed, &results));
+    println!(
+        "auto_failover_soak PASS  seed={} load_ops={} fault_rate={} {:?}",
+        args.seed,
+        args.load_ops,
+        args.fault_rate,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    gocc_gosync::set_procs(8);
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("auto_failover_soak: FAIL: {msg}");
+            if msg.starts_with("VIOLATION:") {
+                ExitCode::from(4)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -9,9 +9,11 @@
 //! 1. **No acked write is lost.** A sequential writer drives SET/DEL
 //!    through a [`ClusterClient`] and records, per key, every issued
 //!    post-state and the index of the last acknowledged one. Mid-load the
-//!    primary is SIGKILLed; the replica with the highest replicated
-//!    version is promoted over the wire (`REPL_PROMOTE`), the other is
-//!    repointed at it. With `min_acks = 2` an ack means both replicas
+//!    primary is SIGKILLed; by default the replicas' failure detectors
+//!    and quorum election produce the successor on their own, while
+//!    `--manual` keeps the operator path covered (the highest-version
+//!    replica is promoted over the wire with `REPL_PROMOTE` and the
+//!    other repointed at it). With `min_acks = 2` an ack means both replicas
 //!    applied the write, so whichever is promoted must still serve it:
 //!    every key read back from the new primary must be an issued state at
 //!    or after its last acked one. (The load is SET/DEL only — their
@@ -80,12 +82,15 @@ struct Args {
     /// Path to the goccd binary.
     goccd: String,
     stall_secs: u64,
+    /// Promote over the wire (the operator path) instead of letting the
+    /// replicas' failure detectors elect a successor on their own.
+    manual: bool,
 }
 
 fn usage() -> String {
     "usage: failover_soak [--seed N] [--mode lock|gocc|both] [--load-ops N] [--keys N] \
      [--fault-rate F] [--outage-hold-ms N] [--recovery-deadline-ms N] \
-     [--converge-deadline-ms N] [--goccd PATH] [--stall-secs N]"
+     [--converge-deadline-ms N] [--goccd PATH] [--stall-secs N] [--manual]"
         .to_string()
 }
 
@@ -101,6 +106,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         converge_deadline: Duration::from_secs(3),
         goccd: "./target/release/goccd".to_string(),
         stall_secs: 60,
+        manual: false,
     };
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -146,6 +152,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--goccd" => args.goccd = value("--goccd")?,
             "--stall-secs" => args.stall_secs = num("--stall-secs", &value("--stall-secs")?)?,
+            "--manual" => args.manual = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -322,6 +329,16 @@ fn spawn_replica(
     primary_port: u16,
     salt: u64,
 ) -> Result<ServerHandle, String> {
+    spawn_replica_cfg(args, mode, primary_port, salt, false)
+}
+
+fn spawn_replica_cfg(
+    args: &Args,
+    mode: Mode,
+    primary_port: u16,
+    salt: u64,
+    auto_promote: bool,
+) -> Result<ServerHandle, String> {
     let fault_plan = (args.fault_rate > 0.0).then(|| {
         Arc::new(TransportFaultPlan::new(
             args.seed ^ (salt + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -336,7 +353,11 @@ fn spawn_replica(
         capacity_per_shard: 4096,
         replica_of: Some(format!("127.0.0.1:{primary_port}")),
         repl_fault_plan: fault_plan,
-        repl_seed: args.seed,
+        // Distinct per-replica seed: the suspicion jitter staggers the
+        // detectors so simultaneous candidacies resolve quickly.
+        repl_seed: args.seed ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        repl_auto_promote: auto_promote,
+        repl_suspect: Duration::from_millis(300),
         ..ServerConfig::default()
     })
     .map_err(|e| format!("spawn replica: {e}"))
@@ -445,8 +466,22 @@ fn write_once(cluster: &mut ClusterClient, req: &Request<'_>) -> Result<WriteOut
 fn failover_phase(args: &Args, mode: Mode, live: &Liveness) -> Result<(), String> {
     let dir = tmp(&format!("primary-{}", mode_name(mode)));
     let primary = spawn_primary(args, mode, &dir)?;
-    let r1 = spawn_replica(args, mode, primary.port, 1)?;
-    let r2 = spawn_replica(args, mode, primary.port, 2)?;
+    let auto = !args.manual;
+    let r1 = spawn_replica_cfg(args, mode, primary.port, 1, auto)?;
+    let r2 = spawn_replica_cfg(args, mode, primary.port, 2, auto)?;
+    if auto {
+        // Electorate per replica: the other replica plus the (doomed)
+        // primary. Majority of 3 is 2, reachable once the survivors
+        // vote for one of themselves.
+        r1.state().set_repl_peers(vec![
+            format!("127.0.0.1:{}", r2.port()),
+            format!("127.0.0.1:{}", primary.port),
+        ]);
+        r2.state().set_repl_peers(vec![
+            format!("127.0.0.1:{}", r1.port()),
+            format!("127.0.0.1:{}", primary.port),
+        ]);
+    }
     let replica_ports = [r1.port(), r2.port()];
     let all_ports = vec![primary.port, r1.port(), r2.port()];
 
@@ -542,32 +577,68 @@ fn failover_phase(args: &Args, mode: Mode, live: &Liveness) -> Result<(), String
                         live.beats.fetch_add(1, Ordering::Relaxed);
                     }
 
-                    // Controller: promote the replica with the highest
-                    // replicated version, repoint the other at it.
-                    let mut best = (0usize, 0u64);
-                    for (idx, &port) in replica_ports.iter().enumerate() {
+                    for &port in &replica_ports {
                         let repl = repl_stats(port)?;
                         fault_evidence += repl_u64(&repl, "reconnects")
                             + repl_u64(&repl, "naks_sent")
                             + repl_u64(&repl, "snap_resyncs");
-                        let sum = version_sum(&repl);
-                        if sum >= best.1 {
-                            best = (idx, sum);
-                        }
                     }
-                    let winner = replica_ports[best.0];
-                    let loser = replica_ports[1 - best.0];
-                    repl_call(winner, &ReplRequest::Promote { upstream: b"" })
-                        .map_err(|e| format!("promote {winner}: {e}"))?;
-                    let upstream = format!("127.0.0.1:{winner}");
-                    repl_call(
-                        loser,
-                        &ReplRequest::Promote {
-                            upstream: upstream.as_bytes(),
-                        },
-                    )
-                    .map_err(|e| format!("repoint {loser}: {e}"))?;
-                    new_primary_port = Some(winner);
+                    if args.manual {
+                        // Controller: promote the replica with the
+                        // highest replicated version, repoint the other.
+                        let mut best = (0usize, 0u64);
+                        for (idx, &port) in replica_ports.iter().enumerate() {
+                            let sum = version_sum(&repl_stats(port)?);
+                            if sum >= best.1 {
+                                best = (idx, sum);
+                            }
+                        }
+                        let winner = replica_ports[best.0];
+                        let loser = replica_ports[1 - best.0];
+                        repl_call(winner, &ReplRequest::Promote { upstream: b"" })
+                            .map_err(|e| format!("promote {winner}: {e}"))?;
+                        let upstream = format!("127.0.0.1:{winner}");
+                        repl_call(
+                            loser,
+                            &ReplRequest::Promote {
+                                upstream: upstream.as_bytes(),
+                            },
+                        )
+                        .map_err(|e| format!("repoint {loser}: {e}"))?;
+                        new_primary_port = Some(winner);
+                    } else {
+                        // No controller: the failure detectors + quorum
+                        // election must produce exactly one new primary
+                        // on their own.
+                        let deadline = Instant::now() + args.recovery_deadline;
+                        let winner = loop {
+                            let mut promoted = Vec::new();
+                            for &port in &replica_ports {
+                                let repl = repl_stats(port)?;
+                                if repl.get("role").and_then(JsonValue::as_str) == Some("primary") {
+                                    promoted.push(port);
+                                }
+                            }
+                            if promoted.len() > 1 {
+                                return Err(violation(format!(
+                                    "split brain: replicas {promoted:?} both promoted \
+                                     themselves"
+                                )));
+                            }
+                            if let Some(&w) = promoted.first() {
+                                break w;
+                            }
+                            if Instant::now() > deadline {
+                                return Err(violation(format!(
+                                    "no replica auto-promoted itself within {:?}",
+                                    args.recovery_deadline
+                                )));
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                            live.beats.fetch_add(1, Ordering::Relaxed);
+                        };
+                        new_primary_port = Some(winner);
+                    }
                 }
 
                 let key = format!("fk-{}", rng.below(args.keys));
@@ -917,10 +988,11 @@ fn run(args: &Args) -> Result<(), String> {
     }
     live.done.store(true, Ordering::Relaxed);
     println!(
-        "failover_soak PASS  seed={} load_ops={} fault_rate={} {:?}",
+        "failover_soak PASS  seed={} load_ops={} fault_rate={} promotion={} {:?}",
         args.seed,
         args.load_ops,
         args.fault_rate,
+        if args.manual { "manual" } else { "auto" },
         t0.elapsed()
     );
     Ok(())

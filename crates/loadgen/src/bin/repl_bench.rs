@@ -23,6 +23,14 @@
 //!   `REPL_GATE_SHARE_PCT`% of the reads in the two-replica cell, so the
 //!   scaling claim is exercised rather than simulated.
 //!
+//! A third cell per mode measures the **read-your-writes tax**: the
+//! same topology as the 2-replica cell, but every client drives
+//! floor-carrying session reads (`GET_S` via [`ClusterClient`]) against
+//! a private [`Session`] it keeps fresh with periodic `SET_S` writes, so
+//! replicas genuinely answer `Behind` and force rotations. The artifact
+//! records session kops/s, the `Behind` rotation count and the tax as a
+//! ratio against the plain 2-replica read throughput (`ryw_tax_x`).
+//!
 //! Emits `BENCH_replication.json` (common artifact header).
 //!
 //! ```console
@@ -34,7 +42,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use gocc_loadgen::{connect_with_retry, fetch_stats, ClientConfig};
+use gocc_loadgen::{connect_with_retry, fetch_stats, ClientConfig, ClusterClient, Session};
 use gocc_server::{mode_name, spawn, Mode, ServerConfig, ServerHandle};
 use gocc_telemetry::{JsonValue, JsonWriter, SplitMix64};
 use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Request, Response};
@@ -42,6 +50,11 @@ use gocc_wire::{decode_response, encode_request, read_frame, write_frame, Reques
 const KEYS: u64 = 2048;
 const SHARDS: usize = 4;
 const REPLICA_COUNTS: [usize; 3] = [0, 1, 2];
+/// Private session keys per client in the session-read cell.
+const SESSION_KEYS: u64 = 64;
+/// One `SET_S` floor refresh per this many session ops, so the floors
+/// keep advancing and replicas genuinely lag them.
+const SESSION_WRITE_EVERY: u64 = 8;
 
 struct Args {
     window: Duration,
@@ -303,6 +316,115 @@ fn measure_cell(mode: Mode, replicas: usize, args: &Args) -> Result<CellResult, 
     })
 }
 
+/// The read-your-writes tax cell: primary + 2 replicas, every client a
+/// closed-loop *session* reader. Each client seeds `SESSION_KEYS`
+/// private keys via `SET_S` (pocketing the version tokens), then drives
+/// floor-carrying session reads with one floor-advancing refresh write
+/// per [`SESSION_WRITE_EVERY`] ops. Returns `(session read kops/s,
+/// Behind rotations observed)` — the rotations are the tax made visible.
+fn measure_session_cell(mode: Mode, args: &Args) -> Result<(f64, u64), String> {
+    let primary = spawn(ServerConfig {
+        mode,
+        port: 0,
+        workers: 2,
+        shards: SHARDS,
+        capacity_per_shard: (KEYS * 4) as usize,
+        repl_accept: true,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("spawn primary: {e}"))?;
+    let followers: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            spawn(ServerConfig {
+                mode,
+                port: 0,
+                workers: 2,
+                shards: SHARDS,
+                capacity_per_shard: (KEYS * 4) as usize,
+                replica_of: Some(format!("127.0.0.1:{}", primary.port())),
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("spawn replica: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut ports = vec![primary.port()];
+    ports.extend(followers.iter().map(ServerHandle::port));
+
+    let warmup = args.window / 8;
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let per_client: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|t| {
+                let (stop, ports) = (&stop, &ports);
+                s.spawn(move || {
+                    let seed = 0xC11E ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut cluster = ClusterClient::new(ports, ClientConfig::default(), seed);
+                    let mut session = Session::new();
+                    let mut rng = SplitMix64::new(seed ^ 0x5E55);
+                    let mut resp = Vec::new();
+                    let mut keybuf = String::new();
+                    let seed_key = |keybuf: &mut String, k: u64| {
+                        use std::fmt::Write as _;
+                        keybuf.clear();
+                        let _ = write!(keybuf, "s{t}-{k}");
+                    };
+                    for k in 0..SESSION_KEYS {
+                        seed_key(&mut keybuf, k);
+                        cluster
+                            .write_session(&mut session, keybuf.as_bytes(), k, 0, &mut resp)
+                            .expect("seed session write");
+                    }
+                    let mut reads = 0u64;
+                    let mut op = 0u64;
+                    let mut counting = false;
+                    while !stop.load(Ordering::Relaxed) {
+                        op += 1;
+                        seed_key(&mut keybuf, rng.below(SESSION_KEYS));
+                        if op % SESSION_WRITE_EVERY == 0 {
+                            cluster
+                                .write_session(&mut session, keybuf.as_bytes(), op, 0, &mut resp)
+                                .expect("session refresh write");
+                            continue;
+                        }
+                        cluster
+                            .read_session(&session, keybuf.as_bytes(), &mut resp)
+                            .expect("session read");
+                        let got = decode_response(&resp).expect("decode session read");
+                        assert!(
+                            matches!(got, Response::Value { found: true, .. }),
+                            "session read answered {got:?}"
+                        );
+                        if counting {
+                            reads += 1;
+                        } else if started.elapsed() >= warmup {
+                            counting = true;
+                        }
+                    }
+                    (reads, cluster.behind_rotations())
+                })
+            })
+            .collect();
+        std::thread::sleep(warmup + args.window);
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session client"))
+            .collect()
+    });
+
+    for f in followers {
+        f.request_shutdown();
+        let _ = f.join();
+    }
+    primary.request_shutdown();
+    let _ = primary.join();
+
+    let reads: u64 = per_client.iter().map(|&(r, _)| r).sum();
+    let behind: u64 = per_client.iter().map(|&(_, b)| b).sum();
+    Ok((reads as f64 / args.window.as_secs_f64() / 1e3, behind))
+}
+
 fn gate_env(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
@@ -347,6 +469,7 @@ fn main() -> ExitCode {
     let mut gocc_cells: Vec<CellResult> = Vec::new();
     for mode in [Mode::Lock, Mode::Gocc] {
         println!("  {}:", mode_name(mode));
+        let mut plain_two_kops = 0.0;
         w.key(mode_name(mode)).begin_array();
         for &replicas in &REPLICA_COUNTS {
             let mut best: Option<CellResult> = None;
@@ -375,11 +498,40 @@ fn main() -> ExitCode {
                 .field_u64("replica_reads", r.replica_reads)
                 .field_f64("replica_share_pct", r.replica_share_pct())
                 .end_object();
+            if replicas == *REPLICA_COUNTS.last().expect("non-empty") {
+                plain_two_kops = r.kops;
+            }
             if mode == Mode::Gocc {
                 gocc_cells.push(r);
             }
         }
         w.end_array();
+
+        // Session-read cell: same 2-replica topology, floor-carrying
+        // reads. The tax ratio compares against the plain cell above.
+        let (session_kops, behind) = match measure_session_cell(mode, &args) {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("repl_bench: FAIL: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ryw_tax = if plain_two_kops > 0.0 {
+            session_kops / plain_two_kops
+        } else {
+            0.0
+        };
+        println!(
+            "    session reads  {session_kops:>9.1} kops/s  ryw_tax={ryw_tax:.2}x \
+             behind_rotations={behind}"
+        );
+        w.key(&format!("{}_session", mode_name(mode)))
+            .begin_object()
+            .field_f64("kops", session_kops)
+            .field_f64("ryw_tax_x", ryw_tax)
+            .field_u64("behind_rotations", behind)
+            .field_u64("write_every", SESSION_WRITE_EVERY)
+            .end_object();
     }
 
     // Gates on the gocc cells (the paper's execution mode): bounded

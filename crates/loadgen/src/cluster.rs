@@ -32,6 +32,62 @@ use crate::resilient::{ClientConfig, ResilientClient};
 /// a write call reports failure to the caller.
 const WRITE_ATTEMPTS: u32 = 12;
 
+/// Full round-robin passes a session read makes before concluding no
+/// endpoint can satisfy its version floor (replication lag longer than
+/// the retry budget, or an impossible floor).
+const READ_ROUNDS: usize = 3;
+
+/// A read-your-writes session: the version tokens returned by this
+/// session's acknowledged `SET_S` writes, keyed by the written key.
+///
+/// A token is the `(shard, version)` the write reached on the primary.
+/// A later `GET_S` of the same key carries the version as its floor; a
+/// replica whose copy of that key's shard is still behind the floor
+/// answers `Behind` instead of serving a stale value, and the client
+/// rotates to a caught-up node. Keying by the written key (rather than
+/// by shard) is what lets the client stay ignorant of the server's
+/// key→shard mapping: the same key always lands on the same shard, so
+/// floor and check line up by construction.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    tokens: std::collections::HashMap<Vec<u8>, (u32, u64)>,
+}
+
+impl Session {
+    /// An empty session: no floors, reads behave like plain reads.
+    #[must_use]
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Records an acknowledged write's token; floors only ever rise.
+    pub fn note(&mut self, key: &[u8], shard: u32, version: u64) {
+        let slot = self.tokens.entry(key.to_vec()).or_insert((shard, 0));
+        if version > slot.1 {
+            *slot = (shard, version);
+        }
+    }
+
+    /// The session's version floor for `key` (0 when the session never
+    /// wrote it — any copy is then fresh enough).
+    #[must_use]
+    pub fn floor(&self, key: &[u8]) -> u64 {
+        self.tokens.get(key).map_or(0, |&(_, v)| v)
+    }
+
+    /// Number of keys this session holds tokens for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the session holds no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
 struct Endpoint {
     port: u16,
     client: ResilientClient,
@@ -52,6 +108,9 @@ pub struct ClusterClient {
     rng: SplitMix64,
     redirects: u64,
     rotations: u64,
+    /// `Behind` answers session reads rotated past (replica lag made
+    /// visible — the price and the proof of read-your-writes).
+    behind_rotations: u64,
 }
 
 impl ClusterClient {
@@ -83,6 +142,7 @@ impl ClusterClient {
             rng: SplitMix64::new(seed ^ 0xC1_05_7E_12),
             redirects: 0,
             rotations: 0,
+            behind_rotations: 0,
         }
     }
 
@@ -103,6 +163,12 @@ impl ClusterClient {
     #[must_use]
     pub fn rotations(&self) -> u64 {
         self.rotations
+    }
+
+    /// `Behind` answers session reads rotated past.
+    #[must_use]
+    pub fn behind_rotations(&self) -> u64 {
+        self.behind_rotations
     }
 
     /// Reads served per endpoint, in endpoint order (ports alongside).
@@ -202,6 +268,74 @@ impl ClusterClient {
             }
         }
         Err(last.unwrap_or_else(|| io::Error::other("cluster has no endpoints")))
+    }
+
+    /// A session write: `SET_S` through the primary-finding write path,
+    /// recording the returned `(shard, version)` token in `session` so
+    /// later session reads of the same key carry the floor.
+    ///
+    /// `Ok` with a non-`DoneAt` body (a fenced primary's `Error`, say)
+    /// records nothing; the caller inspects `resp` exactly as with
+    /// [`ClusterClient::write`].
+    pub fn write_session(
+        &mut self,
+        session: &mut Session,
+        key: &[u8],
+        value: u64,
+        ttl: u64,
+        resp: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        self.write(&Request::SetS { key, value, ttl }, resp)?;
+        if let Ok(Response::DoneAt { shard, version }) = decode_response(resp) {
+            session.note(key, shard, version);
+        }
+        Ok(())
+    }
+
+    /// A session read: `GET_S` carrying the session's floor for `key`,
+    /// round-robined like [`ClusterClient::read`] but treating `Behind`
+    /// (a replica that has not yet applied the session's write) as one
+    /// more reason to rotate. Bounded at [`READ_ROUNDS`] full passes:
+    /// the primary always satisfies floors it acknowledged, so under any
+    /// live cluster this converges long before the budget runs out.
+    pub fn read_session(
+        &mut self,
+        session: &Session,
+        key: &[u8],
+        resp: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        let req = Request::GetS {
+            key,
+            min_version: session.floor(key),
+        };
+        let n = self.endpoints.len();
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..n * READ_ROUNDS {
+            if attempt > 0 && attempt % n == 0 {
+                // A full pass of Behind/dead answers: give replication
+                // a beat to catch up instead of spinning.
+                std::thread::sleep(Duration::from_millis(1 + self.rng.below(4)));
+            }
+            let i = self.rr % n;
+            self.rr = self.rr.wrapping_add(1);
+            match self.endpoints[i].client.call(&req, resp) {
+                Ok(()) => {
+                    if matches!(decode_response(resp), Ok(Response::Behind { .. })) {
+                        self.behind_rotations += 1;
+                        continue;
+                    }
+                    self.endpoints[i].reads += 1;
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no endpoint satisfied the session's version floor",
+            )
+        }))
     }
 }
 
@@ -326,6 +460,120 @@ mod tests {
         assert_eq!(reads.len(), 2);
         assert_eq!(reads[0].1, 3, "round-robin splits evenly");
         assert_eq!(reads[1].1, 3);
+        drop(c);
+        sa.join().unwrap();
+        sb.join().unwrap();
+    }
+
+    #[test]
+    fn writes_fail_boundedly_when_every_endpoint_is_dead() {
+        // Both endpoints are corpses: bound a port, then drop the
+        // listener so connects are refused. The write must rotate a
+        // bounded number of times and report failure — not spin forever
+        // against a cluster that will never answer.
+        let dead = |seed: u16| {
+            TcpListener::bind((Ipv4Addr::LOCALHOST, 0))
+                .map(|l| l.local_addr().unwrap().port())
+                .unwrap_or(seed)
+        };
+        let (a, b) = (dead(1), dead(2));
+        let mut c = ClusterClient::new(&[a, b], ClientConfig::chaos(), 11);
+        let mut resp = Vec::new();
+        let err = c
+            .write(
+                &Request::Set {
+                    key: b"k",
+                    value: 3,
+                    ttl: 0,
+                },
+                &mut resp,
+            )
+            .expect_err("a fully dead cluster must surface an error");
+        assert_ne!(err.kind(), std::io::ErrorKind::Other, "a real I/O error");
+        assert!(
+            c.rotations() <= u64::from(super::WRITE_ATTEMPTS),
+            "rotation is bounded by the attempt budget, got {}",
+            c.rotations()
+        );
+    }
+
+    #[test]
+    fn epoch_change_redirects_the_session_write_and_records_the_token() {
+        // After an election the deposed address answers NotPrimary with
+        // the winner's port (the announce repointed it); the winner
+        // answers DoneAt. The client must follow the redirect and pocket
+        // the session token from the node that actually took the write.
+        let (new_primary_port, new_primary) = answering_server(1, || {
+            let mut out = Vec::new();
+            encode_response(
+                &Response::DoneAt {
+                    shard: 3,
+                    version: 17,
+                },
+                &mut out,
+            );
+            out
+        });
+        let hint = format!("127.0.0.1:{new_primary_port}");
+        let (old_port, old_primary) = answering_server(1, move || {
+            let mut out = Vec::new();
+            encode_response(&Response::NotPrimary { hint: &hint }, &mut out);
+            out
+        });
+        let mut c = ClusterClient::new(&[old_port], ClientConfig::chaos(), 12);
+        let mut session = Session::new();
+        let mut resp = Vec::new();
+        c.write_session(&mut session, b"k", 9, 0, &mut resp)
+            .expect("the redirect must land on the new primary");
+        assert_eq!(c.redirects(), 1);
+        assert_eq!(c.primary_port(), new_primary_port);
+        assert_eq!(session.floor(b"k"), 17, "token from the acking node");
+        drop(c);
+        new_primary.join().unwrap();
+        old_primary.join().unwrap();
+    }
+
+    #[test]
+    fn session_reads_rotate_past_behind_replicas() {
+        // Endpoint A is a lagging replica: every session read answers
+        // Behind. Endpoint B is caught up. The session read must rotate
+        // off A and return B's value, counting the Behind rotation.
+        let (lagging, sa) = answering_server(1, || {
+            let mut out = Vec::new();
+            encode_response(&Response::Behind { version: 2 }, &mut out);
+            out
+        });
+        let (caught_up, sb) = answering_server(1, || {
+            let mut out = Vec::new();
+            encode_response(
+                &Response::Value {
+                    found: true,
+                    value: 42,
+                },
+                &mut out,
+            );
+            out
+        });
+        let mut c = ClusterClient::new(&[lagging, caught_up], ClientConfig::chaos(), 13);
+        let mut session = Session::new();
+        session.note(b"k", 0, 5);
+        let mut resp = Vec::new();
+        // Several reads: whichever endpoint round-robin starts on, every
+        // read must end at the caught-up node.
+        for _ in 0..4 {
+            c.read_session(&session, b"k", &mut resp).unwrap();
+            assert_eq!(
+                decode_response(&resp).unwrap(),
+                Response::Value {
+                    found: true,
+                    value: 42
+                }
+            );
+        }
+        assert!(
+            c.behind_rotations() >= 1,
+            "the lagging replica must have been rotated past at least once"
+        );
         drop(c);
         sa.join().unwrap();
         sb.join().unwrap();

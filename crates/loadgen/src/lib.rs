@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use gocc_telemetry::{HistogramSnapshot, JsonValue, JsonWriter, LatencyHistogram, SplitMix64};
 use gocc_wire::{decode_response, Request, Response};
 
-pub use cluster::ClusterClient;
+pub use cluster::{ClusterClient, Session};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopResult};
 pub use resilient::{
     connect_with_retry, BreakerConfig, BreakerState, CircuitBreaker, ClientConfig, ResilientClient,

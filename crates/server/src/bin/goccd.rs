@@ -28,7 +28,8 @@ fn usage() -> String {
      [--wal-fault-seed N --wal-fault-crash P] \
      [--replica-of HOST:PORT] [--repl-accept] [--repl-min-acks N] \
      [--repl-lease-ms N] [--repl-ack-timeout-ms N] \
-     [--repl-fault-seed N --repl-fault-rate P]"
+     [--repl-fault-seed N --repl-fault-rate P] \
+     [--repl-auto-promote] [--repl-peer HOST:PORT]... [--repl-suspect-ms N]"
         .to_string()
 }
 
@@ -170,6 +171,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .parse()
                         .map_err(|e| format!("--repl-ack-timeout-ms: {e}"))?,
                 );
+            }
+            "--repl-auto-promote" => config.repl_auto_promote = true,
+            "--repl-peer" => {
+                // Repeatable: one flag per peer in the election electorate.
+                config.repl_peers.push(value("--repl-peer")?);
+            }
+            "--repl-suspect-ms" => {
+                let ms: u64 = value("--repl-suspect-ms")?
+                    .parse()
+                    .map_err(|e| format!("--repl-suspect-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--repl-suspect-ms must be >= 1".into());
+                }
+                config.repl_suspect = Duration::from_millis(ms);
             }
             "--repl-fault-seed" => {
                 repl_fault_seed = Some(

@@ -216,6 +216,7 @@ impl Conn {
                     engine,
                     &mut self.outbuf,
                     state.config.repl_lease,
+                    state.epoch(),
                 );
             }
         }
@@ -821,7 +822,10 @@ fn execute_admitted(
         data_verb => {
             let is_write = matches!(
                 data_verb,
-                Request::Set { .. } | Request::Del { .. } | Request::Incr { .. }
+                Request::Set { .. }
+                    | Request::Del { .. }
+                    | Request::Incr { .. }
+                    | Request::SetS { .. }
             );
             // Replicas serve reads; writes are redirected to the primary.
             // The replication stream is a replica's only writer, so its
@@ -1021,6 +1025,7 @@ fn handle_repl_frame(
             encode_response(
                 &Response::ReplWelcome {
                     shards: state.store.shards() as u32,
+                    epoch: state.epoch(),
                 },
                 outbuf,
             );
@@ -1034,6 +1039,73 @@ fn handle_repl_frame(
             // shard for snapshot resync inside the feed.
             if let (Some(sub), Some(feed)) = (repl.as_ref(), state.repl_feed()) {
                 feed.note_ack(sub.id, shard, version, nak);
+            }
+        }
+        Ok(ReplRequest::Candidate { epoch, versions }) => {
+            // A vote request from a peer replica standing for election.
+            // Election safety lives in these denials: one vote per epoch,
+            // a live primary never votes anyone in over itself, and a
+            // candidate with less replicated history than ours never gets
+            // our vote (so the winner has at least a majority's worth of
+            // acked history).
+            let own: u64 = state.store.versions(engine).iter().sum();
+            let candidate: u64 = versions.iter().sum();
+            let granted = state.is_replica()
+                && epoch > state.epoch()
+                && candidate >= own
+                && state.try_vote(epoch);
+            if granted {
+                // Granting adopts the epoch: even if this candidate loses,
+                // the old primary's stream is now recognizably stale here.
+                state.observe_epoch(epoch);
+            }
+            encode_response(
+                &Response::ReplVote {
+                    granted,
+                    epoch: state.epoch(),
+                    version_sum: own,
+                },
+                outbuf,
+            );
+        }
+        Ok(ReplRequest::EpochAnnounce { epoch, primary }) => {
+            // The election winner telling us where the new primary lives.
+            if !state.is_replica() {
+                // A deposed primary does NOT adopt the announce — adopting
+                // would un-fence it. It stays primary-at-old-epoch, kept
+                // harmless by lease fencing (its replicas are gone) and by
+                // stale-epoch rejection on every batch it still emits.
+                encode_response(
+                    &Response::Error {
+                        message: "cannot repoint a primary; demotion is not supported",
+                    },
+                    outbuf,
+                );
+                return;
+            }
+            if epoch < state.epoch() {
+                encode_response(
+                    &Response::Error {
+                        message: "stale epoch announce",
+                    },
+                    outbuf,
+                );
+                return;
+            }
+            state.observe_epoch(epoch);
+            match std::str::from_utf8(primary) {
+                Ok(addr) => {
+                    if !addr.is_empty() && addr != state.advertised() {
+                        state.set_upstream(addr.to_string());
+                    }
+                    encode_response(&Response::Done, outbuf);
+                }
+                Err(_) => encode_response(
+                    &Response::Error {
+                        message: "primary address is not valid UTF-8",
+                    },
+                    outbuf,
+                ),
             }
         }
         Ok(ReplRequest::Promote { upstream }) => {

@@ -65,7 +65,7 @@ mod store;
 
 use std::io;
 use std::net::{Ipv4Addr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -161,6 +161,20 @@ pub struct ServerConfig {
     pub repl_fault_plan: Option<Arc<TransportFaultPlan>>,
     /// Seed for the replica's reconnect/resync backoff jitter.
     pub repl_seed: u64,
+    /// Self-healing: a replica that suspects its primary dead runs a
+    /// quorum election and promotes itself on a majority. Off by default —
+    /// the manual REPL_PROMOTE path is unchanged.
+    pub repl_auto_promote: bool,
+    /// Election electorate besides this node (`host:port` each). A
+    /// candidate needs a majority of `peers + self`; with no peers a lone
+    /// replica self-promotes (documented single-replica caveat). Also
+    /// settable at runtime via [`ServerState::set_repl_peers`] — soak
+    /// harnesses only learn ports after spawning.
+    pub repl_peers: Vec<String>,
+    /// Base suspicion timeout: a replica that has heard nothing from its
+    /// primary for this long (plus seeded jitter) declares it dead. Only
+    /// consulted with `repl_auto_promote`.
+    pub repl_suspect: Duration,
 }
 
 impl Default for ServerConfig {
@@ -189,6 +203,9 @@ impl Default for ServerConfig {
             repl_ack_timeout: Duration::from_millis(1000),
             repl_fault_plan: None,
             repl_seed: 0x5ca1_ab1e,
+            repl_auto_promote: false,
+            repl_peers: Vec::new(),
+            repl_suspect: Duration::from_millis(750),
         }
     }
 }
@@ -218,6 +235,20 @@ pub struct ServerState {
     /// Last known primary address: the replica's upstream, and the
     /// redirect hint served with `NotPrimary`.
     upstream: Mutex<String>,
+    /// Highest election epoch this node has seen. Monotone; stamped into
+    /// every outgoing REPL_BATCH/REPL_WELCOME so a deposed primary's
+    /// stream is recognizably stale, and adopted from whatever higher
+    /// epoch arrives (welcome, batch, vote, announce).
+    epoch: AtomicU64,
+    /// Highest epoch this node has granted a vote in — one vote per
+    /// epoch is what makes at most one winner per epoch possible.
+    last_voted_epoch: Mutex<u64>,
+    /// Election electorate besides this node (runtime-settable: soak
+    /// harnesses only know peer ports after spawning them).
+    repl_peers: Mutex<Vec<String>>,
+    /// This node's own advertised `host:port`, set once the listener is
+    /// bound; what an election winner announces to its peers.
+    advertised: Mutex<String>,
     /// Replica-side apply counters for the STATS `repl` object.
     replica_stats: repl::ReplicaCounters,
     /// Build identity echoed in the boot line and STATS header (the
@@ -275,6 +306,10 @@ impl ServerState {
             replica: AtomicBool::new(config.replica_of.is_some()),
             promote_gate: Mutex::new(()),
             upstream: Mutex::new(config.replica_of.clone().unwrap_or_default()),
+            epoch: AtomicU64::new(0),
+            last_voted_epoch: Mutex::new(0),
+            repl_peers: Mutex::new(config.repl_peers.clone()),
+            advertised: Mutex::new(String::new()),
             replica_stats: repl::ReplicaCounters::default(),
             git_rev: std::env::var("BENCH_GIT_REV").unwrap_or_else(|_| "unknown".to_string()),
             config,
@@ -330,22 +365,94 @@ impl ServerState {
         }
     }
 
+    /// Highest election epoch this node has seen.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Adopts `epoch` if it is higher than anything seen so far (epochs
+    /// are monotone — a lower one never wins). Returns the highest known
+    /// epoch after the update.
+    pub fn observe_epoch(&self, epoch: u64) -> u64 {
+        self.epoch.fetch_max(epoch, Ordering::SeqCst).max(epoch)
+    }
+
+    /// Grants at most one vote per epoch: true exactly when `epoch` is
+    /// higher than every epoch this node has voted in before.
+    pub(crate) fn try_vote(&self, epoch: u64) -> bool {
+        let mut last = self
+            .last_voted_epoch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if epoch > *last {
+            *last = epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The election electorate besides this node.
+    #[must_use]
+    pub fn repl_peers(&self) -> Vec<String> {
+        self.repl_peers
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_default()
+    }
+
+    /// Replaces the election electorate (soak harnesses only learn peer
+    /// ports after spawning the peers).
+    pub fn set_repl_peers(&self, peers: Vec<String>) {
+        if let Ok(mut g) = self.repl_peers.lock() {
+            *g = peers;
+        }
+    }
+
+    /// This node's advertised `host:port` (what an election winner
+    /// announces); empty before the listener binds.
+    #[must_use]
+    pub fn advertised(&self) -> String {
+        self.advertised
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_default()
+    }
+
+    fn set_advertised(&self, addr: String) {
+        if let Ok(mut g) = self.advertised.lock() {
+            *g = addr;
+        }
+    }
+
     /// Promotes this node to primary: writes are accepted from here on,
     /// and the feed is re-based to the store's current versions — the
     /// replica's apply path bypassed the tap, so the feed's view is
     /// stale until this reset. Subscribers at other versions get flagged
     /// for snapshot resync, which is exactly right after a failover.
     ///
+    /// Bumps the epoch past everything seen, so the promotion fences any
+    /// still-running older primary's stream.
+    pub fn promote_to_primary(&self, engine: &Engine<'_>) {
+        let next = self.epoch().saturating_add(1);
+        self.promote_with_epoch(engine, next);
+    }
+
+    /// [`ServerState::promote_to_primary`] at a specific (election-won)
+    /// epoch.
+    ///
     /// Holding `promote_gate` across the role flip *and* the feed
     /// re-base makes promotion atomic with respect to the sink's batch
     /// applies: a buffered batch either lands before the re-base (and is
     /// counted in the versions read here) or observes the flipped role
     /// and is rejected.
-    pub fn promote_to_primary(&self, engine: &Engine<'_>) {
+    pub fn promote_with_epoch(&self, engine: &Engine<'_>, epoch: u64) {
         let _gate = self
             .promote_gate
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.observe_epoch(epoch);
         if !self.replica.swap(false, Ordering::SeqCst) {
             return;
         }
@@ -353,6 +460,27 @@ impl ServerState {
             feed.reset_versions(&self.store.versions(engine));
         }
         self.set_upstream(String::new());
+    }
+
+    /// Times this node's failure detector declared its upstream dead.
+    /// Exposed for harnesses that poll detection latency in-process.
+    #[must_use]
+    pub fn repl_suspicions(&self) -> u64 {
+        self.replica_stats.suspicions()
+    }
+
+    /// Elections this node started as a candidate.
+    #[must_use]
+    pub fn repl_elections(&self) -> u64 {
+        self.replica_stats.elections.load(Ordering::Relaxed)
+    }
+
+    /// Welcomes/batches this node rejected for carrying a stale epoch.
+    #[must_use]
+    pub fn repl_stale_epoch_rejects(&self) -> u64 {
+        self.replica_stats
+            .stale_epoch_rejects
+            .load(Ordering::Relaxed)
     }
 
     /// The execution mode.
@@ -441,9 +569,11 @@ impl ServerState {
             None => "null".to_string(),
         };
         let repl_json = match &self.repl_feed {
-            Some(_) if self.is_replica() => self
-                .replica_stats
-                .json(&self.upstream_hint(), &self.store.versions(&engine)),
+            Some(_) if self.is_replica() => self.replica_stats.json(
+                &self.upstream_hint(),
+                &self.store.versions(&engine),
+                self.epoch(),
+            ),
             Some(feed) => feed.stats_json(),
             None => "null".to_string(),
         };
@@ -619,6 +749,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let port = listener.local_addr()?.port();
     let state = Arc::new(ServerState::new(config)?);
+    state.set_advertised(format!("127.0.0.1:{port}"));
 
     // Subscriber (REPL_HELLO) connections are pumped by a dedicated
     // thread, never a worker: a worker can block in `wait_replicated`

@@ -87,8 +87,10 @@ pub enum VerbClass {
 #[must_use]
 pub fn classify(req: &Request<'_>) -> VerbClass {
     match req {
-        Request::Get { .. } => VerbClass::Read,
-        Request::Set { .. } | Request::Del { .. } | Request::Incr { .. } => VerbClass::Write,
+        Request::Get { .. } | Request::GetS { .. } => VerbClass::Read,
+        Request::Set { .. } | Request::Del { .. } | Request::Incr { .. } | Request::SetS { .. } => {
+            VerbClass::Write
+        }
         Request::Scan { .. } => VerbClass::Scan,
         Request::Stats | Request::Trace { .. } => VerbClass::Stats,
         // FLUSH is control-plane: it is the operator's durability barrier,

@@ -25,10 +25,11 @@ use std::time::{Duration, Instant};
 
 use gocc_repl::{resync_backoff, ReplFeed, SnapshotAssembler, SubId};
 use gocc_telemetry::{trace, JsonWriter, Span, SpanKind};
+use gocc_wal::{CheckpointImage, Staged, WalKind};
 use gocc_wire::{
     decode_response, encode_repl_request, encode_response, write_frame, FaultyStream, FrameBuf,
     ReplRecord, ReplRequest, Response, REPL_FLAG_FIN, REPL_FLAG_RESET, REPL_FLAG_SNAP,
-    REPL_KIND_PUT,
+    REPL_KIND_DEL, REPL_KIND_PUT, REPL_KIND_PUTVAL,
 };
 use gocc_workloads::Engine;
 
@@ -95,6 +96,7 @@ pub(crate) fn pump_repl_out(
     engine: &Engine<'_>,
     outbuf: &mut Vec<u8>,
     lease: Duration,
+    epoch: u64,
 ) -> bool {
     let mut progressed = false;
 
@@ -149,6 +151,7 @@ pub(crate) fn pump_repl_out(
                     flags,
                     prev_version: snap.seq,
                     now: snap.now,
+                    epoch,
                     records,
                 },
                 outbuf,
@@ -181,6 +184,7 @@ pub(crate) fn pump_repl_out(
                     flags: 0,
                     prev_version: b.prev_version,
                     now: b.now,
+                    epoch,
                     records: b.records,
                 },
                 outbuf,
@@ -202,6 +206,7 @@ pub(crate) fn pump_repl_out(
                         flags: 0,
                         prev_version: *version,
                         now: 0,
+                        epoch,
                         records: Vec::new(),
                     },
                     outbuf,
@@ -222,14 +227,22 @@ pub(crate) struct ReplicaCounters {
     naks_sent: AtomicU64,
     snap_resyncs: AtomicU64,
     reconnects: AtomicU64,
+    /// Times the failure detector declared the primary dead.
+    pub(crate) suspicions: AtomicU64,
+    /// Elections this node started as a candidate.
+    pub(crate) elections: AtomicU64,
+    /// Batches/welcomes rejected for carrying an epoch older than ours —
+    /// a deposed primary's stream being fenced.
+    pub(crate) stale_epoch_rejects: AtomicU64,
 }
 
 impl ReplicaCounters {
-    pub(crate) fn json(&self, upstream: &str, versions: &[u64]) -> String {
+    pub(crate) fn json(&self, upstream: &str, versions: &[u64], epoch: u64) -> String {
         let mut w = JsonWriter::new();
         w.begin_object()
             .field_str("role", "replica")
             .field_str("upstream", upstream)
+            .field_u64("epoch", epoch)
             .key("versions")
             .begin_array();
         for &v in versions {
@@ -247,8 +260,19 @@ impl ReplicaCounters {
             .field_u64("naks_sent", self.naks_sent.load(Ordering::Relaxed))
             .field_u64("snap_resyncs", self.snap_resyncs.load(Ordering::Relaxed))
             .field_u64("reconnects", self.reconnects.load(Ordering::Relaxed))
+            .field_u64("suspicions", self.suspicions.load(Ordering::Relaxed))
+            .field_u64("elections", self.elections.load(Ordering::Relaxed))
+            .field_u64(
+                "stale_epoch_rejects",
+                self.stale_epoch_rejects.load(Ordering::Relaxed),
+            )
             .end_object();
         w.finish()
+    }
+
+    /// Times the failure detector declared the primary dead.
+    pub(crate) fn suspicions(&self) -> u64 {
+        self.suspicions.load(Ordering::Relaxed)
     }
 }
 
@@ -261,17 +285,45 @@ enum SessionEnd {
     Repointed,
     /// Connection or protocol failure — reconnect with backoff.
     Failed,
+    /// The failure detector fired mid-session: the upstream is connected
+    /// but silent past the suspicion timeout.
+    Suspect,
+}
+
+/// Deterministic per-node jitter in `[0, base)` derived from the backoff
+/// seed (SplitMix64 finalizer): two replicas with different seeds suspect
+/// — and stand as candidates — at staggered times, so a dual candidacy in
+/// the same epoch (both self-voted, both losing) resolves on the retry.
+fn suspect_jitter(seed: u64, base: Duration) -> Duration {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    base.mul_f64((z >> 11) as f64 / (1u64 << 53) as f64)
 }
 
 /// The replica's sink thread: dial the upstream, announce our versions,
 /// apply what arrives, ack (or NAK) every batch, and reconnect with
 /// bounded seeded backoff when the stream dies. Exits on shutdown or
-/// once a Promote makes this node the primary.
+/// once a promotion (manual or election-won) makes this node the primary.
+///
+/// With `repl_auto_promote`, this thread is also the failure detector's
+/// consumer: a mid-session silence (`SessionEnd::Suspect`) or a dead
+/// upstream (consecutive dial failures past the same suspicion window)
+/// triggers a quorum election via [`run_election`].
 pub(crate) fn replica_loop(state: &Arc<ServerState>) {
     let engine = Engine::new(&state.rt, state.config.mode);
     let mut attempt: u32 = 0;
+    // Last moment the upstream proved alive (any frame received). Dial
+    // failures alone must not instantly trigger an election — the window
+    // below turns "can't reach it" into "dead" only after the suspicion
+    // timeout, same bar as the in-session detector.
+    let mut last_contact = Instant::now();
+    let suspect_after = state.config.repl_suspect
+        + suspect_jitter(state.config.repl_seed, state.config.repl_suspect);
     while !state.shutting_down() && state.is_replica() {
-        match run_session(state, &engine) {
+        let mut suspected = false;
+        match run_session(state, &engine, &mut last_contact) {
             SessionEnd::Stop => return,
             SessionEnd::Repointed => attempt = 0,
             SessionEnd::Failed => {
@@ -280,7 +332,31 @@ pub(crate) fn replica_loop(state: &Arc<ServerState>) {
                     .replica_stats
                     .reconnects
                     .fetch_add(1, Ordering::Relaxed);
+                if state.config.repl_auto_promote && last_contact.elapsed() >= suspect_after {
+                    state
+                        .replica_stats
+                        .suspicions
+                        .fetch_add(1, Ordering::Relaxed);
+                    suspected = true;
+                }
             }
+            SessionEnd::Suspect => {
+                state
+                    .replica_stats
+                    .suspicions
+                    .fetch_add(1, Ordering::Relaxed);
+                suspected = true;
+            }
+        }
+        if suspected && state.config.repl_auto_promote {
+            if run_election(state, &engine) {
+                // Won: this node is the primary now; the sink exits.
+                return;
+            }
+            // Lost or aborted: reset the contact clock so the next
+            // suspicion needs a fresh full window (a new primary may be
+            // announcing itself right now).
+            last_contact = Instant::now();
         }
         let wait = resync_backoff(
             state.config.repl_seed,
@@ -296,7 +372,158 @@ pub(crate) fn replica_loop(state: &Arc<ServerState>) {
     }
 }
 
-fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
+/// One quorum election round. Returns true when this node won and
+/// promoted itself.
+///
+/// The candidate votes for itself first (one vote per epoch, same rule as
+/// everyone else), then canvasses each peer with `REPL_CANDIDATE`. Voters
+/// grant at most one vote per epoch, never grant while they are a live
+/// primary, and never grant to a candidate with less replicated history
+/// than their own — so a majority implies the winner is unique for the
+/// epoch and no better-replicated node was bypassed. With no configured
+/// peers the electorate is this node alone and it self-promotes: the
+/// documented single-replica deployment caveat (no quorum exists to
+/// protect against a partitioned false positive).
+fn run_election(state: &Arc<ServerState>, engine: &Engine<'_>) -> bool {
+    let epoch = state.epoch().saturating_add(1);
+    if !state.try_vote(epoch) {
+        return false; // already voted in this epoch (a peer beat us to it)
+    }
+    state
+        .replica_stats
+        .elections
+        .fetch_add(1, Ordering::Relaxed);
+    let versions = state.store.versions(engine);
+    let peers = state.repl_peers();
+    let electorate = peers.len() + 1;
+    let majority = electorate / 2 + 1;
+    let mut votes = 1usize; // self
+    for peer in &peers {
+        if state.shutting_down() || !state.is_replica() {
+            return false;
+        }
+        match request_vote(state, peer, epoch, &versions) {
+            VoteOutcome::Granted => votes += 1,
+            VoteOutcome::Denied { known_epoch } => {
+                if known_epoch > epoch {
+                    // A peer has seen a newer epoch — someone already won
+                    // a later election. Adopt and stand down.
+                    state.observe_epoch(known_epoch);
+                    return false;
+                }
+            }
+            VoteOutcome::Unreachable => {}
+        }
+        if votes >= majority {
+            break;
+        }
+    }
+    if votes < majority {
+        return false;
+    }
+    state.promote_with_epoch(engine, epoch);
+    // Tell the losers where the new primary lives. Best effort: a peer
+    // that misses the announce still learns the epoch from the next
+    // welcome/batch it sees, or from a NotPrimary hint.
+    let advertised = state.advertised();
+    for peer in &peers {
+        let mut frame = Vec::new();
+        encode_repl_request(
+            &ReplRequest::EpochAnnounce {
+                epoch,
+                primary: advertised.as_bytes(),
+            },
+            &mut frame,
+        );
+        if let Some(mut stream) = dial_peer(peer) {
+            let _ = write_frame(&mut stream, &frame);
+            // One best-effort response read keeps the frame from being
+            // lost in a close race; the content is irrelevant.
+            let mut scratch = [0u8; 256];
+            let _ = stream.read(&mut scratch);
+        }
+    }
+    true
+}
+
+/// One canvassed peer's verdict.
+enum VoteOutcome {
+    Granted,
+    Denied { known_epoch: u64 },
+    Unreachable,
+}
+
+fn dial_peer(peer: &str) -> Option<TcpStream> {
+    let addr = peer.to_socket_addrs().ok()?.next()?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(250)).ok()?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    Some(stream)
+}
+
+fn request_vote(state: &Arc<ServerState>, peer: &str, epoch: u64, versions: &[u64]) -> VoteOutcome {
+    let Some(stream) = dial_peer(peer) else {
+        return VoteOutcome::Unreachable;
+    };
+    let mut stream = FaultyStream::maybe(stream, state.config.repl_fault_plan.clone());
+    let mut frame = Vec::new();
+    encode_repl_request(
+        &ReplRequest::Candidate {
+            epoch,
+            versions: versions.to_vec(),
+        },
+        &mut frame,
+    );
+    if write_frame(&mut stream, &frame).is_err() {
+        return VoteOutcome::Unreachable;
+    }
+    let mut inbuf = FrameBuf::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_millis(750);
+    while Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) => return VoteOutcome::Unreachable,
+            Ok(n) => inbuf.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return VoteOutcome::Unreachable,
+        }
+        match inbuf.next_frame() {
+            Ok(Some(body)) => {
+                return match decode_response(body) {
+                    Ok(Response::ReplVote { granted, epoch, .. }) => {
+                        if granted {
+                            VoteOutcome::Granted
+                        } else {
+                            VoteOutcome::Denied { known_epoch: epoch }
+                        }
+                    }
+                    _ => VoteOutcome::Unreachable,
+                };
+            }
+            Ok(None) => {}
+            Err(_) => return VoteOutcome::Unreachable,
+        }
+    }
+    VoteOutcome::Unreachable
+}
+
+fn run_session(
+    state: &Arc<ServerState>,
+    engine: &Engine<'_>,
+    last_contact: &mut Instant,
+) -> SessionEnd {
+    // Same window as the dial-failure path in `replica_loop`: silence
+    // past `repl_suspect` plus this node's deterministic jitter.
+    let suspect_after = state.config.repl_suspect
+        + suspect_jitter(state.config.repl_seed, state.config.repl_suspect);
     let upstream = state.upstream_hint();
     let Some(addr) = upstream.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
         return SessionEnd::Failed;
@@ -335,11 +562,26 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
         }
         match stream.read(&mut chunk) {
             Ok(0) => return SessionEnd::Failed,
-            Ok(n) => inbuf.extend(&chunk[..n]),
+            Ok(n) => {
+                // Any bytes from the upstream prove it alive — this is
+                // the failure detector's heartbeat observation. Count-0
+                // REPL_BATCH heartbeats arrive at lease/4 on an idle
+                // stream, so a healthy primary refreshes this clock far
+                // inside the suspicion window.
+                *last_contact = Instant::now();
+                inbuf.extend(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // The detector: a connected-but-silent upstream (frozen
+                // process, dead NIC, partition) never returns `Ok(0)`;
+                // it just stops producing frames. Declare it suspect
+                // once the silence outlives the window.
+                if state.config.repl_auto_promote && last_contact.elapsed() >= suspect_after {
+                    return SessionEnd::Suspect;
+                }
                 continue;
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -356,20 +598,39 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                 Err(_) => return SessionEnd::Failed,
             };
             match resp {
-                Response::ReplWelcome { shards } => {
+                Response::ReplWelcome { shards, epoch } => {
                     if shards as usize != state.store.shards() {
                         // Topology mismatch is permanent; stop rather
                         // than reconnect-spin against it.
                         return SessionEnd::Stop;
                     }
+                    if epoch < state.epoch() {
+                        // A deposed primary greeting us from a past
+                        // epoch: refuse the session. The backoff loop
+                        // will redial (or be repointed by the winner's
+                        // announce).
+                        counters.stale_epoch_rejects.fetch_add(1, Ordering::Relaxed);
+                        return SessionEnd::Failed;
+                    }
+                    state.observe_epoch(epoch);
                 }
                 Response::ReplBatch {
                     shard,
                     flags,
                     prev_version,
                     now,
+                    epoch,
                     records,
                 } => {
+                    if epoch < state.epoch() {
+                        // Stale-epoch fencing, the replica's half: a
+                        // batch stamped by a deposed primary must never
+                        // reach the store, even if it was in flight when
+                        // the election concluded.
+                        counters.stale_epoch_rejects.fetch_add(1, Ordering::Relaxed);
+                        return SessionEnd::Failed;
+                    }
+                    state.observe_epoch(epoch);
                     let shard_idx = shard as usize;
                     if shard_idx >= state.store.shards() {
                         return SessionEnd::Failed;
@@ -388,6 +649,12 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                     if !state.is_replica() {
                         return SessionEnd::Stop;
                     }
+                    // Durability owed before the ACK may go out, decided
+                    // under the gate, performed after it drops (WAL
+                    // waits and snapshots must not hold the promotion
+                    // mutex).
+                    let mut stage_records = false;
+                    let mut need_checkpoint = false;
                     let ack = if flags & REPL_FLAG_SNAP != 0 {
                         match assembler.feed(shard, flags, prev_version, &records) {
                             Some((entries, version)) => {
@@ -396,6 +663,7 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                                     .shard_at(shard_idx)
                                     .replace(engine, &entries, version, now);
                                 counters.snap_resyncs.fetch_add(1, Ordering::Relaxed);
+                                need_checkpoint = true;
                                 Some(ReplRequest::Ack {
                                     shard,
                                     version,
@@ -430,6 +698,7 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                                 counters
                                     .records_applied
                                     .fetch_add(records.len() as u64, Ordering::Relaxed);
+                                stage_records = true;
                                 Some(ReplRequest::Ack {
                                     shard,
                                     version,
@@ -452,6 +721,64 @@ fn run_session(state: &Arc<ServerState>, engine: &Engine<'_>) -> SessionEnd {
                     };
                     // The gate must not be held across socket writes.
                     drop(gate);
+                    // Replica-side durable WAL: everything just applied
+                    // must reach disk before the ACK goes out, so a
+                    // freshly promoted replica serves a store no weaker
+                    // than the history it acknowledged.
+                    if let Some(wal) = state.wal() {
+                        if stage_records && !records.is_empty() {
+                            let mut last = None;
+                            for (i, r) in records.iter().enumerate() {
+                                let kind = match r.kind {
+                                    REPL_KIND_PUT => WalKind::Put,
+                                    REPL_KIND_DEL => WalKind::Del,
+                                    REPL_KIND_PUTVAL => WalKind::PutVal,
+                                    // decode_response already rejected
+                                    // anything else
+                                    _ => continue,
+                                };
+                                last = Some(wal.stage(Staged {
+                                    shard,
+                                    seq: prev_version + 1 + i as u64,
+                                    kind,
+                                    key: r.key,
+                                    value: r.value,
+                                    exp: r.exp,
+                                }));
+                            }
+                            if let Some(t) = last {
+                                if wal.wait(t).is_err() {
+                                    // Log dead: acking a record we could
+                                    // not make durable would be a lie —
+                                    // drop the session and let the
+                                    // primary resync or fence us.
+                                    return SessionEnd::Failed;
+                                }
+                            }
+                        }
+                        if need_checkpoint {
+                            // A snapshot bypasses the record stream, so
+                            // the log holds no journal of it: a
+                            // synchronous checkpoint is the only way to
+                            // make the resynced shard durable before the
+                            // ACK. Any older records still in the active
+                            // segment carry seqs at or below the
+                            // snapshot's version (versions only advance),
+                            // so recovery skips them against the image.
+                            match wal.begin_checkpoint() {
+                                Ok((base_gen, retired)) => {
+                                    let image = CheckpointImage {
+                                        base_gen,
+                                        shards: state.store.snapshot_all(engine),
+                                    };
+                                    if wal.finish_checkpoint(&image, &retired).is_err() {
+                                        return SessionEnd::Failed;
+                                    }
+                                }
+                                Err(_) => return SessionEnd::Failed,
+                            }
+                        }
+                    }
                     if let Some(ack) = ack {
                         frame.clear();
                         encode_repl_request(&ack, &mut frame);

@@ -8,8 +8,9 @@ use gocc_wire::Request;
 use crate::overload::{ShedCause, SHED_CAUSE_NAMES, TRANSITION_NAMES};
 
 /// Wire verbs, in STATS reporting order.
-const VERB_NAMES: [&str; 10] = [
-    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown", "trace", "flush",
+const VERB_NAMES: [&str; 12] = [
+    "get", "set", "del", "incr", "scan", "stats", "health", "shutdown", "trace", "flush", "set_s",
+    "get_s",
 ];
 
 pub(crate) fn verb_index(req: &Request<'_>) -> usize {
@@ -24,6 +25,8 @@ pub(crate) fn verb_index(req: &Request<'_>) -> usize {
         Request::Shutdown => 7,
         Request::Trace { .. } => 8,
         Request::Flush => 9,
+        Request::SetS { .. } => 10,
+        Request::GetS { .. } => 11,
     }
 }
 
@@ -72,7 +75,7 @@ impl WorkerGauges {
 pub struct ServerCounters {
     accepted: AtomicU64,
     closed: AtomicU64,
-    by_verb: [AtomicU64; 10],
+    by_verb: [AtomicU64; 12],
     malformed: AtomicU64,
     /// Oversized frames skipped (connection survived and resynchronized).
     oversized: AtomicU64,

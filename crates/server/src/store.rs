@@ -134,6 +134,33 @@ impl ShardedStore {
             Request::Scan { limit } => Response::Entries {
                 pairs: self.scan(engine, limit as usize),
             },
+            Request::SetS { key, value, ttl } => {
+                let h = fnv1a(key);
+                let shard = self.shard_index_for(h);
+                let (seq, _) = self.shards[shard].set_seq(engine, h, value, ttl);
+                Response::DoneAt {
+                    shard: shard as u32,
+                    version: seq,
+                }
+            }
+            Request::GetS { key, min_version } => {
+                let h = fnv1a(key);
+                let shard = self.shard_index_for(h);
+                // Version first, value second: shard versions only
+                // advance, so version >= min_version here guarantees the
+                // read below observes at least the session's write.
+                let version = self.shards[shard].version(engine);
+                if version < min_version {
+                    return Response::Behind { version };
+                }
+                match self.shards[shard].get(engine, h) {
+                    Some(value) => Response::Value { found: true, value },
+                    None => Response::Value {
+                        found: false,
+                        value: 0,
+                    },
+                }
+            }
             Request::Stats
             | Request::Health
             | Request::Shutdown
@@ -162,6 +189,25 @@ impl ShardedStore {
                 let (seq, exp) = self.shards[shard].set_seq(engine, h, value, ttl);
                 (
                     Response::Done,
+                    Some(Staged {
+                        shard: shard as u32,
+                        seq,
+                        kind: WalKind::Put,
+                        key: h,
+                        value,
+                        exp,
+                    }),
+                )
+            }
+            Request::SetS { key, value, ttl } => {
+                let h = fnv1a(key);
+                let shard = self.shard_index_for(h);
+                let (seq, exp) = self.shards[shard].set_seq(engine, h, value, ttl);
+                (
+                    Response::DoneAt {
+                        shard: shard as u32,
+                        version: seq,
+                    },
                     Some(Staged {
                         shard: shard as u32,
                         seq,

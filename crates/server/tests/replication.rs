@@ -557,3 +557,379 @@ fn fenced_primary_rejects_writes_without_live_replicas() {
 
     shutdown(primary);
 }
+
+/// Self-healing failover: when the primary dies, the replicas' failure
+/// detectors fire, a quorum election runs, and exactly one replica
+/// promotes itself — no operator REPL_PROMOTE anywhere. The loser is
+/// repointed at the winner by the epoch announce and keeps following.
+#[test]
+fn auto_promotion_elects_exactly_one_new_primary() {
+    gocc_gosync::set_procs(8);
+    let primary = spawn(primary_config(Mode::Gocc)).expect("spawn primary");
+    let mut rc_a = replica_config(Mode::Gocc, primary.port());
+    rc_a.repl_auto_promote = true;
+    rc_a.repl_suspect = Duration::from_millis(200);
+    rc_a.repl_seed = 41;
+    let mut rc_b = replica_config(Mode::Gocc, primary.port());
+    rc_b.repl_auto_promote = true;
+    rc_b.repl_suspect = Duration::from_millis(200);
+    rc_b.repl_seed = 42;
+    let a = spawn(rc_a).expect("spawn replica a");
+    let b = spawn(rc_b).expect("spawn replica b");
+    // Electorate: the other replica plus the (soon dead) primary.
+    a.state().set_repl_peers(vec![
+        format!("127.0.0.1:{}", b.port()),
+        format!("127.0.0.1:{}", primary.port()),
+    ]);
+    b.state().set_repl_peers(vec![
+        format!("127.0.0.1:{}", a.port()),
+        format!("127.0.0.1:{}", primary.port()),
+    ]);
+
+    let mut p = Client::connect(primary.port());
+    for i in 0..40u64 {
+        let key = format!("pre-{i}");
+        assert_eq!(
+            p.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i,
+                ttl: 0
+            }),
+            Response::Done
+        );
+    }
+    let mut ra = Client::connect(a.port());
+    let mut rb = Client::connect(b.port());
+    for r in [&mut ra, &mut rb] {
+        await_value(
+            r,
+            b"pre-39",
+            Response::Value {
+                found: true,
+                value: 39,
+            },
+            Duration::from_secs(5),
+        );
+    }
+
+    // Kill the primary. No promote call follows.
+    shutdown(primary);
+
+    // Detection + election + promotion, all self-driven.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (winner, loser) = loop {
+        let (pa, pb) = (!a.state().is_replica(), !b.state().is_replica());
+        assert!(
+            !(pa && pb),
+            "split brain: both replicas promoted themselves"
+        );
+        if pa {
+            break (&a, &b);
+        }
+        if pb {
+            break (&b, &a);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no replica promoted itself within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(winner.state().epoch() >= 1, "promotion must bump the epoch");
+    assert!(
+        winner.state().repl_elections() >= 1,
+        "the winner must have stood as a candidate"
+    );
+
+    // The winner takes writes; replicated history survived.
+    let mut w = Client::connect(winner.port());
+    assert_eq!(
+        w.call(&Request::Set {
+            key: b"post-failover",
+            value: 7,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    assert_eq!(
+        w.call(&Request::Get { key: b"pre-17" }),
+        Response::Value {
+            found: true,
+            value: 17
+        },
+        "acked pre-failover write lost across promotion"
+    );
+
+    // The loser was repointed by the announce (or a NotPrimary hint) and
+    // keeps following the new primary.
+    let want = format!("127.0.0.1:{}", winner.port());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while loser.state().upstream_hint() != want {
+        assert!(
+            Instant::now() < deadline,
+            "loser never repointed at the winner (upstream {:?})",
+            loser.state().upstream_hint()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut l = Client::connect(loser.port());
+    await_value(
+        &mut l,
+        b"post-failover",
+        Response::Value {
+            found: true,
+            value: 7,
+        },
+        Duration::from_secs(5),
+    );
+    assert!(
+        loser.state().is_replica(),
+        "exactly one node may end up primary"
+    );
+
+    shutdown(b);
+    shutdown(a);
+}
+
+/// Read-your-writes over the wire: `SET_S` hands back a version token,
+/// `GET_S` with that floor answers `Behind` on a lagging copy and the
+/// value once the floor is met. The primary satisfies its own acks
+/// immediately.
+#[test]
+fn session_verbs_enforce_the_version_floor() {
+    gocc_gosync::set_procs(8);
+    let primary = spawn(primary_config(Mode::Gocc)).expect("spawn primary");
+    let replica = spawn(replica_config(Mode::Gocc, primary.port())).expect("spawn replica");
+    let mut p = Client::connect(primary.port());
+    let mut r = Client::connect(replica.port());
+
+    let version = match p.call(&Request::SetS {
+        key: b"ryw",
+        value: 11,
+        ttl: 0,
+    }) {
+        Response::DoneAt { version, .. } => version,
+        other => panic!("expected DoneAt, got {other:?}"),
+    };
+    assert!(version >= 1);
+
+    // The acking node satisfies the floor at once.
+    assert_eq!(
+        p.call(&Request::GetS {
+            key: b"ryw",
+            min_version: version
+        }),
+        Response::Value {
+            found: true,
+            value: 11
+        }
+    );
+
+    // An impossible floor answers Behind (with where the shard actually
+    // is) rather than serving a possibly-stale value.
+    assert!(matches!(
+        r.call(&Request::GetS {
+            key: b"ryw",
+            min_version: u64::MAX
+        }),
+        Response::Behind { .. }
+    ));
+
+    // The real floor converges on the replica.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match r.call(&Request::GetS {
+            key: b"ryw",
+            min_version: version,
+        }) {
+            Response::Value { found: true, value } => {
+                assert_eq!(value, 11);
+                break;
+            }
+            Response::Behind { .. } => {
+                assert!(Instant::now() < deadline, "replica never met the floor");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("unexpected session-read answer: {other:?}"),
+        }
+    }
+
+    // SET_S is a write: replicas redirect it like SET.
+    assert!(matches!(
+        r.call(&Request::SetS {
+            key: b"ryw",
+            value: 12,
+            ttl: 0
+        }),
+        Response::NotPrimary { .. }
+    ));
+
+    shutdown(replica);
+    shutdown(primary);
+}
+
+/// Replica-side durable WAL: with `min_acks: 1` and a replica running
+/// with a data dir, every acknowledged write is on the replica's disk —
+/// restarting from that directory alone (as a standalone primary, the
+/// post-failover shape) serves the full acked history.
+#[test]
+fn replica_wal_makes_acked_writes_survive_a_replica_restart() {
+    gocc_gosync::set_procs(8);
+    let dir = temp_dir("replica-wal");
+    let mut pc = primary_config(Mode::Gocc);
+    pc.repl_min_acks = 1;
+    pc.repl_lease = Duration::from_millis(500);
+    pc.repl_ack_timeout = Duration::from_secs(5);
+    let primary = spawn(pc).expect("spawn primary");
+    let mut rc = replica_config(Mode::Gocc, primary.port());
+    rc.data_dir = Some(dir.clone());
+    let replica = spawn(rc).expect("spawn replica");
+    let mut p = Client::connect(primary.port());
+
+    // Wait out the boot fence, then write the acked history.
+    let until = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = p.call(&Request::Set {
+            key: b"durable-0",
+            value: 0,
+            ttl: 0,
+        });
+        if resp == Response::Done {
+            break;
+        }
+        assert!(Instant::now() < until, "primary never unfenced: {resp:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for i in 1..120u64 {
+        let key = format!("durable-{i}");
+        assert_eq!(
+            p.call(&Request::Set {
+                key: key.as_bytes(),
+                value: i * 7,
+                ttl: 0
+            }),
+            Response::Done,
+            "acked write {i}"
+        );
+    }
+
+    // The ack contract: everything above is already in the replica's WAL.
+    // Restart from the directory alone, as a standalone primary.
+    shutdown(replica);
+    shutdown(primary);
+    let reborn = spawn(ServerConfig {
+        mode: Mode::Gocc,
+        port: 0,
+        workers: 2,
+        shards: 2,
+        capacity_per_shard: 2048,
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("respawn from the replica's data dir");
+    let mut c = Client::connect(reborn.port());
+    for i in [0u64, 1, 59, 119] {
+        let key = format!("durable-{i}");
+        assert_eq!(
+            c.call(&Request::Get {
+                key: key.as_bytes()
+            }),
+            Response::Value {
+                found: true,
+                value: i * 7
+            },
+            "acked write durable-{i} missing after replica restart"
+        );
+    }
+    shutdown(reborn);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A hostile upstream that hangs up mid-handshake (accept, then close)
+/// must not kill the replica: it degrades to retry-with-backoff, keeps
+/// serving reads, and converges once repointed at a real primary.
+#[test]
+fn replica_survives_mid_handshake_hangups_and_recovers() {
+    gocc_gosync::set_procs(8);
+    // A listener that accepts and immediately drops every connection:
+    // the replica's HELLO never gets an answer.
+    let hangup = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let hangup_port = hangup.local_addr().unwrap().port();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    hangup.set_nonblocking(true).unwrap();
+    let hangup_thread = std::thread::spawn(move || {
+        while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+            match hangup.accept() {
+                Ok((s, _)) => drop(s),
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    });
+
+    let replica = spawn(replica_config(Mode::Gocc, hangup_port)).expect("spawn replica");
+    let mut r = Client::connect(replica.port());
+
+    // Let it eat several hangups, then prove it is alive and degraded,
+    // not dead: reads answer, and the reconnect counter is climbing.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let reconnects = r
+            .stats()
+            .get("repl")
+            .unwrap()
+            .get("reconnects")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        if reconnects >= 3.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica stopped retrying after hangups (reconnects {reconnects})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        r.call(&Request::Get { key: b"missing" }),
+        Response::Value {
+            found: false,
+            value: 0
+        },
+        "a degraded replica must still serve reads"
+    );
+
+    // Repoint at a real primary: the sink must recover on the next dial.
+    let primary = spawn(primary_config(Mode::Gocc)).expect("spawn primary");
+    let upstream = format!("127.0.0.1:{}", primary.port());
+    assert_eq!(
+        r.repl_call(&ReplRequest::Promote {
+            upstream: upstream.as_bytes()
+        }),
+        Response::Done
+    );
+    let mut p = Client::connect(primary.port());
+    assert_eq!(
+        p.call(&Request::Set {
+            key: b"recovered",
+            value: 5,
+            ttl: 0
+        }),
+        Response::Done
+    );
+    await_value(
+        &mut r,
+        b"recovered",
+        Response::Value {
+            found: true,
+            value: 5,
+        },
+        Duration::from_secs(5),
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    hangup_thread.join().unwrap();
+    shutdown(primary);
+    shutdown(replica);
+}

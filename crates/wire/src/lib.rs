@@ -166,6 +166,28 @@ pub enum Request<'a> {
     /// Answered with [`Response::Flushed`]; on a server running without a
     /// WAL the barrier is vacuous and `durable_lsn` is 0.
     Flush,
+    /// Session write: exactly [`Request::Set`], but answered with
+    /// [`Response::DoneAt`] carrying the `(shard, version)` the write
+    /// committed at — the read-your-writes token a session read presents
+    /// back via [`Request::GetS`].
+    SetS {
+        /// Key bytes.
+        key: &'a [u8],
+        /// Value word.
+        value: u64,
+        /// Expiration in logical ticks (0 = none).
+        ttl: u64,
+    },
+    /// Session read: a GET that only answers from a store whose owning
+    /// shard has reached `min_version`. A node that is behind answers
+    /// [`Response::Behind`] so the client can retry elsewhere (or wait) —
+    /// this is what makes read-your-writes hold across replicas.
+    GetS {
+        /// Key bytes.
+        key: &'a [u8],
+        /// Minimum shard version required to serve the read.
+        min_version: u64,
+    },
 }
 
 /// One replicated write record: the post-image the primary's durable
@@ -219,6 +241,26 @@ pub enum ReplRequest<'a> {
     Promote {
         /// New upstream address, empty to become primary.
         upstream: &'a [u8],
+    },
+    /// Election: a replica that suspects the primary is dead asks a peer
+    /// for its vote in `epoch`, presenting its per-shard versions so the
+    /// voter can refuse candidates with less history than its own.
+    /// Answered with [`Response::ReplVote`].
+    Candidate {
+        /// The election epoch the candidate is running in (one greater
+        /// than the highest epoch it has seen).
+        epoch: u64,
+        /// The candidate's per-shard versions (its replicated history).
+        versions: Vec<u64>,
+    },
+    /// Election result: the winner announces the new epoch and its own
+    /// address. Replicas adopt the epoch and repoint their upstream;
+    /// anything claiming an older epoch is fenced from then on.
+    EpochAnnounce {
+        /// The epoch the announcing node won.
+        epoch: u64,
+        /// The new primary's address (`host:port` UTF-8).
+        primary: &'a [u8],
     },
 }
 
@@ -313,6 +355,10 @@ pub enum Response<'a> {
         /// The primary's logical clock for the shard, shipped so
         /// expirations mean the same thing on both sides.
         now: u64,
+        /// The primary's election epoch. A replica that has seen a higher
+        /// epoch rejects the batch outright — this is how a deposed
+        /// primary's stale stream is fenced after a failover.
+        epoch: u64,
         /// The committed post-images, in commit (version) order.
         records: Vec<ReplRecord>,
     },
@@ -320,6 +366,35 @@ pub enum Response<'a> {
     ReplWelcome {
         /// The primary's shard count (must match the replica's).
         shards: u32,
+        /// The primary's election epoch; the replica adopts it if higher
+        /// than its own, and hangs up if the primary's is stale.
+        epoch: u64,
+    },
+    /// REPL_CANDIDATE result: the voter's decision for that epoch.
+    ReplVote {
+        /// Whether the vote was granted.
+        granted: bool,
+        /// The voter's highest known epoch (lets a stale candidate catch
+        /// up before retrying).
+        epoch: u64,
+        /// The voter's total replicated history (sum of shard versions),
+        /// for diagnostics.
+        version_sum: u64,
+    },
+    /// SET_S acknowledged: the write committed at this shard/version —
+    /// the token a session read presents via [`Request::GetS`].
+    DoneAt {
+        /// Owning shard of the written key.
+        shard: u32,
+        /// The shard version the write committed at.
+        version: u64,
+    },
+    /// GET_S refused: this node's shard has not yet reached the session's
+    /// minimum version. Retriable — the client waits or tries another
+    /// endpoint.
+    Behind {
+        /// The shard version this node has actually reached.
+        version: u64,
     },
     /// A write verb reached a replica. Retriable against the primary;
     /// `hint` is the last known primary address (`host:port`), empty when
@@ -350,6 +425,10 @@ const OP_FLUSH: u8 = 0x0A;
 const OP_REPL_HELLO: u8 = 0x0B;
 const OP_REPL_ACK: u8 = 0x0C;
 const OP_REPL_PROMOTE: u8 = 0x0D;
+const OP_REPL_CANDIDATE: u8 = 0x0E;
+const OP_REPL_EPOCH: u8 = 0x0F;
+const OP_SET_S: u8 = 0x10;
+const OP_GET_S: u8 = 0x11;
 // Response opcodes (high bit set).
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -366,6 +445,9 @@ const OP_FLUSHED: u8 = 0x8C;
 const OP_REPL_BATCH: u8 = 0x8D;
 const OP_REPL_WELCOME: u8 = 0x8E;
 const OP_NOT_PRIMARY: u8 = 0x8F;
+const OP_REPL_VOTE: u8 = 0x90;
+const OP_DONE_AT: u8 = 0x91;
+const OP_BEHIND: u8 = 0x92;
 const OP_ERROR: u8 = 0xFF;
 
 /// Sequential reader over a payload slice; every accessor is
@@ -511,6 +593,17 @@ fn encode_request_body(req: &Request<'_>, out: &mut Vec<u8>) {
             put_u32(out, *max);
         }
         Request::Flush => out.push(OP_FLUSH),
+        Request::SetS { key, value, ttl } => {
+            out.push(OP_SET_S);
+            put_key(out, key);
+            put_u64(out, *value);
+            put_u64(out, *ttl);
+        }
+        Request::GetS { key, min_version } => {
+            out.push(OP_GET_S);
+            put_key(out, key);
+            put_u64(out, *min_version);
+        }
     }
 }
 
@@ -544,6 +637,23 @@ pub fn encode_repl_request(req: &ReplRequest<'_>, out: &mut Vec<u8>) {
             out.push(OP_REPL_PROMOTE);
             put_key(out, upstream);
         }
+        ReplRequest::Candidate { epoch, versions } => {
+            assert!(
+                versions.len() <= MAX_REPL_SHARDS as usize,
+                "shard count exceeds MAX_REPL_SHARDS"
+            );
+            out.push(OP_REPL_CANDIDATE);
+            put_u64(out, *epoch);
+            put_u32(out, versions.len() as u32);
+            for &v in versions {
+                put_u64(out, v);
+            }
+        }
+        ReplRequest::EpochAnnounce { epoch, primary } => {
+            out.push(OP_REPL_EPOCH);
+            put_u64(out, *epoch);
+            put_key(out, primary);
+        }
     }
     patch_len(out, header);
 }
@@ -555,7 +665,11 @@ pub fn encode_repl_request(req: &ReplRequest<'_>, out: &mut Vec<u8>) {
 pub fn is_repl_request(body: &[u8]) -> bool {
     matches!(
         body.first(),
-        Some(&OP_REPL_HELLO) | Some(&OP_REPL_ACK) | Some(&OP_REPL_PROMOTE)
+        Some(&OP_REPL_HELLO)
+            | Some(&OP_REPL_ACK)
+            | Some(&OP_REPL_PROMOTE)
+            | Some(&OP_REPL_CANDIDATE)
+            | Some(&OP_REPL_EPOCH)
     )
 }
 
@@ -581,6 +695,22 @@ pub fn decode_repl_request(body: &[u8]) -> Result<ReplRequest<'_>, WireError> {
             nak: c.flag()?,
         },
         OP_REPL_PROMOTE => ReplRequest::Promote { upstream: c.key()? },
+        OP_REPL_CANDIDATE => {
+            let epoch = c.u64()?;
+            let count = c.u32()?;
+            if count > MAX_REPL_SHARDS {
+                return Err(WireError::TooLarge);
+            }
+            let mut versions = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                versions.push(c.u64()?);
+            }
+            ReplRequest::Candidate { epoch, versions }
+        }
+        OP_REPL_EPOCH => ReplRequest::EpochAnnounce {
+            epoch: c.u64()?,
+            primary: c.key()?,
+        },
         op => return Err(WireError::UnknownOpcode(op)),
     };
     c.finish()?;
@@ -653,6 +783,7 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             flags,
             prev_version,
             now,
+            epoch,
             records,
         } => {
             assert!(
@@ -665,6 +796,7 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             out.push(*flags);
             put_u64(out, *prev_version);
             put_u64(out, *now);
+            put_u64(out, *epoch);
             put_u32(out, records.len() as u32);
             for r in records {
                 out.push(r.kind);
@@ -673,9 +805,29 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
                 put_u64(out, r.exp);
             }
         }
-        Response::ReplWelcome { shards } => {
+        Response::ReplWelcome { shards, epoch } => {
             out.push(OP_REPL_WELCOME);
             put_u32(out, *shards);
+            put_u64(out, *epoch);
+        }
+        Response::ReplVote {
+            granted,
+            epoch,
+            version_sum,
+        } => {
+            out.push(OP_REPL_VOTE);
+            out.push(u8::from(*granted));
+            put_u64(out, *epoch);
+            put_u64(out, *version_sum);
+        }
+        Response::DoneAt { shard, version } => {
+            out.push(OP_DONE_AT);
+            put_u32(out, *shard);
+            put_u64(out, *version);
+        }
+        Response::Behind { version } => {
+            out.push(OP_BEHIND);
+            put_u64(out, *version);
         }
         Response::NotPrimary { hint } => {
             out.push(OP_NOT_PRIMARY);
@@ -756,6 +908,15 @@ fn decode_request_inner<'a>(c: &mut Cursor<'a>) -> Result<Request<'a>, WireError
         OP_HEALTH => Request::Health,
         OP_TRACE => Request::Trace { max: c.u32()? },
         OP_FLUSH => Request::Flush,
+        OP_SET_S => Request::SetS {
+            key: c.key()?,
+            value: c.u64()?,
+            ttl: c.u64()?,
+        },
+        OP_GET_S => Request::GetS {
+            key: c.key()?,
+            min_version: c.u64()?,
+        },
         op => return Err(WireError::UnknownOpcode(op)),
     };
     Ok(req)
@@ -813,6 +974,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
             }
             let prev_version = c.u64()?;
             let now = c.u64()?;
+            let epoch = c.u64()?;
             let count = c.u32()?;
             if count > MAX_REPL_BATCH {
                 return Err(WireError::TooLarge);
@@ -835,10 +997,24 @@ pub fn decode_response(body: &[u8]) -> Result<Response<'_>, WireError> {
                 flags,
                 prev_version,
                 now,
+                epoch,
                 records,
             }
         }
-        OP_REPL_WELCOME => Response::ReplWelcome { shards: c.u32()? },
+        OP_REPL_WELCOME => Response::ReplWelcome {
+            shards: c.u32()?,
+            epoch: c.u64()?,
+        },
+        OP_REPL_VOTE => Response::ReplVote {
+            granted: c.flag()?,
+            epoch: c.u64()?,
+            version_sum: c.u64()?,
+        },
+        OP_DONE_AT => Response::DoneAt {
+            shard: c.u32()?,
+            version: c.u64()?,
+        },
+        OP_BEHIND => Response::Behind { version: c.u64()? },
         OP_NOT_PRIMARY => {
             let len = c.u16()? as usize;
             let bytes = c.take(len)?;
@@ -910,6 +1086,19 @@ mod tests {
         roundtrip_request(Request::Trace { max: 0 });
         roundtrip_request(Request::Trace { max: u32::MAX });
         roundtrip_request(Request::Flush);
+        roundtrip_request(Request::SetS {
+            key: b"session",
+            value: 17,
+            ttl: 0,
+        });
+        roundtrip_request(Request::GetS {
+            key: b"session",
+            min_version: u64::MAX,
+        });
+        roundtrip_request(Request::GetS {
+            key: b"",
+            min_version: 0,
+        });
     }
 
     fn roundtrip_v2(req: Request<'_>, deadline_us: Option<u32>) {
@@ -1101,6 +1290,22 @@ mod tests {
         roundtrip_repl(ReplRequest::Promote {
             upstream: b"127.0.0.1:7070",
         });
+        roundtrip_repl(ReplRequest::Candidate {
+            epoch: 3,
+            versions: vec![0, 41, u64::MAX],
+        });
+        roundtrip_repl(ReplRequest::Candidate {
+            epoch: u64::MAX,
+            versions: vec![],
+        });
+        roundtrip_repl(ReplRequest::EpochAnnounce {
+            epoch: 7,
+            primary: b"127.0.0.1:7071",
+        });
+        roundtrip_repl(ReplRequest::EpochAnnounce {
+            epoch: 1,
+            primary: b"",
+        });
     }
 
     #[test]
@@ -1110,6 +1315,7 @@ mod tests {
             flags: 0,
             prev_version: 41,
             now: 9,
+            epoch: 5,
             records: vec![
                 ReplRecord {
                     kind: REPL_KIND_PUT,
@@ -1136,13 +1342,32 @@ mod tests {
             flags: REPL_FLAG_SNAP | REPL_FLAG_RESET | REPL_FLAG_FIN,
             prev_version: 1000,
             now: 55,
+            epoch: 0,
             records: vec![],
         });
-        roundtrip_response(Response::ReplWelcome { shards: 16 });
+        roundtrip_response(Response::ReplWelcome {
+            shards: 16,
+            epoch: 2,
+        });
         roundtrip_response(Response::NotPrimary { hint: "" });
         roundtrip_response(Response::NotPrimary {
             hint: "127.0.0.1:9999",
         });
+        roundtrip_response(Response::ReplVote {
+            granted: true,
+            epoch: 4,
+            version_sum: 999,
+        });
+        roundtrip_response(Response::ReplVote {
+            granted: false,
+            epoch: u64::MAX,
+            version_sum: 0,
+        });
+        roundtrip_response(Response::DoneAt {
+            shard: 3,
+            version: 77,
+        });
+        roundtrip_response(Response::Behind { version: u64::MAX });
     }
 
     #[test]
@@ -1191,6 +1416,7 @@ mod tests {
         body.push(0);
         put_u64(&mut body, 0);
         put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
         put_u32(&mut body, 1);
         body.push(3);
         put_u64(&mut body, 1);
@@ -1206,8 +1432,43 @@ mod tests {
         body.push(0);
         put_u64(&mut body, 0);
         put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
         put_u32(&mut body, MAX_REPL_BATCH + 1);
         assert_eq!(decode_response(&body), Err(WireError::TooLarge));
+        // CANDIDATE shard count beyond the ceiling.
+        let mut body = vec![OP_REPL_CANDIDATE];
+        put_u64(&mut body, 1);
+        put_u32(&mut body, MAX_REPL_SHARDS + 1);
+        assert_eq!(decode_repl_request(&body), Err(WireError::TooLarge));
+        // CANDIDATE declaring more versions than it carries.
+        let mut body = vec![OP_REPL_CANDIDATE];
+        put_u64(&mut body, 1);
+        put_u32(&mut body, 2);
+        put_u64(&mut body, 9);
+        assert_eq!(decode_repl_request(&body), Err(WireError::Truncated));
+        // VOTE with a non-boolean granted byte.
+        let mut body = vec![OP_REPL_VOTE, 2];
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 2);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
+        // Trailing bytes after an EPOCH announce are rejected.
+        let mut out = Vec::new();
+        encode_repl_request(
+            &ReplRequest::EpochAnnounce {
+                epoch: 2,
+                primary: b"x",
+            },
+            &mut out,
+        );
+        let mut body = out[4..].to_vec();
+        body.push(0);
+        assert_eq!(
+            decode_repl_request(&body),
+            Err(WireError::Malformed("trailing bytes"))
+        );
         // NotPrimary with non-UTF-8 hint bytes.
         let mut body = vec![OP_NOT_PRIMARY];
         put_u16(&mut body, 2);
@@ -1238,6 +1499,7 @@ mod tests {
             flags: 0,
             prev_version: 0,
             now: 0,
+            epoch: u64::MAX,
             records,
         };
         let mut out = Vec::new();

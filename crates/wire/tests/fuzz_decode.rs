@@ -20,8 +20,17 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
     for _ in 0..keylen {
         keybuf.push(rng.next_u64() as u8);
     }
-    match rng.below(10) {
+    match rng.below(12) {
         0 => Request::Get { key: keybuf },
+        10 => Request::SetS {
+            key: keybuf,
+            value: rng.next_u64(),
+            ttl: rng.below(100),
+        },
+        11 => Request::GetS {
+            key: keybuf,
+            min_version: rng.next_u64(),
+        },
         1 => Request::Set {
             key: keybuf,
             value: rng.next_u64(),
@@ -47,7 +56,7 @@ fn sample_request<'a>(rng: &mut SplitMix64, keybuf: &'a mut Vec<u8>) -> Request<
 
 /// A deterministic pool of valid replication requests.
 fn sample_repl_request(rng: &mut SplitMix64) -> ReplRequest<'static> {
-    match rng.below(3) {
+    match rng.below(5) {
         0 => ReplRequest::Hello {
             versions: (0..rng.below_usize(9)).map(|_| rng.next_u64()).collect(),
         },
@@ -55,6 +64,14 @@ fn sample_repl_request(rng: &mut SplitMix64) -> ReplRequest<'static> {
             shard: rng.below(16) as u32,
             version: rng.next_u64(),
             nak: rng.flip(),
+        },
+        2 => ReplRequest::Candidate {
+            epoch: rng.next_u64(),
+            versions: (0..rng.below_usize(9)).map(|_| rng.next_u64()).collect(),
+        },
+        3 => ReplRequest::EpochAnnounce {
+            epoch: rng.next_u64(),
+            primary: if rng.flip() { b"" } else { b"127.0.0.1:7171" },
         },
         _ => ReplRequest::Promote {
             upstream: if rng.flip() { b"" } else { b"127.0.0.1:7171" },
@@ -75,6 +92,7 @@ fn sample_repl_batch(rng: &mut SplitMix64) -> Response<'static> {
         flags,
         prev_version: rng.next_u64(),
         now: rng.below(1 << 20),
+        epoch: rng.next_u64(),
         records: (0..n)
             .map(|_| ReplRecord {
                 kind: rng.below(3) as u8,
@@ -87,13 +105,26 @@ fn sample_repl_batch(rng: &mut SplitMix64) -> Response<'static> {
 }
 
 fn sample_response(rng: &mut SplitMix64) -> Response<'static> {
-    match rng.below(16) {
+    match rng.below(19) {
         13 => sample_repl_batch(rng),
         14 => Response::ReplWelcome {
             shards: rng.below(64) as u32,
+            epoch: rng.next_u64(),
         },
         15 => Response::NotPrimary {
             hint: "127.0.0.1:7171",
+        },
+        16 => Response::ReplVote {
+            granted: rng.flip(),
+            epoch: rng.next_u64(),
+            version_sum: rng.next_u64(),
+        },
+        17 => Response::DoneAt {
+            shard: rng.below(64) as u32,
+            version: rng.next_u64(),
+        },
+        18 => Response::Behind {
+            version: rng.next_u64(),
         },
         0 => Response::Value {
             found: rng.flip(),

@@ -68,13 +68,19 @@ run_step wal_bench ./target/release/wal_bench --window-ms 500 --gate
 # tax and replica-read-share gates.
 run_step repl_bench ./target/release/repl_bench --window-ms 500 --gate
 
+# Self-healing failover: SIGKILL the primary with no operator promote;
+# the replicas detect, elect and promote on their own. Produces
+# BENCH_failover.json with detection/promotion/unavailability times.
+run_step auto_failover_soak ./target/release/auto_failover_soak --seed 2026 --mode both
+
 # Schema gate before the artifacts move: every BENCH_*.json must parse
 # and carry the common header, or the sweep fails. The --expect list
 # pins the artifacts the steps above must have produced.
 run_step bench_schema ./scripts/check_bench_schema.sh \
   --expect BENCH_hotpath.json --expect BENCH_trace.json \
   --expect BENCH_overload.json --expect BENCH_wal.json \
-  --expect BENCH_replication.json --expect BENCH_server.json
+  --expect BENCH_replication.json --expect BENCH_failover.json \
+  --expect BENCH_server.json
 
 for f in BENCH_*.json TRACE_overload_*.json; do
   [ -f "$f" ] && mv "$f" "$artifacts/$f"

@@ -194,14 +194,37 @@ echo "== failover soak (kill primary, promote replica, both modes) =="
 # repointed replica, recovery within deadline, and lease-based fencing
 # (a primary below min-acks rejects writes). Exit 4 = guarantee
 # violated, exit 2 = liveness watchdog, exit 1 = harness error.
-if ./target/release/failover_soak --seed 2026 --mode both --load-ops 1200; then
-  echo "ok: failover soak"
+if ./target/release/failover_soak --seed 2026 --mode both --load-ops 1200 --manual; then
+  echo "ok: failover soak (manual promotion)"
 else
   status=$?
   if [ "$status" -eq 4 ]; then
     echo "FAIL: replication guarantee violated" >&2
   else
     echo "FAIL: failover soak harness error (status $status)" >&2
+  fi
+  exit "$status"
+fi
+
+echo "== auto failover soak (self-healing: no operator promote) =="
+# Same kill, zero operator involvement: the replicas' failure detectors
+# must notice the silence, hold a quorum election (highest replicated
+# version wins, one vote per epoch), and the winner must promote itself
+# within the detection deadline. Checks everything the manual soak does
+# plus: exactly one primary per epoch (continuous split-brain poll),
+# read-your-writes sessions never violated across the failover, and a
+# deposed-primary rejoin phase proving its stale epoch is fenced (the
+# repointed replica rejects the old stream without applying a batch).
+# Produces BENCH_failover.json with detection/promotion/unavailability
+# times. Exit codes as above.
+if ./target/release/auto_failover_soak --seed 2026 --mode both --load-ops 1200; then
+  echo "ok: auto failover soak (automatic promotion)"
+else
+  status=$?
+  if [ "$status" -eq 4 ]; then
+    echo "FAIL: self-healing replication guarantee violated" >&2
+  else
+    echo "FAIL: auto failover soak harness error (status $status)" >&2
   fi
   exit "$status"
 fi
@@ -233,9 +256,10 @@ echo "== bench artifact schema =="
 # produce: a bench that silently stops emitting its file fails here.
 ./scripts/check_bench_schema.sh \
   --expect BENCH_hotpath.json --expect BENCH_trace.json --expect BENCH_wal.json \
-  --expect BENCH_replication.json --expect BENCH_server.json
+  --expect BENCH_replication.json --expect BENCH_failover.json \
+  --expect BENCH_server.json
 rm -f BENCH_hotpath.json BENCH_trace.json BENCH_wal.json BENCH_replication.json \
-  BENCH_server.json
+  BENCH_failover.json BENCH_server.json
 echo "ok: bench artifacts conform to the common schema"
 
 echo "CI_OK"
